@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: cost of one congestion-control update.
+//!
+//! The per-ACK increase runs on every acknowledgment in the hot path of a
+//! real stack, so its cost matters; this bench compares OLIA against LIA and
+//! the baselines across subflow counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsim_core::{alpha_values, Algorithm, PathView};
+
+fn paths(n: usize) -> Vec<PathView> {
+    (0..n)
+        .map(|i| PathView {
+            cwnd: 2.0 + i as f64 * 3.0,
+            rtt: 0.1 + 0.01 * i as f64,
+            ell: 100.0 * (i + 1) as f64,
+            established: true,
+        })
+        .collect()
+}
+
+fn bench_on_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_ack");
+    // Representative algorithms (the full registry is exercised by unit
+    // tests); OLIA vs LIA vs uncoupled spans the cost spectrum.
+    let algs = [Algorithm::Olia, Algorithm::Lia, Algorithm::Uncoupled];
+    for &n in &[2usize, 8] {
+        let views = paths(n);
+        for alg in algs {
+            let mut cc = alg.build();
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &views, |b, views| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for idx in 0..views.len() {
+                        acc += cc.on_ack(black_box(views), idx);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_values");
+    for &n in &[2usize, 8] {
+        let views = paths(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &views, |b, views| {
+            b.iter(|| alpha_values(black_box(views)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Small sample size: the update is nanosecond-scale and the suite
+    // covers 28 points; the default 100-sample protocol is needlessly slow
+    // on shared CI machines.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_on_ack, bench_alpha
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: simulator event-loop throughput.
+//!
+//! Measures end-to-end simulated-packet throughput for a single TCP flow
+//! over a bottleneck — the workhorse path of every experiment — and the raw
+//! event-queue cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eventsim::{EventQueue, SimDuration, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec};
+
+fn bench_tcp_second(c: &mut Criterion) {
+    c.bench_function("simulate_1s_tcp_10mbps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let fwd = sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(10)));
+            let rev = sim.add_queue(QueueConfig::drop_tail(
+                10e9,
+                SimDuration::from_millis(10),
+                10_000,
+            ));
+            let conn = ConnectionSpec::new(Algorithm::Reno)
+                .with_path(PathSpec::new(route(&[fwd]), route(&[rev])))
+                .install(&mut sim, 0);
+            sim.start_endpoint_at(conn.source, SimTime::ZERO);
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            black_box(conn.handle.read(|s| s.delivered_packets))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random interleaving without an RNG in the loop.
+                let t = (i * 2_654_435_761) % 1_000_000;
+                q.schedule(SimTime::from_nanos(t + 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tcp_second, bench_event_queue
+}
+criterion_main!(benches);

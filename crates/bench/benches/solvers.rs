@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks: analytic solver costs.
+//!
+//! The fixed-point solvers run inside parameter sweeps (hundreds of points
+//! per figure); the fluid integrator runs hundreds of thousands of Euler
+//! steps per equilibrium.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fluid::ode::{
+    FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
+};
+use fluid::{scenario_a, scenario_b, scenario_c};
+
+fn bench_fixed_points(c: &mut Criterion) {
+    c.bench_function("scenario_a_fixed_point", |b| {
+        let inp = scenario_a::ScenarioAInputs::paper(2.0, 1.0);
+        b.iter(|| black_box(scenario_a::lia(black_box(&inp))))
+    });
+    c.bench_function("scenario_b_fixed_point", |b| {
+        let inp = scenario_b::ScenarioBInputs::paper(0.75);
+        b.iter(|| black_box(scenario_b::lia_red_multipath(black_box(&inp))))
+    });
+    c.bench_function("scenario_c_fixed_point", |b| {
+        let inp = scenario_c::ScenarioCInputs::paper(2.0, 1.0);
+        b.iter(|| black_box(scenario_c::lia(black_box(&inp))))
+    });
+}
+
+fn bench_fluid_steps(c: &mut Criterion) {
+    let net = FluidNetwork {
+        links: vec![
+            FluidLink::with_capacity(100.0),
+            FluidLink::with_capacity(100.0),
+        ],
+        users: vec![FluidUser {
+            routes: vec![
+                FluidRoute {
+                    links: vec![0],
+                    rtt: 0.1,
+                },
+                FluidRoute {
+                    links: vec![1],
+                    rtt: 0.1,
+                },
+            ],
+        }],
+        loss: LossModel::default(),
+    };
+    let params = FluidParams {
+        steps: 1_000,
+        ..FluidParams::default()
+    };
+    c.bench_function("fluid_olia_1k_steps", |b| {
+        b.iter(|| {
+            black_box(net.integrate(
+                FluidAlgorithm::Olia,
+                black_box(&vec![vec![10.0, 20.0]]),
+                &params,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fixed_points, bench_fluid_steps
+}
+criterion_main!(benches);

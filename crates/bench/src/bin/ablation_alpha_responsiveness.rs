@@ -1,0 +1,130 @@
+//! Ablation: what OLIA's α term buys — responsiveness.
+//!
+//! DESIGN.md calls out the α term as the responsiveness/non-flappiness
+//! mechanism (the first term alone is Kelly–Voice-style and probes
+//! congested paths too slowly, one of the §II criticisms of the fully
+//! coupled algorithms). We measure reaction to a mid-run capacity shift: a
+//! two-path user competes with 5 TCP flows on path 1 and 10 *finite* TCP
+//! flows on path 2 sized to drain near the midpoint of the run. A
+//! responsive algorithm re-opens path 2 quickly once they are gone.
+//!
+//! Compared: OLIA vs FullyCoupled (= OLIA without α) vs LIA.
+
+use bench::table::{f3, Table};
+use eventsim::{SimDuration, SimRng, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec};
+use topo::stagger_starts;
+
+/// Run the shift experiment; returns the multipath user's path-2 rate
+/// (Mb/s) before the competitors leave, its final rate, and the time (s)
+/// it took to reclaim half the freed link after they left.
+fn capacity_shift(alg: Algorithm, secs: f64, seed: u64) -> (f64, f64, f64) {
+    let mut sim = Simulation::new(seed);
+    let mk_red = |sim: &mut Simulation| {
+        sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(10)))
+    };
+    let link1 = mk_red(&mut sim);
+    let link2 = mk_red(&mut sim);
+    let pad = |sim: &mut Simulation| {
+        sim.add_queue(QueueConfig::drop_tail(
+            10e9,
+            SimDuration::from_millis(30),
+            1_000_000,
+        ))
+    };
+    let (p1, p2) = (pad(&mut sim), pad(&mut sim));
+    let rev = sim.add_queue(QueueConfig::drop_tail(
+        10e9,
+        SimDuration::from_millis(40),
+        1_000_000,
+    ));
+    let multipath = ConnectionSpec::new(alg)
+        .with_path(PathSpec::new(route(&[link1, p1]), route(&[rev])))
+        .with_path(PathSpec::new(route(&[link2, p2]), route(&[rev])))
+        .install(&mut sim, 0);
+    let mut conns = vec![multipath.clone()];
+    for i in 0..5 {
+        conns.push(
+            ConnectionSpec::new(Algorithm::Reno)
+                .with_path(PathSpec::new(route(&[link1, p1]), route(&[rev])))
+                .install(&mut sim, 1 + i),
+        );
+    }
+    // Path-2 competitors: finite flows that collectively drain around the
+    // midpoint (10 flows sharing 10 Mb/s).
+    let half_packets = (10e6 * secs / 2.0 / 10.0 / 8.0 / 1500.0) as u64;
+    for i in 0..10 {
+        conns.push(
+            ConnectionSpec::new(Algorithm::Reno)
+                .with_size_packets(half_packets)
+                .with_path(PathSpec::new(route(&[link2, p2]), route(&[rev])))
+                .install(&mut sim, 100 + i),
+        );
+    }
+    let mut rng = SimRng::seed_from_u64(seed);
+    stagger_starts(&mut sim, &conns, SimDuration::from_secs(1), &mut rng);
+    // Before-window: [secs/4, secs/2], while path 2 is congested.
+    sim.run_until(SimTime::from_secs_f64(secs / 4.0));
+    multipath.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(secs / 2.0));
+    let before = multipath.handle.subflow_mbps(1, sim.now());
+    // Reaction timeline: path-2 rate in 2-second buckets after the drain.
+    // "Time to reclaim" = first bucket whose rate exceeds half the link.
+    let drain_t = secs / 2.0;
+    let mut t_half = f64::INFINITY;
+    let mut t = drain_t;
+    let bucket = 2.0;
+    while t < secs {
+        multipath.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(t + bucket));
+        let rate = multipath.handle.subflow_mbps(1, sim.now());
+        if rate > 5.0 && t_half.is_infinite() {
+            t_half = t + bucket - drain_t;
+        }
+        t += bucket;
+    }
+    // Final steady-state rate over the last bucket.
+    let after = multipath.handle.subflow_mbps(1, sim.now());
+    (before, after, t_half)
+}
+
+fn main() {
+    let secs = if std::env::var_os("REPRO_QUICK").is_some() {
+        80.0
+    } else {
+        160.0
+    };
+    let mut t = Table::new(
+        "α-term responsiveness: reclaiming a freed path",
+        &[
+            "algorithm",
+            "before Mb/s",
+            "final Mb/s",
+            "t to reclaim 50% (s)",
+        ],
+    );
+    for alg in [Algorithm::Olia, Algorithm::FullyCoupled, Algorithm::Lia] {
+        let (before, after, t_half) = capacity_shift(alg, secs, 5);
+        t.row(&[
+            alg.name().into(),
+            f3(before),
+            f3(after),
+            if t_half.is_finite() {
+                f3(t_half)
+            } else {
+                "never".into()
+            },
+        ]);
+    }
+    t.print();
+    t.write_csv("ablation_alpha_responsiveness");
+    println!(
+        "Reading: while path 2 is congested all three keep little traffic there; once\n\
+         it frees up, OLIA's α (and LIA's slow start) reclaim the capacity within a\n\
+         few seconds, while the fully-coupled variant (OLIA without α) — whose\n\
+         increase is proportional to its own near-zero window — takes far longer.\n\
+         This is the ε=0 probing failure that motivated LIA, solved by OLIA's α."
+    );
+}

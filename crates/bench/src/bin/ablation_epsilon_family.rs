@@ -1,0 +1,60 @@
+//! Ablation: the ε design spectrum of §II on Scenario C.
+//!
+//! ε = 0 (fully coupled, also "OLIA without α"), ε = 1 (LIA), ε = 2
+//! (uncoupled Reno per subflow), the related-work baselines EWTCP and
+//! semi-coupled, OLIA itself, and the simulated probing-cost optimum —
+//! measuring how much AP2 capacity each leaves to the single-path TCP users
+//! and how well each uses its own AP1.
+//!
+//! Expected ordering for the single-path users: uncoupled (worst, no
+//! congestion balancing) < LIA < fully-coupled ≈ OLIA (best); and the
+//! fully-coupled algorithm pays for it with poor probing/responsiveness,
+//! which the two-bottleneck responsiveness ablation quantifies.
+
+use bench::table::{f3, f4, pm, Table};
+use bench::{scenario_c, RunCfg};
+use mpsim_core::Algorithm;
+use topo::ScenarioCParams;
+
+fn main() {
+    let cfg = RunCfg::from_env();
+    println!(
+        "ε-family ablation on Scenario C (N1=N2=10, C1/C2=2); {} replications\n",
+        cfg.replications
+    );
+    let mut t = Table::new(
+        "Scenario C across the algorithm family",
+        &[
+            "algorithm",
+            "single-path norm",
+            "multipath norm",
+            "p2",
+            "p1",
+        ],
+    );
+    for alg in [
+        Algorithm::Uncoupled,
+        Algorithm::Ewtcp,
+        Algorithm::SemiCoupled,
+        Algorithm::Lia,
+        Algorithm::FullyCoupled,
+        Algorithm::Olia,
+        Algorithm::OptimumProbe,
+    ] {
+        let m = scenario_c::measure(&ScenarioCParams::paper(10, 2.0, alg), &cfg);
+        t.row(&[
+            alg.name().into(),
+            pm(m.single_norm.mean, m.single_norm.ci95),
+            pm(m.multipath_norm.mean, m.multipath_norm.ci95),
+            f4(m.p2.mean),
+            f4(m.p1.mean),
+        ]);
+    }
+    t.print();
+    t.write_csv("ablation_epsilon_family");
+    println!(
+        "Reading: uncoupled grabs the most from the TCP users; OLIA leaves AP2 nearly\n\
+         untouched while still filling AP1 — escaping the ε tradeoff. {}",
+        f3(0.0) // keep formatting helpers exercised even when unused elsewhere
+    );
+}

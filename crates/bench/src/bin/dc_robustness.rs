@@ -1,0 +1,106 @@
+//! Robustness experiment: core-link failures in the FatTree.
+//!
+//! The reliability motivation behind multipath (Scenario B's "Blue users use
+//! multi-homing ... to increase their reliability") at data-center scale:
+//! run the Fig. 13 permutation workload, then fail 5% of the core link
+//! directions mid-run. A cross-pod path needs four distinct core-adjacent
+//! queues alive (data up/down + ACK up/down), so even 5% queue failures
+//! kill ≈19% of *paths*: a single-path TCP flow on one of them stalls
+//! outright, while an MPTCP connection with several subflows almost surely
+//! keeps an alive path and shifts its window there.
+
+use bench::fattree::dc_config;
+use bench::table::{f3, Table};
+use eventsim::{SimDuration, SimRng, SimTime};
+use mpsim_core::Algorithm;
+use netsim::Simulation;
+use topo::{FatTree, FatTreeConfig};
+use workload::permutation_traffic;
+
+/// Returns (aggregate % of optimal before failures, after failures).
+fn run(k: usize, algorithm: Algorithm, subflows: usize, secs: f64, seed: u64) -> (f64, f64) {
+    let mut sim = Simulation::new(seed);
+    let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
+    let n = ft.num_hosts();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xD0C5);
+    let perm = permutation_traffic(&mut rng, n);
+    let cfg = dc_config();
+    let conns: Vec<_> = (0..n)
+        .map(|h| {
+            ft.connect(
+                &mut sim,
+                h,
+                perm[h],
+                algorithm,
+                subflows,
+                None,
+                cfg,
+                &mut rng,
+                h as u64,
+            )
+        })
+        .collect();
+    for c in &conns {
+        let jitter = SimDuration::from_secs_f64(rng.f64() * 0.2);
+        sim.start_endpoint_at(c.source, SimTime::ZERO + jitter);
+    }
+    // Healthy window.
+    sim.run_until(SimTime::from_secs_f64(secs / 3.0));
+    for c in &conns {
+        c.handle.reset(sim.now());
+    }
+    sim.run_until(SimTime::from_secs_f64(secs * 2.0 / 3.0));
+    let now = sim.now();
+    let before =
+        conns.iter().map(|c| c.handle.goodput_mbps(now)).sum::<f64>() / n as f64;
+
+    // Fail 5% of the unidirectional core queues, sampled independently
+    // (as real fabric failures are).
+    let core = ft.core_queues();
+    for &q in core.iter().filter(|_| rng.chance(0.05)) {
+        sim.set_queue_down(q, true);
+    }
+    // Grace period for loss detection, then measure the degraded window.
+    sim.run_until(SimTime::from_secs_f64(secs * 2.0 / 3.0 + 2.0));
+    for c in &conns {
+        c.handle.reset(sim.now());
+    }
+    sim.run_until(SimTime::from_secs_f64(secs + 2.0));
+    let now = sim.now();
+    let after =
+        conns.iter().map(|c| c.handle.goodput_mbps(now)).sum::<f64>() / n as f64;
+    (before, after)
+}
+
+fn main() {
+    let quick = std::env::var_os("REPRO_QUICK").is_some();
+    let (k, secs) = if quick { (4, 12.0) } else { (8, 18.0) };
+    println!("FatTree core-link failures (5% of core queue directions die mid-run) — k={k}\n");
+    let mut t = Table::new(
+        "aggregate per-host goodput, % of line rate",
+        &["long flows", "before failures", "after failures", "retained %"],
+    );
+    for (name, alg, nsub) in [
+        ("TCP", Algorithm::Reno, 1),
+        ("MPTCP-LIA ×4", Algorithm::Lia, 4),
+        ("MPTCP-OLIA ×4", Algorithm::Olia, 4),
+    ] {
+        let (before, after) = run(k, alg, nsub, secs, 3);
+        t.row(&[
+            name.into(),
+            f3(before),
+            f3(after),
+            f3(after / before * 100.0),
+        ]);
+    }
+    t.print();
+    t.write_csv("dc_robustness");
+    println!(
+        "Reading: a failed path stalls a single-path TCP flow outright (RTO-limited\n\
+         trickle), while MPTCP connections almost surely hold an alive subflow and\n\
+         shift their window onto it — the reliability argument for multipath,\n\
+         quantified. (At much higher failure rates every path of every connection\n\
+         dies and the distinction collapses — path diversity, not multipath itself,\n\
+         is what buys the robustness.)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Figures 9 and 10: Scenario A — OLIA vs LIA.
+//!
+//! Fig. 9: with OLIA, type2 users recover (up to 2× the LIA rate) at no cost
+//! to type1. Fig. 10: OLIA keeps the shared-AP loss probability p2 near its
+//! no-multipath level (growth ≈1.3× worst case, vs ≈5× under LIA).
+
+use bench::table::{f3, f4, pm, Table};
+use bench::{scenario_a, RunCfg};
+use fluid::scenario_a as analysis;
+use mpsim_core::Algorithm;
+use topo::ScenarioAParams;
+
+fn main() {
+    let cfg = RunCfg::from_env();
+    println!(
+        "Scenario A (Figs. 9/10) — OLIA vs LIA; {} replications\n",
+        cfg.replications
+    );
+    let mut thr = Table::new(
+        "Fig 9: normalized type2 throughput",
+        &[
+            "N1/N2",
+            "C1/C2",
+            "type2 LIA",
+            "type2 OLIA",
+            "optimum",
+            "type1 LIA",
+            "type1 OLIA",
+        ],
+    );
+    let mut loss = Table::new(
+        "Fig 10: loss probability p2 at the shared AP",
+        &["N1/N2", "C1/C2", "p2 LIA", "p2 OLIA", "p2 optimum"],
+    );
+    for ratio in [1.0, 2.0, 3.0] {
+        for c in [0.75, 1.0, 1.5] {
+            let n1 = (10.0 * ratio) as usize;
+            let lia = scenario_a::measure(&ScenarioAParams::paper(n1, c, Algorithm::Lia), &cfg);
+            let olia = scenario_a::measure(&ScenarioAParams::paper(n1, c, Algorithm::Olia), &cfg);
+            let opt = analysis::optimal_with_probing(&analysis::ScenarioAInputs::paper(ratio, c));
+            thr.row(&[
+                f3(ratio),
+                f3(c),
+                pm(lia.type2_norm.mean, lia.type2_norm.ci95),
+                pm(olia.type2_norm.mean, olia.type2_norm.ci95),
+                f3(opt.type2_norm),
+                f3(lia.type1_norm.mean),
+                f3(olia.type1_norm.mean),
+            ]);
+            loss.row(&[
+                f3(ratio),
+                f3(c),
+                f4(lia.p2.mean),
+                f4(olia.p2.mean),
+                f4(opt.p2),
+            ]);
+        }
+    }
+    thr.print();
+    thr.write_csv("fig9_scenario_a_olia_throughput");
+    loss.print();
+    loss.write_csv("fig10_scenario_a_olia_loss");
+    println!(
+        "Paper shape: OLIA's type2 rates approach the probing-cost optimum (up to 2×\n\
+         LIA's), with no reduction for type1; OLIA's p2 stays well below LIA's."
+    );
+}

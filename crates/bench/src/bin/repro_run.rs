@@ -1,0 +1,84 @@
+//! `repro_run` — run a JSON-described custom scenario.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_run -- scenarios/two_ap.json
+//! ```
+//!
+//! See `bench::config` for the file format and `scenarios/` for examples.
+
+use bench::config::{parse_scenario, run_scenario};
+use bench::table::{f3, f4, Table};
+use metrics::Summary;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: repro_run <scenario.json>");
+            std::process::exit(2);
+        }
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match parse_scenario(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "scenario {path}: {} links, {} flow groups, warmup {}s + measure {}s, seed {}\n",
+        spec.links.len(),
+        spec.flows.len(),
+        spec.warmup_s,
+        spec.measure_s,
+        spec.seed
+    );
+    let report = match run_scenario(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let mut groups = Table::new(
+        "flow groups",
+        &[
+            "group",
+            "flows",
+            "mean Mb/s",
+            "min",
+            "max",
+            "completed (FCT mean s)",
+        ],
+    );
+    for g in &report.groups {
+        let s = Summary::of(&g.goodputs_mbps);
+        let fct = if g.completion_times_s.is_empty() {
+            "-".to_string()
+        } else {
+            let fs = Summary::of(&g.completion_times_s);
+            format!("{} ({})", g.completion_times_s.len(), f3(fs.mean))
+        };
+        groups.row(&[
+            g.name.clone(),
+            g.goodputs_mbps.len().to_string(),
+            f3(s.mean),
+            f3(s.min),
+            f3(s.max),
+            fct,
+        ]);
+    }
+    groups.print();
+    let mut links = Table::new("links", &["link", "loss prob", "utilization"]);
+    for l in &report.links {
+        links.row(&[l.name.clone(), f4(l.loss_probability), f3(l.utilization)]);
+    }
+    links.print();
+}

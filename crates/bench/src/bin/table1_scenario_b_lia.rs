@@ -1,0 +1,51 @@
+//! Table I: Scenario B measured with LIA — per-user rates and aggregate,
+//! before and after the Red users upgrade to MPTCP.
+//!
+//! Paper values (Mb/s): single-path 2.5 / 1.5 / 59.8; multipath
+//! 2.0 / 1.4 / 52.0 — a 13% aggregate drop.
+
+use bench::table::{f3, pm, Table};
+use bench::{scenario_b, RunCfg};
+use mpsim_core::Algorithm;
+use topo::ScenarioBParams;
+
+fn main() {
+    let cfg = RunCfg::from_env();
+    println!(
+        "Scenario B (Table I) — LIA; CX=27, CT=36 Mb/s, 15+15 users; {} replications\n",
+        cfg.replications
+    );
+    let single = scenario_b::measure(&ScenarioBParams::paper(false, Algorithm::Lia), &cfg);
+    let multi = scenario_b::measure(&ScenarioBParams::paper(true, Algorithm::Lia), &cfg);
+    let mut t = Table::new(
+        "Table I (LIA)",
+        &[
+            "Red users",
+            "Blue rate/user",
+            "Red rate/user",
+            "Aggregate",
+            "paper",
+        ],
+    );
+    t.row(&[
+        "single-path".into(),
+        pm(single.blue_mbps.mean, single.blue_mbps.ci95),
+        pm(single.red_mbps.mean, single.red_mbps.ci95),
+        pm(single.aggregate_mbps.mean, single.aggregate_mbps.ci95),
+        "2.5 / 1.5 / 59.8".into(),
+    ]);
+    t.row(&[
+        "multipath".into(),
+        pm(multi.blue_mbps.mean, multi.blue_mbps.ci95),
+        pm(multi.red_mbps.mean, multi.red_mbps.ci95),
+        pm(multi.aggregate_mbps.mean, multi.aggregate_mbps.ci95),
+        "2.0 / 1.4 / 52.0".into(),
+    ]);
+    t.print();
+    t.write_csv("table1_scenario_b_lia");
+    let drop = (1.0 - multi.aggregate_mbps.mean / single.aggregate_mbps.mean) * 100.0;
+    println!(
+        "Aggregate drop from the upgrade: {}% (paper: 13%)",
+        f3(drop)
+    );
+}

@@ -1,0 +1,128 @@
+//! Numerical verification of the paper's theory (§V) via the fluid model.
+//!
+//! * Theorem 1: at OLIA's fixed points only best paths carry traffic and
+//!   each user's total equals a regular TCP's rate on its best path.
+//! * Theorem 4: V(x(t)) is nondecreasing along OLIA trajectories (equal
+//!   RTTs) and converges.
+//! * Problem P1 in the fluid model: LIA's equilibrium puts substantial
+//!   traffic on a congested path where OLIA puts (almost) none.
+
+use bench::table::{f3, Table};
+use fluid::ode::{
+    FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
+};
+use fluid::utility::{utility_v, v_trajectory, verify_theorem1};
+
+/// The asymmetric two-bottleneck network of Fig. 6(b), fluid version: one
+/// multipath user, 5 single-path users on link 1, 10 on link 2.
+fn asymmetric() -> FluidNetwork {
+    let mut users = vec![FluidUser {
+        routes: vec![
+            FluidRoute {
+                links: vec![0],
+                rtt: 0.1,
+            },
+            FluidRoute {
+                links: vec![1],
+                rtt: 0.1,
+            },
+        ],
+    }];
+    for _ in 0..5 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![0],
+                rtt: 0.1,
+            }],
+        });
+    }
+    for _ in 0..10 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![1],
+                rtt: 0.1,
+            }],
+        });
+    }
+    FluidNetwork {
+        links: vec![
+            FluidLink::with_capacity(833.0), // ≈10 Mb/s in MSS/s
+            FluidLink::with_capacity(833.0),
+        ],
+        users,
+        loss: LossModel::default(),
+    }
+}
+
+fn initial(net: &FluidNetwork) -> Vec<Vec<f64>> {
+    net.users
+        .iter()
+        .map(|u| vec![20.0; u.routes.len()])
+        .collect()
+}
+
+fn main() {
+    let net = asymmetric();
+    let x0 = initial(&net);
+    let params = FluidParams {
+        steps: 600_000,
+        ..FluidParams::default()
+    };
+
+    println!("Fluid-model verification on the Fig. 6(b) network\n");
+
+    let olia = net.equilibrium(FluidAlgorithm::Olia, &x0, &params);
+    let lia = net.equilibrium(FluidAlgorithm::Lia, &x0, &params);
+
+    let mut t = Table::new(
+        "Multipath user's equilibrium rates (MSS/s)",
+        &[
+            "algorithm",
+            "clean path",
+            "congested path",
+            "congested share %",
+        ],
+    );
+    for (name, x) in [("olia", &olia), ("lia", &lia)] {
+        let (a, b) = (x[0][0], x[0][1]);
+        t.row(&[name.into(), f3(a), f3(b), f3(b / (a + b) * 100.0)]);
+    }
+    t.print();
+    t.write_csv("theory_fluid_equilibria");
+
+    let report = verify_theorem1(&net, &olia);
+    println!(
+        "Theorem 1 at the OLIA equilibrium: holds = {}",
+        report.holds(0.10, 0.06)
+    );
+    for (u, ((got, want), frac)) in report
+        .totals
+        .iter()
+        .zip(&report.non_best_fraction)
+        .enumerate()
+        .take(3)
+    {
+        println!(
+            "  user {u}: total {} vs best-path TCP rate {} (non-best fraction {})",
+            f3(*got),
+            f3(*want),
+            f3(*frac)
+        );
+    }
+
+    let vs = v_trajectory(&net, &initial(&net), &params, 12);
+    let monotone = vs.windows(2).all(|w| w[1] >= w[0] - 1e-9 * w[0].abs());
+    println!(
+        "\nTheorem 4: V(x(t)) nondecreasing = {monotone}; V start {} → end {}",
+        f3(vs[0]),
+        f3(*vs.last().unwrap())
+    );
+    println!(
+        "final V at OLIA equilibrium: {}",
+        f3(utility_v(&net, &olia))
+    );
+    println!(
+        "\nReading: OLIA's congested-path share collapses toward the probing floor\n\
+         (Theorem 1), LIA's stays substantial — the fluid-level root of P1/P2."
+    );
+}

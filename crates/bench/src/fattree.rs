@@ -1,0 +1,201 @@
+//! FatTree data-center experiments (§VI-B): permutation throughput
+//! (Fig. 13) and the dynamic short-flow setting (Fig. 14 / Table III).
+
+use eventsim::{SimDuration, SimRng, SimTime};
+use metrics::{jain_index, Histogram};
+use mpsim_core::Algorithm;
+use netsim::Simulation;
+use tcpsim::{Connection, TcpConfig};
+use topo::{FatTree, FatTreeConfig};
+use workload::{long_short_split, permutation_traffic, short_flow_plan};
+
+/// TCP parameters for the data-center runs: data-center-ish RTO floor (the
+/// testbed values of §III would dwarf sub-millisecond fabric RTTs).
+pub fn dc_config() -> TcpConfig {
+    TcpConfig {
+        min_rto: SimDuration::from_millis(200),
+        initial_rto: SimDuration::from_millis(250),
+        initial_rtt: 0.002,
+        ..TcpConfig::default()
+    }
+}
+
+/// One Fig. 13 measurement point.
+#[derive(Debug, Clone)]
+pub struct PermutationResult {
+    /// Aggregate goodput as a percentage of the all-hosts-at-line-rate
+    /// optimum.
+    pub throughput_pct: f64,
+    /// Per-flow goodput (% of host line rate), ranked ascending —
+    /// Fig. 13(b).
+    pub ranked_pct: Vec<f64>,
+    /// Jain fairness over per-flow goodputs.
+    pub jain: f64,
+}
+
+/// Run the §VI-B.1 permutation experiment: every host sends one long-lived
+/// flow to a distinct host using `algorithm` with `subflows` subflows.
+pub fn permutation(
+    k: usize,
+    algorithm: Algorithm,
+    subflows: usize,
+    secs: f64,
+    seed: u64,
+) -> PermutationResult {
+    let mut sim = Simulation::new(seed);
+    let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
+    let n = ft.num_hosts();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xFA77);
+    let perm = permutation_traffic(&mut rng, n);
+    let cfg = dc_config();
+    let conns: Vec<Connection> = (0..n)
+        .map(|h| {
+            ft.connect(
+                &mut sim, h, perm[h], algorithm, subflows, None, cfg, &mut rng, h as u64,
+            )
+        })
+        .collect();
+    for c in &conns {
+        let jitter = SimDuration::from_secs_f64(rng.f64() * 0.2);
+        sim.start_endpoint_at(c.source, SimTime::ZERO + jitter);
+    }
+    // Warmup the first third, measure the rest.
+    sim.run_until(SimTime::from_secs_f64(secs / 3.0));
+    for c in &conns {
+        c.handle.reset(sim.now());
+    }
+    sim.run_until(SimTime::from_secs_f64(secs));
+    let now = sim.now();
+    let line_rate_mbps = 100.0;
+    let mut pct: Vec<f64> = conns
+        .iter()
+        .map(|c| c.handle.goodput_mbps(now) / line_rate_mbps * 100.0)
+        .collect();
+    let total: f64 = pct.iter().sum::<f64>() / n as f64;
+    let jain = jain_index(&pct);
+    pct.sort_by(f64::total_cmp);
+    PermutationResult {
+        throughput_pct: total,
+        ranked_pct: pct,
+        jain,
+    }
+}
+
+/// The long-flow side of the §VI-B.2 dynamic experiment.
+#[derive(Debug, Clone, Copy)]
+pub enum LongFlows {
+    /// Regular TCP (one subflow, random path).
+    Tcp,
+    /// MPTCP with the given algorithm and subflow count (the paper: 8).
+    Mptcp(Algorithm, usize),
+}
+
+/// Results of the short-flow experiment (Fig. 14 / Table III).
+#[derive(Debug, Clone)]
+pub struct ShortFlowResult {
+    /// Mean short-flow completion time, milliseconds.
+    pub mean_fct_ms: f64,
+    /// Standard deviation of completion times, milliseconds.
+    pub std_fct_ms: f64,
+    /// Mean utilization across the network-core links.
+    pub core_utilization: f64,
+    /// `(fct_ms_bin_center, density)` PDF points — Fig. 14.
+    pub pdf: Vec<(f64, f64)>,
+    /// Completed / planned short flows.
+    pub completed: usize,
+    /// Planned short flows.
+    pub planned: usize,
+}
+
+/// Run the §VI-B.2 dynamic experiment on a 4:1 oversubscribed `k`-ary
+/// FatTree: one-third of hosts send long-lived flows (per `long`), the rest
+/// send 70 kB Poisson short flows over regular TCP.
+pub fn short_flows(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> ShortFlowResult {
+    let mut sim = Simulation::new(seed);
+    let ftcfg = FatTreeConfig {
+        oversubscription: 4.0,
+        ..FatTreeConfig::default()
+    };
+    let ft = FatTree::build(&mut sim, k, &ftcfg);
+    let n = ft.num_hosts();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x54F1);
+    let perm = permutation_traffic(&mut rng, n);
+    let (long_hosts, short_hosts) = long_short_split(n);
+    let cfg = dc_config();
+
+    // Long-lived flows.
+    let long_conns: Vec<Connection> = long_hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            let (alg, nsub) = match long {
+                LongFlows::Tcp => (Algorithm::Reno, 1),
+                LongFlows::Mptcp(a, s) => (a, s),
+            };
+            ft.connect(
+                &mut sim, h, perm[h], alg, nsub, None, cfg, &mut rng, i as u64,
+            )
+        })
+        .collect();
+    for c in &long_conns {
+        let jitter = SimDuration::from_secs_f64(rng.f64() * 0.5);
+        sim.start_endpoint_at(c.source, SimTime::ZERO + jitter);
+    }
+
+    // Short flows: planned up front, installed as individual connections.
+    let dests: Vec<usize> = short_hosts.iter().map(|&h| perm[h]).collect();
+    let plan = short_flow_plan(&mut rng, &short_hosts, &dests, horizon_s);
+    let warmup_s = 2.0;
+    let short_conns: Vec<(f64, Connection)> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let conn = ft.connect(
+                &mut sim,
+                f.src,
+                f.dst,
+                Algorithm::Reno,
+                1,
+                Some(f.size_packets),
+                cfg,
+                &mut rng,
+                10_000 + i as u64,
+            );
+            let at = SimTime::from_secs_f64(warmup_s + f.start_s);
+            sim.start_endpoint_at(conn.source, at);
+            (f.start_s, conn)
+        })
+        .collect();
+
+    // Warmup (long flows reach equilibrium), then measure core utilization
+    // over the short-flow window.
+    sim.run_until(SimTime::from_secs_f64(warmup_s));
+    sim.reset_queue_stats();
+    let end_s = warmup_s + horizon_s + 3.0; // grace period for stragglers
+    sim.run_until(SimTime::from_secs_f64(end_s));
+
+    let mut hist = Histogram::new(10.0, 60); // 10 ms bins to 600 ms
+    let mut fcts = Vec::new();
+    for (_, conn) in &short_conns {
+        if let Some(fct) = conn.handle.completion_time() {
+            let ms = fct * 1e3;
+            hist.record(ms);
+            fcts.push(ms);
+        }
+    }
+    let elapsed_ns = (sim.now() - SimTime::from_secs_f64(warmup_s)).as_nanos();
+    let core = ft.core_queues();
+    let core_utilization = core
+        .iter()
+        .map(|&q| sim.queue_stats(q).utilization(elapsed_ns))
+        .sum::<f64>()
+        / core.len() as f64;
+    ShortFlowResult {
+        mean_fct_ms: hist.mean(),
+        std_fct_ms: hist.std(),
+        core_utilization,
+        pdf: hist.pdf(),
+        completed: fcts.len(),
+        planned: plan.len(),
+    }
+}

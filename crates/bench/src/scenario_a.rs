@@ -1,0 +1,46 @@
+//! Packet-level measurement of Scenario A (Figs. 1, 9, 10).
+
+use eventsim::SimRng;
+use metrics::Summary;
+use netsim::Simulation;
+use tcpsim::Connection;
+use topo::{ScenarioA, ScenarioAParams};
+
+use crate::{mean_goodput_mbps, replicate, warmup_and_measure, RunCfg};
+
+/// Replicated measurements for one Scenario A configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioAMeasurement {
+    /// Normalized type1 throughput `(x1+x2)/C1`.
+    pub type1_norm: Summary,
+    /// Normalized type2 throughput `y/C2`.
+    pub type2_norm: Summary,
+    /// Loss probability at the streaming-server bottleneck.
+    pub p1: Summary,
+    /// Loss probability at the shared AP.
+    pub p2: Summary,
+}
+
+/// Run `cfg.replications` independent simulations of Scenario A and
+/// summarize.
+pub fn measure(params: &ScenarioAParams, cfg: &RunCfg) -> ScenarioAMeasurement {
+    let reps = replicate(cfg, |seed| {
+        let mut sim = Simulation::new(seed);
+        let s = ScenarioA::build(&mut sim, params);
+        let all: Vec<Connection> = s.type1.iter().chain(s.type2.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xA5A5);
+        let end = warmup_and_measure(&mut sim, &all, cfg, &mut rng);
+        (
+            mean_goodput_mbps(&s.type1, end) / params.c1_mbps,
+            mean_goodput_mbps(&s.type2, end) / params.c2_mbps,
+            sim.queue_stats(s.r1).loss_probability(),
+            sim.queue_stats(s.r2).loss_probability(),
+        )
+    });
+    ScenarioAMeasurement {
+        type1_norm: Summary::of(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        type2_norm: Summary::of(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        p1: Summary::of(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
+        p2: Summary::of(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
+    }
+}

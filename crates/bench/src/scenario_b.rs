@@ -1,0 +1,53 @@
+//! Packet-level measurement of Scenario B (Tables I and II).
+
+use eventsim::SimRng;
+use metrics::Summary;
+use netsim::Simulation;
+use tcpsim::Connection;
+use topo::{ScenarioB, ScenarioBParams};
+
+use crate::{mean_goodput_mbps, replicate, warmup_and_measure, RunCfg};
+
+/// Replicated measurements for one Scenario B configuration — the Table I/II
+/// presentation: per-user rates and the aggregate.
+#[derive(Debug, Clone)]
+pub struct ScenarioBMeasurement {
+    /// Per-Blue-user rate, Mb/s.
+    pub blue_mbps: Summary,
+    /// Per-Red-user rate, Mb/s.
+    pub red_mbps: Summary,
+    /// Aggregate goodput across all users, Mb/s.
+    pub aggregate_mbps: Summary,
+    /// Loss probability at ISP X's access link.
+    pub p_x: Summary,
+    /// Loss probability at ISP T's access link.
+    pub p_t: Summary,
+}
+
+/// Run `cfg.replications` independent simulations of Scenario B and
+/// summarize.
+pub fn measure(params: &ScenarioBParams, cfg: &RunCfg) -> ScenarioBMeasurement {
+    let reps = replicate(cfg, |seed| {
+        let mut sim = Simulation::new(seed);
+        let s = ScenarioB::build(&mut sim, params);
+        let all: Vec<Connection> = s.blue.iter().chain(s.red.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xB4B4);
+        let end = warmup_and_measure(&mut sim, &all, cfg, &mut rng);
+        let b = mean_goodput_mbps(&s.blue, end);
+        let r = mean_goodput_mbps(&s.red, end);
+        (
+            b,
+            r,
+            b * s.blue.len() as f64 + r * s.red.len() as f64,
+            sim.queue_stats(s.x).loss_probability(),
+            sim.queue_stats(s.t).loss_probability(),
+        )
+    });
+    ScenarioBMeasurement {
+        blue_mbps: Summary::of(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        red_mbps: Summary::of(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        aggregate_mbps: Summary::of(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
+        p_x: Summary::of(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
+        p_t: Summary::of(&reps.iter().map(|r| r.4).collect::<Vec<_>>()),
+    }
+}

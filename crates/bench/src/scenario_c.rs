@@ -1,0 +1,46 @@
+//! Packet-level measurement of Scenario C (Figs. 5, 11, 12).
+
+use eventsim::SimRng;
+use metrics::Summary;
+use netsim::Simulation;
+use tcpsim::Connection;
+use topo::{ScenarioC, ScenarioCParams};
+
+use crate::{mean_goodput_mbps, replicate, warmup_and_measure, RunCfg};
+
+/// Replicated measurements for one Scenario C configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioCMeasurement {
+    /// Normalized multipath throughput `(x1+x2)/C1`.
+    pub multipath_norm: Summary,
+    /// Normalized single-path throughput `y/C2`.
+    pub single_norm: Summary,
+    /// Loss probability at AP1.
+    pub p1: Summary,
+    /// Loss probability at AP2.
+    pub p2: Summary,
+}
+
+/// Run `cfg.replications` independent simulations of Scenario C and
+/// summarize.
+pub fn measure(params: &ScenarioCParams, cfg: &RunCfg) -> ScenarioCMeasurement {
+    let reps = replicate(cfg, |seed| {
+        let mut sim = Simulation::new(seed);
+        let s = ScenarioC::build(&mut sim, params);
+        let all: Vec<Connection> = s.multipath.iter().chain(s.single.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xC3C3);
+        let end = warmup_and_measure(&mut sim, &all, cfg, &mut rng);
+        (
+            mean_goodput_mbps(&s.multipath, end) / params.c1_mbps,
+            mean_goodput_mbps(&s.single, end) / params.c2_mbps,
+            sim.queue_stats(s.ap1).loss_probability(),
+            sim.queue_stats(s.ap2).loss_probability(),
+        )
+    });
+    ScenarioCMeasurement {
+        multipath_norm: Summary::of(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        single_norm: Summary::of(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        p1: Summary::of(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
+        p2: Summary::of(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
+    }
+}

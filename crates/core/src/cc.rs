@@ -1,0 +1,169 @@
+//! The congestion-control trait and the algorithm registry.
+
+use crate::path::PathView;
+use crate::{Ewtcp, FullyCoupled, Lia, Olia, OptimumProbe, Reno, SemiCoupled, Uncoupled};
+
+/// A multipath congestion-control algorithm for the increase part of
+/// congestion avoidance.
+///
+/// All algorithms in the paper share regular TCP's loss behaviour
+/// (multiplicative decrease, fast retransmit/recovery handled by the
+/// transport); they differ only in how the per-ACK window increase on one
+/// path is *coupled* to the state of the sibling paths.
+///
+/// Units: windows are MSS, RTTs are seconds, increments are MSS per ACK.
+pub trait MultipathCc: Send {
+    /// A short stable name for tables and plots ("olia", "lia", ...).
+    fn name(&self) -> &'static str;
+
+    /// Window increment (in MSS) applied to `paths[idx].cwnd` for one ACK of
+    /// one MSS received on path `idx` during congestion avoidance.
+    ///
+    /// May be negative only for OLIA's α-term (paths holding the maximum
+    /// window while better paths exist); the transport clamps windows at
+    /// 1 MSS.
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64;
+
+    /// New window (in MSS) for path `idx` after a loss event.
+    ///
+    /// Default: regular TCP's `w/2`, floored at 1 MSS — "uses unmodified TCP
+    /// behavior in the case of a loss" (§I). The transport applies its own
+    /// floor as well; the floor here keeps the pure algorithm well-defined.
+    fn on_loss(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        (paths[idx].cwnd / 2.0).max(1.0)
+    }
+
+    /// Whether the increase on one path depends on sibling paths. Purely
+    /// informational (used by the harness to annotate outputs).
+    fn is_coupled(&self) -> bool {
+        true
+    }
+}
+
+/// Enumeration of the shipped algorithms, for configuration surfaces
+/// (CLI flags, experiment tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's contribution (Eq. 5–6).
+    Olia,
+    /// MPTCP's standard linked-increases algorithm (Eq. 1, RFC 6356).
+    Lia,
+    /// Fully-coupled (ε=0) — the "OLIA without α" ablation.
+    FullyCoupled,
+    /// Uncoupled Reno per subflow (ε=2).
+    Uncoupled,
+    /// Regular single-path TCP.
+    Reno,
+    /// Oracle baseline: TCP on the best path, 1-MSS probes elsewhere — the
+    /// simulated "theoretical optimum with probing cost" (§III-A). Not a
+    /// deployable algorithm; used by the harness as a bound.
+    OptimumProbe,
+    /// EWTCP (Honda et al., §II related work): weighted uncoupled TCP.
+    Ewtcp,
+    /// The semi-coupled precursor of LIA (Wischik et al.).
+    SemiCoupled,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper discusses them.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Olia,
+        Algorithm::Lia,
+        Algorithm::FullyCoupled,
+        Algorithm::Uncoupled,
+        Algorithm::Reno,
+        Algorithm::OptimumProbe,
+        Algorithm::Ewtcp,
+        Algorithm::SemiCoupled,
+    ];
+
+    /// Instantiate the algorithm.
+    pub fn build(self) -> Box<dyn MultipathCc> {
+        match self {
+            Algorithm::Olia => Box::new(Olia::new()),
+            Algorithm::Lia => Box::new(Lia::new()),
+            Algorithm::FullyCoupled => Box::new(FullyCoupled::new()),
+            Algorithm::Uncoupled => Box::new(Uncoupled::new()),
+            Algorithm::Reno => Box::new(Reno::new()),
+            Algorithm::OptimumProbe => Box::new(OptimumProbe::new()),
+            Algorithm::Ewtcp => Box::new(Ewtcp::new()),
+            Algorithm::SemiCoupled => Box::new(SemiCoupled::new()),
+        }
+    }
+
+    /// Stable name matching `MultipathCc::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Olia => "olia",
+            Algorithm::Lia => "lia",
+            Algorithm::FullyCoupled => "coupled",
+            Algorithm::Uncoupled => "uncoupled",
+            Algorithm::Reno => "reno",
+            Algorithm::OptimumProbe => "optimum-probe",
+            Algorithm::Ewtcp => "ewtcp",
+            Algorithm::SemiCoupled => "semicoupled",
+        }
+    }
+
+    /// Parse a name as produced by [`Algorithm::name`].
+    pub fn from_name(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Algorithm::from_name(s).ok_or_else(|| format!("unknown algorithm {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a));
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+            assert_eq!(a.build().name(), a.name());
+        }
+        assert_eq!(Algorithm::from_name("bogus"), None);
+        assert!("bogus".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn default_loss_is_tcp_halving() {
+        struct Dummy;
+        impl MultipathCc for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn on_ack(&mut self, _: &[PathView], _: usize) -> f64 {
+                0.0
+            }
+        }
+        let paths = [PathView::fresh(9.0, 0.1), PathView::fresh(1.0, 0.1)];
+        let mut d = Dummy;
+        assert_eq!(d.on_loss(&paths, 0), 4.5);
+        // Floored at 1 MSS.
+        assert_eq!(d.on_loss(&paths, 1), 1.0);
+    }
+
+    #[test]
+    fn coupling_flags() {
+        assert!(Algorithm::Olia.build().is_coupled());
+        assert!(Algorithm::Lia.build().is_coupled());
+        assert!(Algorithm::FullyCoupled.build().is_coupled());
+        assert!(!Algorithm::Uncoupled.build().is_coupled());
+        assert!(!Algorithm::Reno.build().is_coupled());
+        assert!(Algorithm::SemiCoupled.build().is_coupled());
+    }
+}

@@ -1,0 +1,159 @@
+//! The two ends of the ε design spectrum discussed in §II.
+//!
+//! MPTCP's design space is parameterized by ε ∈ [0, 2]: send on path `r` at
+//! a rate proportional to `p_r^(−1/ε)`.
+//!
+//! * ε = 0 — [`FullyCoupled`]: the fully coupled algorithm of Kelly–Voice /
+//!   Han et al.; Pareto-optimal resource pooling but *flappy* (it randomly
+//!   flips traffic between equally good paths) and slow to probe congested
+//!   paths. It is exactly OLIA's first term without α, which makes it the
+//!   natural ablation for quantifying what α buys.
+//! * ε = 2 — [`Uncoupled`]: independent TCP Reno per subflow; very
+//!   responsive and non-flappy, but does not balance congestion and is
+//!   unfair to single-path TCP at shared bottlenecks.
+//!
+//! LIA is the ε = 1 compromise; OLIA escapes the tradeoff entirely.
+
+use crate::cc::MultipathCc;
+use crate::olia::Olia;
+use crate::path::PathView;
+
+/// Fully coupled increases (ε = 0): OLIA's first term only.
+///
+/// Per ACK on path `r`: `(w_r/rtt_r²) / (Σ_p w_p/rtt_p)²`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullyCoupled;
+
+impl FullyCoupled {
+    /// Create a fully-coupled controller.
+    pub fn new() -> Self {
+        FullyCoupled
+    }
+}
+
+impl MultipathCc for FullyCoupled {
+    fn name(&self) -> &'static str {
+        "coupled"
+    }
+
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        let me = &paths[idx];
+        debug_assert!(me.is_valid());
+        if !me.established || me.cwnd <= 0.0 {
+            return 0.0;
+        }
+        Olia::first_term(paths, idx)
+    }
+}
+
+/// Uncoupled subflows (ε = 2): plain Reno on every path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncoupled;
+
+impl Uncoupled {
+    /// Create an uncoupled controller.
+    pub fn new() -> Self {
+        Uncoupled
+    }
+}
+
+impl MultipathCc for Uncoupled {
+    fn name(&self) -> &'static str {
+        "uncoupled"
+    }
+
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        let me = &paths[idx];
+        debug_assert!(me.is_valid());
+        if !me.established || me.cwnd <= 0.0 {
+            return 0.0;
+        }
+        1.0 / me.cwnd
+    }
+
+    fn is_coupled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olia::alpha_values;
+    use proptest::prelude::*;
+
+    fn p(cwnd: f64, ell: f64) -> PathView {
+        PathView {
+            cwnd,
+            rtt: 0.15,
+            ell,
+            established: true,
+        }
+    }
+
+    #[test]
+    fn fully_coupled_is_olia_minus_alpha() {
+        let paths = [p(12.0, 50.0), p(3.0, 800.0)];
+        let mut fc = FullyCoupled::new();
+        let mut olia = Olia::new();
+        let a = alpha_values(&paths);
+        for i in 0..2 {
+            let diff = olia.on_ack(&paths, i) - fc.on_ack(&paths, i);
+            assert!((diff - a[i] / paths[i].cwnd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_coupled_starves_small_window_path() {
+        // The root of flappiness/poor probing: the increase on a path is
+        // proportional to its own window, so a nearly-closed path grows
+        // much slower than under LIA or Reno.
+        let paths = [p(0.5, 100.0), p(20.0, 100.0)];
+        let mut fc = FullyCoupled::new();
+        let small = fc.on_ack(&paths, 0);
+        let big = fc.on_ack(&paths, 1);
+        assert!(small < big / 10.0, "small={small} big={big}");
+    }
+
+    #[test]
+    fn uncoupled_matches_reno_per_path() {
+        let paths = [p(4.0, 0.0), p(8.0, 0.0)];
+        let mut u = Uncoupled::new();
+        assert!((u.on_ack(&paths, 0) - 0.25).abs() < 1e-12);
+        assert!((u.on_ack(&paths, 1) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_halve_on_loss() {
+        let paths = [p(10.0, 0.0), p(6.0, 0.0)];
+        assert_eq!(FullyCoupled::new().on_loss(&paths, 0), 5.0);
+        assert_eq!(Uncoupled::new().on_loss(&paths, 1), 3.0);
+    }
+
+    #[test]
+    fn unestablished_inert() {
+        let mut paths = [p(10.0, 0.0)];
+        paths[0].established = false;
+        assert_eq!(FullyCoupled::new().on_ack(&paths, 0), 0.0);
+        assert_eq!(Uncoupled::new().on_ack(&paths, 0), 0.0);
+    }
+
+    proptest! {
+        /// Uncoupled total aggressiveness = n independent TCPs; FullyCoupled
+        /// total aggressiveness = 1 TCP on the combined window (equal RTTs).
+        #[test]
+        fn prop_aggressiveness_ordering(
+            ws in proptest::collection::vec(1.0_f64..50.0, 2..5),
+        ) {
+            let paths: Vec<PathView> = ws.iter().map(|&w| p(w, 1.0)).collect();
+            let mut fc = FullyCoupled::new();
+            let mut un = Uncoupled::new();
+            let fc_sum: f64 = (0..paths.len()).map(|i| fc.on_ack(&paths, i)).sum();
+            let un_sum: f64 = (0..paths.len()).map(|i| un.on_ack(&paths, i)).sum();
+            // ε=0 is the least aggressive, ε=2 the most.
+            prop_assert!(fc_sum <= un_sum + 1e-12);
+            let total: f64 = ws.iter().sum();
+            prop_assert!((fc_sum - 1.0 / total).abs() < 1e-9);
+        }
+    }
+}

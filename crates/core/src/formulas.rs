@@ -1,0 +1,217 @@
+//! Loss-throughput formulas used throughout the paper's analysis.
+//!
+//! * Regular TCP (Misra et al. / the classic `1/√p` law): a flow on a path
+//!   with loss probability `p` and round-trip time `rtt` achieves
+//!   `√(2/p) / rtt` MSS per second.
+//! * LIA's fixed point (Eq. 2): window on path `r` proportional to `1/p_r`,
+//!   scaled so the total rate equals the best path's TCP rate.
+//! * OLIA / optimal equilibrium (Theorem 1): only best paths carry traffic
+//!   and the total rate equals the best path's TCP rate.
+
+/// Rate (MSS/s) of a regular TCP flow: `√(2/p) / rtt`.
+///
+/// Panics if `p` or `rtt` is non-positive (a loss-free path has infinite
+/// model rate — callers must handle that case before invoking the formula).
+pub fn tcp_rate(p: f64, rtt: f64) -> f64 {
+    assert!(p > 0.0, "loss probability must be positive, got {p}");
+    assert!(rtt > 0.0, "rtt must be positive, got {rtt}");
+    (2.0 / p).sqrt() / rtt
+}
+
+/// The TCP window at the fixed point: `√(2/p)` MSS.
+pub fn tcp_window(p: f64) -> f64 {
+    assert!(p > 0.0, "loss probability must be positive, got {p}");
+    (2.0 / p).sqrt()
+}
+
+/// A path description for the closed-form equilibria: loss probability and
+/// round-trip time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathChar {
+    /// Loss probability on the path (product over its links).
+    pub loss: f64,
+    /// Round-trip time in seconds.
+    pub rtt: f64,
+}
+
+impl PathChar {
+    /// Convenience constructor.
+    pub fn new(loss: f64, rtt: f64) -> Self {
+        assert!(loss > 0.0 && rtt > 0.0, "invalid path ({loss}, {rtt})");
+        PathChar { loss, rtt }
+    }
+
+    /// The rate a regular TCP user would get on this path.
+    pub fn tcp_rate(&self) -> f64 {
+        tcp_rate(self.loss, self.rtt)
+    }
+}
+
+/// LIA's fixed-point windows (Eq. 2): `w_r = (1/p_r) · max_p √(2/p_p)/rtt_p
+/// / Σ_p 1/(rtt_p·p_p)`.
+///
+/// Returns one window (in MSS) per path.
+pub fn lia_windows(paths: &[PathChar]) -> Vec<f64> {
+    assert!(!paths.is_empty(), "need at least one path");
+    let best_rate = paths
+        .iter()
+        .map(PathChar::tcp_rate)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let denom: f64 = paths.iter().map(|p| 1.0 / (p.rtt * p.loss)).sum();
+    paths.iter().map(|p| best_rate / (p.loss * denom)).collect()
+}
+
+/// LIA's fixed-point per-path rates (MSS/s): `w_r / rtt_r` from Eq. (2).
+pub fn lia_rates(paths: &[PathChar]) -> Vec<f64> {
+    lia_windows(paths)
+        .iter()
+        .zip(paths)
+        .map(|(w, p)| w / p.rtt)
+        .collect()
+}
+
+/// LIA's fixed-point total rate. When all RTTs are equal this equals the
+/// best path's TCP rate; with heterogeneous RTTs it can differ.
+pub fn lia_total_rate(paths: &[PathChar]) -> f64 {
+    lia_rates(paths).iter().sum()
+}
+
+/// OLIA's equilibrium rates per Theorem 1: all traffic on best paths
+/// (maximum `√(2/p)/rtt`), total equal to the best path's TCP rate, split
+/// evenly among tied best paths.
+pub fn olia_rates(paths: &[PathChar]) -> Vec<f64> {
+    assert!(!paths.is_empty(), "need at least one path");
+    let rates: Vec<f64> = paths.iter().map(PathChar::tcp_rate).collect();
+    let best = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let tol = 1e-9 * best.abs().max(1.0);
+    let winners: Vec<usize> = (0..paths.len())
+        .filter(|&i| rates[i] >= best - tol)
+        .collect();
+    let share = best / winners.len() as f64;
+    (0..paths.len())
+        .map(|i| if winners.contains(&i) { share } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tcp_rate_matches_hand_calc() {
+        // p = 0.02, rtt = 0.1 → √100 / 0.1 = 100 MSS/s.
+        assert!((tcp_rate(0.02, 0.1) - 100.0).abs() < 1e-9);
+        assert!((tcp_window(0.02) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tcp_rate_rejects_zero_loss() {
+        tcp_rate(0.0, 0.1);
+    }
+
+    #[test]
+    fn lia_windows_inverse_to_loss() {
+        // Equal RTTs: w_r ∝ 1/p_r (Eq. 2's headline property).
+        let paths = [PathChar::new(0.01, 0.1), PathChar::new(0.04, 0.1)];
+        let w = lia_windows(&paths);
+        assert!((w[0] / w[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lia_total_equals_best_tcp_rate_equal_rtt() {
+        let paths = [
+            PathChar::new(0.01, 0.15),
+            PathChar::new(0.02, 0.15),
+            PathChar::new(0.05, 0.15),
+        ];
+        let best = paths[0].tcp_rate();
+        assert!((lia_total_rate(&paths) - best).abs() < 1e-9 * best);
+    }
+
+    #[test]
+    fn lia_scenario_a_structure() {
+        // §III-A: two paths with losses p1 and p1+p2; Eq. (b) says
+        // x2 = (1/(2+p2/p1)) · √(2/p1)/rtt.
+        let (p1, p2, rtt) = (0.01, 0.03, 0.15);
+        let paths = [PathChar::new(p1, rtt), PathChar::new(p1 + p2, rtt)];
+        let rates = lia_rates(&paths);
+        let expect_x2 = (1.0 / (2.0 + p2 / p1)) * tcp_rate(p1, rtt);
+        assert!((rates[1] - expect_x2).abs() < 1e-9 * expect_x2);
+        let expect_total = tcp_rate(p1, rtt);
+        assert!((rates[0] + rates[1] - expect_total).abs() < 1e-9 * expect_total);
+    }
+
+    #[test]
+    fn olia_uses_only_best_paths() {
+        let paths = [
+            PathChar::new(0.01, 0.15), // best
+            PathChar::new(0.05, 0.15),
+        ];
+        let r = olia_rates(&paths);
+        assert!((r[0] - paths[0].tcp_rate()).abs() < 1e-9);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn olia_splits_ties() {
+        let paths = [PathChar::new(0.02, 0.1), PathChar::new(0.02, 0.1)];
+        let r = olia_rates(&paths);
+        assert!((r[0] - r[1]).abs() < 1e-9);
+        assert!((r[0] + r[1] - paths[0].tcp_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn olia_best_by_rtt_not_just_loss() {
+        // A higher-loss path can still be "best" if its RTT is much smaller.
+        let paths = [
+            PathChar::new(0.01, 0.4), // √200/0.4 ≈ 35.4
+            PathChar::new(0.02, 0.1), // √100/0.1 = 100 — best
+        ];
+        let r = olia_rates(&paths);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 100.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// LIA total rate never exceeds the best path's TCP rate by more
+        /// than RTT heterogeneity allows, and equals it for equal RTTs.
+        #[test]
+        fn prop_lia_total_equal_rtt(
+            losses in proptest::collection::vec(1e-4_f64..0.2, 1..5),
+            rtt in 0.01_f64..1.0,
+        ) {
+            let paths: Vec<PathChar> =
+                losses.iter().map(|&p| PathChar::new(p, rtt)).collect();
+            let best = paths.iter().map(PathChar::tcp_rate)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let total = lia_total_rate(&paths);
+            prop_assert!((total - best).abs() < 1e-6 * best);
+        }
+
+        /// OLIA rate vector is nonnegative, supported on best paths, sums to
+        /// the best TCP rate.
+        #[test]
+        fn prop_olia_rates_valid(
+            losses in proptest::collection::vec(1e-4_f64..0.2, 1..5),
+            rtts in proptest::collection::vec(0.01_f64..1.0, 1..5),
+        ) {
+            let n = losses.len().min(rtts.len());
+            let paths: Vec<PathChar> = (0..n)
+                .map(|i| PathChar::new(losses[i], rtts[i]))
+                .collect();
+            let rates = olia_rates(&paths);
+            let best = paths.iter().map(PathChar::tcp_rate)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let total: f64 = rates.iter().sum();
+            prop_assert!((total - best).abs() < 1e-6 * best);
+            for (i, &r) in rates.iter().enumerate() {
+                prop_assert!(r >= 0.0);
+                if r > 0.0 {
+                    prop_assert!(paths[i].tcp_rate() >= best * (1.0 - 1e-6));
+                }
+            }
+        }
+    }
+}

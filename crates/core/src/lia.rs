@@ -1,0 +1,174 @@
+//! LIA — MPTCP's "linked increases" algorithm (Eq. 1 of the paper, RFC 6356).
+//!
+//! Per ACK on subflow `r`, the window grows by
+//!
+//! ```text
+//!         ⎛  max_i w_i / rtt_i²      1  ⎞
+//!   min   ⎜ ─────────────────────,  ─── ⎟
+//!         ⎝ (Σ_i w_i / rtt_i)²      w_r ⎠
+//! ```
+//!
+//! The `min` with `1/w_r` caps LIA at regular-TCP aggressiveness on every
+//! path (design goal 2). The paper shows this algorithm is *not*
+//! Pareto-optimal: it sends an excessive amount of traffic over congested
+//! paths (problems P1 and P2, §III).
+
+use crate::cc::MultipathCc;
+use crate::path::{total_rate, PathView};
+
+/// MPTCP's standard linked-increases algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lia;
+
+impl Lia {
+    /// Create a LIA controller.
+    pub fn new() -> Self {
+        Lia
+    }
+
+    /// The coupled increase term `(max_i w_i/rtt_i²) / (Σ_i w_i/rtt_i)²`,
+    /// before the per-path `1/w_r` cap. Exposed for tests and the fluid
+    /// model.
+    pub fn coupled_term(paths: &[PathView]) -> f64 {
+        let denom = total_rate(paths);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        let num = paths
+            .iter()
+            .filter(|p| p.established)
+            .map(|p| p.rate_over_rtt())
+            .fold(0.0_f64, f64::max);
+        num / (denom * denom)
+    }
+}
+
+impl MultipathCc for Lia {
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        let me = &paths[idx];
+        debug_assert!(me.is_valid());
+        if !me.established || me.cwnd <= 0.0 {
+            return 0.0;
+        }
+        Lia::coupled_term(paths).min(1.0 / me.cwnd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(cwnd: f64, rtt: f64) -> PathView {
+        PathView {
+            cwnd,
+            rtt,
+            ell: 0.0,
+            established: true,
+        }
+    }
+
+    #[test]
+    fn single_path_reduces_to_reno() {
+        // One path: (w/rtt²)/(w/rtt)² = 1/w, so the min is exactly 1/w.
+        let mut lia = Lia::new();
+        let paths = [p(10.0, 0.1)];
+        assert!((lia.on_ack(&paths, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_paths_grow_at_half_reno_each() {
+        // Two identical paths: coupled term = (w/rtt²)/(2w/rtt)² = 1/(4w);
+        // total increase across both = 1/(2w) — less aggressive than one TCP,
+        // but not zero on either path.
+        let mut lia = Lia::new();
+        let paths = [p(10.0, 0.1), p(10.0, 0.1)];
+        let inc = lia.on_ack(&paths, 0);
+        assert!((inc - 1.0 / 40.0).abs() < 1e-12);
+        assert_eq!(inc, lia.on_ack(&paths, 1));
+    }
+
+    #[test]
+    fn cap_binds_on_tiny_window_path() {
+        // A path with a very small window: 1/w_r is huge there, so the
+        // coupled term binds; on a large-window path the 1/w cap can bind.
+        let mut lia = Lia::new();
+        let paths = [p(100.0, 0.1), p(1.0, 0.1)];
+        let coupled = Lia::coupled_term(&paths);
+        assert!(lia.on_ack(&paths, 1) <= 1.0);
+        assert_eq!(lia.on_ack(&paths, 1), coupled.min(1.0));
+        assert_eq!(lia.on_ack(&paths, 0), coupled.min(1.0 / 100.0));
+    }
+
+    #[test]
+    fn never_more_aggressive_than_reno_on_any_path() {
+        // Design goal 2 at the increase level.
+        let mut lia = Lia::new();
+        let paths = [p(3.0, 0.05), p(7.0, 0.3), p(1.0, 0.15)];
+        for i in 0..3 {
+            assert!(lia.on_ack(&paths, i) <= 1.0 / paths[i].cwnd + 1e-15);
+        }
+    }
+
+    #[test]
+    fn rtt_compensation_favors_short_rtt_max() {
+        // The numerator picks max w_i/rtt_i²: shrinking one path's RTT raises
+        // every path's coupled increase.
+        let slow = [p(10.0, 0.2), p(10.0, 0.2)];
+        let fast = [p(10.0, 0.05), p(10.0, 0.2)];
+        assert!(Lia::coupled_term(&fast) > Lia::coupled_term(&slow));
+    }
+
+    #[test]
+    fn unestablished_paths_ignored() {
+        let mut lia = Lia::new();
+        let mut paths = [p(10.0, 0.1), p(10.0, 0.1)];
+        paths[1].established = false;
+        // Behaves exactly like a single path.
+        assert!((lia.on_ack(&paths, 0) - 0.1).abs() < 1e-12);
+        assert_eq!(lia.on_ack(&paths, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_or_zero_denominator_safe() {
+        let mut paths = [p(0.0, 0.1)];
+        assert_eq!(Lia::coupled_term(&paths), 0.0);
+        paths[0].established = false;
+        assert_eq!(Lia::coupled_term(&paths), 0.0);
+    }
+
+    proptest! {
+        /// On every path the increase is in (0, 1/w_r] for positive windows.
+        #[test]
+        fn prop_bounded_by_reno(
+            w1 in 1.0_f64..1e4, w2 in 1.0_f64..1e4,
+            rtt1 in 0.01_f64..1.0, rtt2 in 0.01_f64..1.0,
+        ) {
+            let mut lia = Lia::new();
+            let paths = [p(w1, rtt1), p(w2, rtt2)];
+            for i in 0..2 {
+                let inc = lia.on_ack(&paths, i);
+                prop_assert!(inc > 0.0);
+                prop_assert!(inc <= 1.0 / paths[i].cwnd + 1e-12);
+            }
+        }
+
+        /// The fixed-point structure behind Eq. (2): with equal RTTs the
+        /// coupled term equals (max_i w_i) / (rtt · Σ_i w_i)² · rtt⁻⁰... i.e.
+        /// scaling all windows by λ scales the term by 1/λ.
+        #[test]
+        fn prop_scale_invariance(
+            w1 in 1.0_f64..1e3, w2 in 1.0_f64..1e3, lambda in 1.0_f64..50.0,
+        ) {
+            let a = [p(w1, 0.1), p(w2, 0.1)];
+            let b = [p(w1 * lambda, 0.1), p(w2 * lambda, 0.1)];
+            let ta = Lia::coupled_term(&a);
+            let tb = Lia::coupled_term(&b);
+            prop_assert!((tb * lambda - ta).abs() <= 1e-9 * ta.abs().max(1.0));
+        }
+    }
+}

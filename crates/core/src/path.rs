@@ -1,0 +1,120 @@
+//! The per-path snapshot that congestion-control algorithms consume.
+
+/// A snapshot of one subflow's congestion state, in the units the paper's
+/// equations use.
+///
+/// The transport layer (crate `tcpsim`) maintains these values; the
+/// algorithms in this crate never mutate them — they only compute window
+/// adjustments from them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathView {
+    /// Congestion window in MSS units (`w_r` in the paper). May be
+    /// fractional: per-ACK increases of LIA/OLIA are sub-MSS.
+    pub cwnd: f64,
+    /// Smoothed round-trip time in seconds (`rtt_r`).
+    pub rtt: f64,
+    /// ℓ_r from §IV-A/§IV-B, in MSS units: the larger of (bytes ACKed between
+    /// the last two losses) and (bytes ACKed since the last loss). `1/ℓ_r`
+    /// estimates the path's loss probability.
+    pub ell: f64,
+    /// Whether the subflow is established and usable. Paths that are not
+    /// established are invisible to the algorithms (they do not count in
+    /// `|R_u|` nor in any sum).
+    pub established: bool,
+}
+
+impl PathView {
+    /// A freshly-established path with the initial window.
+    pub fn fresh(cwnd: f64, rtt: f64) -> Self {
+        PathView {
+            cwnd,
+            rtt,
+            ell: 0.0,
+            established: true,
+        }
+    }
+
+    /// `w_r / rtt_r` — the path's transmission rate in MSS/s.
+    pub fn rate(&self) -> f64 {
+        self.cwnd / self.rtt
+    }
+
+    /// `w_r / rtt_r²` — the numerator of the coupled increase terms.
+    pub fn rate_over_rtt(&self) -> f64 {
+        self.cwnd / (self.rtt * self.rtt)
+    }
+
+    /// `ℓ_r / rtt_r²` — the path-quality measure that defines the set `B(t)`
+    /// of presumably-best paths (Eq. 4). Proportional to the square of the
+    /// rate a regular TCP would achieve on this path (√(2ℓ_r)/rtt_r).
+    pub fn quality(&self) -> f64 {
+        self.ell / (self.rtt * self.rtt)
+    }
+
+    /// Sanity predicate used by debug assertions in the algorithms.
+    pub fn is_valid(&self) -> bool {
+        self.cwnd.is_finite()
+            && self.cwnd >= 0.0
+            && self.rtt.is_finite()
+            && self.rtt > 0.0
+            && self.ell.is_finite()
+            && self.ell >= 0.0
+    }
+}
+
+/// Sum of `w_p / rtt_p` over established paths — the denominator base of
+/// Eq. (1) and Eq. (5).
+pub(crate) fn total_rate(paths: &[PathView]) -> f64 {
+    paths
+        .iter()
+        .filter(|p| p.established)
+        .map(|p| p.rate())
+        .sum()
+}
+
+/// Number of established paths — `|R_u|` in the paper.
+pub(crate) fn num_established(paths: &[PathView]) -> usize {
+    paths.iter().filter(|p| p.established).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let p = PathView {
+            cwnd: 10.0,
+            rtt: 0.1,
+            ell: 50.0,
+            established: true,
+        };
+        assert!((p.rate() - 100.0).abs() < 1e-12);
+        assert!((p.rate_over_rtt() - 1000.0).abs() < 1e-12);
+        assert!((p.quality() - 5000.0).abs() < 1e-12);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn totals_skip_unestablished() {
+        let a = PathView::fresh(10.0, 0.1);
+        let mut b = PathView::fresh(20.0, 0.2);
+        b.established = false;
+        let paths = [a, b];
+        assert!((total_rate(&paths) - 100.0).abs() < 1e-12);
+        assert_eq!(num_established(&paths), 1);
+    }
+
+    #[test]
+    fn invalid_paths_detected() {
+        let mut p = PathView::fresh(1.0, 0.1);
+        p.rtt = 0.0;
+        assert!(!p.is_valid());
+        p.rtt = 0.1;
+        p.cwnd = f64::NAN;
+        assert!(!p.is_valid());
+        p.cwnd = 1.0;
+        p.ell = -1.0;
+        assert!(!p.is_valid());
+    }
+}

@@ -1,0 +1,91 @@
+//! A simulated "theoretical optimum with probing cost" (§III-A).
+//!
+//! Not one of the paper's deployable algorithms — an *oracle baseline* that
+//! does exactly what the paper's optimum assumes: run regular TCP on the
+//! presumably-best path (largest `ℓ_r/rtt_r²`) and hold every other path at
+//! the 1-MSS probing floor. The experiment binaries use it to show how close
+//! OLIA comes to the bound in the same packet-level environment where the
+//! bound's closed form makes idealized assumptions.
+
+use crate::cc::MultipathCc;
+use crate::olia::best_paths;
+use crate::path::PathView;
+
+/// Oracle baseline: Reno on the best path, 1-MSS floor elsewhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimumProbe;
+
+impl OptimumProbe {
+    /// Create the oracle controller.
+    pub fn new() -> Self {
+        OptimumProbe
+    }
+}
+
+impl MultipathCc for OptimumProbe {
+    fn name(&self) -> &'static str {
+        "optimum-probe"
+    }
+
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        let me = &paths[idx];
+        debug_assert!(me.is_valid());
+        if !me.established || me.cwnd <= 0.0 {
+            return 0.0;
+        }
+        let best = best_paths(paths);
+        if best.contains(&idx) {
+            // Regular TCP on the chosen path.
+            1.0 / me.cwnd
+        } else {
+            // Snap the window back to the probing floor.
+            (1.0 - me.cwnd).min(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cwnd: f64, ell: f64) -> PathView {
+        PathView {
+            cwnd,
+            rtt: 0.15,
+            ell,
+            established: true,
+        }
+    }
+
+    #[test]
+    fn reno_on_best_path() {
+        let mut o = OptimumProbe::new();
+        let paths = [p(10.0, 500.0), p(4.0, 20.0)];
+        assert!((o.on_ack(&paths, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snaps_non_best_to_floor() {
+        let mut o = OptimumProbe::new();
+        let paths = [p(10.0, 500.0), p(4.0, 20.0)];
+        // Non-best path with w=4: increase of (1-4) = -3 snaps toward 1.
+        assert!((o.on_ack(&paths, 1) + 3.0).abs() < 1e-12);
+        // Already at the floor: no change.
+        let floor = [p(10.0, 500.0), p(1.0, 20.0)];
+        assert_eq!(o.on_ack(&floor, 1), 0.0);
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut o = OptimumProbe::new();
+        let paths = [p(10.0, 500.0), p(1.0, 20.0)];
+        assert_eq!(o.on_loss(&paths, 0), 5.0);
+    }
+
+    #[test]
+    fn single_path_is_plain_reno() {
+        let mut o = OptimumProbe::new();
+        let paths = [p(8.0, 100.0)];
+        assert!((o.on_ack(&paths, 0) - 0.125).abs() < 1e-12);
+    }
+}

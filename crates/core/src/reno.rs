@@ -1,0 +1,90 @@
+//! Regular TCP Reno congestion avoidance (the single-path baseline).
+
+use crate::cc::MultipathCc;
+use crate::path::PathView;
+
+/// Regular TCP's AIMD congestion avoidance: `+1/w` per ACK, `w/2` on loss.
+///
+/// Used for every single-path competitor in the paper's scenarios (type2
+/// users in Scenario A, single-path users in Scenario C, short flows in the
+/// data-center experiments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reno;
+
+impl Reno {
+    /// Create a Reno controller.
+    pub fn new() -> Self {
+        Reno
+    }
+}
+
+impl MultipathCc for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn on_ack(&mut self, paths: &[PathView], idx: usize) -> f64 {
+        let w = paths[idx].cwnd;
+        debug_assert!(paths[idx].is_valid());
+        if w <= 0.0 {
+            return 0.0;
+        }
+        1.0 / w
+    }
+
+    fn is_coupled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_over_w() {
+        let mut r = Reno::new();
+        let paths = [PathView::fresh(10.0, 0.1)];
+        assert!((r.on_ack(&paths, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_window_of_acks_adds_one_mss() {
+        // The defining AIMD property: w ACKs each adding 1/w grow the window
+        // by ~1 MSS per RTT.
+        let mut r = Reno::new();
+        let mut w = 8.0_f64;
+        let acks = w as usize;
+        for _ in 0..acks {
+            let paths = [PathView::fresh(w, 0.1)];
+            w += r.on_ack(&paths, 0);
+        }
+        assert!((w - 9.0).abs() < 0.08, "w = {w}");
+    }
+
+    #[test]
+    fn zero_window_is_inert() {
+        let mut r = Reno::new();
+        let mut p = PathView::fresh(0.0, 0.1);
+        p.ell = 0.0;
+        assert_eq!(r.on_ack(&[p], 0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_increase_positive_and_bounded(w in 1.0_f64..1e6) {
+            let mut r = Reno::new();
+            let paths = [PathView::fresh(w, 0.2)];
+            let inc = r.on_ack(&paths, 0);
+            prop_assert!(inc > 0.0 && inc <= 1.0);
+        }
+
+        #[test]
+        fn prop_loss_halves(w in 2.0_f64..1e6) {
+            let mut r = Reno::new();
+            let paths = [PathView::fresh(w, 0.2)];
+            prop_assert!((r.on_loss(&paths, 0) - w / 2.0).abs() < 1e-9);
+        }
+    }
+}

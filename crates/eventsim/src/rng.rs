@@ -1,0 +1,197 @@
+//! Seeded randomness for reproducible simulations.
+//!
+//! Every stochastic decision in the reproduction (flow start jitter, RED
+//! drops, ECMP path choice, Poisson arrivals) draws from a [`SimRng`] seeded
+//! from the experiment configuration, so each run is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG for simulations, plus the distribution helpers the
+/// paper's workloads need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG; `stream` distinguishes siblings.
+    ///
+    /// Used to give each flow / queue its own stream so adding one component
+    /// does not perturb the randomness seen by the others.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix the parent's next output with the stream id (splitmix64-style
+        // finalizer) so forks with different ids are decorrelated.
+        let mut z = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::seed_from_u64(z)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean (Poisson
+    /// inter-arrival times for the short-flow workload, §VI-B.2).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle (random permutation traffic matrices, §VI-B.1).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random derangement-ish permutation used for FatTree permutation
+    /// traffic: each host sends to a distinct host, never itself.
+    ///
+    /// Returns `perm` where `perm[i]` is the destination of host `i`.
+    pub fn permutation_no_fixpoint(&mut self, n: usize) -> Vec<usize> {
+        assert!(n >= 2, "need at least two hosts");
+        loop {
+            let mut p: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut p);
+            if p.iter().enumerate().all(|(i, &d)| i != d) {
+                return p;
+            }
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                rand::RngCore::next_u64(&mut a),
+                rand::RngCore::next_u64(&mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = SimRng::seed_from_u64(1);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let s1: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut c1)).collect();
+        let s2: Vec<u64> = (0..8).map(|_| rand::RngCore::next_u64(&mut c2)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = 0.2;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() < 0.01,
+            "empirical mean {emp} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn permutation_has_no_fixed_points() {
+        let mut r = SimRng::seed_from_u64(5);
+        for n in [2usize, 3, 16, 128] {
+            let p = r.permutation_no_fixpoint(n);
+            assert_eq!(p.len(), n);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "must be a permutation");
+            assert!(p.iter().enumerate().all(|(i, &d)| i != d));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_below_in_range(seed in any::<u64>(), n in 1usize..1000) {
+            let mut r = SimRng::seed_from_u64(seed);
+            let v = r.below(n);
+            prop_assert!(v < n);
+        }
+
+        #[test]
+        fn prop_f64_unit_interval(seed in any::<u64>()) {
+            let mut r = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let x = r.f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn prop_shuffle_is_permutation(seed in any::<u64>(), n in 0usize..64) {
+            let mut r = SimRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..n).collect();
+            r.shuffle(&mut v);
+            let mut s = v.clone();
+            s.sort_unstable();
+            prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

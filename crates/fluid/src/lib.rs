@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Analytical models from *"MPTCP is not Pareto-Optimal"* (Khalili et al.,
+//! CoNEXT 2012).
+//!
+//! This crate implements the paper's mathematics end to end:
+//!
+//! * the **fixed-point analyses** of Scenario A (Appendix A), Scenario B
+//!   (Appendix B), and Scenario C (§III-C) for MPTCP with LIA — the solid
+//!   analytic curves of Figs. 1, 4 and 5;
+//! * the **theoretical optimum with probing cost** for each scenario — the
+//!   window-based optimality baseline the paper introduces (a minimum of one
+//!   MSS per RTT flows on every established path), which is also OLIA's
+//!   predicted equilibrium by Theorems 1 and 4;
+//! * the **fluid model of OLIA** (Eq. 8, the differential-inclusion form of
+//!   Eq. 7) on arbitrary networks, integrated numerically, together with LIA
+//!   and uncoupled fluid dynamics for comparison;
+//! * the **utility functions** V and V* (Eq. 17) and the congestion cost
+//!   C(x), used to verify Pareto-optimality (Theorem 3) and TCP
+//!   compatibility (Theorem 4) numerically.
+//!
+//! Units: throughout this crate rates are **MSS per second**, times are
+//! seconds, and loss probabilities are dimensionless. Conversions from Mb/s
+//! (`mss_per_s = bps / (8 · MSS)`) are the caller's concern; helpers in
+//! [`units`] cover the common cases.
+
+pub mod ode;
+pub mod roots;
+pub mod scenario_a;
+pub mod scenario_b;
+pub mod scenario_c;
+pub mod units;
+pub mod utility;

@@ -1,0 +1,574 @@
+//! The fluid (differential-inclusion) model of OLIA — Eq. (8) of §V — and
+//! fluid counterparts of LIA and uncoupled TCP, integrated numerically on
+//! arbitrary networks.
+//!
+//! Rates `x_r` are in MSS/s; windows are `w_r = x_r · rtt_r`. Per route:
+//!
+//! ```text
+//!  OLIA:      dx_r/dt = x_r²·( 1/(rtt_r²(Σ_p x_p)²) − p_r/2 ) + ᾱ_r/rtt_r²
+//!  LIA:       dw_r/dt = x_r·min( max_i(x_i/rtt_i)/(Σx)², 1/w_r ) − p_r·x_r·w_r/2
+//!  Uncoupled: dx_r/dt = 1/rtt_r² − p_r·x_r²/2          (classic TCP fluid)
+//! ```
+//!
+//! Links either have a *fixed* loss probability (to validate against the
+//! closed-form fixed points of `mpsim_core::formulas`) or a load-dependent
+//! loss `p(y) = p_cap · (y/C)^m` with a large exponent — the "sharp around
+//! C" regime of Remark 1, under which Theorem 3's Pareto statement becomes a
+//! capacity-constrained one.
+
+use mpsim_core::PathView;
+
+/// One link of the fluid network.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidLink {
+    /// Capacity in MSS/s (ignored when `fixed_loss` is set).
+    pub capacity: f64,
+    /// If set, the link's loss probability is this constant.
+    pub fixed_loss: Option<f64>,
+}
+
+impl FluidLink {
+    /// A capacity-constrained link.
+    pub fn with_capacity(capacity: f64) -> FluidLink {
+        assert!(capacity > 0.0, "capacity must be positive");
+        FluidLink {
+            capacity,
+            fixed_loss: None,
+        }
+    }
+
+    /// A link with a pinned loss probability (formula validation).
+    pub fn with_fixed_loss(p: f64) -> FluidLink {
+        assert!((0.0..1.0).contains(&p), "loss must be in [0,1)");
+        FluidLink {
+            capacity: f64::INFINITY,
+            fixed_loss: Some(p),
+        }
+    }
+}
+
+/// One route of one user: the links it crosses and its RTT.
+#[derive(Debug, Clone)]
+pub struct FluidRoute {
+    /// Indices into the network's link vector.
+    pub links: Vec<usize>,
+    /// Round-trip time, seconds.
+    pub rtt: f64,
+}
+
+/// One user: a set of routes whose increases are coupled.
+#[derive(Debug, Clone)]
+pub struct FluidUser {
+    /// The user's available routes (`R_u`).
+    pub routes: Vec<FluidRoute>,
+}
+
+/// Load-dependent loss: `p(y) = p_cap · (y/C)^m`, capped at 1.
+#[derive(Debug, Clone, Copy)]
+pub struct LossModel {
+    /// Loss probability when the link runs exactly at capacity.
+    pub p_at_capacity: f64,
+    /// Sharpness exponent `m` (Remark 1's "sharp around C" for large `m`).
+    pub exponent: f64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel {
+            p_at_capacity: 0.05,
+            exponent: 10.0,
+        }
+    }
+}
+
+impl LossModel {
+    /// Loss probability at load `y` on a link of capacity `c`.
+    pub fn loss(&self, y: f64, c: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        (self.p_at_capacity * (y / c).powf(self.exponent)).min(1.0)
+    }
+
+    /// `∫₀^y p(u) du` — one link's contribution to the congestion cost C(x).
+    pub fn cost_integral(&self, y: f64, c: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        // Closed form below the cap; the cap (p = 1) is only reached far
+        // above capacity, where equilibria never sit.
+        self.p_at_capacity * c / (self.exponent + 1.0) * (y / c).powf(self.exponent + 1.0)
+    }
+}
+
+/// Which fluid dynamics to integrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FluidAlgorithm {
+    /// Eq. (8): Kelly–Voice term + ᾱ.
+    Olia,
+    /// The LIA fluid equation.
+    Lia,
+    /// OLIA without ᾱ (the ε = 0 coupled algorithm).
+    FullyCoupled,
+    /// Independent TCP fluid per route.
+    Uncoupled,
+}
+
+/// A fluid network: links, users, and the loss model for
+/// capacity-constrained links.
+#[derive(Debug, Clone)]
+pub struct FluidNetwork {
+    /// The links.
+    pub links: Vec<FluidLink>,
+    /// The users.
+    pub users: Vec<FluidUser>,
+    /// Loss model for links without `fixed_loss`.
+    pub loss: LossModel,
+}
+
+/// Integration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidParams {
+    /// Euler step, seconds.
+    pub dt: f64,
+    /// Number of steps.
+    pub steps: usize,
+    /// Rate floor (keeps the trajectory non-degenerate, standing in for
+    /// TCP's re-establishment routines; ≈ one probe packet per long RTT).
+    pub x_min: f64,
+    /// Tie tolerance for the argmax sets B and M (relative). The fluid ᾱ of
+    /// Eq. (9) is a convex closure over exactly such neighborhoods.
+    pub tie_tol: f64,
+}
+
+impl Default for FluidParams {
+    fn default() -> Self {
+        FluidParams {
+            dt: 1e-3,
+            steps: 400_000,
+            x_min: 0.05,
+            tie_tol: 0.02,
+        }
+    }
+}
+
+/// Rates indexed `[user][route]`.
+pub type Rates = Vec<Vec<f64>>;
+
+impl FluidNetwork {
+    /// Total load on each link under rates `x`.
+    pub fn link_loads(&self, x: &Rates) -> Vec<f64> {
+        let mut loads = vec![0.0; self.links.len()];
+        for (u, user) in self.users.iter().enumerate() {
+            for (r, route) in user.routes.iter().enumerate() {
+                for &l in &route.links {
+                    loads[l] += x[u][r];
+                }
+            }
+        }
+        loads
+    }
+
+    /// Loss probability of every link at the given loads.
+    pub fn link_losses(&self, loads: &[f64]) -> Vec<f64> {
+        self.links
+            .iter()
+            .zip(loads)
+            .map(|(link, &y)| match link.fixed_loss {
+                Some(p) => p,
+                None => self.loss.loss(y, link.capacity),
+            })
+            .collect()
+    }
+
+    /// Per-route loss probabilities (small-loss additive approximation
+    /// `p_r ≈ Σ_{l∈r} p_l`, as in §V-A).
+    pub fn route_losses(&self, link_loss: &[f64]) -> Rates {
+        self.users
+            .iter()
+            .map(|user| {
+                user.routes
+                    .iter()
+                    .map(|route| {
+                        route
+                            .links
+                            .iter()
+                            .map(|&l| link_loss[l])
+                            .sum::<f64>()
+                            .min(1.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The time derivative of `x` under `alg`.
+    pub fn derivative(&self, alg: FluidAlgorithm, x: &Rates, tie_tol: f64) -> Rates {
+        let loads = self.link_loads(x);
+        let link_loss = self.link_losses(&loads);
+        let losses = self.route_losses(&link_loss);
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(u, user)| {
+                let total: f64 = x[u].iter().sum();
+                let alphas = match alg {
+                    FluidAlgorithm::Olia => fluid_alpha(&x[u], &losses[u], &user.routes, tie_tol),
+                    _ => vec![0.0; user.routes.len()],
+                };
+                user.routes
+                    .iter()
+                    .enumerate()
+                    .map(|(r, route)| {
+                        let xr = x[u][r];
+                        let rtt = route.rtt;
+                        let p = losses[u][r];
+                        match alg {
+                            FluidAlgorithm::Olia | FluidAlgorithm::FullyCoupled => {
+                                xr * xr * (1.0 / (rtt * rtt * total * total) - p / 2.0)
+                                    + alphas[r] / (rtt * rtt)
+                            }
+                            FluidAlgorithm::Uncoupled => 1.0 / (rtt * rtt) - p * xr * xr / 2.0,
+                            FluidAlgorithm::Lia => {
+                                // dw/dt = x·min(max_i(x_i/rtt_i)/(Σx)², 1/w) − p·x·w/2
+                                let w = xr * rtt;
+                                let num = user
+                                    .routes
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, ri)| x[u][i] / ri.rtt)
+                                    .fold(0.0_f64, f64::max);
+                                let inc = (num / (total * total)).min(1.0 / w);
+                                (xr * inc - p * xr * w / 2.0) / rtt
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Integrate forward with explicit Euler, flooring rates at `x_min`.
+    /// Returns the final state.
+    pub fn integrate(&self, alg: FluidAlgorithm, x0: &Rates, params: &FluidParams) -> Rates {
+        let mut x = x0.clone();
+        self.validate_state(&x);
+        for _ in 0..params.steps {
+            let dx = self.derivative(alg, &x, params.tie_tol);
+            for u in 0..x.len() {
+                for r in 0..x[u].len() {
+                    x[u][r] = (x[u][r] + params.dt * dx[u][r]).max(params.x_min);
+                }
+            }
+        }
+        x
+    }
+
+    /// Integrate and return the time-average of the final quarter of the
+    /// trajectory — robust to the bounded chattering the differential
+    /// inclusion allows around the argmax switching surfaces.
+    pub fn equilibrium(&self, alg: FluidAlgorithm, x0: &Rates, params: &FluidParams) -> Rates {
+        let mut x = x0.clone();
+        self.validate_state(&x);
+        let tail_start = params.steps - params.steps / 4;
+        let mut acc: Rates = x.iter().map(|u| vec![0.0; u.len()]).collect();
+        let mut samples = 0u64;
+        for step in 0..params.steps {
+            let dx = self.derivative(alg, &x, params.tie_tol);
+            for u in 0..x.len() {
+                for r in 0..x[u].len() {
+                    x[u][r] = (x[u][r] + params.dt * dx[u][r]).max(params.x_min);
+                }
+            }
+            if step >= tail_start {
+                for u in 0..x.len() {
+                    for r in 0..x[u].len() {
+                        acc[u][r] += x[u][r];
+                    }
+                }
+                samples += 1;
+            }
+        }
+        for u in &mut acc {
+            for v in u.iter_mut() {
+                *v /= samples as f64;
+            }
+        }
+        acc
+    }
+
+    fn validate_state(&self, x: &Rates) {
+        assert_eq!(x.len(), self.users.len(), "rate vector shape mismatch");
+        for (u, user) in self.users.iter().enumerate() {
+            assert_eq!(
+                x[u].len(),
+                user.routes.len(),
+                "user {u} rate vector shape mismatch"
+            );
+        }
+    }
+}
+
+/// ᾱ for the fluid model (Eq. 9): the paper's α (Eq. 6) with `ℓ_r`
+/// replaced by its average `1/p_r`, and ties resolved within a relative
+/// band — the convex-closure neighborhoods of Appendix C.
+///
+/// Reuses [`mpsim_core::alpha_values`]' semantics via `PathView` when the
+/// band is tight; a wider band keeps the Euler integration from chattering
+/// hard on the switching surface.
+pub fn fluid_alpha(x: &[f64], losses: &[f64], routes: &[FluidRoute], tie_tol: f64) -> Vec<f64> {
+    let n = routes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Windows and qualities as mpsim-core sees them.
+    let views: Vec<PathView> = (0..n)
+        .map(|r| PathView {
+            cwnd: x[r] * routes[r].rtt,
+            rtt: routes[r].rtt,
+            ell: 1.0 / losses[r].max(1e-12),
+            established: true,
+        })
+        .collect();
+    let in_band = |vals: &[f64]| -> Vec<bool> {
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        vals.iter().map(|&v| v >= max * (1.0 - tie_tol)).collect()
+    };
+    let m_set = in_band(&views.iter().map(|v| v.cwnd).collect::<Vec<_>>());
+    let b_set = in_band(&views.iter().map(|v| v.quality()).collect::<Vec<_>>());
+    let b_minus_m: Vec<usize> = (0..n).filter(|&r| b_set[r] && !m_set[r]).collect();
+    let mut alpha = vec![0.0; n];
+    if b_minus_m.is_empty() {
+        return alpha;
+    }
+    let m_count = m_set.iter().filter(|&&b| b).count();
+    for &r in &b_minus_m {
+        alpha[r] = 1.0 / (n as f64 * b_minus_m.len() as f64);
+    }
+    for r in 0..n {
+        if m_set[r] {
+            alpha[r] = -1.0 / (n as f64 * m_count as f64);
+        }
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim_core::formulas::{lia_rates, olia_rates, tcp_rate, PathChar};
+
+    fn one_user(links: Vec<FluidLink>, routes: Vec<Vec<usize>>, rtt: f64) -> FluidNetwork {
+        FluidNetwork {
+            links,
+            users: vec![FluidUser {
+                routes: routes
+                    .into_iter()
+                    .map(|links| FluidRoute { links, rtt })
+                    .collect(),
+            }],
+            loss: LossModel::default(),
+        }
+    }
+
+    #[test]
+    fn loss_model_shape() {
+        let m = LossModel::default();
+        assert_eq!(m.loss(0.0, 100.0), 0.0);
+        assert!((m.loss(100.0, 100.0) - 0.05).abs() < 1e-12);
+        assert!(m.loss(50.0, 100.0) < 1e-3);
+        assert!(m.loss(120.0, 100.0) > 0.05);
+        // cost integral is increasing and convex-ish.
+        assert!(m.cost_integral(80.0, 100.0) < m.cost_integral(100.0, 100.0));
+    }
+
+    #[test]
+    fn uncoupled_fluid_matches_tcp_formula() {
+        // Single route with pinned loss: equilibrium of dx = 1/rtt² − px²/2
+        // is √(2/p)/rtt.
+        let p = 0.01;
+        let rtt = 0.15;
+        let net = one_user(vec![FluidLink::with_fixed_loss(p)], vec![vec![0]], rtt);
+        let x = net.integrate(
+            FluidAlgorithm::Uncoupled,
+            &vec![vec![1.0]],
+            &FluidParams::default(),
+        );
+        let expect = tcp_rate(p, rtt);
+        assert!(
+            (x[0][0] - expect).abs() < 0.01 * expect,
+            "{} vs {}",
+            x[0][0],
+            expect
+        );
+    }
+
+    #[test]
+    fn lia_fluid_matches_eq2_fixed_point() {
+        // Two pinned-loss paths: the LIA fluid equilibrium must match the
+        // loss-throughput formula (Eq. 2).
+        let (p1, p2, rtt) = (0.01, 0.03, 0.15);
+        let net = one_user(
+            vec![
+                FluidLink::with_fixed_loss(p1),
+                FluidLink::with_fixed_loss(p2),
+            ],
+            vec![vec![0], vec![1]],
+            rtt,
+        );
+        let x = net.integrate(
+            FluidAlgorithm::Lia,
+            &vec![vec![10.0, 10.0]],
+            &FluidParams::default(),
+        );
+        let expect = lia_rates(&[PathChar::new(p1, rtt), PathChar::new(p2, rtt)]);
+        for r in 0..2 {
+            assert!(
+                (x[0][r] - expect[r]).abs() < 0.02 * expect[r],
+                "path {r}: {} vs {}",
+                x[0][r],
+                expect[r]
+            );
+        }
+    }
+
+    #[test]
+    fn olia_fluid_uses_only_best_path_with_pinned_losses() {
+        // Theorem 1 on pinned losses: all traffic on the lower-loss path,
+        // total = TCP rate there.
+        let (p1, p2, rtt) = (0.005, 0.05, 0.15);
+        let net = one_user(
+            vec![
+                FluidLink::with_fixed_loss(p1),
+                FluidLink::with_fixed_loss(p2),
+            ],
+            vec![vec![0], vec![1]],
+            rtt,
+        );
+        let params = FluidParams::default();
+        let x = net.equilibrium(FluidAlgorithm::Olia, &vec![vec![5.0, 5.0]], &params);
+        let expect = olia_rates(&[PathChar::new(p1, rtt), PathChar::new(p2, rtt)]);
+        assert!(
+            (x[0][0] - expect[0]).abs() < 0.03 * expect[0],
+            "best path: {} vs {}",
+            x[0][0],
+            expect[0]
+        );
+        assert!(
+            x[0][1] <= params.x_min * 4.0,
+            "congested path should idle at the floor, got {}",
+            x[0][1]
+        );
+    }
+
+    #[test]
+    fn olia_fluid_balances_equal_paths_without_flapping() {
+        // Two identical capacity links: OLIA should end up splitting
+        // roughly evenly (B = M = both ⇒ ᾱ = 0 at the symmetric point).
+        let c = 100.0;
+        let net = one_user(
+            vec![FluidLink::with_capacity(c), FluidLink::with_capacity(c)],
+            vec![vec![0], vec![1]],
+            0.1,
+        );
+        let x = net.equilibrium(
+            FluidAlgorithm::Olia,
+            &vec![vec![30.0, 10.0]], // asymmetric start
+            &FluidParams::default(),
+        );
+        let ratio = x[0][0] / x[0][1];
+        assert!(
+            (0.55..=1.8).contains(&ratio),
+            "split should be near-even, got {} / {}",
+            x[0][0],
+            x[0][1]
+        );
+    }
+
+    #[test]
+    fn olia_favors_low_rtt_path_remark3() {
+        // Remark 3: OLIA's utility Σ x_r/rtt_r² favors small-RTT paths. Two
+        // pinned-loss paths with equal loss: the best set B is the low-RTT
+        // path (quality ℓ/rtt²), so the equilibrium concentrates there at
+        // that path's TCP rate.
+        let p = 0.01;
+        let net = FluidNetwork {
+            links: vec![FluidLink::with_fixed_loss(p), FluidLink::with_fixed_loss(p)],
+            users: vec![FluidUser {
+                routes: vec![
+                    FluidRoute {
+                        links: vec![0],
+                        rtt: 0.05,
+                    },
+                    FluidRoute {
+                        links: vec![1],
+                        rtt: 0.2,
+                    },
+                ],
+            }],
+            loss: LossModel::default(),
+        };
+        let params = FluidParams::default();
+        let x = net.equilibrium(FluidAlgorithm::Olia, &vec![vec![50.0, 50.0]], &params);
+        let expect = (2.0 / p).sqrt() / 0.05;
+        assert!(
+            (x[0][0] - expect).abs() < 0.05 * expect,
+            "low-RTT path: {} vs {}",
+            x[0][0],
+            expect
+        );
+        assert!(
+            x[0][1] < 0.05 * x[0][0],
+            "high-RTT path should idle: {} vs {}",
+            x[0][1],
+            x[0][0]
+        );
+    }
+
+    #[test]
+    fn fluid_alpha_agrees_with_core_alpha_on_separated_states() {
+        let routes = vec![
+            FluidRoute {
+                links: vec![0],
+                rtt: 0.1,
+            },
+            FluidRoute {
+                links: vec![1],
+                rtt: 0.1,
+            },
+        ];
+        let x = [50.0, 10.0];
+        let losses = [0.05, 0.001]; // route 1 is clearly best, route 0 has max window
+        let a = fluid_alpha(&x, &losses, &routes, 1e-9);
+        let views: Vec<PathView> = (0..2)
+            .map(|r| PathView {
+                cwnd: x[r] * 0.1,
+                rtt: 0.1,
+                ell: 1.0 / losses[r],
+                established: true,
+            })
+            .collect();
+        let b = mpsim_core::alpha_values(&views);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derivative_shapes_and_validation() {
+        let net = one_user(vec![FluidLink::with_capacity(10.0)], vec![vec![0]], 0.1);
+        let dx = net.derivative(FluidAlgorithm::Olia, &vec![vec![1.0]], 0.01);
+        assert_eq!(dx.len(), 1);
+        assert_eq!(dx[0].len(), 1);
+        assert!(dx[0][0] > 0.0, "an unloaded link invites growth");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_panics() {
+        let net = one_user(vec![FluidLink::with_capacity(10.0)], vec![vec![0]], 0.1);
+        net.integrate(
+            FluidAlgorithm::Olia,
+            &vec![vec![1.0, 2.0]],
+            &FluidParams::default(),
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Root finding for the scenario fixed-point equations.
+//!
+//! Every equation the paper derives (Eq. 10, the Scenario B quadratic and
+//! quintic, the Scenario C cubic) has a unique positive root of a function
+//! that is strictly increasing on the bracket — plain bisection is exact
+//! enough and unconditionally robust.
+
+/// Find the root of `f` (strictly increasing with `f(lo) ≤ 0 ≤ f(hi)`) by
+/// bisection to absolute tolerance `tol`.
+///
+/// Panics if the bracket does not straddle the root.
+pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    let flo = f(lo);
+    let fhi = f(hi);
+    assert!(
+        flo <= 0.0 && fhi >= 0.0,
+        "bracket does not straddle the root: f({lo})={flo}, f({hi})={fhi}"
+    );
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Expand `hi` geometrically until `f(hi) ≥ 0`, then bisect. For increasing
+/// functions with `f(lo) ≤ 0` and an unknown upper bound.
+pub fn bisect_unbounded(lo: f64, tol: f64, f: impl Fn(f64) -> f64) -> f64 {
+    let mut hi = lo.max(1e-6) * 2.0 + 1.0;
+    let mut guard = 0;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        guard += 1;
+        assert!(guard < 200, "no sign change found up to {hi}");
+    }
+    bisect(lo, hi, tol, f)
+}
+
+/// Evaluate a polynomial with coefficients in ascending order
+/// (`coeffs[i]` multiplies `x^i`) by Horner's rule.
+pub fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(0.0, 2.0, 1e-12, |x| x * x - 2.0);
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_unbounded_finds_large_roots() {
+        let r = bisect_unbounded(0.0, 1e-9, |x| x - 12345.0);
+        assert!((r - 12345.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle")]
+    fn bad_bracket_panics() {
+        bisect(3.0, 4.0, 1e-9, |x| x * x - 2.0);
+    }
+
+    #[test]
+    fn horner_matches_direct() {
+        // 1 + 2x + 3x² at x = 2 → 1 + 4 + 12 = 17.
+        assert_eq!(poly_eval(&[1.0, 2.0, 3.0], 2.0), 17.0);
+        assert_eq!(poly_eval(&[], 5.0), 0.0);
+        assert_eq!(poly_eval(&[7.0], 5.0), 7.0);
+    }
+
+    proptest! {
+        /// Bisection recovers the root of (x - r) for arbitrary r.
+        #[test]
+        fn prop_bisect_linear(r in -100.0_f64..100.0) {
+            let root = bisect(r - 50.0, r + 50.0, 1e-10, |x| x - r);
+            prop_assert!((root - r).abs() < 1e-8);
+        }
+
+        /// Cubic z³ + az² + z − b (the Scenario C family) has its unique
+        /// positive root found, and plugging back gives ≈ 0.
+        #[test]
+        fn prop_scenario_c_cubic(a in 0.0_f64..10.0, b in 0.01_f64..10.0) {
+            let f = |z: f64| poly_eval(&[-b, 1.0, a, 1.0], z);
+            let z = bisect_unbounded(0.0, 1e-12, f);
+            prop_assert!(z > 0.0);
+            prop_assert!(f(z).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-point analysis of Scenario A (§III-A, Appendix A).
+//!
+//! N1 type1 users stream through a server link of capacity `N1·C1` and may
+//! add a second path through a shared AP of capacity `N2·C2`, where N2 type2
+//! TCP users live. With LIA, the fixed point is characterized by
+//! `z = √(p1/p2)` solving (Eq. 10)
+//!
+//! ```text
+//!   z + z²/(1+2z²) · N1/N2 = C2/C1
+//! ```
+//!
+//! The normalized type1 throughput is always 1 (capped by the server); the
+//! type2 throughput is `y/C2 = z·C1/C2`. The theoretical optimum with
+//! probing cost (Appendix A.2) leaves `y = C2 − (N1/N2)·MSS/rtt` — which is
+//! also OLIA's predicted operating point (Theorem 1).
+
+use crate::roots::bisect;
+use crate::units::{loss_at_rate, mbps_to_mss, probe_rate};
+
+/// Inputs of the Scenario A analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioAInputs {
+    /// Number of type1 (multipath) users.
+    pub n1: f64,
+    /// Number of type2 (TCP) users.
+    pub n2: f64,
+    /// Per-user server capacity, Mb/s.
+    pub c1_mbps: f64,
+    /// Per-user shared-AP capacity, Mb/s.
+    pub c2_mbps: f64,
+    /// Common round-trip time, seconds (paper: ≈150 ms with queueing).
+    pub rtt_s: f64,
+}
+
+impl ScenarioAInputs {
+    /// The paper's grid point: `N2 = 10`, `C2 = 1` Mb/s, rtt 150 ms.
+    pub fn paper(n1_over_n2: f64, c1_over_c2: f64) -> ScenarioAInputs {
+        ScenarioAInputs {
+            n1: 10.0 * n1_over_n2,
+            n2: 10.0,
+            c1_mbps: c1_over_c2,
+            c2_mbps: 1.0,
+            rtt_s: 0.15,
+        }
+    }
+}
+
+/// The analytic predictions for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioAPrediction {
+    /// Normalized type1 throughput `(x1+x2)/C1`.
+    pub type1_norm: f64,
+    /// Normalized type2 throughput `y/C2`.
+    pub type2_norm: f64,
+    /// Loss probability at the server link.
+    pub p1: f64,
+    /// Loss probability at the shared AP.
+    pub p2: f64,
+}
+
+/// LIA's fixed point (Appendix A.1).
+pub fn lia(inp: &ScenarioAInputs) -> ScenarioAPrediction {
+    let ratio_users = inp.n1 / inp.n2;
+    let ratio_caps = inp.c2_mbps / inp.c1_mbps;
+    // Eq. 10: strictly increasing in z; root lies in (0, C2/C1].
+    let z = bisect(0.0, ratio_caps + 1e-9, 1e-12, |z| {
+        z + z * z / (1.0 + 2.0 * z * z) * ratio_users - ratio_caps
+    });
+    let c1 = mbps_to_mss(inp.c1_mbps);
+    let p1 = loss_at_rate(c1, inp.rtt_s);
+    ScenarioAPrediction {
+        type1_norm: 1.0,
+        type2_norm: z / ratio_caps,
+        p1,
+        p2: p1 / (z * z),
+    }
+}
+
+/// The theoretical optimum with probing cost (Appendix A.2): type1 users put
+/// exactly one MSS per RTT on the shared path.
+pub fn optimal_with_probing(inp: &ScenarioAInputs) -> ScenarioAPrediction {
+    let c2 = mbps_to_mss(inp.c2_mbps);
+    let probe = probe_rate(inp.rtt_s);
+    let y = (c2 - inp.n1 / inp.n2 * probe).max(0.0);
+    let c1 = mbps_to_mss(inp.c1_mbps);
+    ScenarioAPrediction {
+        type1_norm: 1.0,
+        type2_norm: y / c2,
+        p1: loss_at_rate(c1, inp.rtt_s),
+        p2: if y > 0.0 {
+            loss_at_rate(y, inp.rtt_s)
+        } else {
+            1.0
+        },
+    }
+}
+
+/// OLIA's predicted equilibrium: identical to the optimum with probing cost
+/// (Theorem 1 — only the private path carries traffic, modulo the 1-MSS
+/// probe).
+pub fn olia(inp: &ScenarioAInputs) -> ScenarioAPrediction {
+    optimal_with_probing(inp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_multipath_users_means_no_harm() {
+        // N1 → 0: z → C2/C1, type2 keeps its full rate.
+        let inp = ScenarioAInputs {
+            n1: 1e-9,
+            n2: 10.0,
+            c1_mbps: 1.0,
+            c2_mbps: 1.0,
+            rtt_s: 0.15,
+        };
+        let pred = lia(&inp);
+        assert!((pred.type2_norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_headline_numbers() {
+        // §III-A: "For N1=N2, type2 users see a decrease of about 30%...
+        // When N1=3N2, this decrease is between 50% to 60%."
+        let drop_at = |r: f64| {
+            let mut worst: f64 = 0.0;
+            let mut best: f64 = 1.0;
+            for c in [0.75, 1.0, 1.5] {
+                let pred = lia(&ScenarioAInputs::paper(r, c));
+                worst = worst.max(1.0 - pred.type2_norm);
+                best = best.min(1.0 - pred.type2_norm);
+            }
+            (best, worst)
+        };
+        let (lo1, hi1) = drop_at(1.0);
+        assert!(
+            lo1 > 0.15 && hi1 < 0.45,
+            "N1=N2 drop range [{lo1}, {hi1}] should bracket ≈30%"
+        );
+        let (lo3, hi3) = drop_at(3.0);
+        assert!(
+            lo3 > 0.40 && hi3 < 0.70,
+            "N1=3N2 drop range [{lo3}, {hi3}] should bracket 50–60%"
+        );
+    }
+
+    #[test]
+    fn measured_p1_values_reproduced() {
+        // §III-A: p1 ≈ 0.02, 0.009, 0.004 for C1 = 0.75, 1, 1.5 Mb/s. The
+        // model gives the same leading digits (the paper's are measurements).
+        for (c1, expect) in [(0.75, 0.02), (1.0, 0.013), (1.5, 0.006)] {
+            let p = lia(&ScenarioAInputs::paper(1.0, c1)).p1;
+            assert!(
+                (p - expect).abs() < expect * 0.6,
+                "C1={c1}: p1={p} vs ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_grows_with_n1() {
+        let p2 = |r| lia(&ScenarioAInputs::paper(r, 1.0)).p2;
+        assert!(p2(1.0) < p2(2.0));
+        assert!(p2(2.0) < p2(3.0));
+    }
+
+    #[test]
+    fn optimum_beats_lia_for_type2() {
+        for r in [1.0, 2.0, 3.0] {
+            for c in [0.75, 1.0, 1.5] {
+                let inp = ScenarioAInputs::paper(r, c);
+                let l = lia(&inp);
+                let o = optimal_with_probing(&inp);
+                assert!(
+                    o.type2_norm > l.type2_norm,
+                    "optimum must dominate LIA (r={r}, c={c})"
+                );
+                assert!(o.p2 < l.p2, "optimum must reduce shared-AP congestion");
+            }
+        }
+    }
+
+    #[test]
+    fn olia_equals_optimum() {
+        let inp = ScenarioAInputs::paper(2.0, 1.0);
+        let a = olia(&inp);
+        let b = optimal_with_probing(&inp);
+        assert_eq!(a.type2_norm, b.type2_norm);
+    }
+
+    proptest! {
+        /// The type2 normalized throughput is in (0, 1] and decreasing in N1.
+        #[test]
+        fn prop_type2_monotone(
+            c in 0.3_f64..3.0,
+            r1 in 0.1_f64..3.0,
+            dr in 0.1_f64..2.0,
+        ) {
+            let a = lia(&ScenarioAInputs::paper(r1, c));
+            let b = lia(&ScenarioAInputs::paper(r1 + dr, c));
+            prop_assert!(a.type2_norm > 0.0 && a.type2_norm <= 1.0 + 1e-9);
+            prop_assert!(b.type2_norm <= a.type2_norm + 1e-9);
+        }
+
+        /// Eq. 10 residual is ~0 at the computed z (recovered from p1/p2).
+        #[test]
+        fn prop_fixed_point_consistency(c in 0.3_f64..3.0, r in 0.1_f64..3.0) {
+            let inp = ScenarioAInputs::paper(r, c);
+            let pred = lia(&inp);
+            let z = (pred.p1 / pred.p2).sqrt();
+            let resid = z + z * z / (1.0 + 2.0 * z * z) * r - 1.0 / c;
+            prop_assert!(resid.abs() < 1e-6, "residual {resid}");
+        }
+    }
+}

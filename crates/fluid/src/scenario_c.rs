@@ -1,0 +1,245 @@
+//! Fixed-point analysis of Scenario C (§III-C).
+//!
+//! N1 multipath users connect to AP1 (capacity `N1·C1`) and AP2
+//! (`N2·C2`); N2 single-path users use AP2 only. With LIA and
+//! `C1/C2 > 1/(2 + N1/N2)`, `z = √(p1/p2)` is the unique positive root of
+//!
+//! ```text
+//!   z³ + (N1/N2)·z² + z − C2/C1 = 0
+//! ```
+//!
+//! giving normalized throughputs `(x1+x2)/C1 = 1 + z²` for multipath users
+//! and `y/C2 = 1 − (N1·C1)/(N2·C2)·z²` for single-path users. Below the
+//! threshold all users share equally. A fair (proportionally fair) multipath
+//! user would not touch AP2 at all when `C1 ≥ C2` — LIA's violation of this
+//! is problem P2.
+
+use crate::roots::{bisect_unbounded, poly_eval};
+use crate::units::{loss_at_rate, mbps_to_mss, probe_rate};
+
+/// Inputs of the Scenario C analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCInputs {
+    /// Number of multipath users.
+    pub n1: f64,
+    /// Number of single-path users.
+    pub n2: f64,
+    /// Per-multipath-user AP1 capacity, Mb/s.
+    pub c1_mbps: f64,
+    /// Per-single-path-user AP2 capacity, Mb/s.
+    pub c2_mbps: f64,
+    /// Common round-trip time, seconds.
+    pub rtt_s: f64,
+}
+
+impl ScenarioCInputs {
+    /// The paper's grid point: `N2 = 10`, `C2 = 1` Mb/s, rtt 150 ms.
+    pub fn paper(n1_over_n2: f64, c1_over_c2: f64) -> ScenarioCInputs {
+        ScenarioCInputs {
+            n1: 10.0 * n1_over_n2,
+            n2: 10.0,
+            c1_mbps: c1_over_c2,
+            c2_mbps: 1.0,
+            rtt_s: 0.15,
+        }
+    }
+}
+
+/// Analytic predictions for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCPrediction {
+    /// Normalized multipath throughput `(x1+x2)/C1`.
+    pub multipath_norm: f64,
+    /// Normalized single-path throughput `y/C2`.
+    pub single_norm: f64,
+    /// Loss probability at AP2, when the regime determines it.
+    pub p2: Option<f64>,
+}
+
+/// LIA's fixed point (§III-C).
+pub fn lia(inp: &ScenarioCInputs) -> ScenarioCPrediction {
+    let rho = inp.n1 / inp.n2;
+    let gamma = inp.c1_mbps / inp.c2_mbps;
+    let threshold = 1.0 / (2.0 + rho);
+    if gamma <= threshold {
+        // p1 > p2: both APs jointly bottleneck LIA's coupling; all users get
+        // the capacity-weighted equal share (the paper states (C1+C2)/2 for
+        // its N1 = N2 plots; the general form preserves total capacity).
+        let share = (inp.n1 * inp.c1_mbps + inp.n2 * inp.c2_mbps) / (inp.n1 + inp.n2);
+        return ScenarioCPrediction {
+            multipath_norm: share / inp.c1_mbps,
+            single_norm: share / inp.c2_mbps,
+            p2: None,
+        };
+    }
+    // p1 < p2: z from the cubic.
+    let z = bisect_unbounded(0.0, 1e-12, |z| poly_eval(&[-1.0 / gamma, 1.0, rho, 1.0], z));
+    let single_norm = 1.0 - rho * gamma * z * z;
+    let y = mbps_to_mss(inp.c2_mbps) * single_norm;
+    ScenarioCPrediction {
+        multipath_norm: 1.0 + z * z,
+        single_norm,
+        p2: (y > 0.0).then(|| loss_at_rate(y, inp.rtt_s)),
+    }
+}
+
+/// The theoretical optimum with probing cost: a fair multipath user only
+/// keeps the 1-MSS-per-RTT probe on AP2 once its own AP gives it at least
+/// the fair share. Also OLIA's predicted equilibrium (Theorems 1 and 4).
+pub fn optimal_with_probing(inp: &ScenarioCInputs) -> ScenarioCPrediction {
+    let c1 = mbps_to_mss(inp.c1_mbps);
+    let c2 = mbps_to_mss(inp.c2_mbps);
+    let rho = inp.n1 / inp.n2;
+    let probe = probe_rate(inp.rtt_s);
+    let fair = (inp.n1 * c1 + inp.n2 * c2) / (inp.n1 + inp.n2);
+    if c1 + probe >= fair {
+        // AP1 alone already covers the fair share: probe-only on AP2.
+        let y = (c2 - rho * probe).max(0.0);
+        ScenarioCPrediction {
+            multipath_norm: (c1 + probe) / c1,
+            single_norm: y / c2,
+            p2: (y > 0.0).then(|| loss_at_rate(y, inp.rtt_s)),
+        }
+    } else {
+        // AP1 is small: proportional fairness equalizes everyone.
+        ScenarioCPrediction {
+            multipath_norm: fair / c1,
+            single_norm: fair / c2,
+            p2: Some(loss_at_rate(fair, inp.rtt_s)),
+        }
+    }
+}
+
+/// OLIA's predicted equilibrium — the optimum with probing cost.
+pub fn olia(inp: &ScenarioCInputs) -> ScenarioCPrediction {
+    optimal_with_probing(inp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fairness_threshold_location() {
+        // §III-C for N1 = N2: "LIA is fair with regular TCP users, as long
+        // as C1 < C2/3. However, as C1 exceeds C2/3, it takes most of the
+        // capacity of AP2 for itself."
+        let below = lia(&ScenarioCInputs::paper(1.0, 0.32));
+        assert!(below.single_norm > 0.6, "near-equal below the threshold");
+        let above = lia(&ScenarioCInputs::paper(1.0, 1.0));
+        assert!(
+            above.single_norm < 0.8,
+            "TCP users visibly penalized above it: {}",
+            above.single_norm
+        );
+    }
+
+    #[test]
+    fn cubic_matches_hand_solution() {
+        // N1 = N2, C1 = C2: z³ + z² + z − 1 = 0 → z ≈ 0.54369.
+        let pred = lia(&ScenarioCInputs::paper(1.0, 1.0));
+        let z = (pred.multipath_norm - 1.0).sqrt();
+        assert!((z - 0.54369).abs() < 1e-4, "z = {z}");
+        assert!((pred.single_norm - (1.0 - z * z)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_aggression_grows_with_n1() {
+        // Problem P2 along the Fig. 5(c) axis: more multipath users push
+        // single-path throughput down (LIA keeps transmitting over AP2 even
+        // when fairness says it should not).
+        let s = |r| lia(&ScenarioCInputs::paper(r, 2.0)).single_norm;
+        assert!(s(0.5) > s(1.0));
+        assert!(s(1.0) > s(2.0));
+        assert!(s(2.0) > s(3.0));
+        // Hand value at N1/N2=3, C1/C2=2 (z from z³+3z²+z = 0.5):
+        assert!((s(3.0) - 0.569).abs() < 0.01, "s(3) = {}", s(3.0));
+    }
+
+    #[test]
+    fn fair_multipath_user_leaves_ap2_alone_when_c1_large() {
+        // With C1 ≥ C2, the optimum sends only the probe on AP2.
+        let inp = ScenarioCInputs::paper(1.0, 2.0);
+        let opt = optimal_with_probing(&inp);
+        let lia_pred = lia(&inp);
+        // Single-path users keep almost everything under the optimum...
+        assert!(opt.single_norm > 0.85);
+        // ...but lose a visible share under LIA even at N1 = N2, and up to
+        // ~2× at N1 = 3·N2 (the paper's measured extreme).
+        assert!(lia_pred.single_norm < 0.85);
+        let crowded = lia(&ScenarioCInputs::paper(3.0, 2.0));
+        let opt_crowded = optimal_with_probing(&ScenarioCInputs::paper(3.0, 2.0));
+        assert!(
+            opt_crowded.single_norm / crowded.single_norm > 1.3,
+            "optimum {} vs LIA {}",
+            opt_crowded.single_norm,
+            crowded.single_norm
+        );
+        // And the optimum's p2 stays below LIA's.
+        assert!(opt.p2.unwrap() < lia_pred.p2.unwrap());
+    }
+
+    #[test]
+    fn equal_share_regime() {
+        // C1/C2 = 0.2 < 1/3 (N1=N2): everyone gets (C1+C2)/2.
+        let inp = ScenarioCInputs::paper(1.0, 0.2);
+        let pred = lia(&inp);
+        let share = (0.2 + 1.0) / 2.0;
+        assert!((pred.multipath_norm - share / 0.2).abs() < 1e-9);
+        assert!((pred.single_norm - share / 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn olia_is_optimum() {
+        let inp = ScenarioCInputs::paper(2.0, 1.0);
+        assert_eq!(
+            olia(&inp).single_norm,
+            optimal_with_probing(&inp).single_norm
+        );
+    }
+
+    proptest! {
+        /// AP2's capacity is conserved: N1·x2 + N2·y = N2·C2 in the cubic
+        /// regime (x2 = z²·C1).
+        #[test]
+        fn prop_capacity_conservation(
+            rho in 0.2_f64..3.5,
+            gamma in 0.5_f64..3.0,
+        ) {
+            let inp = ScenarioCInputs {
+                n1: 10.0 * rho,
+                n2: 10.0,
+                c1_mbps: gamma,
+                c2_mbps: 1.0,
+                rtt_s: 0.15,
+            };
+            let pred = lia(&inp);
+            let z2 = pred.multipath_norm - 1.0;
+            let x2 = z2 * gamma; // per-user rate on AP2, Mb/s
+            let y = pred.single_norm * 1.0;
+            let used = inp.n1 * x2 + inp.n2 * y;
+            prop_assert!((used - inp.n2 * 1.0).abs() < 1e-6, "AP2 usage {used}");
+        }
+
+        /// Single-path users always do at least as well under the optimum as
+        /// under LIA.
+        #[test]
+        fn prop_optimum_dominates(
+            rho in 0.2_f64..3.5,
+            gamma in 0.1_f64..3.0,
+        ) {
+            let inp = ScenarioCInputs {
+                n1: 10.0 * rho,
+                n2: 10.0,
+                c1_mbps: gamma,
+                c2_mbps: 1.0,
+                rtt_s: 0.15,
+            };
+            let l = lia(&inp);
+            let o = optimal_with_probing(&inp);
+            prop_assert!(o.single_norm >= l.single_norm - 0.02,
+                "optimum {} vs lia {}", o.single_norm, l.single_norm);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Unit conversions between the paper's Mb/s figures and the model's MSS/s.
+
+/// The MSS used across the reproduction, bytes.
+pub const MSS_BYTES: f64 = 1500.0;
+
+/// Bits per MSS.
+pub const MSS_BITS: f64 = MSS_BYTES * 8.0;
+
+/// Convert megabits per second to MSS per second.
+pub fn mbps_to_mss(mbps: f64) -> f64 {
+    mbps * 1e6 / MSS_BITS
+}
+
+/// Convert MSS per second to megabits per second.
+pub fn mss_to_mbps(mss_per_s: f64) -> f64 {
+    mss_per_s * MSS_BITS / 1e6
+}
+
+/// The minimum probing rate of a window-based algorithm: one MSS per RTT,
+/// in MSS/s (§III-A, "theoretical optimum with probing cost").
+pub fn probe_rate(rtt_s: f64) -> f64 {
+    assert!(rtt_s > 0.0, "rtt must be positive");
+    1.0 / rtt_s
+}
+
+/// TCP's loss probability at a given equilibrium rate: inverse of
+/// `rate = √(2/p)/rtt`.
+pub fn loss_at_rate(rate_mss: f64, rtt_s: f64) -> f64 {
+    assert!(
+        rate_mss > 0.0 && rtt_s > 0.0,
+        "rate and rtt must be positive"
+    );
+    2.0 / (rate_mss * rtt_s).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let r = mbps_to_mss(1.0);
+        assert!((r - 1e6 / 12_000.0).abs() < 1e-9);
+        assert!((mss_to_mbps(r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_is_one_mss_per_rtt() {
+        assert!((probe_rate(0.15) - 1.0 / 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_matches_paper_measurement() {
+        // §III-A reports p1 ≈ 0.02 for C1 = 0.75 Mb/s at rtt 150 ms.
+        let p = loss_at_rate(mbps_to_mss(0.75), 0.15);
+        assert!((p - 0.0228).abs() < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn loss_inverts_tcp_rate() {
+        let rtt = 0.2;
+        let rate = 80.0;
+        let p = loss_at_rate(rate, rtt);
+        assert!(((2.0 / p).sqrt() / rtt - rate).abs() < 1e-9);
+    }
+}

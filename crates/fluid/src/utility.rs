@@ -1,0 +1,284 @@
+//! Utility functions and Pareto/design-goal verification (§V).
+//!
+//! * The congestion cost `C(x) = Σ_l ∫₀^{Σ_{r∋l} x_r} p_l(u) du`.
+//! * The equal-RTT utility `V(x)` of Theorem 4, maximized by OLIA.
+//! * The general `V*(x)` of Eq. (17) (with the fixed-point τ_u weights).
+//! * [`verify_theorem1`]: checks the two fixed-point properties of
+//!   Theorem 1 on a computed equilibrium — only best paths carry traffic,
+//!   and each user's total equals a regular TCP's rate on its best path.
+
+use crate::ode::{FluidAlgorithm, FluidNetwork, FluidParams, Rates};
+
+/// The congestion cost `C(x)` (§V-B).
+pub fn congestion_cost(net: &FluidNetwork, x: &Rates) -> f64 {
+    let loads = net.link_loads(x);
+    net.links
+        .iter()
+        .zip(&loads)
+        .map(|(link, &y)| match link.fixed_loss {
+            // Constant loss integrates linearly.
+            Some(p) => p * y,
+            None => net.loss.cost_integral(y, link.capacity),
+        })
+        .sum()
+}
+
+/// The equal-RTT utility `V(x)` of Theorem 4:
+/// `Σ_u −1/(rtt_u²·Σ_r x_r) − ½·C(x)`.
+///
+/// Panics if a user's routes do not share a common RTT (assumption (A)).
+pub fn utility_v(net: &FluidNetwork, x: &Rates) -> f64 {
+    let mut v = 0.0;
+    for (u, user) in net.users.iter().enumerate() {
+        let rtt = user.routes[0].rtt;
+        assert!(
+            user.routes.iter().all(|r| (r.rtt - rtt).abs() < 1e-12),
+            "user {u} violates the equal-RTT assumption (A)"
+        );
+        let total: f64 = x[u].iter().sum();
+        assert!(total > 0.0, "user {u} has zero total rate");
+        v -= 1.0 / (rtt * rtt * total);
+    }
+    v - 0.5 * congestion_cost(net, x)
+}
+
+/// The general utility `V*(x)` of Eq. (17), given the per-user weights
+/// `τ_u = (Σ_r x*_r)/(Σ_r x*_r/rtt_r²)` computed at a fixed point `x*`.
+pub fn utility_v_star(net: &FluidNetwork, x: &Rates, tau: &[f64]) -> f64 {
+    assert_eq!(tau.len(), net.users.len(), "one τ per user");
+    let mut v = 0.0;
+    for (u, user) in net.users.iter().enumerate() {
+        let weighted: f64 = user
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(r, route)| x[u][r] / (route.rtt * route.rtt))
+            .sum();
+        assert!(weighted > 0.0, "user {u} has zero weighted rate");
+        v -= 1.0 / (tau[u] * tau[u] * weighted);
+    }
+    v - 0.5 * congestion_cost(net, x)
+}
+
+/// The τ_u weights of Eq. (17) at a fixed point.
+pub fn tau_weights(net: &FluidNetwork, x: &Rates) -> Vec<f64> {
+    net.users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| {
+            let total: f64 = x[u].iter().sum();
+            let weighted: f64 = user
+                .routes
+                .iter()
+                .enumerate()
+                .map(|(r, route)| x[u][r] / (route.rtt * route.rtt))
+                .sum();
+            total / weighted
+        })
+        .collect()
+}
+
+/// The result of checking Theorem 1 on an equilibrium.
+#[derive(Debug, Clone)]
+pub struct Theorem1Report {
+    /// Per user: fraction of its total rate carried on non-best paths
+    /// (should be ≈ 0, bounded by the probing floor).
+    pub non_best_fraction: Vec<f64>,
+    /// Per user: `(achieved total, best-path TCP rate)`.
+    pub totals: Vec<(f64, f64)>,
+}
+
+impl Theorem1Report {
+    /// Whether every user satisfies both properties within `rel_tol` (plus
+    /// an absolute allowance `abs_floor` on non-best paths for the rate
+    /// floor).
+    pub fn holds(&self, rel_tol: f64, abs_floor: f64) -> bool {
+        self.non_best_fraction.iter().all(|&f| f <= abs_floor)
+            && self
+                .totals
+                .iter()
+                .all(|&(got, want)| (got - want).abs() <= rel_tol * want)
+    }
+}
+
+/// Check Theorem 1's two properties at rates `x`, with the default 5% band
+/// for "equally good" paths (matching the integration's tie tolerance —
+/// the differential inclusion treats neighborhoods of the argmax as ties).
+pub fn verify_theorem1(net: &FluidNetwork, x: &Rates) -> Theorem1Report {
+    verify_theorem1_banded(net, x, 0.95)
+}
+
+/// [`verify_theorem1`] with an explicit band: a path counts as best if its
+/// TCP rate is at least `band · max`.
+pub fn verify_theorem1_banded(net: &FluidNetwork, x: &Rates, band: f64) -> Theorem1Report {
+    let loads = net.link_loads(x);
+    let link_loss = net.link_losses(&loads);
+    let losses = net.route_losses(&link_loss);
+    let mut non_best_fraction = Vec::new();
+    let mut totals = Vec::new();
+    for (u, user) in net.users.iter().enumerate() {
+        // Route quality: the TCP rate √(2/p_r)/rtt_r.
+        let rates: Vec<f64> = user
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(r, route)| (2.0 / losses[u][r].max(1e-12)).sqrt() / route.rtt)
+            .collect();
+        let best = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let total: f64 = x[u].iter().sum();
+        let non_best: f64 = (0..rates.len())
+            .filter(|&r| rates[r] < best * band)
+            .map(|r| x[u][r])
+            .sum();
+        non_best_fraction.push(non_best / total.max(1e-12));
+        totals.push((total, best));
+    }
+    Theorem1Report {
+        non_best_fraction,
+        totals,
+    }
+}
+
+/// Integrate OLIA's fluid model and record `V(x(t))` at regular intervals —
+/// the monotonicity of Theorem 4, observable.
+pub fn v_trajectory(
+    net: &FluidNetwork,
+    x0: &Rates,
+    params: &FluidParams,
+    samples: usize,
+) -> Vec<f64> {
+    assert!(samples >= 2, "need at least two samples");
+    let chunk = params.steps / (samples - 1);
+    let mut x = x0.clone();
+    let mut out = vec![utility_v(net, &x)];
+    let sub = FluidParams {
+        steps: chunk,
+        ..*params
+    };
+    for _ in 1..samples {
+        x = net.integrate(FluidAlgorithm::Olia, &x, &sub);
+        out.push(utility_v(net, &x));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::{FluidLink, FluidRoute, FluidUser, LossModel};
+
+    fn symmetric_net() -> FluidNetwork {
+        FluidNetwork {
+            links: vec![
+                FluidLink::with_capacity(100.0),
+                FluidLink::with_capacity(100.0),
+            ],
+            users: vec![FluidUser {
+                routes: vec![
+                    FluidRoute {
+                        links: vec![0],
+                        rtt: 0.1,
+                    },
+                    FluidRoute {
+                        links: vec![1],
+                        rtt: 0.1,
+                    },
+                ],
+            }],
+            loss: LossModel::default(),
+        }
+    }
+
+    #[test]
+    fn cost_is_zero_at_zero_and_increasing() {
+        let net = symmetric_net();
+        assert_eq!(congestion_cost(&net, &vec![vec![0.0, 0.0]]), 0.0);
+        let lo = congestion_cost(&net, &vec![vec![40.0, 40.0]]);
+        let hi = congestion_cost(&net, &vec![vec![80.0, 80.0]]);
+        assert!(0.0 <= lo && lo < hi);
+    }
+
+    #[test]
+    fn fixed_loss_cost_is_linear() {
+        let net = FluidNetwork {
+            links: vec![FluidLink::with_fixed_loss(0.01)],
+            users: vec![FluidUser {
+                routes: vec![FluidRoute {
+                    links: vec![0],
+                    rtt: 0.1,
+                }],
+            }],
+            loss: LossModel::default(),
+        };
+        let c1 = congestion_cost(&net, &vec![vec![10.0]]);
+        let c2 = congestion_cost(&net, &vec![vec![20.0]]);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+        assert!((c1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_prefers_higher_rate_at_low_congestion() {
+        let net = symmetric_net();
+        let v_small = utility_v(&net, &vec![vec![10.0, 10.0]]);
+        let v_big = utility_v(&net, &vec![vec![40.0, 40.0]]);
+        assert!(v_big > v_small);
+    }
+
+    #[test]
+    fn utility_punishes_overload() {
+        let net = symmetric_net();
+        let v_ok = utility_v(&net, &vec![vec![90.0, 90.0]]);
+        let v_over = utility_v(&net, &vec![vec![400.0, 400.0]]);
+        assert!(v_ok > v_over);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-RTT")]
+    fn unequal_rtts_rejected_by_v() {
+        let mut net = symmetric_net();
+        net.users[0].routes[1].rtt = 0.2;
+        utility_v(&net, &vec![vec![1.0, 1.0]]);
+    }
+
+    #[test]
+    fn v_monotone_along_olia_trajectory() {
+        // Theorem 4: dV/dt ≥ 0.
+        let net = symmetric_net();
+        let params = FluidParams {
+            steps: 100_000,
+            ..FluidParams::default()
+        };
+        let vs = v_trajectory(&net, &vec![vec![1.0, 5.0]], &params, 20);
+        for w in vs.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6 * w[0].abs(),
+                "V must be nondecreasing: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // And it actually improves from the poor start.
+        assert!(vs.last().unwrap() > &(vs[0] + 1e-6));
+    }
+
+    #[test]
+    fn theorem1_holds_at_olia_equilibrium() {
+        let net = symmetric_net();
+        let params = FluidParams::default();
+        let x = net.equilibrium(FluidAlgorithm::Olia, &vec![vec![5.0, 25.0]], &params);
+        let report = verify_theorem1(&net, &x);
+        assert!(report.holds(0.08, 0.05), "Theorem 1 violated: {report:?}");
+    }
+
+    #[test]
+    fn tau_equals_rtt_squared_under_equal_rtts() {
+        let net = symmetric_net();
+        let tau = tau_weights(&net, &vec![vec![10.0, 20.0]]);
+        assert!((tau[0] - 0.01).abs() < 1e-12);
+        // V* with those τ equals V.
+        let x = vec![vec![10.0, 20.0]];
+        let vs = utility_v_star(&net, &x, &tau);
+        let v = utility_v(&net, &x);
+        assert!((vs - v).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Rate meters and time-series samplers.
+
+use eventsim::SimTime;
+
+/// Measures average throughput over a window: count bytes, divide by
+/// elapsed time since the last reset.
+///
+/// Every experiment in the paper discards a warmup transient ("each Iperf
+/// session runs for 120 seconds to allow the flows to reach equilibrium");
+/// [`RateMeter::reset`] at the end of warmup gives the equilibrium average.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMeter {
+    bytes: u64,
+    since: SimTime,
+}
+
+impl RateMeter {
+    /// A meter starting its window at `now`.
+    pub fn new(now: SimTime) -> RateMeter {
+        RateMeter {
+            bytes: 0,
+            since: now,
+        }
+    }
+
+    /// Record `n` delivered bytes.
+    pub fn add(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Restart the measurement window at `now`, discarding history.
+    pub fn reset(&mut self, now: SimTime) {
+        self.bytes = 0;
+        self.since = now;
+    }
+
+    /// Bytes recorded in the current window.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average rate in bits/s from window start to `now`; zero for an empty
+    /// window.
+    pub fn rate_bps(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.since).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / dt
+        }
+    }
+
+    /// Average rate in Mb/s.
+    pub fn rate_mbps(&self, now: SimTime) -> f64 {
+        self.rate_bps(now) / 1e6
+    }
+}
+
+/// A `(time, value)` series with optional decimation, for the window/α
+/// traces of Figs. 7 and 8.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+    /// Minimum spacing between retained points, seconds (0 keeps all).
+    min_interval: f64,
+}
+
+impl TimeSeries {
+    /// A series retaining every pushed point.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// A series that drops points closer than `min_interval` seconds to the
+    /// previously retained one (keeps trace memory bounded in long runs).
+    pub fn with_min_interval(min_interval: f64) -> TimeSeries {
+        TimeSeries {
+            points: Vec::new(),
+            min_interval,
+        }
+    }
+
+    /// Record `value` at time `t`.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let ts = t.as_secs_f64();
+        if let Some(&(last, _)) = self.points.last() {
+            if self.min_interval > 0.0 && ts - last < self.min_interval {
+                return;
+            }
+        }
+        self.points.push((ts, value));
+    }
+
+    /// The retained points as `(seconds, value)` pairs.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time-weighted average of the series over its span (each value holds
+    /// until the next sample). Returns `None` with fewer than two points.
+    pub fn time_average(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            area += w[0].1 * (w[1].0 - w[0].0);
+        }
+        let span = self.points.last().unwrap().0 - self.points[0].0;
+        (span > 0.0).then(|| area / span)
+    }
+
+    /// Fraction of the series' span during which the value was at or below
+    /// `threshold` — used to quantify how long OLIA keeps the congested
+    /// path's window at the 1-MSS floor (Fig. 8 discussion).
+    pub fn fraction_at_or_below(&self, threshold: f64) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut below = 0.0;
+        let mut span = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            span += dt;
+            if w[0].1 <= threshold {
+                below += dt;
+            }
+        }
+        (span > 0.0).then(|| below / span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::SimDuration;
+
+    #[test]
+    fn rate_meter_basic() {
+        let t0 = SimTime::from_secs_f64(1.0);
+        let mut m = RateMeter::new(t0);
+        m.add(1_000_000);
+        let t1 = t0 + SimDuration::from_secs(2);
+        // 1 MB over 2 s = 4 Mb/s.
+        assert!((m.rate_mbps(t1) - 4.0).abs() < 1e-9);
+        assert_eq!(m.bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn rate_meter_reset_discards_warmup() {
+        let t0 = SimTime::ZERO;
+        let mut m = RateMeter::new(t0);
+        m.add(999_999_999);
+        let warm = SimTime::from_secs_f64(10.0);
+        m.reset(warm);
+        m.add(250_000);
+        let end = warm + SimDuration::from_secs(1);
+        assert!((m.rate_mbps(end) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_meter_zero_window() {
+        let m = RateMeter::new(SimTime::from_secs_f64(5.0));
+        assert_eq!(m.rate_bps(SimTime::from_secs_f64(5.0)), 0.0);
+        assert_eq!(m.rate_bps(SimTime::from_secs_f64(4.0)), 0.0);
+    }
+
+    #[test]
+    fn series_records_and_decimates() {
+        let mut s = TimeSeries::with_min_interval(0.5);
+        s.push(SimTime::from_secs_f64(0.0), 1.0);
+        s.push(SimTime::from_secs_f64(0.1), 2.0); // dropped
+        s.push(SimTime::from_secs_f64(0.6), 3.0);
+        assert_eq!(s.points(), &[(0.0, 1.0), (0.6, 3.0)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn series_time_average() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs_f64(0.0), 2.0);
+        s.push(SimTime::from_secs_f64(1.0), 4.0);
+        s.push(SimTime::from_secs_f64(3.0), 0.0);
+        // 2·1 + 4·2 = 10 over 3 s.
+        assert!((s.time_average().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TimeSeries::new().time_average(), None);
+    }
+
+    #[test]
+    fn series_fraction_below() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs_f64(0.0), 1.0);
+        s.push(SimTime::from_secs_f64(2.0), 10.0);
+        s.push(SimTime::from_secs_f64(4.0), 1.0);
+        assert!((s.fraction_at_or_below(1.5).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(TimeSeries::new().fraction_at_or_below(1.0), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Summary statistics: mean, standard deviation, Student-t 95% confidence
+//! intervals, and Jain's fairness index.
+
+/// Two-sided 95% Student-t critical values for `df = 1..=30`; beyond 30 the
+/// normal value 1.96 is used. (The paper runs 5 measurements per point →
+/// df = 4 → 2.776.)
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean / standard deviation / 95% CI over a set of replicated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Half-width of the two-sided 95% Student-t confidence interval
+    /// (0 for n < 2, since a single sample has no spread estimate — the
+    /// infinite-t case is reported as 0 rather than poisoning tables).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize `samples`. Panics on an empty slice or non-finite values.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "non-finite sample in {samples:?}"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let (std, ci95) = if n >= 2 {
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            let std = var.sqrt();
+            (std, t95(n - 1) * std / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// `mean ± ci95` formatted for tables.
+    pub fn display_ci(&self) -> String {
+        format!("{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`. 1 for perfectly equal
+/// allocations, → 1/n as one user dominates. Used alongside Fig. 13(b)'s
+/// ranked-throughput comparison.
+///
+/// Returns 1.0 for an empty or all-zero input (the degenerate equal case).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (n as f64 * sumsq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_hand_example() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        // var = 2.5, std ≈ 1.5811
+        assert!((s.std - 2.5_f64.sqrt()).abs() < 1e-12);
+        // df = 4 → t = 2.776
+        let expect = 2.776 * 2.5_f64.sqrt() / 5.0_f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+        assert_eq!((s.min, s.max), (1.0, 5.0));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!((s.mean, s.std, s.ci95), (7.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_nan_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn t_table_boundaries() {
+        assert_eq!(t95(0), f64::INFINITY);
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!((t95(30) - 2.042).abs() < 1e-9);
+        assert!((t95(31) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_cases() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One user takes everything: 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert!(s.display_ci().contains('±'));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jain_in_unit_range(
+            xs in proptest::collection::vec(0.0_f64..100.0, 1..20),
+        ) {
+            let j = jain_index(&xs);
+            let n = xs.len() as f64;
+            prop_assert!(j >= 1.0 / n - 1e-12);
+            prop_assert!(j <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_summary_bounds(
+            xs in proptest::collection::vec(-100.0_f64..100.0, 1..50),
+        ) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std >= 0.0);
+            prop_assert!(s.ci95 >= 0.0);
+        }
+
+        #[test]
+        fn prop_summary_shift_invariance(
+            xs in proptest::collection::vec(-10.0_f64..10.0, 2..20),
+            shift in -50.0_f64..50.0,
+        ) {
+            let a = Summary::of(&xs);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            let b = Summary::of(&shifted);
+            prop_assert!((b.mean - a.mean - shift).abs() < 1e-9);
+            prop_assert!((b.std - a.std).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Queues: serialization, propagation, and drop disciplines.
+//!
+//! Each queue models one link direction: the head packet serializes at
+//! `rate` bits/s; when fully serialized it propagates for `latency` and then
+//! arrives at the next hop. Admission is decided on enqueue by the
+//! [`Discipline`]: drop-tail, or the RED profile the paper configured in its
+//! Click routers (§III, Testbed Setup).
+
+use std::collections::VecDeque;
+
+use eventsim::{SimDuration, SimRng, SimTime};
+
+use crate::packet::Packet;
+
+/// RED (random early detection) parameters, paper-profile shaped:
+///
+/// * drop probability 0 below `min_th` packets,
+/// * rising linearly to `max_p` at `max_th`,
+/// * then linearly to 1 at `2·max_th` (the "gentle" region),
+/// * hard drop above `limit` packets.
+///
+/// The paper's 10 Mb/s baseline: `min_th = 25`, `max_th = 50`,
+/// `max_p = 0.1`, `limit = 300`, thresholds scaled proportionally with link
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedParams {
+    /// No drops below this queue length (packets).
+    pub min_th: f64,
+    /// Drop probability reaches `max_p` at this length.
+    pub max_th: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// Hard capacity (packets).
+    pub limit: usize,
+    /// EWMA weight for the average queue length (classic RED; Floyd's
+    /// default is 0.002). `0` makes drops depend on the instantaneous
+    /// length instead.
+    ///
+    /// The average is maintained in continuous time: it relaxes toward the
+    /// instantaneous length with time constant `service_time(MSS)/w`, which
+    /// matches Floyd's per-packet EWMA at full load *and* decays during
+    /// idle/backoff periods (Floyd's idle-time correction) — without it a
+    /// transient overload wedges the average above `2·max_th` where every
+    /// arrival is dropped.
+    pub ewma_weight: f64,
+}
+
+impl RedParams {
+    /// The paper's Click configuration for a 10 Mb/s link, with classic
+    /// averaged-queue RED (what Click's RED element implements).
+    pub fn paper_baseline() -> RedParams {
+        RedParams {
+            min_th: 25.0,
+            max_th: 50.0,
+            max_p: 0.1,
+            limit: 300,
+            ewma_weight: 0.002,
+        }
+    }
+
+    /// The paper's profile scaled proportionally to `rate_bps`
+    /// ("the parameters are proportionally adapted when the link capacity
+    /// changes").
+    pub fn paper_profile(rate_bps: f64) -> RedParams {
+        let scale = (rate_bps / 10_000_000.0).max(0.05);
+        RedParams {
+            min_th: 25.0 * scale,
+            max_th: 50.0 * scale,
+            max_p: 0.1,
+            limit: ((300.0 * scale).round() as usize).max(5),
+            ewma_weight: 0.002,
+        }
+    }
+
+    /// The same profile with drops driven by the instantaneous queue length
+    /// (for the RED-variant ablation).
+    pub fn instantaneous(mut self) -> RedParams {
+        self.ewma_weight = 0.0;
+        self
+    }
+
+    /// Drop probability at instantaneous queue length `qlen` (packets).
+    pub fn drop_probability(&self, qlen: f64) -> f64 {
+        if qlen < self.min_th {
+            0.0
+        } else if qlen < self.max_th {
+            self.max_p * (qlen - self.min_th) / (self.max_th - self.min_th)
+        } else if qlen < 2.0 * self.max_th {
+            self.max_p + (1.0 - self.max_p) * (qlen - self.max_th) / self.max_th
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Admission discipline for a queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discipline {
+    /// Drop arrivals when `limit` packets are already buffered.
+    DropTail {
+        /// Buffer capacity in packets.
+        limit: usize,
+    },
+    /// The paper's RED profile (instantaneous queue length, as the Click
+    /// setup describes).
+    Red(RedParams),
+    /// Drop each arrival independently with a fixed probability (plus a
+    /// buffer cap). Not a real router discipline — it pins the loss
+    /// probability so the loss-throughput formulas (TCP's `√(2/p)/rtt`,
+    /// LIA's Eq. 2) can be validated exactly.
+    Bernoulli {
+        /// Independent per-packet drop probability.
+        p: f64,
+        /// Buffer capacity in packets.
+        limit: usize,
+    },
+}
+
+/// Static configuration of one queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueConfig {
+    /// Service (link) rate in bits per second.
+    pub rate_bps: f64,
+    /// Propagation delay after serialization.
+    pub latency: SimDuration,
+    /// Drop discipline.
+    pub discipline: Discipline,
+}
+
+impl QueueConfig {
+    /// A drop-tail queue.
+    pub fn drop_tail(rate_bps: f64, latency: SimDuration, limit: usize) -> QueueConfig {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        QueueConfig {
+            rate_bps,
+            latency,
+            discipline: Discipline::DropTail { limit },
+        }
+    }
+
+    /// A RED queue with the paper's capacity-scaled profile.
+    pub fn red_paper(rate_bps: f64, latency: SimDuration) -> QueueConfig {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        QueueConfig {
+            rate_bps,
+            latency,
+            discipline: Discipline::Red(RedParams::paper_profile(rate_bps)),
+        }
+    }
+
+    /// A RED queue with explicit parameters.
+    pub fn red(rate_bps: f64, latency: SimDuration, params: RedParams) -> QueueConfig {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        QueueConfig {
+            rate_bps,
+            latency,
+            discipline: Discipline::Red(params),
+        }
+    }
+
+    /// A fixed-independent-loss queue (formula validation).
+    pub fn bernoulli(rate_bps: f64, latency: SimDuration, p: f64, limit: usize) -> QueueConfig {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        QueueConfig {
+            rate_bps,
+            latency,
+            discipline: Discipline::Bernoulli { p, limit },
+        }
+    }
+
+    /// Serialization time of `bytes` at this queue's rate.
+    pub fn service_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+}
+
+/// Counters exposed per queue, enough to compute the loss probabilities the
+/// paper reports (Fig. 1c, 5d, 10, 12) and utilizations (Table III).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Packets offered to the queue.
+    pub arrived: u64,
+    /// Packets dropped on admission.
+    pub dropped: u64,
+    /// Packets fully serialized and forwarded.
+    pub forwarded: u64,
+    /// Bytes fully serialized and forwarded.
+    pub forwarded_bytes: u64,
+    /// Integral of busy time in nanoseconds (for utilization).
+    pub busy_ns: u64,
+}
+
+impl QueueStats {
+    /// Fraction of offered packets that were dropped.
+    pub fn loss_probability(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrived as f64
+        }
+    }
+
+    /// Link utilization over `elapsed_ns` of simulated time.
+    pub fn utilization(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / elapsed_ns as f64
+        }
+    }
+
+    /// Average forwarded throughput in bits/s over `elapsed_ns`.
+    pub fn throughput_bps(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.forwarded_bytes as f64 * 8.0 / (elapsed_ns as f64 / 1e9)
+        }
+    }
+
+    /// Reset all counters (used to discard warmup transients).
+    pub fn reset(&mut self) {
+        *self = QueueStats::default();
+    }
+}
+
+/// A queue instance: configuration + buffer + counters.
+#[derive(Debug)]
+pub(crate) struct Queue {
+    pub(crate) config: QueueConfig,
+    pub(crate) buf: VecDeque<Packet>,
+    /// Whether a service-completion event is outstanding.
+    pub(crate) busy: bool,
+    /// Administratively down: every arrival is dropped (failure injection).
+    pub(crate) down: bool,
+    /// EWMA of the queue length (classic RED), relaxed in continuous time.
+    pub(crate) avg_qlen: f64,
+    /// When `avg_qlen` was last brought up to date.
+    pub(crate) avg_updated: SimTime,
+    pub(crate) stats: QueueStats,
+}
+
+impl Queue {
+    pub(crate) fn new(config: QueueConfig) -> Queue {
+        Queue {
+            config,
+            buf: VecDeque::new(),
+            busy: false,
+            down: false,
+            avg_qlen: 0.0,
+            avg_updated: SimTime::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Admission decision; `true` means the packet was buffered.
+    ///
+    /// The caller is responsible for scheduling service when the queue
+    /// transitions from idle.
+    pub(crate) fn try_enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut SimRng) -> bool {
+        self.stats.arrived += 1;
+        if self.down {
+            self.stats.dropped += 1;
+            return false;
+        }
+        let admitted = match self.config.discipline {
+            Discipline::DropTail { limit } => self.buf.len() < limit,
+            Discipline::Bernoulli { p, limit } => self.buf.len() < limit && !rng.chance(p),
+            Discipline::Red(params) => {
+                let qlen = self.buf.len() as f64;
+                let effective = if params.ewma_weight > 0.0 {
+                    // Continuous-time EWMA: time constant = one MSS service
+                    // time divided by Floyd's weight.
+                    let tau = self.config.service_time(1500).as_secs_f64() / params.ewma_weight;
+                    let dt = now.saturating_since(self.avg_updated).as_secs_f64();
+                    let decay = (-dt / tau).exp();
+                    self.avg_qlen = qlen + (self.avg_qlen - qlen) * decay;
+                    self.avg_updated = now;
+                    self.avg_qlen
+                } else {
+                    qlen
+                };
+                if self.buf.len() >= params.limit {
+                    false
+                } else {
+                    !rng.chance(params.drop_probability(effective))
+                }
+            }
+        };
+        if admitted {
+            self.buf.push_back(pkt);
+        } else {
+            self.stats.dropped += 1;
+        }
+        admitted
+    }
+
+    /// Remove and return the head packet after it finished serializing.
+    pub(crate) fn complete_service(&mut self) -> Packet {
+        let pkt = self
+            .buf
+            .pop_front()
+            .expect("service completion on empty queue");
+        self.stats.forwarded += 1;
+        self.stats.forwarded_bytes += pkt.size as u64;
+        pkt
+    }
+
+    /// Current queue length in packets.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EndpointId, QueueId};
+    use crate::packet::{route, Packet};
+    use proptest::prelude::*;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(
+            EndpointId(0),
+            EndpointId(1),
+            0,
+            0,
+            seq,
+            1500,
+            route(&[QueueId(0)]),
+        )
+    }
+
+    #[test]
+    fn red_profile_shape() {
+        let r = RedParams::paper_baseline();
+        assert_eq!(r.drop_probability(0.0), 0.0);
+        assert_eq!(r.drop_probability(24.9), 0.0);
+        // Midpoint of [25, 50] → max_p/2.
+        assert!((r.drop_probability(37.5) - 0.05).abs() < 1e-12);
+        // At max_th the probability is max_p.
+        assert!((r.drop_probability(50.0) - 0.1).abs() < 1e-12);
+        // Midpoint of the gentle region [50, 100] → (0.1 + 1)/2.
+        assert!((r.drop_probability(75.0) - 0.55).abs() < 1e-12);
+        assert_eq!(r.drop_probability(100.0), 1.0);
+        assert_eq!(r.drop_probability(250.0), 1.0);
+    }
+
+    #[test]
+    fn red_profile_scales_with_capacity() {
+        let r = RedParams::paper_profile(20_000_000.0);
+        assert!((r.min_th - 50.0).abs() < 1e-9);
+        assert!((r.max_th - 100.0).abs() < 1e-9);
+        assert_eq!(r.limit, 600);
+        // Tiny links get a floor, not a zero-size buffer.
+        let small = RedParams::paper_profile(100_000.0);
+        assert!(small.limit >= 5);
+        assert!(small.min_th > 0.0);
+    }
+
+    #[test]
+    fn drop_tail_respects_limit() {
+        let mut q = Queue::new(QueueConfig::drop_tail(1e6, SimDuration::from_millis(1), 3));
+        let mut rng = SimRng::seed_from_u64(0);
+        for i in 0..5 {
+            q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.stats.arrived, 5);
+        assert_eq!(q.stats.dropped, 2);
+    }
+
+    #[test]
+    fn red_hard_limit_always_drops() {
+        let params = RedParams {
+            min_th: 1000.0, // never probabilistic-drop
+            max_th: 2000.0,
+            max_p: 0.1,
+            limit: 2,
+            ewma_weight: 0.0,
+        };
+        let mut q = Queue::new(QueueConfig::red(1e6, SimDuration::ZERO, params));
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
+        assert!(!q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng));
+        assert_eq!(q.stats.dropped, 1);
+    }
+
+    #[test]
+    fn red_drop_rate_tracks_profile() {
+        // Hold the queue at a fixed length and measure the empirical drop
+        // frequency against the analytic profile.
+        // Instantaneous mode so the empirical frequency tracks the profile
+        // at the held queue length exactly.
+        let params = RedParams::paper_baseline().instantaneous();
+        let mut rng = SimRng::seed_from_u64(7);
+        for (qlen, expected) in [(30.0, params.drop_probability(30.0)), (60.0, 0.28)] {
+            let trials = 40_000;
+            let mut q = Queue::new(QueueConfig::red(1e7, SimDuration::ZERO, params));
+            // Pre-fill to the target length.
+            for i in 0..qlen as u64 {
+                q.buf.push_back(pkt(i));
+            }
+            let mut drops = 0;
+            for i in 0..trials {
+                let before = q.len();
+                if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+                    drops += 1;
+                } else {
+                    q.buf.pop_back();
+                }
+                assert_eq!(q.len(), before);
+            }
+            let freq = drops as f64 / trials as f64;
+            assert!(
+                (freq - expected).abs() < 0.01,
+                "qlen {qlen}: freq {freq} vs profile {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_accounting() {
+        let mut q = Queue::new(QueueConfig::drop_tail(1e6, SimDuration::from_millis(1), 10));
+        let mut rng = SimRng::seed_from_u64(0);
+        q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng);
+        q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng);
+        let p = q.complete_service();
+        assert_eq!(p.seq, 0);
+        assert_eq!(q.stats.forwarded, 1);
+        assert_eq!(q.stats.forwarded_bytes, 1500);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn service_time_math() {
+        let c = QueueConfig::drop_tail(10_000_000.0, SimDuration::ZERO, 1);
+        // 1500 bytes at 10 Mb/s = 1.2 ms.
+        assert_eq!(c.service_time(1500), SimDuration::from_micros(1200));
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = QueueStats {
+            arrived: 200,
+            dropped: 10,
+            forwarded: 190,
+            forwarded_bytes: 190 * 1500,
+            busy_ns: 500_000_000,
+        };
+        assert!((s.loss_probability() - 0.05).abs() < 1e-12);
+        assert!((s.utilization(1_000_000_000) - 0.5).abs() < 1e-12);
+        let expect_bps = 190.0 * 1500.0 * 8.0;
+        assert!((s.throughput_bps(1_000_000_000) - expect_bps).abs() < 1e-6);
+        assert_eq!(QueueStats::default().loss_probability(), 0.0);
+        assert_eq!(QueueStats::default().utilization(0), 0.0);
+        assert_eq!(QueueStats::default().throughput_bps(0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_drop_rate_matches_p() {
+        let mut q = Queue::new(QueueConfig::bernoulli(1e9, SimDuration::ZERO, 0.1, 1000));
+        let mut rng = SimRng::seed_from_u64(3);
+        let trials = 50_000;
+        let mut drops = 0;
+        for i in 0..trials {
+            if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+                drops += 1;
+            } else {
+                q.buf.pop_back();
+            }
+        }
+        let freq = drops as f64 / trials as f64;
+        assert!((freq - 0.1).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn bernoulli_respects_buffer_cap() {
+        let mut q = Queue::new(QueueConfig::bernoulli(1e9, SimDuration::ZERO, 0.0, 2));
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
+        assert!(!q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_rejects_bad_p() {
+        QueueConfig::bernoulli(1e9, SimDuration::ZERO, 1.5, 10);
+    }
+
+    #[test]
+    fn down_queue_drops_everything() {
+        let mut q = Queue::new(QueueConfig::drop_tail(1e9, SimDuration::ZERO, 10));
+        let mut rng = SimRng::seed_from_u64(3);
+        q.down = true;
+        assert!(!q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
+        assert_eq!(q.stats.dropped, 1);
+        q.down = false;
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
+    }
+
+    #[test]
+    fn red_ewma_decays_during_idle() {
+        // The continuous-time average must relax back toward the (empty)
+        // instantaneous length over idle periods, re-opening the queue.
+        let mut q = Queue::new(QueueConfig::red(
+            10e6,
+            SimDuration::ZERO,
+            RedParams::paper_baseline(),
+        ));
+        let mut rng = SimRng::seed_from_u64(1);
+        // Force the average sky-high.
+        q.avg_qlen = 150.0;
+        q.avg_updated = SimTime::ZERO;
+        // Immediately: average ~150 -> drop probability 1.
+        assert!(!q.try_enqueue(pkt(0), SimTime::from_nanos(1), &mut rng));
+        // Ten seconds of idle later the average has decayed to ~0.
+        assert!(q.try_enqueue(pkt(1), SimTime::from_secs_f64(10.0), &mut rng));
+        assert!(q.avg_qlen < 1.0, "avg {}", q.avg_qlen);
+    }
+
+    proptest! {
+        /// The RED profile is monotone nondecreasing in queue length and
+        /// bounded in [0, 1].
+        #[test]
+        fn prop_red_monotone(a in 0.0_f64..400.0, b in 0.0_f64..400.0) {
+            let r = RedParams::paper_baseline();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let pl = r.drop_probability(lo);
+            let ph = r.drop_probability(hi);
+            prop_assert!((0.0..=1.0).contains(&pl));
+            prop_assert!((0.0..=1.0).contains(&ph));
+            prop_assert!(pl <= ph + 1e-12);
+        }
+
+        /// Drop-tail never exceeds its limit and never drops below it.
+        #[test]
+        fn prop_drop_tail_exact(limit in 1usize..64, n in 0u64..128) {
+            let mut q = Queue::new(QueueConfig::drop_tail(
+                1e6, SimDuration::ZERO, limit));
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..n {
+                q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
+            }
+            prop_assert_eq!(q.len() as u64, n.min(limit as u64));
+            prop_assert_eq!(q.stats.dropped, n.saturating_sub(limit as u64));
+        }
+    }
+}

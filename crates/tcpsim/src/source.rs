@@ -1,0 +1,524 @@
+//! The sending endpoint: windows, retransmission, and the coupled
+//! congestion-control loop.
+
+use std::collections::HashMap;
+
+use eventsim::SimDuration;
+use mpsim_core::{alpha_values, MultipathCc, PathView};
+use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
+
+use crate::rtt::RttEstimator;
+use crate::stats::{FlowHandle, TcpConfig};
+
+/// NewReno-style loss-recovery phase of one subflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Normal operation (slow start or congestion avoidance).
+    Open,
+    /// Fast recovery; `recover` is the highest sequence outstanding when the
+    /// loss was detected — recovery ends when the cumulative ACK reaches it.
+    Recovery { recover: u64 },
+}
+
+/// One subflow's transmission state.
+#[derive(Debug)]
+struct Subflow {
+    fwd: Route,
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    /// Next sequence number to send (rolled back to `cum_ack` on RTO for
+    /// go-back-N retransmission).
+    next_seq: u64,
+    /// Highest sequence ever sent + 1; sequences below this are
+    /// retransmissions and do not consume new data.
+    max_sent: u64,
+    /// All sequences below this are cumulatively ACKed.
+    cum_ack: u64,
+    dup_acks: u32,
+    rtt: RttEstimator,
+    /// RTO backoff exponent (reset on any advancing ACK).
+    backoff: u32,
+    /// Current timer generation; older timer events are stale.
+    timer_version: u64,
+    timer_armed: bool,
+    /// ℓ₁: packets ACKed between the last two losses (§IV-B).
+    ell1: f64,
+    /// ℓ₂: packets ACKed since the last loss.
+    ell2: f64,
+    /// Whether this subflow is part of the established set. Pruned subflows
+    /// (the §VII "discard bad paths" extension) neither send nor count in
+    /// the coupling until their cooldown expires.
+    active: bool,
+    /// MPTCP data-sequence mapping: subflow seq → connection-level DSN.
+    /// Entries below `cum_ack` are garbage-collected on advancing ACKs;
+    /// retransmissions reuse the original mapping.
+    dsn_map: HashMap<u64, u64>,
+}
+
+impl Subflow {
+    fn inflight(&self) -> u64 {
+        self.next_seq - self.cum_ack
+    }
+
+    /// ℓ_r = max(ℓ₁, ℓ₂).
+    fn ell(&self) -> f64 {
+        self.ell1.max(self.ell2)
+    }
+
+    /// Record a loss event for the ℓ counters.
+    fn ell_loss(&mut self) {
+        self.ell1 = self.ell2;
+        self.ell2 = 0.0;
+    }
+}
+
+/// The source half of a (MP)TCP connection: one or more subflows whose
+/// congestion-avoidance increases are coupled through a `mpsim_core`
+/// algorithm.
+pub struct TcpSource {
+    dst: EndpointId,
+    conn: u64,
+    cfg: TcpConfig,
+    cc: Box<dyn MultipathCc>,
+    subflows: Vec<Subflow>,
+    /// New data packets still to be sent (None = unlimited bulk transfer).
+    remaining: Option<u64>,
+    /// Total size in packets for completion detection.
+    size: Option<u64>,
+    total_acked: u64,
+    /// Next connection-level data-sequence number to assign.
+    next_dsn: u64,
+    min_ssthresh: f64,
+    handle: FlowHandle,
+}
+
+/// Encode a (subflow, version) pair into a timer token.
+fn timer_token(idx: usize, version: u64) -> u64 {
+    ((idx as u64) << 40) | (version & 0xFF_FFFF_FFFF)
+}
+
+fn decode_token(token: u64) -> (usize, u64) {
+    (((token >> 40) & 0x3F_FFFF) as usize, token & 0xFF_FFFF_FFFF)
+}
+
+/// Token marking a prune-cooldown expiry for a subflow.
+fn prune_token(idx: usize) -> u64 {
+    (1 << 63) | ((idx as u64) << 40)
+}
+
+fn is_prune_token(token: u64) -> bool {
+    token >> 63 == 1
+}
+
+impl TcpSource {
+    /// A source for `conn` sending to `dst` over the given per-subflow
+    /// forward routes, using congestion controller `cc`.
+    ///
+    /// `size_packets = None` is a long-lived bulk flow; `Some(n)` sends `n`
+    /// MSS-sized packets and records the completion time in the handle.
+    pub fn new(
+        dst: EndpointId,
+        conn: u64,
+        cfg: TcpConfig,
+        cc: Box<dyn MultipathCc>,
+        fwd_routes: Vec<Route>,
+        size_packets: Option<u64>,
+        handle: FlowHandle,
+    ) -> TcpSource {
+        assert!(!fwd_routes.is_empty(), "connection needs at least one path");
+        let multipath = fwd_routes.len() > 1;
+        // §IV-B: minimum ssthresh of 1 MSS with multiple established paths,
+        // 2 MSS (as in regular TCP) for single-path flows.
+        let min_ssthresh = if multipath { 1.0 } else { 2.0 };
+        let subflows = fwd_routes
+            .into_iter()
+            .map(|fwd| Subflow {
+                fwd,
+                cwnd: cfg.initial_cwnd,
+                ssthresh: cfg.pin_ssthresh.unwrap_or(cfg.init_ssthresh),
+                phase: Phase::Open,
+                next_seq: 0,
+                max_sent: 0,
+                cum_ack: 0,
+                dup_acks: 0,
+                rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto),
+                backoff: 0,
+                timer_version: 0,
+                timer_armed: false,
+                ell1: 0.0,
+                ell2: 0.0,
+                active: true,
+                dsn_map: HashMap::new(),
+            })
+            .collect();
+        TcpSource {
+            dst,
+            conn,
+            cfg,
+            cc,
+            subflows,
+            remaining: size_packets,
+            size: size_packets,
+            total_acked: 0,
+            next_dsn: 0,
+            min_ssthresh,
+            handle,
+        }
+    }
+
+    /// Snapshot the subflows for the congestion-control algorithm.
+    fn path_views(&self) -> Vec<PathView> {
+        self.subflows
+            .iter()
+            .map(|s| PathView {
+                cwnd: s.cwnd,
+                rtt: s.rtt.srtt_or(self.cfg.initial_rtt),
+                ell: s.ell(),
+                established: s.active,
+            })
+            .collect()
+    }
+
+    /// Transmit one packet with sequence `seq` on subflow `idx`.
+    ///
+    /// First transmissions are assigned the next connection-level DSN;
+    /// retransmissions reuse the mapping established the first time.
+    fn transmit(&mut self, ctx: &mut NetCtx, idx: usize, seq: u64) {
+        let next_dsn = &mut self.next_dsn;
+        let sf = &mut self.subflows[idx];
+        let dsn = *sf.dsn_map.entry(seq).or_insert_with(|| {
+            let d = *next_dsn;
+            *next_dsn += 1;
+            d
+        });
+        let mut pkt = Packet::data(
+            ctx.me(),
+            self.dst,
+            self.conn,
+            idx as u16,
+            seq,
+            self.cfg.mss,
+            sf.fwd.clone(),
+        );
+        pkt.dsn = dsn;
+        pkt.ts_echo = ctx.now();
+        ctx.send(pkt);
+        self.ensure_timer(ctx, idx);
+    }
+
+    /// Send as much new data as the effective window allows on subflow `idx`.
+    fn try_send(&mut self, ctx: &mut NetCtx, idx: usize) {
+        loop {
+            let sf = &self.subflows[idx];
+            if !sf.active {
+                return;
+            }
+            let inflation = match sf.phase {
+                Phase::Recovery { .. } => sf.dup_acks as f64,
+                Phase::Open => 0.0,
+            };
+            let eff = (sf.cwnd + inflation).min(self.cfg.rcv_wnd).floor();
+            if (sf.inflight() as f64) >= eff {
+                return;
+            }
+            let seq = sf.next_seq;
+            // Only sends beyond the high-water mark consume new data;
+            // go-back-N resends below `max_sent` are retransmissions.
+            if seq >= sf.max_sent {
+                if let Some(rem) = self.remaining {
+                    if rem == 0 {
+                        return;
+                    }
+                    self.remaining = Some(rem - 1);
+                }
+            }
+            let sf = &mut self.subflows[idx];
+            sf.next_seq += 1;
+            sf.max_sent = sf.max_sent.max(sf.next_seq);
+            self.transmit(ctx, idx, seq);
+        }
+    }
+
+    /// Arm the RTO timer if it is not already armed.
+    fn ensure_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
+        let sf = &mut self.subflows[idx];
+        if sf.timer_armed {
+            return;
+        }
+        sf.timer_armed = true;
+        sf.timer_version += 1;
+        let rto = sf.rto_with_backoff();
+        let token = timer_token(idx, sf.timer_version);
+        ctx.schedule_in(rto, token);
+    }
+
+    /// Invalidate any outstanding timer and re-arm if data is in flight.
+    fn restart_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
+        let sf = &mut self.subflows[idx];
+        sf.timer_version += 1;
+        if sf.inflight() > 0 && sf.active {
+            sf.timer_armed = true;
+            let rto = sf.rto_with_backoff();
+            let token = timer_token(idx, sf.timer_version);
+            ctx.schedule_in(rto, token);
+        } else {
+            sf.timer_armed = false;
+        }
+    }
+
+    /// Apply the congestion-avoidance / slow-start increase for `newly`
+    /// ACKed packets on subflow `idx`.
+    fn apply_increase(&mut self, idx: usize, newly: u64) {
+        for _ in 0..newly {
+            let sf = &self.subflows[idx];
+            if sf.cwnd < sf.ssthresh {
+                // Slow start: +1 MSS per MSS ACKed.
+                self.subflows[idx].cwnd += 1.0;
+            } else {
+                let views = self.path_views();
+                let inc = self.cc.on_ack(&views, idx);
+                self.subflows[idx].cwnd += inc;
+            }
+            let sf = &mut self.subflows[idx];
+            sf.cwnd = sf.cwnd.clamp(1.0, self.cfg.rcv_wnd);
+        }
+    }
+
+    /// Window reduction shared by fast retransmit and RTO.
+    fn reduce_on_loss(&mut self, idx: usize) -> f64 {
+        let views = self.path_views();
+        let new_cwnd = self.cc.on_loss(&views, idx).max(self.min_ssthresh);
+        self.subflows[idx].ell_loss();
+        new_cwnd
+    }
+
+    /// §VII extension: after a loss, drop a subflow from the established set
+    /// when its inter-loss distance is a tiny fraction of the best
+    /// subflow's. The subflow re-probes after the cooldown.
+    fn maybe_prune(&mut self, ctx: &mut NetCtx, idx: usize) {
+        if !self.cfg.prune_paths {
+            return;
+        }
+        let active = self.subflows.iter().filter(|s| s.active).count();
+        if active <= 1 || !self.subflows[idx].active {
+            return;
+        }
+        let views = self.path_views();
+        let quality = |v: &PathView| v.ell / (v.rtt * v.rtt);
+        let best = views
+            .iter()
+            .filter(|v| v.established)
+            .map(quality)
+            .fold(0.0_f64, f64::max);
+        if best <= 0.0 || quality(&views[idx]) >= self.cfg.prune_quality_ratio * best {
+            return;
+        }
+        let sf = &mut self.subflows[idx];
+        sf.active = false;
+        sf.timer_version += 1; // cancel the RTO
+        sf.timer_armed = false;
+        ctx.schedule_in(self.cfg.prune_cooldown, prune_token(idx));
+    }
+
+    /// A pruned subflow's cooldown expired: rejoin the established set at
+    /// the probing floor and send a probe.
+    fn reactivate(&mut self, ctx: &mut NetCtx, idx: usize) {
+        let sf = &mut self.subflows[idx];
+        if sf.active {
+            return;
+        }
+        sf.active = true;
+        sf.cwnd = 1.0;
+        sf.phase = Phase::Open;
+        sf.dup_acks = 0;
+        sf.backoff = 0;
+        // Go-back-N from the hole: anything that was in flight at prune
+        // time is long gone.
+        sf.next_seq = sf.cum_ack;
+        self.try_send(ctx, idx);
+        self.publish(ctx, idx);
+    }
+
+    /// Push the current per-subflow observables into the shared handle.
+    fn publish(&self, ctx: &NetCtx, idx: usize) {
+        let sf = &self.subflows[idx];
+        let trace = self.cfg.trace;
+        let now = ctx.now();
+        let alpha = if trace && self.subflows.len() > 1 {
+            let views = self.path_views();
+            Some(alpha_values(&views)[idx])
+        } else {
+            None
+        };
+        self.handle.update(|s| {
+            let st = &mut s.subflows[idx];
+            st.cwnd = sf.cwnd;
+            st.srtt = sf.rtt.srtt_or(0.0);
+            if trace {
+                st.cwnd_trace.push(now, sf.cwnd);
+                if let Some(a) = alpha {
+                    st.alpha_trace.push(now, a);
+                }
+            }
+        });
+    }
+
+    fn handle_ack(&mut self, ctx: &mut NetCtx, pkt: Packet) {
+        let idx = pkt.subflow as usize;
+        let ack = pkt.ack;
+        let cum = self.subflows[idx].cum_ack;
+
+        if ack > cum {
+            let newly = ack - cum;
+            {
+                let sf = &mut self.subflows[idx];
+                for seq in cum..ack {
+                    sf.dsn_map.remove(&seq);
+                }
+                sf.cum_ack = ack;
+                // A stale retransmission can ACK past a go-back-N rollback
+                // point; keep next_seq ≥ cum_ack so inflight() is well-defined.
+                sf.next_seq = sf.next_seq.max(ack);
+                sf.backoff = 0;
+                sf.ell2 += newly as f64;
+                let sample = ctx.now().saturating_since(pkt.ts_echo);
+                if sample > SimDuration::ZERO {
+                    sf.rtt.sample(sample);
+                }
+            }
+            self.total_acked += newly;
+            self.handle
+                .update(|s| s.subflows[idx].acked_packets += newly);
+
+            let mut partial_ack = false;
+            match self.subflows[idx].phase {
+                Phase::Open => {
+                    self.subflows[idx].dup_acks = 0;
+                    self.apply_increase(idx, newly);
+                }
+                Phase::Recovery { recover } => {
+                    if ack >= recover {
+                        // Full ACK: leave recovery, deflate to ssthresh.
+                        let sf = &mut self.subflows[idx];
+                        sf.phase = Phase::Open;
+                        sf.dup_acks = 0;
+                        sf.cwnd = sf.ssthresh.max(1.0);
+                    } else {
+                        // Partial ACK (NewReno): retransmit the next hole.
+                        partial_ack = true;
+                        self.transmit(ctx, idx, ack);
+                    }
+                }
+            }
+
+            if let (Some(size), None) = (self.size, self.handle.read(|s| s.completed_at)) {
+                if self.total_acked >= size {
+                    let now = ctx.now();
+                    self.handle.update(|s| s.completed_at = Some(now));
+                }
+            }
+
+            // Partial ACKs do not restart the timer: a recovery that drags on
+            // (many holes) must eventually hit the RTO and fall back to
+            // go-back-N slow start, as real stacks do under heavy loss.
+            if !partial_ack {
+                self.restart_timer(ctx, idx);
+            }
+        } else {
+            // Duplicate ACK.
+            let sf = &mut self.subflows[idx];
+            sf.dup_acks += 1;
+            let dup = sf.dup_acks;
+            match sf.phase {
+                Phase::Open if dup == self.cfg.dupack_threshold => {
+                    // Fast retransmit + enter fast recovery.
+                    let recover = sf.next_seq;
+                    let new_cwnd = self.reduce_on_loss(idx);
+                    let pin = self.cfg.pin_ssthresh;
+                    let sf = &mut self.subflows[idx];
+                    sf.ssthresh = pin.unwrap_or(new_cwnd);
+                    sf.cwnd = new_cwnd;
+                    sf.phase = Phase::Recovery { recover };
+                    self.handle.update(|s| s.subflows[idx].loss_events += 1);
+                    let hole = self.subflows[idx].cum_ack;
+                    self.transmit(ctx, idx, hole);
+                    self.maybe_prune(ctx, idx);
+                }
+                _ => {}
+            }
+        }
+
+        self.publish(ctx, idx);
+        self.try_send(ctx, idx);
+    }
+
+    fn handle_timeout(&mut self, ctx: &mut NetCtx, idx: usize) {
+        if !self.subflows[idx].active {
+            self.subflows[idx].timer_armed = false;
+            return;
+        }
+        if self.subflows[idx].inflight() == 0 {
+            self.subflows[idx].timer_armed = false;
+            return;
+        }
+        let new_cwnd = self.reduce_on_loss(idx);
+        {
+            let pin = self.cfg.pin_ssthresh;
+            let sf = &mut self.subflows[idx];
+            sf.ssthresh = pin.unwrap_or(new_cwnd);
+            sf.cwnd = 1.0;
+            sf.phase = Phase::Open;
+            sf.dup_acks = 0;
+            sf.backoff = (sf.backoff + 1).min(10);
+            sf.timer_armed = false;
+            // Go-back-N: resend from the hole. The receiver's cumulative
+            // ACKs skip over whatever it already buffered, so only genuinely
+            // lost packets cost a full retransmission.
+            sf.next_seq = sf.cum_ack;
+        }
+        self.handle.update(|s| {
+            s.subflows[idx].loss_events += 1;
+            s.subflows[idx].timeouts += 1;
+        });
+        self.maybe_prune(ctx, idx);
+        self.try_send(ctx, idx);
+        self.publish(ctx, idx);
+    }
+}
+
+impl Subflow {
+    fn rto_with_backoff(&self) -> SimDuration {
+        self.rtt.rto().saturating_mul(1 << self.backoff.min(10))
+    }
+}
+
+impl Endpoint for TcpSource {
+    fn start(&mut self, ctx: &mut NetCtx) {
+        let now = ctx.now();
+        self.handle.update(|s| s.started_at = Some(now));
+        for idx in 0..self.subflows.len() {
+            self.try_send(ctx, idx);
+            self.publish(ctx, idx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NetCtx, pkt: Packet) {
+        debug_assert_eq!(pkt.kind, PacketKind::Ack, "source received non-ACK");
+        debug_assert_eq!(pkt.conn, self.conn, "cross-connection packet at source");
+        self.handle_ack(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx, token: u64) {
+        let (idx, version) = decode_token(token);
+        if is_prune_token(token) {
+            self.reactivate(ctx, idx);
+            return;
+        }
+        let sf = &self.subflows[idx];
+        if !sf.timer_armed || version != sf.timer_version {
+            return; // stale timer
+        }
+        self.handle_timeout(ctx, idx);
+    }
+}

@@ -1,0 +1,416 @@
+//! The k-ary FatTree data center of §VI-B (Figs. 13/14, Table III).
+//!
+//! Structure for even `k`: `k` pods, each with `k/2` edge switches and `k/2`
+//! aggregation switches; each edge switch serves `k/2` hosts; `(k/2)²` core
+//! switches. `k = 8` gives the paper's 128 hosts and 80 switches.
+//!
+//! Every link direction is one `netsim` queue. A path between hosts in
+//! different pods is determined by the pair `(j, c)`: the aggregation index
+//! inside the pod and the core switch within that aggregation group —
+//! `(k/2)²` distinct core paths per host pair, which is what MPTCP's
+//! subflows spread over (per-subflow ECMP).
+
+use eventsim::{SimDuration, SimRng};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, QueueId, Route, Simulation};
+use tcpsim::{Connection, ConnectionSpec, PathSpec, TcpConfig};
+
+/// A built FatTree: host/link inventory plus path enumeration.
+#[derive(Debug)]
+pub struct FatTree {
+    k: usize,
+    host_up: Vec<QueueId>,
+    host_down: Vec<QueueId>,
+    /// `edge_agg_up[edge][j]`: edge switch → j-th aggregation switch of its
+    /// pod.
+    edge_agg_up: Vec<Vec<QueueId>>,
+    /// `agg_edge_down[edge][j]`: j-th aggregation switch → edge switch.
+    agg_edge_down: Vec<Vec<QueueId>>,
+    /// `agg_core_up[pod][j][c]`.
+    agg_core_up: Vec<Vec<Vec<QueueId>>>,
+    /// `core_agg_down[pod][j][c]`.
+    core_agg_down: Vec<Vec<Vec<QueueId>>>,
+}
+
+/// Configuration of the FatTree links.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeConfig {
+    /// Host link rate, bits/s (the paper: 100 Mb/s).
+    pub rate_bps: f64,
+    /// Per-queue propagation delay.
+    pub latency: SimDuration,
+    /// Drop-tail buffer, packets (htsim-style: 100).
+    pub buffer_pkts: usize,
+    /// Oversubscription factor: edge→agg and agg→core links run at
+    /// `rate/oversub` (1 = non-oversubscribed; 4 = the paper's 4:1 short-flow
+    /// scenario).
+    pub oversubscription: f64,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig {
+            rate_bps: 100e6,
+            latency: SimDuration::from_micros(20),
+            buffer_pkts: 100,
+            oversubscription: 1.0,
+        }
+    }
+}
+
+impl FatTree {
+    /// Build a `k`-ary FatTree (`k` even, ≥ 4) inside `sim`.
+    pub fn build(sim: &mut Simulation, k: usize, cfg: &FatTreeConfig) -> FatTree {
+        assert!(
+            k >= 4 && k.is_multiple_of(2),
+            "k must be even and ≥ 4, got {k}"
+        );
+        let half = k / 2;
+        let hosts = k * half * half;
+        let edges = k * half;
+        let core_rate = cfg.rate_bps / cfg.oversubscription;
+        let mk = |sim: &mut Simulation, rate: f64| {
+            sim.add_queue(QueueConfig::drop_tail(rate, cfg.latency, cfg.buffer_pkts))
+        };
+
+        let mut host_up = Vec::with_capacity(hosts);
+        let mut host_down = Vec::with_capacity(hosts);
+        for _ in 0..hosts {
+            host_up.push(mk(sim, cfg.rate_bps));
+            host_down.push(mk(sim, cfg.rate_bps));
+        }
+        let mut edge_agg_up = Vec::with_capacity(edges);
+        let mut agg_edge_down = Vec::with_capacity(edges);
+        for _ in 0..edges {
+            edge_agg_up.push((0..half).map(|_| mk(sim, core_rate)).collect());
+            agg_edge_down.push((0..half).map(|_| mk(sim, core_rate)).collect());
+        }
+        let mut agg_core_up = Vec::with_capacity(k);
+        let mut core_agg_down = Vec::with_capacity(k);
+        for _ in 0..k {
+            let up: Vec<Vec<QueueId>> = (0..half)
+                .map(|_| (0..half).map(|_| mk(sim, core_rate)).collect())
+                .collect();
+            let down: Vec<Vec<QueueId>> = (0..half)
+                .map(|_| (0..half).map(|_| mk(sim, core_rate)).collect())
+                .collect();
+            agg_core_up.push(up);
+            core_agg_down.push(down);
+        }
+        FatTree {
+            k,
+            host_up,
+            host_down,
+            edge_agg_up,
+            agg_edge_down,
+            agg_core_up,
+            core_agg_down,
+        }
+    }
+
+    /// Number of hosts (`k³/4`).
+    pub fn num_hosts(&self) -> usize {
+        self.host_up.len()
+    }
+
+    /// Number of switches (`5k²/4` — the paper's 80 for k=8).
+    pub fn num_switches(&self) -> usize {
+        self.k * self.k + self.k * self.k / 4
+    }
+
+    /// All aggregation→core and core→aggregation queues — the network core,
+    /// whose mean utilization Table III reports.
+    pub fn core_queues(&self) -> Vec<QueueId> {
+        let mut out = Vec::new();
+        for pod in 0..self.k {
+            for j in 0..self.half() {
+                for c in 0..self.half() {
+                    out.push(self.agg_core_up[pod][j][c]);
+                    out.push(self.core_agg_down[pod][j][c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// All host access queues (up then down), for utilization accounting.
+    pub fn host_queues(&self) -> Vec<QueueId> {
+        self.host_up
+            .iter()
+            .chain(self.host_down.iter())
+            .copied()
+            .collect()
+    }
+
+    fn half(&self) -> usize {
+        self.k / 2
+    }
+
+    fn pod_of(&self, host: usize) -> usize {
+        host / (self.half() * self.half())
+    }
+
+    fn edge_of(&self, host: usize) -> usize {
+        host / self.half()
+    }
+
+    /// Number of distinct paths between two hosts: 1 same-edge, `k/2`
+    /// same-pod, `(k/2)²` cross-pod.
+    pub fn num_paths(&self, src: usize, dst: usize) -> usize {
+        assert_ne!(src, dst, "src == dst");
+        if self.edge_of(src) == self.edge_of(dst) {
+            1
+        } else if self.pod_of(src) == self.pod_of(dst) {
+            self.half()
+        } else {
+            self.half() * self.half()
+        }
+    }
+
+    /// The `choice`-th forward/reverse route pair between `src` and `dst`.
+    ///
+    /// For cross-pod pairs, `choice = j·(k/2) + c` selects aggregation `j`
+    /// and core `c`; the reverse route mirrors the same switches.
+    pub fn route_pair(&self, src: usize, dst: usize, choice: usize) -> (Route, Route) {
+        assert!(
+            choice < self.num_paths(src, dst),
+            "path choice out of range"
+        );
+        let (se, de) = (self.edge_of(src), self.edge_of(dst));
+        let (sp, dp) = (self.pod_of(src), self.pod_of(dst));
+        let half = self.half();
+        if se == de {
+            return (
+                route(&[self.host_up[src], self.host_down[dst]]),
+                route(&[self.host_up[dst], self.host_down[src]]),
+            );
+        }
+        if sp == dp {
+            let j = choice;
+            let fwd = route(&[
+                self.host_up[src],
+                self.edge_agg_up[se][j],
+                self.agg_edge_down[de][j],
+                self.host_down[dst],
+            ]);
+            let rev = route(&[
+                self.host_up[dst],
+                self.edge_agg_up[de][j],
+                self.agg_edge_down[se][j],
+                self.host_down[src],
+            ]);
+            return (fwd, rev);
+        }
+        let (j, c) = (choice / half, choice % half);
+        let fwd = route(&[
+            self.host_up[src],
+            self.edge_agg_up[se][j],
+            self.agg_core_up[sp][j][c],
+            self.core_agg_down[dp][j][c],
+            self.agg_edge_down[de][j],
+            self.host_down[dst],
+        ]);
+        let rev = route(&[
+            self.host_up[dst],
+            self.edge_agg_up[de][j],
+            self.agg_core_up[dp][j][c],
+            self.core_agg_down[sp][j][c],
+            self.agg_edge_down[se][j],
+            self.host_down[src],
+        ]);
+        (fwd, rev)
+    }
+
+    /// Sample `n` distinct path choices (without replacement where
+    /// possible), as MPTCP's per-subflow ECMP does.
+    pub fn sample_paths(
+        &self,
+        src: usize,
+        dst: usize,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<(Route, Route)> {
+        let total = self.num_paths(src, dst);
+        let mut choices: Vec<usize> = (0..total).collect();
+        rng.shuffle(&mut choices);
+        (0..n)
+            .map(|i| {
+                // With replacement once distinct paths run out.
+                let c = if i < total {
+                    choices[i]
+                } else {
+                    choices[rng.below(total)]
+                };
+                self.route_pair(src, dst, c)
+            })
+            .collect()
+    }
+
+    /// Install a connection from `src` to `dst` with `subflows` subflows on
+    /// randomly sampled distinct paths.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        &self,
+        sim: &mut Simulation,
+        src: usize,
+        dst: usize,
+        algorithm: Algorithm,
+        subflows: usize,
+        size_packets: Option<u64>,
+        config: TcpConfig,
+        rng: &mut SimRng,
+        conn_id: u64,
+    ) -> Connection {
+        assert!(subflows >= 1, "need at least one subflow");
+        let paths = self.sample_paths(src, dst, subflows, rng);
+        let mut spec = ConnectionSpec::new(algorithm).with_config(config);
+        for (fwd, rev) in paths {
+            spec = spec.with_path(PathSpec::new(fwd, rev));
+        }
+        if let Some(n) = size_packets {
+            spec = spec.with_size_packets(n);
+        }
+        spec.install(sim, conn_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::SimTime;
+    use proptest::prelude::*;
+
+    fn tree(k: usize) -> (Simulation, FatTree) {
+        let mut sim = Simulation::new(1);
+        let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
+        (sim, ft)
+    }
+
+    #[test]
+    fn paper_dimensions_k8() {
+        let (_, ft) = tree(8);
+        assert_eq!(ft.num_hosts(), 128);
+        assert_eq!(ft.num_switches(), 80);
+    }
+
+    #[test]
+    fn path_counts() {
+        let (_, ft) = tree(4);
+        // k=4: 16 hosts, 2 hosts/edge, 4 hosts/pod.
+        assert_eq!(ft.num_paths(0, 1), 1); // same edge
+        assert_eq!(ft.num_paths(0, 2), 2); // same pod, different edge
+        assert_eq!(ft.num_paths(0, 4), 4); // cross-pod
+    }
+
+    #[test]
+    fn routes_have_expected_lengths() {
+        let (_, ft) = tree(4);
+        let (f, r) = ft.route_pair(0, 1, 0);
+        assert_eq!((f.len(), r.len()), (2, 2));
+        let (f, r) = ft.route_pair(0, 2, 1);
+        assert_eq!((f.len(), r.len()), (4, 4));
+        let (f, r) = ft.route_pair(0, 5, 3);
+        assert_eq!((f.len(), r.len()), (6, 6));
+    }
+
+    #[test]
+    fn cross_pod_choices_are_distinct() {
+        let (_, ft) = tree(4);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..ft.num_paths(0, 15) {
+            let (f, _) = ft.route_pair(0, 15, c);
+            assert!(seen.insert(f.to_vec()), "duplicate path for choice {c}");
+        }
+    }
+
+    #[test]
+    fn sample_paths_without_replacement_first() {
+        let (_, ft) = tree(4);
+        let mut rng = SimRng::seed_from_u64(3);
+        let paths = ft.sample_paths(0, 5, 4, &mut rng);
+        let mut set = std::collections::HashSet::new();
+        for (f, _) in &paths {
+            assert!(set.insert(f.to_vec()), "distinct while available");
+        }
+        // Requesting more than available falls back to reuse but still works.
+        let more = ft.sample_paths(0, 1, 3, &mut rng);
+        assert_eq!(more.len(), 3);
+    }
+
+    #[test]
+    fn end_to_end_flow_crosses_the_tree() {
+        let mut sim = Simulation::new(5);
+        let ft = FatTree::build(&mut sim, 4, &FatTreeConfig::default());
+        let mut rng = SimRng::seed_from_u64(1);
+        let conn = ft.connect(
+            &mut sim,
+            0,
+            15,
+            Algorithm::Olia,
+            4,
+            None,
+            TcpConfig::default(),
+            &mut rng,
+            0,
+        );
+        sim.start_endpoint_at(conn.source, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        // A lone 4-subflow flow across the fabric should approach the host
+        // link rate (100 Mb/s).
+        let goodput = conn.handle.goodput_mbps(sim.now());
+        assert!(goodput > 60.0, "goodput {goodput} Mb/s");
+    }
+
+    #[test]
+    fn oversubscription_reduces_core_capacity() {
+        let mut sim = Simulation::new(5);
+        let cfg = FatTreeConfig {
+            oversubscription: 4.0,
+            ..FatTreeConfig::default()
+        };
+        let ft = FatTree::build(&mut sim, 4, &cfg);
+        let mut rng = SimRng::seed_from_u64(1);
+        let conn = ft.connect(
+            &mut sim,
+            0,
+            15,
+            Algorithm::Reno,
+            1,
+            None,
+            TcpConfig::default(),
+            &mut rng,
+            0,
+        );
+        sim.start_endpoint_at(conn.source, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        let goodput = conn.handle.goodput_mbps(sim.now());
+        // Single path capped by the 25 Mb/s core links.
+        assert!(goodput < 26.0, "goodput {goodput} Mb/s");
+        assert!(goodput > 15.0, "goodput {goodput} Mb/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let mut sim = Simulation::new(0);
+        FatTree::build(&mut sim, 5, &FatTreeConfig::default());
+    }
+
+    proptest! {
+        /// Forward and reverse routes always start at the right host links
+        /// and are symmetric in length.
+        #[test]
+        fn prop_route_endpoints(src in 0usize..16, dst in 0usize..16) {
+            prop_assume!(src != dst);
+            let (_, ft) = tree(4);
+            for c in 0..ft.num_paths(src, dst) {
+                let (f, r) = ft.route_pair(src, dst, c);
+                prop_assert_eq!(f.len(), r.len());
+                prop_assert_eq!(f[0], ft.host_up[src]);
+                prop_assert_eq!(*f.last().unwrap(), ft.host_down[dst]);
+                prop_assert_eq!(r[0], ft.host_up[dst]);
+                prop_assert_eq!(*r.last().unwrap(), ft.host_down[src]);
+            }
+        }
+    }
+}

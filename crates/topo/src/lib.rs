@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Topology builders for the reproduction of *"MPTCP is not Pareto-Optimal"*
+//! (Khalili et al., CoNEXT 2012).
+//!
+//! Each builder assembles one of the paper's experiment networks inside a
+//! `netsim::Simulation` and returns the installed connections plus the
+//! bottleneck queue ids, so experiments can read loss probabilities and
+//! utilizations directly:
+//!
+//! * [`ScenarioA`] (§III-A, Figs. 1/2, 9, 10): N1 MPTCP users with a private
+//!   AP and a congested streaming server, N2 TCP users behind a shared AP.
+//! * [`ScenarioB`] (§III-B, Figs. 3/4, Tables I/II): the four-ISP
+//!   multi-homing example where upgrading Red users to MPTCP hurts everyone.
+//! * [`ScenarioC`] (§III-C, Figs. 5, 11, 12): N1 multipath users sharing AP2
+//!   with N2 single-path users.
+//! * [`TwoBottleneck`] (§IV-C, Figs. 6–8): one multipath user across two
+//!   bottlenecks shared with competing TCP flows — the window/α trace
+//!   scenario.
+//! * [`FatTree`] (§VI-B, Figs. 13/14, Table III): the k-ary FatTree data
+//!   center with per-subflow ECMP-style path selection.
+//!
+//! All builders follow the testbed conventions of §III: RED queues with the
+//! paper's capacity-scaled profile on bottleneck links, 80 ms propagation
+//! RTT (queueing delay adds the rest), and pure-delay elements for
+//! non-bottleneck segments.
+
+mod dc;
+mod scenarios;
+
+pub use dc::{FatTree, FatTreeConfig};
+pub use scenarios::{
+    delay_line, stagger_starts, ScenarioA, ScenarioAParams, ScenarioB, ScenarioBParams, ScenarioC,
+    ScenarioCParams, TwoBottleneck, TwoBottleneckParams,
+};

@@ -1,0 +1,509 @@
+//! The paper's testbed scenarios (§III) and the two-bottleneck illustration
+//! (§IV-C).
+
+use eventsim::{SimDuration, SimRng, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, QueueId, Simulation};
+use tcpsim::{Connection, ConnectionSpec, PathSpec, TcpConfig};
+
+/// Rate of pure-delay elements: fast enough never to queue (10 Gb/s).
+const DELAY_LINE_BPS: f64 = 10e9;
+
+/// Propagation delay placed on each bottleneck queue.
+const BOTTLENECK_LATENCY: SimDuration = SimDuration::from_millis(10);
+
+/// One-way propagation target (80 ms round trip, §III Testbed Setup).
+const ONE_WAY: SimDuration = SimDuration::from_millis(40);
+
+/// Add a pure-delay element: a queue so fast it never builds a backlog,
+/// contributing only its propagation latency.
+pub fn delay_line(sim: &mut Simulation, latency: SimDuration) -> QueueId {
+    sim.add_queue(QueueConfig::drop_tail(DELAY_LINE_BPS, latency, 1_000_000))
+}
+
+/// A RED bottleneck with the paper's capacity-scaled profile and 10 ms of
+/// propagation.
+fn bottleneck(sim: &mut Simulation, rate_mbps: f64) -> QueueId {
+    sim.add_queue(QueueConfig::red_paper(rate_mbps * 1e6, BOTTLENECK_LATENCY))
+}
+
+/// Pad `used` of propagation out of the 40 ms one-way budget.
+fn pad(sim: &mut Simulation, used: SimDuration) -> QueueId {
+    delay_line(sim, ONE_WAY - used)
+}
+
+/// Start every connection at a uniformly random time in `[0, window)` — the
+/// testbed's "flows are initiated in the random order".
+pub fn stagger_starts(
+    sim: &mut Simulation,
+    conns: &[Connection],
+    window: SimDuration,
+    rng: &mut SimRng,
+) {
+    for c in conns {
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(rng.f64() * window.as_secs_f64());
+        sim.start_endpoint_at(c.source, at);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario A
+// ---------------------------------------------------------------------------
+
+/// Parameters of Scenario A (§III-A): N1 type1 users stream through a server
+/// bottleneck of capacity `N1·C1` and may also use a shared AP of capacity
+/// `N2·C2`; N2 type2 TCP users use only the shared AP.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioAParams {
+    /// Number of type1 (multipath) users.
+    pub n1: usize,
+    /// Number of type2 (single-path) users.
+    pub n2: usize,
+    /// Per-user capacity of the streaming server, Mb/s.
+    pub c1_mbps: f64,
+    /// Per-user capacity of the shared AP, Mb/s.
+    pub c2_mbps: f64,
+    /// Congestion control of the type1 users (LIA or OLIA in the paper).
+    pub algorithm: Algorithm,
+    /// TCP parameters for every connection.
+    pub config: TcpConfig,
+}
+
+impl ScenarioAParams {
+    /// The paper's measurement grid: `N2 = 10`, `C2 = 1` Mb/s.
+    pub fn paper(n1: usize, c1_over_c2: f64, algorithm: Algorithm) -> ScenarioAParams {
+        ScenarioAParams {
+            n1,
+            n2: 10,
+            c1_mbps: c1_over_c2,
+            c2_mbps: 1.0,
+            algorithm,
+            config: TcpConfig::default(),
+        }
+    }
+}
+
+/// The built Scenario A network.
+#[derive(Debug)]
+pub struct ScenarioA {
+    /// Streaming-server bottleneck (loss probability p1 lives here).
+    pub r1: QueueId,
+    /// Shared-AP bottleneck (p2).
+    pub r2: QueueId,
+    /// The N1 multipath connections (path 0: private; path 1: shared AP).
+    pub type1: Vec<Connection>,
+    /// The N2 single-path TCP connections.
+    pub type2: Vec<Connection>,
+}
+
+impl ScenarioA {
+    /// Assemble the scenario inside `sim`. Connections are installed but not
+    /// started.
+    pub fn build(sim: &mut Simulation, p: &ScenarioAParams) -> ScenarioA {
+        assert!(p.n1 > 0 && p.n2 > 0, "need users of both types");
+        let r1 = bottleneck(sim, p.n1 as f64 * p.c1_mbps);
+        let r2 = bottleneck(sim, p.n2 as f64 * p.c2_mbps);
+        // Forward propagation padding per path (each bottleneck contributes
+        // 10 ms).
+        let pad_private = pad(sim, BOTTLENECK_LATENCY); // R1 only
+        let pad_shared = pad(sim, BOTTLENECK_LATENCY * 2); // R1 + R2
+        let pad_type2 = pad(sim, BOTTLENECK_LATENCY); // R2 only
+        let rev = delay_line(sim, ONE_WAY);
+
+        let mut conn_id = 0;
+        let mut type1 = Vec::with_capacity(p.n1);
+        for _ in 0..p.n1 {
+            let c = ConnectionSpec::new(p.algorithm)
+                .with_config(p.config)
+                // Private path: server bottleneck only.
+                .with_path(PathSpec::new(route(&[r1, pad_private]), route(&[rev])))
+                // Shared path: server bottleneck then shared AP.
+                .with_path(PathSpec::new(route(&[r1, r2, pad_shared]), route(&[rev])))
+                .install(sim, conn_id);
+            conn_id += 1;
+            type1.push(c);
+        }
+        let mut type2 = Vec::with_capacity(p.n2);
+        for _ in 0..p.n2 {
+            let c = ConnectionSpec::new(Algorithm::Reno)
+                .with_config(p.config)
+                .with_path(PathSpec::new(route(&[r2, pad_type2]), route(&[rev])))
+                .install(sim, conn_id);
+            conn_id += 1;
+            type2.push(c);
+        }
+        ScenarioA {
+            r1,
+            r2,
+            type1,
+            type2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B
+// ---------------------------------------------------------------------------
+
+/// Parameters of Scenario B (§III-B): the four-ISP multi-homing example.
+///
+/// Effective path structure (from the capacity constraints of Appendix B —
+/// `CX = N(x1+y1)`, `CT = N(x2+y1+y2)`):
+///
+/// * Blue users are always multipath: path 1 crosses bottleneck X, path 2
+///   crosses bottleneck T.
+/// * Red users download from ISP T: their direct path crosses T only; the
+///   dashed path they activate when upgrading to MPTCP crosses T *and* X.
+///
+/// ISPs Y and Z are modeled as real (non-bottleneck) 100 Mb/s pass-through
+/// links.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioBParams {
+    /// Number of Blue users.
+    pub nb: usize,
+    /// Number of Red users.
+    pub nr: usize,
+    /// Access capacity of ISP X, Mb/s.
+    pub cx_mbps: f64,
+    /// Access capacity of ISP T, Mb/s.
+    pub ct_mbps: f64,
+    /// Access capacity of ISPs Y and Z (non-bottlenecks), Mb/s.
+    pub cyz_mbps: f64,
+    /// Whether the Red users have upgraded to MPTCP (activated the dashed
+    /// path).
+    pub red_multipath: bool,
+    /// Congestion control for all multipath users.
+    pub algorithm: Algorithm,
+    /// TCP parameters.
+    pub config: TcpConfig,
+}
+
+impl ScenarioBParams {
+    /// The paper's measurement setting (Tables I/II): CX=27, CT=36,
+    /// CY=CZ=100 Mb/s, 15+15 users.
+    pub fn paper(red_multipath: bool, algorithm: Algorithm) -> ScenarioBParams {
+        ScenarioBParams {
+            nb: 15,
+            nr: 15,
+            cx_mbps: 27.0,
+            ct_mbps: 36.0,
+            cyz_mbps: 100.0,
+            red_multipath,
+            algorithm,
+            config: TcpConfig::default(),
+        }
+    }
+}
+
+/// The built Scenario B network.
+#[derive(Debug)]
+pub struct ScenarioB {
+    /// ISP X access bottleneck (loss pX).
+    pub x: QueueId,
+    /// ISP T access bottleneck (pT).
+    pub t: QueueId,
+    /// Blue multipath connections (path 0 via X, path 1 via T).
+    pub blue: Vec<Connection>,
+    /// Red connections (single path via T, or two paths when upgraded).
+    pub red: Vec<Connection>,
+}
+
+impl ScenarioB {
+    /// Assemble the scenario inside `sim`. Connections are installed but not
+    /// started.
+    pub fn build(sim: &mut Simulation, p: &ScenarioBParams) -> ScenarioB {
+        assert!(p.nb > 0 && p.nr > 0, "need both user groups");
+        let x = bottleneck(sim, p.cx_mbps);
+        let t = bottleneck(sim, p.ct_mbps);
+        // Pass-through ISPs Y and Z: drop-tail, effectively lossless.
+        let y = sim.add_queue(QueueConfig::drop_tail(
+            p.cyz_mbps * 1e6,
+            SimDuration::from_millis(2),
+            10_000,
+        ));
+        let z = sim.add_queue(QueueConfig::drop_tail(
+            p.cyz_mbps * 1e6,
+            SimDuration::from_millis(2),
+            10_000,
+        ));
+        let pad_x = pad(sim, BOTTLENECK_LATENCY + SimDuration::from_millis(2));
+        let pad_t = pad(sim, BOTTLENECK_LATENCY);
+        let pad_tx = pad(sim, BOTTLENECK_LATENCY * 2);
+        let pad_tzy = pad(sim, BOTTLENECK_LATENCY + SimDuration::from_millis(4));
+        let rev = delay_line(sim, ONE_WAY);
+
+        let mut conn_id = 0;
+        let mut blue = Vec::with_capacity(p.nb);
+        for _ in 0..p.nb {
+            let c = ConnectionSpec::new(p.algorithm)
+                .with_config(p.config)
+                // Via Z then X's access link.
+                .with_path(PathSpec::new(route(&[z, x, pad_x]), route(&[rev])))
+                // Via T's access link.
+                .with_path(PathSpec::new(route(&[t, pad_t]), route(&[rev])))
+                .install(sim, conn_id);
+            conn_id += 1;
+            blue.push(c);
+        }
+        let mut red = Vec::with_capacity(p.nr);
+        for _ in 0..p.nr {
+            let direct = PathSpec::new(route(&[t, z, y, pad_tzy]), route(&[rev]));
+            let spec = if p.red_multipath {
+                ConnectionSpec::new(p.algorithm)
+                    .with_config(p.config)
+                    // Dashed path: T's access then X's access.
+                    .with_path(PathSpec::new(route(&[t, x, pad_tx]), route(&[rev])))
+                    .with_path(direct)
+            } else {
+                ConnectionSpec::new(Algorithm::Reno)
+                    .with_config(p.config)
+                    .with_path(direct)
+            };
+            let c = spec.install(sim, conn_id);
+            conn_id += 1;
+            red.push(c);
+        }
+        ScenarioB { x, t, blue, red }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario C
+// ---------------------------------------------------------------------------
+
+/// Parameters of Scenario C (§III-C): N1 multipath users over both APs, N2
+/// single-path users on AP2 only.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCParams {
+    /// Number of multipath users.
+    pub n1: usize,
+    /// Number of single-path users.
+    pub n2: usize,
+    /// Per-multipath-user capacity of AP1, Mb/s.
+    pub c1_mbps: f64,
+    /// Per-single-path-user capacity of AP2, Mb/s.
+    pub c2_mbps: f64,
+    /// Congestion control of the multipath users.
+    pub algorithm: Algorithm,
+    /// TCP parameters.
+    pub config: TcpConfig,
+}
+
+impl ScenarioCParams {
+    /// The paper's measurement grid: `N2 = 10`, `C2 = 1` Mb/s.
+    pub fn paper(n1: usize, c1_over_c2: f64, algorithm: Algorithm) -> ScenarioCParams {
+        ScenarioCParams {
+            n1,
+            n2: 10,
+            c1_mbps: c1_over_c2,
+            c2_mbps: 1.0,
+            algorithm,
+            config: TcpConfig::default(),
+        }
+    }
+}
+
+/// The built Scenario C network.
+#[derive(Debug)]
+pub struct ScenarioC {
+    /// AP1 bottleneck (loss p1), used only by multipath users.
+    pub ap1: QueueId,
+    /// AP2 bottleneck (p2), shared by everyone.
+    pub ap2: QueueId,
+    /// The N1 multipath connections (path 0: AP1; path 1: AP2).
+    pub multipath: Vec<Connection>,
+    /// The N2 single-path TCP connections.
+    pub single: Vec<Connection>,
+}
+
+impl ScenarioC {
+    /// Assemble the scenario inside `sim`. Connections are installed but not
+    /// started.
+    pub fn build(sim: &mut Simulation, p: &ScenarioCParams) -> ScenarioC {
+        assert!(p.n1 > 0 && p.n2 > 0, "need users of both types");
+        let ap1 = bottleneck(sim, p.n1 as f64 * p.c1_mbps);
+        let ap2 = bottleneck(sim, p.n2 as f64 * p.c2_mbps);
+        let pad1 = pad(sim, BOTTLENECK_LATENCY);
+        let pad2 = pad(sim, BOTTLENECK_LATENCY);
+        let rev = delay_line(sim, ONE_WAY);
+
+        let mut conn_id = 0;
+        let mut multipath = Vec::with_capacity(p.n1);
+        for _ in 0..p.n1 {
+            let c = ConnectionSpec::new(p.algorithm)
+                .with_config(p.config)
+                .with_path(PathSpec::new(route(&[ap1, pad1]), route(&[rev])))
+                .with_path(PathSpec::new(route(&[ap2, pad2]), route(&[rev])))
+                .install(sim, conn_id);
+            conn_id += 1;
+            multipath.push(c);
+        }
+        let mut single = Vec::with_capacity(p.n2);
+        for _ in 0..p.n2 {
+            let c = ConnectionSpec::new(Algorithm::Reno)
+                .with_config(p.config)
+                .with_path(PathSpec::new(route(&[ap2, pad2]), route(&[rev])))
+                .install(sim, conn_id);
+            conn_id += 1;
+            single.push(c);
+        }
+        ScenarioC {
+            ap1,
+            ap2,
+            multipath,
+            single,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-bottleneck illustration (Fig. 6)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the two-bottleneck example of §IV-C: a single multipath
+/// user whose two paths cross two capacity-`C` bottlenecks shared with `n1`
+/// and `n2` competing TCP flows respectively.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoBottleneckParams {
+    /// Capacity of each bottleneck, Mb/s.
+    pub c_mbps: f64,
+    /// TCP flows competing on path 1 (5 in both of the paper's cases).
+    pub n1: usize,
+    /// TCP flows competing on path 2 (5 symmetric / 10 asymmetric).
+    pub n2: usize,
+    /// Congestion control of the multipath user.
+    pub algorithm: Algorithm,
+    /// TCP parameters (enable `trace` to reproduce Figs. 7–8).
+    pub config: TcpConfig,
+}
+
+/// The built two-bottleneck network.
+#[derive(Debug)]
+pub struct TwoBottleneck {
+    /// Bottleneck crossed by subflow 0.
+    pub link1: QueueId,
+    /// Bottleneck crossed by subflow 1.
+    pub link2: QueueId,
+    /// The multipath connection under observation.
+    pub multipath: Connection,
+    /// Competing TCP flows on link 1.
+    pub tcp1: Vec<Connection>,
+    /// Competing TCP flows on link 2.
+    pub tcp2: Vec<Connection>,
+}
+
+impl TwoBottleneck {
+    /// Assemble the scenario inside `sim`. Connections are installed but not
+    /// started.
+    pub fn build(sim: &mut Simulation, p: &TwoBottleneckParams) -> TwoBottleneck {
+        let link1 = bottleneck(sim, p.c_mbps);
+        let link2 = bottleneck(sim, p.c_mbps);
+        let pad1 = pad(sim, BOTTLENECK_LATENCY);
+        let pad2 = pad(sim, BOTTLENECK_LATENCY);
+        let rev = delay_line(sim, ONE_WAY);
+        let path =
+            |l: QueueId, d: QueueId, rev: QueueId| PathSpec::new(route(&[l, d]), route(&[rev]));
+
+        let multipath = ConnectionSpec::new(p.algorithm)
+            .with_config(p.config)
+            .with_path(path(link1, pad1, rev))
+            .with_path(path(link2, pad2, rev))
+            .install(sim, 0);
+        let mut conn_id = 1;
+        let mut mk_tcp = |sim: &mut Simulation, l, d| {
+            let mut cfg = p.config;
+            cfg.trace = false;
+            let c = ConnectionSpec::new(Algorithm::Reno)
+                .with_config(cfg)
+                .with_path(path(l, d, rev))
+                .install(sim, conn_id);
+            conn_id += 1;
+            c
+        };
+        let tcp1 = (0..p.n1).map(|_| mk_tcp(sim, link1, pad1)).collect();
+        let tcp2 = (0..p.n2).map(|_| mk_tcp(sim, link2, pad2)).collect();
+        TwoBottleneck {
+            link1,
+            link2,
+            multipath,
+            tcp1,
+            tcp2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_a_shape() {
+        let mut sim = Simulation::new(1);
+        let p = ScenarioAParams::paper(10, 1.0, Algorithm::Lia);
+        let s = ScenarioA::build(&mut sim, &p);
+        assert_eq!(s.type1.len(), 10);
+        assert_eq!(s.type2.len(), 10);
+        assert_eq!(s.type1[0].handle.num_subflows(), 2);
+        assert_eq!(s.type2[0].handle.num_subflows(), 1);
+        assert_ne!(s.r1, s.r2);
+    }
+
+    #[test]
+    fn scenario_b_single_vs_multipath_red() {
+        let mut sim = Simulation::new(1);
+        let single = ScenarioB::build(&mut sim, &ScenarioBParams::paper(false, Algorithm::Lia));
+        assert_eq!(single.red[0].handle.num_subflows(), 1);
+        assert_eq!(single.blue[0].handle.num_subflows(), 2);
+        let mut sim2 = Simulation::new(1);
+        let multi = ScenarioB::build(&mut sim2, &ScenarioBParams::paper(true, Algorithm::Olia));
+        assert_eq!(multi.red[0].handle.num_subflows(), 2);
+    }
+
+    #[test]
+    fn scenario_c_shape() {
+        let mut sim = Simulation::new(1);
+        let p = ScenarioCParams::paper(20, 2.0, Algorithm::Olia);
+        let s = ScenarioC::build(&mut sim, &p);
+        assert_eq!(s.multipath.len(), 20);
+        assert_eq!(s.single.len(), 10);
+    }
+
+    #[test]
+    fn two_bottleneck_shape() {
+        let mut sim = Simulation::new(1);
+        let p = TwoBottleneckParams {
+            c_mbps: 10.0,
+            n1: 5,
+            n2: 10,
+            algorithm: Algorithm::Olia,
+            config: TcpConfig::default(),
+        };
+        let s = TwoBottleneck::build(&mut sim, &p);
+        assert_eq!(s.tcp1.len(), 5);
+        assert_eq!(s.tcp2.len(), 10);
+        assert_eq!(s.multipath.handle.num_subflows(), 2);
+    }
+
+    #[test]
+    fn stagger_spreads_starts_and_flows_run() {
+        let mut sim = Simulation::new(42);
+        let p = ScenarioCParams::paper(2, 1.0, Algorithm::Olia);
+        let s = ScenarioC::build(&mut sim, &p);
+        let all: Vec<Connection> = s.multipath.iter().chain(s.single.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(7);
+        stagger_starts(&mut sim, &all, SimDuration::from_secs(2), &mut rng);
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        for c in &all {
+            assert!(
+                c.handle.read(|st| st.delivered_packets) > 0,
+                "every flow must deliver data"
+            );
+        }
+        // Starts actually differ (staggered).
+        let starts: Vec<f64> = all
+            .iter()
+            .map(|c| c.handle.read(|st| st.started_at.unwrap().as_secs_f64()))
+            .collect();
+        assert!(starts.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,187 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the reproduction of *"MPTCP is not
+//! Pareto-Optimal"* (Khalili et al., CoNEXT 2012).
+//!
+//! Three workload shapes cover every experiment in the paper:
+//!
+//! * **Long-lived bulk transfers** (all of §III and §VI-A): Iperf-style
+//!   unlimited flows started in random order — the start jitter is produced
+//!   here, the staggering applied by `topo::stagger_starts`.
+//! * **Random permutation traffic** (§VI-B.1, Fig. 13): each FatTree host
+//!   sends one long-lived flow to a distinct host, never itself.
+//! * **Poisson short flows** (§VI-B.2, Fig. 14 / Table III): two-thirds of
+//!   the hosts send 70 kB flows with exponentially distributed gaps of mean
+//!   200 ms, competing with long-lived flows from the remaining third.
+
+use eventsim::SimRng;
+
+/// The paper's short-flow size: 70 kB ≈ 47 MSS-sized packets.
+pub const SHORT_FLOW_PACKETS: u64 = 47;
+
+/// The paper's mean short-flow inter-arrival gap, seconds.
+pub const SHORT_FLOW_MEAN_GAP_S: f64 = 0.2;
+
+/// One planned finite flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShortFlowSpec {
+    /// Sending host index.
+    pub src: usize,
+    /// Receiving host index.
+    pub dst: usize,
+    /// Start time, seconds.
+    pub start_s: f64,
+    /// Flow size in MSS packets.
+    pub size_packets: u64,
+}
+
+/// Poisson arrival times with mean gap `mean_gap_s`, within `[0, horizon_s)`.
+pub fn poisson_arrivals(rng: &mut SimRng, mean_gap_s: f64, horizon_s: f64) -> Vec<f64> {
+    assert!(mean_gap_s > 0.0, "mean gap must be positive");
+    assert!(horizon_s >= 0.0, "horizon must be nonnegative");
+    let mut out = Vec::new();
+    let mut t = rng.exponential(mean_gap_s);
+    while t < horizon_s {
+        out.push(t);
+        t += rng.exponential(mean_gap_s);
+    }
+    out
+}
+
+/// A random permutation destination map over `n` hosts with no fixed points:
+/// `perm[i]` is the destination of host `i` (§VI-B.1's "each host sends a
+/// long-lived flow to another host chosen at random").
+pub fn permutation_traffic(rng: &mut SimRng, n: usize) -> Vec<usize> {
+    rng.permutation_no_fixpoint(n)
+}
+
+/// Split hosts into long-flow senders (every third host — one-third of the
+/// fabric) and short-flow senders (the rest), as in §VI-B.2.
+pub fn long_short_split(n: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut long = Vec::new();
+    let mut short = Vec::new();
+    for h in 0..n {
+        if h % 3 == 0 {
+            long.push(h);
+        } else {
+            short.push(h);
+        }
+    }
+    (long, short)
+}
+
+/// Plan the short-flow side of §VI-B.2: each host in `senders` emits
+/// `SHORT_FLOW_PACKETS`-sized flows to its permutation destination at
+/// Poisson instants over `horizon_s`.
+pub fn short_flow_plan(
+    rng: &mut SimRng,
+    senders: &[usize],
+    dests: &[usize],
+    horizon_s: f64,
+) -> Vec<ShortFlowSpec> {
+    assert_eq!(
+        senders.len(),
+        dests.len(),
+        "each sender needs a destination"
+    );
+    let mut plan = Vec::new();
+    for (&src, &dst) in senders.iter().zip(dests) {
+        assert_ne!(src, dst, "host {src} cannot send to itself");
+        for start_s in poisson_arrivals(rng, SHORT_FLOW_MEAN_GAP_S, horizon_s) {
+            plan.push(ShortFlowSpec {
+                src,
+                dst,
+                start_s,
+                size_packets: SHORT_FLOW_PACKETS,
+            });
+        }
+    }
+    plan.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    plan
+}
+
+/// Uniform start jitter in `[0, window_s)` for `n` bulk flows ("flows are
+/// initiated in the random order").
+pub fn bulk_start_jitter(rng: &mut SimRng, n: usize, window_s: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.f64() * window_s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn poisson_rate_is_right() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let arrivals = poisson_arrivals(&mut rng, 0.2, 2_000.0);
+        // Expect ~10_000 arrivals over 2000 s at rate 5/s.
+        let n = arrivals.len() as f64;
+        assert!((n - 10_000.0).abs() < 300.0, "n = {n}");
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "sorted");
+        assert!(arrivals.iter().all(|&t| (0.0..2_000.0).contains(&t)));
+    }
+
+    #[test]
+    fn poisson_empty_horizon() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(poisson_arrivals(&mut rng, 0.2, 0.0).is_empty());
+    }
+
+    #[test]
+    fn split_is_one_third_two_thirds() {
+        let (long, short) = long_short_split(128);
+        assert_eq!(long.len(), 43);
+        assert_eq!(short.len(), 85);
+        assert!(long.iter().all(|h| h % 3 == 0));
+    }
+
+    #[test]
+    fn short_plan_sorted_and_sized() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let senders = vec![1, 2, 4];
+        let dests = vec![5, 6, 7];
+        let plan = short_flow_plan(&mut rng, &senders, &dests, 20.0);
+        assert!(!plan.is_empty());
+        assert!(plan.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+        assert!(plan.iter().all(|f| f.size_packets == SHORT_FLOW_PACKETS));
+        assert!(plan.iter().all(|f| senders.contains(&f.src)));
+        // ~20/0.2 = 100 flows per sender.
+        let per_sender = plan.iter().filter(|f| f.src == 1).count();
+        assert!((50..=160).contains(&per_sender), "{per_sender}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_destination_rejected() {
+        let mut rng = SimRng::seed_from_u64(2);
+        short_flow_plan(&mut rng, &[3], &[3], 5.0);
+    }
+
+    #[test]
+    fn permutation_no_self() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let p = permutation_traffic(&mut rng, 128);
+        assert!(p.iter().enumerate().all(|(i, &d)| i != d));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jitter_in_window(seed in any::<u64>(), n in 0usize..50) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let jit = bulk_start_jitter(&mut rng, n, 3.0);
+            prop_assert_eq!(jit.len(), n);
+            prop_assert!(jit.iter().all(|&t| (0.0..3.0).contains(&t)));
+        }
+
+        #[test]
+        fn prop_split_partitions(n in 1usize..300) {
+            let (long, short) = long_short_split(n);
+            prop_assert_eq!(long.len() + short.len(), n);
+            let mut all: Vec<usize> =
+                long.iter().chain(short.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

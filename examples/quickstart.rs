@@ -1,0 +1,76 @@
+//! Quickstart: one MPTCP/OLIA connection over two disjoint bottlenecks,
+//! compared with a regular TCP flow on one of them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eventsim::{SimDuration, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, QueueId, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec};
+
+/// Build one 10 Mb/s RED bottleneck plus a fast reverse path.
+fn bottleneck_pair(sim: &mut Simulation) -> (QueueId, QueueId) {
+    let fwd = sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(40)));
+    let rev = sim.add_queue(QueueConfig::drop_tail(
+        10e9,
+        SimDuration::from_millis(40),
+        100_000,
+    ));
+    (fwd, rev)
+}
+
+fn main() {
+    let mut sim = Simulation::new(42);
+    let (f1, r1) = bottleneck_pair(&mut sim);
+    let (f2, r2) = bottleneck_pair(&mut sim);
+
+    // An OLIA connection across both paths.
+    let mptcp = ConnectionSpec::new(Algorithm::Olia)
+        .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+        .with_path(PathSpec::new(route(&[f2]), route(&[r2])))
+        .install(&mut sim, 0);
+    // A plain TCP flow sharing path 1.
+    let tcp = ConnectionSpec::new(Algorithm::Reno)
+        .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+        .install(&mut sim, 1);
+
+    sim.start_endpoint_at(mptcp.source, SimTime::ZERO);
+    sim.start_endpoint_at(tcp.source, SimTime::ZERO);
+
+    // Warm up, then measure 30 s of equilibrium.
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    mptcp.handle.reset(sim.now());
+    tcp.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(40.0));
+
+    let now = sim.now();
+    println!(
+        "MPTCP (OLIA, 2 paths): {:6.2} Mb/s",
+        mptcp.handle.goodput_mbps(now)
+    );
+    println!(
+        "  path 1 (shared with TCP): {:6.2} Mb/s",
+        mptcp.handle.subflow_mbps(0, now)
+    );
+    println!(
+        "  path 2 (exclusive):       {:6.2} Mb/s",
+        mptcp.handle.subflow_mbps(1, now)
+    );
+    println!(
+        "TCP (Reno, path 1):    {:6.2} Mb/s",
+        tcp.handle.goodput_mbps(now)
+    );
+    println!(
+        "\npath-1 loss probability: {:.4}",
+        sim.queue_stats(f1).loss_probability()
+    );
+    println!(
+        "The OLIA user matches the single-path TCP's total (design goal 1) while\n\
+         taking *less* than the TCP's share on the path they contend for (goal 2),\n\
+         and pools the leftover capacity of path 2. (Neither flow reaches 10 Mb/s\n\
+         alone: the paper's RED profile — min_th 25 pkts on an 80 ms path — is\n\
+         deliberately shallow and needs flow aggregation to fill the pipe.)"
+    );
+}

@@ -1,0 +1,49 @@
+//! The Fig. 8 experiment in miniature: watch OLIA abandon a congested path.
+//!
+//! A two-path user shares path 1 with 5 TCP flows and path 2 with 10; the
+//! example prints an ASCII strip chart of both subflow windows.
+//!
+//! ```text
+//! cargo run --release --example window_traces
+//! ```
+
+use bench::traces;
+use mpsim_core::Algorithm;
+
+fn strip(points: &[(f64, f64)], t_end: f64, label: &str) {
+    const COLS: usize = 72;
+    let max_w = points.iter().map(|&(_, w)| w).fold(1.0, f64::max);
+    let mut row = vec![b' '; COLS];
+    for &(t, w) in points {
+        let col = ((t / t_end) * (COLS as f64 - 1.0)) as usize;
+        let level = (w / max_w * 8.0).round() as usize;
+        let ch = b" .:-=+*#%"[level.min(8)];
+        if col < COLS {
+            row[col] = row[col].max(ch);
+        }
+    }
+    println!(
+        "{label:<22} |{}| max w = {max_w:.1}",
+        String::from_utf8_lossy(&row)
+    );
+}
+
+fn main() {
+    let secs = 60.0;
+    for alg in [Algorithm::Olia, Algorithm::Lia] {
+        let r = traces::run(10.0, 5, 10, alg, secs, 42);
+        println!("=== {} ===", alg.name());
+        strip(&r.cwnd[0], secs, "path 1 (5 TCP rivals)");
+        strip(&r.cwnd[1], secs, "path 2 (10 TCP rivals)");
+        println!(
+            "mean windows: {:.1} / {:.1}   time at ≤1.5 MSS on path 2: {:.0}%\n",
+            r.mean_cwnd[0],
+            r.mean_cwnd[1],
+            r.frac_at_floor[1] * 100.0
+        );
+    }
+    println!(
+        "OLIA keeps the congested path at the 1-MSS probing floor most of the time\n\
+         (brief α-driven probes); LIA maintains a significant window there."
+    );
+}

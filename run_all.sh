@@ -1,0 +1,30 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper (plus the ablations).
+# Honors REPRO_QUICK=1 for CI-scale runs.
+set -u
+cargo build --release -p bench || exit 1
+for bin in \
+    fig1_scenario_a \
+    fig4_scenario_b \
+    table1_scenario_b_lia \
+    table2_scenario_b_olia \
+    fig5_scenario_c \
+    fig7_8_traces \
+    fig9_10_scenario_a_olia \
+    fig11_12_scenario_c_olia \
+    fig13_fattree \
+    fig14_table3_shortflows \
+    fig17_probing_rtt \
+    theory_fluid \
+    ablation_epsilon_family \
+    ablation_alpha_responsiveness \
+    ablation_path_pruning \
+    ablation_rcv_window \
+    ablation_red_variants \
+    ablation_rtt_compensation \
+    theory_convergence \
+    dc_robustness; do
+  echo "=== RUNNING $bin ==="
+  cargo run -q --release -p bench --bin "$bin"
+  echo "=== DONE $bin (exit $?) ==="
+done

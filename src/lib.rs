@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # mptcp-olia-repro
+//!
+//! A full reproduction of *"MPTCP is not Pareto-Optimal: Performance Issues
+//! and a Possible Solution"* (Khalili, Gast, Popovic, Le Boudec — CoNEXT
+//! 2012 / IEEE/ACM ToN 2013).
+//!
+//! The paper shows that MPTCP's standard congestion control (**LIA**, the
+//! linked-increases algorithm of RFC 6356) is not Pareto-optimal: upgrading
+//! users to MPTCP can hurt everyone (problem P1) and MPTCP users can be
+//! excessively aggressive towards regular TCP (problem P2). It proposes
+//! **OLIA**, the opportunistic linked-increases algorithm, proves it
+//! Pareto-optimal, and validates it in the Linux kernel and in htsim.
+//!
+//! This workspace rebuilds the whole system in Rust:
+//!
+//! * [`cc`] (`mpsim-core`) — OLIA, LIA, and the baseline algorithms as pure
+//!   state machines (the paper's contribution);
+//! * [`engine`] (`eventsim`) — the deterministic discrete-event core;
+//! * [`net`] (`netsim`) — packets, RED/drop-tail queues, routes, endpoints;
+//! * [`tcp`] (`tcpsim`) — full TCP/MPTCP endpoints (slow start, fast
+//!   retransmit/recovery, RTO, RTT estimation, ℓ_r accounting);
+//! * [`analysis`] (`fluid`) — the paper's fixed-point analyses, the
+//!   optimum-with-probing-cost baselines, and the OLIA fluid model
+//!   (Theorems 1, 3, 4 verified numerically);
+//! * [`scenarios`] (`topo`) — scenario A/B/C testbeds, the two-bottleneck
+//!   example, and k-ary FatTrees;
+//! * [`traffic`] (`workload`) — bulk flows, permutation traffic, Poisson
+//!   short flows;
+//! * [`measure`] (`metrics`) — rate meters, traces, CIs, histograms.
+//!
+//! Every table and figure of the paper's evaluation has a regenerating
+//! binary in the `bench` crate — see `DESIGN.md` for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eventsim::{SimDuration, SimTime};
+//! use netsim::{route, QueueConfig, Simulation};
+//! use tcpsim::{ConnectionSpec, PathSpec};
+//! use mpsim_core::Algorithm;
+//!
+//! // Two disjoint 10 Mb/s paths; one MPTCP/OLIA connection across both.
+//! let mut sim = Simulation::new(7);
+//! let mut duplex = |sim: &mut Simulation| {
+//!     (sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(10))),
+//!      sim.add_queue(QueueConfig::drop_tail(10e9, SimDuration::from_millis(10), 1000)))
+//! };
+//! let (f1, r1) = duplex(&mut sim);
+//! let (f2, r2) = duplex(&mut sim);
+//! let conn = ConnectionSpec::new(Algorithm::Olia)
+//!     .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+//!     .with_path(PathSpec::new(route(&[f2]), route(&[r2])))
+//!     .install(&mut sim, 0);
+//! sim.start_endpoint_at(conn.source, SimTime::ZERO);
+//! sim.run_until(SimTime::from_secs_f64(10.0));
+//! assert!(conn.handle.goodput_mbps(sim.now()) > 12.0);
+//! ```
+
+/// The paper's congestion-control algorithms (`mpsim-core`).
+pub use mpsim_core as cc;
+
+/// Deterministic discrete-event engine (`eventsim`).
+pub use eventsim as engine;
+
+/// Packet-level network substrate (`netsim`).
+pub use netsim as net;
+
+/// TCP/MPTCP endpoints (`tcpsim`).
+pub use tcpsim as tcp;
+
+/// Fixed-point and fluid-model analysis (`fluid`).
+pub use fluid as analysis;
+
+/// Topology builders (`topo`).
+pub use topo as scenarios;
+
+/// Workload generators (`workload`).
+pub use workload as traffic;
+
+/// Measurement utilities (`metrics`).
+pub use metrics as measure;

@@ -1,0 +1,94 @@
+//! Robustness: the multi-homing motivation of Scenario B ("Blue users use
+//! multi-homing ... to increase their reliability"). When one path dies,
+//! a multipath connection must keep delivering over the other; a
+//! single-path connection stalls.
+
+use eventsim::{SimDuration, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, QueueId, Simulation};
+use tcpsim::{Connection, ConnectionSpec, PathSpec};
+
+fn link(sim: &mut Simulation) -> (QueueId, QueueId) {
+    (
+        sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(40))),
+        sim.add_queue(QueueConfig::drop_tail(
+            10e9,
+            SimDuration::from_millis(40),
+            100_000,
+        )),
+    )
+}
+
+fn setup(alg: Algorithm, two_paths: bool) -> (Simulation, Connection, QueueId) {
+    let mut sim = Simulation::new(19);
+    let (f1, r1) = link(&mut sim);
+    let (f2, r2) = link(&mut sim);
+    let mut spec = ConnectionSpec::new(alg).with_path(PathSpec::new(route(&[f1]), route(&[r1])));
+    if two_paths {
+        spec = spec.with_path(PathSpec::new(route(&[f2]), route(&[r2])));
+    }
+    let conn = spec.install(&mut sim, 0);
+    sim.start_endpoint_at(conn.source, SimTime::ZERO);
+    (sim, conn, f1)
+}
+
+#[test]
+fn multipath_survives_path_failure() {
+    for alg in [Algorithm::Olia, Algorithm::Lia] {
+        let (mut sim, conn, f1) = setup(alg, true);
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        // Kill path 1.
+        sim.set_queue_down(f1, true);
+        assert!(sim.queue_is_down(f1));
+        // Give the connection a grace period to detect the failure (RTO
+        // backoff), then measure.
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        let goodput = conn.handle.goodput_mbps(sim.now());
+        assert!(
+            goodput > 3.0,
+            "{alg:?}: multipath must keep delivering after a path failure, \
+             got {goodput:.2} Mb/s"
+        );
+        // The surviving subflow carries everything.
+        let p1_rate = conn.handle.subflow_mbps(0, sim.now());
+        assert!(
+            p1_rate < 0.05,
+            "{alg:?}: dead path must carry ~nothing, got {p1_rate:.3} Mb/s"
+        );
+    }
+}
+
+#[test]
+fn single_path_stalls_on_failure() {
+    let (mut sim, conn, f1) = setup(Algorithm::Reno, false);
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    sim.set_queue_down(f1, true);
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    conn.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    assert_eq!(
+        conn.handle.goodput_mbps(sim.now()),
+        0.0,
+        "a single-path flow has nowhere to go"
+    );
+}
+
+#[test]
+fn failed_path_recovers_when_restored() {
+    let (mut sim, conn, f1) = setup(Algorithm::Olia, true);
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    sim.set_queue_down(f1, true);
+    sim.run_until(SimTime::from_secs_f64(50.0));
+    // Restore and let RTO backoff expire (it can reach tens of seconds).
+    sim.set_queue_down(f1, false);
+    sim.run_until(SimTime::from_secs_f64(160.0));
+    conn.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(220.0));
+    let p1_rate = conn.handle.subflow_mbps(0, sim.now());
+    assert!(
+        p1_rate > 1.0,
+        "restored path must carry traffic again, got {p1_rate:.3} Mb/s"
+    );
+}

@@ -1,0 +1,191 @@
+//! Cross-validation: the *general* fluid ODE (crate `fluid::ode`), built
+//! from nothing but the scenario topology, must land on the same equilibria
+//! as the paper's *closed-form* fixed points (Appendix A / §III-C).
+//!
+//! This closes the loop between three independent implementations of the
+//! same mathematics: the closed forms, the fluid integrator, and (in
+//! `tests/scenario_shapes.rs`) the packet-level simulator.
+
+use fluid::ode::{
+    FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
+};
+use fluid::units::mbps_to_mss;
+use fluid::{scenario_a, scenario_c};
+
+const RTT: f64 = 0.15;
+
+/// A sharp loss model so capacity constraints bind tightly.
+fn sharp() -> LossModel {
+    LossModel {
+        p_at_capacity: 0.02,
+        exponent: 14.0,
+    }
+}
+
+fn params() -> FluidParams {
+    FluidParams {
+        steps: 800_000,
+        ..FluidParams::default()
+    }
+}
+
+/// Scenario A's topology as a raw fluid network: link 0 = server (N1·C1),
+/// link 1 = shared AP (N2·C2); type1 users ride [0] and [0,1]; type2 users
+/// ride [1].
+fn scenario_a_network(n1: usize, n2: usize, c1_mbps: f64, c2_mbps: f64) -> FluidNetwork {
+    let mut users = Vec::new();
+    for _ in 0..n1 {
+        users.push(FluidUser {
+            routes: vec![
+                FluidRoute {
+                    links: vec![0],
+                    rtt: RTT,
+                },
+                FluidRoute {
+                    links: vec![0, 1],
+                    rtt: RTT,
+                },
+            ],
+        });
+    }
+    for _ in 0..n2 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![1],
+                rtt: RTT,
+            }],
+        });
+    }
+    FluidNetwork {
+        links: vec![
+            FluidLink::with_capacity(mbps_to_mss(n1 as f64 * c1_mbps)),
+            FluidLink::with_capacity(mbps_to_mss(n2 as f64 * c2_mbps)),
+        ],
+        users,
+        loss: sharp(),
+    }
+}
+
+#[test]
+fn scenario_a_lia_fluid_matches_appendix_a() {
+    let (n1, n2, c1, c2) = (20usize, 10usize, 1.0, 1.0);
+    let net = scenario_a_network(n1, n2, c1, c2);
+    let x0: Vec<Vec<f64>> = net
+        .users
+        .iter()
+        .map(|u| vec![20.0; u.routes.len()])
+        .collect();
+    let x = net.equilibrium(FluidAlgorithm::Lia, &x0, &params());
+    // Mean type2 rate, normalized by C2.
+    let type2: f64 = (n1..n1 + n2).map(|u| x[u][0]).sum::<f64>() / n2 as f64;
+    let type2_norm = type2 / mbps_to_mss(c2);
+    let closed = scenario_a::lia(&scenario_a::ScenarioAInputs {
+        n1: n1 as f64,
+        n2: n2 as f64,
+        c1_mbps: c1,
+        c2_mbps: c2,
+        rtt_s: RTT,
+    });
+    assert!(
+        (type2_norm - closed.type2_norm).abs() < 0.12,
+        "fluid {} vs closed form {}",
+        type2_norm,
+        closed.type2_norm
+    );
+    // Type1 users are pinned at C1 by the server link.
+    let type1: f64 = (0..n1).map(|u| x[u][0] + x[u][1]).sum::<f64>() / n1 as f64;
+    let type1_norm = type1 / mbps_to_mss(c1);
+    assert!(
+        (type1_norm - 1.0).abs() < 0.12,
+        "type1 norm {type1_norm} should be ≈1"
+    );
+}
+
+#[test]
+fn scenario_a_olia_fluid_approaches_probing_optimum() {
+    let (n1, n2, c1, c2) = (20usize, 10usize, 1.0, 1.0);
+    let net = scenario_a_network(n1, n2, c1, c2);
+    let x0: Vec<Vec<f64>> = net
+        .users
+        .iter()
+        .map(|u| vec![20.0; u.routes.len()])
+        .collect();
+    let x = net.equilibrium(FluidAlgorithm::Olia, &x0, &params());
+    let type2: f64 = (n1..n1 + n2).map(|u| x[u][0]).sum::<f64>() / n2 as f64;
+    let type2_norm = type2 / mbps_to_mss(c2);
+    let lia_closed = scenario_a::lia(&scenario_a::ScenarioAInputs {
+        n1: n1 as f64,
+        n2: n2 as f64,
+        c1_mbps: c1,
+        c2_mbps: c2,
+        rtt_s: RTT,
+    });
+    // OLIA's fluid equilibrium leaves the shared AP almost entirely to the
+    // type2 users — far above LIA's closed-form allocation (the fluid model
+    // has no 1-MSS probing floor beyond x_min, so it can exceed even the
+    // probing-cost optimum).
+    assert!(
+        type2_norm > lia_closed.type2_norm + 0.15,
+        "fluid OLIA type2 {} must beat LIA's closed form {}",
+        type2_norm,
+        lia_closed.type2_norm
+    );
+}
+
+/// Scenario C's topology: link 0 = AP1 (N1·C1), link 1 = AP2 (N2·C2).
+#[test]
+fn scenario_c_lia_fluid_matches_section_iii_c() {
+    let (n1, n2, c1, c2) = (10usize, 10usize, 2.0, 1.0);
+    let mut users = Vec::new();
+    for _ in 0..n1 {
+        users.push(FluidUser {
+            routes: vec![
+                FluidRoute {
+                    links: vec![0],
+                    rtt: RTT,
+                },
+                FluidRoute {
+                    links: vec![1],
+                    rtt: RTT,
+                },
+            ],
+        });
+    }
+    for _ in 0..n2 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![1],
+                rtt: RTT,
+            }],
+        });
+    }
+    let net = FluidNetwork {
+        links: vec![
+            FluidLink::with_capacity(mbps_to_mss(n1 as f64 * c1)),
+            FluidLink::with_capacity(mbps_to_mss(n2 as f64 * c2)),
+        ],
+        users,
+        loss: sharp(),
+    };
+    let x0: Vec<Vec<f64>> = net
+        .users
+        .iter()
+        .map(|u| vec![20.0; u.routes.len()])
+        .collect();
+    let x = net.equilibrium(FluidAlgorithm::Lia, &x0, &params());
+    let single: f64 = (n1..n1 + n2).map(|u| x[u][0]).sum::<f64>() / n2 as f64;
+    let single_norm = single / mbps_to_mss(c2);
+    let closed = scenario_c::lia(&scenario_c::ScenarioCInputs {
+        n1: n1 as f64,
+        n2: n2 as f64,
+        c1_mbps: c1,
+        c2_mbps: c2,
+        rtt_s: RTT,
+    });
+    assert!(
+        (single_norm - closed.single_norm).abs() < 0.12,
+        "fluid {} vs closed form {}",
+        single_norm,
+        closed.single_norm
+    );
+}

@@ -1,0 +1,195 @@
+//! Cross-validation of the packet-level simulator against the loss-throughput
+//! formulas the paper's analysis rests on (§II, Eq. 2).
+//!
+//! The `√(2/p)` law assumes independent per-packet losses, so the formula
+//! checks run over Bernoulli-loss links where `p` is pinned exactly; the
+//! behavioural comparison (OLIA vs LIA congestion shifting) runs over the
+//! paper's RED queues.
+
+use eventsim::{SimDuration, SimTime};
+use mpsim_core::formulas::{self, PathChar};
+use mpsim_core::Algorithm;
+use netsim::{route, QueueConfig, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec};
+
+/// One Reno flow through a link with pinned loss probability: measured
+/// goodput must match `√(2/p)/rtt`.
+#[test]
+fn tcp_throughput_matches_formula() {
+    let p = 0.004;
+    let mut sim = Simulation::new(3);
+    // Capacity far above the formula rate so queueing is negligible and the
+    // RTT is the propagation RTT.
+    let fwd = sim.add_queue(QueueConfig::bernoulli(
+        1e9,
+        SimDuration::from_millis(40),
+        p,
+        100_000,
+    ));
+    let rev = sim.add_queue(QueueConfig::drop_tail(
+        1e9,
+        SimDuration::from_millis(40),
+        100_000,
+    ));
+    let conn = ConnectionSpec::new(Algorithm::Reno)
+        .with_path(PathSpec::new(route(&[fwd]), route(&[rev])))
+        .install(&mut sim, 0);
+    sim.start_endpoint_at(conn.source, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    conn.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(150.0));
+
+    let srtt = conn.handle.read(|s| s.subflows[0].srtt);
+    let formula_mbps = formulas::tcp_rate(p, srtt) * 1500.0 * 8.0 / 1e6;
+    let measured = conn.handle.goodput_mbps(sim.now());
+    let err = (measured - formula_mbps).abs() / formula_mbps;
+    assert!(
+        err < 0.25,
+        "measured {measured} Mb/s vs formula {formula_mbps} Mb/s (p={p}, srtt={srtt})"
+    );
+}
+
+/// A two-path LIA connection over pinned-loss links: the rate split and the
+/// total must follow Eq. 2.
+#[test]
+fn lia_split_follows_eq2() {
+    let (p0, p1) = (0.004, 0.016);
+    let mut sim = Simulation::new(5);
+    let f0 = sim.add_queue(QueueConfig::bernoulli(
+        1e9,
+        SimDuration::from_millis(40),
+        p0,
+        100_000,
+    ));
+    let f1 = sim.add_queue(QueueConfig::bernoulli(
+        1e9,
+        SimDuration::from_millis(40),
+        p1,
+        100_000,
+    ));
+    let rev = sim.add_queue(QueueConfig::drop_tail(
+        1e9,
+        SimDuration::from_millis(40),
+        100_000,
+    ));
+    let mptcp = ConnectionSpec::new(Algorithm::Lia)
+        .with_path(PathSpec::new(route(&[f0]), route(&[rev])))
+        .with_path(PathSpec::new(route(&[f1]), route(&[rev])))
+        .install(&mut sim, 0);
+    sim.start_endpoint_at(mptcp.source, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    mptcp.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(180.0));
+
+    let rtt = conn_rtt(&mptcp);
+    let expect = formulas::lia_rates(&[PathChar::new(p0, rtt), PathChar::new(p1, rtt)]);
+    let r0 = mptcp.handle.subflow_mbps(0, sim.now()) * 1e6 / 12_000.0; // MSS/s
+    let r1 = mptcp.handle.subflow_mbps(1, sim.now()) * 1e6 / 12_000.0;
+    // The split follows w ∝ 1/p (ratio 4), within simulation noise.
+    let observed_ratio = r0 / r1;
+    let predicted_ratio = expect[0] / expect[1];
+    assert!(
+        (observed_ratio.ln() - predicted_ratio.ln()).abs() < 0.5,
+        "split {observed_ratio:.2} vs Eq. 2's {predicted_ratio:.2}"
+    );
+    // Total within 30% of the best path's TCP rate.
+    let total = r0 + r1;
+    let expect_total: f64 = expect.iter().sum();
+    assert!(
+        (total - expect_total).abs() < 0.3 * expect_total,
+        "total {total:.1} vs Eq. 2's {expect_total:.1} MSS/s"
+    );
+}
+
+fn conn_rtt(conn: &tcpsim::Connection) -> f64 {
+    conn.handle
+        .read(|s| s.subflows.iter().map(|f| f.srtt).sum::<f64>() / s.subflows.len() as f64)
+}
+
+/// OLIA over the same pinned-loss pair puts (nearly) everything on the
+/// better path — Theorem 1 at packet level.
+#[test]
+fn olia_concentrates_on_best_path() {
+    let (p0, p1) = (0.004, 0.016);
+    let mut sim = Simulation::new(7);
+    let f0 = sim.add_queue(QueueConfig::bernoulli(
+        1e9,
+        SimDuration::from_millis(40),
+        p0,
+        100_000,
+    ));
+    let f1 = sim.add_queue(QueueConfig::bernoulli(
+        1e9,
+        SimDuration::from_millis(40),
+        p1,
+        100_000,
+    ));
+    let rev = sim.add_queue(QueueConfig::drop_tail(
+        1e9,
+        SimDuration::from_millis(40),
+        100_000,
+    ));
+    let olia = ConnectionSpec::new(Algorithm::Olia)
+        .with_path(PathSpec::new(route(&[f0]), route(&[rev])))
+        .with_path(PathSpec::new(route(&[f1]), route(&[rev])))
+        .install(&mut sim, 0);
+    sim.start_endpoint_at(olia.source, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    olia.handle.reset(sim.now());
+    sim.run_until(SimTime::from_secs_f64(180.0));
+    let r0 = olia.handle.subflow_mbps(0, sim.now());
+    let r1 = olia.handle.subflow_mbps(1, sim.now());
+    let share_bad = r1 / (r0 + r1);
+    // Eq. 2 would give LIA a bad-path share of p0/(p0+p1) = 20%; OLIA's
+    // equilibrium (Theorem 1) is the probing floor (~5%), with the α-term's
+    // brief probe episodes (§IV-C) keeping the long-run average somewhat
+    // above it.
+    assert!(
+        share_bad < 0.16,
+        "OLIA must concentrate on the better path (bad-path share {share_bad:.3})"
+    );
+}
+
+/// OLIA shifts harder off a congested RED path than LIA (behavioural
+/// comparison over the paper's queues).
+#[test]
+fn olia_shifts_harder_than_lia() {
+    let run = |alg: Algorithm| {
+        let mut sim = Simulation::new(7);
+        let f0 = sim.add_queue(QueueConfig::red_paper(4e6, SimDuration::from_millis(40)));
+        let f1 = sim.add_queue(QueueConfig::red_paper(4e6, SimDuration::from_millis(40)));
+        let rev = sim.add_queue(QueueConfig::drop_tail(
+            1e9,
+            SimDuration::from_millis(40),
+            100_000,
+        ));
+        let mptcp = ConnectionSpec::new(alg)
+            .with_path(PathSpec::new(route(&[f0]), route(&[rev])))
+            .with_path(PathSpec::new(route(&[f1]), route(&[rev])))
+            .install(&mut sim, 0);
+        let mut all = vec![mptcp.clone()];
+        for i in 0..3 {
+            all.push(
+                ConnectionSpec::new(Algorithm::Reno)
+                    .with_path(PathSpec::new(route(&[f1]), route(&[rev])))
+                    .install(&mut sim, 1 + i),
+            );
+        }
+        for c in &all {
+            sim.start_endpoint_at(c.source, SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        mptcp.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(90.0));
+        let r0 = mptcp.handle.subflow_mbps(0, sim.now());
+        let r1 = mptcp.handle.subflow_mbps(1, sim.now());
+        r1 / (r0 + r1)
+    };
+    let lia_congested_share = run(Algorithm::Lia);
+    let olia_congested_share = run(Algorithm::Olia);
+    assert!(
+        olia_congested_share < lia_congested_share,
+        "OLIA's congested-path share ({olia_congested_share:.3}) must undercut \
+         LIA's ({lia_congested_share:.3})"
+    );
+}

@@ -1,0 +1,89 @@
+//! End-to-end shape tests: the paper's headline comparisons hold in
+//! CI-scale packet-level runs of the actual scenario topologies.
+
+use bench::{scenario_a, scenario_c, RunCfg};
+use mpsim_core::Algorithm;
+use topo::{ScenarioAParams, ScenarioCParams};
+
+fn cfg() -> RunCfg {
+    RunCfg {
+        warmup_s: 15.0,
+        measure_s: 20.0,
+        jitter_s: 2.0,
+        replications: 1,
+        seed: 21,
+    }
+}
+
+/// Problem P1 in Scenario A: LIA hurts type2 users; OLIA recovers most of
+/// the loss and reduces p2.
+#[test]
+fn scenario_a_olia_recovers_type2() {
+    let lia = scenario_a::measure(&ScenarioAParams::paper(20, 1.0, Algorithm::Lia), &cfg());
+    let olia = scenario_a::measure(&ScenarioAParams::paper(20, 1.0, Algorithm::Olia), &cfg());
+    assert!(
+        olia.type2_norm.mean > lia.type2_norm.mean + 0.03,
+        "OLIA type2 {} must clearly beat LIA {}",
+        olia.type2_norm.mean,
+        lia.type2_norm.mean
+    );
+    assert!(
+        olia.p2.mean < lia.p2.mean,
+        "OLIA must reduce shared-AP congestion ({} vs {})",
+        olia.p2.mean,
+        lia.p2.mean
+    );
+    // No cost to type1 (both capped by the server).
+    assert!((olia.type1_norm.mean - lia.type1_norm.mean).abs() < 0.1);
+}
+
+/// Problem P2 in Scenario C: with C1/C2 = 2 a fair multipath user should
+/// leave AP2 alone; OLIA's single-path users do clearly better than LIA's.
+#[test]
+fn scenario_c_olia_less_aggressive() {
+    let lia = scenario_c::measure(&ScenarioCParams::paper(20, 2.0, Algorithm::Lia), &cfg());
+    let olia = scenario_c::measure(&ScenarioCParams::paper(20, 2.0, Algorithm::Olia), &cfg());
+    assert!(
+        olia.single_norm.mean > lia.single_norm.mean + 0.03,
+        "OLIA single-path {} must clearly beat LIA {}",
+        olia.single_norm.mean,
+        lia.single_norm.mean
+    );
+    assert!(olia.p2.mean < lia.p2.mean);
+}
+
+/// The measured LIA scenario A point sits near its fixed-point prediction.
+#[test]
+fn scenario_a_matches_theory() {
+    let m = scenario_a::measure(&ScenarioAParams::paper(20, 1.0, Algorithm::Lia), &cfg());
+    let th = fluid::scenario_a::lia(&fluid::scenario_a::ScenarioAInputs::paper(2.0, 1.0));
+    assert!(
+        (m.type2_norm.mean - th.type2_norm).abs() < 0.15,
+        "sim {} vs theory {}",
+        m.type2_norm.mean,
+        th.type2_norm
+    );
+    assert!(
+        (m.p2.mean - th.p2).abs() < 0.6 * th.p2,
+        "p2 sim {} vs theory {}",
+        m.p2.mean,
+        th.p2
+    );
+}
+
+/// Uncoupled subflows are the most aggressive against TCP users — the ε = 2
+/// end of the spectrum (§II).
+#[test]
+fn uncoupled_is_most_aggressive() {
+    let unc = scenario_c::measure(
+        &ScenarioCParams::paper(10, 2.0, Algorithm::Uncoupled),
+        &cfg(),
+    );
+    let olia = scenario_c::measure(&ScenarioCParams::paper(10, 2.0, Algorithm::Olia), &cfg());
+    assert!(
+        unc.single_norm.mean < olia.single_norm.mean,
+        "uncoupled must squeeze TCP users harder than OLIA ({} vs {})",
+        unc.single_norm.mean,
+        olia.single_norm.mean
+    );
+}

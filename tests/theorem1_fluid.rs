@@ -1,0 +1,175 @@
+//! Theorem 1 and Theorem 4 verified on randomized fluid networks: OLIA's
+//! equilibria use only best paths, deliver the best path's TCP rate, and
+//! maximize V along trajectories.
+
+use eventsim::SimRng;
+use fluid::ode::{
+    FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
+};
+use fluid::utility::{utility_v, verify_theorem1};
+
+/// A random parking-lot-ish network: `n_links` links, each user gets 2–3
+/// single-link routes with a common RTT.
+fn random_network(seed: u64, n_links: usize, n_users: usize) -> FluidNetwork {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let links: Vec<FluidLink> = (0..n_links)
+        .map(|_| FluidLink::with_capacity(200.0 + rng.f64() * 600.0))
+        .collect();
+    let users: Vec<FluidUser> = (0..n_users)
+        .map(|_| {
+            let n_routes = 2 + rng.below(2);
+            let rtt = 0.05 + rng.f64() * 0.1;
+            let routes = (0..n_routes)
+                .map(|_| FluidRoute {
+                    links: vec![rng.below(n_links)],
+                    rtt,
+                })
+                .collect();
+            FluidUser { routes }
+        })
+        .collect();
+    FluidNetwork {
+        links,
+        users,
+        loss: LossModel::default(),
+    }
+}
+
+fn start(net: &FluidNetwork) -> Vec<Vec<f64>> {
+    net.users
+        .iter()
+        .map(|u| vec![10.0; u.routes.len()])
+        .collect()
+}
+
+#[test]
+fn theorem1_on_random_networks() {
+    for seed in [1u64, 2, 3] {
+        let net = random_network(seed, 4, 5);
+        let params = FluidParams {
+            steps: 500_000,
+            ..FluidParams::default()
+        };
+        let x = net.equilibrium(FluidAlgorithm::Olia, &start(&net), &params);
+        let report = verify_theorem1(&net, &x);
+        assert!(
+            report.holds(0.15, 0.10),
+            "seed {seed}: Theorem 1 violated: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn olia_utility_dominates_lia_and_uncoupled() {
+    // Theorem 4: OLIA maximizes V (equal-RTT case). Its equilibrium V must
+    // be at least that of the other algorithms' equilibria on the same
+    // network.
+    let mut rng = SimRng::seed_from_u64(9);
+    let links: Vec<FluidLink> = (0..3)
+        .map(|_| FluidLink::with_capacity(300.0 + rng.f64() * 300.0))
+        .collect();
+    // All routes share one RTT so assumption (A) of Theorem 4 holds.
+    let users: Vec<FluidUser> = (0..4)
+        .map(|_| FluidUser {
+            routes: (0..2)
+                .map(|_| FluidRoute {
+                    links: vec![rng.below(3)],
+                    rtt: 0.1,
+                })
+                .collect(),
+        })
+        .collect();
+    let net = FluidNetwork {
+        links,
+        users,
+        loss: LossModel::default(),
+    };
+    let params = FluidParams {
+        steps: 500_000,
+        ..FluidParams::default()
+    };
+    let x0 = start(&net);
+    let v_olia = utility_v(&net, &net.equilibrium(FluidAlgorithm::Olia, &x0, &params));
+    let v_lia = utility_v(&net, &net.equilibrium(FluidAlgorithm::Lia, &x0, &params));
+    let v_unc = utility_v(
+        &net,
+        &net.equilibrium(FluidAlgorithm::Uncoupled, &x0, &params),
+    );
+    let tol = 1e-3 * v_olia.abs();
+    assert!(
+        v_olia >= v_lia - tol,
+        "V(OLIA) = {v_olia} must dominate V(LIA) = {v_lia}"
+    );
+    assert!(
+        v_olia >= v_unc - tol,
+        "V(OLIA) = {v_olia} must dominate V(uncoupled) = {v_unc}"
+    );
+}
+
+#[test]
+fn pareto_story_on_the_asymmetric_network() {
+    // The fluid version of problem P1/P2: one multipath user, a congested
+    // and a clean link. OLIA leaves the congested link to its TCP users;
+    // LIA keeps pushing traffic there (nonzero share well above the floor).
+    let mut users = vec![FluidUser {
+        routes: vec![
+            FluidRoute {
+                links: vec![0],
+                rtt: 0.1,
+            },
+            FluidRoute {
+                links: vec![1],
+                rtt: 0.1,
+            },
+        ],
+    }];
+    for _ in 0..2 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![0],
+                rtt: 0.1,
+            }],
+        });
+    }
+    for _ in 0..8 {
+        users.push(FluidUser {
+            routes: vec![FluidRoute {
+                links: vec![1],
+                rtt: 0.1,
+            }],
+        });
+    }
+    let net = FluidNetwork {
+        links: vec![
+            FluidLink::with_capacity(500.0),
+            FluidLink::with_capacity(500.0),
+        ],
+        users,
+        loss: LossModel::default(),
+    };
+    let params = FluidParams {
+        steps: 500_000,
+        ..FluidParams::default()
+    };
+    let x0: Vec<Vec<f64>> = net
+        .users
+        .iter()
+        .map(|u| vec![20.0; u.routes.len()])
+        .collect();
+    let olia = net.equilibrium(FluidAlgorithm::Olia, &x0, &params);
+    let lia = net.equilibrium(FluidAlgorithm::Lia, &x0, &params);
+    let olia_congested_share = olia[0][1] / (olia[0][0] + olia[0][1]);
+    let lia_congested_share = lia[0][1] / (lia[0][0] + lia[0][1]);
+    assert!(
+        olia_congested_share < 0.55 * lia_congested_share,
+        "OLIA share {olia_congested_share:.3} must clearly undercut LIA's \
+         {lia_congested_share:.3}"
+    );
+    // The TCP users on the congested link do better under OLIA.
+    let tcp_olia: f64 = (3..11).map(|u| olia[u][0]).sum();
+    let tcp_lia: f64 = (3..11).map(|u| lia[u][0]).sum();
+    assert!(
+        tcp_olia > tcp_lia,
+        "congested-link TCP users must gain under OLIA ({tcp_olia} vs {tcp_lia})"
+    );
+}
