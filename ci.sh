@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo gate: build, tests, formatting, lints. Run before every merge.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings

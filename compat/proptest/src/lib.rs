@@ -1,0 +1,285 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the subset the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0.0_f64..400.0`, `1usize..64`, `0u64..=5`),
+//! * [`prelude::any`] for primitives,
+//! * [`collection::vec`].
+//!
+//! Each property runs over a fixed number of deterministically-seeded random
+//! cases (no shrinking — a failure prints the offending inputs via the
+//! assertion message instead). The case batch is seeded from the test name,
+//! so failures reproduce exactly across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of random cases each property is evaluated on.
+pub const DEFAULT_CASES: usize = 64;
+
+/// The RNG handed to strategies (a deterministic xoshiro behind the scenes).
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG derived from the property's name.
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Blanket impl so strategies can be passed by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy for "any value of this type" ([`prelude::any`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types `any::<T>()` supports.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element from `element`, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The all-in-one import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Any, Arbitrary, Strategy, TestRng};
+
+    /// Strategy for any value of type `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Property-test macro: each `fn name(arg in strategy, ...) body` becomes a
+/// `#[test]` that runs `body` over [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::DEFAULT_CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    // Bind by value so the body sees plain variables.
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Property assertion (plain `assert!` — no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip cases that don't satisfy a precondition. The [`proptest!`] runner
+/// inlines each case body in a loop, so rejecting a case is a `continue`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(a in 5u64..10, b in 0.5_f64..0.75, c in 1usize..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.5..0.75).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn vectors_sized(xs in collection::vec(0u64..100, 2..8)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn any_compiles(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let s = (0u64..1000).sample(&mut a);
+        let t = (0u64..1000).sample(&mut b);
+        assert_eq!(s, t);
+    }
+}

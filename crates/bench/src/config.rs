@@ -31,13 +31,13 @@ use std::collections::HashMap;
 use eventsim::{SimDuration, SimRng, SimTime};
 use mpsim_core::Algorithm;
 use netsim::{route, QueueConfig, QueueId, RedParams, Simulation};
-use serde::Deserialize;
 use tcpsim::{Connection, ConnectionSpec, PathSpec};
 use topo::stagger_starts;
 
+use crate::json::Json;
+
 /// Queue discipline selection in a scenario file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum QueueSpec {
     /// The paper's capacity-scaled averaged-RED profile.
     RedPaper,
@@ -52,7 +52,6 @@ pub enum QueueSpec {
         /// Hard cap (packets).
         limit: usize,
         /// EWMA weight (0 = instantaneous).
-        #[serde(default)]
         ewma_weight: f64,
     },
     /// Drop-tail with the given packet cap.
@@ -70,7 +69,7 @@ pub enum QueueSpec {
 }
 
 /// One named link (one direction).
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     /// Name referenced by flow paths.
     pub name: String,
@@ -83,7 +82,7 @@ pub struct LinkSpec {
 }
 
 /// A path named by the links it traverses.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PathSpecNames {
     /// Forward (data) links, in order.
     pub fwd: Vec<String>,
@@ -92,41 +91,32 @@ pub struct PathSpecNames {
 }
 
 /// A group of identical connections.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowSpec {
     /// Group name for the report.
     pub name: String,
     /// Algorithm name (`olia`, `lia`, `reno`, ...).
     pub algorithm: String,
     /// How many identical connections to create.
-    #[serde(default = "one")]
     pub count: usize,
     /// The paths every connection in the group uses.
     pub paths: Vec<PathSpecNames>,
     /// Finite flow size in packets (absent = long-lived).
-    #[serde(default)]
     pub size_packets: Option<u64>,
     /// Enable the §VII path-pruning extension with this cooldown (seconds).
-    #[serde(default)]
     pub prune_cooldown_s: Option<f64>,
 }
 
-fn one() -> usize {
-    1
-}
-
 /// A whole scenario file.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioFile {
     /// RNG seed (determinism!).
-    #[serde(default = "one_u64")]
     pub seed: u64,
     /// Warmup seconds discarded before measuring.
     pub warmup_s: f64,
     /// Measured seconds.
     pub measure_s: f64,
     /// Start jitter window, seconds.
-    #[serde(default)]
     pub jitter_s: f64,
     /// The links.
     pub links: Vec<LinkSpec>,
@@ -134,8 +124,75 @@ pub struct ScenarioFile {
     pub flows: Vec<FlowSpec>,
 }
 
-fn one_u64() -> u64 {
-    1
+// ---- JSON field extraction (hand-rolled: see crate::json) ----------------
+
+fn field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("scenario parse error: {ctx}: missing field {key:?}"))
+}
+
+fn num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    field(obj, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("scenario parse error: {ctx}: field {key:?} must be a number"))
+}
+
+fn num_or(obj: &Json, key: &str, ctx: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("scenario parse error: {ctx}: field {key:?} must be a number")),
+    }
+}
+
+fn string(obj: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    field(obj, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("scenario parse error: {ctx}: field {key:?} must be a string"))
+}
+
+fn string_list(v: &Json, ctx: &str) -> Result<Vec<String>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("scenario parse error: {ctx}: expected an array of strings"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("scenario parse error: {ctx}: expected a string"))
+        })
+        .collect()
+}
+
+fn items<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], String> {
+    field(obj, key, ctx)?
+        .as_array()
+        .ok_or_else(|| format!("scenario parse error: {ctx}: field {key:?} must be an array"))
+}
+
+fn queue_spec(v: &Json, ctx: &str) -> Result<QueueSpec, String> {
+    let kind = string(v, "kind", ctx)?;
+    match kind.as_str() {
+        "red_paper" => Ok(QueueSpec::RedPaper),
+        "red" => Ok(QueueSpec::Red {
+            min_th: num(v, "min_th", ctx)?,
+            max_th: num(v, "max_th", ctx)?,
+            max_p: num(v, "max_p", ctx)?,
+            limit: num(v, "limit", ctx)? as usize,
+            ewma_weight: num_or(v, "ewma_weight", ctx, 0.0)?,
+        }),
+        "drop_tail" => Ok(QueueSpec::DropTail {
+            limit: num(v, "limit", ctx)? as usize,
+        }),
+        "bernoulli" => Ok(QueueSpec::Bernoulli {
+            p: num(v, "p", ctx)?,
+            limit: num(v, "limit", ctx)? as usize,
+        }),
+        other => Err(format!(
+            "scenario parse error: {ctx}: unknown queue kind {other:?}"
+        )),
+    }
 }
 
 /// Per-group result.
@@ -171,7 +228,55 @@ pub struct ScenarioReport {
 
 /// Parse a scenario from JSON text.
 pub fn parse_scenario(json: &str) -> Result<ScenarioFile, String> {
-    serde_json::from_str(json).map_err(|e| format!("scenario parse error: {e}"))
+    let doc = crate::json::parse(json).map_err(|e| format!("scenario parse error: {e}"))?;
+    let links = items(&doc, "links", "scenario")?
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let ctx = format!("links[{i}]");
+            Ok(LinkSpec {
+                name: string(l, "name", &ctx)?,
+                rate_mbps: num(l, "rate_mbps", &ctx)?,
+                latency_ms: num(l, "latency_ms", &ctx)?,
+                queue: queue_spec(field(l, "queue", &ctx)?, &ctx)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let flows = items(&doc, "flows", "scenario")?
+        .iter()
+        .enumerate()
+        .map(|(i, fl)| {
+            let ctx = format!("flows[{i}]");
+            let paths = items(fl, "paths", &ctx)?
+                .iter()
+                .map(|p| {
+                    Ok(PathSpecNames {
+                        fwd: string_list(field(p, "fwd", &ctx)?, &ctx)?,
+                        rev: string_list(field(p, "rev", &ctx)?, &ctx)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(FlowSpec {
+                name: string(fl, "name", &ctx)?,
+                algorithm: string(fl, "algorithm", &ctx)?,
+                count: num_or(fl, "count", &ctx, 1.0)? as usize,
+                paths,
+                size_packets: fl
+                    .get("size_packets")
+                    .and_then(Json::as_f64)
+                    .map(|n| n as u64),
+                prune_cooldown_s: fl.get("prune_cooldown_s").and_then(Json::as_f64),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ScenarioFile {
+        seed: num_or(&doc, "seed", "scenario", 1.0)? as u64,
+        warmup_s: num(&doc, "warmup_s", "scenario")?,
+        measure_s: num(&doc, "measure_s", "scenario")?,
+        jitter_s: num_or(&doc, "jitter_s", "scenario", 0.0)?,
+        links,
+        flows,
+    })
 }
 
 /// Build and run a parsed scenario.

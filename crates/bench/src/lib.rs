@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod fattree;
+pub mod json;
 pub mod scenario_a;
 pub mod scenario_b;
 pub mod scenario_c;

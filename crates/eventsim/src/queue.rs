@@ -88,6 +88,21 @@ impl<E> EventQueue<E> {
         Some((entry.at, entry.event))
     }
 
+    /// Advance the clock to `at` without popping anything (a driver that ran
+    /// out of events before its horizon still ends *at* the horizon, so
+    /// wall-clock-anchored bookkeeping — stat resets, utilization windows —
+    /// sees the intended instant).
+    ///
+    /// Panics if `at` is earlier than an already-pending event (that event
+    /// would then fire in the past) or before `now()`.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "clock must not move backwards");
+        if let Some(t) = self.peek_time() {
+            assert!(at <= t, "advancing past a pending event at {t}");
+        }
+        self.now = at;
+    }
+
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)

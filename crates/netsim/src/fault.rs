@@ -1,0 +1,268 @@
+//! Deterministic fault injection: scripted "chaos plans".
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultAction`]s — link failures and
+//! repairs, mid-run capacity or latency changes, and stochastic impairments
+//! (loss bursts, duplication, reordering). Installed via
+//! [`crate::Simulation::install_fault_plan`], each action becomes an event
+//! inside the simulation's own event loop, so faults interleave with packet
+//! events at exact, reproducible instants, and every stochastic impairment
+//! draws from the simulation RNG: same seed + same plan ⇒ byte-identical
+//! runs.
+//!
+//! This is the substrate for the robustness experiments around the paper's
+//! §VII (path failure and re-probing): a plan that downs one path's queues
+//! at t=20 s and restores them at t=40 s exercises the MPTCP path manager's
+//! failure detection, scheduling exclusion, and re-probe logic end to end.
+
+use eventsim::{SimDuration, SimTime};
+
+use crate::ids::QueueId;
+
+/// One fault or repair applied to a queue at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Administratively fail the link: every subsequent arrival is dropped
+    /// (and counted in [`crate::QueueStats::dropped_down`]). Packets already
+    /// buffered still drain.
+    LinkDown(QueueId),
+    /// Restore a failed link.
+    LinkUp(QueueId),
+    /// Change the service rate. Applies to packets whose serialization
+    /// starts after this instant; the packet currently on the wire (if any)
+    /// finishes at the old rate. Drop-discipline parameters are not
+    /// rescaled.
+    SetRate {
+        /// The queue to retime.
+        queue: QueueId,
+        /// New service rate in bits per second (must be positive).
+        rate_bps: f64,
+    },
+    /// Change the propagation latency. Applies to packets completing
+    /// serialization after this instant.
+    SetLatency {
+        /// The queue to retime.
+        queue: QueueId,
+        /// New one-way propagation delay.
+        latency: SimDuration,
+    },
+    /// For `duration` from this instant, drop otherwise-admitted arrivals
+    /// independently with probability `p` (a bursty-loss episode on an
+    /// otherwise healthy link).
+    LossBurst {
+        /// The queue to impair.
+        queue: QueueId,
+        /// Per-packet drop probability during the burst.
+        p: f64,
+        /// How long the burst lasts.
+        duration: SimDuration,
+    },
+    /// Duplicate each forwarded packet independently with probability `p`
+    /// (`0` disables). The copy propagates with the queue's base latency.
+    SetDuplication {
+        /// The queue to impair.
+        queue: QueueId,
+        /// Per-packet duplication probability.
+        p: f64,
+    },
+    /// Delay each forwarded packet by `extra` on top of the base latency,
+    /// independently with probability `p` (`0` disables) — delayed packets
+    /// arrive after later-serialized ones, i.e. out of order.
+    SetReordering {
+        /// The queue to impair.
+        queue: QueueId,
+        /// Per-packet reorder probability.
+        p: f64,
+        /// Extra propagation delay for reordered packets.
+        extra: SimDuration,
+    },
+    /// Cancel every impairment on the queue (loss burst, duplication,
+    /// reordering). Does not touch down/rate/latency.
+    ClearImpairments(QueueId),
+}
+
+/// A scripted, deterministic schedule of [`FaultAction`]s.
+///
+/// Built with the chainable [`FaultPlan::at`] (plus conveniences like
+/// [`FaultPlan::down_between`]) and handed to
+/// [`crate::Simulation::install_fault_plan`]. Actions may be added in any
+/// order; installation sorts them by time (stably, so same-instant actions
+/// keep their insertion order).
+///
+/// ```
+/// use eventsim::{SimDuration, SimTime};
+/// use netsim::{FaultAction, FaultPlan, QueueConfig, Simulation};
+///
+/// let mut sim = Simulation::new(1);
+/// let q = sim.add_queue(QueueConfig::drop_tail(1e7, SimDuration::from_millis(10), 100));
+/// let plan = FaultPlan::new()
+///     .down_between(q, SimTime::from_secs_f64(20.0), SimTime::from_secs_f64(40.0))
+///     .at(
+///         SimTime::from_secs_f64(50.0),
+///         FaultAction::LossBurst { queue: q, p: 0.3, duration: SimDuration::from_secs(2) },
+///     );
+/// assert_eq!(plan.len(), 3);
+/// sim.install_fault_plan(plan);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    actions: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `action` at absolute time `at`.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> FaultPlan {
+        self.actions.push((at, action));
+        self
+    }
+
+    /// Convenience: fail `queue` at `from` and restore it at `to`.
+    pub fn down_between(self, queue: QueueId, from: SimTime, to: SimTime) -> FaultPlan {
+        assert!(
+            from < to,
+            "outage must end after it starts ({from} vs {to})"
+        );
+        self.at(from, FaultAction::LinkDown(queue))
+            .at(to, FaultAction::LinkUp(queue))
+    }
+
+    /// Convenience: flap `queue` — starting at `from`, alternate `down_for`
+    /// down and `up_for` up, for `cycles` full down/up cycles.
+    pub fn flap(
+        mut self,
+        queue: QueueId,
+        from: SimTime,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        cycles: usize,
+    ) -> FaultPlan {
+        assert!(
+            down_for > SimDuration::ZERO && up_for > SimDuration::ZERO,
+            "flap phases must have positive length"
+        );
+        let mut t = from;
+        for _ in 0..cycles {
+            let up_at = t + down_for;
+            self = self.down_between(queue, t, up_at);
+            t = up_at + up_for;
+        }
+        self
+    }
+
+    /// The scheduled actions, in insertion order.
+    pub fn actions(&self) -> &[(SimTime, FaultAction)] {
+        &self.actions
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The actions sorted by time (stable: ties keep insertion order).
+    pub(crate) fn into_sorted(mut self) -> Vec<(SimTime, FaultAction)> {
+        self.actions.sort_by_key(|&(t, _)| t);
+        self.actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let q = QueueId(3);
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs_f64(5.0), FaultAction::LinkDown(q))
+            .at(
+                SimTime::from_secs_f64(2.0),
+                FaultAction::SetRate {
+                    queue: q,
+                    rate_bps: 1e6,
+                },
+            );
+        assert_eq!(plan.len(), 2);
+        let sorted = plan.into_sorted();
+        assert_eq!(sorted[0].0, SimTime::from_secs_f64(2.0));
+        assert_eq!(sorted[1].1, FaultAction::LinkDown(q));
+    }
+
+    #[test]
+    fn down_between_emits_pair() {
+        let q = QueueId(0);
+        let plan = FaultPlan::new().down_between(
+            q,
+            SimTime::from_secs_f64(20.0),
+            SimTime::from_secs_f64(40.0),
+        );
+        assert_eq!(
+            plan.actions(),
+            &[
+                (SimTime::from_secs_f64(20.0), FaultAction::LinkDown(q)),
+                (SimTime::from_secs_f64(40.0), FaultAction::LinkUp(q)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must end after it starts")]
+    fn down_between_rejects_inverted_interval() {
+        FaultPlan::new().down_between(
+            QueueId(0),
+            SimTime::from_secs_f64(4.0),
+            SimTime::from_secs_f64(2.0),
+        );
+    }
+
+    #[test]
+    fn flap_generates_cycles() {
+        let q = QueueId(1);
+        let plan = FaultPlan::new().flap(
+            q,
+            SimTime::from_secs_f64(10.0),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(3),
+            2,
+        );
+        assert_eq!(plan.len(), 4);
+        let acts = plan.actions();
+        assert_eq!(
+            acts[0],
+            (SimTime::from_secs_f64(10.0), FaultAction::LinkDown(q))
+        );
+        assert_eq!(
+            acts[1],
+            (SimTime::from_secs_f64(12.0), FaultAction::LinkUp(q))
+        );
+        assert_eq!(
+            acts[2],
+            (SimTime::from_secs_f64(15.0), FaultAction::LinkDown(q))
+        );
+        assert_eq!(
+            acts[3],
+            (SimTime::from_secs_f64(17.0), FaultAction::LinkUp(q))
+        );
+    }
+
+    #[test]
+    fn stable_sort_keeps_same_instant_order() {
+        let q = QueueId(0);
+        let t = SimTime::from_secs_f64(1.0);
+        let plan = FaultPlan::new()
+            .at(t, FaultAction::LinkDown(q))
+            .at(t, FaultAction::LinkUp(q));
+        let sorted = plan.into_sorted();
+        assert_eq!(sorted[0].1, FaultAction::LinkDown(q));
+        assert_eq!(sorted[1].1, FaultAction::LinkUp(q));
+    }
+}

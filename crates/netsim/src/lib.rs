@@ -21,9 +21,14 @@
 //!   ([`RedParams::paper_profile`], §III Testbed Setup).
 //! * **Endpoints** implement [`Endpoint`] and react to packet deliveries and
 //!   timers through a [`NetCtx`].
+//! * **Faults** are scripted with a [`FaultPlan`] (link down/up, mid-run
+//!   rate/latency changes, loss bursts, duplication, reordering) and run
+//!   inside the event loop ([`Simulation::install_fault_plan`]), drawing any
+//!   randomness from the simulation RNG.
 //!
 //! Everything is deterministic: same configuration + same seed → identical
-//! event sequence (see the determinism test in `sim.rs`).
+//! event sequence (see the determinism test in `sim.rs`), fault plans
+//! included.
 //!
 //! # Example: blast ten packets over one bottleneck
 //!
@@ -62,11 +67,13 @@
 //! let _ = tx;
 //! ```
 
+mod fault;
 mod ids;
 mod packet;
 mod queue;
 mod sim;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use ids::{EndpointId, QueueId};
 pub use packet::{route, Packet, PacketKind, Route};
 pub use queue::{Discipline, QueueConfig, QueueStats, RedParams};

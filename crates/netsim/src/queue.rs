@@ -181,13 +181,18 @@ impl QueueConfig {
 pub struct QueueStats {
     /// Packets offered to the queue.
     pub arrived: u64,
-    /// Packets dropped on admission.
+    /// Packets dropped on admission (all causes).
     pub dropped: u64,
+    /// Of `dropped`, packets dropped because the link was administratively
+    /// down (failure injection) — a subset, not an extra count.
+    pub dropped_down: u64,
     /// Packets fully serialized and forwarded.
     pub forwarded: u64,
     /// Bytes fully serialized and forwarded.
     pub forwarded_bytes: u64,
-    /// Integral of busy time in nanoseconds (for utilization).
+    /// Integral of busy time in nanoseconds (for utilization). Accrued when
+    /// each service *completes*, so it stays correct across mid-run rate
+    /// changes and mid-service stat resets.
     pub busy_ns: u64,
 }
 
@@ -225,6 +230,33 @@ impl QueueStats {
     }
 }
 
+/// Stochastic impairments layered on top of a queue's normal behavior
+/// (fault injection — see [`crate::FaultPlan`]). All randomness draws from
+/// the simulation RNG, so impaired runs stay reproducible per seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Impairment {
+    /// Extra independent drop probability for otherwise-admitted arrivals…
+    pub(crate) loss_p: f64,
+    /// …applied only before this instant (loss bursts are time-bounded).
+    pub(crate) loss_until: SimTime,
+    /// Probability a forwarded packet is duplicated.
+    pub(crate) duplicate_p: f64,
+    /// Probability a forwarded packet is delayed by `reorder_extra`.
+    pub(crate) reorder_p: f64,
+    /// Extra propagation delay for reordered packets.
+    pub(crate) reorder_extra: SimDuration,
+}
+
+impl Impairment {
+    pub(crate) const NONE: Impairment = Impairment {
+        loss_p: 0.0,
+        loss_until: SimTime::ZERO,
+        duplicate_p: 0.0,
+        reorder_p: 0.0,
+        reorder_extra: SimDuration::ZERO,
+    };
+}
+
 /// A queue instance: configuration + buffer + counters.
 #[derive(Debug)]
 pub(crate) struct Queue {
@@ -234,6 +266,11 @@ pub(crate) struct Queue {
     pub(crate) busy: bool,
     /// Administratively down: every arrival is dropped (failure injection).
     pub(crate) down: bool,
+    /// Active impairments (loss burst / duplication / reordering).
+    pub(crate) impair: Impairment,
+    /// When the packet currently serializing began service — clipped forward
+    /// by stat resets so `busy_ns` only counts post-reset time.
+    pub(crate) service_start: SimTime,
     /// EWMA of the queue length (classic RED), relaxed in continuous time.
     pub(crate) avg_qlen: f64,
     /// When `avg_qlen` was last brought up to date.
@@ -248,6 +285,8 @@ impl Queue {
             buf: VecDeque::new(),
             busy: false,
             down: false,
+            impair: Impairment::NONE,
+            service_start: SimTime::ZERO,
             avg_qlen: 0.0,
             avg_updated: SimTime::ZERO,
             stats: QueueStats::default(),
@@ -261,6 +300,13 @@ impl Queue {
     pub(crate) fn try_enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut SimRng) -> bool {
         self.stats.arrived += 1;
         if self.down {
+            self.stats.dropped += 1;
+            self.stats.dropped_down += 1;
+            return false;
+        }
+        // Loss-burst impairment: an extra independent drop applied before
+        // the discipline, while the burst window is open.
+        if now < self.impair.loss_until && rng.chance(self.impair.loss_p) {
             self.stats.dropped += 1;
             return false;
         }
@@ -446,6 +492,7 @@ mod tests {
         let s = QueueStats {
             arrived: 200,
             dropped: 10,
+            dropped_down: 0,
             forwarded: 190,
             forwarded_bytes: 190 * 1500,
             busy_ns: 500_000_000,
@@ -498,8 +545,45 @@ mod tests {
         q.down = true;
         assert!(!q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
         assert_eq!(q.stats.dropped, 1);
+        assert_eq!(q.stats.dropped_down, 1);
         q.down = false;
         assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
+        // The administrative drop stays a subset of the total.
+        assert_eq!(q.stats.dropped, 1);
+        assert_eq!(q.stats.dropped_down, 1);
+    }
+
+    #[test]
+    fn loss_burst_drops_within_window_only() {
+        let mut q = Queue::new(QueueConfig::drop_tail(1e9, SimDuration::ZERO, 100_000));
+        let mut rng = SimRng::seed_from_u64(9);
+        q.impair.loss_p = 1.0;
+        q.impair.loss_until = SimTime::from_secs_f64(1.0);
+        assert!(!q.try_enqueue(pkt(0), SimTime::from_secs_f64(0.5), &mut rng));
+        assert_eq!(q.stats.dropped, 1);
+        // Burst drops are impairments, not administrative outage.
+        assert_eq!(q.stats.dropped_down, 0);
+        // After the window closes the queue admits normally.
+        assert!(q.try_enqueue(pkt(1), SimTime::from_secs_f64(1.0), &mut rng));
+    }
+
+    #[test]
+    fn loss_burst_rate_matches_p() {
+        let mut q = Queue::new(QueueConfig::drop_tail(1e9, SimDuration::ZERO, 100_000));
+        let mut rng = SimRng::seed_from_u64(21);
+        q.impair.loss_p = 0.3;
+        q.impair.loss_until = SimTime::from_secs_f64(1e9);
+        let trials = 50_000;
+        let mut drops = 0;
+        for i in 0..trials {
+            if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+                drops += 1;
+            } else {
+                q.buf.pop_back();
+            }
+        }
+        let freq = drops as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
     }
 
     #[test]

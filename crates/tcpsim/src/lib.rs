@@ -61,4 +61,4 @@ pub use builder::{Connection, ConnectionSpec, PathSpec};
 pub use rtt::RttEstimator;
 pub use sink::TcpSink;
 pub use source::TcpSource;
-pub use stats::{FlowHandle, FlowStats, SubflowStats, TcpConfig};
+pub use stats::{FlowHandle, FlowStats, PathHealth, SubflowStats, TcpConfig};

@@ -57,6 +57,12 @@ impl RttEstimator {
         self.srtt.is_some()
     }
 
+    /// The configured upper bound on the RTO; backed-off timeouts clamp to
+    /// this too.
+    pub fn max_rto(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.max_rto)
+    }
+
     /// The base retransmission timeout (before backoff): `srtt + 4·rttvar`,
     /// clamped to `[min_rto, max_rto]`; `initial_rto` before any sample.
     pub fn rto(&self) -> SimDuration {

@@ -8,7 +8,7 @@ use mpsim_core::{alpha_values, MultipathCc, PathView};
 use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
 
 use crate::rtt::RttEstimator;
-use crate::stats::{FlowHandle, TcpConfig};
+use crate::stats::{FlowHandle, PathHealth, TcpConfig};
 
 /// NewReno-style loss-recovery phase of one subflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,13 @@ struct Subflow {
     /// (the §VII "discard bad paths" extension) neither send nor count in
     /// the coupling until their cooldown expires.
     active: bool,
+    /// Path-manager classification (multipath connections only): consecutive
+    /// RTOs degrade Active → PotentiallyFailed → Failed; any advancing ACK
+    /// restores Active.
+    health: PathHealth,
+    /// Current re-probe interval while `Failed` (doubles per unanswered
+    /// probe, capped at `TcpConfig::reprobe_max`).
+    reprobe_interval: SimDuration,
     /// MPTCP data-sequence mapping: subflow seq → connection-level DSN.
     /// Entries below `cum_ack` are garbage-collected on advancing ACKs;
     /// retransmissions reuse the original mapping.
@@ -111,6 +118,16 @@ fn is_prune_token(token: u64) -> bool {
     token >> 63 == 1
 }
 
+/// Token marking a re-probe of a failed subflow (versioned like RTO tokens
+/// so probes pending at restoration time go stale).
+fn probe_token(idx: usize, version: u64) -> u64 {
+    (1 << 62) | ((idx as u64) << 40) | (version & 0xFF_FFFF_FFFF)
+}
+
+fn is_probe_token(token: u64) -> bool {
+    (token >> 62) & 0b11 == 0b01
+}
+
 impl TcpSource {
     /// A source for `conn` sending to `dst` over the given per-subflow
     /// forward routes, using congestion controller `cc`.
@@ -149,6 +166,8 @@ impl TcpSource {
                 ell1: 0.0,
                 ell2: 0.0,
                 active: true,
+                health: PathHealth::Active,
+                reprobe_interval: cfg.reprobe_initial,
                 dsn_map: HashMap::new(),
             })
             .collect();
@@ -175,7 +194,9 @@ impl TcpSource {
                 cwnd: s.cwnd,
                 rtt: s.rtt.srtt_or(self.cfg.initial_rtt),
                 ell: s.ell(),
-                established: s.active,
+                // Failed paths leave the established set: the coupling
+                // (α weights, ∑w/rtt, |R_u|) must not see a dead path.
+                established: s.active && s.health != PathHealth::Failed,
             })
             .collect()
     }
@@ -211,7 +232,7 @@ impl TcpSource {
     fn try_send(&mut self, ctx: &mut NetCtx, idx: usize) {
         loop {
             let sf = &self.subflows[idx];
-            if !sf.active {
+            if !sf.active || sf.health == PathHealth::Failed {
                 return;
             }
             let inflation = match sf.phase {
@@ -226,6 +247,11 @@ impl TcpSource {
             // Only sends beyond the high-water mark consume new data;
             // go-back-N resends below `max_sent` are retransmissions.
             if seq >= sf.max_sent {
+                // A PotentiallyFailed path may finish its retransmissions but
+                // gets no new data until an ACK proves it alive again.
+                if sf.health != PathHealth::Active {
+                    return;
+                }
                 if let Some(rem) = self.remaining {
                     if rem == 0 {
                         return;
@@ -240,10 +266,11 @@ impl TcpSource {
         }
     }
 
-    /// Arm the RTO timer if it is not already armed.
+    /// Arm the RTO timer if it is not already armed. Failed subflows are
+    /// owned by the probe timer instead — probes must not re-arm the RTO.
     fn ensure_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
         let sf = &mut self.subflows[idx];
-        if sf.timer_armed {
+        if sf.timer_armed || sf.health == PathHealth::Failed {
             return;
         }
         sf.timer_armed = true;
@@ -257,7 +284,7 @@ impl TcpSource {
     fn restart_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
         let sf = &mut self.subflows[idx];
         sf.timer_version += 1;
-        if sf.inflight() > 0 && sf.active {
+        if sf.inflight() > 0 && sf.active && sf.health != PathHealth::Failed {
             sf.timer_armed = true;
             let rto = sf.rto_with_backoff();
             let token = timer_token(idx, sf.timer_version);
@@ -329,6 +356,7 @@ impl TcpSource {
             return;
         }
         sf.active = true;
+        sf.health = PathHealth::Active;
         sf.cwnd = 1.0;
         sf.phase = Phase::Open;
         sf.dup_acks = 0;
@@ -355,6 +383,8 @@ impl TcpSource {
             let st = &mut s.subflows[idx];
             st.cwnd = sf.cwnd;
             st.srtt = sf.rtt.srtt_or(0.0);
+            st.health = sf.health;
+            st.backoff = sf.backoff;
             if trace {
                 st.cwnd_trace.push(now, sf.cwnd);
                 if let Some(a) = alpha {
@@ -371,6 +401,7 @@ impl TcpSource {
 
         if ack > cum {
             let newly = ack - cum;
+            let mut was_failed = false;
             {
                 let sf = &mut self.subflows[idx];
                 for seq in cum..ack {
@@ -381,11 +412,32 @@ impl TcpSource {
                 // point; keep next_seq ≥ cum_ack so inflight() is well-defined.
                 sf.next_seq = sf.next_seq.max(ack);
                 sf.backoff = 0;
+                // Any advancing ACK proves the path alive: restore it.
+                if sf.health != PathHealth::Active {
+                    was_failed = sf.health == PathHealth::Failed;
+                    sf.health = PathHealth::Active;
+                    if was_failed {
+                        // A probe was answered: rejoin the established set at
+                        // the probing floor and kill the pending probe timer.
+                        sf.cwnd = 1.0;
+                        sf.phase = Phase::Open;
+                        sf.dup_acks = 0;
+                        sf.reprobe_interval = self.cfg.reprobe_initial;
+                        sf.timer_version += 1;
+                        sf.timer_armed = false;
+                    }
+                }
                 sf.ell2 += newly as f64;
                 let sample = ctx.now().saturating_since(pkt.ts_echo);
                 if sample > SimDuration::ZERO {
                     sf.rtt.sample(sample);
                 }
+            }
+            if was_failed {
+                let now = ctx.now();
+                self.handle.update(|s| {
+                    s.subflows[idx].last_recovered_at = Some(now);
+                });
             }
             self.total_acked += newly;
             self.handle
@@ -426,7 +478,12 @@ impl TcpSource {
                 self.restart_timer(ctx, idx);
             }
         } else {
-            // Duplicate ACK.
+            // Duplicate ACK. On a Failed subflow it is a straggler from
+            // before the outage — the probe schedule owns recovery, so do
+            // not let it trigger a fast retransmit.
+            if self.subflows[idx].health == PathHealth::Failed {
+                return;
+            }
             let sf = &mut self.subflows[idx];
             sf.dup_acks += 1;
             let dup = sf.dup_acks;
@@ -481,15 +538,74 @@ impl TcpSource {
             s.subflows[idx].loss_events += 1;
             s.subflows[idx].timeouts += 1;
         });
+        // Path manager (§VII, multipath only): consecutive RTOs degrade the
+        // subflow's health. Single-path connections keep plain TCP semantics
+        // — there is nowhere else to send, so they just keep backing off.
+        if self.subflows.len() > 1 {
+            let backoff = self.subflows[idx].backoff;
+            if backoff >= self.cfg.fail_rto_threshold {
+                self.enter_failed(ctx, idx);
+                self.publish(ctx, idx);
+                return;
+            }
+            if backoff >= self.cfg.pf_rto_threshold {
+                self.subflows[idx].health = PathHealth::PotentiallyFailed;
+                self.handle
+                    .update(|s| s.subflows[idx].health = PathHealth::PotentiallyFailed);
+            }
+        }
         self.maybe_prune(ctx, idx);
         self.try_send(ctx, idx);
         self.publish(ctx, idx);
     }
+
+    /// Declare subflow `idx` dead: leave the coupled established set, cancel
+    /// the RTO, and start the capped-exponential re-probe schedule.
+    fn enter_failed(&mut self, ctx: &mut NetCtx, idx: usize) {
+        let initial = self.cfg.reprobe_initial;
+        let sf = &mut self.subflows[idx];
+        sf.health = PathHealth::Failed;
+        sf.timer_armed = false;
+        sf.timer_version += 1; // cancel the RTO timer
+        sf.reprobe_interval = initial;
+        let token = probe_token(idx, sf.timer_version);
+        ctx.schedule_in(initial, token);
+        self.handle.update(|s| {
+            s.subflows[idx].failures += 1;
+            s.subflows[idx].health = PathHealth::Failed;
+        });
+    }
+
+    /// A re-probe timer fired: retransmit one packet at the hole, then
+    /// schedule the next probe with the interval doubled (capped at
+    /// `TcpConfig::reprobe_max`). If the path is back, the probe's ACK
+    /// advances `cum_ack` and the advancing-ACK path restores the subflow.
+    fn handle_probe(&mut self, ctx: &mut NetCtx, idx: usize, version: u64) {
+        let sf = &self.subflows[idx];
+        if sf.health != PathHealth::Failed || version != sf.timer_version {
+            return; // stale probe: the subflow recovered in the meantime
+        }
+        let probe_seq = sf.cum_ack;
+        self.transmit(ctx, idx, probe_seq);
+        let max = self.cfg.reprobe_max;
+        let sf = &mut self.subflows[idx];
+        sf.timer_version += 1;
+        sf.reprobe_interval = sf.reprobe_interval.saturating_mul(2).min(max);
+        let token = probe_token(idx, sf.timer_version);
+        ctx.schedule_in(sf.reprobe_interval, token);
+        self.handle.update(|s| s.subflows[idx].reprobes += 1);
+    }
 }
 
 impl Subflow {
+    /// The RTO with exponential backoff applied: doubles per consecutive
+    /// timeout (exponent saturating at 10) and clamps at the configured
+    /// `max_rto`, as real stacks do.
     fn rto_with_backoff(&self) -> SimDuration {
-        self.rtt.rto().saturating_mul(1 << self.backoff.min(10))
+        self.rtt
+            .rto()
+            .saturating_mul(1 << self.backoff.min(10))
+            .min(self.rtt.max_rto())
     }
 }
 
@@ -515,10 +631,133 @@ impl Endpoint for TcpSource {
             self.reactivate(ctx, idx);
             return;
         }
+        if is_probe_token(token) {
+            self.handle_probe(ctx, idx, version);
+            return;
+        }
         let sf = &self.subflows[idx];
         if !sf.timer_armed || version != sf.timer_version {
             return; // stale timer
         }
         self.handle_timeout(ctx, idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ConnectionSpec, PathSpec};
+    use eventsim::SimTime;
+    use mpsim_core::Algorithm;
+    use netsim::{route, QueueConfig, Simulation};
+
+    fn test_subflow(backoff: u32) -> Subflow {
+        Subflow {
+            fwd: route(&[]),
+            cwnd: 1.0,
+            ssthresh: 2.0,
+            phase: Phase::Open,
+            next_seq: 0,
+            max_sent: 0,
+            cum_ack: 0,
+            dup_acks: 0,
+            rtt: RttEstimator::new(
+                SimDuration::from_millis(200),
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(1),
+            ),
+            backoff,
+            timer_version: 0,
+            timer_armed: false,
+            ell1: 0.0,
+            ell2: 0.0,
+            active: true,
+            health: PathHealth::Active,
+            reprobe_interval: SimDuration::from_secs(1),
+            dsn_map: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn rto_backoff_doubles_per_consecutive_timeout() {
+        // Before any RTT sample the base RTO is `initial_rto` = 1 s.
+        for k in 0..6u32 {
+            let sf = test_subflow(k);
+            assert_eq!(
+                sf.rto_with_backoff(),
+                SimDuration::from_secs(1).saturating_mul(1 << k),
+                "backoff exponent {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rto_backoff_clamps_at_max_rto() {
+        // 2^10 × 1 s = 1024 s would blow far past max_rto = 60 s.
+        let mut sf = test_subflow(10);
+        assert_eq!(sf.rto_with_backoff(), SimDuration::from_secs(60));
+        // The exponent itself saturates, so even absurd counters are safe.
+        sf.backoff = 40;
+        assert_eq!(sf.rto_with_backoff(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn timer_tokens_roundtrip_and_flags_are_disjoint() {
+        let rto = timer_token(5, 123);
+        assert_eq!(decode_token(rto), (5, 123));
+        assert!(!is_prune_token(rto) && !is_probe_token(rto));
+
+        let probe = probe_token(5, 123);
+        assert_eq!(decode_token(probe), (5, 123));
+        assert!(is_probe_token(probe) && !is_prune_token(probe));
+
+        let prune = prune_token(5);
+        assert_eq!(decode_token(prune).0, 5);
+        assert!(is_prune_token(prune) && !is_probe_token(prune));
+    }
+
+    #[test]
+    fn backoff_resets_on_advancing_ack() {
+        let mut sim = Simulation::new(7);
+        let fwd = sim.add_queue(QueueConfig::drop_tail(
+            10e6,
+            SimDuration::from_millis(10),
+            100,
+        ));
+        let rev = sim.add_queue(QueueConfig::drop_tail(
+            10e6,
+            SimDuration::from_millis(10),
+            100,
+        ));
+        let conn = ConnectionSpec::new(Algorithm::Reno)
+            .with_path(PathSpec::new(route(&[fwd]), route(&[rev])))
+            .install(&mut sim, 0);
+        sim.start_endpoint_at(conn.source, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+
+        // An outage long enough for several consecutive RTOs. Single-path
+        // flows never enter the path manager, so the backoff just stacks.
+        sim.set_queue_down(fwd, true);
+        sim.run_until(SimTime::from_secs_f64(6.0));
+        let (timeouts, backoff) = conn
+            .handle
+            .read(|s| (s.subflows[0].timeouts, s.subflows[0].backoff));
+        assert!(timeouts >= 2, "outage must trigger RTOs, got {timeouts}");
+        assert!(
+            backoff >= 2,
+            "consecutive RTOs must stack backoff, got {backoff}"
+        );
+
+        // Restore: the next retransmission is ACKed, which must zero the
+        // backoff again.
+        sim.set_queue_down(fwd, false);
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        assert!(conn.handle.subflow_mbps(0, sim.now()) > 1.0);
+        assert_eq!(
+            conn.handle.read(|s| s.subflows[0].backoff),
+            0,
+            "an advancing ACK must reset the RTO backoff"
+        );
     }
 }

@@ -58,6 +58,21 @@ pub struct TcpConfig {
     pub trace: bool,
     /// Minimum spacing of trace samples, seconds.
     pub trace_interval: f64,
+    /// Consecutive RTOs before a subflow of a multipath connection is
+    /// classified [`PathHealth::PotentiallyFailed`] (no new data is
+    /// scheduled on it, retransmissions continue).
+    pub pf_rto_threshold: u32,
+    /// Consecutive RTOs before a subflow of a multipath connection is
+    /// classified [`PathHealth::Failed`]: it leaves the established set
+    /// (excluded from the LIA/OLIA coupling), stops transmitting, and
+    /// switches to timed re-probes.
+    pub fail_rto_threshold: u32,
+    /// Delay before the first re-probe of a failed subflow.
+    pub reprobe_initial: SimDuration,
+    /// Cap on the re-probe interval (each unanswered probe doubles the
+    /// interval up to this bound, so a restored path is rediscovered within
+    /// one cap's worth of time).
+    pub reprobe_max: SimDuration,
 }
 
 impl Default for TcpConfig {
@@ -80,8 +95,33 @@ impl Default for TcpConfig {
             prune_quality_ratio: 0.05,
             trace: false,
             trace_interval: 0.0,
+            pf_rto_threshold: 2,
+            fail_rto_threshold: 4,
+            reprobe_initial: SimDuration::from_secs(1),
+            reprobe_max: SimDuration::from_secs(8),
         }
     }
+}
+
+/// Health classification of one subflow, maintained by the source's path
+/// manager (multipath connections only; single-path flows always stay
+/// `Active` and keep classic RTO backoff).
+///
+/// `Active → PotentiallyFailed` after [`TcpConfig::pf_rto_threshold`]
+/// consecutive RTOs, `→ Failed` after [`TcpConfig::fail_rto_threshold`];
+/// any ACK that advances the cumulative ACK point restores `Active`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathHealth {
+    /// Normal operation: data is scheduled and the subflow participates in
+    /// the coupled congestion control.
+    #[default]
+    Active,
+    /// Several consecutive RTOs: still retransmitting (which doubles as
+    /// probing), but no *new* data is scheduled on the subflow.
+    PotentiallyFailed,
+    /// Declared dead: out of the established set, no transmissions except
+    /// timed re-probes with capped exponential backoff.
+    Failed,
 }
 
 /// Per-subflow observable state, updated by the source.
@@ -99,6 +139,17 @@ pub struct SubflowStats {
     pub loss_events: u64,
     /// Retransmission timeouts.
     pub timeouts: u64,
+    /// Current RTO backoff exponent (0 after any advancing ACK; each
+    /// consecutive timeout increments it).
+    pub backoff: u32,
+    /// Current path-manager classification.
+    pub health: PathHealth,
+    /// Transitions into [`PathHealth::Failed`].
+    pub failures: u64,
+    /// Re-probe packets sent while failed.
+    pub reprobes: u64,
+    /// When the subflow last came back from `Failed` to `Active`.
+    pub last_recovered_at: Option<SimTime>,
     /// Window trace (only if `TcpConfig::trace`).
     pub cwnd_trace: TimeSeries,
     /// OLIA α trace (only if tracing and the algorithm computes α).
@@ -236,6 +287,21 @@ impl FlowHandle {
     /// reorder-buffer high-water mark.
     pub fn app_delivery(&self) -> (u64, u64) {
         self.read(|s| (s.app_delivered_packets, s.max_reorder_buffer))
+    }
+
+    /// Current path-manager classification of one subflow.
+    pub fn path_health(&self, idx: usize) -> PathHealth {
+        self.read(|s| s.subflows[idx].health)
+    }
+
+    /// Failure transitions and re-probe packets of one subflow.
+    pub fn failure_counts(&self, idx: usize) -> (u64, u64) {
+        self.read(|s| (s.subflows[idx].failures, s.subflows[idx].reprobes))
+    }
+
+    /// When one subflow last recovered from `Failed` back to `Active`.
+    pub fn last_recovered_at(&self, idx: usize) -> Option<SimTime> {
+        self.read(|s| s.subflows[idx].last_recovered_at)
     }
 }
 

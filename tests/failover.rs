@@ -5,8 +5,8 @@
 
 use eventsim::{SimDuration, SimTime};
 use mpsim_core::Algorithm;
-use netsim::{route, QueueConfig, QueueId, Simulation};
-use tcpsim::{Connection, ConnectionSpec, PathSpec};
+use netsim::{route, FaultPlan, QueueConfig, QueueId, Simulation};
+use tcpsim::{Connection, ConnectionSpec, PathHealth, PathSpec};
 
 fn link(sim: &mut Simulation) -> (QueueId, QueueId) {
     (
@@ -75,17 +75,95 @@ fn single_path_stalls_on_failure() {
     );
 }
 
+/// The PR's acceptance scenario: a scripted outage on path 0 from t=20 s to
+/// t=40 s. The path manager must (a) keep multipath goodput above 3 Mb/s
+/// throughout, (b) carry ~nothing on the failed subflow during the outage,
+/// and (c) re-probe the restored subflow back into service within 10 s.
+#[test]
+fn fault_plan_outage_is_detected_and_reprobed_within_bound() {
+    for alg in [Algorithm::Olia, Algorithm::Lia] {
+        let (mut sim, conn, f1) = setup(alg, true);
+        sim.install_fault_plan(FaultPlan::new().down_between(
+            f1,
+            SimTime::from_secs_f64(20.0),
+            SimTime::from_secs_f64(40.0),
+        ));
+
+        // Before the outage: both paths deliver.
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        let pre = conn.handle.goodput_mbps(sim.now());
+        assert!(pre > 3.0, "{alg:?}: pre-outage goodput {pre:.2} Mb/s");
+
+        // Transition window: even while packets buffered before the outage
+        // drain and the RTOs stack up, the survivor keeps goodput up.
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(25.0));
+        let transition = conn.handle.goodput_mbps(sim.now());
+        assert!(
+            transition > 3.0,
+            "{alg:?}: goodput at outage onset {transition:.2} Mb/s"
+        );
+
+        // Steady outage window: the dead subflow carries ~nothing.
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(39.0));
+        let during = conn.handle.goodput_mbps(sim.now());
+        assert!(
+            during > 3.0,
+            "{alg:?}: goodput during outage {during:.2} Mb/s"
+        );
+        let dead = conn.handle.subflow_mbps(0, sim.now());
+        assert!(
+            dead < 0.05,
+            "{alg:?}: dead subflow must carry ~nothing, got {dead:.3} Mb/s"
+        );
+        // The path manager noticed: subflow 0 was declared Failed and is
+        // being re-probed on the capped-backoff schedule.
+        assert_eq!(conn.handle.path_health(0), PathHealth::Failed, "{alg:?}");
+        let (failures, reprobes) = conn.handle.failure_counts(0);
+        assert!(failures >= 1, "{alg:?}: no Failed transition recorded");
+        assert!(reprobes >= 1, "{alg:?}: no re-probe sent during outage");
+
+        // After restoration: a probe gets through, the subflow rejoins, and
+        // it does so within 10 s of the link coming back.
+        sim.run_until(SimTime::from_secs_f64(50.0));
+        let recovered = conn
+            .handle
+            .last_recovered_at(0)
+            .unwrap_or_else(|| panic!("{alg:?}: subflow 0 never recovered"));
+        let lag = recovered.saturating_since(SimTime::from_secs_f64(40.0));
+        assert!(
+            lag <= SimDuration::from_secs(10),
+            "{alg:?}: recovery took {} after restoration",
+            lag
+        );
+        assert_eq!(conn.handle.path_health(0), PathHealth::Active, "{alg:?}");
+
+        // ... and the restored subflow carries real traffic again.
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        let restored = conn.handle.subflow_mbps(0, sim.now());
+        assert!(
+            restored > 1.0,
+            "{alg:?}: restored subflow must carry traffic, got {restored:.3} Mb/s"
+        );
+        let total = conn.handle.goodput_mbps(sim.now());
+        assert!(total > 3.0, "{alg:?}: post-restore goodput {total:.2} Mb/s");
+    }
+}
+
 #[test]
 fn failed_path_recovers_when_restored() {
     let (mut sim, conn, f1) = setup(Algorithm::Olia, true);
     sim.run_until(SimTime::from_secs_f64(20.0));
     sim.set_queue_down(f1, true);
     sim.run_until(SimTime::from_secs_f64(50.0));
-    // Restore and let RTO backoff expire (it can reach tens of seconds).
+    // Restore. The path manager's capped re-probe schedule (≤8 s between
+    // probes) rediscovers the path quickly — no multi-minute RTO backoff.
     sim.set_queue_down(f1, false);
-    sim.run_until(SimTime::from_secs_f64(160.0));
+    sim.run_until(SimTime::from_secs_f64(60.0));
     conn.handle.reset(sim.now());
-    sim.run_until(SimTime::from_secs_f64(220.0));
+    sim.run_until(SimTime::from_secs_f64(90.0));
     let p1_rate = conn.handle.subflow_mbps(0, sim.now());
     assert!(
         p1_rate > 1.0,
