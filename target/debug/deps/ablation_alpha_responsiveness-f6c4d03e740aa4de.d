@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_responsiveness-f6c4d03e740aa4de.d: crates/bench/src/bin/ablation_alpha_responsiveness.rs
+
+/root/repo/target/debug/deps/ablation_alpha_responsiveness-f6c4d03e740aa4de: crates/bench/src/bin/ablation_alpha_responsiveness.rs
+
+crates/bench/src/bin/ablation_alpha_responsiveness.rs:

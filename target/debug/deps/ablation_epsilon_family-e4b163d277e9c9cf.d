@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epsilon_family-e4b163d277e9c9cf.d: crates/bench/src/bin/ablation_epsilon_family.rs
+
+/root/repo/target/debug/deps/ablation_epsilon_family-e4b163d277e9c9cf: crates/bench/src/bin/ablation_epsilon_family.rs
+
+crates/bench/src/bin/ablation_epsilon_family.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_path_pruning-88ccafff12d00a48.d: crates/bench/src/bin/ablation_path_pruning.rs
+
+/root/repo/target/debug/deps/ablation_path_pruning-88ccafff12d00a48: crates/bench/src/bin/ablation_path_pruning.rs
+
+crates/bench/src/bin/ablation_path_pruning.rs:

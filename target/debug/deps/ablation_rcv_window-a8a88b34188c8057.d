@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rcv_window-a8a88b34188c8057.d: crates/bench/src/bin/ablation_rcv_window.rs
+
+/root/repo/target/debug/deps/ablation_rcv_window-a8a88b34188c8057: crates/bench/src/bin/ablation_rcv_window.rs
+
+crates/bench/src/bin/ablation_rcv_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_red_variants-af8afb2003d7d8c8.d: crates/bench/src/bin/ablation_red_variants.rs
+
+/root/repo/target/debug/deps/ablation_red_variants-af8afb2003d7d8c8: crates/bench/src/bin/ablation_red_variants.rs
+
+crates/bench/src/bin/ablation_red_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rtt_compensation-39ce7502699cf056.d: crates/bench/src/bin/ablation_rtt_compensation.rs
+
+/root/repo/target/debug/deps/ablation_rtt_compensation-39ce7502699cf056: crates/bench/src/bin/ablation_rtt_compensation.rs
+
+crates/bench/src/bin/ablation_rtt_compensation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bench-9f7eba57bbaeb25d.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+/root/repo/target/debug/deps/libbench-9f7eba57bbaeb25d.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+/root/repo/target/debug/deps/libbench-9f7eba57bbaeb25d.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fattree.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenario_a.rs:
+crates/bench/src/scenario_b.rs:
+crates/bench/src/scenario_c.rs:
+crates/bench/src/table.rs:
+crates/bench/src/traces.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench-bbc9f841d618c7db.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+/root/repo/target/debug/deps/bench-bbc9f841d618c7db: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fattree.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenario_a.rs:
+crates/bench/src/scenario_b.rs:
+crates/bench/src/scenario_c.rs:
+crates/bench/src/table.rs:
+crates/bench/src/traces.rs:

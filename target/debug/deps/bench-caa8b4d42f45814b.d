@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bench-caa8b4d42f45814b.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-caa8b4d42f45814b.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fattree.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenario_a.rs:
+crates/bench/src/scenario_b.rs:
+crates/bench/src/scenario_c.rs:
+crates/bench/src/table.rs:
+crates/bench/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dc_robustness-eae7c173ed9a3de1.d: crates/bench/src/bin/dc_robustness.rs
+
+/root/repo/target/debug/deps/dc_robustness-eae7c173ed9a3de1: crates/bench/src/bin/dc_robustness.rs
+
+crates/bench/src/bin/dc_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_goals-4d775cd1b9c09373.d: tests/design_goals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_goals-4d775cd1b9c09373.rmeta: tests/design_goals.rs Cargo.toml
+
+tests/design_goals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

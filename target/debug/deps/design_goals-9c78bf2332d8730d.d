@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_goals-9c78bf2332d8730d.d: tests/design_goals.rs
+
+/root/repo/target/debug/deps/design_goals-9c78bf2332d8730d: tests/design_goals.rs
+
+tests/design_goals.rs:

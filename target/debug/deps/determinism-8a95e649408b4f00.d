@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8a95e649408b4f00.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8a95e649408b4f00: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eventsim-2e3cf9dd99d0b22c.d: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+/root/repo/target/debug/deps/libeventsim-2e3cf9dd99d0b22c.rlib: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+/root/repo/target/debug/deps/libeventsim-2e3cf9dd99d0b22c.rmeta: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+crates/eventsim/src/lib.rs:
+crates/eventsim/src/queue.rs:
+crates/eventsim/src/rng.rs:
+crates/eventsim/src/time.rs:

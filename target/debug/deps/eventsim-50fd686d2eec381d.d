@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/eventsim-50fd686d2eec381d.d: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+/root/repo/target/debug/deps/eventsim-50fd686d2eec381d: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+crates/eventsim/src/lib.rs:
+crates/eventsim/src/queue.rs:
+crates/eventsim/src/rng.rs:
+crates/eventsim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eventsim-62d8c0b9f2ec6554.d: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeventsim-62d8c0b9f2ec6554.rmeta: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs Cargo.toml
+
+crates/eventsim/src/lib.rs:
+crates/eventsim/src/queue.rs:
+crates/eventsim/src/rng.rs:
+crates/eventsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-69b979014031a0ab.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-69b979014031a0ab: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12_scenario_c_olia-ca078ee9e6210f87.d: crates/bench/src/bin/fig11_12_scenario_c_olia.rs
+
+/root/repo/target/debug/deps/fig11_12_scenario_c_olia-ca078ee9e6210f87: crates/bench/src/bin/fig11_12_scenario_c_olia.rs
+
+crates/bench/src/bin/fig11_12_scenario_c_olia.rs:

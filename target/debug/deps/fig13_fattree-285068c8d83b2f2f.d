@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_fattree-285068c8d83b2f2f.d: crates/bench/src/bin/fig13_fattree.rs
+
+/root/repo/target/debug/deps/fig13_fattree-285068c8d83b2f2f: crates/bench/src/bin/fig13_fattree.rs
+
+crates/bench/src/bin/fig13_fattree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_table3_shortflows-ce4593dfdf6ed963.d: crates/bench/src/bin/fig14_table3_shortflows.rs
+
+/root/repo/target/debug/deps/fig14_table3_shortflows-ce4593dfdf6ed963: crates/bench/src/bin/fig14_table3_shortflows.rs
+
+crates/bench/src/bin/fig14_table3_shortflows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_probing_rtt-9dacb4dbe48db21c.d: crates/bench/src/bin/fig17_probing_rtt.rs
+
+/root/repo/target/debug/deps/fig17_probing_rtt-9dacb4dbe48db21c: crates/bench/src/bin/fig17_probing_rtt.rs
+
+crates/bench/src/bin/fig17_probing_rtt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scenario_a-64a8ff0fe67d3c0c.d: crates/bench/src/bin/fig1_scenario_a.rs
+
+/root/repo/target/debug/deps/fig1_scenario_a-64a8ff0fe67d3c0c: crates/bench/src/bin/fig1_scenario_a.rs
+
+crates/bench/src/bin/fig1_scenario_a.rs:

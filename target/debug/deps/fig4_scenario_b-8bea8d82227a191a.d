@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_scenario_b-8bea8d82227a191a.d: crates/bench/src/bin/fig4_scenario_b.rs
+
+/root/repo/target/debug/deps/fig4_scenario_b-8bea8d82227a191a: crates/bench/src/bin/fig4_scenario_b.rs
+
+crates/bench/src/bin/fig4_scenario_b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scenario_c-767389db85b55ee3.d: crates/bench/src/bin/fig5_scenario_c.rs
+
+/root/repo/target/debug/deps/fig5_scenario_c-767389db85b55ee3: crates/bench/src/bin/fig5_scenario_c.rs
+
+crates/bench/src/bin/fig5_scenario_c.rs:

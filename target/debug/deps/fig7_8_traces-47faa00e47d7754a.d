@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_8_traces-47faa00e47d7754a.d: crates/bench/src/bin/fig7_8_traces.rs
+
+/root/repo/target/debug/deps/fig7_8_traces-47faa00e47d7754a: crates/bench/src/bin/fig7_8_traces.rs
+
+crates/bench/src/bin/fig7_8_traces.rs:

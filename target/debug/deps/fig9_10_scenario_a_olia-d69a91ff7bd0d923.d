@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_10_scenario_a_olia-d69a91ff7bd0d923.d: crates/bench/src/bin/fig9_10_scenario_a_olia.rs
+
+/root/repo/target/debug/deps/fig9_10_scenario_a_olia-d69a91ff7bd0d923: crates/bench/src/bin/fig9_10_scenario_a_olia.rs
+
+crates/bench/src/bin/fig9_10_scenario_a_olia.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fluid-15c1397a30952f72.d: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+/root/repo/target/debug/deps/libfluid-15c1397a30952f72.rlib: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+/root/repo/target/debug/deps/libfluid-15c1397a30952f72.rmeta: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+crates/fluid/src/lib.rs:
+crates/fluid/src/ode.rs:
+crates/fluid/src/roots.rs:
+crates/fluid/src/scenario_a.rs:
+crates/fluid/src/scenario_b.rs:
+crates/fluid/src/scenario_c.rs:
+crates/fluid/src/units.rs:
+crates/fluid/src/utility.rs:

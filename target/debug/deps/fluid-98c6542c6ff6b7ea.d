@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fluid-98c6542c6ff6b7ea.d: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+/root/repo/target/debug/deps/fluid-98c6542c6ff6b7ea: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+crates/fluid/src/lib.rs:
+crates/fluid/src/ode.rs:
+crates/fluid/src/roots.rs:
+crates/fluid/src/scenario_a.rs:
+crates/fluid/src/scenario_b.rs:
+crates/fluid/src/scenario_c.rs:
+crates/fluid/src/units.rs:
+crates/fluid/src/utility.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fluid-a715fa79d425c24f.d: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfluid-a715fa79d425c24f.rmeta: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs Cargo.toml
+
+crates/fluid/src/lib.rs:
+crates/fluid/src/ode.rs:
+crates/fluid/src/roots.rs:
+crates/fluid/src/scenario_a.rs:
+crates/fluid/src/scenario_b.rs:
+crates/fluid/src/scenario_c.rs:
+crates/fluid/src/units.rs:
+crates/fluid/src/utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fluid_vs_closed_form-5f2376944016e73d.d: tests/fluid_vs_closed_form.rs
+
+/root/repo/target/debug/deps/fluid_vs_closed_form-5f2376944016e73d: tests/fluid_vs_closed_form.rs
+
+tests/fluid_vs_closed_form.rs:

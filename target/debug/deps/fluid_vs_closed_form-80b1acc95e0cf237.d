@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fluid_vs_closed_form-80b1acc95e0cf237.d: tests/fluid_vs_closed_form.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfluid_vs_closed_form-80b1acc95e0cf237.rmeta: tests/fluid_vs_closed_form.rs Cargo.toml
+
+tests/fluid_vs_closed_form.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

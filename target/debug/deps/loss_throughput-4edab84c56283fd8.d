@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loss_throughput-4edab84c56283fd8.d: tests/loss_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloss_throughput-4edab84c56283fd8.rmeta: tests/loss_throughput.rs Cargo.toml
+
+tests/loss_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loss_throughput-6be44bbf964a290b.d: tests/loss_throughput.rs
+
+/root/repo/target/debug/deps/loss_throughput-6be44bbf964a290b: tests/loss_throughput.rs
+
+tests/loss_throughput.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/metrics-9075df60fe93f2e8.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-9075df60fe93f2e8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

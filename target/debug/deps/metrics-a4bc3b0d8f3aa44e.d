@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/metrics-a4bc3b0d8f3aa44e.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/metrics-a4bc3b0d8f3aa44e: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/metrics-b779cb5cfefc2935.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libmetrics-b779cb5cfefc2935.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libmetrics-b779cb5cfefc2935.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

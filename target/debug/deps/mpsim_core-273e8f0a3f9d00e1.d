@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpsim_core-273e8f0a3f9d00e1.d: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+/root/repo/target/debug/deps/libmpsim_core-273e8f0a3f9d00e1.rlib: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+/root/repo/target/debug/deps/libmpsim_core-273e8f0a3f9d00e1.rmeta: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cc.rs:
+crates/core/src/coupled.rs:
+crates/core/src/formulas.rs:
+crates/core/src/lia.rs:
+crates/core/src/olia.rs:
+crates/core/src/path.rs:
+crates/core/src/probe.rs:
+crates/core/src/related.rs:
+crates/core/src/reno.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpsim_core-a7c4d023d8d1718c.d: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+/root/repo/target/debug/deps/mpsim_core-a7c4d023d8d1718c: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cc.rs:
+crates/core/src/coupled.rs:
+crates/core/src/formulas.rs:
+crates/core/src/lia.rs:
+crates/core/src/olia.rs:
+crates/core/src/path.rs:
+crates/core/src/probe.rs:
+crates/core/src/related.rs:
+crates/core/src/reno.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mpsim_core-d1493fc32bbf52d3.d: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpsim_core-d1493fc32bbf52d3.rmeta: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cc.rs:
+crates/core/src/coupled.rs:
+crates/core/src/formulas.rs:
+crates/core/src/lia.rs:
+crates/core/src/olia.rs:
+crates/core/src/path.rs:
+crates/core/src/probe.rs:
+crates/core/src/related.rs:
+crates/core/src/reno.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mptcp_olia_repro-128c59a98ecef125.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmptcp_olia_repro-128c59a98ecef125.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mptcp_olia_repro-6369ba24d35f1736.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmptcp_olia_repro-6369ba24d35f1736.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

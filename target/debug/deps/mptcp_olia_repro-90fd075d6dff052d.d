@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mptcp_olia_repro-90fd075d6dff052d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mptcp_olia_repro-90fd075d6dff052d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mptcp_olia_repro-f1ea37faa330bf8d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmptcp_olia_repro-f1ea37faa330bf8d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmptcp_olia_repro-f1ea37faa330bf8d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netsim-024ed004d54965fe.d: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/debug/deps/netsim-024ed004d54965fe: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netsim-3ed88e54aa811e4a.d: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-3ed88e54aa811e4a.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

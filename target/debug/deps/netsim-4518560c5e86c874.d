@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netsim-4518560c5e86c874.d: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/debug/deps/libnetsim-4518560c5e86c874.rlib: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/debug/deps/libnetsim-4518560c5e86c874.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_run-4731d9108c23a386.d: crates/bench/src/bin/repro_run.rs
+
+/root/repo/target/debug/deps/repro_run-4731d9108c23a386: crates/bench/src/bin/repro_run.rs
+
+crates/bench/src/bin/repro_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_shapes-150b7f31a4630dad.d: tests/scenario_shapes.rs
+
+/root/repo/target/debug/deps/scenario_shapes-150b7f31a4630dad: tests/scenario_shapes.rs
+
+tests/scenario_shapes.rs:

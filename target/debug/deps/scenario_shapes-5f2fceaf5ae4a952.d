@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario_shapes-5f2fceaf5ae4a952.d: tests/scenario_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario_shapes-5f2fceaf5ae4a952.rmeta: tests/scenario_shapes.rs Cargo.toml
+
+tests/scenario_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scenario_b_lia-c321860bd0deb6b7.d: crates/bench/src/bin/table1_scenario_b_lia.rs
+
+/root/repo/target/debug/deps/table1_scenario_b_lia-c321860bd0deb6b7: crates/bench/src/bin/table1_scenario_b_lia.rs
+
+crates/bench/src/bin/table1_scenario_b_lia.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_scenario_b_olia-a1d85239f3a95e9f.d: crates/bench/src/bin/table2_scenario_b_olia.rs
+
+/root/repo/target/debug/deps/table2_scenario_b_olia-a1d85239f3a95e9f: crates/bench/src/bin/table2_scenario_b_olia.rs
+
+crates/bench/src/bin/table2_scenario_b_olia.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tcpsim-7fe05f802c4a6781.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+/root/repo/target/debug/deps/tcpsim-7fe05f802c4a6781: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/builder.rs:
+crates/tcpsim/src/rtt.rs:
+crates/tcpsim/src/sink.rs:
+crates/tcpsim/src/source.rs:
+crates/tcpsim/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tcpsim-dd7405d7d8c08f34.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcpsim-dd7405d7d8c08f34.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs Cargo.toml
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/builder.rs:
+crates/tcpsim/src/rtt.rs:
+crates/tcpsim/src/sink.rs:
+crates/tcpsim/src/source.rs:
+crates/tcpsim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

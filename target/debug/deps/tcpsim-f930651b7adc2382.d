@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tcpsim-f930651b7adc2382.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+/root/repo/target/debug/deps/libtcpsim-f930651b7adc2382.rlib: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+/root/repo/target/debug/deps/libtcpsim-f930651b7adc2382.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/builder.rs:
+crates/tcpsim/src/rtt.rs:
+crates/tcpsim/src/sink.rs:
+crates/tcpsim/src/source.rs:
+crates/tcpsim/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1_fluid-5611a3f4781fb1e3.d: tests/theorem1_fluid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1_fluid-5611a3f4781fb1e3.rmeta: tests/theorem1_fluid.rs Cargo.toml
+
+tests/theorem1_fluid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1_fluid-c1ccb446d874a178.d: tests/theorem1_fluid.rs
+
+/root/repo/target/debug/deps/theorem1_fluid-c1ccb446d874a178: tests/theorem1_fluid.rs
+
+tests/theorem1_fluid.rs:

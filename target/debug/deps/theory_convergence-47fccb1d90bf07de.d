@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_convergence-47fccb1d90bf07de.d: crates/bench/src/bin/theory_convergence.rs
+
+/root/repo/target/debug/deps/theory_convergence-47fccb1d90bf07de: crates/bench/src/bin/theory_convergence.rs
+
+crates/bench/src/bin/theory_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_fluid-68e5aadcb40e5f70.d: crates/bench/src/bin/theory_fluid.rs
+
+/root/repo/target/debug/deps/theory_fluid-68e5aadcb40e5f70: crates/bench/src/bin/theory_fluid.rs
+
+crates/bench/src/bin/theory_fluid.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/topo-60ce7304160314c3.d: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-60ce7304160314c3.rmeta: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/dc.rs:
+crates/topo/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-6d918e5f2f1fa1d8.d: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+/root/repo/target/debug/deps/libtopo-6d918e5f2f1fa1d8.rlib: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+/root/repo/target/debug/deps/libtopo-6d918e5f2f1fa1d8.rmeta: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dc.rs:
+crates/topo/src/scenarios.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/topo-952a719ca965a46f.d: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+/root/repo/target/debug/deps/topo-952a719ca965a46f: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dc.rs:
+crates/topo/src/scenarios.rs:

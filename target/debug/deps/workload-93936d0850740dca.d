@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload-93936d0850740dca.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload-93936d0850740dca.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

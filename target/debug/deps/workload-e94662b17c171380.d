@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workload-e94662b17c171380.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libworkload-e94662b17c171380.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libworkload-e94662b17c171380.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

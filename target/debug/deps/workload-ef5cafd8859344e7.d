@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload-ef5cafd8859344e7.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/workload-ef5cafd8859344e7: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

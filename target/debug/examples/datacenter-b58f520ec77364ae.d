@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter-b58f520ec77364ae.d: examples/datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter-b58f520ec77364ae.rmeta: examples/datacenter.rs Cargo.toml
+
+examples/datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

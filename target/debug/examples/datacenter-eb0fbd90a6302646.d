@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter-eb0fbd90a6302646.d: examples/datacenter.rs
+
+/root/repo/target/debug/examples/datacenter-eb0fbd90a6302646: examples/datacenter.rs
+
+examples/datacenter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-cf5f86c6aa12cd57.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-cf5f86c6aa12cd57: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a8ec421a3f3a4962.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a8ec421a3f3a4962: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scenario_c_fairness-0cc2264d91b23cec.d: examples/scenario_c_fairness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscenario_c_fairness-0cc2264d91b23cec.rmeta: examples/scenario_c_fairness.rs Cargo.toml
+
+examples/scenario_c_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

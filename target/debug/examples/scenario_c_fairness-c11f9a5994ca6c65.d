@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scenario_c_fairness-c11f9a5994ca6c65.d: examples/scenario_c_fairness.rs
+
+/root/repo/target/debug/examples/scenario_c_fairness-c11f9a5994ca6c65: examples/scenario_c_fairness.rs
+
+examples/scenario_c_fairness.rs:

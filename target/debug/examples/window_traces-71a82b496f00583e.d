@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_traces-71a82b496f00583e.d: examples/window_traces.rs
+
+/root/repo/target/debug/examples/window_traces-71a82b496f00583e: examples/window_traces.rs
+
+examples/window_traces.rs:

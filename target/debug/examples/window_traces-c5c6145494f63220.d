@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/window_traces-c5c6145494f63220.d: examples/window_traces.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwindow_traces-c5c6145494f63220.rmeta: examples/window_traces.rs Cargo.toml
+
+examples/window_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

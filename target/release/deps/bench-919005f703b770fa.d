@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bench-919005f703b770fa.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+/root/repo/target/release/deps/libbench-919005f703b770fa.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+/root/repo/target/release/deps/libbench-919005f703b770fa.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/fattree.rs crates/bench/src/json.rs crates/bench/src/scenario_a.rs crates/bench/src/scenario_b.rs crates/bench/src/scenario_c.rs crates/bench/src/table.rs crates/bench/src/traces.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/fattree.rs:
+crates/bench/src/json.rs:
+crates/bench/src/scenario_a.rs:
+crates/bench/src/scenario_b.rs:
+crates/bench/src/scenario_c.rs:
+crates/bench/src/table.rs:
+crates/bench/src/traces.rs:

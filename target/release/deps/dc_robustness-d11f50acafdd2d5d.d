@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dc_robustness-d11f50acafdd2d5d.d: crates/bench/src/bin/dc_robustness.rs
+
+/root/repo/target/release/deps/dc_robustness-d11f50acafdd2d5d: crates/bench/src/bin/dc_robustness.rs
+
+crates/bench/src/bin/dc_robustness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/eventsim-fb36b39ca8a8c788.d: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+/root/repo/target/release/deps/libeventsim-fb36b39ca8a8c788.rlib: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+/root/repo/target/release/deps/libeventsim-fb36b39ca8a8c788.rmeta: crates/eventsim/src/lib.rs crates/eventsim/src/queue.rs crates/eventsim/src/rng.rs crates/eventsim/src/time.rs
+
+crates/eventsim/src/lib.rs:
+crates/eventsim/src/queue.rs:
+crates/eventsim/src/rng.rs:
+crates/eventsim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fluid-d134c644b838e803.d: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+/root/repo/target/release/deps/libfluid-d134c644b838e803.rlib: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+/root/repo/target/release/deps/libfluid-d134c644b838e803.rmeta: crates/fluid/src/lib.rs crates/fluid/src/ode.rs crates/fluid/src/roots.rs crates/fluid/src/scenario_a.rs crates/fluid/src/scenario_b.rs crates/fluid/src/scenario_c.rs crates/fluid/src/units.rs crates/fluid/src/utility.rs
+
+crates/fluid/src/lib.rs:
+crates/fluid/src/ode.rs:
+crates/fluid/src/roots.rs:
+crates/fluid/src/scenario_a.rs:
+crates/fluid/src/scenario_b.rs:
+crates/fluid/src/scenario_c.rs:
+crates/fluid/src/units.rs:
+crates/fluid/src/utility.rs:

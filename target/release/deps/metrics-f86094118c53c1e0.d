@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/metrics-f86094118c53c1e0.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libmetrics-f86094118c53c1e0.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libmetrics-f86094118c53c1e0.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

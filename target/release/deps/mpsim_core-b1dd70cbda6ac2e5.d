@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mpsim_core-b1dd70cbda6ac2e5.d: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+/root/repo/target/release/deps/libmpsim_core-b1dd70cbda6ac2e5.rlib: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+/root/repo/target/release/deps/libmpsim_core-b1dd70cbda6ac2e5.rmeta: crates/core/src/lib.rs crates/core/src/cc.rs crates/core/src/coupled.rs crates/core/src/formulas.rs crates/core/src/lia.rs crates/core/src/olia.rs crates/core/src/path.rs crates/core/src/probe.rs crates/core/src/related.rs crates/core/src/reno.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cc.rs:
+crates/core/src/coupled.rs:
+crates/core/src/formulas.rs:
+crates/core/src/lia.rs:
+crates/core/src/olia.rs:
+crates/core/src/path.rs:
+crates/core/src/probe.rs:
+crates/core/src/related.rs:
+crates/core/src/reno.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mptcp_olia_repro-ca81e56754b1044c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmptcp_olia_repro-ca81e56754b1044c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmptcp_olia_repro-ca81e56754b1044c.rmeta: src/lib.rs
+
+src/lib.rs:

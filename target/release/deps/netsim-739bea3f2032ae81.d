@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/netsim-739bea3f2032ae81.d: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/release/deps/libnetsim-739bea3f2032ae81.rlib: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/release/deps/libnetsim-739bea3f2032ae81.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fault.rs crates/netsim/src/ids.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_run-ea407cc116c47c33.d: crates/bench/src/bin/repro_run.rs
+
+/root/repo/target/release/deps/repro_run-ea407cc116c47c33: crates/bench/src/bin/repro_run.rs
+
+crates/bench/src/bin/repro_run.rs:

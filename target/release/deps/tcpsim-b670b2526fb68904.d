@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tcpsim-b670b2526fb68904.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+/root/repo/target/release/deps/libtcpsim-b670b2526fb68904.rlib: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+/root/repo/target/release/deps/libtcpsim-b670b2526fb68904.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/builder.rs crates/tcpsim/src/rtt.rs crates/tcpsim/src/sink.rs crates/tcpsim/src/source.rs crates/tcpsim/src/stats.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/builder.rs:
+crates/tcpsim/src/rtt.rs:
+crates/tcpsim/src/sink.rs:
+crates/tcpsim/src/source.rs:
+crates/tcpsim/src/stats.rs:

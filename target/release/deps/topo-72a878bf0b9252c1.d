@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/topo-72a878bf0b9252c1.d: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+/root/repo/target/release/deps/libtopo-72a878bf0b9252c1.rlib: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+/root/repo/target/release/deps/libtopo-72a878bf0b9252c1.rmeta: crates/topo/src/lib.rs crates/topo/src/dc.rs crates/topo/src/scenarios.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dc.rs:
+crates/topo/src/scenarios.rs:

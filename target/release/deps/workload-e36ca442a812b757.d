@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/workload-e36ca442a812b757.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libworkload-e36ca442a812b757.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libworkload-e36ca442a812b757.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-416be16c65ba01b7.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-416be16c65ba01b7: examples/fault_injection.rs
+
+examples/fault_injection.rs:
