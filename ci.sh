@@ -7,3 +7,11 @@ cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+
+# Observability gate: a fast traced scenario must produce a non-empty JSONL
+# trace and a schema-valid run report.
+cargo build --release --offline -p bench
+rm -f results/ci_trace.*.jsonl results/repro_run.json
+MPTCP_TRACE=results/ci_trace ./target/release/repro_run scenarios/lossy_backup.json
+test -s results/ci_trace.custom.seed11.jsonl
+./target/release/validate_report results/repro_run.json

@@ -10,6 +10,7 @@
 //!
 //! Compared: OLIA vs FullyCoupled (= OLIA without α) vs LIA.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use eventsim::{SimDuration, SimRng, SimTime};
 use mpsim_core::Algorithm;
@@ -96,6 +97,9 @@ fn main() {
     } else {
         160.0
     };
+    let mut report = RunReport::start("ablation_alpha_responsiveness");
+    report.param("secs", secs);
+    report.param("seed", 5u64);
     let mut t = Table::new(
         "α-term responsiveness: reclaiming a freed path",
         &[
@@ -120,6 +124,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_alpha_responsiveness");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: while path 2 is congested all three keep little traffic there; once\n\
          it frees up, OLIA's α (and LIA's slow start) reclaim the capacity within a\n\

@@ -11,6 +11,7 @@
 //! fully-coupled algorithm pays for it with poor probing/responsiveness,
 //! which the two-bottleneck responsiveness ablation quantifies.
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, pm, Table};
 use bench::{scenario_c, RunCfg};
 use mpsim_core::Algorithm;
@@ -18,6 +19,8 @@ use topo::ScenarioCParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("ablation_epsilon_family");
+    report.cfg(&cfg);
     println!(
         "ε-family ablation on Scenario C (N1=N2=10, C1/C2=2); {} replications\n",
         cfg.replications
@@ -52,6 +55,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_epsilon_family");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: uncoupled grabs the most from the TCP users; OLIA leaves AP2 nearly\n\
          untouched while still filling AP1 — escaping the ε tradeoff. {}",

@@ -6,6 +6,7 @@
 //! forever; with pruning, the subflow leaves the established set after the
 //! quality check fails and only re-probes each cooldown.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use eventsim::{SimDuration, SimTime};
 use mpsim_core::Algorithm;
@@ -51,6 +52,9 @@ fn main() {
     } else {
         120.0
     };
+    let mut report = RunReport::start("ablation_path_pruning");
+    report.param("secs", secs);
+    report.param("seed", 23u64);
     let mut t = Table::new(
         "Path pruning on a 33%-loss path",
         &["variant", "pkts offered to bad path", "total goodput Mb/s"],
@@ -71,6 +75,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_path_pruning");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: pruning removes most of the wasted probe/retransmission traffic on\n\
          a hopeless path at no cost to total goodput; longer cooldowns probe less.\n\

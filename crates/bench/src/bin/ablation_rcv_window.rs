@@ -6,6 +6,7 @@
 //! caps the *sum* of the subflow windows at `rcv_wnd/rtt`, capping
 //! throughput no matter how many paths exist.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use eventsim::{SimDuration, SimTime};
 use mpsim_core::Algorithm;
@@ -50,6 +51,9 @@ fn main() {
     } else {
         90.0
     };
+    let mut report = RunReport::start("ablation_rcv_window");
+    report.param("secs", secs);
+    report.param("seed", 29u64);
     let mut t = Table::new(
         "Receive-window limitation: 2×10 Mb/s paths, ~100 ms RTT",
         &["rcv buffer (MSS)", "goodput Mb/s", "window-bound Mb/s"],
@@ -78,6 +82,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_rcv_window");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: below ~BDP·paths (≈130 MSS here) the receive buffer, not\n\
          congestion control, limits MPTCP throughput — the §VII caveat that\n\

@@ -6,6 +6,7 @@
 //! (LIA vs OLIA) over all three disciplines to show the headline
 //! conclusions don't hinge on the AQM choice.
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, Table};
 use eventsim::{SimDuration, SimRng, SimTime};
 use mpsim_core::Algorithm;
@@ -102,6 +103,9 @@ fn main() {
     } else {
         120.0
     };
+    let mut report = RunReport::start("ablation_red_variants");
+    report.param("secs", secs);
+    report.param("seed", 31u64);
     let mut t = Table::new(
         "Queue-discipline sensitivity (Scenario-C-like, C1/C2 = 2)",
         &[
@@ -119,6 +123,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_red_variants");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: OLIA leaves more to the TCP users than LIA under every\n\
          discipline — the paper's conclusion is not an artifact of the Click RED\n\

@@ -8,6 +8,7 @@
 //! algorithms' allocations reflect their design (OLIA concentrates on the
 //! path with the higher TCP rate — the short-RTT one — per Theorem 1).
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use eventsim::{SimDuration, SimRng, SimTime};
 use mpsim_core::Algorithm;
@@ -66,6 +67,9 @@ fn main() {
     } else {
         150.0
     };
+    let mut report = RunReport::start("ablation_rtt_compensation");
+    report.param("secs", secs);
+    report.param("seed", 37u64);
     let mut t = Table::new(
         "RTT heterogeneity: 40 ms-RTT path vs 160 ms-RTT path (Mb/s)",
         &[
@@ -88,6 +92,8 @@ fn main() {
     }
     t.print();
     t.write_csv("ablation_rtt_compensation");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: the three algorithms pursue different objectives under RTT\n\
          heterogeneity (Remark 3). Uncoupled Reno takes a TCP-fair share of *each*\n\

@@ -16,6 +16,7 @@
 //! subflow took to rejoin after the repair (the §VII re-probe machinery).
 
 use bench::fattree::dc_config;
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use eventsim::{SimDuration, SimRng, SimTime};
 use mpsim_core::Algorithm;
@@ -147,7 +148,7 @@ fn run_fault_scenario(
     }
 }
 
-fn fault_scenarios() {
+fn fault_scenarios(report: &mut RunReport) {
     println!("\nChaos plans on a two-path dumbbell (10 Mb/s + 40 ms per path, fault on path 0)\n");
     let mut t = Table::new(
         "connection goodput Mb/s; recovery = path-0 rejoin lag after repair",
@@ -248,6 +249,7 @@ fn fault_scenarios() {
     }
     t.print();
     t.write_csv("dc_robustness_faults");
+    report.table(&t);
     println!(
         "Reading: during a hard fault the survivor path carries the connection at\n\
          its full share; the failed subflow is declared dead after a handful of\n\
@@ -274,6 +276,10 @@ fn push_row(t: &mut Table, scenario: &str, alg: &str, o: &FaultOutcome) {
 fn main() {
     let quick = std::env::var_os("REPRO_QUICK").is_some();
     let (k, secs) = if quick { (4, 12.0) } else { (8, 18.0) };
+    let mut report = RunReport::start("dc_robustness");
+    report.param("k", k as u64);
+    report.param("secs", secs);
+    report.param("seed", 3u64);
     println!("FatTree core-link failures (5% of core queue directions die mid-run) — k={k}\n");
     let mut t = Table::new(
         "aggregate per-host goodput, % of line rate",
@@ -299,6 +305,7 @@ fn main() {
     }
     t.print();
     t.write_csv("dc_robustness");
+    report.table(&t);
     println!(
         "Reading: a failed path stalls a single-path TCP flow outright (RTO-limited\n\
          trickle), while MPTCP connections almost surely hold an alive subflow and\n\
@@ -307,5 +314,6 @@ fn main() {
          dies and the distinction collapses — path diversity, not multipath itself,\n\
          is what buys the robustness.)"
     );
-    fault_scenarios();
+    fault_scenarios(&mut report);
+    report.write_or_warn();
 }

@@ -4,6 +4,7 @@
 //! single-path users recover up to 2× their LIA rate. Fig. 12: OLIA's p2
 //! grows ≈2× from N1=0 to N1=3N2 versus 4–6× under LIA.
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, pm, Table};
 use bench::{scenario_c, RunCfg};
 use fluid::scenario_c as analysis;
@@ -12,6 +13,9 @@ use topo::ScenarioCParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("fig11_12_scenario_c_olia");
+    report.cfg(&cfg);
+    report.param("algorithms", "lia,olia");
     println!(
         "Scenario C (Figs. 11/12) — OLIA vs LIA; {} replications\n",
         cfg.replications
@@ -60,6 +64,9 @@ fn main() {
     thr.write_csv("fig11_scenario_c_olia_throughput");
     loss.print();
     loss.write_csv("fig12_scenario_c_olia_loss");
+    report.table(&thr);
+    report.table(&loss);
+    report.write_or_warn();
     println!(
         "Paper shape: OLIA's single-path users reach up to 2× their LIA rates and its\n\
          p2 stays 4–6× below LIA's at N1 = 3·N2."

@@ -7,12 +7,17 @@
 //! Paper scale is k=8 (128 hosts, 80 switches); `REPRO_QUICK=1` runs k=4.
 
 use bench::fattree;
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use mpsim_core::Algorithm;
 
 fn main() {
     let quick = std::env::var_os("REPRO_QUICK").is_some();
     let (k, secs) = if quick { (4, 9.0) } else { (8, 15.0) };
+    let mut report = RunReport::start("fig13_fattree");
+    report.param("k", k as u64);
+    report.param("secs", secs);
+    report.param("seed", 7u64);
     println!("FatTree permutation (Fig. 13) — k={k}, {secs}s per point\n");
 
     let mut fa = Table::new(
@@ -72,6 +77,10 @@ fn main() {
     }
     fb.print();
     fb.write_csv("fig13b_fattree_ranked");
+    report.metric("tcp_throughput_pct", tcp.throughput_pct);
+    report.table(&fa);
+    report.table(&fb);
+    report.write_or_warn();
     println!(
         "Paper shape: MPTCP (either algorithm) approaches full utilization as subflows\n\
          grow and exceeds single-path TCP by a wide margin; LIA ≈ OLIA here because all\n\

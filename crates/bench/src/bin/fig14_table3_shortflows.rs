@@ -10,12 +10,17 @@
 //! 73±57 ms / 39.3%.
 
 use bench::fattree::{self, LongFlows};
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use mpsim_core::Algorithm;
 
 fn main() {
     let quick = std::env::var_os("REPRO_QUICK").is_some();
     let (k, horizon) = if quick { (4, 12.0) } else { (8, 30.0) };
+    let mut report = RunReport::start("fig14_table3_shortflows");
+    report.param("k", k as u64);
+    report.param("horizon_s", horizon);
+    report.param("seed", 11u64);
     println!("Short flows in a 4:1 oversubscribed FatTree (Fig. 14/Table III) — k={k}\n");
 
     let cases = [
@@ -65,6 +70,9 @@ fn main() {
     }
     f14.print();
     f14.write_csv("fig14_shortflow_pdf");
+    report.table(&t3);
+    report.table(&f14);
+    report.write_or_warn();
     println!(
         "Paper shape: OLIA matches LIA's core utilization but completes short flows\n\
          ~10% faster on average (more for the slow tail); plain TCP is fastest for the\n\

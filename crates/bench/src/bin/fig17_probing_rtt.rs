@@ -4,10 +4,13 @@
 //! RTT means a *larger* absolute probing overhead — the optimal curves for
 //! RTT = 25 ms sit visibly below those for RTT = 100 ms.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use fluid::scenario_b as analysis;
 
 fn main() {
+    let mut report = RunReport::start("fig17_probing_rtt");
+    report.param("kind", "analytic");
     for rtt_ms in [100.0, 25.0] {
         let mut t = Table::new(
             &format!("Fig 17: optimum with probing, RTT = {rtt_ms} ms"),
@@ -36,7 +39,9 @@ fn main() {
         }
         t.print();
         t.write_csv(&format!("fig17_probing_rtt{}", rtt_ms as u32));
+        report.table(&t);
     }
+    report.write_or_warn();
     println!(
         "Paper shape: the upgrade costs only the probing overhead N·MSS/rtt, which is\n\
          4× larger at RTT 25 ms than at 100 ms."

@@ -8,6 +8,7 @@
 //!
 //! `REPRO_QUICK=1` shortens the runs.
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, pm, Table};
 use bench::{scenario_a, RunCfg};
 use fluid::scenario_a as analysis;
@@ -16,6 +17,9 @@ use topo::ScenarioAParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("fig1_scenario_a");
+    report.cfg(&cfg);
+    report.param("algorithm", "lia");
     println!(
         "Scenario A (Fig. 1) — LIA; {} replications of {}s+{}s each\n",
         cfg.replications, cfg.warmup_s, cfg.measure_s
@@ -73,6 +77,9 @@ fn main() {
     thr.write_csv("fig1b_scenario_a_throughput");
     loss.print();
     loss.write_csv("fig1c_scenario_a_loss");
+    report.table(&thr);
+    report.table(&loss);
+    report.write_or_warn();
     println!(
         "Paper shape: type1 stays at 1.0 (capped by the server); type2 falls ~30% at\n\
          N1=N2 and 50-60% at N1=3N2; p2 grows with N1/N2 — LIA fails to balance congestion."

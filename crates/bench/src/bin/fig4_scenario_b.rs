@@ -6,10 +6,13 @@
 //! The paper's headline: with LIA the upgrade hurts *everyone* for every
 //! CX/CT — problem P1.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use fluid::scenario_b as analysis;
 
 fn main() {
+    let mut report = RunReport::start("fig4_scenario_b");
+    report.param("kind", "analytic");
     let mut lia = Table::new(
         "Fig 4(a): LIA — normalized throughputs vs CX/CT",
         &[
@@ -61,6 +64,9 @@ fn main() {
     lia.write_csv("fig4a_scenario_b_lia");
     opt.print();
     opt.write_csv("fig4b_scenario_b_optimal");
+    report.table(&lia);
+    report.table(&opt);
+    report.write_or_warn();
     println!(
         "Paper shape: under LIA the upgrade costs the Blue users up to ~21% (peak near\n\
          CX/CT ≈ 0.75); under the optimum the loss is the ~3% probing overhead."

@@ -4,6 +4,7 @@
 //! probing cost. Figs. 5(c)/(d): packet-level measurements over N1/N2 for
 //! C1/C2 ∈ {1, 2}, including the AP2 loss probability.
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, pm, Table};
 use bench::{scenario_c, RunCfg};
 use fluid::scenario_c as analysis;
@@ -12,6 +13,9 @@ use topo::ScenarioCParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("fig5_scenario_c");
+    report.cfg(&cfg);
+    report.param("algorithm", "lia");
 
     // Fig 5(b): analytic sweep.
     let mut fb = Table::new(
@@ -87,6 +91,10 @@ fn main() {
     fc.write_csv("fig5c_scenario_c_measured");
     fd.print();
     fd.write_csv("fig5d_scenario_c_loss");
+    report.table(&fb);
+    report.table(&fc);
+    report.table(&fd);
+    report.write_or_warn();
     println!(
         "Paper shape: above C1/C2 = 1/(2+N1/N2), LIA's multipath users keep taking AP2\n\
          capacity a fair allocation would leave to TCP users (problem P2); p2 rises\n\

@@ -8,6 +8,7 @@
 //! Prints summary statistics and writes the full traces as CSV under
 //! `results/` for plotting.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use bench::traces;
 use mpsim_core::Algorithm;
@@ -40,6 +41,9 @@ fn main() {
     } else {
         120.0
     };
+    let mut report = RunReport::start("fig7_8_traces");
+    report.param("secs", secs);
+    report.param("seed", 42u64);
     let mut summary = Table::new(
         "Figs 7/8: two-bottleneck window behaviour",
         &[
@@ -72,6 +76,8 @@ fn main() {
     }
     summary.print();
     summary.write_csv("fig7_8_summary");
+    report.table(&summary);
+    report.write_or_warn();
     println!(
         "Paper shape: symmetric case — both algorithms keep both windows open (no\n\
          flapping; OLIA's α ≈ 0). Asymmetric case — OLIA's congested-path window sits\n\

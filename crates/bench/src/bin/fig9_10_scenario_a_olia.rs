@@ -4,6 +4,7 @@
 //! to type1. Fig. 10: OLIA keeps the shared-AP loss probability p2 near its
 //! no-multipath level (growth ≈1.3× worst case, vs ≈5× under LIA).
 
+use bench::report::RunReport;
 use bench::table::{f3, f4, pm, Table};
 use bench::{scenario_a, RunCfg};
 use fluid::scenario_a as analysis;
@@ -12,6 +13,9 @@ use topo::ScenarioAParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("fig9_10_scenario_a_olia");
+    report.cfg(&cfg);
+    report.param("algorithms", "lia,olia");
     println!(
         "Scenario A (Figs. 9/10) — OLIA vs LIA; {} replications\n",
         cfg.replications
@@ -60,6 +64,9 @@ fn main() {
     thr.write_csv("fig9_scenario_a_olia_throughput");
     loss.print();
     loss.write_csv("fig10_scenario_a_olia_loss");
+    report.table(&thr);
+    report.table(&loss);
+    report.write_or_warn();
     println!(
         "Paper shape: OLIA's type2 rates approach the probing-cost optimum (up to 2×\n\
          LIA's), with no reduction for type1; OLIA's p2 stays well below LIA's."

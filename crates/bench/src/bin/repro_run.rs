@@ -7,6 +7,7 @@
 //! See `bench::config` for the file format and `scenarios/` for examples.
 
 use bench::config::{parse_scenario, run_scenario};
+use bench::report::RunReport;
 use bench::table::{f3, f4, Table};
 use metrics::Summary;
 
@@ -40,6 +41,12 @@ fn main() {
         spec.measure_s,
         spec.seed
     );
+    let mut run_report = RunReport::start("repro_run");
+    run_report.param("scenario", path.as_str());
+    run_report.param("seed", spec.seed);
+    run_report.param("warmup_s", spec.warmup_s);
+    run_report.param("measure_s", spec.measure_s);
+    run_report.param("jitter_s", spec.jitter_s);
     let report = match run_scenario(&spec) {
         Ok(r) => r,
         Err(e) => {
@@ -81,4 +88,9 @@ fn main() {
         links.row(&[l.name.clone(), f4(l.loss_probability), f3(l.utilization)]);
     }
     links.print();
+    run_report.table(&groups);
+    run_report.table(&links);
+    run_report.registry("", &report.registry, report.sim_end);
+    run_report.metric("events_processed", report.events_processed as f64);
+    run_report.write_or_warn();
 }

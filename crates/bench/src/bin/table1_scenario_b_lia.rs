@@ -4,6 +4,7 @@
 //! Paper values (Mb/s): single-path 2.5 / 1.5 / 59.8; multipath
 //! 2.0 / 1.4 / 52.0 — a 13% aggregate drop.
 
+use bench::report::RunReport;
 use bench::table::{f3, pm, Table};
 use bench::{scenario_b, RunCfg};
 use mpsim_core::Algorithm;
@@ -11,6 +12,9 @@ use topo::ScenarioBParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("table1_scenario_b_lia");
+    report.cfg(&cfg);
+    report.param("algorithm", "lia");
     println!(
         "Scenario B (Table I) — LIA; CX=27, CT=36 Mb/s, 15+15 users; {} replications\n",
         cfg.replications
@@ -48,4 +52,7 @@ fn main() {
         "Aggregate drop from the upgrade: {}% (paper: 13%)",
         f3(drop)
     );
+    report.table(&t);
+    report.metric("aggregate_drop_pct", drop);
+    report.write_or_warn();
 }

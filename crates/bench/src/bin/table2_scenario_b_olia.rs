@@ -4,6 +4,7 @@
 //! 2.2 / 1.7 / 57.8 — only a 3.5% aggregate drop (the unavoidable probing
 //! overhead), versus 13% under LIA.
 
+use bench::report::RunReport;
 use bench::table::{f3, pm, Table};
 use bench::{scenario_b, RunCfg};
 use mpsim_core::Algorithm;
@@ -11,6 +12,9 @@ use topo::ScenarioBParams;
 
 fn main() {
     let cfg = RunCfg::from_env();
+    let mut report = RunReport::start("table2_scenario_b_olia");
+    report.cfg(&cfg);
+    report.param("algorithm", "olia");
     println!(
         "Scenario B (Table II) — OLIA; CX=27, CT=36 Mb/s, 15+15 users; {} replications\n",
         cfg.replications
@@ -48,4 +52,7 @@ fn main() {
         "Aggregate drop from the upgrade: {}% (paper: 3.5%, vs 13% for LIA)",
         f3(drop)
     );
+    report.table(&t);
+    report.metric("aggregate_drop_pct", drop);
+    report.write_or_warn();
 }

@@ -8,6 +8,7 @@
 //! monotone along the way (Theorem 4's Lyapunov property, which is what
 //! ultimately underwrites convergence in the equal-RTT case).
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use fluid::ode::{
     FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
@@ -81,6 +82,8 @@ fn converge(alg: FluidAlgorithm, x0: &Vec<Vec<f64>>) -> (f64, bool, f64) {
 }
 
 fn main() {
+    let mut report = RunReport::start("theory_convergence");
+    report.param("kind", "fluid");
     let net = network();
     let starts: Vec<(&str, Vec<Vec<f64>>)> = vec![
         (
@@ -127,6 +130,8 @@ fn main() {
     }
     t.print();
     t.write_csv("theory_convergence");
+    report.table(&t);
+    report.write_or_warn();
     println!(
         "Reading: OLIA converges on the same timescale as LIA and the uncoupled\n\
          fluid from every start, and its utility V increases monotonically along\n\

@@ -7,6 +7,7 @@
 //! * Problem P1 in the fluid model: LIA's equilibrium puts substantial
 //!   traffic on a congested path where OLIA puts (almost) none.
 
+use bench::report::RunReport;
 use bench::table::{f3, Table};
 use fluid::ode::{
     FluidAlgorithm, FluidLink, FluidNetwork, FluidParams, FluidRoute, FluidUser, LossModel,
@@ -62,6 +63,8 @@ fn initial(net: &FluidNetwork) -> Vec<Vec<f64>> {
 }
 
 fn main() {
+    let mut run_report = RunReport::start("theory_fluid");
+    run_report.param("kind", "fluid");
     let net = asymmetric();
     let x0 = initial(&net);
     let params = FluidParams {
@@ -89,6 +92,7 @@ fn main() {
     }
     t.print();
     t.write_csv("theory_fluid_equilibria");
+    run_report.table(&t);
 
     let report = verify_theorem1(&net, &olia);
     println!(
@@ -121,6 +125,10 @@ fn main() {
         "final V at OLIA equilibrium: {}",
         f3(utility_v(&net, &olia))
     );
+    run_report.metric("theorem1_holds", report.holds(0.10, 0.06) as u8 as f64);
+    run_report.metric("theorem4_v_monotone", monotone as u8 as f64);
+    run_report.metric("v_final", utility_v(&net, &olia));
+    run_report.write_or_warn();
     println!(
         "\nReading: OLIA's congested-path share collapses toward the probing floor\n\
          (Theorem 1), LIA's stays substantial — the fluid-level root of P1/P2."

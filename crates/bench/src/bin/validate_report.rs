@@ -1,0 +1,35 @@
+//! `validate_report` — check run-report JSON files against the schema.
+//!
+//! ```text
+//! cargo run --release -p bench --bin validate_report -- results/*.json
+//! ```
+//!
+//! Exits 0 when every file parses and validates (see [`bench::report`]),
+//! 1 otherwise. CI runs this against freshly produced reports so schema
+//! drift is caught in the same change that introduces it.
+
+use bench::json::parse;
+use bench::report::validate;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_report <report.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| parse(&text).map_err(|e| format!("invalid JSON: {e}")))
+            .and_then(|doc| validate(&doc));
+        match outcome {
+            Ok(()) => println!("ok      {path}"),
+            Err(e) => {
+                println!("INVALID {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 
 use eventsim::{SimDuration, SimRng, SimTime};
+use metrics::Registry;
 use mpsim_core::Algorithm;
 use netsim::{route, QueueConfig, QueueId, RedParams, Simulation};
 use tcpsim::{Connection, ConnectionSpec, PathSpec};
@@ -224,6 +225,14 @@ pub struct ScenarioReport {
     pub groups: Vec<GroupReport>,
     /// One entry per link.
     pub links: Vec<LinkReport>,
+    /// Every counter and gauge of the run under stable dotted names
+    /// (`queue.<link>.dropped`, `flow.<group>.<i>.goodput_mbps`, ...),
+    /// ready to snapshot into a machine-readable run report.
+    pub registry: Registry,
+    /// Simulation events dispatched over the whole run.
+    pub events_processed: u64,
+    /// Simulated seconds covered (warmup + measurement).
+    pub sim_end: SimTime,
 }
 
 /// Parse a scenario from JSON text.
@@ -285,6 +294,7 @@ pub fn parse_scenario(json: &str) -> Result<ScenarioFile, String> {
 /// path lists — everything else panics only on programmer error.
 pub fn run_scenario(spec: &ScenarioFile) -> Result<ScenarioReport, String> {
     let mut sim = Simulation::new(spec.seed);
+    let _trace = crate::tracing::attach_from_env(&mut sim, "custom", spec.seed);
     let mut by_name: HashMap<&str, QueueId> = HashMap::new();
     for link in &spec.links {
         if link.rate_mbps <= 0.0 {
@@ -379,7 +389,8 @@ pub fn run_scenario(spec: &ScenarioFile) -> Result<ScenarioReport, String> {
     sim.run_until(end);
 
     let elapsed_ns = (end - warm).as_nanos();
-    let group_reports = groups
+    let mut registry = Registry::new();
+    let group_reports: Vec<GroupReport> = groups
         .iter()
         .map(|(name, conns)| GroupReport {
             name: name.clone(),
@@ -390,11 +401,29 @@ pub fn run_scenario(spec: &ScenarioFile) -> Result<ScenarioReport, String> {
                 .collect(),
         })
         .collect();
-    let link_reports = spec
+    for g in &group_reports {
+        for (i, &mbps) in g.goodputs_mbps.iter().enumerate() {
+            registry.set_gauge(&format!("flow.{}.{i}.goodput_mbps", g.name), mbps);
+        }
+        for &fct in &g.completion_times_s {
+            registry
+                .histogram(&format!("flow.{}.fct_s", g.name), 0.25, 400)
+                .record(fct);
+        }
+    }
+    let link_reports: Vec<LinkReport> = spec
         .links
         .iter()
         .map(|l| {
             let stats = sim.queue_stats(by_name[l.name.as_str()]);
+            let q = format!("queue.{}", l.name);
+            registry.inc(&format!("{q}.arrived"), stats.arrived);
+            registry.inc(&format!("{q}.dropped"), stats.dropped);
+            registry.inc(&format!("{q}.dropped_down"), stats.dropped_down);
+            registry.inc(&format!("{q}.marked"), stats.marked);
+            registry.inc(&format!("{q}.forwarded"), stats.forwarded);
+            registry.set_gauge(&format!("{q}.loss_probability"), stats.loss_probability());
+            registry.set_gauge(&format!("{q}.utilization"), stats.utilization(elapsed_ns));
             LinkReport {
                 name: l.name.clone(),
                 loss_probability: stats.loss_probability(),
@@ -405,6 +434,9 @@ pub fn run_scenario(spec: &ScenarioFile) -> Result<ScenarioReport, String> {
     Ok(ScenarioReport {
         groups: group_reports,
         links: link_reports,
+        registry,
+        events_processed: sim.events_processed(),
+        sim_end: end,
     })
 }
 

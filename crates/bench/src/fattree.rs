@@ -43,6 +43,7 @@ pub fn permutation(
     seed: u64,
 ) -> PermutationResult {
     let mut sim = Simulation::new(seed);
+    let _trace = crate::tracing::attach_from_env(&mut sim, "fattree_permutation", seed);
     let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
     let n = ft.num_hosts();
     let mut rng = SimRng::seed_from_u64(seed ^ 0xFA77);
@@ -112,6 +113,7 @@ pub struct ShortFlowResult {
 /// send 70 kB Poisson short flows over regular TCP.
 pub fn short_flows(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> ShortFlowResult {
     let mut sim = Simulation::new(seed);
+    let _trace = crate::tracing::attach_from_env(&mut sim, "fattree_shortflows", seed);
     let ftcfg = FatTreeConfig {
         oversubscription: 4.0,
         ..FatTreeConfig::default()

@@ -1,10 +1,15 @@
-//! A small recursive-descent JSON parser.
+//! A small recursive-descent JSON parser and serializer.
 //!
 //! The scenario-file front door used `serde`/`serde_json`, which the
 //! offline build environment cannot fetch; the grammar a scenario file
 //! needs (objects, arrays, strings, numbers, booleans, null) fits in a page
 //! of hand-rolled parser, so that is what this is. Errors carry byte
 //! offsets so a broken scenario file points at the problem.
+//!
+//! Serialization (for the machine-readable run reports) is the mirror
+//! image: [`Json::render`] emits compact JSON, [`Json::render_pretty`] the
+//! indented form written under `results/`. Objects are `BTreeMap`s, so
+//! output field order is sorted and byte-stable across runs.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,6 +68,159 @@ impl Json {
     /// A field of an object, if present.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Compact single-line serialization.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented serialization (2 spaces), for files meant to be read by
+    /// humans too.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => out.push_str(&render_number(*n)),
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shortest-roundtrip number formatting; integral values print without a
+/// fractional part, non-finite values (JSON has no NaN/inf) become `null`.
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Number(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::String(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::String(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
     }
 }
 
@@ -344,5 +502,42 @@ mod tests {
         let v = parse(r#"{"z": 1, "a": 2}"#).unwrap();
         let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
         assert_eq!(keys, ["a", "z"]);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let v = Json::object([
+            ("name", Json::from("run \"x\"\n")),
+            ("n", Json::from(3_u64)),
+            ("x", Json::from(0.125)),
+            ("flag", Json::from(true)),
+            ("items", Json::from(vec![Json::Null, Json::from(2.5)])),
+            ("empty", Json::object::<String>([])),
+        ]);
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers_render_cleanly() {
+        assert_eq!(Json::Number(3.0).render(), "3");
+        assert_eq!(Json::Number(-2.0).render(), "-2");
+        assert_eq!(Json::Number(0.1).render(), "0.1");
+        assert_eq!(Json::Number(f64::NAN).render(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_sorted() {
+        let v = Json::object([("b", Json::from(1_u64)), ("a", Json::from(2_u64))]);
+        assert_eq!(v.render(), r#"{"a":2,"b":1}"#);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": 2,\n  \"b\": 1\n}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Json::String("a\u{1}b\tc".into());
+        assert_eq!(v.render(), "\"a\\u0001b\\tc\"");
+        assert_eq!(parse(&v.render()).unwrap(), v);
     }
 }

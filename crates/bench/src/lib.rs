@@ -15,16 +15,22 @@
 //! * [`traces`] — the window/α time series of Figs. 7–8;
 //! * [`fattree`] — the data-center experiments of Figs. 13–14/Table III;
 //! * [`table`] — aligned-table printing and CSV output under `results/`;
-//! * [`config`] — JSON-described custom scenarios (the `repro_run` CLI).
+//! * [`config`] — JSON-described custom scenarios (the `repro_run` CLI);
+//! * [`report`] — machine-readable JSON run reports under `results/`
+//!   (schema-versioned; includes events/sec and sim/wall profiling);
+//! * [`tracing`] — `MPTCP_TRACE`-driven structured JSONL trace capture for
+//!   any binary.
 
 pub mod config;
 pub mod fattree;
 pub mod json;
+pub mod report;
 pub mod scenario_a;
 pub mod scenario_b;
 pub mod scenario_c;
 pub mod table;
 pub mod traces;
+pub mod tracing;
 
 use eventsim::{SimDuration, SimRng, SimTime};
 use netsim::Simulation;

@@ -1,0 +1,325 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment binary ends by writing `results/<name>.json` through a
+//! [`RunReport`]: what was run (scenario parameters, seed), what came out
+//! (scalar metrics, the same tables the binary prints), and how fast the
+//! simulator went (wall time, events processed, events/sec, sim-time to
+//! wall-time ratio). The format is versioned ([`SCHEMA`]) and checked by
+//! [`validate`], which CI runs against freshly produced reports — this is
+//! the perf trajectory the `BENCH_*.json` files track across PRs.
+//!
+//! Shape of a report (all five top-level sections are required):
+//!
+//! ```json
+//! {
+//!   "schema": "mptcp-run-report/v1",
+//!   "name": "fig1_scenario_a",
+//!   "params": { "replications": 5, "seed": 1 },
+//!   "metrics": { "flow.0.goodput.mbps": 3.2 },
+//!   "tables": { "flow groups": [ { "group": "mptcp", "mean Mb/s": 4.1 } ] },
+//!   "profile": { "wall_s": 1.2, "events": 410000, "events_per_sec": 3.4e5,
+//!                "sim_s": 45.0, "sim_wall_ratio": 37.5 }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use eventsim::SimTime;
+use metrics::Registry;
+use netsim::profile::RunProfile;
+
+use crate::json::Json;
+use crate::table::Table;
+
+/// Version tag every report carries in its `schema` field.
+pub const SCHEMA: &str = "mptcp-run-report/v1";
+
+/// Accumulates one experiment run's parameters and results, then writes the
+/// machine-readable summary (module docs) to `results/`.
+///
+/// Construct with [`RunReport::start`] *before* the simulations run: that
+/// opens the profiling window the final report's `profile` section closes.
+#[derive(Debug)]
+pub struct RunReport {
+    name: String,
+    params: BTreeMap<String, Json>,
+    metrics: BTreeMap<String, f64>,
+    tables: BTreeMap<String, Json>,
+    profile: RunProfile,
+}
+
+impl RunReport {
+    /// Begin a report named `name` (also the output file stem) and open its
+    /// profiling window.
+    pub fn start(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            params: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            profile: RunProfile::start(),
+        }
+    }
+
+    /// Record one scenario parameter (seed, replication count, flag, ...).
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) {
+        self.params.insert(key.to_string(), value.into());
+    }
+
+    /// Record one scalar result metric.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), value);
+    }
+
+    /// Record the standard measurement-window parameters every figure
+    /// binary shares.
+    pub fn cfg(&mut self, cfg: &crate::RunCfg) {
+        self.param("warmup_s", cfg.warmup_s);
+        self.param("measure_s", cfg.measure_s);
+        self.param("jitter_s", cfg.jitter_s);
+        self.param("replications", cfg.replications as u64);
+        self.param("seed", cfg.seed);
+    }
+
+    /// Snapshot a whole [`Registry`] into the metrics section, prefixing
+    /// every flattened name with `prefix.` (or nothing when empty).
+    pub fn registry(&mut self, prefix: &str, registry: &Registry, now: SimTime) {
+        for (name, value) in registry.snapshot(now) {
+            let key = if prefix.is_empty() {
+                name
+            } else {
+                format!("{prefix}.{name}")
+            };
+            self.metrics.insert(key, value);
+        }
+    }
+
+    /// Embed a results table (the same one the binary prints), keyed by its
+    /// title. Numeric-looking cells become JSON numbers.
+    pub fn table(&mut self, table: &Table) {
+        self.tables
+            .insert(table.title().to_string(), table.to_json());
+    }
+
+    /// Close the profiling window and assemble the report document.
+    pub fn finish(&self) -> Json {
+        let p = self.profile.finish();
+        let profile = Json::object([
+            ("wall_s", Json::from(p.wall_s)),
+            ("events", Json::from(p.events)),
+            ("events_per_sec", Json::from(p.events_per_sec())),
+            ("sim_s", Json::from(p.sim_ns as f64 / 1e9)),
+            ("sim_wall_ratio", Json::from(p.sim_wall_ratio())),
+        ]);
+        Json::object([
+            ("schema", Json::from(SCHEMA)),
+            ("name", Json::from(self.name.clone())),
+            ("params", Json::Object(self.params.clone())),
+            (
+                "metrics",
+                Json::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            ("tables", Json::Object(self.tables.clone())),
+            ("profile", profile),
+        ])
+    }
+
+    /// Finish and write `results/<name>.json` (pretty, trailing newline).
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let doc = self.finish();
+        debug_assert!(validate(&doc).is_ok(), "self-produced report invalid");
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, doc.render_pretty() + "\n")?;
+        Ok(path)
+    }
+
+    /// [`write`](RunReport::write), reporting the outcome on stderr instead
+    /// of propagating it — experiment binaries should still print their
+    /// tables even when `results/` is unwritable.
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("run report: {}", path.display()),
+            Err(e) => eprintln!("run report: cannot write results/{}.json: {e}", self.name),
+        }
+    }
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("missing required field {key:?}"))
+}
+
+fn require_number(obj: &Json, section: &str, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{section}.{key} must be a number"))
+}
+
+/// Validate a parsed document against the run-report schema.
+///
+/// Checks the version tag, the presence and JSON types of every section,
+/// that metrics are numeric, that tables are arrays of objects holding only
+/// scalars, and that the profile carries all five measurements with sane
+/// signs. Returns the first problem found.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.as_object().is_none() {
+        return Err("report must be a JSON object".to_string());
+    }
+    match require(doc, "schema")?.as_str() {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema {other:?} (expected {SCHEMA:?})")),
+        None => return Err("schema must be a string".to_string()),
+    }
+    if require(doc, "name")?.as_str().is_none_or(str::is_empty) {
+        return Err("name must be a non-empty string".to_string());
+    }
+    let params = require(doc, "params")?;
+    if params.as_object().is_none() {
+        return Err("params must be an object".to_string());
+    }
+    let metrics = require(doc, "metrics")?
+        .as_object()
+        .ok_or("metrics must be an object")?;
+    for (k, v) in metrics {
+        if v.as_f64().is_none() {
+            return Err(format!("metrics.{k} must be a number"));
+        }
+    }
+    let tables = require(doc, "tables")?
+        .as_object()
+        .ok_or("tables must be an object")?;
+    for (name, rows) in tables {
+        let rows = rows
+            .as_array()
+            .ok_or_else(|| format!("tables.{name:?} must be an array"))?;
+        for row in rows {
+            let cells = row
+                .as_object()
+                .ok_or_else(|| format!("tables.{name:?} rows must be objects"))?;
+            for (col, cell) in cells {
+                if cell.as_f64().is_none() && cell.as_str().is_none() {
+                    return Err(format!(
+                        "tables.{name:?} cell {col:?} must be a number or string"
+                    ));
+                }
+            }
+        }
+    }
+    let profile = require(doc, "profile")?;
+    if profile.as_object().is_none() {
+        return Err("profile must be an object".to_string());
+    }
+    for key in [
+        "wall_s",
+        "events",
+        "events_per_sec",
+        "sim_s",
+        "sim_wall_ratio",
+    ] {
+        if require_number(profile, "profile", key)? < 0.0 {
+            return Err(format!("profile.{key} must be non-negative"));
+        }
+    }
+    let events = require_number(profile, "profile", "events")?;
+    if events.fract() != 0.0 {
+        return Err("profile.events must be an integer".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn produced_reports_validate() {
+        let mut r = RunReport::start("unit_test_run");
+        r.param("seed", 7u64);
+        r.param("algorithm", "olia");
+        r.metric("goodput.mbps", 3.25);
+        let mut t = Table::new("demo", &["flow", "Mb/s"]);
+        t.row(&["mptcp".into(), "4.2".into()]);
+        r.table(&t);
+        let doc = r.finish();
+        validate(&doc).expect("fresh report must validate");
+        // And survives a serialize/parse round trip.
+        let reparsed = parse(&doc.render_pretty()).unwrap();
+        validate(&reparsed).unwrap();
+        assert_eq!(
+            reparsed.get("name").unwrap().as_str(),
+            Some("unit_test_run")
+        );
+        let profile = reparsed.get("profile").unwrap();
+        assert!(profile.get("wall_s").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_lands_in_metrics() {
+        let mut reg = Registry::new();
+        reg.inc("queue.ap.dropped", 3);
+        reg.set_gauge("flow.0.goodput_mbps", 2.5);
+        let mut r = RunReport::start("unit_test_registry");
+        r.registry("", &reg, SimTime::ZERO);
+        r.registry("rep0", &reg, SimTime::ZERO);
+        let doc = r.finish();
+        validate(&doc).unwrap();
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(metrics.get("queue.ap.dropped").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            metrics.get("rep0.flow.0.goodput_mbps").unwrap().as_f64(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let good = RunReport::start("x").finish();
+        validate(&good).unwrap();
+
+        let cases = [
+            (r#"{"schema":"bogus/v9"}"#, "unknown schema"),
+            (r#"{"name":"x"}"#, "missing required field \"schema\""),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"","params":{},"metrics":{},"tables":{},"profile":{}}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},"metrics":{"m":"nope"},"tables":{},"profile":{}}"#,
+                "metrics.m",
+            ),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},"metrics":{},"tables":{"t":{}},"profile":{}}"#,
+                "must be an array",
+            ),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},"metrics":{},"tables":{},"profile":{"wall_s":0.1}}"#,
+                "profile.events",
+            ),
+            ("[1,2]", "must be a JSON object"),
+        ];
+        for (text, needle) in cases {
+            let err = validate(&parse(text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn negative_profile_values_rejected() {
+        let text = r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},
+            "metrics":{},"tables":{},
+            "profile":{"wall_s":-1,"events":0,"events_per_sec":0,"sim_s":0,"sim_wall_ratio":0}}"#;
+        assert!(validate(&parse(text).unwrap())
+            .unwrap_err()
+            .contains("wall_s"));
+    }
+}

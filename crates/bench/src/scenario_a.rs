@@ -26,6 +26,7 @@ pub struct ScenarioAMeasurement {
 pub fn measure(params: &ScenarioAParams, cfg: &RunCfg) -> ScenarioAMeasurement {
     let reps = replicate(cfg, |seed| {
         let mut sim = Simulation::new(seed);
+        let _trace = crate::tracing::attach_from_env(&mut sim, "scenario_a", seed);
         let s = ScenarioA::build(&mut sim, params);
         let all: Vec<Connection> = s.type1.iter().chain(s.type2.iter()).cloned().collect();
         let mut rng = SimRng::seed_from_u64(seed ^ 0xA5A5);

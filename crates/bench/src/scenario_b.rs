@@ -29,6 +29,7 @@ pub struct ScenarioBMeasurement {
 pub fn measure(params: &ScenarioBParams, cfg: &RunCfg) -> ScenarioBMeasurement {
     let reps = replicate(cfg, |seed| {
         let mut sim = Simulation::new(seed);
+        let _trace = crate::tracing::attach_from_env(&mut sim, "scenario_b", seed);
         let s = ScenarioB::build(&mut sim, params);
         let all: Vec<Connection> = s.blue.iter().chain(s.red.iter()).cloned().collect();
         let mut rng = SimRng::seed_from_u64(seed ^ 0xB4B4);

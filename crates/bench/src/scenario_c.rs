@@ -26,6 +26,7 @@ pub struct ScenarioCMeasurement {
 pub fn measure(params: &ScenarioCParams, cfg: &RunCfg) -> ScenarioCMeasurement {
     let reps = replicate(cfg, |seed| {
         let mut sim = Simulation::new(seed);
+        let _trace = crate::tracing::attach_from_env(&mut sim, "scenario_c", seed);
         let s = ScenarioC::build(&mut sim, params);
         let all: Vec<Connection> = s.multipath.iter().chain(s.single.iter()).cloned().collect();
         let mut rng = SimRng::seed_from_u64(seed ^ 0xC3C3);

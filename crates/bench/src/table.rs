@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+use crate::json::Json;
+
 /// A simple column-aligned table with a title, for terminal output in the
 /// style of the paper's tables.
 #[derive(Debug, Clone)]
@@ -27,6 +29,31 @@ impl Table {
     pub fn row(&mut self, cells: &[String]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
         self.rows.push(cells.to_vec());
+    }
+
+    /// The table's title (the key it is embedded under in run reports).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// As an array of row objects keyed by the column headers, for the
+    /// machine-readable run reports. Cells that parse as numbers become
+    /// JSON numbers; everything else (e.g. `"1.2 ± 0.3"`) stays a string.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::object(self.header.iter().zip(row).map(|(h, cell)| {
+                    let value = match cell.parse::<f64>() {
+                        Ok(n) if n.is_finite() => Json::Number(n),
+                        _ => Json::String(cell.clone()),
+                    };
+                    (h.clone(), value)
+                }))
+            })
+            .collect();
+        Json::Array(rows)
     }
 
     /// Render with aligned columns.

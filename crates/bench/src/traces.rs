@@ -45,6 +45,7 @@ pub fn run(
         config,
     };
     let mut sim = Simulation::new(seed);
+    let _trace = crate::tracing::attach_from_env(&mut sim, "two_bottleneck", seed);
     let s = TwoBottleneck::build(&mut sim, &params);
     let all: Vec<Connection> = std::iter::once(s.multipath.clone())
         .chain(s.tcp1.iter().cloned())

@@ -18,11 +18,16 @@
 //! [`Summary`] provides mean/std and Student-t 95% confidence intervals, the
 //! same presentation the paper uses ("in all cases we present 95% confidence
 //! intervals").
+//!
+//! The [`Registry`] aggregates any of these primitives under stable dotted
+//! names so run reporters can snapshot every counter and gauge at once.
 
 mod histogram;
+mod registry;
 mod series;
 mod summary;
 
 pub use histogram::Histogram;
+pub use registry::{Metric, Registry};
 pub use series::{RateMeter, TimeSeries};
 pub use summary::{jain_index, Summary};

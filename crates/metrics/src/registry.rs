@@ -1,0 +1,271 @@
+//! A labeled metrics registry.
+//!
+//! Experiments accumulate measurements in many places — queue counters,
+//! per-flow rate meters, window traces, completion-time histograms. The
+//! [`Registry`] gathers those primitives under **stable string names** so a
+//! run reporter can snapshot every counter and gauge at once without knowing
+//! which subsystem owns which metric.
+//!
+//! Names are dotted paths (`"flow.3.goodput"`, `"queue.ap1.drops"`); the
+//! snapshot flattens composite metrics by appending a suffix per component
+//! (`"flow.3.goodput.mbps"`). Snapshots iterate in sorted name order, so
+//! serialized output is deterministic across runs with the same metrics.
+
+use std::collections::BTreeMap;
+
+use eventsim::SimTime;
+
+use crate::histogram::Histogram;
+use crate::series::{RateMeter, TimeSeries};
+
+/// One registered metric: either a plain scalar or one of the measurement
+/// primitives from this crate.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing count (packets, drops, events).
+    Counter(u64),
+    /// A point-in-time value (current cwnd, queue occupancy).
+    Gauge(f64),
+    /// A windowed throughput meter.
+    Rate(RateMeter),
+    /// A `(time, value)` trace.
+    Series(TimeSeries),
+    /// A sample distribution.
+    Histogram(Histogram),
+}
+
+/// Labeled collection of metrics with a flattening snapshot (module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: BTreeMap<String, Metric>,
+}
+
+fn check_name(name: &str) {
+    debug_assert!(
+        !name.is_empty() && !name.contains(char::is_whitespace),
+        "metric names must be non-empty and whitespace-free, got {name:?}"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or replace) a metric under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, metric: Metric) {
+        let name = name.into();
+        check_name(&name);
+        self.entries.insert(name, metric);
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add `n` to the counter `name`, creating it at zero first if needed.
+    ///
+    /// Panics if `name` is registered as a non-counter.
+    pub fn inc(&mut self, name: &str, n: u64) {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set the gauge `name` to `v`, creating it if needed.
+    ///
+    /// Panics if `name` is registered as a non-gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(Metric::Gauge(v))
+        {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// The rate meter `name`, created with its window starting at `now` on
+    /// first use.
+    ///
+    /// Panics if `name` is registered as a non-rate.
+    pub fn rate(&mut self, name: &str, now: SimTime) -> &mut RateMeter {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Rate(RateMeter::new(now)))
+        {
+            Metric::Rate(r) => r,
+            other => panic!("metric {name:?} is not a rate meter: {other:?}"),
+        }
+    }
+
+    /// The time series `name`, created empty on first use.
+    ///
+    /// Panics if `name` is registered as a non-series.
+    pub fn series(&mut self, name: &str) -> &mut TimeSeries {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Series(TimeSeries::new()))
+        {
+            Metric::Series(s) => s,
+            other => panic!("metric {name:?} is not a time series: {other:?}"),
+        }
+    }
+
+    /// The histogram `name`, created with the given binning on first use
+    /// (the binning arguments are ignored on later calls).
+    ///
+    /// Panics if `name` is registered as a non-histogram.
+    pub fn histogram(&mut self, name: &str, bin_width: f64, bins: usize) -> &mut Histogram {
+        check_name(name);
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bin_width, bins)))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Flatten every metric to scalar `(name, value)` pairs, sorted by name.
+    ///
+    /// Composite metrics expand with dotted suffixes:
+    ///
+    /// * counters and gauges → the value itself, under the bare name;
+    /// * rate meters → `.bytes` and `.mbps` (rate computed up to `now`);
+    /// * time series → `.points`, `.last`, and `.avg` (time-weighted; absent
+    ///   with fewer than two points);
+    /// * histograms → `.count`, `.mean`, `.std`, `.p95`.
+    pub fn snapshot(&self, now: SimTime) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (name, metric) in &self.entries {
+            match metric {
+                Metric::Counter(c) => out.push((name.clone(), *c as f64)),
+                Metric::Gauge(g) => out.push((name.clone(), *g)),
+                Metric::Rate(r) => {
+                    out.push((format!("{name}.bytes"), r.bytes() as f64));
+                    out.push((format!("{name}.mbps"), r.rate_mbps(now)));
+                }
+                Metric::Series(s) => {
+                    out.push((format!("{name}.points"), s.len() as f64));
+                    if let Some(&(_, last)) = s.points().last() {
+                        out.push((format!("{name}.last"), last));
+                    }
+                    if let Some(avg) = s.time_average() {
+                        out.push((format!("{name}.avg"), avg));
+                    }
+                }
+                Metric::Histogram(h) => {
+                    out.push((format!("{name}.count"), h.total() as f64));
+                    out.push((format!("{name}.mean"), h.mean()));
+                    out.push((format!("{name}.std"), h.std()));
+                    out.push((format!("{name}.p95"), h.quantile(0.95)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::SimDuration;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = Registry::new();
+        r.inc("queue.0.drops", 3);
+        r.inc("queue.0.drops", 2);
+        r.set_gauge("flow.1.cwnd", 7.5);
+        r.set_gauge("flow.1.cwnd", 8.0);
+        assert_eq!(r.len(), 2);
+        let snap = r.snapshot(SimTime::ZERO);
+        assert_eq!(
+            snap,
+            vec![
+                ("flow.1.cwnd".to_owned(), 8.0),
+                ("queue.0.drops".to_owned(), 5.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn composite_metrics_flatten_with_suffixes() {
+        let mut r = Registry::new();
+        let t0 = SimTime::ZERO;
+        r.rate("flow.0.goodput", t0).add(250_000);
+        r.series("flow.0.cwnd").push(t0, 2.0);
+        r.series("flow.0.cwnd")
+            .push(t0 + SimDuration::from_secs(2), 4.0);
+        r.histogram("fct", 1.0, 10).record(3.0);
+
+        let now = t0 + SimDuration::from_secs(1);
+        let snap: BTreeMap<String, f64> = r.snapshot(now).into_iter().collect();
+        assert_eq!(snap["flow.0.goodput.bytes"], 250_000.0);
+        assert!((snap["flow.0.goodput.mbps"] - 2.0).abs() < 1e-9);
+        assert_eq!(snap["flow.0.cwnd.points"], 2.0);
+        assert_eq!(snap["flow.0.cwnd.last"], 4.0);
+        assert_eq!(snap["flow.0.cwnd.avg"], 2.0);
+        assert_eq!(snap["fct.count"], 1.0);
+        assert_eq!(snap["fct.mean"], 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let mut r = Registry::new();
+        r.inc("b", 1);
+        r.inc("a", 1);
+        r.inc("c", 1);
+        let names: Vec<String> = r
+            .snapshot(SimTime::ZERO)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(r.snapshot(SimTime::ZERO), r.snapshot(SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut r = Registry::new();
+        r.set_gauge("x", 1.0);
+        r.inc("x", 1);
+    }
+
+    #[test]
+    fn single_point_series_has_no_average() {
+        let mut r = Registry::new();
+        r.series("s").push(SimTime::ZERO, 5.0);
+        let snap: BTreeMap<String, f64> = r.snapshot(SimTime::ZERO).into_iter().collect();
+        assert_eq!(snap["s.points"], 1.0);
+        assert_eq!(snap["s.last"], 5.0);
+        assert!(!snap.contains_key("s.avg"));
+    }
+}

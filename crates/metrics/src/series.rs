@@ -39,8 +39,12 @@ impl RateMeter {
         self.bytes
     }
 
-    /// Average rate in bits/s from window start to `now`; zero for an empty
-    /// window.
+    /// Average rate in bits/s from window start to `now`.
+    ///
+    /// Degenerate windows are well-defined rather than infinite or negative:
+    /// a zero-length window (`now == since`) and a backwards clock
+    /// (`now < since`, possible when a caller resets at a checkpoint ahead
+    /// of an event already scheduled) both report 0.0.
     pub fn rate_bps(&self, now: SimTime) -> f64 {
         let dt = now.saturating_since(self.since).as_secs_f64();
         if dt <= 0.0 {
@@ -81,9 +85,19 @@ impl TimeSeries {
     }
 
     /// Record `value` at time `t`.
+    ///
+    /// Out-of-order samples (`t` earlier than the last retained point) are
+    /// silently ignored: the series stays monotone in time so the
+    /// time-weighted integrals in [`TimeSeries::time_average`] and
+    /// [`TimeSeries::fraction_at_or_below`] never see negative intervals.
+    /// A sample at exactly the last retained time is kept when
+    /// `min_interval` is zero (later push wins for the zero-width segment).
     pub fn push(&mut self, t: SimTime, value: f64) {
         let ts = t.as_secs_f64();
         if let Some(&(last, _)) = self.points.last() {
+            if ts < last {
+                return;
+            }
             if self.min_interval > 0.0 && ts - last < self.min_interval {
                 return;
             }
@@ -170,9 +184,45 @@ mod tests {
 
     #[test]
     fn rate_meter_zero_window() {
-        let m = RateMeter::new(SimTime::from_secs_f64(5.0));
+        // A zero-length or backwards window must report 0, not inf/NaN or a
+        // negative rate — even with bytes already recorded.
+        let mut m = RateMeter::new(SimTime::from_secs_f64(5.0));
+        m.add(1_000_000);
         assert_eq!(m.rate_bps(SimTime::from_secs_f64(5.0)), 0.0);
         assert_eq!(m.rate_bps(SimTime::from_secs_f64(4.0)), 0.0);
+        assert!((m.rate_mbps(SimTime::from_secs_f64(6.0)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_ignores_out_of_order_samples() {
+        // Without decimation the guard in `push` is what keeps the series
+        // monotone — a regressing timestamp must not corrupt the integrals.
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs_f64(1.0), 2.0);
+        s.push(SimTime::from_secs_f64(3.0), 4.0);
+        s.push(SimTime::from_secs_f64(2.0), 100.0); // out of order: dropped
+        s.push(SimTime::from_secs_f64(5.0), 6.0);
+        assert_eq!(s.points(), &[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]);
+        // 2·2 + 4·2 = 12 over 4 s; unaffected by the dropped sample.
+        assert!((s.time_average().unwrap() - 3.0).abs() < 1e-12);
+
+        // With decimation, an out-of-order sample is likewise dropped (and
+        // must not reset the spacing baseline).
+        let mut d = TimeSeries::with_min_interval(0.5);
+        d.push(SimTime::from_secs_f64(1.0), 1.0);
+        d.push(SimTime::from_secs_f64(0.2), 9.0); // out of order: dropped
+        d.push(SimTime::from_secs_f64(1.6), 2.0);
+        assert_eq!(d.points(), &[(1.0, 1.0), (1.6, 2.0)]);
+    }
+
+    #[test]
+    fn series_keeps_equal_timestamps_without_decimation() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs_f64(1.0), 2.0);
+        s.push(SimTime::from_secs_f64(1.0), 3.0);
+        assert_eq!(s.points(), &[(1.0, 2.0), (1.0, 3.0)]);
+        // Zero-width segment contributes nothing; span is zero → None.
+        assert_eq!(s.time_average(), None);
     }
 
     #[test]

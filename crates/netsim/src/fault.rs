@@ -80,6 +80,36 @@ pub enum FaultAction {
     ClearImpairments(QueueId),
 }
 
+impl FaultAction {
+    /// The queue this action targets.
+    pub fn queue(&self) -> QueueId {
+        match *self {
+            FaultAction::LinkDown(q)
+            | FaultAction::LinkUp(q)
+            | FaultAction::ClearImpairments(q) => q,
+            FaultAction::SetRate { queue, .. }
+            | FaultAction::SetLatency { queue, .. }
+            | FaultAction::LossBurst { queue, .. }
+            | FaultAction::SetDuplication { queue, .. }
+            | FaultAction::SetReordering { queue, .. } => queue,
+        }
+    }
+
+    /// Stable action label (used by the trace layer).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultAction::LinkDown(_) => "link_down",
+            FaultAction::LinkUp(_) => "link_up",
+            FaultAction::SetRate { .. } => "set_rate",
+            FaultAction::SetLatency { .. } => "set_latency",
+            FaultAction::LossBurst { .. } => "loss_burst",
+            FaultAction::SetDuplication { .. } => "set_duplication",
+            FaultAction::SetReordering { .. } => "set_reordering",
+            FaultAction::ClearImpairments(_) => "clear_impairments",
+        }
+    }
+}
+
 /// A scripted, deterministic schedule of [`FaultAction`]s.
 ///
 /// Built with the chainable [`FaultPlan::at`] (plus conveniences like

@@ -70,6 +70,7 @@
 mod fault;
 mod ids;
 mod packet;
+pub mod profile;
 mod queue;
 mod sim;
 

@@ -27,6 +27,15 @@ pub enum PacketKind {
     Ack,
 }
 
+impl From<PacketKind> for trace::PacketKindLabel {
+    fn from(kind: PacketKind) -> trace::PacketKindLabel {
+        match kind {
+            PacketKind::Data => trace::PacketKindLabel::Data,
+            PacketKind::Ack => trace::PacketKindLabel::Ack,
+        }
+    }
+}
+
 /// A simulated packet.
 ///
 /// `conn`/`subflow` identify the transport connection and subflow so the

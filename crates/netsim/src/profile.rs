@@ -1,0 +1,147 @@
+//! Process-wide simulator profiling counters.
+//!
+//! The bench harness replicates runs across OS threads
+//! (`bench::replicate`), so per-[`crate::Simulation`] counters alone cannot
+//! answer "how many events did this experiment process per wall-second?".
+//! These atomics aggregate across every simulation in the process; each
+//! `run_until` adds its contribution when it returns. [`RunProfile`] pairs a
+//! snapshot with wall-clock time so reporters can compute events/sec and the
+//! sim-time/wall-time ratio.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static SIM_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Add to the process-wide counters (called by the event loop; `Relaxed`
+/// is enough — readers only want totals, not ordering).
+pub(crate) fn record_run(events: u64, sim_ns: u64) {
+    EVENTS.fetch_add(events, Ordering::Relaxed);
+    SIM_NS.fetch_add(sim_ns, Ordering::Relaxed);
+}
+
+/// Totals accumulated since process start (or the last [`reset`]):
+/// `(events_processed, simulated_nanoseconds)`.
+pub fn totals() -> (u64, u64) {
+    (
+        EVENTS.load(Ordering::Relaxed),
+        SIM_NS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zero the process-wide counters. Tests and reporters that need a clean
+/// window should prefer [`RunProfile`], which is delta-based and immune to
+/// other threads' history (though not to their concurrent activity).
+pub fn reset() {
+    EVENTS.store(0, Ordering::Relaxed);
+    SIM_NS.store(0, Ordering::Relaxed);
+}
+
+/// Delta-based profiling window: construct before the work, [`finish`] it
+/// after, and read events/sec + sim/wall ratio for exactly that span.
+///
+/// [`finish`]: RunProfile::finish
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    start_events: u64,
+    start_sim_ns: u64,
+    start_wall: Instant,
+}
+
+impl Default for RunProfile {
+    fn default() -> Self {
+        RunProfile::start()
+    }
+}
+
+impl RunProfile {
+    /// Open a profiling window now.
+    pub fn start() -> RunProfile {
+        let (e, s) = totals();
+        RunProfile {
+            start_events: e,
+            start_sim_ns: s,
+            start_wall: Instant::now(),
+        }
+    }
+
+    /// Close the window and return its measurements.
+    pub fn finish(&self) -> ProfileReport {
+        let (e, s) = totals();
+        ProfileReport {
+            events: e.saturating_sub(self.start_events),
+            sim_ns: s.saturating_sub(self.start_sim_ns),
+            wall_s: self.start_wall.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Measurements of one profiling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileReport {
+    /// Simulation events processed in the window (all threads).
+    pub events: u64,
+    /// Simulated nanoseconds advanced in the window (all threads; with N
+    /// parallel replications this is N × the per-run horizon).
+    pub sim_ns: u64,
+    /// Wall-clock seconds the window was open.
+    pub wall_s: f64,
+}
+
+impl ProfileReport {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.wall_s
+        }
+    }
+
+    /// Simulated seconds per wall-clock second (> 1 means faster than
+    /// real time).
+    pub fn sim_wall_ratio(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.sim_ns as f64 / 1e9 / self.wall_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_only_count_the_window() {
+        record_run(100, 1_000);
+        let window = RunProfile::start();
+        record_run(7, 500);
+        let report = window.finish();
+        // Other tests run in parallel in this process, so assert lower
+        // bounds, not equality.
+        assert!(report.events >= 7);
+        assert!(report.sim_ns >= 500);
+        assert!(report.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn ratios_guard_zero_wall_time() {
+        let r = ProfileReport {
+            events: 10,
+            sim_ns: 1_000_000_000,
+            wall_s: 0.0,
+        };
+        assert_eq!(r.events_per_sec(), 0.0);
+        assert_eq!(r.sim_wall_ratio(), 0.0);
+        let r2 = ProfileReport {
+            events: 10,
+            sim_ns: 2_000_000_000,
+            wall_s: 2.0,
+        };
+        assert!((r2.events_per_sec() - 5.0).abs() < 1e-12);
+        assert!((r2.sim_wall_ratio() - 1.0).abs() < 1e-12);
+    }
+}

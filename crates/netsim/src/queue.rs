@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use eventsim::{SimDuration, SimRng, SimTime};
+use trace::DropReason;
 
 use crate::packet::Packet;
 
@@ -186,6 +187,12 @@ pub struct QueueStats {
     /// Of `dropped`, packets dropped because the link was administratively
     /// down (failure injection) — a subset, not an extra count.
     pub dropped_down: u64,
+    /// Of `dropped`, RED *early* (probabilistic) drops — the discipline's
+    /// congestion signal, what an ECN deployment would mark instead of
+    /// dropping. A subset of `dropped`, disjoint from tail drops at the
+    /// hard `limit`, so `dropped - marked` isolates genuine buffer
+    /// exhaustion.
+    pub marked: u64,
     /// Packets fully serialized and forwarded.
     pub forwarded: u64,
     /// Bytes fully serialized and forwarded.
@@ -293,26 +300,47 @@ impl Queue {
         }
     }
 
-    /// Admission decision; `true` means the packet was buffered.
+    /// Admission decision; `Ok(())` means the packet was buffered, `Err`
+    /// carries why it was not (tail drop, RED early mark, ...) for the
+    /// per-cause counters and the trace layer.
     ///
     /// The caller is responsible for scheduling service when the queue
     /// transitions from idle.
-    pub(crate) fn try_enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut SimRng) -> bool {
+    pub(crate) fn try_enqueue(
+        &mut self,
+        pkt: Packet,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<(), DropReason> {
         self.stats.arrived += 1;
         if self.down {
             self.stats.dropped += 1;
             self.stats.dropped_down += 1;
-            return false;
+            return Err(DropReason::AdminDown);
         }
         // Loss-burst impairment: an extra independent drop applied before
         // the discipline, while the burst window is open.
         if now < self.impair.loss_until && rng.chance(self.impair.loss_p) {
             self.stats.dropped += 1;
-            return false;
+            return Err(DropReason::LossBurst);
         }
-        let admitted = match self.config.discipline {
-            Discipline::DropTail { limit } => self.buf.len() < limit,
-            Discipline::Bernoulli { p, limit } => self.buf.len() < limit && !rng.chance(p),
+        let verdict = match self.config.discipline {
+            Discipline::DropTail { limit } => {
+                if self.buf.len() < limit {
+                    Ok(())
+                } else {
+                    Err(DropReason::Tail)
+                }
+            }
+            Discipline::Bernoulli { p, limit } => {
+                if self.buf.len() >= limit {
+                    Err(DropReason::Tail)
+                } else if rng.chance(p) {
+                    Err(DropReason::Bernoulli)
+                } else {
+                    Ok(())
+                }
+            }
             Discipline::Red(params) => {
                 let qlen = self.buf.len() as f64;
                 let effective = if params.ewma_weight > 0.0 {
@@ -328,18 +356,24 @@ impl Queue {
                     qlen
                 };
                 if self.buf.len() >= params.limit {
-                    false
+                    Err(DropReason::Tail)
+                } else if rng.chance(params.drop_probability(effective)) {
+                    Err(DropReason::EarlyMark)
                 } else {
-                    !rng.chance(params.drop_probability(effective))
+                    Ok(())
                 }
             }
         };
-        if admitted {
-            self.buf.push_back(pkt);
-        } else {
-            self.stats.dropped += 1;
+        match verdict {
+            Ok(()) => self.buf.push_back(pkt),
+            Err(reason) => {
+                self.stats.dropped += 1;
+                if reason == DropReason::EarlyMark {
+                    self.stats.marked += 1;
+                }
+            }
         }
-        admitted
+        verdict
     }
 
     /// Remove and return the head packet after it finished serializing.
@@ -410,7 +444,7 @@ mod tests {
         let mut q = Queue::new(QueueConfig::drop_tail(1e6, SimDuration::from_millis(1), 3));
         let mut rng = SimRng::seed_from_u64(0);
         for i in 0..5 {
-            q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
+            let _ = q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
         }
         assert_eq!(q.len(), 3);
         assert_eq!(q.stats.arrived, 5);
@@ -428,10 +462,15 @@ mod tests {
         };
         let mut q = Queue::new(QueueConfig::red(1e6, SimDuration::ZERO, params));
         let mut rng = SimRng::seed_from_u64(0);
-        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
-        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
-        assert!(!q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng));
+        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng).is_ok());
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng).is_ok());
+        assert_eq!(
+            q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng),
+            Err(DropReason::Tail)
+        );
         assert_eq!(q.stats.dropped, 1);
+        // Hard-limit drops are tail drops, not congestion marks.
+        assert_eq!(q.stats.marked, 0);
     }
 
     #[test]
@@ -452,7 +491,7 @@ mod tests {
             let mut drops = 0;
             for i in 0..trials {
                 let before = q.len();
-                if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+                if q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng).is_err() {
                     drops += 1;
                 } else {
                     q.buf.pop_back();
@@ -471,8 +510,8 @@ mod tests {
     fn service_accounting() {
         let mut q = Queue::new(QueueConfig::drop_tail(1e6, SimDuration::from_millis(1), 10));
         let mut rng = SimRng::seed_from_u64(0);
-        q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng);
-        q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng);
+        let _ = q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng);
+        let _ = q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng);
         let p = q.complete_service();
         assert_eq!(p.seq, 0);
         assert_eq!(q.stats.forwarded, 1);
@@ -493,6 +532,7 @@ mod tests {
             arrived: 200,
             dropped: 10,
             dropped_down: 0,
+            marked: 4,
             forwarded: 190,
             forwarded_bytes: 190 * 1500,
             busy_ns: 500_000_000,
@@ -513,7 +553,7 @@ mod tests {
         let trials = 50_000;
         let mut drops = 0;
         for i in 0..trials {
-            if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+            if q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng).is_err() {
                 drops += 1;
             } else {
                 q.buf.pop_back();
@@ -527,9 +567,12 @@ mod tests {
     fn bernoulli_respects_buffer_cap() {
         let mut q = Queue::new(QueueConfig::bernoulli(1e9, SimDuration::ZERO, 0.0, 2));
         let mut rng = SimRng::seed_from_u64(3);
-        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
-        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
-        assert!(!q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng));
+        assert!(q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng).is_ok());
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng).is_ok());
+        assert_eq!(
+            q.try_enqueue(pkt(2), SimTime::ZERO, &mut rng),
+            Err(DropReason::Tail)
+        );
     }
 
     #[test]
@@ -543,11 +586,14 @@ mod tests {
         let mut q = Queue::new(QueueConfig::drop_tail(1e9, SimDuration::ZERO, 10));
         let mut rng = SimRng::seed_from_u64(3);
         q.down = true;
-        assert!(!q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng));
+        assert_eq!(
+            q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng),
+            Err(DropReason::AdminDown)
+        );
         assert_eq!(q.stats.dropped, 1);
         assert_eq!(q.stats.dropped_down, 1);
         q.down = false;
-        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng));
+        assert!(q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng).is_ok());
         // The administrative drop stays a subset of the total.
         assert_eq!(q.stats.dropped, 1);
         assert_eq!(q.stats.dropped_down, 1);
@@ -559,12 +605,17 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         q.impair.loss_p = 1.0;
         q.impair.loss_until = SimTime::from_secs_f64(1.0);
-        assert!(!q.try_enqueue(pkt(0), SimTime::from_secs_f64(0.5), &mut rng));
+        assert_eq!(
+            q.try_enqueue(pkt(0), SimTime::from_secs_f64(0.5), &mut rng),
+            Err(DropReason::LossBurst)
+        );
         assert_eq!(q.stats.dropped, 1);
         // Burst drops are impairments, not administrative outage.
         assert_eq!(q.stats.dropped_down, 0);
         // After the window closes the queue admits normally.
-        assert!(q.try_enqueue(pkt(1), SimTime::from_secs_f64(1.0), &mut rng));
+        assert!(q
+            .try_enqueue(pkt(1), SimTime::from_secs_f64(1.0), &mut rng)
+            .is_ok());
     }
 
     #[test]
@@ -576,7 +627,7 @@ mod tests {
         let trials = 50_000;
         let mut drops = 0;
         for i in 0..trials {
-            if !q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng) {
+            if q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng).is_err() {
                 drops += 1;
             } else {
                 q.buf.pop_back();
@@ -599,10 +650,17 @@ mod tests {
         // Force the average sky-high.
         q.avg_qlen = 150.0;
         q.avg_updated = SimTime::ZERO;
-        // Immediately: average ~150 -> drop probability 1.
-        assert!(!q.try_enqueue(pkt(0), SimTime::from_nanos(1), &mut rng));
+        // Immediately: average ~150 -> drop probability 1 (an early mark,
+        // since the buffer itself is empty).
+        assert_eq!(
+            q.try_enqueue(pkt(0), SimTime::from_nanos(1), &mut rng),
+            Err(DropReason::EarlyMark)
+        );
+        assert_eq!(q.stats.marked, 1);
         // Ten seconds of idle later the average has decayed to ~0.
-        assert!(q.try_enqueue(pkt(1), SimTime::from_secs_f64(10.0), &mut rng));
+        assert!(q
+            .try_enqueue(pkt(1), SimTime::from_secs_f64(10.0), &mut rng)
+            .is_ok());
         assert!(q.avg_qlen < 1.0, "avg {}", q.avg_qlen);
     }
 
@@ -627,7 +685,7 @@ mod tests {
                 1e6, SimDuration::ZERO, limit));
             let mut rng = SimRng::seed_from_u64(1);
             for i in 0..n {
-                q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
+                let _ = q.try_enqueue(pkt(i), SimTime::ZERO, &mut rng);
             }
             prop_assert_eq!(q.len() as u64, n.min(limit as u64));
             prop_assert_eq!(q.stats.dropped, n.saturating_sub(limit as u64));

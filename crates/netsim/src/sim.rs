@@ -1,6 +1,7 @@
 //! The simulation driver: event dispatch, queue service, endpoint callbacks.
 
 use eventsim::{EventQueue, SimDuration, SimRng, SimTime};
+use trace::{TraceEvent, Tracer};
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{EndpointId, QueueId};
@@ -51,6 +52,7 @@ pub struct NetCtx<'a> {
     queues: &'a mut [Queue],
     events: &'a mut EventQueue<NetEvent>,
     rng: &'a mut SimRng,
+    tracer: &'a Tracer,
 }
 
 impl NetCtx<'_> {
@@ -73,7 +75,14 @@ impl NetCtx<'_> {
         if pkt.at_destination() {
             self.events.schedule(self.now, NetEvent::Arrival(pkt));
         } else {
-            enqueue(self.queues, self.events, self.now, self.rng, pkt);
+            enqueue(
+                self.queues,
+                self.events,
+                self.now,
+                self.rng,
+                self.tracer,
+                pkt,
+            );
         }
     }
 
@@ -93,6 +102,12 @@ impl NetCtx<'_> {
     pub fn queue_len(&self, q: QueueId) -> usize {
         self.queues[q.index()].len()
     }
+
+    /// The simulation's tracer, so transport endpoints can emit their own
+    /// events (cwnd changes, RTO fires, health transitions).
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer
+    }
 }
 
 /// Admit `pkt` to the queue at its current hop and kick service if idle.
@@ -101,16 +116,43 @@ fn enqueue(
     events: &mut EventQueue<NetEvent>,
     now: SimTime,
     rng: &mut SimRng,
+    tracer: &Tracer,
     pkt: Packet,
 ) {
     let qid = pkt.next_queue().expect("enqueue past end of route");
+    // Snapshot identity before the packet is moved into the buffer; the
+    // closures below only run when a sink is attached.
+    let (conn, subflow, kind, seq, size) = (pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size);
     let q = &mut queues[qid.index()];
-    if q.try_enqueue(pkt, now, rng) && !q.busy {
-        q.busy = true;
-        q.service_start = now;
-        let head = q.buf.front().expect("just enqueued");
-        let st = q.config.service_time(head.size);
-        events.schedule(now + st, NetEvent::Service(qid));
+    match q.try_enqueue(pkt, now, rng) {
+        Ok(()) => {
+            tracer.emit(now, || TraceEvent::Enqueue {
+                queue: qid.index() as u32,
+                conn,
+                subflow,
+                kind: kind.into(),
+                seq,
+                size,
+                qlen: q.len() as u32,
+            });
+            if !q.busy {
+                q.busy = true;
+                q.service_start = now;
+                let head = q.buf.front().expect("just enqueued");
+                let st = q.config.service_time(head.size);
+                events.schedule(now + st, NetEvent::Service(qid));
+            }
+        }
+        Err(reason) => {
+            tracer.emit(now, || TraceEvent::Drop {
+                queue: qid.index() as u32,
+                conn,
+                subflow,
+                kind: kind.into(),
+                seq,
+                reason,
+            });
+        }
     }
 }
 
@@ -120,17 +162,37 @@ pub struct Simulation {
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     events: EventQueue<NetEvent>,
     rng: SimRng,
+    tracer: Tracer,
+    events_processed: u64,
 }
 
 impl Simulation {
-    /// A fresh simulation with the given RNG seed.
+    /// A fresh simulation with the given RNG seed (tracing disabled).
     pub fn new(seed: u64) -> Simulation {
         Simulation {
             queues: Vec::new(),
             endpoints: Vec::new(),
             events: EventQueue::new(),
             rng: SimRng::seed_from_u64(seed),
+            tracer: Tracer::disabled(),
+            events_processed: 0,
         }
+    }
+
+    /// Attach (or replace) the tracer every layer of this simulation emits
+    /// through. Pass `Tracer::disabled()` to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The active tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Events this simulation has dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Add a queue; returns its id for use in routes.
@@ -188,16 +250,26 @@ impl Simulation {
     /// requested horizon and not to whenever the last event happened to
     /// fire.
     pub fn run_until(&mut self, until: SimTime) {
+        let started_at = self.events.now();
+        let mut dispatched: u64 = 0;
         while let Some(t) = self.events.peek_time() {
             if t > until {
                 break;
             }
             let (now, ev) = self.events.pop().expect("peeked event vanished");
             self.dispatch(now, ev);
+            dispatched += 1;
         }
         if self.events.now() < until {
             self.events.advance_to(until);
         }
+        self.events_processed += dispatched;
+        // Feed the process-wide profiling totals (events/sec, sim/wall
+        // ratio) — see `profile`.
+        crate::profile::record_run(
+            dispatched,
+            self.events.now().saturating_since(started_at).as_nanos(),
+        );
     }
 
     fn dispatch(&mut self, now: SimTime, ev: NetEvent) {
@@ -205,6 +277,14 @@ impl Simulation {
             NetEvent::Service(qid) => {
                 let q = &mut self.queues[qid.index()];
                 let mut pkt = q.complete_service();
+                self.tracer.emit(now, || TraceEvent::Dequeue {
+                    queue: qid.index() as u32,
+                    conn: pkt.conn,
+                    subflow: pkt.subflow,
+                    kind: pkt.kind.into(),
+                    seq: pkt.seq,
+                    size: pkt.size,
+                });
                 // Busy time accrues at completion (not when service was
                 // scheduled) so it survives mid-run rate changes and is
                 // clipped correctly by mid-service stat resets.
@@ -236,7 +316,14 @@ impl Simulation {
                     let dst = pkt.dst;
                     self.with_endpoint(dst, now, |ep, ctx| ep.on_packet(ctx, pkt));
                 } else {
-                    enqueue(&mut self.queues, &mut self.events, now, &mut self.rng, pkt);
+                    enqueue(
+                        &mut self.queues,
+                        &mut self.events,
+                        now,
+                        &mut self.rng,
+                        &self.tracer,
+                        pkt,
+                    );
                 }
             }
             NetEvent::Start(id) => {
@@ -252,6 +339,10 @@ impl Simulation {
     /// Apply one fault action immediately (also the executor for scheduled
     /// [`FaultPlan`] entries).
     fn apply_fault(&mut self, now: SimTime, action: FaultAction) {
+        self.tracer.emit(now, || TraceEvent::Fault {
+            queue: action.queue().index() as u32,
+            action: action.label(),
+        });
         match action {
             FaultAction::LinkDown(q) => self.set_queue_down(q, true),
             FaultAction::LinkUp(q) => self.set_queue_down(q, false),
@@ -300,6 +391,7 @@ impl Simulation {
                 queues: &mut self.queues,
                 events: &mut self.events,
                 rng: &mut self.rng,
+                tracer: &self.tracer,
             };
             f(ep.as_mut(), &mut ctx);
         }
@@ -775,6 +867,58 @@ mod tests {
         // after serialization + 100 ms, not the old 10 ms).
         assert_eq!(sim.pending_events(), 0);
         assert!(sim.now() >= before + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn tracer_sees_enqueue_dequeue_and_fault_events() {
+        use trace::{RingSink, Tracer};
+        let (mut sim, _, _, fwd, _) = echo_setup(3, 1);
+        let (tracer, ring) = Tracer::to_sink(RingSink::new(1024));
+        sim.set_tracer(tracer);
+        sim.inject_fault(FaultAction::SetDuplication { queue: fwd, p: 0.0 });
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let ring = ring.borrow();
+        let mut enq = 0;
+        let mut deq = 0;
+        let mut fault = 0;
+        for (_, ev) in ring.events() {
+            match ev {
+                trace::TraceEvent::Enqueue { .. } => enq += 1,
+                trace::TraceEvent::Dequeue { .. } => deq += 1,
+                trace::TraceEvent::Fault { queue, action } => {
+                    assert_eq!(*queue, fwd.index() as u32);
+                    assert_eq!(*action, "set_duplication");
+                    fault += 1;
+                }
+                _ => {}
+            }
+        }
+        // 3 data + 3 ACK packets, each enqueued and dequeued once.
+        assert_eq!(enq, 6);
+        assert_eq!(deq, 6);
+        assert_eq!(fault, 1);
+        assert!(sim.events_processed() > 0);
+    }
+
+    #[test]
+    fn tracer_records_drop_reasons() {
+        use trace::{DropReason, RingSink, Tracer};
+        let (mut sim, _, _, fwd, _) = echo_setup(5, 1);
+        let (tracer, ring) = Tracer::to_sink(RingSink::new(64));
+        sim.set_tracer(tracer);
+        sim.set_queue_down(fwd, true);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let ring = ring.borrow();
+        let drops: Vec<_> = ring
+            .events()
+            .filter_map(|(_, ev)| match ev {
+                trace::TraceEvent::Drop { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops.len(), 5);
+        assert!(drops.iter().all(|r| *r == DropReason::AdminDown));
+        assert_eq!(sim.queue_stats(fwd).dropped_down, 5);
     }
 
     #[test]

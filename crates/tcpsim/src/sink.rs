@@ -114,6 +114,13 @@ impl Endpoint for TcpSink {
         let advanced = sf.expected - before;
         if advanced > 0 {
             self.handle.update(|s| s.delivered_packets += advanced);
+            let (conn, total) = (self.conn, sf.expected);
+            ctx.tracer().emit(ctx.now(), || trace::TraceEvent::Deliver {
+                conn,
+                subflow: pkt.subflow,
+                newly: advanced,
+                total,
+            });
         }
 
         // Connection-level (DSN) reassembly: the application reads in data-

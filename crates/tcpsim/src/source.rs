@@ -6,9 +6,19 @@ use std::collections::HashMap;
 use eventsim::SimDuration;
 use mpsim_core::{alpha_values, MultipathCc, PathView};
 use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
+use trace::{CwndReason, SubflowState, TraceEvent};
 
 use crate::rtt::RttEstimator;
 use crate::stats::{FlowHandle, PathHealth, TcpConfig};
+
+/// The trace-layer label for a path-manager health state.
+fn health_state(h: PathHealth) -> SubflowState {
+    match h {
+        PathHealth::Active => SubflowState::Active,
+        PathHealth::PotentiallyFailed => SubflowState::PotentiallyFailed,
+        PathHealth::Failed => SubflowState::Failed,
+    }
+}
 
 /// NewReno-style loss-recovery phase of one subflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -341,6 +351,8 @@ impl TcpSource {
         if best <= 0.0 || quality(&views[idx]) >= self.cfg.prune_quality_ratio * best {
             return;
         }
+        let prev = self.subflows[idx].health;
+        self.trace_state(ctx, idx, health_state(prev), SubflowState::Pruned);
         let sf = &mut self.subflows[idx];
         sf.active = false;
         sf.timer_version += 1; // cancel the RTO
@@ -364,8 +376,35 @@ impl TcpSource {
         // Go-back-N from the hole: anything that was in flight at prune
         // time is long gone.
         sf.next_seq = sf.cum_ack;
+        self.trace_state(ctx, idx, SubflowState::Pruned, SubflowState::Active);
+        self.trace_cwnd(ctx, idx, CwndReason::Reactivate);
         self.try_send(ctx, idx);
         self.publish(ctx, idx);
+    }
+
+    /// Emit a cwnd-change trace event for subflow `idx`.
+    fn trace_cwnd(&self, ctx: &NetCtx, idx: usize, reason: CwndReason) {
+        let sf = &self.subflows[idx];
+        let (cwnd, ssthresh) = (sf.cwnd, sf.ssthresh);
+        let conn = self.conn;
+        ctx.tracer().emit(ctx.now(), || TraceEvent::Cwnd {
+            conn,
+            subflow: idx as u16,
+            cwnd,
+            ssthresh,
+            reason,
+        });
+    }
+
+    /// Emit a subflow reclassification trace event.
+    fn trace_state(&self, ctx: &NetCtx, idx: usize, from: SubflowState, to: SubflowState) {
+        let conn = self.conn;
+        ctx.tracer().emit(ctx.now(), || TraceEvent::SubflowState {
+            conn,
+            subflow: idx as u16,
+            from,
+            to,
+        });
     }
 
     /// Push the current per-subflow observables into the shared handle.
@@ -438,6 +477,8 @@ impl TcpSource {
                 self.handle.update(|s| {
                     s.subflows[idx].last_recovered_at = Some(now);
                 });
+                self.trace_state(ctx, idx, SubflowState::Failed, SubflowState::Active);
+                self.trace_cwnd(ctx, idx, CwndReason::Reactivate);
             }
             self.total_acked += newly;
             self.handle
@@ -448,6 +489,7 @@ impl TcpSource {
                 Phase::Open => {
                     self.subflows[idx].dup_acks = 0;
                     self.apply_increase(idx, newly);
+                    self.trace_cwnd(ctx, idx, CwndReason::Ack);
                 }
                 Phase::Recovery { recover } => {
                     if ack >= recover {
@@ -456,6 +498,7 @@ impl TcpSource {
                         sf.phase = Phase::Open;
                         sf.dup_acks = 0;
                         sf.cwnd = sf.ssthresh.max(1.0);
+                        self.trace_cwnd(ctx, idx, CwndReason::RecoveryExit);
                     } else {
                         // Partial ACK (NewReno): retransmit the next hole.
                         partial_ack = true;
@@ -499,6 +542,13 @@ impl TcpSource {
                     sf.phase = Phase::Recovery { recover };
                     self.handle.update(|s| s.subflows[idx].loss_events += 1);
                     let hole = self.subflows[idx].cum_ack;
+                    let conn = self.conn;
+                    ctx.tracer().emit(ctx.now(), || TraceEvent::FastRetransmit {
+                        conn,
+                        subflow: idx as u16,
+                        seq: hole,
+                    });
+                    self.trace_cwnd(ctx, idx, CwndReason::FastRetransmit);
                     self.transmit(ctx, idx, hole);
                     self.maybe_prune(ctx, idx);
                 }
@@ -519,6 +569,8 @@ impl TcpSource {
             self.subflows[idx].timer_armed = false;
             return;
         }
+        // The interval that just expired was armed with the old backoff.
+        let expired_rto = self.subflows[idx].rto_with_backoff();
         let new_cwnd = self.reduce_on_loss(idx);
         {
             let pin = self.cfg.pin_ssthresh;
@@ -538,6 +590,14 @@ impl TcpSource {
             s.subflows[idx].loss_events += 1;
             s.subflows[idx].timeouts += 1;
         });
+        let (conn, backoff) = (self.conn, self.subflows[idx].backoff);
+        ctx.tracer().emit(ctx.now(), || TraceEvent::RtoFire {
+            conn,
+            subflow: idx as u16,
+            backoff,
+            rto_ns: expired_rto.as_nanos(),
+        });
+        self.trace_cwnd(ctx, idx, CwndReason::Rto);
         // Path manager (§VII, multipath only): consecutive RTOs degrade the
         // subflow's health. Single-path connections keep plain TCP semantics
         // — there is nowhere else to send, so they just keep backing off.
@@ -549,9 +609,18 @@ impl TcpSource {
                 return;
             }
             if backoff >= self.cfg.pf_rto_threshold {
+                let prev = self.subflows[idx].health;
                 self.subflows[idx].health = PathHealth::PotentiallyFailed;
                 self.handle
                     .update(|s| s.subflows[idx].health = PathHealth::PotentiallyFailed);
+                if prev != PathHealth::PotentiallyFailed {
+                    self.trace_state(
+                        ctx,
+                        idx,
+                        health_state(prev),
+                        SubflowState::PotentiallyFailed,
+                    );
+                }
             }
         }
         self.maybe_prune(ctx, idx);
@@ -563,6 +632,8 @@ impl TcpSource {
     /// the RTO, and start the capped-exponential re-probe schedule.
     fn enter_failed(&mut self, ctx: &mut NetCtx, idx: usize) {
         let initial = self.cfg.reprobe_initial;
+        let prev = self.subflows[idx].health;
+        self.trace_state(ctx, idx, health_state(prev), SubflowState::Failed);
         let sf = &mut self.subflows[idx];
         sf.health = PathHealth::Failed;
         sf.timer_armed = false;
@@ -591,9 +662,17 @@ impl TcpSource {
         let sf = &mut self.subflows[idx];
         sf.timer_version += 1;
         sf.reprobe_interval = sf.reprobe_interval.saturating_mul(2).min(max);
+        let next_interval = sf.reprobe_interval;
         let token = probe_token(idx, sf.timer_version);
-        ctx.schedule_in(sf.reprobe_interval, token);
+        ctx.schedule_in(next_interval, token);
         self.handle.update(|s| s.subflows[idx].reprobes += 1);
+        let conn = self.conn;
+        ctx.tracer().emit(ctx.now(), || TraceEvent::Probe {
+            conn,
+            subflow: idx as u16,
+            seq: probe_seq,
+            next_interval_ns: next_interval.as_nanos(),
+        });
     }
 }
 

@@ -1,0 +1,73 @@
+//! Order-sensitive digest over serialized traces, for determinism tests.
+
+/// FNV-1a over a byte stream. Order-sensitive by construction, so two
+/// traces hash equal only if they are byte-identical — exactly the
+/// property the same-seed determinism tests need. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct Digest64 {
+    state: u64,
+}
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Digest64::new()
+    }
+}
+
+impl Digest64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest64 {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Final value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut d = Digest64::new();
+        d.update(bytes);
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(Digest64::of(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Digest64::of(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Digest64::of(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(Digest64::of(b"ab"), Digest64::of(b"ba"));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut d = Digest64::new();
+        d.update(b"foo");
+        d.update(b"bar");
+        assert_eq!(d.finish(), Digest64::of(b"foobar"));
+    }
+}

@@ -1,0 +1,540 @@
+//! The trace-event vocabulary and its JSONL wire format.
+
+use std::fmt::Write as _;
+
+use eventsim::SimTime;
+
+/// Why a packet was dropped (or ECN-style early-marked) at a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Buffer full (drop-tail, or RED's hard `limit`).
+    Tail,
+    /// RED probabilistic early drop — the discipline's congestion *signal*
+    /// (what an ECN deployment would mark instead of dropping).
+    EarlyMark,
+    /// The Bernoulli fixed-loss discipline fired.
+    Bernoulli,
+    /// The link is administratively down (failure injection).
+    AdminDown,
+    /// A time-bounded loss-burst impairment fired.
+    LossBurst,
+}
+
+impl DropReason {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Tail => "tail",
+            DropReason::EarlyMark => "early_mark",
+            DropReason::Bernoulli => "bernoulli",
+            DropReason::AdminDown => "admin_down",
+            DropReason::LossBurst => "loss_burst",
+        }
+    }
+}
+
+/// What caused a congestion-window change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CwndReason {
+    /// An advancing ACK (slow start or congestion avoidance increase).
+    Ack,
+    /// Fast retransmit entered recovery.
+    FastRetransmit,
+    /// Leaving fast recovery (deflate to ssthresh).
+    RecoveryExit,
+    /// A retransmission timeout fired.
+    Rto,
+    /// A failed/pruned subflow rejoined at the probing floor.
+    Reactivate,
+}
+
+impl CwndReason {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CwndReason::Ack => "ack",
+            CwndReason::FastRetransmit => "fast_retransmit",
+            CwndReason::RecoveryExit => "recovery_exit",
+            CwndReason::Rto => "rto",
+            CwndReason::Reactivate => "reactivate",
+        }
+    }
+}
+
+/// Packet kind as far as the network is concerned, mirrored from `netsim`
+/// as a plain label (this crate sits below `netsim` in the dependency
+/// order). The invariant checker uses it to count only data packets toward
+/// delivered-bytes conservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKindLabel {
+    /// A data segment.
+    Data,
+    /// A (cumulative) acknowledgment.
+    Ack,
+}
+
+impl PacketKindLabel {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PacketKindLabel::Data => "data",
+            PacketKindLabel::Ack => "ack",
+        }
+    }
+}
+
+/// Path-manager subflow classification, mirrored from `tcpsim` as plain
+/// labels so this crate stays below the transport in the dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubflowState {
+    /// Normal operation.
+    Active,
+    /// Consecutive RTOs; retransmit-only.
+    PotentiallyFailed,
+    /// Declared dead; timed re-probes only.
+    Failed,
+    /// Removed from the established set by the §VII pruning extension.
+    Pruned,
+}
+
+impl SubflowState {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SubflowState::Active => "active",
+            SubflowState::PotentiallyFailed => "potentially_failed",
+            SubflowState::Failed => "failed",
+            SubflowState::Pruned => "pruned",
+        }
+    }
+}
+
+/// One structured simulation event.
+///
+/// Identifiers are plain integers (queue index, connection tag, subflow
+/// index) rather than the simulator's newtypes: the trace layer sits below
+/// `netsim`/`tcpsim` in the dependency order, and plain integers keep the
+/// wire format self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A packet was admitted to a queue. `qlen` is the buffer occupancy in
+    /// packets *after* admission.
+    Enqueue {
+        /// Queue index.
+        queue: u32,
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Data segment or ACK.
+        kind: PacketKindLabel,
+        /// Transport sequence number (packet units).
+        seq: u64,
+        /// Wire size in bytes.
+        size: u32,
+        /// Queue occupancy after admission, packets.
+        qlen: u32,
+    },
+    /// A packet finished serializing and left a queue.
+    Dequeue {
+        /// Queue index.
+        queue: u32,
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Data segment or ACK.
+        kind: PacketKindLabel,
+        /// Transport sequence number.
+        seq: u64,
+        /// Wire size in bytes.
+        size: u32,
+    },
+    /// A packet was dropped (or ECN-style early-marked) on admission.
+    Drop {
+        /// Queue index.
+        queue: u32,
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Data segment or ACK.
+        kind: PacketKindLabel,
+        /// Transport sequence number.
+        seq: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A data packet's payload was delivered in order at the receiving
+    /// endpoint (counts once per unique sequence number).
+    Deliver {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow the packet arrived on.
+        subflow: u16,
+        /// Packets newly delivered in order by this arrival.
+        newly: u64,
+        /// Cumulative in-order packets delivered on this subflow.
+        total: u64,
+    },
+    /// A subflow's congestion window (and ssthresh) changed.
+    Cwnd {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// New congestion window, MSS.
+        cwnd: f64,
+        /// Current slow-start threshold, MSS.
+        ssthresh: f64,
+        /// What caused the change.
+        reason: CwndReason,
+    },
+    /// A retransmission timeout fired.
+    RtoFire {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Backoff exponent *after* this timeout.
+        backoff: u32,
+        /// The RTO interval that just expired, nanoseconds.
+        rto_ns: u64,
+    },
+    /// Fast retransmit of `seq` after the dup-ACK threshold.
+    FastRetransmit {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Retransmitted sequence number.
+        seq: u64,
+    },
+    /// The path manager (or the pruning extension) reclassified a subflow.
+    SubflowState {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Previous classification.
+        from: SubflowState,
+        /// New classification.
+        to: SubflowState,
+    },
+    /// A re-probe of a failed subflow was transmitted.
+    Probe {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// Probed (retransmitted) sequence number.
+        seq: u64,
+        /// Next re-probe interval, nanoseconds.
+        next_interval_ns: u64,
+    },
+    /// A fault-plan action was applied to a queue.
+    Fault {
+        /// Queue index the action targeted.
+        queue: u32,
+        /// Stable action label (`link_down`, `set_rate`, ...).
+        action: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type label (the `ev` field on the wire).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Cwnd { .. } => "cwnd",
+            TraceEvent::RtoFire { .. } => "rto",
+            TraceEvent::FastRetransmit { .. } => "fast_retransmit",
+            TraceEvent::SubflowState { .. } => "subflow_state",
+            TraceEvent::Probe { .. } => "probe",
+            TraceEvent::Fault { .. } => "fault",
+        }
+    }
+
+    /// The queue this event concerns, if any (used by queue filters).
+    pub fn queue(&self) -> Option<u32> {
+        match self {
+            TraceEvent::Enqueue { queue, .. }
+            | TraceEvent::Dequeue { queue, .. }
+            | TraceEvent::Drop { queue, .. }
+            | TraceEvent::Fault { queue, .. } => Some(*queue),
+            _ => None,
+        }
+    }
+
+    /// The connection this event concerns, if any (used by flow filters).
+    pub fn conn(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Enqueue { conn, .. }
+            | TraceEvent::Dequeue { conn, .. }
+            | TraceEvent::Drop { conn, .. }
+            | TraceEvent::Deliver { conn, .. }
+            | TraceEvent::Cwnd { conn, .. }
+            | TraceEvent::RtoFire { conn, .. }
+            | TraceEvent::FastRetransmit { conn, .. }
+            | TraceEvent::SubflowState { conn, .. }
+            | TraceEvent::Probe { conn, .. } => Some(*conn),
+            TraceEvent::Fault { .. } => None,
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    ///
+    /// Field order is fixed, floats use Rust's shortest-roundtrip `Display`,
+    /// and times are integer nanoseconds — so identical runs serialize to
+    /// byte-identical traces (the determinism tests hash this output).
+    pub fn to_jsonl(&self, t: SimTime) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"t_ns\":{},\"ev\":\"{}\"", t.as_nanos(), self.kind());
+        match self {
+            TraceEvent::Enqueue {
+                queue,
+                conn,
+                subflow,
+                kind,
+                seq,
+                size,
+                qlen,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"queue\":{queue},\"conn\":{conn},\"subflow\":{subflow},\"kind\":\"{}\",\"seq\":{seq},\"size\":{size},\"qlen\":{qlen}",
+                    kind.label()
+                );
+            }
+            TraceEvent::Dequeue {
+                queue,
+                conn,
+                subflow,
+                kind,
+                seq,
+                size,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"queue\":{queue},\"conn\":{conn},\"subflow\":{subflow},\"kind\":\"{}\",\"seq\":{seq},\"size\":{size}",
+                    kind.label()
+                );
+            }
+            TraceEvent::Drop {
+                queue,
+                conn,
+                subflow,
+                kind,
+                seq,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"queue\":{queue},\"conn\":{conn},\"subflow\":{subflow},\"kind\":\"{}\",\"seq\":{seq},\"reason\":\"{}\"",
+                    kind.label(),
+                    reason.label()
+                );
+            }
+            TraceEvent::Deliver {
+                conn,
+                subflow,
+                newly,
+                total,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"newly\":{newly},\"total\":{total}"
+                );
+            }
+            TraceEvent::Cwnd {
+                conn,
+                subflow,
+                cwnd,
+                ssthresh,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"cwnd\":{cwnd},\"ssthresh\":{ssthresh},\"reason\":\"{}\"",
+                    reason.label()
+                );
+            }
+            TraceEvent::RtoFire {
+                conn,
+                subflow,
+                backoff,
+                rto_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"backoff\":{backoff},\"rto_ns\":{rto_ns}"
+                );
+            }
+            TraceEvent::FastRetransmit { conn, subflow, seq } => {
+                let _ = write!(s, ",\"conn\":{conn},\"subflow\":{subflow},\"seq\":{seq}");
+            }
+            TraceEvent::SubflowState {
+                conn,
+                subflow,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"from\":\"{}\",\"to\":\"{}\"",
+                    from.label(),
+                    to.label()
+                );
+            }
+            TraceEvent::Probe {
+                conn,
+                subflow,
+                seq,
+                next_interval_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"seq\":{seq},\"next_interval_ns\":{next_interval_ns}"
+                );
+            }
+            TraceEvent::Fault { queue, action } => {
+                let _ = write!(s, ",\"queue\":{queue},\"action\":\"{action}\"");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_shape_is_stable() {
+        let ev = TraceEvent::Enqueue {
+            queue: 3,
+            conn: 7,
+            subflow: 1,
+            kind: PacketKindLabel::Data,
+            seq: 42,
+            size: 1500,
+            qlen: 9,
+        };
+        assert_eq!(
+            ev.to_jsonl(SimTime::from_nanos(1_000)),
+            r#"{"t_ns":1000,"ev":"enqueue","queue":3,"conn":7,"subflow":1,"kind":"data","seq":42,"size":1500,"qlen":9}"#
+        );
+    }
+
+    #[test]
+    fn cwnd_floats_roundtrip() {
+        let ev = TraceEvent::Cwnd {
+            conn: 0,
+            subflow: 0,
+            cwnd: 2.5,
+            ssthresh: 1e9,
+            reason: CwndReason::Ack,
+        };
+        let line = ev.to_jsonl(SimTime::ZERO);
+        assert!(line.contains("\"cwnd\":2.5"), "{line}");
+        assert!(line.contains("\"reason\":\"ack\""), "{line}");
+    }
+
+    #[test]
+    fn queue_and_conn_accessors() {
+        let drop = TraceEvent::Drop {
+            queue: 5,
+            conn: 2,
+            subflow: 0,
+            kind: PacketKindLabel::Data,
+            seq: 1,
+            reason: DropReason::Tail,
+        };
+        assert_eq!(drop.queue(), Some(5));
+        assert_eq!(drop.conn(), Some(2));
+        let fault = TraceEvent::Fault {
+            queue: 1,
+            action: "link_down",
+        };
+        assert_eq!(fault.queue(), Some(1));
+        assert_eq!(fault.conn(), None);
+        let cwnd = TraceEvent::Cwnd {
+            conn: 9,
+            subflow: 0,
+            cwnd: 1.0,
+            ssthresh: 2.0,
+            reason: CwndReason::Rto,
+        };
+        assert_eq!(cwnd.queue(), None);
+        assert_eq!(cwnd.conn(), Some(9));
+    }
+
+    #[test]
+    fn every_kind_serializes_with_its_label() {
+        let events = [
+            (
+                TraceEvent::Dequeue {
+                    queue: 0,
+                    conn: 0,
+                    subflow: 0,
+                    kind: PacketKindLabel::Ack,
+                    seq: 0,
+                    size: 40,
+                },
+                "dequeue",
+            ),
+            (
+                TraceEvent::Deliver {
+                    conn: 0,
+                    subflow: 0,
+                    newly: 1,
+                    total: 10,
+                },
+                "deliver",
+            ),
+            (
+                TraceEvent::RtoFire {
+                    conn: 0,
+                    subflow: 0,
+                    backoff: 2,
+                    rto_ns: 1,
+                },
+                "rto",
+            ),
+            (
+                TraceEvent::FastRetransmit {
+                    conn: 0,
+                    subflow: 0,
+                    seq: 3,
+                },
+                "fast_retransmit",
+            ),
+            (
+                TraceEvent::SubflowState {
+                    conn: 0,
+                    subflow: 0,
+                    from: SubflowState::Active,
+                    to: SubflowState::Failed,
+                },
+                "subflow_state",
+            ),
+            (
+                TraceEvent::Probe {
+                    conn: 0,
+                    subflow: 0,
+                    seq: 0,
+                    next_interval_ns: 5,
+                },
+                "probe",
+            ),
+        ];
+        for (ev, kind) in events {
+            assert_eq!(ev.kind(), kind);
+            assert!(ev.to_jsonl(SimTime::ZERO).contains(kind));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Structured event tracing for the simulator.
+//!
+//! The paper's claims (LIA's non-Pareto-optimality, OLIA's window/α
+//! dynamics) are arguments about *internal* congestion-control behavior, so
+//! this crate gives every layer a first-class way to narrate itself:
+//!
+//! - [`TraceEvent`] — the typed vocabulary: packet enqueue/dequeue/drop with
+//!   reasons, cwnd/ssthresh changes, RTO fires, fast retransmits, subflow
+//!   health transitions, re-probes, fault-plan actions.
+//! - [`TraceSink`] — where events go: [`NullSink`] (discard), [`RingSink`]
+//!   (bounded in-memory tail), [`JsonlSink`] (one JSON object per line, with
+//!   a byte-stable field order so same-seed runs are byte-identical).
+//! - [`Tracer`] — the emission handle threaded through `netsim`/`tcpsim`.
+//!   Disabled (the default) it costs one branch per site and never
+//!   constructs the event; enabled it applies a [`TraceFilter`]
+//!   (per-connection / per-queue allow-lists) before the sink.
+//! - [`InvariantChecker`] — a sink that verifies transport invariants
+//!   (cwnd ≥ probing floor, per-flow delivery conservation) over any trace.
+//! - [`Digest64`] — FNV-1a over serialized traces for determinism tests.
+//!
+//! This crate depends only on `eventsim` (for `SimTime`); events carry raw
+//! integer ids so the layering stays acyclic.
+
+#![warn(missing_docs)]
+
+mod check;
+mod digest;
+mod event;
+mod sink;
+
+pub use check::{InvariantChecker, Violation};
+pub use digest::Digest64;
+pub use event::{CwndReason, DropReason, PacketKindLabel, SubflowState, TraceEvent};
+pub use sink::{JsonlSink, NullSink, RingSink, SharedSink, TraceFilter, TraceSink, Tracer};

@@ -1,0 +1,391 @@
+//! Pluggable trace sinks and the `Tracer` handle the simulator emits through.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use eventsim::SimTime;
+
+use crate::event::TraceEvent;
+
+/// Destination for trace events.
+///
+/// Contract: `record` is called in non-decreasing `t` order within one
+/// simulation; sinks must not reorder events. A sink may drop events (the
+/// ring buffer does, oldest-first) but must account for them. `flush` is
+/// called at end of run and must push any buffered bytes to the underlying
+/// writer.
+pub trait TraceSink {
+    /// Accept one event stamped with its simulation time.
+    fn record(&mut self, t: SimTime, ev: &TraceEvent);
+    /// Flush buffered output, if any.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything. Exists so code can hold a sink unconditionally;
+/// normally `Tracer::disabled()` avoids even constructing events.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _t: SimTime, _ev: &TraceEvent) {}
+}
+
+/// Bounded in-memory ring buffer keeping the most recent `capacity` events.
+///
+/// Useful for post-mortem inspection in tests and examples: run a scenario,
+/// then walk `events()` without paying for file I/O during the run.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (capacity 0 keeps none).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.buf.iter()
+    }
+
+    /// Total events offered to the sink.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted to respect the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        self.recorded += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back((t, ev.clone()));
+    }
+}
+
+/// Streams events as JSON Lines to any `Write` (file, `Vec<u8>`, ...).
+///
+/// One event per line, stable field order (see [`TraceEvent::to_jsonl`]),
+/// so identical runs produce byte-identical output.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer. Callers that target files should pass a
+    /// `BufWriter<File>`; the sink writes one line per event.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, lines: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Recover the writer (flushing is the caller's job via `flush`).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        // I/O errors are remembered by the writer; tracing must not panic
+        // mid-simulation, and `flush` surfaces persistent failures.
+        let line = ev.to_jsonl(t);
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.write_all(b"\n");
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Event filter applied before a sink sees anything.
+///
+/// Empty allow-lists mean "allow all" on that axis; the two axes compose
+/// conjunctively. Events that carry no queue (e.g. `Cwnd`) pass the queue
+/// filter, and vice versa, so filtering on one axis never hides the other
+/// axis's events.
+#[derive(Debug, Default, Clone)]
+pub struct TraceFilter {
+    conns: Vec<u64>,
+    queues: Vec<u32>,
+}
+
+impl TraceFilter {
+    /// Pass-everything filter.
+    pub fn all() -> Self {
+        TraceFilter::default()
+    }
+
+    /// Restrict to the given connection tags (additive across calls).
+    pub fn conns(mut self, conns: &[u64]) -> Self {
+        self.conns.extend_from_slice(conns);
+        self
+    }
+
+    /// Restrict to the given queue indices (additive across calls).
+    pub fn queues(mut self, queues: &[u32]) -> Self {
+        self.queues.extend_from_slice(queues);
+        self
+    }
+
+    /// Does `ev` pass the filter?
+    pub fn admits(&self, ev: &TraceEvent) -> bool {
+        if !self.conns.is_empty() {
+            if let Some(c) = ev.conn() {
+                if !self.conns.contains(&c) {
+                    return false;
+                }
+            }
+        }
+        if !self.queues.is_empty() {
+            if let Some(q) = ev.queue() {
+                if !self.queues.contains(&q) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the filter admits everything.
+    pub fn is_all(&self) -> bool {
+        self.conns.is_empty() && self.queues.is_empty()
+    }
+}
+
+/// Shared handle to one sink, cheap to clone into every simulator layer.
+pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
+
+/// The emission handle threaded through the simulator.
+///
+/// `Tracer::disabled()` is the default everywhere: `emit` then reduces to a
+/// single branch on an `Option` discriminant and the event-constructing
+/// closure is never evaluated, which is what keeps the disabled overhead
+/// near zero.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<SharedSink>,
+    filter: TraceFilter,
+}
+
+impl Tracer {
+    /// A tracer that drops everything without constructing events.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer forwarding every event to `sink`.
+    pub fn enabled(sink: SharedSink) -> Self {
+        Tracer {
+            sink: Some(sink),
+            filter: TraceFilter::all(),
+        }
+    }
+
+    /// Convenience: wrap a concrete sink in the shared handle.
+    pub fn to_sink<S: TraceSink + 'static>(sink: S) -> (Self, Rc<RefCell<S>>) {
+        let shared = Rc::new(RefCell::new(sink));
+        (Tracer::enabled(shared.clone()), shared)
+    }
+
+    /// Apply an event filter in front of the sink.
+    pub fn with_filter(mut self, filter: TraceFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Is a sink attached? (Lets callers skip expensive pre-computation.)
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit an event. The closure runs only when a sink is attached, so a
+    /// disabled tracer costs one branch and no event construction.
+    #[inline]
+    pub fn emit(&self, t: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let ev = make();
+            if self.filter.admits(&ev) {
+                sink.borrow_mut().record(t, &ev);
+            }
+        }
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.sink {
+            Some(sink) => sink.borrow_mut().flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("filter", &self.filter)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, PacketKindLabel};
+
+    fn enq(queue: u32, conn: u64, seq: u64) -> TraceEvent {
+        TraceEvent::Enqueue {
+            queue,
+            conn,
+            subflow: 0,
+            kind: PacketKindLabel::Data,
+            seq,
+            size: 1500,
+            qlen: 1,
+        }
+    }
+
+    #[test]
+    fn ring_sink_bounds_memory_and_counts_evictions() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.record(SimTime::from_nanos(i), &enq(0, 0, i));
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.evicted(), 3);
+        assert_eq!(ring.len(), 2);
+        let seqs: Vec<u64> = ring
+            .events()
+            .map(|(_, ev)| match ev {
+                TraceEvent::Enqueue { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4], "keeps the most recent events");
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_nothing() {
+        let mut ring = RingSink::new(0);
+        ring.record(SimTime::ZERO, &enq(0, 0, 0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 1);
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(SimTime::from_nanos(5), &enq(1, 2, 3));
+        sink.record(
+            SimTime::from_nanos(6),
+            &TraceEvent::Drop {
+                queue: 1,
+                conn: 2,
+                subflow: 0,
+                kind: PacketKindLabel::Data,
+                seq: 4,
+                reason: DropReason::Tail,
+            },
+        );
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_ns\":5,"));
+        assert!(lines[1].contains("\"reason\":\"tail\""));
+    }
+
+    #[test]
+    fn filter_axes_compose_and_ignore_missing_fields() {
+        let f = TraceFilter::all().conns(&[7]).queues(&[3]);
+        assert!(f.admits(&enq(3, 7, 0)));
+        assert!(!f.admits(&enq(3, 8, 0)), "wrong conn");
+        assert!(!f.admits(&enq(4, 7, 0)), "wrong queue");
+        // Cwnd has no queue: must pass a queue filter.
+        let cwnd = TraceEvent::Cwnd {
+            conn: 7,
+            subflow: 0,
+            cwnd: 1.0,
+            ssthresh: 2.0,
+            reason: crate::event::CwndReason::Ack,
+        };
+        assert!(f.admits(&cwnd));
+        // Fault has no conn: must pass a conn filter.
+        let fault = TraceEvent::Fault {
+            queue: 3,
+            action: "link_down",
+        };
+        assert!(f.admits(&fault));
+        assert!(!f.admits(&TraceEvent::Fault {
+            queue: 9,
+            action: "link_down",
+        }));
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let tracer = Tracer::disabled();
+        let mut built = false;
+        tracer.emit(SimTime::ZERO, || {
+            built = true;
+            enq(0, 0, 0)
+        });
+        assert!(!built, "closure must not run when disabled");
+        assert!(!tracer.is_enabled());
+        tracer.flush().unwrap();
+    }
+
+    #[test]
+    fn enabled_tracer_routes_through_filter_to_sink() {
+        let (tracer, ring) = Tracer::to_sink(RingSink::new(16));
+        let tracer = tracer.with_filter(TraceFilter::all().conns(&[1]));
+        tracer.emit(SimTime::ZERO, || enq(0, 1, 0));
+        tracer.emit(SimTime::ZERO, || enq(0, 2, 0));
+        assert_eq!(ring.borrow().len(), 1);
+    }
+}

@@ -59,8 +59,5 @@ fn main() {
     if let Some(at) = conn.handle.last_recovered_at(0) {
         println!("path 0 recovered at {at} (outage ended at 40s)");
     }
-    println!(
-        "path-0 down-drops: {}",
-        sim.queue_stats(f1).dropped_down
-    );
+    println!("path-0 down-drops: {}", sim.queue_stats(f1).dropped_down);
 }
