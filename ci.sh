@@ -1,17 +1,63 @@
 #!/usr/bin/env bash
-# Repo gate: build, tests, formatting, lints. Run before every merge.
+# Repo gate: build, tests, formatting, lints, static analysis. Run before
+# every merge.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline
-cargo test -q --offline
+
+# Tests: tolerate exactly the failures already present in the growth seed
+# (tests/known_seed_failures.txt) and fail on any NEW failure, so "no worse
+# than the seed" is machine-checked rather than eyeballed.
+test_log=$(mktemp)
+if cargo test -q --offline --no-fail-fast >"$test_log" 2>&1; then
+    echo "ci: all tests pass"
+else
+    grep -E '^[A-Za-z0-9_:]+ --- FAILED$' "$test_log" | sed 's/ --- FAILED//' | sort -u >"$test_log.failed"
+    grep -Ev '^\s*(#|$)' tests/known_seed_failures.txt | sort -u >"$test_log.known"
+    new_failures=$(comm -23 "$test_log.failed" "$test_log.known")
+    fixed=$(comm -13 "$test_log.failed" "$test_log.known")
+    if [[ -n "$new_failures" ]]; then
+        echo "ci: NEW test failures (not in tests/known_seed_failures.txt):"
+        echo "$new_failures"
+        tail -n 100 "$test_log"
+        exit 1
+    fi
+    if [[ ! -s "$test_log.failed" ]]; then
+        # cargo test failed but no per-test FAILED lines: build error or
+        # harness-level failure — never tolerable.
+        echo "ci: cargo test failed without per-test failures (build/harness error)"
+        tail -n 100 "$test_log"
+        exit 1
+    fi
+    echo "ci: only known seed failures present:"
+    sed 's/^/ci:   /' "$test_log.failed"
+    if [[ -n "$fixed" ]]; then
+        echo "ci: NOTE: these known failures now pass — remove them from tests/known_seed_failures.txt:"
+        echo "$fixed"
+    fi
+fi
+rm -f "$test_log" "$test_log.failed" "$test_log.known"
+
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 
+# Static-analysis gate: the workspace must lint clean under simlint (R1–R6,
+# see DESIGN.md "Static analysis & determinism rules"). Any unsuppressed
+# finding fails the gate; the JSON report is validated against the
+# mptcp-lint-report/v1 schema so downstream tooling can trust it.
+cargo build --release --offline -p simlint
+mkdir -p results
+./target/release/simlint --root . --json results/lint_report.json
+./target/release/simlint --validate results/lint_report.json
+
 # Observability gate: a fast traced scenario must produce a non-empty JSONL
-# trace and a schema-valid run report.
+# trace and a schema-valid run report. --strict: "no reports found" must
+# fail, not vacuously pass.
 cargo build --release --offline -p bench
 rm -f results/ci_trace.*.jsonl results/repro_run.json
 MPTCP_TRACE=results/ci_trace ./target/release/repro_run scenarios/lossy_backup.json
 test -s results/ci_trace.custom.seed11.jsonl
-./target/release/validate_report results/repro_run.json
+./target/release/validate_report --strict results/repro_run.json
+
+echo "ci: all gates passed"

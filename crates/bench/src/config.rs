@@ -26,7 +26,7 @@
 //! }
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eventsim::{SimDuration, SimRng, SimTime};
 use metrics::Registry;
@@ -295,7 +295,9 @@ pub fn parse_scenario(json: &str) -> Result<ScenarioFile, String> {
 pub fn run_scenario(spec: &ScenarioFile) -> Result<ScenarioReport, String> {
     let mut sim = Simulation::new(spec.seed);
     let _trace = crate::tracing::attach_from_env(&mut sim, "custom", spec.seed);
-    let mut by_name: HashMap<&str, QueueId> = HashMap::new();
+    // BTreeMap, not HashMap: only keyed lookups today, but a sorted map
+    // keeps any future iteration (e.g. error listings) deterministic.
+    let mut by_name: BTreeMap<&str, QueueId> = BTreeMap::new();
     for link in &spec.links {
         if link.rate_mbps <= 0.0 {
             return Err(format!("link {}: rate must be positive", link.name));

@@ -27,6 +27,7 @@ impl SimTime {
     /// Construct from seconds expressed as a float (rounded to nanoseconds).
     ///
     /// Panics if `secs` is negative or non-finite.
+    // simlint: allow(R6) this constructor IS the typed-unit boundary raw seconds enter through
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
         SimTime((secs * 1e9).round() as u64)
@@ -80,6 +81,7 @@ impl SimDuration {
     /// Construct from seconds expressed as a float (rounded to nanoseconds).
     ///
     /// Panics if `secs` is negative or non-finite.
+    // simlint: allow(R6) this constructor IS the typed-unit boundary raw seconds enter through
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
         SimDuration((secs * 1e9).round() as u64)
@@ -132,6 +134,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(R5) deliberate loud panic: negative time is a logic error; saturating_since is the non-panicking API
                 .expect("SimTime subtraction underflow"),
         )
     }
@@ -156,6 +159,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(R5) deliberate loud panic: a negative duration is a logic error, not a recoverable state
                 .expect("SimDuration subtraction underflow"),
         )
     }

@@ -1,0 +1,229 @@
+//! The checked-in `simlint.toml` path-level allow-list.
+//!
+//! Inline `// simlint: allow(..)` comments suppress a single line; some
+//! exemptions are a property of a whole file or directory (the vendored
+//! `compat/criterion` stand-in *exists* to read the wall clock), and those
+//! belong in one auditable place rather than sprinkled through vendored
+//! code. The format is a tiny TOML subset — exactly this shape:
+//!
+//! ```toml
+//! [[allow]]
+//! path = "compat/criterion"          # workspace-relative prefix
+//! rules = ["R1"]                     # rule ids this entry suppresses
+//! reason = "why this is legitimate"  # required, non-empty
+//! ```
+//!
+//! The parser is line-based and strict: unknown keys, unknown sections,
+//! missing fields, or an empty reason are hard errors, so the allow-list
+//! cannot rot silently.
+
+use crate::rules::RULES;
+
+/// One `[[allow]]` entry: suppress `rules` for every file whose
+/// workspace-relative path starts with `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathAllow {
+    /// Workspace-relative path prefix (forward slashes).
+    pub path: String,
+    /// Rule ids (`"R1"` … `"R6"`) suppressed under the prefix.
+    pub rules: Vec<String>,
+    /// Written justification (required, non-empty).
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Path-level allow entries, in file order.
+    pub allows: Vec<PathAllow>,
+}
+
+impl Config {
+    /// The rules suppressed for `rel_path` by path-level entries, with the
+    /// matching entry's reason.
+    pub fn path_allow(&self, rel_path: &str, rule: &str) -> Option<&PathAllow> {
+        self.allows
+            .iter()
+            .find(|a| rel_path.starts_with(&a.path) && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parse `simlint.toml` text. Errors carry 1-based line numbers.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut current: Option<PartialAllow> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(partial) = current.take() {
+                config.allows.push(partial.finish()?);
+            }
+            current = Some(PartialAllow::new(lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section {line:?}"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("line {lineno}: key outside an [[allow]] section"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "path" => entry.path = Some(parse_string(value, lineno)?),
+            "reason" => entry.reason = Some(parse_string(value, lineno)?),
+            "rules" => entry.rules = Some(parse_string_array(value, lineno)?),
+            other => return Err(format!("line {lineno}: unknown key {other:?}")),
+        }
+    }
+    if let Some(partial) = current.take() {
+        config.allows.push(partial.finish()?);
+    }
+    Ok(config)
+}
+
+/// Drop a trailing `# …` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!(
+            "line {lineno}: escapes are not supported in this TOML subset"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected an array like [\"R1\"]"))?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        items.push(parse_string(piece, lineno)?);
+    }
+    if items.is_empty() {
+        return Err(format!("line {lineno}: rules array must not be empty"));
+    }
+    Ok(items)
+}
+
+/// An `[[allow]]` section mid-parse.
+struct PartialAllow {
+    start_line: usize,
+    path: Option<String>,
+    rules: Option<Vec<String>>,
+    reason: Option<String>,
+}
+
+impl PartialAllow {
+    fn new(start_line: usize) -> Self {
+        PartialAllow {
+            start_line,
+            path: None,
+            rules: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self) -> Result<PathAllow, String> {
+        let at = self.start_line;
+        let path = self
+            .path
+            .ok_or_else(|| format!("[[allow]] at line {at}: missing `path`"))?;
+        let rules = self
+            .rules
+            .ok_or_else(|| format!("[[allow]] at line {at}: missing `rules`"))?;
+        let reason = self
+            .reason
+            .ok_or_else(|| format!("[[allow]] at line {at}: missing `reason`"))?;
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "[[allow]] at line {at}: reason must be a written justification"
+            ));
+        }
+        for rule in &rules {
+            if !RULES.iter().any(|r| r.id == rule) {
+                return Err(format!("[[allow]] at line {at}: unknown rule {rule:?}"));
+            }
+        }
+        Ok(PathAllow {
+            path,
+            rules,
+            reason,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_entry() {
+        let cfg = parse(
+            "# header comment\n\n[[allow]]\npath = \"compat/criterion\" # trailing\nrules = [\"R1\", \"R5\"]\nreason = \"stand-in measures wall-clock by design\"\n",
+        )
+        .expect("valid config");
+        assert_eq!(cfg.allows.len(), 1);
+        let a = &cfg.allows[0];
+        assert_eq!(a.path, "compat/criterion");
+        assert_eq!(a.rules, vec!["R1", "R5"]);
+        assert!(cfg
+            .path_allow("compat/criterion/src/lib.rs", "R1")
+            .is_some());
+        assert!(cfg
+            .path_allow("compat/criterion/src/lib.rs", "R2")
+            .is_none());
+        assert!(cfg.path_allow("crates/netsim/src/sim.rs", "R1").is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = parse("[[allow]]\npath = \"x\"\nrules = [\"R1\"]\n").unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+        let err =
+            parse("[[allow]]\npath = \"x\"\nrules = [\"R1\"]\nreason = \"  \"\n").unwrap_err();
+        assert!(err.contains("written justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_and_key_are_errors() {
+        let err = parse("[[allow]]\npath = \"x\"\nrules = [\"R9\"]\nreason = \"r\"\n").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        let err = parse("[[allow]]\nfrob = \"x\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn keys_outside_a_section_are_errors() {
+        let err = parse("path = \"x\"\n").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+}

@@ -1,0 +1,464 @@
+//! A hand-rolled Rust lexer — just enough of the language to drive the
+//! determinism rules.
+//!
+//! The rules in [`crate::rules`] must not fire on the word `Instant` inside
+//! a doc comment, on `"HashMap"` inside a string literal, or on the ident
+//! `RedInstant` (a RED queue variant) — so substring grepping is out and a
+//! real token stream is in. The lexer understands exactly what the rules
+//! need and nothing more:
+//!
+//! * identifiers and keywords (one token kind; rules match on text),
+//! * integer vs float literals (R4 needs to know a `==` operand is a float),
+//! * string / raw-string / byte-string / char literals (skipped by rules),
+//! * lifetimes (so `'a` is not half a char literal),
+//! * line and block comments, kept as tokens — suppression annotations
+//!   (`// simlint: allow(..)`) live in comments, so they must survive,
+//! * multi-character operators (`==`, `!=`, `::`, …) as single tokens.
+//!
+//! Every token carries its 1-based line and column so findings point at the
+//! exact source location.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `pub`, `fn`, …).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2e9`, `0.5f32`).
+    Float,
+    /// A string, raw-string, byte-string, or char literal (contents opaque).
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (nesting handled).
+    BlockComment,
+    /// An operator or piece of punctuation (`==`, `::`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so `<<=` wins over `<<` and `<`.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `source` into a token stream. The lexer never fails: anything it
+/// does not recognise becomes a single-character [`TokenKind::Punct`],
+/// which no rule matches — a linter should degrade, not crash, on exotic
+/// input.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one character, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                '"' => {
+                    self.string_literal();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                'r' if matches!(self.peek(1), Some('"') | Some('#'))
+                    && self.raw_string_ahead(1) =>
+                {
+                    self.bump(); // r
+                    self.raw_string();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string_literal();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                '\'' => {
+                    // Lifetime or char literal: `'a` / `'static` vs `'a'`.
+                    if self.lifetime_ahead() {
+                        self.bump(); // '
+                        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                            self.bump();
+                        }
+                        self.emit(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_literal();
+                        self.emit(TokenKind::Literal, start, line, col);
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let kind = self.number();
+                    self.emit(kind, start, line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.operator();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is `'…` at the current position a lifetime (rather than a char
+    /// literal)? A lifetime is `'` + ident-start, *not* closed by a `'`
+    /// right after one character (that would be `'a'`).
+    fn lifetime_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(c) if c.is_alphabetic() || c == '_' => self.peek(2) != Some('\''),
+            _ => false,
+        }
+    }
+
+    /// Does `r`/`br` at the current position start a raw string? Checks for
+    /// `#…#"` or `"` at `offset` so `r` as a plain ident (`r = 5`) and
+    /// `r#keyword` idents do not swallow the file.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string starting at `#…#"`: consume hashes, the body, and the
+    /// matching `"#…#` closer.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening "
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Lex a number, deciding int vs float. Floats are: a `.` followed by a
+    /// digit (so `1.max(2)` and `0..n` stay integers), an exponent, or an
+    /// `f32`/`f64` suffix.
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        // Radix prefixes are always integers.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            float = true;
+            self.bump(); // .
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        } else if self.peek(0) == Some('.')
+            && !matches!(self.peek(1), Some(c) if c == '.' || c.is_alphabetic() || c == '_')
+        {
+            // Trailing-dot float like `1.` (not a range `1..` or method `1.max`).
+            float = true;
+            self.bump();
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.bump(); // e
+                if sign {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, …).
+        if matches!(self.peek(0), Some(c) if c.is_alphabetic()) {
+            if self.peek(0) == Some('f') {
+                float = true;
+            }
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn operator(&mut self) {
+        for op in OPERATORS {
+            let chars: Vec<char> = op.chars().collect();
+            if (0..chars.len()).all(|i| self.peek(i) == Some(chars[i])) {
+                for _ in 0..chars.len() {
+                    self.bump();
+                }
+                return;
+            }
+        }
+        self.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_are_whole_tokens() {
+        let toks = kinds("RedInstant Instant");
+        assert_eq!(toks[0], (TokenKind::Ident, "RedInstant".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "Instant".into()));
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("// Instant in a comment\nlet s = \"HashMap::new()\";");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("HashMap")));
+        // No bare `HashMap` ident token appears.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let x = r#"thread_rng() "quoted" "#; y"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("thread_rng")));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2e9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.0e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("42")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xFF_u64")[0].0, TokenKind::Int);
+        // `1.max(2)` lexes as int, dot, ident.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".into()));
+        // Ranges stay integral.
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

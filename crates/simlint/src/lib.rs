@@ -1,0 +1,81 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+//! `simlint` — project-specific determinism & sim-correctness static
+//! analysis for the MPTCP/OLIA reproduction.
+//!
+//! Every result this repository publishes (LIA vs OLIA fairness, Figs
+//! 1–17) rests on the simulator being bit-deterministic for a given seed.
+//! The trace-digest tests catch a nondeterminism *after* it ships; this
+//! tool rejects the hazard classes before they reach an event loop. It is
+//! deliberately dependency-free — a hand-rolled lexer ([`lexer`]), a tiny
+//! JSON module ([`json`]), and a tiny TOML-subset parser ([`config`]) —
+//! because it gates the rest of the workspace and must build offline from
+//! a bare toolchain.
+//!
+//! The rules (R1–R6) are documented in [`rules`] and in DESIGN.md's
+//! "Static analysis & determinism rules" section. Suppression is explicit
+//! and auditable: inline `// simlint: allow(<rule>) <reason>` comments for
+//! single sites, a checked-in `simlint.toml` ([`config`]) for path-level
+//! exemptions, and every suppression must carry a written reason. Findings
+//! are emitted human-readable and as a machine-readable JSON report
+//! ([`report`], schema `mptcp-lint-report/v1`).
+
+pub mod config;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+use config::Config;
+use rules::Finding;
+
+/// Everything one linting pass produced.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings across the workspace, suppressed ones included,
+    /// ordered by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl LintRun {
+    /// Findings not covered by any allow — these fail the gate.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+}
+
+/// Load `<root>/simlint.toml` (empty config if absent) and lint every
+/// `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintRun, String> {
+    let config_path = root.join("simlint.toml");
+    let config = if config_path.exists() {
+        let text = fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        config::parse(&text).map_err(|e| format!("simlint.toml: {e}"))?
+    } else {
+        Config::default()
+    };
+
+    let files = walk::rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = walk::relative(root, path);
+        let source = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        findings.extend(rules::lint_source(&rel, &source, &config));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(LintRun {
+        files_scanned: files.len(),
+        findings,
+    })
+}

@@ -1,0 +1,168 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+//! The `simlint` CLI — the workspace's determinism gate.
+//!
+//! ```text
+//! simlint [--root DIR] [--json FILE] [--all] [--quiet]   lint the workspace
+//! simlint --validate FILE...                             check lint reports
+//! simlint --list-rules                                   print the rule table
+//! ```
+//!
+//! Exit codes: 0 — clean (or all findings suppressed with reasons);
+//! 1 — at least one unsuppressed finding, or an invalid report under
+//! `--validate`; 2 — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::rules::{Finding, META_RULES, RULES};
+use simlint::{json, report};
+
+struct Options {
+    root: PathBuf,
+    json_out: Option<PathBuf>,
+    show_all: bool,
+    quiet: bool,
+    validate: Vec<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simlint [--root DIR] [--json FILE] [--all] [--quiet]\n\
+         \u{20}      simlint --validate FILE...\n\
+         \u{20}      simlint --list-rules"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json_out: None,
+        show_all: false,
+        quiet: false,
+        validate: Vec::new(),
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = args.next().map(PathBuf::from).ok_or_else(usage)?,
+            "--json" => opts.json_out = Some(args.next().map(PathBuf::from).ok_or_else(usage)?),
+            "--all" => opts.show_all = true,
+            "--quiet" => opts.quiet = true,
+            "--list-rules" => opts.list_rules = true,
+            "--validate" => {
+                opts.validate = args.by_ref().map(PathBuf::from).collect();
+                if opts.validate.is_empty() {
+                    return Err(usage());
+                }
+            }
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_finding(f: &Finding) {
+    let name = RULES
+        .iter()
+        .chain(META_RULES)
+        .find(|r| r.id == f.rule)
+        .map(|r| r.name)
+        .unwrap_or("?");
+    match &f.suppressed {
+        None => println!(
+            "{}:{}:{}: {} {}: {}",
+            f.file, f.line, f.col, f.rule, name, f.message
+        ),
+        Some(reason) => println!(
+            "{}:{}:{}: {} {} (suppressed: {})",
+            f.file, f.line, f.col, f.rule, name, reason
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    if opts.list_rules {
+        for r in RULES.iter().chain(META_RULES) {
+            println!("{}  {:22} {}", r.id, r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !opts.validate.is_empty() {
+        let mut failed = false;
+        for path in &opts.validate {
+            let outcome = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read: {e}"))
+                .and_then(|text| json::parse(&text).map_err(|e| format!("invalid JSON: {e}")))
+                .and_then(|doc| report::validate(&doc));
+            match outcome {
+                Ok(()) => println!("ok      {}", path.display()),
+                Err(e) => {
+                    println!("INVALID {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let run = match simlint::lint_workspace(&opts.root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for f in &run.findings {
+            if f.suppressed.is_none() || opts.show_all {
+                print_finding(f);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.json_out {
+        let doc = report::to_json(
+            &opts.root.to_string_lossy(),
+            run.files_scanned,
+            &run.findings,
+        );
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("simlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let unsuppressed = run.unsuppressed().count();
+    let suppressed = run.findings.len() - unsuppressed;
+    println!(
+        "simlint: {} files scanned, {} finding(s): {} suppressed with reasons, {} unsuppressed",
+        run.files_scanned,
+        run.findings.len(),
+        suppressed,
+        unsuppressed
+    );
+    if unsuppressed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

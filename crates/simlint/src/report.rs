@@ -1,0 +1,233 @@
+//! The machine-readable lint report (`mptcp-lint-report/v1`) and its
+//! schema validator.
+//!
+//! Mirrors the run-report discipline from the bench harness: every CI run
+//! writes `results/lint_report.json`, and the same binary re-reads and
+//! validates it, so schema drift fails in the change that introduces it.
+//! Suppressed findings are included with their reasons — the report is the
+//! audit trail for every `allow` in the tree.
+//!
+//! Shape (all top-level fields required):
+//!
+//! ```json
+//! {
+//!   "schema": "mptcp-lint-report/v1",
+//!   "root": ".",
+//!   "files_scanned": 140,
+//!   "rules": [ { "id": "R1", "name": "wall-clock", "summary": "…" } ],
+//!   "findings": [
+//!     { "rule": "R1", "file": "crates/netsim/src/profile.rs", "line": 65,
+//!       "col": 25, "message": "…", "suppressed": true, "reason": "…" }
+//!   ],
+//!   "summary": { "suppressed": 9, "unsuppressed": 0 }
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::rules::{Finding, META_RULES, RULES};
+
+/// Version tag carried in every report's `schema` field.
+pub const SCHEMA: &str = "mptcp-lint-report/v1";
+
+/// Build the report document.
+pub fn to_json(root: &str, files_scanned: usize, findings: &[Finding]) -> Json {
+    let rules = RULES
+        .iter()
+        .chain(META_RULES)
+        .map(|r| {
+            Json::Obj(vec![
+                ("id".into(), Json::Str(r.id.into())),
+                ("name".into(), Json::Str(r.name.into())),
+                ("summary".into(), Json::Str(r.summary.into())),
+            ])
+        })
+        .collect();
+    let entries = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("rule".into(), Json::Str(f.rule.into())),
+                ("file".into(), Json::Str(f.file.clone())),
+                ("line".into(), Json::Num(f.line as f64)),
+                ("col".into(), Json::Num(f.col as f64)),
+                ("message".into(), Json::Str(f.message.clone())),
+                ("suppressed".into(), Json::Bool(f.suppressed.is_some())),
+                (
+                    "reason".into(),
+                    match &f.suppressed {
+                        Some(reason) => Json::Str(reason.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("root".into(), Json::Str(root.into())),
+        ("files_scanned".into(), Json::Num(files_scanned as f64)),
+        ("rules".into(), Json::Arr(rules)),
+        ("findings".into(), Json::Arr(entries)),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("suppressed".into(), Json::Num(suppressed as f64)),
+                (
+                    "unsuppressed".into(),
+                    Json::Num((findings.len() - suppressed) as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Validate a parsed report against `mptcp-lint-report/v1`.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = field_str(doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    field_str(doc, "root")?;
+    field_count(doc, "files_scanned")?;
+
+    let known_ids: Vec<&str> = RULES.iter().chain(META_RULES).map(|r| r.id).collect();
+    let rules = doc
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or("missing `rules` array")?;
+    for (i, rule) in rules.iter().enumerate() {
+        for key in ["id", "name", "summary"] {
+            field_str(rule, key).map_err(|e| format!("rules[{i}]: {e}"))?;
+        }
+    }
+
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("missing `findings` array")?;
+    let mut suppressed = 0usize;
+    for (i, f) in findings.iter().enumerate() {
+        let at = |e: String| format!("findings[{i}]: {e}");
+        let rule = field_str(f, "rule").map_err(at)?;
+        if !known_ids.contains(&rule) {
+            return Err(format!("findings[{i}]: unknown rule {rule:?}"));
+        }
+        field_str(f, "file").map_err(at)?;
+        field_count(f, "line").map_err(at)?;
+        field_count(f, "col").map_err(at)?;
+        field_str(f, "message").map_err(at)?;
+        let is_suppressed = match f.get("suppressed") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("findings[{i}]: `suppressed` must be a bool")),
+        };
+        match (is_suppressed, f.get("reason")) {
+            (true, Some(Json::Str(reason))) if !reason.trim().is_empty() => suppressed += 1,
+            (true, _) => {
+                return Err(format!(
+                    "findings[{i}]: suppressed finding must carry a non-empty `reason`"
+                ))
+            }
+            (false, Some(Json::Null)) => {}
+            (false, _) => {
+                return Err(format!(
+                    "findings[{i}]: unsuppressed finding must have null `reason`"
+                ))
+            }
+        }
+    }
+
+    let summary = doc.get("summary").ok_or("missing `summary`")?;
+    let said_suppressed =
+        field_count(summary, "suppressed").map_err(|e| format!("summary: {e}"))?;
+    let said_unsuppressed =
+        field_count(summary, "unsuppressed").map_err(|e| format!("summary: {e}"))?;
+    if said_suppressed != suppressed || said_unsuppressed != findings.len() - suppressed {
+        return Err(format!(
+            "summary ({said_suppressed} suppressed / {said_unsuppressed} unsuppressed) \
+             disagrees with the findings array ({} / {})",
+            suppressed,
+            findings.len() - suppressed
+        ));
+    }
+    Ok(())
+}
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn field_count(doc: &Json, key: &str) -> Result<usize, String> {
+    let n = doc
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field `{key}` must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "R1",
+                file: "crates/netsim/src/profile.rs".into(),
+                line: 65,
+                col: 25,
+                message: "wall-clock".into(),
+                suppressed: Some("profiling is the point".into()),
+            },
+            Finding {
+                rule: "R2",
+                file: "crates/tcpsim/src/source.rs".into(),
+                line: 73,
+                col: 14,
+                message: "unordered".into(),
+                suppressed: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let doc = to_json(".", 140, &sample());
+        let text = doc.pretty();
+        let back = parse(&text).expect("report parses");
+        validate(&back).expect("report validates");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_lying_summary() {
+        let doc = to_json(".", 1, &sample());
+        let mut text = doc.pretty();
+        text = text.replace("mptcp-lint-report/v1", "mptcp-lint-report/v0");
+        assert!(validate(&parse(&text).unwrap())
+            .unwrap_err()
+            .contains("schema"));
+
+        let text = to_json(".", 1, &sample())
+            .pretty()
+            .replace("\"unsuppressed\": 1", "\"unsuppressed\": 0");
+        assert!(validate(&parse(&text).unwrap())
+            .unwrap_err()
+            .contains("disagrees"));
+    }
+
+    #[test]
+    fn validator_requires_reasons_on_suppressed_findings() {
+        let text = to_json(".", 1, &sample())
+            .pretty()
+            .replace("\"profiling is the point\"", "\"\"");
+        assert!(validate(&parse(&text).unwrap())
+            .unwrap_err()
+            .contains("non-empty `reason`"));
+    }
+}

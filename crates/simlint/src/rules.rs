@@ -1,0 +1,700 @@
+//! The determinism & sim-correctness rules (R1–R6) and the suppression
+//! machinery.
+//!
+//! Every figure in the paper reproduction assumes a seeded run is
+//! bit-reproducible; each rule here rejects one class of hazard that the
+//! trace-digest tests can only catch *after* it has shipped:
+//!
+//! | id | name | hazard |
+//! |----|------|--------|
+//! | R1 | wall-clock | `Instant`/`SystemTime` leak real time into sim logic |
+//! | R2 | unordered-collection | `HashMap`/`HashSet` iteration order varies per process |
+//! | R3 | os-random | `thread_rng`/`from_entropy`/`OsRng` bypass the experiment seed |
+//! | R4 | float-eq | `==`/`!=` on floats in congestion-control math |
+//! | R5 | hot-unwrap | `unwrap`/`expect` in the event-loop hot path |
+//! | R6 | raw-unit-api | `pub` sim APIs taking raw `f64` seconds where `SimDuration` exists |
+//!
+//! Suppression is explicit and auditable: an inline
+//! `// simlint: allow(R2) <reason>` comment suppresses matching findings on
+//! its own line and the line directly below it, and must carry a non-empty
+//! reason. A malformed or reason-less annotation is itself a finding (A1),
+//! as is an annotation that suppresses nothing (A2) — so stale allows are
+//! flushed out instead of accumulating.
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lint rule's identity, for `--list-rules` and the JSON report.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id (`"R1"` …) used in `allow(..)` annotations.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description of the hazard.
+    pub summary: &'static str,
+}
+
+/// The suppressible determinism rules.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "R1",
+        name: "wall-clock",
+        summary: "std::time::Instant/SystemTime outside profiling code makes runs time-dependent",
+    },
+    Rule {
+        id: "R2",
+        name: "unordered-collection",
+        summary: "HashMap/HashSet in sim crates iterate in nondeterministic order",
+    },
+    Rule {
+        id: "R3",
+        name: "os-random",
+        summary: "thread_rng/from_entropy/OsRng bypass the experiment seed",
+    },
+    Rule {
+        id: "R4",
+        name: "float-eq",
+        summary: "==/!= on floats in congestion-control math is representation-fragile",
+    },
+    Rule {
+        id: "R5",
+        name: "hot-unwrap",
+        summary: "unwrap/expect in the event-loop hot path turns bugs into aborts mid-run",
+    },
+    Rule {
+        id: "R6",
+        name: "raw-unit-api",
+        summary: "pub sim APIs taking raw f64 seconds where a typed unit (SimDuration) exists",
+    },
+];
+
+/// The meta rules about annotations themselves; never suppressible.
+pub const META_RULES: &[Rule] = &[
+    Rule {
+        id: "A1",
+        name: "bad-allow",
+        summary: "malformed simlint annotation, unknown rule id, or missing reason",
+    },
+    Rule {
+        id: "A2",
+        name: "unused-allow",
+        summary: "a simlint allow annotation that suppresses no finding",
+    },
+];
+
+/// Crates whose behaviour feeds the event loop: any ordering or timing
+/// hazard here changes published numbers.
+const SIM_CRATE_PREFIXES: &[&str] = &[
+    "crates/netsim/",
+    "crates/tcpsim/",
+    "crates/eventsim/",
+    "crates/core/",
+    "crates/topo/",
+];
+
+/// Event-loop hot paths for R5: the scheduler itself and the netsim
+/// dispatch loop. A panic here kills a multi-hour experiment.
+const HOT_PATH_PREFIXES: &[&str] = &["crates/netsim/src/sim.rs", "crates/eventsim/src/"];
+
+/// Congestion-control math (R4) lives in the algorithm crate.
+const CC_MATH_PREFIX: &str = "crates/core/";
+
+/// One reported violation (possibly suppressed).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`"R1"`… or `"A1"`/`"A2"`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was matched and why it is a hazard.
+    pub message: String,
+    /// `Some(reason)` when an inline or path-level allow covers this.
+    pub suppressed: Option<String>,
+}
+
+/// A parsed `// simlint: allow(..)` annotation.
+#[derive(Debug)]
+struct InlineAllow {
+    rules: Vec<String>,
+    reason: String,
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Lint one file's source as `rel_path` (workspace-relative, forward
+/// slashes). Returns every finding, suppressed ones included, sorted by
+/// position.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Finding> {
+    let tokens = lex(source);
+    let in_test = mark_test_code(&tokens);
+    let mut findings = Vec::new();
+    let mut allows = collect_allows(rel_path, &tokens, &mut findings);
+
+    check_idents(rel_path, &tokens, &in_test, &mut findings);
+    check_float_eq(rel_path, &tokens, &mut findings);
+    check_hot_unwrap(rel_path, &tokens, &in_test, &mut findings);
+    check_raw_unit_api(rel_path, &tokens, &in_test, &mut findings);
+
+    // Apply suppressions: inline annotations first (same line or the line
+    // directly above), then the checked-in path-level allow-list.
+    for f in &mut findings {
+        if f.rule.starts_with('A') {
+            continue; // meta findings are never suppressible
+        }
+        if let Some(allow) = allows.iter_mut().find(|a| {
+            a.rules.iter().any(|r| r == f.rule) && (a.line == f.line || a.line + 1 == f.line)
+        }) {
+            allow.used = true;
+            f.suppressed = Some(allow.reason.clone());
+            continue;
+        }
+        if let Some(entry) = config.path_allow(rel_path, f.rule) {
+            f.suppressed = Some(format!("simlint.toml[{}]: {}", entry.path, entry.reason));
+        }
+    }
+
+    // Stale annotations are findings too.
+    for allow in &allows {
+        if !allow.used {
+            findings.push(Finding {
+                rule: "A2",
+                file: rel_path.to_string(),
+                line: allow.line,
+                col: allow.col,
+                message: format!(
+                    "allow({}) suppresses nothing on this or the next line — remove it",
+                    allow.rules.join(", ")
+                ),
+                suppressed: None,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+fn in_sim_crate(rel_path: &str) -> bool {
+    SIM_CRATE_PREFIXES.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// Mark which tokens sit inside test-only code (`#[cfg(test)]` / `#[test]`
+/// items). R1, R3, R5, and R6 skip test code — a test panicking or reading
+/// the clock endangers no experiment — while R2 applies everywhere because
+/// digest-comparison *tests* are exactly where iteration order bites.
+fn mark_test_code(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Skip to the end of the attribute, then mark the item it
+            // decorates: everything up to the matching `}` of its first
+            // brace block (or a `;` before any brace opens).
+            let attr_start = i;
+            while i < tokens.len() && !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "]")
+            {
+                i += 1;
+            }
+            let mut depth = 0i32;
+            let mut j = i;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for flag in in_test
+                .iter_mut()
+                .take((j + 1).min(tokens.len()))
+                .skip(attr_start)
+            {
+                *flag = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Does `#[...]` starting at token `i` gate on tests? Matches `#[test]`,
+/// `#[cfg(test)]`, and composed forms, but not `#[cfg(not(test))]`.
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+        return false;
+    }
+    let Some(open) = tokens.get(i + 1) else {
+        return false;
+    };
+    if !(open.kind == TokenKind::Punct && open.text == "[") {
+        return false;
+    }
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in &tokens[i + 2..] {
+        if t.kind == TokenKind::Punct && t.text == "]" {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Parse every `// simlint: allow(..) reason` comment; malformed ones
+/// become A1 findings immediately.
+fn collect_allows(
+    rel_path: &str,
+    tokens: &[Token],
+    findings: &mut Vec<Finding>,
+) -> Vec<InlineAllow> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        // The directive must open the comment (`// simlint: …`); a
+        // mid-comment mention is documentation about the syntax, not a
+        // suppression — simlint's own docs would otherwise self-flag.
+        let Some(directive) = comment_content(&t.text).strip_prefix("simlint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let mut bad = |why: &str| {
+            findings.push(Finding {
+                rule: "A1",
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("bad simlint annotation: {why}"),
+                suppressed: None,
+            });
+        };
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            bad("expected `allow(<rule>, ..) <reason>`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("unclosed `allow(`");
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("allow() names no rule");
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !RULES.iter().any(|k| k.id == *r)) {
+            bad(&format!("unknown rule {unknown:?}"));
+            continue;
+        }
+        let reason = rest[close + 1..].trim().trim_end_matches("*/").trim();
+        if reason.is_empty() {
+            bad("missing reason — every suppression must say why it is sound");
+            continue;
+        }
+        allows.push(InlineAllow {
+            rules,
+            reason: reason.to_string(),
+            line: t.line,
+            col: t.col,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// The prose of a comment token: text after `//`/`///`/`//!` or
+/// `/*`/`/**`/`/*!`, leading whitespace dropped.
+fn comment_content(text: &str) -> &str {
+    let body = if let Some(rest) = text.strip_prefix("//") {
+        rest.strip_prefix(['/', '!']).unwrap_or(rest)
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        rest.strip_prefix(['*', '!']).unwrap_or(rest)
+    } else {
+        text
+    };
+    body.trim_start()
+}
+
+/// R1 + R2 + R3: single-identifier hazards.
+fn check_idents(rel_path: &str, tokens: &[Token], in_test: &[bool], findings: &mut Vec<Finding>) {
+    let sim = in_sim_crate(rel_path);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let mut push = |rule: &'static str, message: String| {
+            findings.push(Finding {
+                rule,
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                suppressed: None,
+            });
+        };
+        match t.text.as_str() {
+            "Instant" | "SystemTime" if !in_test[i] => push(
+                "R1",
+                format!(
+                    "wall-clock type `{}` — sim logic must use SimTime; annotate if this is \
+                     genuinely profiling code",
+                    t.text
+                ),
+            ),
+            "HashMap" | "HashSet" if sim => push(
+                "R2",
+                format!(
+                    "`{}` in a sim crate iterates in nondeterministic order — use \
+                     BTreeMap/BTreeSet, or annotate with proof it is never iterated",
+                    t.text
+                ),
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" if !in_test[i] => push(
+                "R3",
+                format!(
+                    "`{}` draws OS entropy — every stochastic choice must come from the \
+                     seeded SimRng",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// R4: `==` / `!=` with a float-literal operand, inside `crates/core`.
+///
+/// A lexer cannot type-infer, so this intentionally catches only the
+/// literal-adjacent form (`x == 0.0`, `1.0 != y`) — which is also the form
+/// that actually appears in congestion-control code.
+fn check_float_eq(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !rel_path.starts_with(CC_MATH_PREFIX) {
+        return;
+    }
+    let significant: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in significant.iter().enumerate() {
+        if !(t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        let prev_float = i > 0 && significant[i - 1].kind == TokenKind::Float;
+        let next_float = significant
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Float);
+        if prev_float || next_float {
+            findings.push(Finding {
+                rule: "R4",
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` against a float literal in congestion-control math — compare with \
+                     a tolerance or restructure around integer state",
+                    t.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// R5: `.unwrap()` / `.expect(` in event-loop hot paths, outside tests.
+fn check_hot_unwrap(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    if !HOT_PATH_PREFIXES.iter().any(|p| rel_path.starts_with(p)) {
+        return;
+    }
+    // Indices of non-comment tokens so `.  unwrap ()` with interleaved
+    // comments still matches.
+    let idx: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    for w in idx.windows(3) {
+        let (a, b, c) = (&tokens[w[0]], &tokens[w[1]], &tokens[w[2]]);
+        if in_test[w[1]] {
+            continue;
+        }
+        let is_call = a.kind == TokenKind::Punct
+            && a.text == "."
+            && b.kind == TokenKind::Ident
+            && (b.text == "unwrap" || b.text == "expect")
+            && c.kind == TokenKind::Punct
+            && c.text == "(";
+        if is_call {
+            findings.push(Finding {
+                rule: "R5",
+                file: rel_path.to_string(),
+                line: b.line,
+                col: b.col,
+                message: format!(
+                    "`.{}()` in an event-loop hot path — a panic here aborts a whole \
+                     experiment; handle the None/Err or annotate the invariant",
+                    b.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// R6: `pub fn` parameters of type `f64` whose names say they are raw
+/// seconds/milliseconds/nanoseconds, in sim crates — `SimDuration` /
+/// `SimTime` exist precisely so quantities carry their unit.
+fn check_raw_unit_api(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    if !in_sim_crate(rel_path) {
+        return;
+    }
+    let significant: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let tok = |k: usize| -> &Token { &tokens[significant[k]] };
+    let mut i = 0usize;
+    while i < significant.len() {
+        if !(tok(i).kind == TokenKind::Ident && tok(i).text == "pub") || in_test[significant[i]] {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip a visibility scope: `pub(crate)`, `pub(super)`, …
+        if j < significant.len() && tok(j).text == "(" {
+            let mut depth = 0i32;
+            while j < significant.len() {
+                match tok(j).text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !(j < significant.len() && tok(j).kind == TokenKind::Ident && tok(j).text == "fn") {
+            i += 1;
+            continue;
+        }
+        // Find the parameter list's opening paren (skip name + generics).
+        let mut k = j + 1;
+        let mut angle = 0i32;
+        while k < significant.len() {
+            match tok(k).text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" if angle <= 0 => break,
+                "{" | ";" => break, // malformed / paramless — bail out
+                _ => {}
+            }
+            k += 1;
+        }
+        if !(k < significant.len() && tok(k).text == "(") {
+            i = j + 1;
+            continue;
+        }
+        // Scan `name: f64` pairs inside the parameter parens.
+        let mut depth = 0i32;
+        while k < significant.len() {
+            match tok(k).text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if depth == 1
+                && tok(k).kind == TokenKind::Ident
+                && k + 2 < significant.len()
+                && tok(k + 1).text == ":"
+                && tok(k + 2).kind == TokenKind::Ident
+                && tok(k + 2).text == "f64"
+                && is_raw_time_name(&tok(k).text)
+            {
+                let t = tok(k);
+                findings.push(Finding {
+                    rule: "R6",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "pub API takes raw `{}: f64` — pass SimDuration/SimTime so the unit \
+                         travels with the value",
+                        t.text
+                    ),
+                    suppressed: None,
+                });
+            }
+            k += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Parameter names that denote a bare time quantity.
+fn is_raw_time_name(name: &str) -> bool {
+    matches!(
+        name,
+        "s" | "secs" | "seconds" | "ms" | "millis" | "ns" | "nanos"
+    ) || name.ends_with("_s")
+        || name.ends_with("_secs")
+        || name.ends_with("_seconds")
+        || name.ends_with("_ms")
+        || name.ends_with("_ns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src, &Config::default())
+    }
+
+    fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+        findings.iter().filter(|f| f.suppressed.is_none()).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_instant_but_not_in_comments_or_other_idents() {
+        let src = "// Instant in prose\nuse std::time::Instant; // real\nlet v = RedInstant;\n";
+        let f = lint("crates/bench/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("R1", 2));
+    }
+
+    #[test]
+    fn r2_only_in_sim_crates_and_also_in_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests { fn f() { let s = std::collections::HashSet::<u32>::new(); } }\n";
+        assert_eq!(lint("crates/netsim/src/x.rs", src).len(), 2);
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_scoped_to_hot_paths_and_skips_tests() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n#[test]\nfn t() { Some(1).unwrap(); }\n";
+        let f = lint("crates/eventsim/src/queue.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("R5", 1));
+        assert!(lint("crates/netsim/src/queue.rs", src).is_empty());
+        assert_eq!(lint("crates/netsim/src/sim.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn r4_literal_adjacent_float_equality_in_core_only() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(n: u64) -> bool { n != 3 }\n";
+        let f = lint("crates/core/src/olia.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("R4", 1));
+        assert!(lint("crates/netsim/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_raw_second_params_in_pub_sim_apis() {
+        let src = "pub fn run_for(warmup_s: f64, n: u64) {}\nfn private(warmup_s: f64) {}\npub fn typed(d: SimDuration) {}\n";
+        let f = lint("crates/topo/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("R6", 1));
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses_same_and_next_line_and_requires_reason() {
+        let src = "\
+// simlint: allow(R2) never iterated, keyed lookups only
+use std::collections::HashMap;
+use std::collections::HashSet; // simlint: allow(R2) dedup-only in setup
+";
+        let f = lint("crates/tcpsim/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(unsuppressed(&f).is_empty(), "{f:?}");
+
+        let missing_reason = "use std::collections::HashMap; // simlint: allow(R2)\n";
+        let f = lint("crates/tcpsim/src/x.rs", missing_reason);
+        assert!(f.iter().any(|x| x.rule == "A1"));
+        assert!(f.iter().any(|x| x.rule == "R2" && x.suppressed.is_none()));
+    }
+
+    #[test]
+    fn deleting_an_allow_resurfaces_the_finding() {
+        let with = "use std::collections::HashMap; // simlint: allow(R2) point lookups only\n";
+        let without = "use std::collections::HashMap;\n";
+        assert!(unsuppressed(&lint("crates/core/src/x.rs", with)).is_empty());
+        assert_eq!(
+            unsuppressed(&lint("crates/core/src/x.rs", without)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let f = lint(
+            "crates/core/src/x.rs",
+            "// simlint: allow(R1) nothing here reads a clock\nlet x = 1;\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "A2");
+    }
+
+    #[test]
+    fn path_allow_from_config_suppresses() {
+        let cfg = crate::config::parse(
+            "[[allow]]\npath = \"compat/criterion\"\nrules = [\"R1\"]\nreason = \"wall-clock is the product\"\n",
+        )
+        .unwrap();
+        let src = "use std::time::Instant;\n";
+        let f = lint_source("compat/criterion/src/lib.rs", src, &cfg);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.as_deref().unwrap().contains("wall-clock"));
+        let f = lint_source("crates/netsim/src/profile.rs", src, &cfg);
+        assert!(f[0].suppressed.is_none());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn f() { let t = Instant::now(); }\n";
+        let f = lint("crates/netsim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R1");
+    }
+}

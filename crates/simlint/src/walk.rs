@@ -1,0 +1,68 @@
+//! Deterministic workspace traversal.
+//!
+//! `read_dir` order is filesystem-dependent — a linter about determinism
+//! had better not emit findings in a different order per machine — so every
+//! directory listing is sorted before descent. Skipped subtrees:
+//!
+//! * `target/`, `.git/`, `results/` — build output, VCS, run artifacts;
+//! * any `fixtures/` directory — simlint's own test fixtures are
+//!   *intentionally* rule-violating snippets and must not gate the repo.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures"];
+
+/// Collect every `.rs` file under `root`, sorted by path.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    descend(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn descend(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            descend(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes (rule scoping and the
+/// report format are path-prefix based, so separators must be canonical).
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/repo");
+        let path = Path::new("/repo/crates/netsim/src/sim.rs");
+        assert_eq!(relative(root, path), "crates/netsim/src/sim.rs");
+    }
+}

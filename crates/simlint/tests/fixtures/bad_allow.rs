@@ -1,0 +1,9 @@
+// Fixture for A1 (bad-allow): annotations that are malformed, name an
+// unknown rule, or omit the mandatory reason. None of them suppress.
+use std::collections::HashMap; // simlint: allow(R2)
+
+// simlint: allow(R9) no such rule
+use std::collections::HashSet;
+
+// simlint: deny(R2) wrong verb
+fn misuse() {}

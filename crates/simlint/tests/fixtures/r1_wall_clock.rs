@@ -1,0 +1,13 @@
+// Known-bad fixture for R1 (wall-clock): reading real time from sim logic.
+// Linted as a virtual file inside `crates/netsim/src/`; expected findings
+// are asserted by tests/rules_fixtures.rs.
+use std::time::Instant; // line 4: R1
+
+fn service_delay() -> u64 {
+    // "Instantaneous" in prose and `RedInstant` as an ident must NOT fire.
+    let variant = RedInstant;
+    let started = Instant::now(); // line 9: R1
+    let _ = SystemTime::now(); // line 10: R1
+    let _ = "Instant inside a string literal";
+    started.elapsed().as_nanos() as u64
+}

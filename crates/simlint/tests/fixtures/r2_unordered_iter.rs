@@ -1,0 +1,24 @@
+// Known-bad fixture for R2 (unordered-collection): hash collections in a
+// sim crate. Iteration order of HashMap/HashSet varies per process, so any
+// event scheduled from such a loop reorders the whole run.
+use std::collections::HashMap; // line 4: R2
+
+fn tally(flows: &[u64]) {
+    let mut seen = std::collections::HashSet::new(); // line 7: R2
+    for f in flows {
+        seen.insert(*f);
+    }
+    // A BTreeMap is the deterministic replacement and must not fire.
+    let ordered: std::collections::BTreeMap<u64, u64> = Default::default();
+    let _ = (seen, ordered);
+}
+
+#[cfg(test)]
+mod tests {
+    // R2 applies inside test code too: digest-comparison tests are exactly
+    // where iteration order bites.
+    fn t() {
+        let s: super::HashMap<u32, u32> = Default::default(); // line 22: R2
+        let _ = s;
+    }
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for R3 (os-random): drawing entropy from the OS
+// instead of the seeded SimRng. One such call makes a "seeded" run
+// unrepeatable.
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // line 5: R3
+    rng.gen()
+}
+
+fn reseed() {
+    let _rng = StdRng::from_entropy(); // line 10: R3
+    let _os = OsRng; // line 11: R3
+}
+
+fn seeded_ok(seed: u64) {
+    // The deterministic path must not fire.
+    let _rng = SimRng::seed_from_u64(seed);
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture for R4 (float-eq): exact equality on floats in
+// congestion-control math. Linted as a virtual file inside `crates/core/`.
+fn alpha_weight(cwnd: f64, rtt: f64) -> f64 {
+    if cwnd == 0.0 {
+        // line 4: R4
+        return 0.0;
+    }
+    if 1.0 != rtt {
+        // line 8: R4
+        return cwnd / rtt;
+    }
+    // Integer equality and tolerance comparisons must not fire.
+    let k: u64 = 3;
+    if k == 3 && (cwnd - 1.0).abs() < 1e-9 {
+        return 1.0;
+    }
+    cwnd
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for R5 (hot-unwrap): panicking extractors in the
+// event-loop hot path. Linted as a virtual `crates/eventsim/src/` file.
+fn dispatch(events: &mut Vec<(u64, u32)>) {
+    let head = events.pop().unwrap(); // line 4: R5
+    let label = name_of(head.1).expect("endpoint must exist"); // line 5: R5
+    let _ = (head, label);
+}
+
+fn name_of(_id: u32) -> Option<&'static str> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap in test code is fine: a panicking test endangers no experiment.
+    fn t() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for R6 (raw-unit-api): a pub sim API taking bare f64
+// seconds where SimDuration exists. Linted as a virtual sim-crate file.
+pub fn run_for(warmup_s: f64, horizon_ms: f64) {
+    // line 3: R6 twice (warmup_s, horizon_ms)
+    let _ = (warmup_s, horizon_ms);
+}
+
+pub fn typed(duration: SimDuration, rate_bps: f64) {
+    // Typed units and non-time f64s (rate_bps) must not fire.
+    let _ = (duration, rate_bps);
+}
+
+fn private_helper(warmup_s: f64) -> f64 {
+    // Private fns are not API surface; the unit stays local.
+    warmup_s
+}

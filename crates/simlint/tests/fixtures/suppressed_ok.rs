@@ -1,0 +1,13 @@
+// Fixture: every hazard here carries a well-formed allow with a reason,
+// so the file produces findings but zero UNSUPPRESSED findings.
+// simlint: allow(R2) keyed lookups only; this map is never iterated
+use std::collections::HashMap;
+
+// simlint: allow(R1) profiling harness measuring real elapsed wall time
+use std::time::Instant;
+
+pub fn sample() {
+    let started = Instant::now(); // simlint: allow(R1) profiling readout
+    let m: HashMap<u32, u32> = Default::default(); // simlint: allow(R2) built and dropped, never iterated
+    let _ = (started, m);
+}

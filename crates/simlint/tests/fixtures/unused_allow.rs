@@ -1,0 +1,5 @@
+// Fixture for A2 (unused-allow): a stale annotation suppressing nothing.
+// simlint: allow(R1) left behind after the Instant call was removed
+fn clean() -> u64 {
+    42
+}

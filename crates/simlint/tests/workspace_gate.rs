@@ -1,0 +1,122 @@
+//! The gate itself, as a test: the real workspace must lint clean (zero
+//! unsuppressed findings, every suppression carrying a reason), and every
+//! inline `// simlint: allow` annotation in the real sources must be
+//! load-bearing — deleting any one of them makes the gate fail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use simlint::config::Config;
+use simlint::lexer::lex;
+use simlint::rules::lint_source;
+use simlint::{lint_workspace, walk};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn repo_config(root: &Path) -> Config {
+    let text = fs::read_to_string(root.join("simlint.toml")).unwrap();
+    simlint::config::parse(&text).unwrap()
+}
+
+#[test]
+fn workspace_lints_clean_with_reasoned_suppressions() {
+    let root = repo_root();
+    let run = lint_workspace(&root).unwrap();
+    assert!(run.files_scanned > 50, "walk missed the workspace");
+    let unsuppressed: Vec<_> = run.unsuppressed().collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "gate would fail — unsuppressed findings: {unsuppressed:#?}"
+    );
+    assert!(
+        !run.findings.is_empty(),
+        "the workspace is expected to carry audited, suppressed findings \
+         (profiling wall-clock reads, checked hot-path invariants)"
+    );
+    for f in &run.findings {
+        let reason = f.suppressed.as_deref().unwrap();
+        assert!(
+            !reason.trim().is_empty(),
+            "suppression without a written reason: {f:?}"
+        );
+    }
+}
+
+/// The (line, col) of every genuine inline allow annotation in `source`,
+/// found with simlint's own lexer — so annotation text sitting inside
+/// string literals (this crate's unit tests) or prose doc comments is
+/// never mistaken for a suppression.
+fn inline_allows(source: &str) -> Vec<(u32, u32)> {
+    lex(source)
+        .iter()
+        .filter(|t| t.is_comment())
+        .filter_map(|t| {
+            let rest = t.text.strip_prefix("//")?;
+            let rest = rest.strip_prefix(['/', '!']).unwrap_or(rest);
+            let directive = rest.trim_start().strip_prefix("simlint:")?;
+            directive
+                .trim_start()
+                .starts_with("allow(")
+                .then_some((t.line, t.col))
+        })
+        .collect()
+}
+
+#[test]
+fn deleting_any_inline_allow_in_real_sources_fails_the_gate() {
+    let root = repo_root();
+    let config = repo_config(&root);
+
+    let mut exercised = 0usize;
+    for path in walk::rust_files(&root).unwrap() {
+        let rel = walk::relative(&root, &path);
+        let source = fs::read_to_string(&path).unwrap();
+        let allows = inline_allows(&source);
+        if allows.is_empty() {
+            continue;
+        }
+        let baseline = lint_source(&rel, &source, &config)
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .count();
+        assert_eq!(baseline, 0, "{rel} is not clean before mutation");
+
+        let lines: Vec<&str> = source.lines().collect();
+        for &(line, col) in &allows {
+            // Truncate the annotation's line at the comment start; every
+            // other line keeps its number, so only this one allow
+            // disappears.
+            let mutated: String = lines
+                .iter()
+                .enumerate()
+                .map(|(j, l)| {
+                    if j + 1 == line as usize {
+                        l.chars().take(col as usize - 1).collect()
+                    } else {
+                        (*l).to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let resurfaced = lint_source(&rel, &mutated, &config)
+                .iter()
+                .filter(|f| f.suppressed.is_none())
+                .count();
+            assert!(
+                resurfaced > 0,
+                "deleting the allow at {rel}:{line} did not fail the gate — \
+                 the annotation is stale"
+            );
+            exercised += 1;
+        }
+    }
+    assert!(
+        exercised >= 11,
+        "expected to exercise all inline allows in the workspace, found {exercised}"
+    );
+}

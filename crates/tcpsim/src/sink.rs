@@ -88,9 +88,9 @@ impl TcpSink {
 }
 
 impl Endpoint for TcpSink {
-    fn start(&mut self, _: &mut NetCtx) {}
+    fn start(&mut self, _: &mut NetCtx<'_>) {}
 
-    fn on_packet(&mut self, ctx: &mut NetCtx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut NetCtx<'_>, pkt: Packet) {
         debug_assert_eq!(
             pkt.kind,
             PacketKind::Data,
@@ -167,7 +167,7 @@ impl Endpoint for TcpSink {
         ctx.send(ack);
     }
 
-    fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+    fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
 }
 
 #[cfg(test)]
@@ -186,18 +186,18 @@ mod tests {
     }
 
     impl Endpoint for Injector {
-        fn start(&mut self, ctx: &mut NetCtx) {
+        fn start(&mut self, ctx: &mut NetCtx<'_>) {
             for &seq in &self.script {
                 let mut p = Packet::data(ctx.me(), self.dst, 7, 0, seq, 1500, self.fwd.clone());
                 p.ts_echo = ctx.now();
                 ctx.send(p);
             }
         }
-        fn on_packet(&mut self, _: &mut NetCtx, pkt: Packet) {
+        fn on_packet(&mut self, _: &mut NetCtx<'_>, pkt: Packet) {
             assert_eq!(pkt.kind, PacketKind::Ack);
             self.acks.borrow_mut().push(pkt.ack);
         }
-        fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+        fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
     }
 
     fn run_script_delayed(script: Vec<u64>, ack_every: u32) -> (Vec<u64>, u64) {

@@ -1,7 +1,7 @@
 //! The sending endpoint: windows, retransmission, and the coupled
 //! congestion-control loop.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eventsim::SimDuration;
 use mpsim_core::{alpha_values, MultipathCc, PathView};
@@ -69,8 +69,10 @@ struct Subflow {
     reprobe_interval: SimDuration,
     /// MPTCP data-sequence mapping: subflow seq → connection-level DSN.
     /// Entries below `cum_ack` are garbage-collected on advancing ACKs;
-    /// retransmissions reuse the original mapping.
-    dsn_map: HashMap<u64, u64>,
+    /// retransmissions reuse the original mapping. A `BTreeMap` (not
+    /// `HashMap`) so any future iteration is ordered; lookups are on an
+    /// in-flight-window-sized map, so the log factor is noise.
+    dsn_map: BTreeMap<u64, u64>,
 }
 
 impl Subflow {
@@ -178,7 +180,7 @@ impl TcpSource {
                 active: true,
                 health: PathHealth::Active,
                 reprobe_interval: cfg.reprobe_initial,
-                dsn_map: HashMap::new(),
+                dsn_map: BTreeMap::new(),
             })
             .collect();
         TcpSource {
@@ -215,7 +217,7 @@ impl TcpSource {
     ///
     /// First transmissions are assigned the next connection-level DSN;
     /// retransmissions reuse the mapping established the first time.
-    fn transmit(&mut self, ctx: &mut NetCtx, idx: usize, seq: u64) {
+    fn transmit(&mut self, ctx: &mut NetCtx<'_>, idx: usize, seq: u64) {
         let next_dsn = &mut self.next_dsn;
         let sf = &mut self.subflows[idx];
         let dsn = *sf.dsn_map.entry(seq).or_insert_with(|| {
@@ -239,7 +241,7 @@ impl TcpSource {
     }
 
     /// Send as much new data as the effective window allows on subflow `idx`.
-    fn try_send(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn try_send(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         loop {
             let sf = &self.subflows[idx];
             if !sf.active || sf.health == PathHealth::Failed {
@@ -278,7 +280,7 @@ impl TcpSource {
 
     /// Arm the RTO timer if it is not already armed. Failed subflows are
     /// owned by the probe timer instead — probes must not re-arm the RTO.
-    fn ensure_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn ensure_timer(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &mut self.subflows[idx];
         if sf.timer_armed || sf.health == PathHealth::Failed {
             return;
@@ -291,7 +293,7 @@ impl TcpSource {
     }
 
     /// Invalidate any outstanding timer and re-arm if data is in flight.
-    fn restart_timer(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn restart_timer(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &mut self.subflows[idx];
         sf.timer_version += 1;
         if sf.inflight() > 0 && sf.active && sf.health != PathHealth::Failed {
@@ -333,7 +335,7 @@ impl TcpSource {
     /// §VII extension: after a loss, drop a subflow from the established set
     /// when its inter-loss distance is a tiny fraction of the best
     /// subflow's. The subflow re-probes after the cooldown.
-    fn maybe_prune(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn maybe_prune(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         if !self.cfg.prune_paths {
             return;
         }
@@ -362,7 +364,7 @@ impl TcpSource {
 
     /// A pruned subflow's cooldown expired: rejoin the established set at
     /// the probing floor and send a probe.
-    fn reactivate(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn reactivate(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &mut self.subflows[idx];
         if sf.active {
             return;
@@ -383,7 +385,7 @@ impl TcpSource {
     }
 
     /// Emit a cwnd-change trace event for subflow `idx`.
-    fn trace_cwnd(&self, ctx: &NetCtx, idx: usize, reason: CwndReason) {
+    fn trace_cwnd(&self, ctx: &NetCtx<'_>, idx: usize, reason: CwndReason) {
         let sf = &self.subflows[idx];
         let (cwnd, ssthresh) = (sf.cwnd, sf.ssthresh);
         let conn = self.conn;
@@ -397,7 +399,7 @@ impl TcpSource {
     }
 
     /// Emit a subflow reclassification trace event.
-    fn trace_state(&self, ctx: &NetCtx, idx: usize, from: SubflowState, to: SubflowState) {
+    fn trace_state(&self, ctx: &NetCtx<'_>, idx: usize, from: SubflowState, to: SubflowState) {
         let conn = self.conn;
         ctx.tracer().emit(ctx.now(), || TraceEvent::SubflowState {
             conn,
@@ -408,7 +410,7 @@ impl TcpSource {
     }
 
     /// Push the current per-subflow observables into the shared handle.
-    fn publish(&self, ctx: &NetCtx, idx: usize) {
+    fn publish(&self, ctx: &NetCtx<'_>, idx: usize) {
         let sf = &self.subflows[idx];
         let trace = self.cfg.trace;
         let now = ctx.now();
@@ -433,7 +435,7 @@ impl TcpSource {
         });
     }
 
-    fn handle_ack(&mut self, ctx: &mut NetCtx, pkt: Packet) {
+    fn handle_ack(&mut self, ctx: &mut NetCtx<'_>, pkt: Packet) {
         let idx = pkt.subflow as usize;
         let ack = pkt.ack;
         let cum = self.subflows[idx].cum_ack;
@@ -560,7 +562,7 @@ impl TcpSource {
         self.try_send(ctx, idx);
     }
 
-    fn handle_timeout(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn handle_timeout(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         if !self.subflows[idx].active {
             self.subflows[idx].timer_armed = false;
             return;
@@ -630,7 +632,7 @@ impl TcpSource {
 
     /// Declare subflow `idx` dead: leave the coupled established set, cancel
     /// the RTO, and start the capped-exponential re-probe schedule.
-    fn enter_failed(&mut self, ctx: &mut NetCtx, idx: usize) {
+    fn enter_failed(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let initial = self.cfg.reprobe_initial;
         let prev = self.subflows[idx].health;
         self.trace_state(ctx, idx, health_state(prev), SubflowState::Failed);
@@ -651,7 +653,7 @@ impl TcpSource {
     /// schedule the next probe with the interval doubled (capped at
     /// `TcpConfig::reprobe_max`). If the path is back, the probe's ACK
     /// advances `cum_ack` and the advancing-ACK path restores the subflow.
-    fn handle_probe(&mut self, ctx: &mut NetCtx, idx: usize, version: u64) {
+    fn handle_probe(&mut self, ctx: &mut NetCtx<'_>, idx: usize, version: u64) {
         let sf = &self.subflows[idx];
         if sf.health != PathHealth::Failed || version != sf.timer_version {
             return; // stale probe: the subflow recovered in the meantime
@@ -689,7 +691,7 @@ impl Subflow {
 }
 
 impl Endpoint for TcpSource {
-    fn start(&mut self, ctx: &mut NetCtx) {
+    fn start(&mut self, ctx: &mut NetCtx<'_>) {
         let now = ctx.now();
         self.handle.update(|s| s.started_at = Some(now));
         for idx in 0..self.subflows.len() {
@@ -698,13 +700,13 @@ impl Endpoint for TcpSource {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut NetCtx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut NetCtx<'_>, pkt: Packet) {
         debug_assert_eq!(pkt.kind, PacketKind::Ack, "source received non-ACK");
         debug_assert_eq!(pkt.conn, self.conn, "cross-connection packet at source");
         self.handle_ack(ctx, pkt);
     }
 
-    fn on_timer(&mut self, ctx: &mut NetCtx, token: u64) {
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         let (idx, version) = decode_token(token);
         if is_prune_token(token) {
             self.reactivate(ctx, idx);
@@ -753,7 +755,7 @@ mod tests {
             active: true,
             health: PathHealth::Active,
             reprobe_interval: SimDuration::from_secs(1),
-            dsn_map: HashMap::new(),
+            dsn_map: BTreeMap::new(),
         }
     }
 

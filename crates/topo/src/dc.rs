@@ -316,7 +316,7 @@ mod tests {
     #[test]
     fn cross_pod_choices_are_distinct() {
         let (_, ft) = tree(4);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in 0..ft.num_paths(0, 15) {
             let (f, _) = ft.route_pair(0, 15, c);
             assert!(seen.insert(f.to_vec()), "duplicate path for choice {c}");
@@ -328,7 +328,7 @@ mod tests {
         let (_, ft) = tree(4);
         let mut rng = SimRng::seed_from_u64(3);
         let paths = ft.sample_paths(0, 5, 4, &mut rng);
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for (f, _) in &paths {
             assert!(set.insert(f.to_vec()), "distinct while available");
         }

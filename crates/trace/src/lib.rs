@@ -1,3 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
 //! Structured event tracing for the simulator.
 //!
 //! The paper's claims (LIA's non-Pareto-optimality, OLIA's window/α
@@ -20,8 +24,6 @@
 //!
 //! This crate depends only on `eventsim` (for `SimTime`); events carry raw
 //! integer ids so the layering stays acyclic.
-
-#![warn(missing_docs)]
 
 mod check;
 mod digest;

@@ -1,0 +1,79 @@
+//! Regression pin for the `HashMap` → `BTreeMap` migrations done for the
+//! simlint R2 (unordered-collection) audit.
+//!
+//! The `dsn_map` in `tcpsim::source` was a `HashMap` keyed by subflow
+//! sequence number; it is only ever used point-wise (entry / remove), never
+//! iterated, so replacing it with a `BTreeMap` must leave every run
+//! byte-identical. This test pins the full-trace digest of a two-path OLIA
+//! run (RED bottlenecks, a mid-run outage, and a loss burst — the same
+//! scenario the observability suite uses) so any behavioural drift from a
+//! collection swap shows up as a digest mismatch, not as a silent change in
+//! the paper's numbers.
+
+use std::rc::Rc;
+
+use eventsim::{SimDuration, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, FaultAction, FaultPlan, QueueConfig, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec};
+use trace::{Digest64, JsonlSink, Tracer};
+
+/// Digest of the serialized JSONL trace for one seeded run.
+fn trace_digest(seed: u64) -> (u64, u64) {
+    let mut sim = Simulation::new(seed);
+    let (tracer, sink) = Tracer::to_sink(JsonlSink::new(Vec::new()));
+    sim.set_tracer(tracer);
+    let mk = |sim: &mut Simulation| {
+        (
+            sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(40))),
+            sim.add_queue(QueueConfig::drop_tail(
+                10e9,
+                SimDuration::from_millis(40),
+                100_000,
+            )),
+        )
+    };
+    let (f1, r1) = mk(&mut sim);
+    let (f2, r2) = mk(&mut sim);
+    let conn = ConnectionSpec::new(Algorithm::Olia)
+        .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+        .with_path(PathSpec::new(route(&[f2]), route(&[r2])))
+        .install(&mut sim, 0);
+    sim.start_endpoint_at(conn.source, SimTime::ZERO);
+    sim.install_fault_plan(
+        FaultPlan::new()
+            .down_between(f1, SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(5.0))
+            .at(
+                SimTime::from_secs_f64(6.0),
+                FaultAction::LossBurst {
+                    queue: f2,
+                    p: 0.05,
+                    duration: SimDuration::from_secs(1),
+                },
+            ),
+    );
+    sim.run_until(SimTime::from_secs_f64(8.0));
+    drop(sim);
+    let jsonl = Rc::try_unwrap(sink)
+        .expect("sink uniquely owned")
+        .into_inner();
+    let lines = jsonl.lines();
+    let bytes = jsonl.into_inner();
+    (Digest64::of(&bytes), lines)
+}
+
+/// Golden digest captured on the pre-migration tree (dsn_map still a
+/// `HashMap`). The BTreeMap-backed source must reproduce it exactly.
+#[test]
+fn dsn_map_migration_preserves_trace_digest() {
+    let (digest, lines) = trace_digest(23);
+    assert!(lines > 1_000, "trace suspiciously small: {lines} lines");
+    println!("GOLDEN digest=0x{digest:016x} lines={lines}");
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "seed-23 trace digest drifted: a collection migration changed behaviour"
+    );
+}
+
+/// Captured from the seed tree before the R2 migrations; see module docs.
+const GOLDEN_DIGEST: u64 = 0xe809_c9b5_9a13_7756;
