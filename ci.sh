@@ -60,4 +60,12 @@ MPTCP_TRACE=results/ci_trace ./target/release/repro_run scenarios/lossy_backup.j
 test -s results/ci_trace.custom.seed11.jsonl
 ./target/release/validate_report --strict results/repro_run.json
 
+# Perf-behaviour gate: recompute the three perf-scenario trace digests and
+# compare them to the goldens recorded in BENCH_eventloop.json. Digests are
+# machine-independent (pure event-sequence hashes), so this catches any
+# behaviour change smuggled in as an "optimization" without timing anything.
+# The tracked report itself must also stay schema-valid.
+./target/release/validate_report BENCH_eventloop.json
+./target/release/perf_eventloop --check BENCH_eventloop.json
+
 echo "ci: all gates passed"

@@ -12,7 +12,8 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * range strategies (`0.0_f64..400.0`, `1usize..64`, `0u64..=5`),
 //! * [`prelude::any`] for primitives,
-//! * [`collection::vec`].
+//! * [`collection::vec`],
+//! * [`Strategy::prop_map`] and the weighted [`prop_oneof!`] union.
 //!
 //! Each property runs over a fixed number of deterministically-seeded random
 //! cases (no shrinking — a failure prints the offending inputs via the
@@ -65,6 +66,103 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every drawn value with `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one fixed value (mirrors
+/// `proptest::strategy::Just`).
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted union of strategies over one value type ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick exceeded the total weight")
+    }
+}
+
+/// Incremental [`Union`] builder used by the [`prop_oneof!`] expansion (a
+/// plain `vec![]` of boxed strategies would defeat unsize coercion).
+pub struct UnionOptions<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Default for UnionOptions<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> UnionOptions<T> {
+    /// An empty option set.
+    pub fn new() -> UnionOptions<T> {
+        UnionOptions {
+            options: Vec::new(),
+        }
+    }
+
+    /// Add one branch with relative weight `weight`.
+    pub fn push<S>(&mut self, weight: u32, strategy: S)
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.options.push((weight, Box::new(strategy)));
+    }
+
+    /// Finish into a sampling [`Union`].
+    pub fn build(self) -> Union<T> {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union {
+            options: self.options,
+            total,
+        }
+    }
 }
 
 /// Blanket impl so strategies can be passed by reference.
@@ -124,6 +222,18 @@ pub trait Arbitrary: Sized {
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> u64 {
         rng.next_u64()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
     }
 }
 
@@ -192,8 +302,10 @@ pub mod collection {
 /// The all-in-one import, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    pub use crate::{Any, Arbitrary, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use crate::{Any, Arbitrary, Just, Map, Strategy, TestRng, Union};
 
     /// Strategy for any value of type `T`.
     pub fn any<T: Arbitrary>() -> Any<T> {
@@ -221,6 +333,23 @@ macro_rules! proptest {
             }
         )+
     };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` (or unweighted
+/// `prop_oneof![a, b, c]`, each branch weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        let mut __options = $crate::UnionOptions::new();
+        $(__options.push($weight, $strategy);)+
+        __options.build()
+    }};
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut __options = $crate::UnionOptions::new();
+        $(__options.push(1, $strategy);)+
+        __options.build()
+    }};
 }
 
 /// Property assertion (plain `assert!` — no shrinking in this stand-in).
@@ -273,6 +402,14 @@ mod tests {
         #[test]
         fn any_compiles(seed in any::<u64>()) {
             let _ = seed;
+        }
+
+        #[test]
+        fn map_and_oneof(x in prop_oneof![
+            3 => (0u64..10).prop_map(|v| v as i64),
+            1 => (100u64..110).prop_map(|v| -(v as i64)),
+        ]) {
+            prop_assert!((0..10).contains(&x) || (-109..=-100).contains(&x));
         }
     }
 

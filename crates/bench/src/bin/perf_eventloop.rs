@@ -1,0 +1,441 @@
+//! Tracked event-loop performance benchmark.
+//!
+//! Runs three canonical scenarios at pinned seeds and measures how fast the
+//! discrete-event core chews through them:
+//!
+//! * `scenario_b` — the paper's Scenario B (Tables I/II) at quick scale;
+//! * `fattree` — a Fig. 13 FatTree slice (k = 4, OLIA ×4, permutation
+//!   traffic);
+//! * `flap` — the dc_robustness two-path dumbbell with a scripted
+//!   link-flap chaos plan (path manager + re-probe machinery).
+//!
+//! Each scenario is run twice: an **untraced perf pass** (repeated, best of
+//! N) reporting events/sec plus event-loop internals, and a **traced digest
+//! pass** whose full JSONL trace is folded into an FNV-1a digest. The digest
+//! is the behaviour proof: an optimization PR must leave every digest
+//! byte-identical while moving events/sec.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_eventloop                        # run, write results/perf_eventloop.json
+//! perf_eventloop --out BENCH_eventloop.json --baseline-from old.json
+//! perf_eventloop --check BENCH_eventloop.json   # digests only, compare to goldens
+//! ```
+//!
+//! The report follows the `mptcp-run-report/v1` schema (`validate_report`
+//! accepts it); trace digests ride in `params` as hex strings, perf numbers
+//! in `metrics`. `--baseline-from` copies an earlier report's metrics under
+//! `baseline.*` and derives `speedup.*` ratios so `BENCH_eventloop.json`
+//! records the trajectory, not just the endpoint.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bench::json::{parse, Json};
+use bench::report::RunReport;
+use eventsim::{SimDuration, SimRng, SimTime};
+use mpsim_core::Algorithm;
+use netsim::{route, FaultPlan, QueueConfig, QueueId, Simulation};
+use tcpsim::{ConnectionSpec, PathSpec, TcpConfig};
+use topo::{FatTree, FatTreeConfig, ScenarioB, ScenarioBParams};
+use trace::{Digest64, JsonlSink, Tracer};
+use workload::permutation_traffic;
+
+/// Counting allocator: measures how many heap allocations (and bytes) each
+/// perf pass performs. The arena/pre-sizing work exists to push these down,
+/// so the trajectory file records them alongside events/sec.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are relaxed atomics
+// with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Perf passes per scenario; the best events/sec is reported (first pass
+/// warms caches and the page allocator).
+const PERF_PASSES: usize = 3;
+
+/// What one scenario run leaves behind for the report.
+struct Measurement {
+    name: &'static str,
+    /// Events dispatched by the run (identical across passes).
+    events: u64,
+    /// Best events/sec over the perf passes.
+    events_per_sec: f64,
+    /// Simulated-seconds to wall-seconds ratio of the best pass.
+    sim_wall_ratio: f64,
+    /// Wall seconds of the best pass.
+    wall_s: f64,
+    /// Heap allocations during one perf pass.
+    allocs: u64,
+    /// Bytes requested during one perf pass.
+    alloc_bytes: u64,
+    /// Event-loop internals (peak pending events, arena occupancy, ...).
+    internals: Vec<(&'static str, f64)>,
+}
+
+/// `io::Write` adapter folding everything written into an FNV-1a digest.
+struct DigestWriter {
+    digest: Digest64,
+    bytes: u64,
+}
+
+impl DigestWriter {
+    fn new() -> DigestWriter {
+        DigestWriter {
+            digest: Digest64::new(),
+            bytes: 0,
+        }
+    }
+}
+
+impl Write for DigestWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.digest.update(buf);
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Build + run one scenario to its horizon inside a fresh simulation,
+/// returning the simulation for post-run inspection.
+type ScenarioFn = fn(&Tracer) -> Simulation;
+
+/// Scenario B, quick scale: the paper's 15+15-user ISP topology, 10
+/// simulated seconds, seed 1.
+fn run_scenario_b(tracer: &Tracer) -> Simulation {
+    let seed = 1;
+    let mut sim = Simulation::new(seed);
+    sim.set_tracer(tracer.clone());
+    let s = ScenarioB::build(&mut sim, &ScenarioBParams::paper(false, Algorithm::Lia));
+    let all: Vec<_> = s.blue.iter().chain(s.red.iter()).cloned().collect();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xB4B4);
+    topo::stagger_starts(&mut sim, &all, SimDuration::from_secs(2), &mut rng);
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    sim
+}
+
+/// Fig. 13 FatTree slice: k = 4, OLIA with 4 subflows, permutation traffic,
+/// 2 simulated seconds, seed 5.
+fn run_fattree(tracer: &Tracer) -> Simulation {
+    let seed = 5;
+    let mut sim = Simulation::new(seed);
+    sim.set_tracer(tracer.clone());
+    let ft = FatTree::build(&mut sim, 4, &FatTreeConfig::default());
+    let mut rng = SimRng::seed_from_u64(seed);
+    let perm = permutation_traffic(&mut rng, ft.num_hosts());
+    let conns: Vec<_> = (0..ft.num_hosts())
+        .map(|h| {
+            ft.connect(
+                &mut sim,
+                h,
+                perm[h],
+                Algorithm::Olia,
+                4,
+                None,
+                TcpConfig::default(),
+                &mut rng,
+                h as u64,
+            )
+        })
+        .collect();
+    for c in &conns {
+        sim.start_endpoint_at(c.source, SimTime::ZERO);
+    }
+    sim.run_until(SimTime::from_secs_f64(2.0));
+    sim
+}
+
+/// One direction of a 10 Mb/s, 40 ms access link (RED forward queue, fat
+/// reverse queue), as in `dc_robustness`.
+fn flap_link(sim: &mut Simulation) -> (QueueId, QueueId) {
+    (
+        sim.add_queue(QueueConfig::red_paper(10e6, SimDuration::from_millis(40))),
+        sim.add_queue(QueueConfig::drop_tail(
+            10e9,
+            SimDuration::from_millis(40),
+            100_000,
+        )),
+    )
+}
+
+/// dc_robustness flap: a two-path OLIA dumbbell where path 0 flaps three
+/// times (4 s down / 2 s up), 46 simulated seconds, seed 21. Exercises the
+/// RTO/backoff, path-manager, and re-probe timer machinery.
+fn run_flap(tracer: &Tracer) -> Simulation {
+    let seed = 21;
+    let mut sim = Simulation::new(seed);
+    sim.set_tracer(tracer.clone());
+    let (f1, r1) = flap_link(&mut sim);
+    let (f2, r2) = flap_link(&mut sim);
+    let conn = ConnectionSpec::new(Algorithm::Olia)
+        .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+        .with_path(PathSpec::new(route(&[f2]), route(&[r2])))
+        .install(&mut sim, 0);
+    sim.start_endpoint_at(conn.source, SimTime::ZERO);
+    sim.install_fault_plan(FaultPlan::new().flap(
+        f1,
+        SimTime::from_secs_f64(15.0),
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(2),
+        3,
+    ));
+    sim.run_until(SimTime::from_secs_f64(46.0));
+    sim
+}
+
+const SCENARIOS: &[(&str, ScenarioFn)] = &[
+    ("scenario_b", run_scenario_b),
+    ("fattree", run_fattree),
+    ("flap", run_flap),
+];
+
+/// Untraced perf passes: best events/sec of [`PERF_PASSES`] runs.
+fn measure(name: &'static str, run: ScenarioFn) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..PERF_PASSES {
+        let window = netsim::profile::RunProfile::start();
+        let alloc0 = ALLOCS.load(Ordering::Relaxed);
+        let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let sim = run(&Tracer::disabled());
+        let p = window.finish();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+        let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+        let m = Measurement {
+            name,
+            events: sim.events_processed(),
+            events_per_sec: p.events_per_sec(),
+            sim_wall_ratio: p.sim_wall_ratio(),
+            wall_s: p.wall_s,
+            allocs,
+            alloc_bytes,
+            internals: loop_internals(&sim),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.events_per_sec > b.events_per_sec)
+        {
+            best = Some(m);
+        }
+    }
+    // PERF_PASSES ≥ 1, so a measurement was recorded.
+    best.unwrap_or_else(|| unreachable!("no perf pass ran"))
+}
+
+/// Event-loop internals worth tracking across PRs: peak pending events in
+/// the heap, packet-arena occupancy, and how many cancelled timers the loop
+/// drained lazily.
+fn loop_internals(sim: &Simulation) -> Vec<(&'static str, f64)> {
+    let s = sim.loop_stats();
+    vec![
+        ("peak_heap", s.peak_heap as f64),
+        ("peak_arena", s.peak_arena as f64),
+        ("arena_live_end", s.arena_live as f64),
+        ("arena_inserts", s.arena_inserts as f64),
+        ("peak_timers", s.peak_timers as f64),
+        ("stale_timer_drains", s.stale_timer_drains as f64),
+    ]
+}
+
+/// Traced digest pass: full JSONL trace folded into an FNV-1a digest.
+fn digest(run: ScenarioFn) -> (u64, u64) {
+    let (tracer, sink) = Tracer::to_sink(JsonlSink::new(DigestWriter::new()));
+    let sim = run(&tracer);
+    drop(sim);
+    drop(tracer);
+    let sink = std::rc::Rc::try_unwrap(sink)
+        .unwrap_or_else(|_| panic!("trace sink still shared after run"))
+        .into_inner();
+    let w = sink.into_inner();
+    (w.digest.finish(), w.bytes)
+}
+
+fn digest_params(report: &mut RunReport) -> Vec<(String, String)> {
+    let mut golden = Vec::new();
+    for &(name, run) in SCENARIOS {
+        let (d, bytes) = digest(run);
+        let hex = format!("{d:016x}");
+        eprintln!("digest {name}: {hex} ({bytes} trace bytes)");
+        report.param(&format!("digest.{name}"), hex.clone());
+        report.param(&format!("trace_bytes.{name}"), bytes);
+        golden.push((name.to_string(), hex));
+    }
+    golden
+}
+
+/// `--check`: recompute digests and compare against the goldens recorded in
+/// an existing report's params. Exit code 1 on any mismatch.
+fn check(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_eventloop: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_eventloop: cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    for &(name, run) in SCENARIOS {
+        let key = format!("digest.{name}");
+        let golden = doc
+            .get("params")
+            .and_then(|p| p.get(&key))
+            .and_then(Json::as_str);
+        let Some(golden) = golden else {
+            eprintln!("perf_eventloop: {path} has no params.{key}");
+            failures += 1;
+            continue;
+        };
+        let (d, _) = digest(run);
+        let hex = format!("{d:016x}");
+        if hex == golden {
+            println!("digest {name}: {hex} OK");
+        } else {
+            eprintln!("digest {name}: computed {hex} != golden {golden} — behaviour changed!");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("perf_eventloop: all {} digests match", SCENARIOS.len());
+        0
+    } else {
+        1
+    }
+}
+
+/// Copy `metrics.*` of a previous report in as `baseline.*` and derive
+/// `speedup.*` ratios for the shared scenarios.
+fn merge_baseline(report: &mut RunReport, current: &[Measurement], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_object)
+        .unwrap_or_else(|| panic!("baseline {path} has no metrics object"));
+    for (k, v) in metrics {
+        if k.starts_with("baseline.") || k.starts_with("speedup.") {
+            continue; // don't chain baselines of baselines
+        }
+        if let Some(x) = v.as_f64() {
+            report.metric(&format!("baseline.{k}"), x);
+        }
+    }
+    for m in current {
+        let key = format!("{}.events_per_sec", m.name);
+        if let Some(base) = metrics.get(&key).and_then(Json::as_f64) {
+            if base > 0.0 {
+                report.metric(&format!("speedup.{}", m.name), m.events_per_sec / base);
+            }
+        }
+    }
+    report.param("baseline_from", path);
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next(),
+            "--baseline-from" => baseline = args.next(),
+            "--check" => {
+                let Some(path) = args.next() else {
+                    eprintln!("perf_eventloop: --check needs a report path");
+                    std::process::exit(2);
+                };
+                std::process::exit(check(&path));
+            }
+            other => {
+                eprintln!("perf_eventloop: unknown argument {other:?}");
+                eprintln!(
+                    "usage: perf_eventloop [--out FILE] [--baseline-from REPORT] [--check REPORT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = RunReport::start("perf_eventloop");
+    report.param("perf_passes", PERF_PASSES as u64);
+    println!(
+        "{:<12} {:>12} {:>14} {:>10} {:>12} {:>12}",
+        "scenario", "events", "events/sec", "sim/wall", "allocs", "peak heap"
+    );
+    let mut measurements = Vec::new();
+    for &(name, run) in SCENARIOS {
+        let m = measure(name, run);
+        let peak_heap = m
+            .internals
+            .iter()
+            .find(|(k, _)| *k == "peak_heap")
+            .map_or(0.0, |(_, v)| *v);
+        println!(
+            "{:<12} {:>12} {:>14.0} {:>10.1} {:>12} {:>12.0}",
+            m.name, m.events, m.events_per_sec, m.sim_wall_ratio, m.allocs, peak_heap
+        );
+        report.metric(&format!("{}.events", m.name), m.events as f64);
+        report.metric(&format!("{}.events_per_sec", m.name), m.events_per_sec);
+        report.metric(&format!("{}.sim_wall_ratio", m.name), m.sim_wall_ratio);
+        report.metric(&format!("{}.wall_s", m.name), m.wall_s);
+        report.metric(&format!("{}.allocs", m.name), m.allocs as f64);
+        report.metric(&format!("{}.alloc_bytes", m.name), m.alloc_bytes as f64);
+        for (k, v) in &m.internals {
+            report.metric(&format!("{}.{k}", m.name), *v);
+        }
+        measurements.push(m);
+    }
+
+    digest_params(&mut report);
+    if let Some(path) = &baseline {
+        merge_baseline(&mut report, &measurements, path);
+    }
+
+    match out {
+        Some(path) => {
+            let doc = report.finish();
+            if let Err(e) = bench::report::validate(&doc) {
+                eprintln!("perf_eventloop: produced report fails validation: {e}");
+                std::process::exit(1);
+            }
+            std::fs::write(&path, doc.render_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("perf report: {path}");
+        }
+        None => report.write_or_warn(),
+    }
+}

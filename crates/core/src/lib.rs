@@ -61,7 +61,7 @@ mod reno;
 pub use cc::{Algorithm, MultipathCc};
 pub use coupled::{FullyCoupled, Uncoupled};
 pub use lia::Lia;
-pub use olia::{alpha_values, best_paths, max_window_paths, Olia};
+pub use olia::{alpha_for, alpha_values, best_paths, max_window_paths, Olia};
 pub use path::PathView;
 pub use probe::OptimumProbe;
 pub use related::{Ewtcp, SemiCoupled};

@@ -65,21 +65,68 @@ pub fn best_paths(paths: &[PathView]) -> Vec<usize> {
 }
 
 fn argmax_set(paths: &[PathView], key: impl Fn(&PathView) -> f64) -> Vec<usize> {
+    let Some(cut) = argmax_cutoff(paths, &key) else {
+        return Vec::new();
+    };
+    paths
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.established && key(p) >= cut)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Membership cutoff for the argmax sets: a path with `key(p) >= cutoff`
+/// (and established) is in the set. `None` when no established path exists.
+fn argmax_cutoff(paths: &[PathView], key: impl Fn(&PathView) -> f64) -> Option<f64> {
     let max = paths
         .iter()
         .filter(|p| p.established)
         .map(&key)
         .fold(f64::NEG_INFINITY, f64::max);
     if !max.is_finite() {
-        return Vec::new();
+        return None;
     }
-    let tol = ARGMAX_REL_TOL * max.abs().max(1.0);
-    paths
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.established && key(p) >= max - tol)
-        .map(|(i, _)| i)
-        .collect()
+    Some(max - ARGMAX_REL_TOL * max.abs().max(1.0))
+}
+
+/// α_r for a single path (Eq. 6) without materializing the sets — the
+/// allocation-free form of `alpha_values(paths)[idx]` used on the per-ACK
+/// hot path. Agrees bit-for-bit with the set-based construction: cutoffs,
+/// counts, and the final divisions are computed exactly as above.
+pub fn alpha_for(paths: &[PathView], idx: usize) -> f64 {
+    let n = num_established(paths);
+    if n == 0 {
+        return 0.0;
+    }
+    let w_cut = argmax_cutoff(paths, |p| p.cwnd);
+    let q_cut = argmax_cutoff(paths, |p| p.quality());
+    let mut m_count = 0usize;
+    let mut bm_count = 0usize;
+    let mut idx_in_m = false;
+    let mut idx_in_bm = false;
+    for (i, p) in paths.iter().enumerate() {
+        if !p.established {
+            continue;
+        }
+        let in_m = w_cut.is_some_and(|c| p.cwnd >= c);
+        if in_m {
+            m_count += 1;
+            idx_in_m |= i == idx;
+        } else if q_cut.is_some_and(|c| p.quality() >= c) {
+            bm_count += 1;
+            idx_in_bm |= i == idx;
+        }
+    }
+    if bm_count == 0 {
+        0.0
+    } else if idx_in_bm {
+        1.0 / (n as f64 * bm_count as f64)
+    } else if idx_in_m {
+        -1.0 / (n as f64 * m_count as f64)
+    } else {
+        0.0
+    }
 }
 
 /// Compute α_r for every path per Eq. (6).
@@ -130,7 +177,7 @@ impl MultipathCc for Olia {
         if !me.established || me.cwnd <= 0.0 {
             return 0.0;
         }
-        let alpha = alpha_values(paths)[idx];
+        let alpha = alpha_for(paths, idx);
         Olia::first_term(paths, idx) + alpha / me.cwnd
     }
 }
@@ -303,6 +350,24 @@ mod tests {
                 .map(|i| Olia::first_term(&paths, i))
                 .sum();
             prop_assert!((s - 1.0 / total).abs() < 1e-9 / total);
+        }
+
+        /// The allocation-free per-path form agrees bit-for-bit with the
+        /// set-based construction on every index.
+        #[test]
+        fn prop_alpha_for_matches_alpha_values(
+            ws in proptest::collection::vec(1.0_f64..100.0, 1..6),
+            ells in proptest::collection::vec(0.0_f64..1e4, 1..6),
+            dead in proptest::collection::vec(0u8..2, 1..6),
+        ) {
+            let n = ws.len().min(ells.len()).min(dead.len());
+            let paths: Vec<PathView> = (0..n)
+                .map(|i| PathView { established: dead[i] == 0, ..p(ws[i], ells[i]) })
+                .collect();
+            let a = alpha_values(&paths);
+            for i in 0..n {
+                prop_assert_eq!(a[i], alpha_for(&paths, i));
+            }
         }
 
         /// B and M always contain at least one established path.

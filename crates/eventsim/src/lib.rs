@@ -16,6 +16,8 @@
 //!   non-determinism in heap-based simulators.
 //! * [`SimRng`] — a seeded RNG wrapper so every stochastic choice in a
 //!   simulation is reproducible from a single `u64` seed.
+//! * [`TimerSlab`] / [`TimerHandle`] — generational cancellable timers
+//!   layered over the queue, with lazy drainage of cancelled entries.
 //!
 //! The engine is intentionally synchronous and allocation-light (in the
 //! spirit of event-driven network stacks such as smoltcp): simulation is a
@@ -39,7 +41,9 @@
 mod queue;
 mod rng;
 mod time;
+mod timer;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use timer::{TimerHandle, TimerSlab};

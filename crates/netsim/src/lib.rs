@@ -69,6 +69,7 @@
 //! let _ = tx;
 //! ```
 
+mod arena;
 mod fault;
 mod ids;
 mod packet;
@@ -80,4 +81,4 @@ pub use fault::{FaultAction, FaultPlan};
 pub use ids::{EndpointId, QueueId};
 pub use packet::{route, Packet, PacketKind, Route};
 pub use queue::{Discipline, QueueConfig, QueueStats, RedParams};
-pub use sim::{Endpoint, NetCtx, Simulation};
+pub use sim::{Endpoint, LoopStats, NetCtx, Simulation};

@@ -1,18 +1,25 @@
 //! Packets and routes.
 
-use std::sync::Arc;
+use std::rc::Rc;
 
 use eventsim::SimTime;
 
 use crate::ids::{EndpointId, QueueId};
 
-/// A route: the ordered queues a packet traverses. Shared (`Arc`) because
-/// every packet of a subflow carries the same route.
-pub type Route = Arc<[QueueId]>;
+/// A route: the ordered queues a packet traverses. Shared (`Rc`) because
+/// every packet of a subflow carries the same route — and `Rc`, not `Arc`,
+/// because a [`crate::Simulation`] is single-threaded by construction
+/// (parallel drivers replicate whole simulations per thread), so the
+/// per-packet clone/drop need not pay an atomic RMW each.
+pub type Route = Rc<[QueueId]>;
 
 /// Build a [`Route`] from a slice of queue ids.
+///
+/// `Rc::from(&[T])` copies the slice straight into the reference-counted
+/// allocation — one allocation, not the former `to_vec` + `into_boxed_slice`
+/// double copy.
 pub fn route(hops: &[QueueId]) -> Route {
-    Arc::from(hops.to_vec().into_boxed_slice())
+    Rc::from(hops)
 }
 
 /// What a packet is, as far as the network is concerned.

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use eventsim::{SimDuration, SimRng, SimTime};
 use trace::DropReason;
 
-use crate::packet::Packet;
+use crate::arena::PacketRef;
 
 /// RED (random early detection) parameters, paper-profile shaped:
 ///
@@ -268,7 +268,9 @@ impl Impairment {
 #[derive(Debug)]
 pub(crate) struct Queue {
     pub(crate) config: QueueConfig,
-    pub(crate) buf: VecDeque<Packet>,
+    /// Buffered packets, by arena ref (the packets themselves live in the
+    /// simulation's [`crate::arena::PacketArena`]).
+    pub(crate) buf: VecDeque<PacketRef>,
     /// Whether a service-completion event is outstanding.
     pub(crate) busy: bool,
     /// Administratively down: every arrival is dropped (failure injection).
@@ -306,9 +308,12 @@ impl Queue {
     ///
     /// The caller is responsible for scheduling service when the queue
     /// transitions from idle.
+    /// The admission decision never needs the packet contents, so it takes
+    /// the 8-byte arena ref; the caller resolves sizes (service time, byte
+    /// counters) against the arena.
     pub(crate) fn try_enqueue(
         &mut self,
-        pkt: Packet,
+        pkt: PacketRef,
         now: SimTime,
         rng: &mut SimRng,
     ) -> Result<(), DropReason> {
@@ -376,14 +381,15 @@ impl Queue {
         verdict
     }
 
-    /// Remove and return the head packet after it finished serializing.
-    pub(crate) fn complete_service(&mut self) -> Packet {
-        let pkt = self
-            .buf
-            .pop_front()
-            .expect("service completion on empty queue");
+    /// Remove and return the head packet's ref after it finished
+    /// serializing; `size` is its wire size (the caller already resolved the
+    /// head against the arena to schedule this service).
+    pub(crate) fn complete_service(&mut self, size: u32) -> PacketRef {
+        let Some(pkt) = self.buf.pop_front() else {
+            panic!("service completion on empty queue");
+        };
         self.stats.forwarded += 1;
-        self.stats.forwarded_bytes += pkt.size as u64;
+        self.stats.forwarded_bytes += size as u64;
         pkt
     }
 
@@ -396,12 +402,16 @@ impl Queue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::PacketArena;
     use crate::ids::{EndpointId, QueueId};
     use crate::packet::{route, Packet};
     use proptest::prelude::*;
 
-    fn pkt(seq: u64) -> Packet {
-        Packet::data(
+    /// Unit tests drive queues with refs from a throwaway arena; admission
+    /// logic never dereferences them, so leaking refs on drop is fine here.
+    fn pkt(seq: u64) -> PacketRef {
+        let mut arena = PacketArena::new();
+        arena.insert(Packet::data(
             EndpointId(0),
             EndpointId(1),
             0,
@@ -409,7 +419,7 @@ mod tests {
             seq,
             1500,
             route(&[QueueId(0)]),
-        )
+        ))
     }
 
     #[test]
@@ -510,10 +520,31 @@ mod tests {
     fn service_accounting() {
         let mut q = Queue::new(QueueConfig::drop_tail(1e6, SimDuration::from_millis(1), 10));
         let mut rng = SimRng::seed_from_u64(0);
-        let _ = q.try_enqueue(pkt(0), SimTime::ZERO, &mut rng);
-        let _ = q.try_enqueue(pkt(1), SimTime::ZERO, &mut rng);
-        let p = q.complete_service();
-        assert_eq!(p.seq, 0);
+        // Distinct refs from one arena so FIFO identity is observable.
+        let mut arena = PacketArena::new();
+        let first = arena.insert(Packet::data(
+            EndpointId(0),
+            EndpointId(1),
+            0,
+            0,
+            0,
+            1500,
+            route(&[QueueId(0)]),
+        ));
+        let second = arena.insert(Packet::data(
+            EndpointId(0),
+            EndpointId(1),
+            0,
+            0,
+            1,
+            1500,
+            route(&[QueueId(0)]),
+        ));
+        let _ = q.try_enqueue(first, SimTime::ZERO, &mut rng);
+        let _ = q.try_enqueue(second, SimTime::ZERO, &mut rng);
+        let p = q.complete_service(1500);
+        assert_eq!(p, first);
+        assert_ne!(first, second);
         assert_eq!(q.stats.forwarded, 1);
         assert_eq!(q.stats.forwarded_bytes, 1500);
         assert_eq!(q.len(), 1);

@@ -1,26 +1,35 @@
 //! The simulation driver: event dispatch, queue service, endpoint callbacks.
 
-use eventsim::{EventQueue, SimDuration, SimRng, SimTime};
+use eventsim::{EventQueue, SimDuration, SimRng, SimTime, TimerHandle, TimerSlab};
 use trace::{TraceEvent, Tracer};
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{EndpointId, QueueId};
 use crate::packet::Packet;
 use crate::queue::{Queue, QueueConfig, QueueStats};
 
 /// Internal event vocabulary of the network simulation.
+///
+/// Kept to 16 bytes: heap entries are sifted on every schedule/pop, so the
+/// payload size directly multiplies the hot loop's memory traffic. Packets
+/// travel as arena refs ([`PacketRef`], 8 bytes) rather than by value
+/// (~100 bytes), timers as slab handles, and the rare fault actions are
+/// boxed.
 #[derive(Debug)]
 enum NetEvent {
     /// The head packet of a queue finished serializing.
     Service(QueueId),
     /// A packet arrives at its next hop (queue or destination endpoint).
-    Arrival(Packet),
+    Arrival(PacketRef),
     /// An endpoint's `start` hook fires.
     Start(EndpointId),
-    /// An endpoint timer fires with an opaque token.
-    Timer { ep: EndpointId, token: u64 },
-    /// A scheduled fault-plan action fires.
-    Fault(FaultAction),
+    /// An endpoint timer fires; the slab maps the handle back to
+    /// `(endpoint, token)` — or to nothing, if it was cancelled.
+    Timer(TimerHandle),
+    /// A scheduled fault-plan action fires (boxed: fault actions are rare
+    /// and would otherwise double the event size).
+    Fault(Box<FaultAction>),
 }
 
 /// A traffic source or sink attached to the simulation.
@@ -39,8 +48,10 @@ pub trait Endpoint {
 
     /// A timer scheduled via [`NetCtx::schedule_in`] fired.
     ///
-    /// Timers are not cancellable at the network layer; endpoints implement
-    /// cancellation by versioning their tokens and ignoring stale ones.
+    /// Only live timers are dispatched: a timer cancelled through
+    /// [`NetCtx::cancel_timer`] is drained inside the event loop and never
+    /// reaches the endpoint, so token-versioning schemes to ignore stale
+    /// fires are unnecessary.
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64);
 }
 
@@ -51,6 +62,8 @@ pub struct NetCtx<'a> {
     now: SimTime,
     queues: &'a mut [Queue],
     events: &'a mut EventQueue<NetEvent>,
+    arena: &'a mut PacketArena,
+    timers: &'a mut TimerSlab<(EndpointId, u64)>,
     rng: &'a mut SimRng,
     tracer: &'a Tracer,
 }
@@ -72,24 +85,39 @@ impl NetCtx<'_> {
     /// destination endpoint (still via the event loop, so callbacks never
     /// nest).
     pub fn send(&mut self, pkt: Packet) {
-        if pkt.at_destination() {
-            self.events.schedule(self.now, NetEvent::Arrival(pkt));
+        let direct = pkt.at_destination();
+        let r = self.arena.insert(pkt);
+        if direct {
+            self.events.schedule(self.now, NetEvent::Arrival(r));
         } else {
             enqueue(
                 self.queues,
                 self.events,
+                self.arena,
                 self.now,
                 self.rng,
                 self.tracer,
-                pkt,
+                r,
             );
         }
     }
 
     /// Arm a timer for this endpoint, `delay` from now, carrying `token`.
-    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
-        self.events
-            .schedule(self.now + delay, NetEvent::Timer { ep: self.me, token });
+    ///
+    /// The returned handle can cancel the timer via
+    /// [`cancel_timer`](Self::cancel_timer); once the timer fires (or is
+    /// cancelled) the handle goes stale and cancelling it is a no-op.
+    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let h = self.timers.arm((self.me, token));
+        self.events.schedule(self.now + delay, NetEvent::Timer(h));
+        h
+    }
+
+    /// Cancel a timer armed with [`schedule_in`](Self::schedule_in). Returns
+    /// whether the timer was still live. The dead heap entry is drained
+    /// inside the event loop; the endpoint never sees it.
+    pub fn cancel_timer(&mut self, h: TimerHandle) -> bool {
+        self.timers.cancel(h).is_some()
     }
 
     /// The simulation's RNG (deterministic per seed).
@@ -110,22 +138,30 @@ impl NetCtx<'_> {
     }
 }
 
-/// Admit `pkt` to the queue at its current hop and kick service if idle.
+/// Admit the packet behind `r` to the queue at its current hop and kick
+/// service if idle. On drop the arena slot is freed immediately.
 fn enqueue(
     queues: &mut [Queue],
     events: &mut EventQueue<NetEvent>,
+    arena: &mut PacketArena,
     now: SimTime,
     rng: &mut SimRng,
     tracer: &Tracer,
-    pkt: Packet,
+    r: PacketRef,
 ) {
-    // simlint: allow(R5) route-end is checked by the deliver/forward split in dispatch; a packet here always has a next hop
-    let qid = pkt.next_queue().expect("enqueue past end of route");
-    // Snapshot identity before the packet is moved into the buffer; the
-    // closures below only run when a sink is attached.
-    let (conn, subflow, kind, seq, size) = (pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size);
+    // Snapshot identity up front: the admission decision and the (lazy)
+    // trace closures below need only these copies, not the arena entry.
+    let (qid, conn, subflow, kind, seq, size) = {
+        let pkt = arena.get(r);
+        let Some(qid) = pkt.next_queue() else {
+            // Route-end is checked by the deliver/forward split in dispatch;
+            // a packet here always has a next hop.
+            panic!("enqueue past end of route");
+        };
+        (qid, pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size)
+    };
     let q = &mut queues[qid.index()];
-    match q.try_enqueue(pkt, now, rng) {
+    match q.try_enqueue(r, now, rng) {
         Ok(()) => {
             tracer.emit(now, || TraceEvent::Enqueue {
                 queue: qid.index() as u32,
@@ -137,11 +173,11 @@ fn enqueue(
                 qlen: q.len() as u32,
             });
             if !q.busy {
+                // Idle queue: the packet just admitted *is* the head, so its
+                // size (already snapshotted) prices the service time.
                 q.busy = true;
                 q.service_start = now;
-                // simlint: allow(R5) try_enqueue returned Ok on this branch, so the buffer is non-empty
-                let head = q.buf.front().expect("just enqueued");
-                let st = q.config.service_time(head.size);
+                let st = q.config.service_time(size);
                 events.schedule(now + st, NetEvent::Service(qid));
             }
         }
@@ -154,6 +190,7 @@ fn enqueue(
                 seq,
                 reason,
             });
+            arena.remove(r);
         }
     }
 }
@@ -163,9 +200,32 @@ pub struct Simulation {
     queues: Vec<Queue>,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     events: EventQueue<NetEvent>,
+    arena: PacketArena,
+    timers: TimerSlab<(EndpointId, u64)>,
     rng: SimRng,
     tracer: Tracer,
     events_processed: u64,
+}
+
+/// Occupancy counters of the event-loop internals, for the perf harness and
+/// capacity-planning diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Most pending events the heap ever held at once.
+    pub peak_heap: usize,
+    /// Most packets ever in flight (arena occupancy) at once.
+    pub peak_arena: usize,
+    /// Packets in flight right now (should be 0 at quiescence — anything
+    /// else is a leak; see [`Simulation::check_packet_conservation`]).
+    pub arena_live: usize,
+    /// Total packets ever admitted to the arena.
+    pub arena_inserts: u64,
+    /// Timers currently armed.
+    pub live_timers: usize,
+    /// Most timers ever armed at once.
+    pub peak_timers: usize,
+    /// Cancelled timers whose dead heap entries were lazily drained.
+    pub stale_timer_drains: u64,
 }
 
 impl Simulation {
@@ -175,10 +235,30 @@ impl Simulation {
             queues: Vec::new(),
             endpoints: Vec::new(),
             events: EventQueue::new(),
+            arena: PacketArena::new(),
+            timers: TimerSlab::new(),
             rng: SimRng::seed_from_u64(seed),
             tracer: Tracer::disabled(),
             events_processed: 0,
         }
+    }
+
+    /// Pre-size the event heap, packet arena, and timer slab from the
+    /// topology installed so far (endpoints × queues heuristic), so large
+    /// runs don't grow them incrementally mid-loop. Topology builders call
+    /// this once construction is complete; calling it is never required for
+    /// correctness.
+    pub fn preallocate(&mut self) {
+        let endpoints = self.endpoints.len();
+        let queues = self.queues.len();
+        // Each endpoint keeps a window of packets in flight (events +
+        // arena), each queue at most one outstanding service event; the
+        // constants are deliberately modest — Vec growth from a right-order
+        // base costs one or two doublings at most.
+        let cap = endpoints * 8 + queues * 2 + 64;
+        self.events.reserve(cap);
+        self.arena.reserve(cap);
+        self.timers.reserve(endpoints * 2 + 16);
     }
 
     /// Attach (or replace) the tracer every layer of this simulation emits
@@ -256,15 +336,7 @@ impl Simulation {
     pub fn run_until(&mut self, until: SimTime) {
         let started_at = self.events.now();
         let mut dispatched: u64 = 0;
-        while let Some(t) = self.events.peek_time() {
-            if t > until {
-                break;
-            }
-            // peek_time returned Some, so pop yields; structured as a let-else
-            // rather than an unwrap so the hot loop stays panic-free (R5).
-            let Some((now, ev)) = self.events.pop() else {
-                break;
-            };
+        while let Some((now, ev)) = self.events.pop_at_or_before(until) {
             self.dispatch(now, ev);
             dispatched += 1;
         }
@@ -283,15 +355,26 @@ impl Simulation {
     fn dispatch(&mut self, now: SimTime, ev: NetEvent) {
         match ev {
             NetEvent::Service(qid) => {
-                let q = &mut self.queues[qid.index()];
-                let mut pkt = q.complete_service();
+                let qi = qid.index();
+                // Resolve the head once; its snapshot feeds the byte
+                // counters, the (lazy) trace closure, and the hop advance.
+                let Some(&head) = self.queues[qi].buf.front() else {
+                    panic!("service completion on empty queue");
+                };
+                let (conn, subflow, kind, seq, size) = {
+                    let pkt = self.arena.get(head);
+                    (pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size)
+                };
+                let q = &mut self.queues[qi];
+                let r = q.complete_service(size);
+                debug_assert_eq!(r, head);
                 self.tracer.emit(now, || TraceEvent::Dequeue {
                     queue: qid.index() as u32,
-                    conn: pkt.conn,
-                    subflow: pkt.subflow,
-                    kind: pkt.kind.into(),
-                    seq: pkt.seq,
-                    size: pkt.size,
+                    conn,
+                    subflow,
+                    kind: kind.into(),
+                    seq,
+                    size,
                 });
                 // Busy time accrues at completion (not when service was
                 // scheduled) so it survives mid-run rate changes and is
@@ -299,14 +382,14 @@ impl Simulation {
                 q.stats.busy_ns += now.saturating_since(q.service_start).as_nanos();
                 let latency = q.config.latency;
                 let impair = q.impair;
-                if let Some(head) = q.buf.front() {
-                    let st = q.config.service_time(head.size);
+                if let Some(&next) = q.buf.front() {
+                    let st = q.config.service_time(self.arena.get(next).size);
                     q.service_start = now;
                     self.events.schedule(now + st, NetEvent::Service(qid));
                 } else {
                     q.busy = false;
                 }
-                pkt.hop += 1;
+                self.arena.get_mut(r).hop += 1;
                 let mut delay = latency;
                 if impair.reorder_p > 0.0 && self.rng.chance(impair.reorder_p) {
                     delay += impair.reorder_extra;
@@ -314,33 +397,40 @@ impl Simulation {
                 if impair.duplicate_p > 0.0 && self.rng.chance(impair.duplicate_p) {
                     // The duplicate takes the base latency, so a reordered
                     // original arrives after its own copy.
-                    self.events
-                        .schedule(now + latency, NetEvent::Arrival(pkt.clone()));
+                    let copy = self.arena.get(r).clone();
+                    let dup = self.arena.insert(copy);
+                    self.events.schedule(now + latency, NetEvent::Arrival(dup));
                 }
-                self.events.schedule(now + delay, NetEvent::Arrival(pkt));
+                self.events.schedule(now + delay, NetEvent::Arrival(r));
             }
-            NetEvent::Arrival(pkt) => {
-                if pkt.at_destination() {
+            NetEvent::Arrival(r) => {
+                if self.arena.get(r).at_destination() {
+                    let pkt = self.arena.remove(r);
                     let dst = pkt.dst;
                     self.with_endpoint(dst, now, |ep, ctx| ep.on_packet(ctx, pkt));
                 } else {
                     enqueue(
                         &mut self.queues,
                         &mut self.events,
+                        &mut self.arena,
                         now,
                         &mut self.rng,
                         &self.tracer,
-                        pkt,
+                        r,
                     );
                 }
             }
             NetEvent::Start(id) => {
                 self.with_endpoint(id, now, |ep, ctx| ep.start(ctx));
             }
-            NetEvent::Timer { ep, token } => {
-                self.with_endpoint(ep, now, |e, ctx| e.on_timer(ctx, token));
+            NetEvent::Timer(h) => {
+                // A cancelled timer's dead heap entry drains here, without
+                // dispatching — the endpoint only ever sees live timers.
+                if let Some((ep, token)) = self.timers.claim(h) {
+                    self.with_endpoint(ep, now, |e, ctx| e.on_timer(ctx, token));
+                }
             }
-            NetEvent::Fault(action) => self.apply_fault(now, action),
+            NetEvent::Fault(action) => self.apply_fault(now, *action),
         }
     }
 
@@ -398,6 +488,8 @@ impl Simulation {
                 now,
                 queues: &mut self.queues,
                 events: &mut self.events,
+                arena: &mut self.arena,
+                timers: &mut self.timers,
                 rng: &mut self.rng,
                 tracer: &self.tracer,
             };
@@ -449,7 +541,8 @@ impl Simulation {
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         let now = self.events.now();
         for (t, action) in plan.into_sorted() {
-            self.events.schedule(t.max(now), NetEvent::Fault(action));
+            self.events
+                .schedule(t.max(now), NetEvent::Fault(Box::new(action)));
         }
     }
 
@@ -493,6 +586,67 @@ impl Simulation {
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
+
+    /// Occupancy counters of the event-loop internals (heap high-water,
+    /// arena occupancy, timer-slab state).
+    pub fn loop_stats(&self) -> LoopStats {
+        LoopStats {
+            peak_heap: self.events.high_water(),
+            peak_arena: self.arena.peak(),
+            arena_live: self.arena.live(),
+            arena_inserts: self.arena.inserts(),
+            live_timers: self.timers.live(),
+            peak_timers: self.timers.peak(),
+            stale_timer_drains: self.timers.stale_drains(),
+        }
+    }
+
+    /// Packet-conservation / arena-leak check.
+    ///
+    /// Two identities must hold at any instant the event loop is not
+    /// mid-dispatch:
+    ///
+    /// 1. per queue, `arrived − dropped − forwarded` equals the buffered
+    ///    count (every offered packet is dropped, buffered, or forwarded);
+    /// 2. arena occupancy equals buffered packets + pending `Arrival`
+    ///    events (every in-flight packet is either in a buffer or
+    ///    propagating).
+    ///
+    /// Identity 1 is stated over [`QueueStats`] counters, so it only holds
+    /// if stats were not reset while packets were buffered
+    /// ([`reset_queue_stats`](Self::reset_queue_stats) keeps the buffer);
+    /// identity 2 holds unconditionally. Tests and the perf harness call
+    /// this at quiescence, where `arena_live == 0` additionally proves no
+    /// slot leaked.
+    pub fn check_packet_conservation(&self) -> Result<(), String> {
+        let mut buffered = 0usize;
+        for (i, q) in self.queues.iter().enumerate() {
+            let s = q.stats;
+            let expect = s
+                .arrived
+                .checked_sub(s.dropped + s.forwarded)
+                .ok_or_else(|| format!("queue {i}: counters exceed arrivals: {s:?}"))?;
+            if expect != q.buf.len() as u64 {
+                return Err(format!(
+                    "queue {i}: arrived - dropped - forwarded = {expect} but {} buffered",
+                    q.buf.len()
+                ));
+            }
+            buffered += q.buf.len();
+        }
+        let propagating = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, NetEvent::Arrival(_)))
+            .count();
+        let live = self.arena.live();
+        if live != buffered + propagating {
+            return Err(format!(
+                "arena leak: {live} live packets vs {buffered} buffered + {propagating} propagating"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -526,11 +680,11 @@ mod tests {
             assert_eq!(pkt.kind, PacketKind::Ack);
             self.acks.push((ctx.now(), pkt.ack));
         }
-        fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+        fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
     }
 
     impl Endpoint for Echo {
-        fn start(&mut self, _: &mut NetCtx) {}
+        fn start(&mut self, _: &mut NetCtx<'_>) {}
         fn on_packet(&mut self, ctx: &mut NetCtx<'_>, pkt: Packet) {
             self.received.push(pkt.seq);
             let ack = Packet::ack(
@@ -545,7 +699,7 @@ mod tests {
             );
             ctx.send(ack);
         }
-        fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+        fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
     }
 
     fn echo_setup(n: u64, seed: u64) -> (Simulation, EndpointId, EndpointId, QueueId, QueueId) {
@@ -642,15 +796,15 @@ mod tests {
             fn start(&mut self, ctx: &mut NetCtx<'_>) {
                 ctx.send(Packet::data(ctx.me(), self.dst, 0, 0, 0, 100, route(&[])));
             }
-            fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {}
-            fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
         }
         impl Endpoint for Sink {
-            fn start(&mut self, _: &mut NetCtx) {}
-            fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {
+            fn start(&mut self, _: &mut NetCtx<'_>) {}
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {
                 self.got += 1;
             }
-            fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
         }
         let mut sim = Simulation::new(0);
         let dst = sim.reserve_endpoint();
@@ -672,8 +826,8 @@ mod tests {
                 ctx.schedule_in(SimDuration::from_millis(10), 1);
                 ctx.schedule_in(SimDuration::from_millis(30), 3);
             }
-            fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {}
-            fn on_timer(&mut self, _: &mut NetCtx, token: u64) {
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, token: u64) {
                 self.fired.push(token);
             }
         }
@@ -690,6 +844,86 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_timer_never_fires() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct CancelEp {
+            fired: Rc<RefCell<Vec<u64>>>,
+            pending: Option<eventsim::TimerHandle>,
+        }
+        impl Endpoint for CancelEp {
+            fn start(&mut self, ctx: &mut NetCtx<'_>) {
+                // Arm two; cancel the first from the second's callback — the
+                // first is later, so the cancel lands while it is pending.
+                self.pending = Some(ctx.schedule_in(SimDuration::from_millis(20), 1));
+                ctx.schedule_in(SimDuration::from_millis(10), 2);
+            }
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+                if let Some(h) = self.pending.take() {
+                    assert!(ctx.cancel_timer(h), "timer 1 should still be live");
+                    assert!(!ctx.cancel_timer(h), "double-cancel is a no-op");
+                }
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(0);
+        let ep = sim.add_endpoint(Box::new(CancelEp {
+            fired: fired.clone(),
+            pending: None,
+        }));
+        sim.start_endpoint(ep);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // Token 1 was cancelled: its dead heap entry drained without a
+        // callback, and the drain is counted.
+        assert_eq!(*fired.borrow(), vec![2]);
+        assert_eq!(sim.loop_stats().stale_timer_drains, 1);
+        assert_eq!(sim.loop_stats().live_timers, 0);
+    }
+
+    #[test]
+    fn conservation_holds_at_quiescence_and_catches_leaks() {
+        let (mut sim, _, _, fwd, _) = echo_setup(20, 1);
+        sim.run_until(SimTime::from_secs_f64(0.01));
+        // Mid-run: buffered + propagating must still account for every
+        // arena entry.
+        sim.check_packet_conservation().unwrap();
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        sim.check_packet_conservation().unwrap();
+        let ls = sim.loop_stats();
+        assert_eq!(ls.arena_live, 0, "all packets delivered or dropped");
+        assert!(ls.peak_arena > 0 && ls.peak_heap > 0);
+        assert_eq!(ls.arena_inserts, 40, "20 data + 20 ACKs");
+        // Forge a leak: doctor the stats so the identity breaks.
+        sim.queues[fwd.index()].stats.arrived += 1;
+        assert!(sim.check_packet_conservation().is_err());
+    }
+
+    #[test]
+    fn dropped_packets_free_their_arena_slots() {
+        let (mut sim, _, _, fwd, _) = echo_setup(5, 1);
+        sim.set_queue_down(fwd, true);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.queue_stats(fwd).dropped, 5);
+        sim.check_packet_conservation().unwrap();
+        assert_eq!(sim.loop_stats().arena_live, 0);
+    }
+
+    #[test]
+    fn preallocate_is_behavior_neutral() {
+        let run = |prealloc: bool| {
+            let (mut sim, _, _, fwd, rev) = echo_setup(50, 9);
+            if prealloc {
+                sim.preallocate();
+            }
+            sim.run_until(SimTime::from_secs_f64(2.0));
+            (sim.queue_stats(fwd), sim.queue_stats(rev))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     #[should_panic(expected = "never installed")]
     fn reserved_but_uninstalled_endpoint_panics_on_dispatch() {
         let mut sim = Simulation::new(0);
@@ -703,9 +937,9 @@ mod tests {
     fn double_install_panics() {
         struct Nop;
         impl Endpoint for Nop {
-            fn start(&mut self, _: &mut NetCtx) {}
-            fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {}
-            fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+            fn start(&mut self, _: &mut NetCtx<'_>) {}
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
         }
         let mut sim = Simulation::new(0);
         let ep = sim.add_endpoint(Box::new(Nop));
@@ -803,11 +1037,11 @@ mod tests {
             got: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
         }
         impl Endpoint for Sink {
-            fn start(&mut self, _: &mut NetCtx) {}
-            fn on_packet(&mut self, _: &mut NetCtx, pkt: Packet) {
+            fn start(&mut self, _: &mut NetCtx<'_>) {}
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, pkt: Packet) {
                 self.got.borrow_mut().push(pkt.seq);
             }
-            fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
         }
         struct TwoShot {
             dst: EndpointId,
@@ -827,8 +1061,8 @@ mod tests {
                     ));
                 }
             }
-            fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {}
-            fn on_timer(&mut self, _: &mut NetCtx, _: u64) {}
+            fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NetCtx<'_>, _: u64) {}
         }
         let mut sim = Simulation::new(5);
         let q = sim.add_queue(QueueConfig::drop_tail(

@@ -93,9 +93,16 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
     "crates/topo/",
 ];
 
-/// Event-loop hot paths for R5: the scheduler itself and the netsim
-/// dispatch loop. A panic here kills a multi-hour experiment.
-const HOT_PATH_PREFIXES: &[&str] = &["crates/netsim/src/sim.rs", "crates/eventsim/src/"];
+/// Event-loop hot paths for R5: the scheduler itself, the netsim dispatch
+/// loop, and the per-packet structures it leans on (the arena every packet
+/// lives in, the queue every packet crosses). A panic here kills a
+/// multi-hour experiment.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/netsim/src/sim.rs",
+    "crates/netsim/src/arena.rs",
+    "crates/netsim/src/queue.rs",
+    "crates/eventsim/src/",
+];
 
 /// Congestion-control math (R4) lives in the algorithm crate.
 const CC_MATH_PREFIX: &str = "crates/core/";

@@ -1,10 +1,81 @@
 //! The receiving endpoint: per-subflow in-order delivery and cumulative ACKs.
 
-use std::collections::BTreeSet;
+use std::collections::VecDeque;
 
 use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
 
 use crate::stats::FlowHandle;
+
+/// A set of sequence numbers buffered above a moving in-order point.
+///
+/// Replaces the former `BTreeSet<u64>`: reassembly only ever inserts above
+/// the cumulative point, queries near it, and drains a contiguous run at the
+/// front, so a sliding bitmap over `[base, base + bits.len())` does the job
+/// in O(1) per operation with zero steady-state allocation. This matters: in
+/// a multipath run the connection-level reorder buffer is touched by nearly
+/// every arriving packet (DSN arrival order never matches data-sequence
+/// order across subflows), and BTree node churn was the simulator's largest
+/// remaining allocation source.
+#[derive(Debug, Default)]
+struct ReorderWindow {
+    /// Sequence number of `bits[0]`. Never above the owner's in-order point.
+    base: u64,
+    /// Membership bits for `base..base + bits.len()`.
+    bits: VecDeque<bool>,
+    /// Number of set bits (the reorder-buffer occupancy).
+    count: usize,
+}
+
+impl ReorderWindow {
+    /// Whether `v` is buffered.
+    fn contains(&self, v: u64) -> bool {
+        v >= self.base
+            && ((v - self.base) as usize) < self.bits.len()
+            && self.bits[(v - self.base) as usize]
+    }
+
+    /// Buffer `v` (idempotent). `v` must be at or above the window base.
+    fn insert(&mut self, v: u64) {
+        debug_assert!(v >= self.base, "insert below the reorder window");
+        let off = (v - self.base) as usize;
+        if off >= self.bits.len() {
+            self.bits.resize(off + 1, false);
+        }
+        if !self.bits[off] {
+            self.bits[off] = true;
+            self.count += 1;
+        }
+    }
+
+    /// The in-order point advanced to `point`: drain the contiguous run of
+    /// buffered values starting there and return the new in-order point.
+    /// Everything below it is released (the bitmap slides forward).
+    fn drain_from(&mut self, mut point: u64) -> u64 {
+        while self.base < point {
+            match self.bits.pop_front() {
+                Some(b) => {
+                    debug_assert!(!b, "delivered value still buffered");
+                    self.base += 1;
+                }
+                None => {
+                    self.base = point;
+                }
+            }
+        }
+        while self.bits.front() == Some(&true) {
+            self.bits.pop_front();
+            self.base += 1;
+            self.count -= 1;
+            point += 1;
+        }
+        point
+    }
+
+    /// Number of buffered values.
+    fn len(&self) -> usize {
+        self.count
+    }
+}
 
 /// Per-subflow receiver state.
 #[derive(Debug)]
@@ -14,7 +85,7 @@ struct SinkSubflow {
     /// Next expected sequence number (everything below is delivered).
     expected: u64,
     /// Out-of-order packets held for reassembly.
-    buffered: BTreeSet<u64>,
+    buffered: ReorderWindow,
     /// In-order packets received since the last ACK (delayed ACKs).
     unacked: u32,
 }
@@ -34,7 +105,7 @@ pub struct TcpSink {
     /// Connection-level (DSN) reassembly: next DSN the application reads.
     app_expected: u64,
     /// DSNs received above `app_expected` (the MPTCP reorder buffer).
-    app_buffered: BTreeSet<u64>,
+    app_buffered: ReorderWindow,
     handle: FlowHandle,
 }
 
@@ -72,13 +143,13 @@ impl TcpSink {
             ack_size,
             ack_every,
             app_expected: 0,
-            app_buffered: BTreeSet::new(),
+            app_buffered: ReorderWindow::default(),
             subflows: rev_routes
                 .into_iter()
                 .map(|rev| SinkSubflow {
                     rev,
                     expected: 0,
-                    buffered: BTreeSet::new(),
+                    buffered: ReorderWindow::default(),
                     unacked: 0,
                 })
                 .collect(),
@@ -102,10 +173,7 @@ impl Endpoint for TcpSink {
 
         let before = sf.expected;
         if pkt.seq == sf.expected {
-            sf.expected += 1;
-            while sf.buffered.remove(&sf.expected) {
-                sf.expected += 1;
-            }
+            sf.expected = sf.buffered.drain_from(sf.expected + 1);
         } else if pkt.seq > sf.expected {
             sf.buffered.insert(pkt.seq);
         }
@@ -126,12 +194,9 @@ impl Endpoint for TcpSink {
         // Connection-level (DSN) reassembly: the application reads in data-
         // sequence order across subflows; a straggling subflow head-of-line
         // blocks it (what a real MPTCP receive buffer experiences).
-        if pkt.dsn >= self.app_expected && !self.app_buffered.contains(&pkt.dsn) {
+        if pkt.dsn >= self.app_expected && !self.app_buffered.contains(pkt.dsn) {
             if pkt.dsn == self.app_expected {
-                self.app_expected += 1;
-                while self.app_buffered.remove(&self.app_expected) {
-                    self.app_expected += 1;
-                }
+                self.app_expected = self.app_buffered.drain_from(self.app_expected + 1);
             } else {
                 self.app_buffered.insert(pkt.dsn);
             }
@@ -249,6 +314,32 @@ mod tests {
         let delivered = handle.read(|s| s.delivered_packets);
         let acks = acks.borrow().clone();
         (acks, delivered)
+    }
+
+    #[test]
+    fn reorder_window_matches_set_semantics() {
+        let mut w = ReorderWindow::default();
+        assert_eq!(w.len(), 0);
+        w.insert(3);
+        w.insert(5);
+        w.insert(3); // idempotent
+        assert_eq!(w.len(), 2);
+        assert!(w.contains(3) && w.contains(5));
+        assert!(!w.contains(0) && !w.contains(4) && !w.contains(6));
+        // In-order point reaches 2: nothing contiguous at 2, window slides.
+        assert_eq!(w.drain_from(2), 2);
+        assert!(w.contains(3));
+        // Point reaches 3: 3 drains, 4 is a hole, 5 stays buffered.
+        assert_eq!(w.drain_from(3), 4);
+        assert_eq!(w.len(), 1);
+        assert!(!w.contains(3) && w.contains(5));
+        // Hole filled: 4 then the buffered 5 drain together.
+        assert_eq!(w.drain_from(5), 6);
+        assert_eq!(w.len(), 0);
+        // Draining past an empty window just slides the base.
+        assert_eq!(w.drain_from(100), 100);
+        w.insert(101);
+        assert!(w.contains(101) && !w.contains(100));
     }
 
     #[test]

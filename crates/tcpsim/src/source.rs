@@ -1,10 +1,10 @@
 //! The sending endpoint: windows, retransmission, and the coupled
 //! congestion-control loop.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
-use eventsim::SimDuration;
-use mpsim_core::{alpha_values, MultipathCc, PathView};
+use eventsim::{SimDuration, TimerHandle};
+use mpsim_core::{alpha_for, MultipathCc, PathView};
 use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
 use trace::{CwndReason, SubflowState, TraceEvent};
 
@@ -49,9 +49,13 @@ struct Subflow {
     rtt: RttEstimator,
     /// RTO backoff exponent (reset on any advancing ACK).
     backoff: u32,
-    /// Current timer generation; older timer events are stale.
-    timer_version: u64,
-    timer_armed: bool,
+    /// Live RTO timer, if armed. Cancellation goes through the simulator's
+    /// generational timer slab ([`NetCtx::cancel_timer`]); a cancelled timer
+    /// never reaches `on_timer`, so there is no staleness version to check.
+    rto_timer: Option<TimerHandle>,
+    /// Live re-probe timer while `Failed` (cancelled when an advancing ACK
+    /// restores the path).
+    probe_timer: Option<TimerHandle>,
     /// ℓ₁: packets ACKed between the last two losses (§IV-B).
     ell1: f64,
     /// ℓ₂: packets ACKed since the last loss.
@@ -68,11 +72,55 @@ struct Subflow {
     /// probe, capped at `TcpConfig::reprobe_max`).
     reprobe_interval: SimDuration,
     /// MPTCP data-sequence mapping: subflow seq → connection-level DSN.
-    /// Entries below `cum_ack` are garbage-collected on advancing ACKs;
-    /// retransmissions reuse the original mapping. A `BTreeMap` (not
-    /// `HashMap`) so any future iteration is ordered; lookups are on an
-    /// in-flight-window-sized map, so the log factor is noise.
-    dsn_map: BTreeMap<u64, u64>,
+    /// See [`DsnWindow`].
+    dsn: DsnWindow,
+}
+
+/// MPTCP data-sequence mappings for the in-flight window of one subflow.
+///
+/// Replaces the former per-sequence `BTreeMap`: mappings are created in
+/// sequence order (new data is only ever sent at the high-water mark) and
+/// released in sequence order (cumulative ACKs), so the live set is always
+/// the contiguous window `[base, base + dsns.len())` and a ring buffer gives
+/// O(1) lookups with no per-packet node allocation. Retransmissions index
+/// into the window and reuse the original DSN, exactly as the map did.
+#[derive(Debug, Default)]
+struct DsnWindow {
+    /// Lowest subflow sequence with a live mapping (== `cum_ack` after GC).
+    base: u64,
+    /// DSNs for sequences `base..base + dsns.len()`, in order.
+    dsns: VecDeque<u64>,
+}
+
+impl DsnWindow {
+    /// The DSN for `seq`, assigning (and consuming) `next_dsn` if this is
+    /// the first transmission of `seq`.
+    fn map(&mut self, seq: u64, next_dsn: &mut u64) -> u64 {
+        debug_assert!(seq >= self.base, "transmit below the ACKed window");
+        let off = (seq - self.base) as usize;
+        if off == self.dsns.len() {
+            let d = *next_dsn;
+            *next_dsn += 1;
+            self.dsns.push_back(d);
+            d
+        } else {
+            // Out-of-range (a transmit above the send window) is a bug and
+            // panics via the index, same as a map lookup miss would.
+            self.dsns[off]
+        }
+    }
+
+    /// Release every mapping below the cumulative ACK `ack`.
+    fn release_below(&mut self, ack: u64) {
+        while self.base < ack {
+            if self.dsns.pop_front().is_none() {
+                // Window already empty (idle-probe ACK): jump the base.
+                self.base = ack;
+                return;
+            }
+            self.base += 1;
+        }
+    }
 }
 
 impl Subflow {
@@ -109,35 +157,43 @@ pub struct TcpSource {
     /// Next connection-level data-sequence number to assign.
     next_dsn: u64,
     min_ssthresh: f64,
+    /// Reusable [`PathView`] buffer for the per-ACK congestion-control
+    /// calls, so the hot path allocates nothing (see [`Self::refresh_views`]).
+    scratch_views: Vec<PathView>,
     handle: FlowHandle,
 }
 
-/// Encode a (subflow, version) pair into a timer token.
-fn timer_token(idx: usize, version: u64) -> u64 {
-    ((idx as u64) << 40) | (version & 0xFF_FFFF_FFFF)
-}
-
-fn decode_token(token: u64) -> (usize, u64) {
-    (((token >> 40) & 0x3F_FFFF) as usize, token & 0xFF_FFFF_FFFF)
+/// RTO-expiry token for subflow `idx`.
+///
+/// With cancellable timer handles a timer that reaches `on_timer` is live by
+/// construction — invalidated timers are cancelled at the source, not
+/// filtered at the sink — so tokens no longer carry a staleness version.
+/// The top two bits name the timer kind, the low bits the subflow.
+fn timer_token(idx: usize) -> u64 {
+    idx as u64
 }
 
 /// Token marking a prune-cooldown expiry for a subflow.
 fn prune_token(idx: usize) -> u64 {
-    (1 << 63) | ((idx as u64) << 40)
+    (1 << 63) | idx as u64
 }
 
 fn is_prune_token(token: u64) -> bool {
     token >> 63 == 1
 }
 
-/// Token marking a re-probe of a failed subflow (versioned like RTO tokens
-/// so probes pending at restoration time go stale).
-fn probe_token(idx: usize, version: u64) -> u64 {
-    (1 << 62) | ((idx as u64) << 40) | (version & 0xFF_FFFF_FFFF)
+/// Token marking a re-probe of a failed subflow.
+fn probe_token(idx: usize) -> u64 {
+    (1 << 62) | idx as u64
 }
 
 fn is_probe_token(token: u64) -> bool {
     (token >> 62) & 0b11 == 0b01
+}
+
+/// The subflow index carried in any token kind.
+fn decode_idx(token: u64) -> usize {
+    (token & !(0b11 << 62)) as usize
 }
 
 impl TcpSource {
@@ -173,14 +229,14 @@ impl TcpSource {
                 dup_acks: 0,
                 rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto),
                 backoff: 0,
-                timer_version: 0,
-                timer_armed: false,
+                rto_timer: None,
+                probe_timer: None,
                 ell1: 0.0,
                 ell2: 0.0,
                 active: true,
                 health: PathHealth::Active,
                 reprobe_interval: cfg.reprobe_initial,
-                dsn_map: BTreeMap::new(),
+                dsn: DsnWindow::default(),
             })
             .collect();
         TcpSource {
@@ -194,6 +250,7 @@ impl TcpSource {
             total_acked: 0,
             next_dsn: 0,
             min_ssthresh,
+            scratch_views: Vec::new(),
             handle,
         }
     }
@@ -213,6 +270,21 @@ impl TcpSource {
             .collect()
     }
 
+    /// Refresh `scratch_views` from the subflows: the allocation-free
+    /// equivalent of [`Self::path_views`] for the per-ACK hot path (the
+    /// buffer's capacity is reused across calls).
+    fn refresh_views(&mut self) {
+        let initial_rtt = self.cfg.initial_rtt;
+        self.scratch_views.clear();
+        self.scratch_views
+            .extend(self.subflows.iter().map(|s| PathView {
+                cwnd: s.cwnd,
+                rtt: s.rtt.srtt_or(initial_rtt),
+                ell: s.ell(),
+                established: s.active && s.health != PathHealth::Failed,
+            }));
+    }
+
     /// Transmit one packet with sequence `seq` on subflow `idx`.
     ///
     /// First transmissions are assigned the next connection-level DSN;
@@ -220,11 +292,7 @@ impl TcpSource {
     fn transmit(&mut self, ctx: &mut NetCtx<'_>, idx: usize, seq: u64) {
         let next_dsn = &mut self.next_dsn;
         let sf = &mut self.subflows[idx];
-        let dsn = *sf.dsn_map.entry(seq).or_insert_with(|| {
-            let d = *next_dsn;
-            *next_dsn += 1;
-            d
-        });
+        let dsn = sf.dsn.map(seq, next_dsn);
         let mut pkt = Packet::data(
             ctx.me(),
             self.dst,
@@ -282,27 +350,22 @@ impl TcpSource {
     /// owned by the probe timer instead — probes must not re-arm the RTO.
     fn ensure_timer(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &mut self.subflows[idx];
-        if sf.timer_armed || sf.health == PathHealth::Failed {
+        if sf.rto_timer.is_some() || sf.health == PathHealth::Failed {
             return;
         }
-        sf.timer_armed = true;
-        sf.timer_version += 1;
         let rto = sf.rto_with_backoff();
-        let token = timer_token(idx, sf.timer_version);
-        ctx.schedule_in(rto, token);
+        sf.rto_timer = Some(ctx.schedule_in(rto, timer_token(idx)));
     }
 
-    /// Invalidate any outstanding timer and re-arm if data is in flight.
+    /// Cancel any outstanding RTO timer and re-arm if data is in flight.
     fn restart_timer(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &mut self.subflows[idx];
-        sf.timer_version += 1;
+        if let Some(h) = sf.rto_timer.take() {
+            ctx.cancel_timer(h);
+        }
         if sf.inflight() > 0 && sf.active && sf.health != PathHealth::Failed {
-            sf.timer_armed = true;
             let rto = sf.rto_with_backoff();
-            let token = timer_token(idx, sf.timer_version);
-            ctx.schedule_in(rto, token);
-        } else {
-            sf.timer_armed = false;
+            sf.rto_timer = Some(ctx.schedule_in(rto, timer_token(idx)));
         }
     }
 
@@ -315,8 +378,8 @@ impl TcpSource {
                 // Slow start: +1 MSS per MSS ACKed.
                 self.subflows[idx].cwnd += 1.0;
             } else {
-                let views = self.path_views();
-                let inc = self.cc.on_ack(&views, idx);
+                self.refresh_views();
+                let inc = self.cc.on_ack(&self.scratch_views, idx);
                 self.subflows[idx].cwnd += inc;
             }
             let sf = &mut self.subflows[idx];
@@ -326,8 +389,11 @@ impl TcpSource {
 
     /// Window reduction shared by fast retransmit and RTO.
     fn reduce_on_loss(&mut self, idx: usize) -> f64 {
-        let views = self.path_views();
-        let new_cwnd = self.cc.on_loss(&views, idx).max(self.min_ssthresh);
+        self.refresh_views();
+        let new_cwnd = self
+            .cc
+            .on_loss(&self.scratch_views, idx)
+            .max(self.min_ssthresh);
         self.subflows[idx].ell_loss();
         new_cwnd
     }
@@ -357,8 +423,12 @@ impl TcpSource {
         self.trace_state(ctx, idx, health_state(prev), SubflowState::Pruned);
         let sf = &mut self.subflows[idx];
         sf.active = false;
-        sf.timer_version += 1; // cancel the RTO
-        sf.timer_armed = false;
+        if let Some(h) = sf.rto_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        if let Some(h) = sf.probe_timer.take() {
+            ctx.cancel_timer(h);
+        }
         ctx.schedule_in(self.cfg.prune_cooldown, prune_token(idx));
     }
 
@@ -416,7 +486,7 @@ impl TcpSource {
         let now = ctx.now();
         let alpha = if trace && self.subflows.len() > 1 {
             let views = self.path_views();
-            Some(alpha_values(&views)[idx])
+            Some(alpha_for(&views, idx))
         } else {
             None
         };
@@ -445,9 +515,7 @@ impl TcpSource {
             let mut was_failed = false;
             {
                 let sf = &mut self.subflows[idx];
-                for seq in cum..ack {
-                    sf.dsn_map.remove(&seq);
-                }
+                sf.dsn.release_below(ack);
                 sf.cum_ack = ack;
                 // A stale retransmission can ACK past a go-back-N rollback
                 // point; keep next_seq ≥ cum_ack so inflight() is well-defined.
@@ -464,8 +532,9 @@ impl TcpSource {
                         sf.phase = Phase::Open;
                         sf.dup_acks = 0;
                         sf.reprobe_interval = self.cfg.reprobe_initial;
-                        sf.timer_version += 1;
-                        sf.timer_armed = false;
+                        if let Some(h) = sf.probe_timer.take() {
+                            ctx.cancel_timer(h);
+                        }
                     }
                 }
                 sf.ell2 += newly as f64;
@@ -563,12 +632,8 @@ impl TcpSource {
     }
 
     fn handle_timeout(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
-        if !self.subflows[idx].active {
-            self.subflows[idx].timer_armed = false;
-            return;
-        }
-        if self.subflows[idx].inflight() == 0 {
-            self.subflows[idx].timer_armed = false;
+        // The fired timer was already cleared from `rto_timer` by `on_timer`.
+        if !self.subflows[idx].active || self.subflows[idx].inflight() == 0 {
             return;
         }
         // The interval that just expired was armed with the old backoff.
@@ -582,7 +647,6 @@ impl TcpSource {
             sf.phase = Phase::Open;
             sf.dup_acks = 0;
             sf.backoff = (sf.backoff + 1).min(10);
-            sf.timer_armed = false;
             // Go-back-N: resend from the hole. The receiver's cumulative
             // ACKs skip over whatever it already buffered, so only genuinely
             // lost packets cost a full retransmission.
@@ -638,11 +702,12 @@ impl TcpSource {
         self.trace_state(ctx, idx, health_state(prev), SubflowState::Failed);
         let sf = &mut self.subflows[idx];
         sf.health = PathHealth::Failed;
-        sf.timer_armed = false;
-        sf.timer_version += 1; // cancel the RTO timer
+        if let Some(h) = sf.rto_timer.take() {
+            ctx.cancel_timer(h);
+        }
         sf.reprobe_interval = initial;
-        let token = probe_token(idx, sf.timer_version);
-        ctx.schedule_in(initial, token);
+        debug_assert!(sf.probe_timer.is_none(), "probe armed on a live path");
+        sf.probe_timer = Some(ctx.schedule_in(initial, probe_token(idx)));
         self.handle.update(|s| {
             s.subflows[idx].failures += 1;
             s.subflows[idx].health = PathHealth::Failed;
@@ -653,20 +718,20 @@ impl TcpSource {
     /// schedule the next probe with the interval doubled (capped at
     /// `TcpConfig::reprobe_max`). If the path is back, the probe's ACK
     /// advances `cum_ack` and the advancing-ACK path restores the subflow.
-    fn handle_probe(&mut self, ctx: &mut NetCtx<'_>, idx: usize, version: u64) {
+    fn handle_probe(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let sf = &self.subflows[idx];
-        if sf.health != PathHealth::Failed || version != sf.timer_version {
-            return; // stale probe: the subflow recovered in the meantime
+        if sf.health != PathHealth::Failed {
+            // Defensive: restoration cancels the probe timer, so a live
+            // probe firing on a healthy path should be impossible.
+            return;
         }
         let probe_seq = sf.cum_ack;
         self.transmit(ctx, idx, probe_seq);
         let max = self.cfg.reprobe_max;
         let sf = &mut self.subflows[idx];
-        sf.timer_version += 1;
         sf.reprobe_interval = sf.reprobe_interval.saturating_mul(2).min(max);
         let next_interval = sf.reprobe_interval;
-        let token = probe_token(idx, sf.timer_version);
-        ctx.schedule_in(next_interval, token);
+        sf.probe_timer = Some(ctx.schedule_in(next_interval, probe_token(idx)));
         self.handle.update(|s| s.subflows[idx].reprobes += 1);
         let conn = self.conn;
         ctx.tracer().emit(ctx.now(), || TraceEvent::Probe {
@@ -707,20 +772,18 @@ impl Endpoint for TcpSource {
     }
 
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
-        let (idx, version) = decode_token(token);
+        // Only live timers reach this point — cancelled handles are drained
+        // inside the event loop — so dispatch is on the token kind alone.
+        let idx = decode_idx(token);
         if is_prune_token(token) {
             self.reactivate(ctx, idx);
-            return;
+        } else if is_probe_token(token) {
+            self.subflows[idx].probe_timer = None;
+            self.handle_probe(ctx, idx);
+        } else {
+            self.subflows[idx].rto_timer = None;
+            self.handle_timeout(ctx, idx);
         }
-        if is_probe_token(token) {
-            self.handle_probe(ctx, idx, version);
-            return;
-        }
-        let sf = &self.subflows[idx];
-        if !sf.timer_armed || version != sf.timer_version {
-            return; // stale timer
-        }
-        self.handle_timeout(ctx, idx);
     }
 }
 
@@ -748,14 +811,14 @@ mod tests {
                 SimDuration::from_secs(1),
             ),
             backoff,
-            timer_version: 0,
-            timer_armed: false,
+            rto_timer: None,
+            probe_timer: None,
             ell1: 0.0,
             ell2: 0.0,
             active: true,
             health: PathHealth::Active,
             reprobe_interval: SimDuration::from_secs(1),
-            dsn_map: BTreeMap::new(),
+            dsn: DsnWindow::default(),
         }
     }
 
@@ -784,17 +847,39 @@ mod tests {
 
     #[test]
     fn timer_tokens_roundtrip_and_flags_are_disjoint() {
-        let rto = timer_token(5, 123);
-        assert_eq!(decode_token(rto), (5, 123));
+        let rto = timer_token(5);
+        assert_eq!(decode_idx(rto), 5);
         assert!(!is_prune_token(rto) && !is_probe_token(rto));
 
-        let probe = probe_token(5, 123);
-        assert_eq!(decode_token(probe), (5, 123));
+        let probe = probe_token(5);
+        assert_eq!(decode_idx(probe), 5);
         assert!(is_probe_token(probe) && !is_prune_token(probe));
 
         let prune = prune_token(5);
-        assert_eq!(decode_token(prune).0, 5);
+        assert_eq!(decode_idx(prune), 5);
         assert!(is_prune_token(prune) && !is_probe_token(prune));
+    }
+
+    #[test]
+    fn dsn_window_assigns_in_order_and_reuses_on_retransmit() {
+        let mut w = DsnWindow::default();
+        let mut next = 0u64;
+        assert_eq!(w.map(0, &mut next), 0);
+        assert_eq!(w.map(1, &mut next), 1);
+        assert_eq!(w.map(2, &mut next), 2);
+        assert_eq!(next, 3);
+        // Retransmissions reuse the original mapping without consuming DSNs.
+        assert_eq!(w.map(1, &mut next), 1);
+        assert_eq!(w.map(0, &mut next), 0);
+        assert_eq!(next, 3);
+        // A cumulative ACK releases the prefix; the rest keeps its DSNs.
+        w.release_below(2);
+        assert_eq!(w.map(2, &mut next), 2);
+        assert_eq!(w.map(3, &mut next), 3);
+        // An ACK past the whole window (idle-probe case) jumps the base, and
+        // the next transmit there starts a fresh mapping.
+        w.release_below(10);
+        assert_eq!(w.map(10, &mut next), 4);
     }
 
     #[test]

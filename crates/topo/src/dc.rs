@@ -270,7 +270,11 @@ impl FatTree {
         if let Some(n) = size_packets {
             spec = spec.with_size_packets(n);
         }
-        spec.install(sim, conn_id)
+        let conn = spec.install(sim, conn_id);
+        // Re-derive event/arena/timer capacity from the grown endpoint set;
+        // incremental calls only reserve the delta.
+        sim.preallocate();
+        conn
     }
 }
 

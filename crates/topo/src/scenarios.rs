@@ -132,6 +132,7 @@ impl ScenarioA {
             conn_id += 1;
             type2.push(c);
         }
+        sim.preallocate();
         ScenarioA {
             r1,
             r2,
@@ -263,6 +264,7 @@ impl ScenarioB {
             conn_id += 1;
             red.push(c);
         }
+        sim.preallocate();
         ScenarioB { x, t, blue, red }
     }
 }
@@ -347,6 +349,7 @@ impl ScenarioC {
             conn_id += 1;
             single.push(c);
         }
+        sim.preallocate();
         ScenarioC {
             ap1,
             ap2,
@@ -422,6 +425,7 @@ impl TwoBottleneck {
         };
         let tcp1 = (0..p.n1).map(|_| mk_tcp(sim, link1, pad1)).collect();
         let tcp2 = (0..p.n2).map(|_| mk_tcp(sim, link2, pad2)).collect();
+        sim.preallocate();
         TwoBottleneck {
             link1,
             link2,
