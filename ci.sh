@@ -42,7 +42,7 @@ rm -f "$test_log" "$test_log.failed" "$test_log.known"
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 
-# Static-analysis gate: the workspace must lint clean under simlint (R1–R6,
+# Static-analysis gate: the workspace must lint clean under simlint (R1–R7,
 # see DESIGN.md "Static analysis & determinism rules"). Any unsuppressed
 # finding fails the gate; the JSON report is validated against the
 # mptcp-lint-report/v1 schema so downstream tooling can trust it.
@@ -59,6 +59,20 @@ rm -f results/ci_trace.*.jsonl results/repro_run.json
 MPTCP_TRACE=results/ci_trace ./target/release/repro_run scenarios/lossy_backup.json
 test -s results/ci_trace.custom.seed11.jsonl
 ./target/release/validate_report --strict results/repro_run.json
+
+# Orchestration gate: run the quick CI manifest sharded across 2 workers,
+# then validate the cross-seed sweep report and every per-job run report.
+# --strict: an empty run directory must fail, not vacuously pass. The
+# sweep embeds per-job trace digests, so this also re-proves that worker
+# scheduling cannot leak into results (the orchestra test suite compares
+# --jobs 1/4/8 byte-for-byte; here we just need one sharded run to be
+# schema-valid end to end).
+cargo build --release --offline -p orchestra
+rm -rf results/orchestra/ci-gate
+./target/release/orchestra --manifest manifests/ci_quick.json \
+    --jobs 2 --run-id ci-gate --quiet
+./target/release/validate_report --strict \
+    results/orchestra/ci-gate results/orchestra/ci-gate/jobs
 
 # Perf-behaviour gate: recompute the three perf-scenario trace digests and
 # compare them to the goldens recorded in BENCH_eventloop.json. Digests are

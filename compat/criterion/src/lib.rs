@@ -122,7 +122,11 @@ impl Criterion {
     }
 
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher {
             measurement: self.measurement,
             warm_up: self.warm_up,
@@ -149,7 +153,7 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Run one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
         &mut self,
         id: impl fmt::Display,
         mut f: F,
@@ -165,7 +169,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark with an input value.
-    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
         &mut self,
         id: impl fmt::Display,
         input: &I,

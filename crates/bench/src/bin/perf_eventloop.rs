@@ -30,7 +30,6 @@
 //! records the trajectory, not just the endpoint.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bench::json::{parse, Json};
@@ -40,7 +39,7 @@ use mpsim_core::Algorithm;
 use netsim::{route, FaultPlan, QueueConfig, QueueId, Simulation};
 use tcpsim::{ConnectionSpec, PathSpec, TcpConfig};
 use topo::{FatTree, FatTreeConfig, ScenarioB, ScenarioBParams};
-use trace::{Digest64, JsonlSink, Tracer};
+use trace::{DigestSink, Tracer};
 use workload::permutation_traffic;
 
 /// Counting allocator: measures how many heap allocations (and bytes) each
@@ -96,32 +95,6 @@ struct Measurement {
     alloc_bytes: u64,
     /// Event-loop internals (peak pending events, arena occupancy, ...).
     internals: Vec<(&'static str, f64)>,
-}
-
-/// `io::Write` adapter folding everything written into an FNV-1a digest.
-struct DigestWriter {
-    digest: Digest64,
-    bytes: u64,
-}
-
-impl DigestWriter {
-    fn new() -> DigestWriter {
-        DigestWriter {
-            digest: Digest64::new(),
-            bytes: 0,
-        }
-    }
-}
-
-impl Write for DigestWriter {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.digest.update(buf);
-        self.bytes += buf.len() as u64;
-        Ok(buf.len())
-    }
-    fn flush(&mut self) -> io::Result<()> {
-        Ok(())
-    }
 }
 
 /// Build + run one scenario to its horizon inside a fresh simulation,
@@ -264,17 +237,16 @@ fn loop_internals(sim: &Simulation) -> Vec<(&'static str, f64)> {
     ]
 }
 
-/// Traced digest pass: full JSONL trace folded into an FNV-1a digest.
+/// Traced digest pass: full JSONL trace folded into an FNV-1a digest
+/// (byte-for-byte what a `JsonlSink` would have written — see
+/// `trace::DigestSink`).
 fn digest(run: ScenarioFn) -> (u64, u64) {
-    let (tracer, sink) = Tracer::to_sink(JsonlSink::new(DigestWriter::new()));
+    let (tracer, sink) = Tracer::to_sink(DigestSink::new());
     let sim = run(&tracer);
     drop(sim);
     drop(tracer);
-    let sink = std::rc::Rc::try_unwrap(sink)
-        .unwrap_or_else(|_| panic!("trace sink still shared after run"))
-        .into_inner();
-    let w = sink.into_inner();
-    (w.digest.finish(), w.bytes)
+    let sink = sink.borrow();
+    (sink.digest(), sink.bytes())
 }
 
 fn digest_params(report: &mut RunReport) -> Vec<(String, String)> {

@@ -19,7 +19,7 @@
 //! * `2` — usage or I/O error.
 
 use bench::json::parse;
-use bench::report::validate;
+use bench::report::{validate, validate_sweep, SWEEP_SCHEMA};
 
 fn main() {
     let mut strict = false;
@@ -88,15 +88,28 @@ fn main() {
             }
         };
         // A results/ directory also holds the simlint report, which has its
-        // own schema and validator (`simlint --validate`). Skip exactly that
-        // schema so directory scans stay usable; anything else unknown is
+        // own schema and validator (`simlint --validate`); an orchestra run
+        // directory holds the frozen input manifest. Skip exactly those
+        // schemas so directory scans stay usable; anything else unknown is
         // still an error.
-        if doc.get("schema").and_then(|s| s.as_str()) == Some("mptcp-lint-report/v1") {
+        let schema = doc.get("schema").and_then(|s| s.as_str());
+        if schema == Some("mptcp-lint-report/v1") {
             println!("skip    {path} (mptcp-lint-report/v1 — use simlint --validate)");
             continue;
         }
+        if schema == Some("mptcp-manifest/v1") {
+            println!("skip    {path} (mptcp-manifest/v1 — orchestra input, not a report)");
+            continue;
+        }
         checked += 1;
-        match validate(&doc) {
+        // Sweep reports (orchestra's cross-seed aggregation) have their own
+        // schema; everything else must be a plain run report.
+        let result = if schema == Some(SWEEP_SCHEMA) {
+            validate_sweep(&doc)
+        } else {
+            validate(&doc)
+        };
+        match result {
             Ok(()) => println!("ok      {path}"),
             Err(e) => {
                 println!("INVALID {path}: {e}");

@@ -44,7 +44,22 @@ pub fn permutation(
 ) -> PermutationResult {
     let mut sim = Simulation::new(seed);
     let _trace = crate::tracing::attach_from_env(&mut sim, "fattree_permutation", seed);
-    let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
+    permutation_in(&mut sim, k, algorithm, subflows, secs, seed)
+}
+
+/// [`permutation`] on a caller-provided simulation, so orchestrated jobs can
+/// attach their own tracer (digest capture) before the topology is built.
+/// `seed` only salts the workload RNG; the event-loop RNG is the one `sim`
+/// was constructed with.
+pub fn permutation_in(
+    sim: &mut Simulation,
+    k: usize,
+    algorithm: Algorithm,
+    subflows: usize,
+    secs: f64,
+    seed: u64,
+) -> PermutationResult {
+    let ft = FatTree::build(sim, k, &FatTreeConfig::default());
     let n = ft.num_hosts();
     let mut rng = SimRng::seed_from_u64(seed ^ 0xFA77);
     let perm = permutation_traffic(&mut rng, n);
@@ -52,7 +67,7 @@ pub fn permutation(
     let conns: Vec<Connection> = (0..n)
         .map(|h| {
             ft.connect(
-                &mut sim, h, perm[h], algorithm, subflows, None, cfg, &mut rng, h as u64,
+                sim, h, perm[h], algorithm, subflows, None, cfg, &mut rng, h as u64,
             )
         })
         .collect();
@@ -114,11 +129,22 @@ pub struct ShortFlowResult {
 pub fn short_flows(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> ShortFlowResult {
     let mut sim = Simulation::new(seed);
     let _trace = crate::tracing::attach_from_env(&mut sim, "fattree_shortflows", seed);
+    short_flows_in(&mut sim, k, long, horizon_s, seed)
+}
+
+/// [`short_flows`] on a caller-provided simulation (see [`permutation_in`]).
+pub fn short_flows_in(
+    sim: &mut Simulation,
+    k: usize,
+    long: LongFlows,
+    horizon_s: f64,
+    seed: u64,
+) -> ShortFlowResult {
     let ftcfg = FatTreeConfig {
         oversubscription: 4.0,
         ..FatTreeConfig::default()
     };
-    let ft = FatTree::build(&mut sim, k, &ftcfg);
+    let ft = FatTree::build(sim, k, &ftcfg);
     let n = ft.num_hosts();
     let mut rng = SimRng::seed_from_u64(seed ^ 0x54F1);
     let perm = permutation_traffic(&mut rng, n);
@@ -134,9 +160,7 @@ pub fn short_flows(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> Shor
                 LongFlows::Tcp => (Algorithm::Reno, 1),
                 LongFlows::Mptcp(a, s) => (a, s),
             };
-            ft.connect(
-                &mut sim, h, perm[h], alg, nsub, None, cfg, &mut rng, i as u64,
-            )
+            ft.connect(sim, h, perm[h], alg, nsub, None, cfg, &mut rng, i as u64)
         })
         .collect();
     for c in &long_conns {
@@ -153,7 +177,7 @@ pub fn short_flows(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> Shor
         .enumerate()
         .map(|(i, f)| {
             let conn = ft.connect(
-                &mut sim,
+                sim,
                 f.src,
                 f.dst,
                 Algorithm::Reno,

@@ -1,0 +1,549 @@
+//! The paper's experiments as *callable jobs* for the `orchestra`
+//! experiment orchestrator.
+//!
+//! Each figure/table binary under `src/bin/` sweeps a parameter grid and
+//! replicates every point over seeds in-process. The orchestrator instead
+//! wants the atom of that matrix — **one scenario at one parameter point at
+//! one seed, as a single deterministic simulation** — so it can shard the
+//! full grid across a worker pool. This module is that hook: a registry of
+//! [`ScenarioDef`]s, each pairing a run function (`fn(&JobCtx) ->
+//! JobOutput`) with the default paper parameter grid the figures use.
+//!
+//! Contracts every job keeps:
+//!
+//! * **Single-threaded and deterministic** — a job builds one
+//!   [`Simulation`] seeded with `ctx.seed` and never spawns threads or
+//!   reads the environment; two runs of the same `(scenario, params, seed)`
+//!   are bit-identical.
+//! * **Self-witnessing** — unless `ctx.digest` is off, the run is traced
+//!   into a [`DigestSink`], so the returned [`JobOutput::digest`] proves
+//!   (byte-exactly) that scheduling, worker count, and sibling jobs did not
+//!   change behaviour.
+//! * **Panic-is-failure** — jobs validate parameters with `panic!`; the
+//!   orchestrator's worker pool isolates the panic and records the job as
+//!   failed without taking down the run.
+
+use std::collections::BTreeMap;
+
+use eventsim::SimRng;
+use mpsim_core::Algorithm;
+use netsim::Simulation;
+use tcpsim::Connection;
+use topo::{ScenarioA, ScenarioAParams, ScenarioB, ScenarioBParams, ScenarioC, ScenarioCParams};
+use trace::{DigestSink, Tracer};
+
+use crate::fattree::{self, LongFlows};
+use crate::json::Json;
+use crate::{mean_goodput_mbps, warmup_and_measure, RunCfg};
+
+/// Everything one job run may depend on: the derived seed, the scale, and
+/// the scenario parameters from the manifest's grid point.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Simulation seed (already derived by the orchestrator; jobs use it
+    /// verbatim).
+    pub seed: u64,
+    /// Quick (CI) scale vs full paper scale — selects measurement windows.
+    pub quick: bool,
+    /// Whether to capture the per-job trace digest (costs JSONL
+    /// serialization of every event; off for pure-throughput runs).
+    pub digest: bool,
+    /// The parameter point, keyed by grid axis name.
+    pub params: BTreeMap<String, Json>,
+}
+
+impl JobCtx {
+    /// A context with every axis at its default.
+    pub fn new(seed: u64, quick: bool) -> JobCtx {
+        JobCtx {
+            seed,
+            quick,
+            digest: true,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Numeric parameter, or `default` when absent. Panics (fails the job)
+    /// when present but not a number.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        match self.params.get(key) {
+            None => default,
+            Some(v) => v
+                .as_f64()
+                .unwrap_or_else(|| panic!("job param {key:?} must be a number, got {v:?}")),
+        }
+    }
+
+    /// Integer parameter, or `default` when absent. Panics on non-integer
+    /// or negative values.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        let v = self.f64(key, default as f64);
+        if v < 0.0 || v.fract() != 0.0 {
+            panic!("job param {key:?} must be a non-negative integer, got {v}");
+        }
+        v as usize
+    }
+
+    /// Boolean parameter, or `default` when absent.
+    pub fn bool(&self, key: &str, default: bool) -> bool {
+        match self.params.get(key) {
+            None => default,
+            Some(v) => v
+                .as_bool()
+                .unwrap_or_else(|| panic!("job param {key:?} must be a boolean, got {v:?}")),
+        }
+    }
+
+    /// String parameter, or `default` when absent.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        match self.params.get(key) {
+            None => default.to_string(),
+            Some(v) => v
+                .as_str()
+                .unwrap_or_else(|| panic!("job param {key:?} must be a string, got {v:?}"))
+                .to_string(),
+        }
+    }
+
+    /// The `algorithm` parameter parsed via [`Algorithm::from_name`]
+    /// (default `lia`). An unknown name panics, which the pool records as a
+    /// failed job rather than silently running the wrong algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        let name = self.str("algorithm", "lia");
+        Algorithm::from_name(&name)
+            .unwrap_or_else(|| panic!("job param algorithm={name:?} is not a known algorithm"))
+    }
+
+    /// The measurement windows for this scale, as a single replication at
+    /// this job's seed.
+    fn cfg(&self) -> RunCfg {
+        let mut cfg = if self.quick {
+            RunCfg::quick()
+        } else {
+            RunCfg::paper()
+        };
+        cfg.replications = 1;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// What one job leaves behind: scalar metrics plus the determinism witness.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Scalar result metrics, keyed by name.
+    pub metrics: BTreeMap<String, f64>,
+    /// FNV-1a digest (16 hex chars) of the full JSONL trace, or `"-"` when
+    /// digest capture was disabled.
+    pub digest: String,
+    /// Events absorbed by the digest sink (0 when disabled).
+    pub trace_events: u64,
+    /// Events dispatched by the simulation's event loop.
+    pub events: u64,
+    /// Simulated seconds covered by the run.
+    pub sim_s: f64,
+}
+
+/// One registered scenario: a name, a one-line summary, the run function,
+/// and the default paper grid (axis name → values) at each scale.
+pub struct ScenarioDef {
+    /// Stable scenario name used in manifests and job keys.
+    pub name: &'static str,
+    /// One-line description for `orchestra --list`.
+    pub summary: &'static str,
+    /// The job body.
+    pub run: fn(&JobCtx) -> JobOutput,
+    /// Default parameter grid (the paper's sweep) for the given scale.
+    pub grid: fn(quick: bool) -> Vec<(String, Vec<Json>)>,
+}
+
+impl std::fmt::Debug for ScenarioDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioDef")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+/// Build one seeded simulation, attach the digest sink per `ctx`, run
+/// `body`, and package its metrics with the witness.
+fn instrumented(
+    ctx: &JobCtx,
+    body: impl FnOnce(&mut Simulation) -> BTreeMap<String, f64>,
+) -> JobOutput {
+    let mut sim = Simulation::new(ctx.seed);
+    let sink = if ctx.digest {
+        let (tracer, sink) = Tracer::to_sink(DigestSink::new());
+        sim.set_tracer(tracer);
+        Some(sink)
+    } else {
+        None
+    };
+    let metrics = body(&mut sim);
+    let (digest, trace_events) = match &sink {
+        Some(s) => {
+            let s = s.borrow();
+            (s.hex(), s.events())
+        }
+        None => ("-".to_string(), 0),
+    };
+    JobOutput {
+        metrics,
+        digest,
+        trace_events,
+        events: sim.events_processed(),
+        sim_s: sim.now().as_secs_f64(),
+    }
+}
+
+fn nums(values: &[f64]) -> Vec<Json> {
+    values.iter().map(|&v| Json::from(v)).collect()
+}
+
+fn algs(values: &[Algorithm]) -> Vec<Json> {
+    values.iter().map(|a| Json::from(a.name())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scenario A (Figs. 1, 9, 10)
+// ---------------------------------------------------------------------------
+
+fn scenario_a_job(ctx: &JobCtx) -> JobOutput {
+    let ratio = ctx.f64("ratio", 1.0);
+    let c = ctx.f64("c1_over_c2", 1.0);
+    let params = ScenarioAParams::paper((10.0 * ratio) as usize, c, ctx.algorithm());
+    let cfg = ctx.cfg();
+    instrumented(ctx, |sim| {
+        let s = ScenarioA::build(sim, &params);
+        let all: Vec<Connection> = s.type1.iter().chain(s.type2.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(ctx.seed ^ 0xA5A5);
+        let end = warmup_and_measure(sim, &all, &cfg, &mut rng);
+        BTreeMap::from([
+            (
+                "type1_norm".to_string(),
+                mean_goodput_mbps(&s.type1, end) / params.c1_mbps,
+            ),
+            (
+                "type2_norm".to_string(),
+                mean_goodput_mbps(&s.type2, end) / params.c2_mbps,
+            ),
+            ("p1".to_string(), sim.queue_stats(s.r1).loss_probability()),
+            ("p2".to_string(), sim.queue_stats(s.r2).loss_probability()),
+        ])
+    })
+}
+
+fn scenario_a_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        ("c1_over_c2".to_string(), nums(&[0.75, 1.0, 1.5])),
+        ("ratio".to_string(), nums(&[1.0, 2.0, 3.0])),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B (Tables I/II, Fig. 4) — also the ε-family ablation
+// ---------------------------------------------------------------------------
+
+fn scenario_b_job(ctx: &JobCtx) -> JobOutput {
+    let params = ScenarioBParams::paper(ctx.bool("red_multipath", false), ctx.algorithm());
+    let cfg = ctx.cfg();
+    instrumented(ctx, |sim| {
+        let s = ScenarioB::build(sim, &params);
+        let all: Vec<Connection> = s.blue.iter().chain(s.red.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(ctx.seed ^ 0xB4B4);
+        let end = warmup_and_measure(sim, &all, &cfg, &mut rng);
+        let blue = mean_goodput_mbps(&s.blue, end);
+        let red = mean_goodput_mbps(&s.red, end);
+        BTreeMap::from([
+            ("blue_mbps".to_string(), blue),
+            ("red_mbps".to_string(), red),
+            (
+                "aggregate_mbps".to_string(),
+                blue * s.blue.len() as f64 + red * s.red.len() as f64,
+            ),
+            ("p_x".to_string(), sim.queue_stats(s.x).loss_probability()),
+            ("p_t".to_string(), sim.queue_stats(s.t).loss_probability()),
+        ])
+    })
+}
+
+fn scenario_b_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        (
+            "red_multipath".to_string(),
+            vec![Json::from(false), Json::from(true)],
+        ),
+    ]
+}
+
+fn epsilon_family_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[
+                Algorithm::FullyCoupled,
+                Algorithm::SemiCoupled,
+                Algorithm::Olia,
+                Algorithm::Ewtcp,
+                Algorithm::Uncoupled,
+            ]),
+        ),
+        ("red_multipath".to_string(), vec![Json::from(true)]),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Scenario C (Figs. 5, 11, 12)
+// ---------------------------------------------------------------------------
+
+fn scenario_c_job(ctx: &JobCtx) -> JobOutput {
+    let ratio = ctx.f64("ratio", 1.0);
+    let c = ctx.f64("c1_over_c2", 1.0);
+    let params = ScenarioCParams::paper((10.0 * ratio) as usize, c, ctx.algorithm());
+    let cfg = ctx.cfg();
+    instrumented(ctx, |sim| {
+        let s = ScenarioC::build(sim, &params);
+        let all: Vec<Connection> = s.multipath.iter().chain(s.single.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(ctx.seed ^ 0xC3C3);
+        let end = warmup_and_measure(sim, &all, &cfg, &mut rng);
+        BTreeMap::from([
+            (
+                "multipath_norm".to_string(),
+                mean_goodput_mbps(&s.multipath, end) / params.c1_mbps,
+            ),
+            (
+                "single_norm".to_string(),
+                mean_goodput_mbps(&s.single, end) / params.c2_mbps,
+            ),
+            ("p1".to_string(), sim.queue_stats(s.ap1).loss_probability()),
+            ("p2".to_string(), sim.queue_stats(s.ap2).loss_probability()),
+        ])
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FatTree (Figs. 13, 14 / Table III)
+// ---------------------------------------------------------------------------
+
+fn fattree_permutation_job(ctx: &JobCtx) -> JobOutput {
+    let k = ctx.usize("k", if ctx.quick { 4 } else { 8 });
+    let subflows = ctx.usize("subflows", 4);
+    let secs = ctx.f64("secs", if ctx.quick { 4.0 } else { 15.0 });
+    let algorithm = ctx.algorithm();
+    instrumented(ctx, |sim| {
+        let r = fattree::permutation_in(sim, k, algorithm, subflows, secs, ctx.seed);
+        BTreeMap::from([
+            ("throughput_pct".to_string(), r.throughput_pct),
+            ("jain".to_string(), r.jain),
+        ])
+    })
+}
+
+fn fattree_permutation_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        ("subflows".to_string(), nums(&[2.0, 4.0, 8.0])),
+    ]
+}
+
+fn fattree_shortflows_job(ctx: &JobCtx) -> JobOutput {
+    let k = ctx.usize("k", 4);
+    let horizon_s = ctx.f64("horizon_s", if ctx.quick { 2.0 } else { 5.0 });
+    let long = match ctx.str("long", "tcp").as_str() {
+        "tcp" => LongFlows::Tcp,
+        name => LongFlows::Mptcp(
+            Algorithm::from_name(name)
+                .unwrap_or_else(|| panic!("job param long={name:?} is not tcp or an algorithm")),
+            ctx.usize("subflows", 8),
+        ),
+    };
+    instrumented(ctx, |sim| {
+        let r = fattree::short_flows_in(sim, k, long, horizon_s, ctx.seed);
+        BTreeMap::from([
+            ("mean_fct_ms".to_string(), r.mean_fct_ms),
+            ("std_fct_ms".to_string(), r.std_fct_ms),
+            ("core_utilization".to_string(), r.core_utilization),
+            ("completed".to_string(), r.completed as f64),
+            ("planned".to_string(), r.planned as f64),
+        ])
+    })
+}
+
+fn fattree_shortflows_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![(
+        "long".to_string(),
+        vec![Json::from("tcp"), Json::from("lia"), Json::from("olia")],
+    )]
+}
+
+// ---------------------------------------------------------------------------
+// Smoke — a deliberately tiny scenario for orchestrator CI and tests
+// ---------------------------------------------------------------------------
+
+fn smoke_job(ctx: &JobCtx) -> JobOutput {
+    let params = ScenarioCParams {
+        n1: ctx.usize("n1", 2),
+        n2: 2,
+        c1_mbps: ctx.f64("c1_over_c2", 1.0),
+        c2_mbps: 1.0,
+        algorithm: ctx.algorithm(),
+        config: tcpsim::TcpConfig::default(),
+    };
+    let cfg = RunCfg {
+        warmup_s: 1.0,
+        measure_s: 2.0,
+        jitter_s: 0.5,
+        replications: 1,
+        seed: ctx.seed,
+    };
+    instrumented(ctx, |sim| {
+        let s = ScenarioC::build(sim, &params);
+        let all: Vec<Connection> = s.multipath.iter().chain(s.single.iter()).cloned().collect();
+        let mut rng = SimRng::seed_from_u64(ctx.seed ^ 0x5708);
+        let end = warmup_and_measure(sim, &all, &cfg, &mut rng);
+        BTreeMap::from([
+            (
+                "multipath_norm".to_string(),
+                mean_goodput_mbps(&s.multipath, end) / params.c1_mbps,
+            ),
+            (
+                "single_norm".to_string(),
+                mean_goodput_mbps(&s.single, end) / params.c2_mbps,
+            ),
+        ])
+    })
+}
+
+fn smoke_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        ("c1_over_c2".to_string(), nums(&[0.8, 1.2])),
+    ]
+}
+
+/// Every scenario the orchestrator can run, in manifest order.
+pub const REGISTRY: &[ScenarioDef] = &[
+    ScenarioDef {
+        name: "scenario_a",
+        summary: "Scenario A normalized throughputs and AP loss (Figs. 1, 9, 10)",
+        run: scenario_a_job,
+        grid: scenario_a_grid,
+    },
+    ScenarioDef {
+        name: "scenario_b",
+        summary: "Scenario B per-user rates and ISP loss (Tables I/II, Fig. 4)",
+        run: scenario_b_job,
+        grid: scenario_b_grid,
+    },
+    ScenarioDef {
+        name: "scenario_c",
+        summary: "Scenario C multipath vs single-path split (Figs. 5, 11, 12)",
+        run: scenario_c_job,
+        grid: scenario_a_grid,
+    },
+    ScenarioDef {
+        name: "fattree_permutation",
+        summary: "FatTree permutation throughput and fairness (Fig. 13)",
+        run: fattree_permutation_job,
+        grid: fattree_permutation_grid,
+    },
+    ScenarioDef {
+        name: "fattree_shortflows",
+        summary: "FatTree short-flow completion times (Fig. 14 / Table III)",
+        run: fattree_shortflows_job,
+        grid: fattree_shortflows_grid,
+    },
+    ScenarioDef {
+        name: "ablation_epsilon",
+        summary: "Scenario B across the ε coupling family (ablation)",
+        run: scenario_b_job,
+        grid: epsilon_family_grid,
+    },
+    ScenarioDef {
+        name: "smoke",
+        summary: "tiny Scenario C slice (~3 simulated seconds) for orchestrator CI",
+        run: smoke_job,
+        grid: smoke_grid,
+    },
+];
+
+/// Look a scenario up by its manifest name.
+pub fn find(name: &str) -> Option<&'static ScenarioDef> {
+    REGISTRY.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        for (i, d) in REGISTRY.iter().enumerate() {
+            assert!(find(d.name).is_some(), "{} not findable", d.name);
+            assert!(
+                REGISTRY[..i].iter().all(|e| e.name != d.name),
+                "duplicate scenario name {}",
+                d.name
+            );
+            let grid = (d.grid)(true);
+            assert!(
+                grid.iter().all(|(_, values)| !values.is_empty()),
+                "{}: empty grid axis",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_job_is_deterministic_and_seed_sensitive() {
+        let mut ctx = JobCtx::new(11, true);
+        ctx.params
+            .insert("algorithm".to_string(), Json::from("olia"));
+        let a = smoke_job(&ctx);
+        let b = smoke_job(&ctx);
+        assert_eq!(a.digest, b.digest, "same seed must be byte-identical");
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.trace_events > 0, "digest pass saw no events");
+        assert!(a.events > 0);
+        assert!((a.sim_s - 3.0).abs() < 1e-9, "smoke runs 3 simulated secs");
+
+        let mut other = ctx.clone();
+        other.seed = 12;
+        let c = smoke_job(&other);
+        assert_ne!(a.digest, c.digest, "different seed, different trace");
+    }
+
+    #[test]
+    fn digest_capture_can_be_disabled() {
+        let mut ctx = JobCtx::new(11, true);
+        ctx.digest = false;
+        let out = smoke_job(&ctx);
+        assert_eq!(out.digest, "-");
+        assert_eq!(out.trace_events, 0);
+        assert!(out.events > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a known algorithm")]
+    fn unknown_algorithm_fails_the_job() {
+        let mut ctx = JobCtx::new(1, true);
+        ctx.params
+            .insert("algorithm".to_string(), Json::from("bogus"));
+        smoke_job(&ctx);
+    }
+}

@@ -65,6 +65,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// A field of an object, if present.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_object().and_then(|m| m.get(key))

@@ -18,6 +18,8 @@
 //! * [`fattree`] — the data-center experiments of Figs. 13–14/Table III;
 //! * [`table`] — aligned-table printing and CSV output under `results/`;
 //! * [`config`] — JSON-described custom scenarios (the `repro_run` CLI);
+//! * [`jobs`] — the scenarios as single-seed callable jobs with their paper
+//!   parameter grids, for the `orchestra` experiment orchestrator;
 //! * [`report`] — machine-readable JSON run reports under `results/`
 //!   (schema-versioned; includes events/sec and sim/wall profiling);
 //! * [`tracing`] — `MPTCP_TRACE`-driven structured JSONL trace capture for
@@ -25,6 +27,7 @@
 
 pub mod config;
 pub mod fattree;
+pub mod jobs;
 pub mod json;
 pub mod report;
 pub mod scenario_a;

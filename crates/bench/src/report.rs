@@ -36,6 +36,10 @@ use crate::table::Table;
 /// Version tag every report carries in its `schema` field.
 pub const SCHEMA: &str = "mptcp-run-report/v1";
 
+/// Version tag of the cross-seed sweep reports `orchestra` emits (see
+/// [`validate_sweep`]).
+pub const SWEEP_SCHEMA: &str = "mptcp-sweep-report/v1";
+
 /// Accumulates one experiment run's parameters and results, then writes the
 /// machine-readable summary (module docs) to `results/`.
 ///
@@ -236,6 +240,158 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn require_count(obj: &Json, section: &str, key: &str) -> Result<f64, String> {
+    let n = require_number(obj, section, key)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{section}.{key} must be a non-negative integer"));
+    }
+    Ok(n)
+}
+
+/// Validate a parsed document against the sweep-report schema
+/// ([`SWEEP_SCHEMA`]) that the `orchestra` runner writes as
+/// `results/orchestra/<run-id>/sweep.json`.
+///
+/// A sweep report carries the manifest identity, job accounting
+/// (`total == done + failed`), one entry per parameter point with
+/// cross-seed statistics (`n`/`mean`/`std`/`min`/`max`/`ci95` per metric)
+/// plus the per-seed trace digests, and a `job_index` of every job's
+/// outcome. Returns the first problem found.
+pub fn validate_sweep(doc: &Json) -> Result<(), String> {
+    if doc.as_object().is_none() {
+        return Err("sweep report must be a JSON object".to_string());
+    }
+    match require(doc, "schema")?.as_str() {
+        Some(SWEEP_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown schema {other:?} (expected {SWEEP_SCHEMA:?})"
+            ))
+        }
+        None => return Err("schema must be a string".to_string()),
+    }
+    let manifest = require(doc, "manifest")?;
+    if manifest.as_object().is_none() {
+        return Err("manifest must be an object".to_string());
+    }
+    if manifest
+        .get("id")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("manifest.id must be a non-empty string".to_string());
+    }
+    if manifest.get("scale").and_then(Json::as_str).is_none() {
+        return Err("manifest.scale must be a string".to_string());
+    }
+    let seeds = manifest
+        .get("seeds")
+        .and_then(Json::as_array)
+        .ok_or("manifest.seeds must be an array")?;
+    if seeds.is_empty() || seeds.iter().any(|s| s.as_f64().is_none()) {
+        return Err("manifest.seeds must be a non-empty array of numbers".to_string());
+    }
+    let jobs = require(doc, "jobs")?;
+    if jobs.as_object().is_none() {
+        return Err("jobs must be an object".to_string());
+    }
+    let total = require_count(jobs, "jobs", "total")?;
+    let done = require_count(jobs, "jobs", "done")?;
+    let failed = require_count(jobs, "jobs", "failed")?;
+    if done + failed != total {
+        return Err("jobs.total must equal jobs.done + jobs.failed".to_string());
+    }
+    let points = require(doc, "points")?
+        .as_array()
+        .ok_or("points must be an array")?;
+    for (i, point) in points.iter().enumerate() {
+        let ctx = format!("points[{i}]");
+        if point
+            .get("scenario")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{ctx}.scenario must be a non-empty string"));
+        }
+        if point.get("params").and_then(Json::as_object).is_none() {
+            return Err(format!("{ctx}.params must be an object"));
+        }
+        let pt_seeds = point
+            .get("seeds")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx}.seeds must be an array"))?;
+        if pt_seeds.iter().any(|s| s.as_f64().is_none()) {
+            return Err(format!("{ctx}.seeds must hold numbers"));
+        }
+        let metrics = point
+            .get("metrics")
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("{ctx}.metrics must be an object"))?;
+        for (name, stats) in metrics {
+            let sctx = format!("{ctx}.metrics.{name}");
+            if stats.as_object().is_none() {
+                return Err(format!("{sctx} must be a stats object"));
+            }
+            let n = require_count(stats, &sctx, "n")?;
+            if n < 1.0 {
+                return Err(format!("{sctx}.n must be >= 1"));
+            }
+            for key in ["mean", "std", "min", "max", "ci95"] {
+                require_number(stats, &sctx, key)?;
+            }
+        }
+        let digests = point
+            .get("digests")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx}.digests must be an array"))?;
+        if digests.iter().any(|d| d.as_str().is_none()) {
+            return Err(format!("{ctx}.digests must hold strings"));
+        }
+    }
+    let index = require(doc, "job_index")?
+        .as_array()
+        .ok_or("job_index must be an array")?;
+    if index.len() as f64 != total {
+        return Err("job_index length must equal jobs.total".to_string());
+    }
+    for (i, entry) in index.iter().enumerate() {
+        let ctx = format!("job_index[{i}]");
+        if entry
+            .get("job")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{ctx}.job must be a non-empty string"));
+        }
+        let status = entry
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}.status must be a string"))?;
+        let attempts = require_count(entry, &ctx, "attempts")?;
+        if attempts < 1.0 {
+            return Err(format!("{ctx}.attempts must be >= 1"));
+        }
+        match status {
+            "done" => {
+                if entry.get("report").and_then(Json::as_str).is_none() {
+                    return Err(format!("{ctx}.report must be a string for done jobs"));
+                }
+            }
+            "failed" => {
+                if entry.get("error").and_then(Json::as_str).is_none() {
+                    return Err(format!("{ctx}.error must be a string for failed jobs"));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{ctx}.status must be \"done\" or \"failed\", got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +467,90 @@ mod tests {
             let err = validate(&parse(text).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{text} -> {err}");
         }
+    }
+
+    fn sweep_doc() -> String {
+        r#"{
+          "schema": "mptcp-sweep-report/v1",
+          "manifest": {"id": "ci_quick", "scale": "quick", "seeds": [1, 2]},
+          "jobs": {"total": 3, "done": 2, "failed": 1},
+          "points": [
+            {
+              "scenario": "smoke",
+              "params": {"algorithm": "lia"},
+              "seeds": [1, 2],
+              "metrics": {
+                "goodput.mbps": {"n": 2, "mean": 3.0, "std": 0.1,
+                                 "min": 2.9, "max": 3.1, "ci95": 0.14}
+              },
+              "digests": ["0011223344556677", "8899aabbccddeeff"]
+            }
+          ],
+          "job_index": [
+            {"job": "smoke?algorithm=lia#seed=1", "status": "done",
+             "attempts": 1, "report": "jobs/a.json", "digest": "0011223344556677"},
+            {"job": "smoke?algorithm=lia#seed=2", "status": "done",
+             "attempts": 2, "report": "jobs/b.json", "digest": "8899aabbccddeeff"},
+            {"job": "smoke?algorithm=bogus#seed=1", "status": "failed",
+             "attempts": 3, "error": "panicked: unknown algorithm"}
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn sweep_validation_accepts_well_formed_report() {
+        validate_sweep(&parse(&sweep_doc()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn sweep_validation_rejects_malformed_reports() {
+        let base = sweep_doc();
+        let cases = [
+            (
+                base.replace("mptcp-sweep-report/v1", "bogus/v9"),
+                "unknown schema",
+            ),
+            (
+                base.replace(r#""id": "ci_quick""#, r#""id": """#),
+                "manifest.id",
+            ),
+            (
+                base.replace(r#""total": 3"#, r#""total": 4"#),
+                "jobs.done + jobs.failed",
+            ),
+            (base.replace(r#""n": 2"#, r#""n": 0"#), "n must be >= 1"),
+            (
+                base.replace(r#""std": 0.1"#, r#""std": "x""#),
+                "std must be a number",
+            ),
+            (
+                base.replace(r#""status": "failed""#, r#""status": "exploded""#),
+                "status must be",
+            ),
+            (
+                base.replace(
+                    r#""error": "panicked: unknown algorithm""#,
+                    r#""note": "x""#,
+                ),
+                "error must be a string",
+            ),
+            (
+                base.replace(r#""attempts": 1,"#, r#""attempts": 0,"#),
+                "attempts must be >= 1",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = validate_sweep(&parse(&text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{needle} not in {err}");
+        }
+        // Dropping a job_index entry breaks the total invariant.
+        let doc = parse(&sweep_doc()).unwrap();
+        let mut obj = doc.as_object().unwrap().clone();
+        let trimmed: Vec<Json> = obj["job_index"].as_array().unwrap()[..2].to_vec();
+        obj.insert("job_index".into(), Json::Array(trimmed));
+        let err = validate_sweep(&Json::Object(obj)).unwrap_err();
+        assert!(err.contains("job_index length"), "{err}");
     }
 
     #[test]

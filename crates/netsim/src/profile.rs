@@ -8,6 +8,7 @@
 //! snapshot with wall-clock time so reporters can compute events/sec and the
 //! sim-time/wall-time ratio.
 
+// simlint: allow(R7) process-global counters shared with bench's threaded replication; no sim logic depends on them
 use std::sync::atomic::{AtomicU64, Ordering};
 // simlint: allow(R1) this module IS the wall-clock profiling boundary; sim logic never reads it
 use std::time::Instant;

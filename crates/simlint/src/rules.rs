@@ -13,6 +13,7 @@
 //! | R4 | float-eq | `==`/`!=` on floats in congestion-control math |
 //! | R5 | hot-unwrap | `unwrap`/`expect` in the event-loop hot path |
 //! | R6 | raw-unit-api | `pub` sim APIs taking raw `f64` seconds where `SimDuration` exists |
+//! | R7 | sim-threading | `std::thread`/`std::sync` inside the single-threaded sim crates |
 //!
 //! Suppression is explicit and auditable: an inline
 //! `// simlint: allow(R2) <reason>` comment suppresses matching findings on
@@ -67,6 +68,11 @@ pub const RULES: &[Rule] = &[
         name: "raw-unit-api",
         summary: "pub sim APIs taking raw f64 seconds where a typed unit (SimDuration) exists",
     },
+    Rule {
+        id: "R7",
+        name: "sim-threading",
+        summary: "std::thread/std::sync inside the single-threaded simulation crates",
+    },
 ];
 
 /// The meta rules about annotations themselves; never suppressible.
@@ -106,6 +112,19 @@ const HOT_PATH_PREFIXES: &[&str] = &[
 
 /// Congestion-control math (R4) lives in the algorithm crate.
 const CC_MATH_PREFIX: &str = "crates/core/";
+
+/// Crates whose *model* is a single-threaded event loop (R7). Concurrency
+/// belongs to the harness layers — `orchestra` parallelizes across
+/// simulations, `bench` across replications — never inside one simulation,
+/// where thread scheduling would feed nondeterminism straight into the
+/// event order. `topo` is deliberately absent: it only builds topologies
+/// and is judged by R2's ordering rule instead.
+const SEQUENTIAL_SIM_PREFIXES: &[&str] = &[
+    "crates/netsim/",
+    "crates/tcpsim/",
+    "crates/eventsim/",
+    "crates/core/",
+];
 
 /// One reported violation (possibly suppressed).
 #[derive(Debug, Clone)]
@@ -147,6 +166,7 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Finding
     check_float_eq(rel_path, &tokens, &mut findings);
     check_hot_unwrap(rel_path, &tokens, &in_test, &mut findings);
     check_raw_unit_api(rel_path, &tokens, &in_test, &mut findings);
+    check_threading(rel_path, &tokens, &in_test, &mut findings);
 
     // Apply suppressions: inline annotations first (same line or the line
     // directly above), then the checked-in path-level allow-list.
@@ -578,6 +598,52 @@ fn check_raw_unit_api(
     }
 }
 
+/// R7: `std::thread` / `std::sync` paths in the sequential sim crates,
+/// outside tests. Tests may thread (a concurrency-free *model* can still be
+/// exercised from threaded test harnesses); production sim code may not.
+fn check_threading(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    if !SEQUENTIAL_SIM_PREFIXES
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+    {
+        return;
+    }
+    let idx: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    for w in idx.windows(3) {
+        let (a, b, c) = (&tokens[w[0]], &tokens[w[1]], &tokens[w[2]]);
+        if in_test[w[2]] {
+            continue;
+        }
+        let is_threading_path = a.kind == TokenKind::Ident
+            && a.text == "std"
+            && b.kind == TokenKind::Punct
+            && b.text == "::"
+            && c.kind == TokenKind::Ident
+            && (c.text == "thread" || c.text == "sync");
+        if is_threading_path {
+            findings.push(Finding {
+                rule: "R7",
+                file: rel_path.to_string(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "`std::{}` in a sim crate — a simulation is single-threaded by contract; \
+                     parallelism belongs in orchestra/bench, one level up",
+                    c.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
 /// Parameter names that denote a bare time quantity.
 fn is_raw_time_name(name: &str) -> bool {
     matches!(
@@ -623,7 +689,10 @@ mod tests {
         let f = lint("crates/eventsim/src/queue.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!((f[0].rule, f[0].line), ("R5", 1));
-        assert!(lint("crates/netsim/src/queue.rs", src).is_empty());
+        // queue.rs joined the hot set when the packet arena landed; a
+        // netsim file outside the hot set stays clean.
+        assert_eq!(lint("crates/netsim/src/queue.rs", src).len(), 1);
+        assert!(lint("crates/netsim/src/profile.rs", src).is_empty());
         assert_eq!(lint("crates/netsim/src/sim.rs", src).len(), 1);
     }
 
@@ -643,6 +712,37 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!((f[0].rule, f[0].line), ("R6", 1));
         assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_forbids_threading_in_sim_crates_but_not_harness_crates() {
+        let src = "use std::sync::atomic::AtomicU64;\nfn f() { std::thread::sleep(d); }\n";
+        let f = lint("crates/netsim/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].rule, f[0].line), ("R7", 1));
+        assert_eq!((f[1].rule, f[1].line), ("R7", 2));
+        // Harness layers parallelize legitimately.
+        assert!(lint("crates/orchestra/src/pool.rs", src).is_empty());
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+        // topo builds graphs, it is not in the sequential set.
+        assert!(lint("crates/topo/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_skips_test_code_and_mere_mentions() {
+        let src = "\
+// std::thread in prose is fine
+#[cfg(test)]
+mod tests { fn t() { std::thread::spawn(f); } }
+fn sync(x: u32) {} // an ident named sync alone is not a path
+";
+        assert!(lint("crates/eventsim/src/x.rs", src).is_empty());
+        let f = lint(
+            "crates/core/src/x.rs",
+            "use std::sync::Mutex; // simlint: allow(R7) guards a debug-only counter\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.is_some());
     }
 
     #[test]

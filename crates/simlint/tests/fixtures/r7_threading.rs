@@ -1,0 +1,26 @@
+// Known-bad fixture for R7 (sim-threading): thread and lock machinery
+// inside a single-threaded simulation crate. One simulation is sequential
+// by contract; parallelism belongs to orchestra/bench, one level up.
+use std::sync::mpsc; // line 4: R7
+
+fn spawn_helper() {
+    let worker = std::thread::spawn(run_once); // line 7: R7
+    worker.join().ok();
+    // std::thread mentioned in a comment is prose, not a path: no finding.
+}
+
+fn run_once() {}
+
+// An identifier merely named `sync` is not the std::sync path.
+fn sync(x: u32) -> u32 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    // Threaded *test harnesses* around the sequential model are fine: the
+    // model itself stays concurrency-free.
+    fn t() {
+        std::thread::yield_now();
+    }
+}

@@ -86,6 +86,17 @@ fn r6_raw_unit_api_fixture() {
 }
 
 #[test]
+fn r7_threading_fixture() {
+    let src = include_str!("fixtures/r7_threading.rs");
+    let f = lint("crates/tcpsim/src/fixture.rs", src);
+    // The `#[cfg(test)]` thread call and the bare `sync` ident stay clean.
+    assert_eq!(positions(&f), vec![("R7", 4), ("R7", 7)], "{f:#?}");
+    // The harness layers parallelize legitimately.
+    assert!(lint("crates/orchestra/src/pool.rs", src).is_empty());
+    assert!(lint("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn suppressed_fixture_has_findings_but_none_unsuppressed() {
     let src = include_str!("fixtures/suppressed_ok.rs");
     let f = lint("crates/tcpsim/src/fixture.rs", src);

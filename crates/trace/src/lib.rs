@@ -13,7 +13,10 @@
 //!   health transitions, re-probes, fault-plan actions.
 //! - [`TraceSink`] — where events go: [`NullSink`] (discard), [`RingSink`]
 //!   (bounded in-memory tail), [`JsonlSink`] (one JSON object per line, with
-//!   a byte-stable field order so same-seed runs are byte-identical).
+//!   a byte-stable field order so same-seed runs are byte-identical),
+//!   [`DigestSink`] (folds that same JSONL stream into an FNV-1a digest
+//!   without storing it — the cross-worker determinism witness `orchestra`
+//!   records per job).
 //! - [`Tracer`] — the emission handle threaded through `netsim`/`tcpsim`.
 //!   Disabled (the default) it costs one branch per site and never
 //!   constructs the event; enabled it applies a [`TraceFilter`]
@@ -33,4 +36,6 @@ mod sink;
 pub use check::{InvariantChecker, Violation};
 pub use digest::Digest64;
 pub use event::{CwndReason, DropReason, PacketKindLabel, SubflowState, TraceEvent};
-pub use sink::{JsonlSink, NullSink, RingSink, SharedSink, TraceFilter, TraceSink, Tracer};
+pub use sink::{
+    DigestSink, JsonlSink, NullSink, RingSink, SharedSink, TraceFilter, TraceSink, Tracer,
+};

@@ -141,6 +141,58 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Folds every event's byte-stable JSONL serialization (plus the trailing
+/// newline, exactly what [`JsonlSink`] would write) into an FNV-1a
+/// [`Digest64`](crate::Digest64) without storing anything.
+///
+/// This is the determinism witness the orchestrator and the perf harness
+/// share: two runs produce the same digest iff their full traces are
+/// byte-identical, at a fraction of the memory and I/O cost of writing the
+/// trace out.
+#[derive(Debug, Default)]
+pub struct DigestSink {
+    digest: crate::Digest64,
+    events: u64,
+    bytes: u64,
+}
+
+impl DigestSink {
+    /// Fresh digest at the FNV offset basis, zero events absorbed.
+    pub fn new() -> Self {
+        DigestSink::default()
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.digest.finish()
+    }
+
+    /// The digest as the 16-char lowercase hex string reports carry.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.digest.finish())
+    }
+
+    /// Events absorbed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Serialized trace bytes absorbed (JSONL lines + newlines).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl TraceSink for DigestSink {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        let line = ev.to_jsonl(t);
+        self.digest.update(line.as_bytes());
+        self.digest.update(b"\n");
+        self.events += 1;
+        self.bytes += line.len() as u64 + 1;
+    }
+}
+
 /// Event filter applied before a sink sees anything.
 ///
 /// Empty allow-lists mean "allow all" on that axis; the two axes compose
@@ -387,5 +439,22 @@ mod tests {
         tracer.emit(SimTime::ZERO, || enq(0, 1, 0));
         tracer.emit(SimTime::ZERO, || enq(0, 2, 0));
         assert_eq!(ring.borrow().len(), 1);
+    }
+
+    #[test]
+    fn digest_sink_matches_jsonl_byte_stream() {
+        let events = [enq(0, 1, 0), enq(1, 2, 3)];
+        let mut jsonl = JsonlSink::new(Vec::<u8>::new());
+        let mut digest = DigestSink::new();
+        for (i, ev) in events.iter().enumerate() {
+            let t = SimTime::from_nanos(i as u64);
+            jsonl.record(t, ev);
+            digest.record(t, ev);
+        }
+        let bytes = jsonl.into_inner();
+        assert_eq!(digest.digest(), crate::Digest64::of(&bytes));
+        assert_eq!(digest.bytes(), bytes.len() as u64);
+        assert_eq!(digest.events(), 2);
+        assert_eq!(digest.hex(), format!("{:016x}", digest.digest()));
     }
 }

@@ -1,30 +1,31 @@
-#!/bin/bash
-# Regenerate every table and figure of the paper (plus the ablations).
-# Honors REPRO_QUICK=1 for CI-scale runs.
-set -u
-cargo build --release -p bench || exit 1
-for bin in \
-    fig1_scenario_a \
-    fig4_scenario_b \
-    table1_scenario_b_lia \
-    table2_scenario_b_olia \
-    fig5_scenario_c \
-    fig7_8_traces \
-    fig9_10_scenario_a_olia \
-    fig11_12_scenario_c_olia \
-    fig13_fattree \
-    fig14_table3_shortflows \
-    fig17_probing_rtt \
-    theory_fluid \
-    ablation_epsilon_family \
-    ablation_alpha_responsiveness \
-    ablation_path_pruning \
-    ablation_rcv_window \
-    ablation_red_variants \
-    ablation_rtt_compensation \
-    theory_convergence \
-    dc_robustness; do
-  echo "=== RUNNING $bin ==="
-  cargo run -q --release -p bench --bin "$bin"
-  echo "=== DONE $bin (exit $?) ==="
-done
+#!/usr/bin/env bash
+# Reproduce the paper's sweeps: expand manifests/paper.json into its full
+# (scenario × parameter point × seed) grid and shard it across every core
+# with the orchestra runner. Exits non-zero if ANY job fails — no more
+# silently swallowed bench-bin crashes. Honors REPRO_QUICK=1 for CI-scale
+# measurement windows; extra arguments pass straight through to orchestra
+# (e.g. --jobs 4, --filter scenario_b).
+#
+# Results land in results/orchestra/<run-id>/: one mptcp-run-report/v1 per
+# job under jobs/, the append-only journal, and the cross-seed sweep.json
+# (mptcp-sweep-report/v1). Re-running resumes the existing run directory,
+# skipping journaled-done jobs. See EXPERIMENTS.md for the runbook; the
+# figure-specific binaries (fig*/table*/ablation_*) remain available via
+# `cargo run --release -p bench --bin <name>` for plot-ready artifacts.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+scale_args=()
+run_id="paper-full"
+if [[ "${REPRO_QUICK:-0}" == "1" ]]; then
+    scale_args=(--quick)
+    run_id="paper-quick"
+fi
+
+cargo build --release --offline -p orchestra
+
+if [[ -e "results/orchestra/$run_id/manifest.json" ]]; then
+    exec ./target/release/orchestra --resume "$run_id" "$@"
+fi
+exec ./target/release/orchestra --manifest manifests/paper.json \
+    "${scale_args[@]+"${scale_args[@]}"}" "$@"
