@@ -74,6 +74,19 @@ rm -rf results/orchestra/ci-gate
 ./target/release/validate_report --strict \
     results/orchestra/ci-gate results/orchestra/ci-gate/jobs
 
+# Chaos gate: a fixed-budget fuzz campaign (pinned seed, 200 generated
+# fault schedules) must finish with ZERO invariant violations on this tree,
+# and its mptcp-chaos-report/v1 artifact must validate. The checked-in
+# minimal-repro fixtures are replayed by `cargo test` above
+# (tests/chaos_repros.rs); this gate searches fresh schedules instead, so
+# a regression in failover/recovery behaviour fails CI even before anyone
+# writes a test for it.
+cargo build --release --offline -p chaos
+rm -rf results/chaos/ci-gate
+./target/release/chaos campaign --seed 1105 --iterations 200 --jobs 4 \
+    --out results/chaos/ci-gate
+./target/release/validate_report --strict results/chaos/ci-gate
+
 # Perf-behaviour gate: recompute the three perf-scenario trace digests and
 # compare them to the goldens recorded in BENCH_eventloop.json. Digests are
 # machine-independent (pure event-sequence hashes), so this catches any

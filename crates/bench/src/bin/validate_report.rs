@@ -19,7 +19,7 @@
 //! * `2` — usage or I/O error.
 
 use bench::json::parse;
-use bench::report::{validate, validate_sweep, SWEEP_SCHEMA};
+use bench::report::{validate, validate_chaos, validate_sweep, CHAOS_SCHEMA, SWEEP_SCHEMA};
 
 fn main() {
     let mut strict = false;
@@ -102,10 +102,13 @@ fn main() {
             continue;
         }
         checked += 1;
-        // Sweep reports (orchestra's cross-seed aggregation) have their own
-        // schema; everything else must be a plain run report.
+        // Sweep reports (orchestra's cross-seed aggregation) and chaos
+        // campaign reports have their own schemas; everything else must be
+        // a plain run report.
         let result = if schema == Some(SWEEP_SCHEMA) {
             validate_sweep(&doc)
+        } else if schema == Some(CHAOS_SCHEMA) {
+            validate_chaos(&doc)
         } else {
             validate(&doc)
         };

@@ -40,6 +40,10 @@ pub const SCHEMA: &str = "mptcp-run-report/v1";
 /// [`validate_sweep`]).
 pub const SWEEP_SCHEMA: &str = "mptcp-sweep-report/v1";
 
+/// Version tag of the chaos-fuzzing campaign reports the `chaos` crate
+/// emits (see [`validate_chaos`]).
+pub const CHAOS_SCHEMA: &str = "mptcp-chaos-report/v1";
+
 /// Accumulates one experiment run's parameters and results, then writes the
 /// machine-readable summary (module docs) to `results/`.
 ///
@@ -253,7 +257,8 @@ fn require_count(obj: &Json, section: &str, key: &str) -> Result<f64, String> {
 /// `results/orchestra/<run-id>/sweep.json`.
 ///
 /// A sweep report carries the manifest identity, job accounting
-/// (`total == done + failed`), one entry per parameter point with
+/// (`total == done + failed`, plus the pool's abandoned-thread tally),
+/// one entry per parameter point with
 /// cross-seed statistics (`n`/`mean`/`std`/`min`/`max`/`ci95` per metric)
 /// plus the per-seed trace digests, and a `job_index` of every job's
 /// outcome. Returns the first problem found.
@@ -301,6 +306,7 @@ pub fn validate_sweep(doc: &Json) -> Result<(), String> {
     if done + failed != total {
         return Err("jobs.total must equal jobs.done + jobs.failed".to_string());
     }
+    require_count(jobs, "jobs", "abandoned")?;
     let points = require(doc, "points")?
         .as_array()
         .ok_or("points must be an array")?;
@@ -392,6 +398,147 @@ pub fn validate_sweep(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a parsed document against the chaos-campaign schema
+/// ([`CHAOS_SCHEMA`]) that the `chaos` binary writes under
+/// `results/chaos/`.
+///
+/// A chaos report carries the campaign identity (seed, budget), a summary
+/// whose counts must reconcile (`run == violating + clean`) with the
+/// campaign-wide determinism digest, and one entry per shrunk repro — each
+/// holding a replayable minimal case, the trace digest a replay must
+/// reproduce, and the first invariant violation. Returns the first problem
+/// found.
+pub fn validate_chaos(doc: &Json) -> Result<(), String> {
+    if doc.as_object().is_none() {
+        return Err("chaos report must be a JSON object".to_string());
+    }
+    match require(doc, "schema")?.as_str() {
+        Some(CHAOS_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown schema {other:?} (expected {CHAOS_SCHEMA:?})"
+            ))
+        }
+        None => return Err("schema must be a string".to_string()),
+    }
+    let campaign = require(doc, "campaign")?;
+    if campaign.as_object().is_none() {
+        return Err("campaign must be an object".to_string());
+    }
+    if campaign
+        .get("seed_hex")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("campaign.seed_hex must be a non-empty string".to_string());
+    }
+    require_count(campaign, "campaign", "iterations")?;
+    require_count(campaign, "campaign", "jobs")?;
+    if campaign
+        .get("stop_on_first")
+        .and_then(Json::as_bool)
+        .is_none()
+    {
+        return Err("campaign.stop_on_first must be a boolean".to_string());
+    }
+    let summary = require(doc, "summary")?;
+    if summary.as_object().is_none() {
+        return Err("summary must be an object".to_string());
+    }
+    let run = require_count(summary, "summary", "run")?;
+    let violating = require_count(summary, "summary", "violating")?;
+    let clean = require_count(summary, "summary", "clean")?;
+    if violating + clean != run {
+        return Err("summary.run must equal summary.violating + summary.clean".to_string());
+    }
+    if summary
+        .get("campaign_digest")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("summary.campaign_digest must be a non-empty string".to_string());
+    }
+    require_count(summary, "summary", "events")?;
+    if require_number(summary, "summary", "sim_s")? < 0.0 {
+        return Err("summary.sim_s must be non-negative".to_string());
+    }
+    let repros = require(doc, "repros")?
+        .as_array()
+        .ok_or("repros must be an array")?;
+    if repros.len() as f64 != violating {
+        return Err("repros length must equal summary.violating".to_string());
+    }
+    for (i, repro) in repros.iter().enumerate() {
+        let ctx = format!("repros[{i}]");
+        require_count(repro, &ctx, "iteration")?;
+        let case = repro
+            .get("case")
+            .ok_or_else(|| format!("{ctx}.case is required"))?;
+        if case.as_object().is_none() {
+            return Err(format!("{ctx}.case must be an object"));
+        }
+        if case
+            .get("seed_hex")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{ctx}.case.seed_hex must be a non-empty string"));
+        }
+        if case
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{ctx}.case.algorithm must be a non-empty string"));
+        }
+        let cctx = format!("{ctx}.case");
+        if require_number(case, &cctx, "horizon_s")? <= 0.0 {
+            return Err(format!("{cctx}.horizon_s must be positive"));
+        }
+        let case_clauses = case
+            .get("clauses")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{cctx}.clauses must be an array"))?;
+        let clauses = require_count(repro, &ctx, "clauses")?;
+        if case_clauses.len() as f64 != clauses {
+            return Err(format!("{ctx}.clauses must match the case's clause count"));
+        }
+        let original = require_count(repro, &ctx, "original_clauses")?;
+        if original < clauses {
+            return Err(format!(
+                "{ctx}.original_clauses must be >= {ctx}.clauses (shrinking never grows)"
+            ));
+        }
+        require_count(repro, &ctx, "shrink_executions")?;
+        if repro
+            .get("trace_digest")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{ctx}.trace_digest must be a non-empty string"));
+        }
+        let violation = repro
+            .get("violation")
+            .ok_or_else(|| format!("{ctx}.violation is required"))?;
+        if violation.as_object().is_none() {
+            return Err(format!("{ctx}.violation must be an object"));
+        }
+        let vctx = format!("{ctx}.violation");
+        require_count(violation, &vctx, "t_ns")?;
+        if violation
+            .get("what")
+            .and_then(Json::as_str)
+            .is_none_or(str::is_empty)
+        {
+            return Err(format!("{vctx}.what must be a non-empty string"));
+        }
+        if require_count(repro, &ctx, "violations")? < 1.0 {
+            return Err(format!("{ctx}.violations must be >= 1"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,7 +620,7 @@ mod tests {
         r#"{
           "schema": "mptcp-sweep-report/v1",
           "manifest": {"id": "ci_quick", "scale": "quick", "seeds": [1, 2]},
-          "jobs": {"total": 3, "done": 2, "failed": 1},
+          "jobs": {"total": 3, "done": 2, "failed": 1, "abandoned": 0},
           "points": [
             {
               "scenario": "smoke",
@@ -520,6 +667,7 @@ mod tests {
                 "jobs.done + jobs.failed",
             ),
             (base.replace(r#""n": 2"#, r#""n": 0"#), "n must be >= 1"),
+            (base.replace(r#", "abandoned": 0"#, ""), "jobs.abandoned"),
             (
                 base.replace(r#""std": 0.1"#, r#""std": "x""#),
                 "std must be a number",
@@ -551,6 +699,90 @@ mod tests {
         obj.insert("job_index".into(), Json::Array(trimmed));
         let err = validate_sweep(&Json::Object(obj)).unwrap_err();
         assert!(err.contains("job_index length"), "{err}");
+    }
+
+    fn chaos_doc() -> String {
+        r#"{
+          "schema": "mptcp-chaos-report/v1",
+          "campaign": {"seed_hex": "0000000000000001", "iterations": 500,
+                       "jobs": 4, "stop_on_first": true},
+          "summary": {"run": 24, "violating": 1, "clean": 23,
+                      "campaign_digest": "00aabbccddeeff11",
+                      "events": 123456, "sim_s": 840.5},
+          "repros": [
+            {
+              "iteration": 23,
+              "case": {"seed_hex": "deadbeefdeadbeef", "algorithm": "lia",
+                       "rate_mbps": [8, 8], "delay_ms": [20, 40],
+                       "horizon_s": 30.0,
+                       "clauses": [{"kind": "outage", "path": 0,
+                                    "from_s": 4.0, "dur_s": 18.0}]},
+              "clauses": 1,
+              "original_clauses": 3,
+              "shrink_executions": 9,
+              "trace_digest": "1122334455667788",
+              "violation": {"t_ns": 19000000000,
+                            "what": "re-probe backoff exceeds cap: 16s > 8s"},
+              "violations": 2
+            }
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn chaos_validation_accepts_well_formed_report() {
+        validate_chaos(&parse(&chaos_doc()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn chaos_validation_rejects_malformed_reports() {
+        let base = chaos_doc();
+        let cases = [
+            (
+                base.replace("mptcp-chaos-report/v1", "bogus/v9"),
+                "unknown schema",
+            ),
+            (
+                base.replace(r#""seed_hex": "0000000000000001""#, r#""seed_hex": """#),
+                "campaign.seed_hex",
+            ),
+            (
+                base.replace(r#""run": 24"#, r#""run": 25"#),
+                "summary.violating + summary.clean",
+            ),
+            (
+                base.replace(r#""violating": 1"#, r#""violating": 0"#),
+                "summary.violating",
+            ),
+            (
+                base.replace(r#""stop_on_first": true"#, r#""stop_on_first": 1"#),
+                "stop_on_first must be a boolean",
+            ),
+            (
+                base.replace(
+                    r#""trace_digest": "1122334455667788""#,
+                    r#""trace_digest": """#,
+                ),
+                "trace_digest",
+            ),
+            (
+                base.replace(r#""original_clauses": 3"#, r#""original_clauses": 0"#),
+                "shrinking never grows",
+            ),
+            (
+                base.replace(r#""violations": 2"#, r#""violations": 0"#),
+                "violations must be >= 1",
+            ),
+            (
+                base.replace(r#""horizon_s": 30.0"#, r#""horizon_s": 0"#),
+                "horizon_s must be positive",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = validate_chaos(&parse(&text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{needle} not in {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The seeded case generator.
+//!
+//! `generate(seed)` is a pure function: one u64 in, one [`ChaosCase`] out,
+//! with every choice drawn from a [`SimRng`] forked off the seed. The
+//! grammar composes 1–4 clauses over a two-path dumbbell:
+//!
+//! * **down-window clauses** (outage, blackout, flap, handover) are placed
+//!   sequentially per path behind a moving cursor, so down windows on the
+//!   same queue never overlap — the case always lowers to a
+//!   [`netsim::FaultPlan`] that passes validation;
+//! * **impairment clauses** (loss burst, rate step, latency step) are
+//!   placed freely — overlapping a down window is legal and interesting.
+//!
+//! The horizon always extends one liveness grace past the last clause, so
+//! the stuck-connection oracle has room to fire.
+
+use eventsim::SimRng;
+
+use crate::case::{ChaosCase, Clause};
+use crate::run::LIVENESS_GRACE;
+
+/// Paths, clause counts, and placement windows are bounded so a generated
+/// case stays small enough for CI campaigns; durations still reach past
+/// the full 1 s → 8 s re-probe ladder (≥ 15 s) so cap violations are
+/// observable.
+const MAX_CLAUSES: usize = 4;
+/// Down-window clauses whose window would end after this instant are not
+/// placed (keeps the horizon bounded).
+const LAST_DOWN_END_S: f64 = 45.0;
+
+/// Round to 3 decimal places: times and probabilities in a case stay short
+/// and human-readable in JSON, and survive the f64 → text → f64 round trip
+/// exactly.
+fn q3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn pick(rng: &mut SimRng, choices: &[f64]) -> f64 {
+    choices[rng.below(choices.len())]
+}
+
+/// Generate the case for one fuzz iteration. Deterministic in `seed`.
+pub fn generate(seed: u64) -> ChaosCase {
+    let mut rng = SimRng::seed_from_u64(seed).fork(0x6368616f73); // "chaos"
+    let algorithm = if rng.chance(0.5) { "olia" } else { "lia" };
+    let rate_mbps = [
+        pick(&mut rng, &[4.0, 6.0, 8.0, 10.0]),
+        pick(&mut rng, &[4.0, 6.0, 8.0, 10.0]),
+    ];
+    let delay_ms = [
+        pick(&mut rng, &[10.0, 20.0, 40.0, 80.0]),
+        pick(&mut rng, &[10.0, 20.0, 40.0, 80.0]),
+    ];
+
+    // Per-path placement cursor for down-window clauses: the earliest
+    // instant the next window may open. Warmup keeps the first faults off
+    // the connection's slow-start.
+    let mut cursor = [3.0 + 2.0 * rng.f64(), 3.0 + 2.0 * rng.f64()];
+    let n_clauses = 1 + rng.below(MAX_CLAUSES);
+    let mut clauses = Vec::with_capacity(n_clauses);
+    for _ in 0..n_clauses {
+        let kind = rng.below(7);
+        let clause = match kind {
+            0 | 1 => {
+                // Outage (weighted up: it is the bread-and-butter schedule).
+                let path = rng.below(2) as u8;
+                let from_s = q3(cursor[path as usize] + 3.0 * rng.f64());
+                let dur_s = q3(1.0 + 19.0 * rng.f64());
+                if from_s + dur_s > LAST_DOWN_END_S {
+                    continue;
+                }
+                cursor[path as usize] = from_s + dur_s + 1.0 + rng.f64();
+                Clause::Outage {
+                    path,
+                    from_s,
+                    dur_s,
+                }
+            }
+            2 => {
+                let from_s = q3(cursor[0].max(cursor[1]) + 3.0 * rng.f64());
+                let dur_s = q3(1.0 + 14.0 * rng.f64());
+                if from_s + dur_s > LAST_DOWN_END_S {
+                    continue;
+                }
+                let resume = from_s + dur_s + 1.0 + rng.f64();
+                cursor = [resume, resume];
+                Clause::Blackout { from_s, dur_s }
+            }
+            3 => {
+                let path = rng.below(2) as u8;
+                let from_s = q3(cursor[path as usize] + 3.0 * rng.f64());
+                let down_s = q3(0.5 + 2.0 * rng.f64());
+                let up_s = q3(0.5 + 2.0 * rng.f64());
+                let cycles = 1 + rng.below(3) as u8;
+                let end = from_s + (down_s + up_s) * cycles as f64;
+                if end > LAST_DOWN_END_S {
+                    continue;
+                }
+                cursor[path as usize] = end + 1.0 + rng.f64();
+                Clause::Flap {
+                    path,
+                    from_s,
+                    down_s,
+                    up_s,
+                    cycles,
+                }
+            }
+            4 => {
+                let path = rng.below(2) as u8;
+                let at_s = q3(cursor[path as usize] + 3.0 * rng.f64());
+                let dur_s = q3(1.0 + 5.0 * rng.f64());
+                if at_s + 2.0 * dur_s > LAST_DOWN_END_S {
+                    continue;
+                }
+                cursor[path as usize] = at_s + 2.0 * dur_s + 1.0 + rng.f64();
+                Clause::Handover {
+                    path,
+                    at_s,
+                    dur_s,
+                    degrade_mbps: q3(0.5 + 1.5 * rng.f64()),
+                }
+            }
+            5 => Clause::LossBurst {
+                path: rng.below(2) as u8,
+                from_s: q3(1.0 + 25.0 * rng.f64()),
+                p: q3(0.05 + 0.4 * rng.f64()),
+                dur_s: q3(0.5 + 3.0 * rng.f64()),
+            },
+            6 => {
+                if rng.chance(0.5) {
+                    Clause::RateStep {
+                        path: rng.below(2) as u8,
+                        at_s: q3(1.0 + 25.0 * rng.f64()),
+                        rate_mbps: pick(&mut rng, &[1.0, 2.0, 4.0, 16.0]),
+                    }
+                } else {
+                    Clause::LatencyStep {
+                        path: rng.below(2) as u8,
+                        at_s: q3(1.0 + 25.0 * rng.f64()),
+                        delay_ms: pick(&mut rng, &[5.0, 15.0, 60.0, 150.0]),
+                    }
+                }
+            }
+            _ => unreachable!(),
+        };
+        clauses.push(clause);
+    }
+    // Liveness needs room past the last fault; an empty schedule still runs
+    // long enough to prove plain delivery.
+    let last_end = clauses.iter().map(Clause::end_s).fold(5.0_f64, f64::max);
+    let horizon_s = q3(last_end + LIVENESS_GRACE.as_secs_f64() + 5.0);
+    ChaosCase {
+        seed,
+        algorithm: algorithm.to_string(),
+        rate_mbps,
+        delay_ms,
+        horizon_s,
+        clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd_ids() -> [netsim::QueueId; 2] {
+        let mut sim = netsim::Simulation::new(1);
+        let mk = |sim: &mut netsim::Simulation| {
+            sim.add_queue(netsim::QueueConfig::drop_tail(
+                1e6,
+                eventsim::SimDuration::from_millis(1),
+                10,
+            ))
+        };
+        [mk(&mut sim), mk(&mut sim)]
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0_u64, 1, 7, 0xdead_beef] {
+            assert_eq!(generate(seed), generate(seed));
+        }
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn generated_cases_always_lower_to_valid_plans() {
+        for seed in 0..500_u64 {
+            let case = generate(seed);
+            assert!(!case.algorithm.is_empty());
+            assert!(case.horizon_s >= 15.0 && case.horizon_s <= 70.0, "{case:?}");
+            if let Err(e) = case.plan(fwd_ids()) {
+                panic!("seed {seed} generated an invalid case: {e}\n{case:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_cases_round_trip_through_json() {
+        for seed in 0..100_u64 {
+            let case = generate(seed);
+            let back = ChaosCase::from_json(&case.to_json()).expect("round trip");
+            assert_eq!(case, back, "seed {seed}");
+        }
+    }
+}

@@ -203,6 +203,82 @@ impl FaultPlan {
         self.actions.sort_by_key(|&(t, _)| t);
         self.actions
     }
+
+    /// Check the plan for ill-formed clause composition.
+    ///
+    /// Historically a plan like `down(q, 10..30)` + `down(q, 20..25)` was
+    /// accepted and produced order-dependent behaviour: whichever `LinkUp`
+    /// sorted first silently re-opened the link mid-outage. Programmatic
+    /// composition (the chaos generator) made that trap easy to hit, so
+    /// malformed plans are now rejected up front:
+    ///
+    /// * per queue, `LinkDown` while already down or `LinkUp` while already
+    ///   up (a leading `LinkUp` is allowed — it repairs a link downed
+    ///   outside the plan);
+    /// * non-positive or non-finite `SetRate`;
+    /// * probabilities outside `[0, 1]` (or NaN) for `LossBurst`,
+    ///   `SetDuplication`, `SetReordering`;
+    /// * zero-duration `LossBurst` clauses.
+    ///
+    /// Evaluated over the time-sorted schedule (ties keep insertion order,
+    /// exactly as installation applies them).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut sorted: Vec<&(SimTime, FaultAction)> = self.actions.iter().collect();
+        sorted.sort_by_key(|&&(t, _)| t);
+        // Per-queue link state: None = untouched by the plan so far,
+        // Some(true) = down, Some(false) = up.
+        let mut down: std::collections::BTreeMap<QueueId, bool> = std::collections::BTreeMap::new();
+        for &&(t, action) in &sorted {
+            let q = action.queue();
+            match action {
+                FaultAction::LinkDown(_) => {
+                    if down.insert(q, true) == Some(true) {
+                        return Err(format!(
+                            "overlapping down windows on queue {q:?}: \
+                             LinkDown at {t} while already down"
+                        ));
+                    }
+                }
+                FaultAction::LinkUp(_) => {
+                    if down.insert(q, false) == Some(false) {
+                        return Err(format!(
+                            "unmatched LinkUp on queue {q:?} at {t}: link already up"
+                        ));
+                    }
+                }
+                FaultAction::SetRate { rate_bps, .. } => {
+                    if !(rate_bps.is_finite() && rate_bps > 0.0) {
+                        return Err(format!(
+                            "SetRate on queue {q:?} at {t}: rate must be positive \
+                             and finite, got {rate_bps}"
+                        ));
+                    }
+                }
+                FaultAction::LossBurst { p, duration, .. } => {
+                    if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                        return Err(format!(
+                            "LossBurst on queue {q:?} at {t}: p must be in [0, 1], got {p}"
+                        ));
+                    }
+                    if duration == SimDuration::ZERO {
+                        return Err(format!(
+                            "LossBurst on queue {q:?} at {t}: zero-duration burst"
+                        ));
+                    }
+                }
+                FaultAction::SetDuplication { p, .. } | FaultAction::SetReordering { p, .. } => {
+                    if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                        return Err(format!(
+                            "{} on queue {q:?} at {t}: p must be in [0, 1], got {p}",
+                            action.label()
+                        ));
+                    }
+                }
+                FaultAction::SetLatency { .. } | FaultAction::ClearImpairments(_) => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +358,114 @@ mod tests {
             acts[3],
             (SimTime::from_secs_f64(17.0), FaultAction::LinkUp(q))
         );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let q = QueueId(0);
+        let plan = FaultPlan::new()
+            .down_between(q, SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(8.0))
+            .flap(
+                q,
+                SimTime::from_secs_f64(10.0),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(1),
+                3,
+            )
+            .at(
+                SimTime::from_secs_f64(2.0),
+                FaultAction::LossBurst {
+                    queue: q,
+                    p: 0.3,
+                    duration: SimDuration::from_secs(1),
+                },
+            );
+        assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+    }
+
+    #[test]
+    fn validate_allows_leading_link_up() {
+        // A plan may repair a link that was downed outside the plan.
+        let q = QueueId(2);
+        let plan = FaultPlan::new().at(SimTime::from_secs_f64(1.0), FaultAction::LinkUp(q));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_down_windows() {
+        let q = QueueId(0);
+        let plan = FaultPlan::new()
+            .down_between(
+                q,
+                SimTime::from_secs_f64(10.0),
+                SimTime::from_secs_f64(30.0),
+            )
+            .down_between(
+                q,
+                SimTime::from_secs_f64(20.0),
+                SimTime::from_secs_f64(25.0),
+            );
+        let err = plan.validate().unwrap_err();
+        assert!(err.contains("overlapping down windows"), "{err}");
+        // Distinct queues do not overlap each other.
+        let ok = FaultPlan::new()
+            .down_between(
+                QueueId(0),
+                SimTime::from_secs_f64(10.0),
+                SimTime::from_secs_f64(30.0),
+            )
+            .down_between(
+                QueueId(1),
+                SimTime::from_secs_f64(20.0),
+                SimTime::from_secs_f64(25.0),
+            );
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_link_up() {
+        let q = QueueId(0);
+        let plan = FaultPlan::new()
+            .down_between(q, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(2.0))
+            .at(SimTime::from_secs_f64(3.0), FaultAction::LinkUp(q));
+        let err = plan.validate().unwrap_err();
+        assert!(err.contains("link already up"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let q = QueueId(0);
+        let bad_rate = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultAction::SetRate {
+                queue: q,
+                rate_bps: 0.0,
+            },
+        );
+        assert!(bad_rate.validate().unwrap_err().contains("SetRate"));
+        let bad_p = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultAction::LossBurst {
+                queue: q,
+                p: 1.5,
+                duration: SimDuration::from_secs(1),
+            },
+        );
+        assert!(bad_p.validate().unwrap_err().contains("[0, 1]"));
+        let zero_burst = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultAction::LossBurst {
+                queue: q,
+                p: 0.1,
+                duration: SimDuration::ZERO,
+            },
+        );
+        assert!(zero_burst.validate().unwrap_err().contains("zero-duration"));
+        let bad_dup = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultAction::SetDuplication { queue: q, p: -0.1 },
+        );
+        assert!(bad_dup.validate().unwrap_err().contains("set_duplication"));
     }
 
     #[test]

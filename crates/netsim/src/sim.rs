@@ -538,7 +538,15 @@ impl Simulation {
     /// Install a [`FaultPlan`]: every action is scheduled as an event inside
     /// the simulation loop (actions dated in the past fire immediately at
     /// the current time, in plan order).
+    ///
+    /// # Panics
+    ///
+    /// If [`FaultPlan::validate`] rejects the plan (overlapping down/up
+    /// windows, out-of-domain parameters, zero-duration bursts).
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         let now = self.events.now();
         for (t, action) in plan.into_sorted() {
             self.events

@@ -83,16 +83,34 @@ pub struct RunSummary {
     pub failed: usize,
     /// Jobs skipped because the journal already had them done.
     pub skipped: usize,
+    /// Attempt threads abandoned to timeouts (also in `sweep.json` as
+    /// `jobs.abandoned`).
+    pub abandoned: usize,
     /// Keys of the failed jobs, sorted.
     pub failed_jobs: Vec<String>,
     /// Where `sweep.json` was written.
     pub sweep_path: PathBuf,
 }
 
-/// The production runner: dispatch a job into [`bench::jobs::REGISTRY`].
+/// Scenario lookup across every registry the orchestrator can drive: the
+/// paper scenarios in [`bench::jobs::REGISTRY`] plus the chaos crate's
+/// `fuzz` job kind ([`chaos::scenario::SCENARIOS`]).
+pub fn find_scenario(name: &str) -> Option<&'static bench::jobs::ScenarioDef> {
+    bench::jobs::find(name).or_else(|| chaos::scenario::find(name))
+}
+
+/// Every scenario name [`find_scenario`] resolves, in listing order.
+pub fn scenario_defs() -> impl Iterator<Item = &'static bench::jobs::ScenarioDef> {
+    bench::jobs::REGISTRY
+        .iter()
+        .chain(chaos::scenario::SCENARIOS.iter())
+}
+
+/// The production runner: dispatch a job into the combined scenario
+/// registry ([`find_scenario`]).
 pub fn registry_runner(quick: bool, digest: bool) -> Runner {
     Arc::new(move |job: &Job| {
-        let def = bench::jobs::find(&job.scenario)
+        let def = find_scenario(&job.scenario)
             .unwrap_or_else(|| panic!("unknown scenario {:?}", job.scenario));
         let ctx = JobCtx {
             seed: job.seed,
@@ -133,6 +151,7 @@ pub fn run_with(dir: &RunDir, opts: &RunOpts, runner: &Runner) -> Result<RunSumm
         workers: opts.workers.max(1),
         timeout: opts.timeout,
         retries: opts.retries,
+        ..PoolCfg::default()
     };
     // The journal (and stderr) are shared across workers; one lock
     // serializes both so lines never interleave.
@@ -163,7 +182,7 @@ pub fn run_with(dir: &RunDir, opts: &RunOpts, runner: &Runner) -> Result<RunSumm
             io_error.get_or_insert(e);
         }
     };
-    let results = pool::run_pool(&pending, &cfg, runner, &on_complete);
+    let (results, stats) = pool::run_pool(&pending, &cfg, runner, &on_complete);
     if let Some(e) = io_state.into_inner().expect("journal lock poisoned") {
         return Err(e);
     }
@@ -190,7 +209,7 @@ pub fn run_with(dir: &RunDir, opts: &RunOpts, runner: &Runner) -> Result<RunSumm
         terminal.insert(job.key.clone(), entry);
     }
 
-    let doc = sweep::build_sweep(&manifest, &jobs, &terminal);
+    let doc = sweep::build_sweep(&manifest, &jobs, &terminal, stats.abandoned);
     bench::report::validate_sweep(&doc)
         .map_err(|e| format!("self-produced sweep report invalid: {e}"))?;
     let sweep_path = dir.write_sweep(&doc)?;
@@ -207,6 +226,7 @@ pub fn run_with(dir: &RunDir, opts: &RunOpts, runner: &Runner) -> Result<RunSumm
         done: jobs.len() - failed,
         failed,
         skipped,
+        abandoned: stats.abandoned,
         failed_jobs,
         sweep_path,
     })

@@ -113,7 +113,7 @@ fn parse_cli() -> Cli {
 
 fn list_scenarios() {
     println!("registered scenarios:");
-    for def in bench::jobs::REGISTRY {
+    for def in orchestra::scenario_defs() {
         println!("  {:<22} {}", def.name, def.summary);
     }
 }

@@ -212,8 +212,8 @@ impl Manifest {
                 .filter(|n| !n.is_empty())
                 .ok_or("scenarios[].name must be a non-empty string")?
                 .to_string();
-            if bench::jobs::find(&name).is_none() {
-                let known: Vec<&str> = bench::jobs::REGISTRY.iter().map(|d| d.name).collect();
+            if crate::find_scenario(&name).is_none() {
+                let known: Vec<&str> = crate::scenario_defs().map(|d| d.name).collect();
                 return Err(format!(
                     "unknown scenario {name:?} (known: {})",
                     known.join(", ")
@@ -297,7 +297,7 @@ impl Manifest {
             if filter.is_some_and(|f| f != entry.name) {
                 continue;
             }
-            let def = bench::jobs::find(&entry.name)
+            let def = crate::find_scenario(&entry.name)
                 .ok_or_else(|| format!("unknown scenario {:?}", entry.name))?;
             let mut axes = match &entry.grid {
                 Some(grid) => grid.clone(),

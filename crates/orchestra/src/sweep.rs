@@ -32,11 +32,13 @@ fn stats_json(values: &[f64]) -> Json {
 
 /// Build the sweep document. `results` must hold a terminal entry for every
 /// job in `jobs` (the orchestrator guarantees this after the pool drains);
-/// a missing entry is a bug and panics.
+/// a missing entry is a bug and panics. `abandoned` is the pool's
+/// abandoned-thread tally (timed-out attempts whose threads were detached).
 pub fn build_sweep(
     manifest: &Manifest,
     jobs: &[Job],
     results: &BTreeMap<String, JournalEntry>,
+    abandoned: usize,
 ) -> Json {
     // Group by parameter point, keeping each point's jobs in expansion
     // (manifest seed) order.
@@ -124,6 +126,7 @@ pub fn build_sweep(
                 ("total", Json::from(done + failed)),
                 ("done", Json::from(done)),
                 ("failed", Json::from(failed)),
+                ("abandoned", Json::from(abandoned as u64)),
             ]),
         ),
         ("points", Json::Array(point_docs)),
@@ -169,7 +172,7 @@ mod tests {
             };
             results.insert(job.key.clone(), entry);
         }
-        let doc = build_sweep(&m, &jobs, &results);
+        let doc = build_sweep(&m, &jobs, &results, 1);
         bench::report::validate_sweep(&doc).expect("sweep must validate");
 
         let points = doc.get("points").unwrap().as_array().unwrap();
@@ -193,10 +196,11 @@ mod tests {
         let counts = doc.get("jobs").unwrap();
         assert_eq!(counts.get("done").unwrap().as_f64(), Some(3.0));
         assert_eq!(counts.get("failed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(counts.get("abandoned").unwrap().as_f64(), Some(1.0));
         // Byte-stable under identical inputs.
         assert_eq!(
             doc.render_pretty(),
-            build_sweep(&m, &jobs, &results).render_pretty()
+            build_sweep(&m, &jobs, &results, 1).render_pretty()
         );
     }
 }

@@ -97,6 +97,7 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
     "crates/eventsim/",
     "crates/core/",
     "crates/topo/",
+    "crates/chaos/",
 ];
 
 /// Event-loop hot paths for R5: the scheduler itself, the netsim dispatch
@@ -118,12 +119,17 @@ const CC_MATH_PREFIX: &str = "crates/core/";
 /// simulations, `bench` across replications — never inside one simulation,
 /// where thread scheduling would feed nondeterminism straight into the
 /// event order. `topo` is deliberately absent: it only builds topologies
-/// and is judged by R2's ordering rule instead.
+/// and is judged by R2's ordering rule instead. `chaos` is *included*:
+/// each fuzz case is one single-threaded simulation, and the one file that
+/// legitimately fans cases across workers (`campaign.rs`, whose results
+/// are slot-indexed and scheduling-independent) carries a reasoned
+/// path-level allow in `simlint.toml` rather than a blanket exemption.
 const SEQUENTIAL_SIM_PREFIXES: &[&str] = &[
     "crates/netsim/",
     "crates/tcpsim/",
     "crates/eventsim/",
     "crates/core/",
+    "crates/chaos/",
 ];
 
 /// One reported violation (possibly suppressed).

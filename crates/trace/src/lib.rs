@@ -23,16 +23,21 @@
 //!   (per-connection / per-queue allow-lists) before the sink.
 //! - [`InvariantChecker`] — a sink that verifies transport invariants
 //!   (cwnd ≥ probing floor, per-flow delivery conservation) over any trace.
+//! - [`FaultOracle`] — fault-aware oracles for chaos fuzzing: subflow
+//!   state-machine legality, re-probe backoff cap, cwnd/ssthresh domain,
+//!   and post-restoration liveness.
 //! - [`Digest64`] — FNV-1a over serialized traces for determinism tests.
 //!
 //! This crate depends only on `eventsim` (for `SimTime`); events carry raw
 //! integer ids so the layering stays acyclic.
 
+mod chaos;
 mod check;
 mod digest;
 mod event;
 mod sink;
 
+pub use chaos::FaultOracle;
 pub use check::{InvariantChecker, Violation};
 pub use digest::Digest64;
 pub use event::{CwndReason, DropReason, PacketKindLabel, SubflowState, TraceEvent};

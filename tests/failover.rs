@@ -152,6 +152,91 @@ fn fault_plan_outage_is_detected_and_reprobed_within_bound() {
     }
 }
 
+/// Total blackout: BOTH subflows go down at once (t=20 s to t=35 s), so for
+/// 15 s the connection has nowhere to send. The path manager must declare
+/// both Failed, keep re-probing both on the capped schedule, rejoin both to
+/// the coupled controller once the world returns, and resume real goodput —
+/// without panicking, for LIA and OLIA.
+#[test]
+fn total_blackout_recovery_rejoins_both_subflows() {
+    for alg in [Algorithm::Olia, Algorithm::Lia] {
+        let mut sim = Simulation::new(19);
+        let (f1, r1) = link(&mut sim);
+        let (f2, r2) = link(&mut sim);
+        let conn = ConnectionSpec::new(alg)
+            .with_path(PathSpec::new(route(&[f1]), route(&[r1])))
+            .with_path(PathSpec::new(route(&[f2]), route(&[r2])))
+            .install(&mut sim, 0);
+        sim.start_endpoint_at(conn.source, SimTime::ZERO);
+        let from = SimTime::from_secs_f64(20.0);
+        let to = SimTime::from_secs_f64(35.0);
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .down_between(f1, from, to)
+                .down_between(f2, from, to),
+        );
+
+        sim.run_until(from);
+        let pre = conn.handle.goodput_mbps(sim.now());
+        assert!(pre > 3.0, "{alg:?}: pre-blackout goodput {pre:.2} Mb/s");
+
+        // Deep inside the blackout: both subflows declared Failed, both
+        // being re-probed, and (measured over the silent stretch) nothing
+        // delivered.
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(34.0));
+        for p in [0, 1] {
+            assert_eq!(
+                conn.handle.path_health(p),
+                PathHealth::Failed,
+                "{alg:?}: subflow {p} not declared Failed"
+            );
+            let (failures, reprobes) = conn.handle.failure_counts(p);
+            assert!(failures >= 1, "{alg:?}: subflow {p} recorded no failure");
+            assert!(reprobes >= 1, "{alg:?}: subflow {p} not being re-probed");
+        }
+        assert_eq!(
+            conn.handle.goodput_mbps(sim.now()),
+            0.0,
+            "{alg:?}: a total blackout must deliver nothing"
+        );
+
+        // Restoration: the ≤8 s probe cap bounds rediscovery, so both
+        // subflows must rejoin within 10 s of the links returning.
+        sim.run_until(SimTime::from_secs_f64(45.0));
+        for p in [0, 1] {
+            let recovered = conn
+                .handle
+                .last_recovered_at(p)
+                .unwrap_or_else(|| panic!("{alg:?}: subflow {p} never recovered"));
+            let lag = recovered.saturating_since(to);
+            assert!(
+                lag <= SimDuration::from_secs(10),
+                "{alg:?}: subflow {p} took {lag} to rejoin after restoration"
+            );
+            assert_eq!(conn.handle.path_health(p), PathHealth::Active, "{alg:?}");
+        }
+
+        // Both rejoined the coupled controller and carry real traffic.
+        conn.handle.reset(sim.now());
+        sim.run_until(SimTime::from_secs_f64(70.0));
+        let total = conn.handle.goodput_mbps(sim.now());
+        assert!(
+            total > 3.0,
+            "{alg:?}: post-blackout goodput {total:.2} Mb/s"
+        );
+        for p in [0, 1] {
+            let rate = conn.handle.subflow_mbps(p, sim.now());
+            assert!(
+                rate > 0.5,
+                "{alg:?}: subflow {p} must carry traffic after rejoining, \
+                 got {rate:.3} Mb/s"
+            );
+        }
+    }
+}
+
 #[test]
 fn failed_path_recovers_when_restored() {
     let (mut sim, conn, f1) = setup(Algorithm::Olia, true);
