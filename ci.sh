@@ -74,6 +74,27 @@ rm -rf results/orchestra/ci-gate
 ./target/release/validate_report --strict \
     results/orchestra/ci-gate results/orchestra/ci-gate/jobs
 
+# Viz gate: rendering is a pure function of the artifact bytes. Render the
+# observability gate's pinned-seed trace twice and require byte-identical
+# pages; require the page to be self-contained (no external references);
+# and render the orchestra run's sweep explorer to prove the end-to-end
+# artifact -> page path stays alive. The golden-digest and --jobs identity
+# proofs live in cargo test (tests/viz_timeline.rs, crates/viz); this gate
+# re-checks the shipped binary on fresh artifacts.
+cargo build --release --offline -p viz
+./target/release/viz trace results/ci_trace.custom.seed11.jsonl \
+    --out results/ci_trace.a.html
+./target/release/viz trace results/ci_trace.custom.seed11.jsonl \
+    --out results/ci_trace.b.html
+cmp results/ci_trace.a.html results/ci_trace.b.html
+if grep -qE 'http://|https://|file://|<script' results/ci_trace.a.html; then
+    echo "ci: viz page is not self-contained (external reference or script)"
+    exit 1
+fi
+rm -f results/ci_trace.a.html results/ci_trace.b.html
+./target/release/viz sweep results/orchestra/ci-gate
+test -s results/orchestra/ci-gate/index.html
+
 # Chaos gate: a fixed-budget fuzz campaign (pinned seed, 200 generated
 # fault schedules) must finish with ZERO invariant violations on this tree,
 # and its mptcp-chaos-report/v1 artifact must validate. The checked-in

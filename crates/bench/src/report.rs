@@ -12,15 +12,21 @@
 //!
 //! ```json
 //! {
-//!   "schema": "mptcp-run-report/v1",
+//!   "schema": "mptcp-run-report/v2",
 //!   "name": "fig1_scenario_a",
 //!   "params": { "replications": 5, "seed": 1 },
 //!   "metrics": { "flow.0.goodput.mbps": 3.2 },
 //!   "tables": { "flow groups": [ { "group": "mptcp", "mean Mb/s": 4.1 } ] },
 //!   "profile": { "wall_s": 1.2, "events": 410000, "events_per_sec": 3.4e5,
-//!                "sim_s": 45.0, "sim_wall_ratio": 37.5 }
+//!                "sim_s": 45.0, "sim_wall_ratio": 37.5,
+//!                "percentiles": { "fct_s": { "p50": 1.1, "p95": 2.0, "p99": 2.4 } } }
 //! }
 //! ```
+//!
+//! v2 adds the optional `profile.percentiles` section — tail percentiles
+//! of every histogram snapshot into the report (the sweep explorer's
+//! per-point pages surface them). [`validate`] accepts both versions, so
+//! tracked v1 artifacts (`BENCH_*.json`) stay valid.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -34,7 +40,11 @@ use crate::json::Json;
 use crate::table::Table;
 
 /// Version tag every report carries in its `schema` field.
-pub const SCHEMA: &str = "mptcp-run-report/v1";
+pub const SCHEMA: &str = "mptcp-run-report/v2";
+
+/// The previous run-report version, still accepted by [`validate`] so
+/// tracked baselines (e.g. `BENCH_eventloop.json`) keep validating.
+pub const SCHEMA_V1: &str = "mptcp-run-report/v1";
 
 /// Version tag of the cross-seed sweep reports `orchestra` emits (see
 /// [`validate_sweep`]).
@@ -55,6 +65,7 @@ pub struct RunReport {
     params: BTreeMap<String, Json>,
     metrics: BTreeMap<String, f64>,
     tables: BTreeMap<String, Json>,
+    percentiles: BTreeMap<String, [f64; 3]>,
     profile: RunProfile,
 }
 
@@ -67,6 +78,7 @@ impl RunReport {
             params: BTreeMap::new(),
             metrics: BTreeMap::new(),
             tables: BTreeMap::new(),
+            percentiles: BTreeMap::new(),
             profile: RunProfile::start(),
         }
     }
@@ -102,6 +114,20 @@ impl RunReport {
             };
             self.metrics.insert(key, value);
         }
+        // Histograms additionally export their tail percentiles into the
+        // profile section (v2), where sweep tooling picks them up.
+        for (name, h) in registry.histograms() {
+            if h.total() == 0 {
+                continue;
+            }
+            let key = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            self.percentiles
+                .insert(key, [h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)]);
+        }
     }
 
     /// Embed a results table (the same one the binary prints), keyed by its
@@ -114,13 +140,31 @@ impl RunReport {
     /// Close the profiling window and assemble the report document.
     pub fn finish(&self) -> Json {
         let p = self.profile.finish();
-        let profile = Json::object([
+        let mut profile_fields = vec![
             ("wall_s", Json::from(p.wall_s)),
             ("events", Json::from(p.events)),
             ("events_per_sec", Json::from(p.events_per_sec())),
             ("sim_s", Json::from(p.sim_ns as f64 / 1e9)),
             ("sim_wall_ratio", Json::from(p.sim_wall_ratio())),
-        ]);
+        ];
+        if !self.percentiles.is_empty() {
+            let pcts: BTreeMap<String, Json> = self
+                .percentiles
+                .iter()
+                .map(|(name, [p50, p95, p99])| {
+                    (
+                        name.clone(),
+                        Json::object([
+                            ("p50", Json::from(*p50)),
+                            ("p95", Json::from(*p95)),
+                            ("p99", Json::from(*p99)),
+                        ]),
+                    )
+                })
+                .collect();
+            profile_fields.push(("percentiles", Json::Object(pcts)));
+        }
+        let profile = Json::object(profile_fields);
         Json::object([
             ("schema", Json::from(SCHEMA)),
             ("name", Json::from(self.name.clone())),
@@ -183,7 +227,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         return Err("report must be a JSON object".to_string());
     }
     match require(doc, "schema")?.as_str() {
-        Some(SCHEMA) => {}
+        Some(SCHEMA) | Some(SCHEMA_V1) => {}
         Some(other) => return Err(format!("unknown schema {other:?} (expected {SCHEMA:?})")),
         None => return Err("schema must be a string".to_string()),
     }
@@ -240,6 +284,19 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     let events = require_number(profile, "profile", "events")?;
     if events.fract() != 0.0 {
         return Err("profile.events must be an integer".to_string());
+    }
+    if let Some(pcts) = profile.get("percentiles") {
+        let pcts = pcts
+            .as_object()
+            .ok_or("profile.percentiles must be an object")?;
+        for (name, entry) in pcts {
+            let ctx = format!("profile.percentiles.{name}");
+            let q = |key: &str| require_number(entry, &ctx, key);
+            let (p50, p95, p99) = (q("p50")?, q("p95")?, q("p99")?);
+            if !(p50 <= p95 && p95 <= p99) {
+                return Err(format!("{ctx}: quantiles must satisfy p50 <= p95 <= p99"));
+            }
+        }
     }
     Ok(())
 }
@@ -582,6 +639,60 @@ mod tests {
             metrics.get("rep0.flow.0.goodput_mbps").unwrap().as_f64(),
             Some(2.5)
         );
+    }
+
+    #[test]
+    fn histogram_percentiles_land_in_profile() {
+        let mut reg = Registry::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 50.0] {
+            reg.histogram("fct_s", 0.5, 200).record(v);
+        }
+        reg.inc("drops", 1); // non-histograms must not produce entries
+        let mut r = RunReport::start("unit_test_percentiles");
+        r.registry("", &reg, SimTime::ZERO);
+        let doc = r.finish();
+        validate(&doc).expect("v2 report with percentiles must validate");
+        let pcts = doc
+            .get("profile")
+            .and_then(|p| p.get("percentiles"))
+            .expect("profile.percentiles missing");
+        let fct = pcts.get("fct_s").expect("fct_s percentiles missing");
+        let p50 = fct.get("p50").unwrap().as_f64().unwrap();
+        let p99 = fct.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(pcts.get("drops").is_none());
+
+        // A registry without histogram samples adds no percentiles section.
+        let mut r = RunReport::start("unit_test_no_percentiles");
+        let mut empty = Registry::new();
+        empty.inc("drops", 1);
+        r.registry("", &empty, SimTime::ZERO);
+        let doc = r.finish();
+        validate(&doc).unwrap();
+        assert!(doc.get("profile").unwrap().get("percentiles").is_none());
+    }
+
+    #[test]
+    fn both_schema_versions_validate() {
+        let v1 = r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},"metrics":{},
+            "tables":{},"profile":{"wall_s":0,"events":0,"events_per_sec":0,"sim_s":0,"sim_wall_ratio":0}}"#;
+        validate(&parse(v1).unwrap()).expect("v1 must stay valid");
+        let v2 = v1.replace("/v1", "/v2");
+        validate(&parse(&v2).unwrap()).expect("v2 must validate");
+    }
+
+    #[test]
+    fn disordered_percentiles_rejected() {
+        let bad = r#"{"schema":"mptcp-run-report/v2","name":"x","params":{},"metrics":{},
+            "tables":{},"profile":{"wall_s":0,"events":0,"events_per_sec":0,"sim_s":0,"sim_wall_ratio":0,
+            "percentiles":{"fct_s":{"p50":5.0,"p95":2.0,"p99":9.0}}}}"#;
+        let err = validate(&parse(bad).unwrap()).unwrap_err();
+        assert!(err.contains("p50 <= p95"), "{err}");
+        let missing = r#"{"schema":"mptcp-run-report/v2","name":"x","params":{},"metrics":{},
+            "tables":{},"profile":{"wall_s":0,"events":0,"events_per_sec":0,"sim_s":0,"sim_wall_ratio":0,
+            "percentiles":{"fct_s":{"p50":1.0}}}}"#;
+        let err = validate(&parse(missing).unwrap()).unwrap_err();
+        assert!(err.contains("p95"), "{err}");
     }
 
     #[test]

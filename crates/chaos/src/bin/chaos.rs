@@ -77,12 +77,26 @@ fn campaign(args: &mut std::vec::IntoIter<String>) -> Result<ExitCode, String> {
     std::fs::write(&report_path, doc.render_pretty() + "\n")
         .map_err(|e| format!("cannot write {report_path}: {e}"))?;
     for repro in &res.repros {
-        let case_path = format!("{out}/repro_{:016x}_i{}.json", cfg.seed, repro.iteration);
+        let stem = format!("{out}/repro_{:016x}_i{}", cfg.seed, repro.iteration);
+        let case_path = format!("{stem}.json");
         std::fs::write(
             &case_path,
             repro.shrunk.case.to_json().render_pretty() + "\n",
         )
         .map_err(|e| format!("cannot write {case_path}: {e}"))?;
+        // Flight-recorder tail + rendered timeline, so every repro ships
+        // with visual evidence of what the fault schedule did to the run.
+        let tail = repro.shrunk.verdict.tail_jsonl.as_deref();
+        if let Some(tail) = tail {
+            let trace_path = format!("{stem}.trace.jsonl");
+            std::fs::write(&trace_path, tail)
+                .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+        }
+        let title = format!("repro_{:016x}_i{}", cfg.seed, repro.iteration);
+        let html = viz::render_chaos_html(&title, &repro.shrunk.case.to_json(), tail)
+            .map_err(|e| format!("cannot render {stem}.html: {e}"))?;
+        std::fs::write(format!("{stem}.html"), html)
+            .map_err(|e| format!("cannot write {stem}.html: {e}"))?;
     }
     println!(
         "chaos campaign seed {:016x}: {} iteration(s), {} violating, digest {}",

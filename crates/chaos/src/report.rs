@@ -23,6 +23,11 @@ pub fn report_json(cfg: &CampaignCfg, res: &CampaignResult) -> Json {
             Json::object([
                 ("iteration", Json::Number(r.iteration as f64)),
                 ("case", r.shrunk.case.to_json()),
+                // Rendered by the campaign runner next to this report.
+                (
+                    "timeline",
+                    Json::String(format!("repro_{:016x}_i{}.html", cfg.seed, r.iteration)),
+                ),
                 ("clauses", Json::Number(r.shrunk.case.clauses.len() as f64)),
                 (
                     "original_clauses",

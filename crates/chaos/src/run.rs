@@ -10,7 +10,9 @@ use eventsim::{SimDuration, SimTime};
 use mpsim_core::Algorithm;
 use netsim::{route, QueueConfig, Simulation};
 use tcpsim::{ConnectionSpec, PathSpec, TcpConfig};
-use trace::{DigestSink, FaultOracle, InvariantChecker, TraceSink, Tracer, Violation};
+use trace::{
+    DigestSink, FaultOracle, FlightRecorder, InvariantChecker, TraceSink, Tracer, Violation,
+};
 
 use crate::case::ChaosCase;
 
@@ -31,6 +33,11 @@ const SLICE: SimDuration = SimDuration::from_secs(1);
 /// Generous: a clean two-path run at these rates dispatches ~10^5 events
 /// per simulated second.
 const SLICE_EVENT_BUDGET: u64 = 20_000_000;
+/// Flight-recorder ring length. A typical case traces well under 10^4
+/// events per simulated second, so this retains a whole default-horizon
+/// run — repro timelines show every fault window and state band, not just
+/// a tail. The ring allocates lazily, so clean short runs stay cheap.
+const RECORDER_CAPACITY: usize = 1 << 20;
 
 /// Everything one case execution is judged on.
 #[derive(Debug, Clone)]
@@ -49,6 +56,13 @@ pub struct Verdict {
     pub sim_s: f64,
     /// In-order packets delivered to the application.
     pub delivered: u64,
+    /// The flight recorder's tail — the last events before the end of the
+    /// run, in JSONL form — kept only when a violation fired (clean runs
+    /// drop it to keep verdicts cheap to hold in campaign memory).
+    pub tail_jsonl: Option<String>,
+    /// True when the recorder's ring wrapped, i.e. `tail_jsonl` is a
+    /// suffix of the full trace rather than all of it.
+    pub tail_truncated: bool,
 }
 
 impl Verdict {
@@ -74,6 +88,7 @@ struct OracleSink {
     digest: DigestSink,
     invariants: InvariantChecker,
     faults: FaultOracle,
+    recorder: FlightRecorder,
 }
 
 impl TraceSink for OracleSink {
@@ -81,6 +96,7 @@ impl TraceSink for OracleSink {
         self.digest.record(t, ev);
         self.invariants.record(t, ev);
         self.faults.record(t, ev);
+        self.recorder.record(t, ev);
     }
 }
 
@@ -100,6 +116,7 @@ pub fn run_case_with(case: &ChaosCase, tcp: TcpConfig) -> Verdict {
         digest: DigestSink::new(),
         invariants: InvariantChecker::new(1.0),
         faults: FaultOracle::new(ORACLE_PROBE_CAP, LIVENESS_GRACE),
+        recorder: FlightRecorder::new(RECORDER_CAPACITY),
     });
     sim.set_tracer(tracer);
 
@@ -173,6 +190,13 @@ pub fn run_case_with(case: &ChaosCase, tcp: TcpConfig) -> Verdict {
     violations.extend(livelock);
     violations.sort_by(|a, b| a.t.cmp(&b.t).then_with(|| a.what.cmp(&b.what)));
 
+    let tail_truncated = sink.recorder.truncated() > 0;
+    let tail_jsonl = if violations.is_empty() {
+        None
+    } else {
+        Some(sink.recorder.dump_jsonl())
+    };
+
     Verdict {
         violations,
         digest: sink.digest.hex(),
@@ -180,6 +204,8 @@ pub fn run_case_with(case: &ChaosCase, tcp: TcpConfig) -> Verdict {
         events,
         sim_s: end.as_secs_f64(),
         delivered,
+        tail_jsonl,
+        tail_truncated,
     }
 }
 
@@ -242,8 +268,19 @@ mod tests {
         let v = run_case_with(&case, tcp);
         assert!(!v.ok(), "oracle missed the raised probe cap");
         assert_eq!(v.category(), Some("re-probe backoff exceeds cap"));
+        // A violating verdict carries the flight recorder's tail, parseable
+        // back into events for timeline rendering.
+        let tail = v.tail_jsonl.as_deref().expect("violating run has no tail");
+        let mut events = 0u64;
+        for line in tail.lines() {
+            trace::TraceEvent::from_jsonl(line).expect("unparseable tail line");
+            events += 1;
+        }
+        assert!(events > 0, "empty flight-recorder tail");
         // The same case is clean on the spec-conformant config.
-        assert!(run_case(&case).ok());
+        let clean = run_case(&case);
+        assert!(clean.ok());
+        assert!(clean.tail_jsonl.is_none(), "clean runs keep no tail");
     }
 
     #[test]

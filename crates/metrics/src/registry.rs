@@ -152,6 +152,16 @@ impl Registry {
         }
     }
 
+    /// Every registered histogram, in sorted name order — the hook run
+    /// reporters use to export tail percentiles beyond the flattened
+    /// snapshot scalars.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.entries.iter().filter_map(|(name, m)| match m {
+            Metric::Histogram(h) => Some((name.as_str(), h)),
+            _ => None,
+        })
+    }
+
     /// Flatten every metric to scalar `(name, value)` pairs, sorted by name.
     ///
     /// Composite metrics expand with dotted suffixes:
@@ -160,7 +170,7 @@ impl Registry {
     /// * rate meters → `.bytes` and `.mbps` (rate computed up to `now`);
     /// * time series → `.points`, `.last`, and `.avg` (time-weighted; absent
     ///   with fewer than two points);
-    /// * histograms → `.count`, `.mean`, `.std`, `.p95`.
+    /// * histograms → `.count`, `.mean`, `.std`, `.p50`, `.p95`, `.p99`.
     pub fn snapshot(&self, now: SimTime) -> Vec<(String, f64)> {
         let mut out = Vec::new();
         for (name, metric) in &self.entries {
@@ -184,7 +194,9 @@ impl Registry {
                     out.push((format!("{name}.count"), h.total() as f64));
                     out.push((format!("{name}.mean"), h.mean()));
                     out.push((format!("{name}.std"), h.std()));
+                    out.push((format!("{name}.p50"), h.quantile(0.50)));
                     out.push((format!("{name}.p95"), h.quantile(0.95)));
+                    out.push((format!("{name}.p99"), h.quantile(0.99)));
                 }
             }
         }
@@ -234,6 +246,11 @@ mod tests {
         assert_eq!(snap["flow.0.cwnd.avg"], 2.0);
         assert_eq!(snap["fct.count"], 1.0);
         assert_eq!(snap["fct.mean"], 3.0);
+        for q in ["fct.p50", "fct.p95", "fct.p99"] {
+            assert!(snap.contains_key(q), "missing {q}");
+        }
+        assert!(snap["fct.p50"] <= snap["fct.p95"]);
+        assert!(snap["fct.p95"] <= snap["fct.p99"]);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct RunOpts {
     pub digest: bool,
     /// Print per-job progress lines to stderr.
     pub verbose: bool,
+    /// Render the sweep explorer (`index.html` + per-point pages) into the
+    /// run directory after `sweep.json` is written.
+    pub viz: bool,
 }
 
 impl Default for RunOpts {
@@ -68,6 +71,7 @@ impl Default for RunOpts {
             filter: None,
             digest: true,
             verbose: false,
+            viz: false,
         }
     }
 }
@@ -213,6 +217,16 @@ pub fn run_with(dir: &RunDir, opts: &RunOpts, runner: &Runner) -> Result<RunSumm
     bench::report::validate_sweep(&doc)
         .map_err(|e| format!("self-produced sweep report invalid: {e}"))?;
     let sweep_path = dir.write_sweep(&doc)?;
+
+    if opts.viz {
+        // Page bytes are independent of worker count; reusing the pool
+        // width only parallelizes the rendering.
+        for (name, html) in viz::render_run_dir(dir.root(), opts.workers)? {
+            let path = dir.root().join(&name);
+            std::fs::write(&path, html)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+    }
 
     let mut failed_jobs: Vec<String> = terminal
         .values()

@@ -34,6 +34,7 @@ options:
   --timeout-s S   per-attempt wall-clock budget, seconds (default: 600)
   --retries N     retries after a failed attempt (default: 1)
   --no-digest     skip per-job trace digest capture
+  --viz           render the sweep explorer HTML into the run directory
   --quiet         no per-job progress lines";
 
 struct Cli {
@@ -80,6 +81,7 @@ fn parse_cli() -> Cli {
             "--filter" => cli.opts.filter = Some(value("--filter", &mut args)),
             "--quick" => cli.quick = true,
             "--no-digest" => cli.opts.digest = false,
+            "--viz" => cli.opts.viz = true,
             "--quiet" => cli.opts.verbose = false,
             "--jobs" => {
                 cli.opts.workers = value("--jobs", &mut args)

@@ -1,0 +1,23 @@
+// Known-bad fixture for the viz crate: the renderer's byte-determinism
+// contract means R1 (wall-clock) and R3 (os-random) apply to it exactly as
+// to the sim crates, even though viz is a harness-side crate — a timestamp
+// or random jitter in a page breaks golden-file identity. Linted as a
+// virtual file inside `crates/viz/src/`.
+use std::time::SystemTime; // line 6: R1
+
+fn stamp_page(html: &mut String) {
+    let now = SystemTime::now(); // line 9: R1
+    let wall = Instant::now(); // line 10: R1
+    let _jitter = rand::thread_rng().gen::<f64>(); // line 11: R3
+    html.push_str("rendered");
+    let _ = (now, wall);
+}
+
+fn parallel_ok(slots: &std::sync::Mutex<Vec<String>>) {
+    // viz parallelizes page rendering across threads (slot-indexed, joined
+    // in order) — R7 is scoped to the sim crates and must NOT fire here,
+    // nor must R2 on a harness-side HashMap that is never iterated.
+    let map = std::collections::HashMap::<u32, u32>::new();
+    std::thread::scope(|_| {});
+    let _ = (slots, map);
+}

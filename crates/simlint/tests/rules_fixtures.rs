@@ -96,6 +96,22 @@ fn r7_threading_fixture() {
     assert!(lint("crates/bench/src/fixture.rs", src).is_empty());
 }
 
+/// The viz crate renders byte-deterministic pages, so the clock and
+/// entropy rules cover it like any sim crate — while the sim-scoped rules
+/// (R2 ordering, R7 threading) stay quiet: viz legitimately fans page
+/// rendering across threads.
+#[test]
+fn viz_crate_is_covered_by_r1_and_r3_but_not_sim_scoped_rules() {
+    let src = include_str!("fixtures/viz_hazards.rs");
+    let f = lint("crates/viz/src/fixture.rs", src);
+    assert_eq!(
+        positions(&f),
+        vec![("R1", 6), ("R1", 9), ("R1", 10), ("R3", 11)],
+        "{f:#?}"
+    );
+    assert!(unsuppressed(&f).len() == f.len(), "{f:#?}");
+}
+
 #[test]
 fn suppressed_fixture_has_findings_but_none_unsuppressed() {
     let src = include_str!("fixtures/suppressed_ok.rs");

@@ -541,6 +541,15 @@ impl TcpSource {
                 let sample = ctx.now().saturating_since(pkt.ts_echo);
                 if sample > SimDuration::ZERO {
                     sf.rtt.sample(sample);
+                    let conn = self.conn;
+                    let rtt_ns = sample.as_nanos();
+                    let srtt_ns = (sf.rtt.srtt_or(0.0) * 1e9).round() as u64;
+                    ctx.tracer().emit(ctx.now(), || TraceEvent::RttSample {
+                        conn,
+                        subflow: idx as u16,
+                        rtt_ns,
+                        srtt_ns,
+                    });
                 }
             }
             if was_failed {

@@ -175,6 +175,7 @@ mod tests {
             kind: PacketKindLabel::Data,
             seq: 0,
             size: 1500,
+            qlen: 0,
         }
     }
 
@@ -245,6 +246,7 @@ mod tests {
                     kind: PacketKindLabel::Ack,
                     seq: 0,
                     size: 40,
+                    qlen: 0,
                 },
             ),
             (SimTime::ZERO, deliver(1, 1, 1)),

@@ -31,6 +31,18 @@ impl DropReason {
             DropReason::LossBurst => "loss_burst",
         }
     }
+
+    /// Inverse of [`DropReason::label`].
+    pub fn from_label(s: &str) -> Option<DropReason> {
+        Some(match s {
+            "tail" => DropReason::Tail,
+            "early_mark" => DropReason::EarlyMark,
+            "bernoulli" => DropReason::Bernoulli,
+            "admin_down" => DropReason::AdminDown,
+            "loss_burst" => DropReason::LossBurst,
+            _ => return None,
+        })
+    }
 }
 
 /// What caused a congestion-window change.
@@ -59,6 +71,18 @@ impl CwndReason {
             CwndReason::Reactivate => "reactivate",
         }
     }
+
+    /// Inverse of [`CwndReason::label`].
+    pub fn from_label(s: &str) -> Option<CwndReason> {
+        Some(match s {
+            "ack" => CwndReason::Ack,
+            "fast_retransmit" => CwndReason::FastRetransmit,
+            "recovery_exit" => CwndReason::RecoveryExit,
+            "rto" => CwndReason::Rto,
+            "reactivate" => CwndReason::Reactivate,
+            _ => return None,
+        })
+    }
 }
 
 /// Packet kind as far as the network is concerned, mirrored from `netsim`
@@ -80,6 +104,15 @@ impl PacketKindLabel {
             PacketKindLabel::Data => "data",
             PacketKindLabel::Ack => "ack",
         }
+    }
+
+    /// Inverse of [`PacketKindLabel::label`].
+    pub fn from_label(s: &str) -> Option<PacketKindLabel> {
+        Some(match s {
+            "data" => PacketKindLabel::Data,
+            "ack" => PacketKindLabel::Ack,
+            _ => return None,
+        })
     }
 }
 
@@ -106,6 +139,17 @@ impl SubflowState {
             SubflowState::Failed => "failed",
             SubflowState::Pruned => "pruned",
         }
+    }
+
+    /// Inverse of [`SubflowState::label`].
+    pub fn from_label(s: &str) -> Option<SubflowState> {
+        Some(match s {
+            "active" => SubflowState::Active,
+            "potentially_failed" => SubflowState::PotentiallyFailed,
+            "failed" => SubflowState::Failed,
+            "pruned" => SubflowState::Pruned,
+            _ => return None,
+        })
     }
 }
 
@@ -135,7 +179,9 @@ pub enum TraceEvent {
         /// Queue occupancy after admission, packets.
         qlen: u32,
     },
-    /// A packet finished serializing and left a queue.
+    /// A packet finished serializing and left a queue. `qlen` is the buffer
+    /// occupancy in packets *after* departure, so enqueue/dequeue lines
+    /// together give the exact occupancy staircase.
     Dequeue {
         /// Queue index.
         queue: u32,
@@ -149,6 +195,8 @@ pub enum TraceEvent {
         seq: u64,
         /// Wire size in bytes.
         size: u32,
+        /// Queue occupancy after departure, packets.
+        qlen: u32,
     },
     /// A packet was dropped (or ECN-style early-marked) on admission.
     Drop {
@@ -189,6 +237,17 @@ pub enum TraceEvent {
         ssthresh: f64,
         /// What caused the change.
         reason: CwndReason,
+    },
+    /// A round-trip-time measurement was taken from an advancing ACK.
+    RttSample {
+        /// Connection tag.
+        conn: u64,
+        /// Subflow index.
+        subflow: u16,
+        /// The raw sample, nanoseconds.
+        rtt_ns: u64,
+        /// Smoothed RTT after folding the sample in, nanoseconds.
+        srtt_ns: u64,
     },
     /// A retransmission timeout fired.
     RtoFire {
@@ -250,6 +309,7 @@ impl TraceEvent {
             TraceEvent::Drop { .. } => "drop",
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::Cwnd { .. } => "cwnd",
+            TraceEvent::RttSample { .. } => "rtt_sample",
             TraceEvent::RtoFire { .. } => "rto",
             TraceEvent::FastRetransmit { .. } => "fast_retransmit",
             TraceEvent::SubflowState { .. } => "subflow_state",
@@ -277,6 +337,7 @@ impl TraceEvent {
             | TraceEvent::Drop { conn, .. }
             | TraceEvent::Deliver { conn, .. }
             | TraceEvent::Cwnd { conn, .. }
+            | TraceEvent::RttSample { conn, .. }
             | TraceEvent::RtoFire { conn, .. }
             | TraceEvent::FastRetransmit { conn, .. }
             | TraceEvent::SubflowState { conn, .. }
@@ -316,10 +377,11 @@ impl TraceEvent {
                 kind,
                 seq,
                 size,
+                qlen,
             } => {
                 let _ = write!(
                     s,
-                    ",\"queue\":{queue},\"conn\":{conn},\"subflow\":{subflow},\"kind\":\"{}\",\"seq\":{seq},\"size\":{size}",
+                    ",\"queue\":{queue},\"conn\":{conn},\"subflow\":{subflow},\"kind\":\"{}\",\"seq\":{seq},\"size\":{size},\"qlen\":{qlen}",
                     kind.label()
                 );
             }
@@ -360,6 +422,17 @@ impl TraceEvent {
                     s,
                     ",\"conn\":{conn},\"subflow\":{subflow},\"cwnd\":{cwnd},\"ssthresh\":{ssthresh},\"reason\":\"{}\"",
                     reason.label()
+                );
+            }
+            TraceEvent::RttSample {
+                conn,
+                subflow,
+                rtt_ns,
+                srtt_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"conn\":{conn},\"subflow\":{subflow},\"rtt_ns\":{rtt_ns},\"srtt_ns\":{srtt_ns}"
                 );
             }
             TraceEvent::RtoFire {
@@ -484,6 +557,7 @@ mod tests {
                     kind: PacketKindLabel::Ack,
                     seq: 0,
                     size: 40,
+                    qlen: 0,
                 },
                 "dequeue",
             ),
@@ -530,6 +604,15 @@ mod tests {
                     next_interval_ns: 5,
                 },
                 "probe",
+            ),
+            (
+                TraceEvent::RttSample {
+                    conn: 0,
+                    subflow: 0,
+                    rtt_ns: 40_000_000,
+                    srtt_ns: 41_000_000,
+                },
+                "rtt_sample",
             ),
         ];
         for (ev, kind) in events {

@@ -26,6 +26,11 @@
 //! - [`FaultOracle`] — fault-aware oracles for chaos fuzzing: subflow
 //!   state-machine legality, re-probe backoff cap, cwnd/ssthresh domain,
 //!   and post-restoration liveness.
+//! - [`FlightRecorder`] — a bounded tail of recent events (a [`RingSink`]
+//!   with a crash-dump API) that chaos repros and failed acceptance runs
+//!   dump as replayable JSONL for the `viz` timeline renderer.
+//! - [`TraceEvent::from_jsonl`] — the wire format parsed back, so every
+//!   line a sink writes round-trips (exhaustively tested per variant).
 //! - [`Digest64`] — FNV-1a over serialized traces for determinism tests.
 //!
 //! This crate depends only on `eventsim` (for `SimTime`); events carry raw
@@ -35,12 +40,16 @@ mod chaos;
 mod check;
 mod digest;
 mod event;
+mod parse;
+mod recorder;
 mod sink;
 
 pub use chaos::FaultOracle;
 pub use check::{InvariantChecker, Violation};
 pub use digest::Digest64;
 pub use event::{CwndReason, DropReason, PacketKindLabel, SubflowState, TraceEvent};
+pub use parse::ParseError;
+pub use recorder::{FlightRecorder, DEFAULT_CAPACITY as RECORDER_DEFAULT_CAPACITY};
 pub use sink::{
     DigestSink, JsonlSink, NullSink, RingSink, SharedSink, TraceFilter, TraceSink, Tracer,
 };

@@ -1,0 +1,475 @@
+//! Parsing the JSONL wire format back into [`TraceEvent`]s.
+//!
+//! The inverse of [`TraceEvent::to_jsonl`]: every line a sink writes parses
+//! back to the exact `(SimTime, TraceEvent)` that produced it. The viz
+//! renderer and the flight-recorder replay path are built on this, and the
+//! exhaustive round-trip test below means a new enum variant cannot ship
+//! without wire coverage — adding one breaks the `exemplars()` match until
+//! both directions handle it.
+//!
+//! Trace lines are *flat* JSON objects (no nesting, no arrays), so the
+//! parser here is a small hand-rolled scanner rather than a general JSON
+//! reader — same dependency-free discipline as `bench::json`, scoped to the
+//! trace wire format.
+
+use eventsim::SimTime;
+
+use crate::event::{CwndReason, DropReason, PacketKindLabel, SubflowState, TraceEvent};
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description (field name, offending token).
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { msg: msg.into() })
+}
+
+/// One parsed field value: numbers keep their raw text so integer fields
+/// round-trip exactly (no f64 detour) and floats reuse Rust's own parser.
+#[derive(Debug, Clone, Copy)]
+enum Val<'a> {
+    Num(&'a str),
+    Str(&'a str),
+}
+
+/// Scan a flat JSON object `{"k":v,...}` into (key, value) pairs. Values
+/// are numbers or strings; the trace wire format uses nothing else. String
+/// values must not contain escapes (labels never do).
+fn scan_flat(line: &str) -> Result<Vec<(&str, Val<'_>)>, ParseError> {
+    let s = line.trim();
+    let Some(body) = s.strip_prefix('{').and_then(|t| t.strip_suffix('}')) else {
+        return err("line is not a JSON object");
+    };
+    let mut fields = Vec::with_capacity(10);
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        // Key: a quoted string without escapes.
+        let Some(after_quote) = rest.strip_prefix('"') else {
+            return err(format!("expected key at `{rest}`"));
+        };
+        let Some(kq) = after_quote.find('"') else {
+            return err("unterminated key");
+        };
+        let key = &after_quote[..kq];
+        rest = after_quote[kq + 1..].trim_start();
+        let Some(after_colon) = rest.strip_prefix(':') else {
+            return err(format!("expected `:` after key {key:?}"));
+        };
+        rest = after_colon.trim_start();
+        if let Some(after) = rest.strip_prefix('"') {
+            let Some(vq) = after.find('"') else {
+                return err(format!("unterminated string value for {key:?}"));
+            };
+            if after[..vq].contains('\\') {
+                return err(format!("escapes unsupported in value for {key:?}"));
+            }
+            fields.push((key, Val::Str(&after[..vq])));
+            rest = after[vq + 1..].trim_start();
+        } else {
+            let end = rest
+                .find(|c: char| c == ',' || c.is_whitespace())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return err(format!("missing value for {key:?}"));
+            }
+            fields.push((key, Val::Num(&rest[..end])));
+            rest = rest[end..].trim_start();
+        }
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+            if rest.is_empty() {
+                return err("trailing comma");
+            }
+        } else if !rest.is_empty() {
+            return err(format!("expected `,` at `{rest}`"));
+        }
+    }
+    Ok(fields)
+}
+
+/// Field accessors over the scanned pairs.
+struct Fields<'a>(Vec<(&'a str, Val<'a>)>);
+
+impl<'a> Fields<'a> {
+    fn raw(&self, key: &str) -> Result<Val<'a>, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| ParseError {
+                msg: format!("missing field {key:?}"),
+            })
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        match self.raw(key)? {
+            Val::Num(t) => t.parse().map_err(|_| ParseError {
+                msg: format!("field {key:?} is not a u64: `{t}`"),
+            }),
+            Val::Str(_) => err(format!("field {key:?} is a string, expected integer")),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ParseError> {
+        u32::try_from(self.u64(key)?).map_err(|_| ParseError {
+            msg: format!("field {key:?} overflows u32"),
+        })
+    }
+
+    fn u16(&self, key: &str) -> Result<u16, ParseError> {
+        u16::try_from(self.u64(key)?).map_err(|_| ParseError {
+            msg: format!("field {key:?} overflows u16"),
+        })
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ParseError> {
+        match self.raw(key)? {
+            Val::Num(t) => t.parse().map_err(|_| ParseError {
+                msg: format!("field {key:?} is not a number: `{t}`"),
+            }),
+            Val::Str(_) => err(format!("field {key:?} is a string, expected number")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, ParseError> {
+        match self.raw(key)? {
+            Val::Str(t) => Ok(t),
+            Val::Num(_) => err(format!("field {key:?} is a number, expected string")),
+        }
+    }
+}
+
+/// `Fault.action` carries a `&'static str`; map the known wire labels back
+/// to their static spellings (the `netsim::FaultAction` label set).
+fn intern_fault_action(s: &str) -> Option<&'static str> {
+    const ACTIONS: &[&str] = &[
+        "link_down",
+        "link_up",
+        "set_rate",
+        "set_latency",
+        "loss_burst",
+        "set_duplication",
+        "set_reordering",
+        "clear_impairments",
+    ];
+    ACTIONS.iter().copied().find(|a| *a == s)
+}
+
+impl TraceEvent {
+    /// Parse one JSONL line (as produced by [`TraceEvent::to_jsonl`]) back
+    /// into the event and its timestamp. Tolerates any field order;
+    /// rejects unknown `ev` kinds and malformed fields.
+    pub fn from_jsonl(line: &str) -> Result<(SimTime, TraceEvent), ParseError> {
+        let f = Fields(scan_flat(line)?);
+        let t = SimTime::from_nanos(f.u64("t_ns")?);
+        let ev = f.str("ev")?;
+        let event = match ev {
+            "enqueue" => TraceEvent::Enqueue {
+                queue: f.u32("queue")?,
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                kind: parse_kind(&f)?,
+                seq: f.u64("seq")?,
+                size: f.u32("size")?,
+                qlen: f.u32("qlen")?,
+            },
+            "dequeue" => TraceEvent::Dequeue {
+                queue: f.u32("queue")?,
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                kind: parse_kind(&f)?,
+                seq: f.u64("seq")?,
+                size: f.u32("size")?,
+                qlen: f.u32("qlen")?,
+            },
+            "drop" => TraceEvent::Drop {
+                queue: f.u32("queue")?,
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                kind: parse_kind(&f)?,
+                seq: f.u64("seq")?,
+                reason: {
+                    let r = f.str("reason")?;
+                    DropReason::from_label(r).ok_or_else(|| ParseError {
+                        msg: format!("unknown drop reason {r:?}"),
+                    })?
+                },
+            },
+            "deliver" => TraceEvent::Deliver {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                newly: f.u64("newly")?,
+                total: f.u64("total")?,
+            },
+            "cwnd" => TraceEvent::Cwnd {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                cwnd: f.f64("cwnd")?,
+                ssthresh: f.f64("ssthresh")?,
+                reason: {
+                    let r = f.str("reason")?;
+                    CwndReason::from_label(r).ok_or_else(|| ParseError {
+                        msg: format!("unknown cwnd reason {r:?}"),
+                    })?
+                },
+            },
+            "rtt_sample" => TraceEvent::RttSample {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                rtt_ns: f.u64("rtt_ns")?,
+                srtt_ns: f.u64("srtt_ns")?,
+            },
+            "rto" => TraceEvent::RtoFire {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                backoff: f.u32("backoff")?,
+                rto_ns: f.u64("rto_ns")?,
+            },
+            "fast_retransmit" => TraceEvent::FastRetransmit {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                seq: f.u64("seq")?,
+            },
+            "subflow_state" => TraceEvent::SubflowState {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                from: parse_state(&f, "from")?,
+                to: parse_state(&f, "to")?,
+            },
+            "probe" => TraceEvent::Probe {
+                conn: f.u64("conn")?,
+                subflow: f.u16("subflow")?,
+                seq: f.u64("seq")?,
+                next_interval_ns: f.u64("next_interval_ns")?,
+            },
+            "fault" => TraceEvent::Fault {
+                queue: f.u32("queue")?,
+                action: {
+                    let a = f.str("action")?;
+                    intern_fault_action(a).ok_or_else(|| ParseError {
+                        msg: format!("unknown fault action {a:?}"),
+                    })?
+                },
+            },
+            other => return err(format!("unknown event kind {other:?}")),
+        };
+        Ok((t, event))
+    }
+}
+
+fn parse_kind(f: &Fields<'_>) -> Result<PacketKindLabel, ParseError> {
+    let k = f.str("kind")?;
+    PacketKindLabel::from_label(k).ok_or_else(|| ParseError {
+        msg: format!("unknown packet kind {k:?}"),
+    })
+}
+
+fn parse_state(f: &Fields<'_>, key: &str) -> Result<SubflowState, ParseError> {
+    let s = f.str(key)?;
+    SubflowState::from_label(s).ok_or_else(|| ParseError {
+        msg: format!("unknown subflow state {s:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One exemplar per variant, with representative (non-default) field
+    /// values. The match in `variant_index` has no wildcard arm, so adding
+    /// a `TraceEvent` variant fails compilation here until the exemplar —
+    /// and therefore the round-trip coverage — exists.
+    fn exemplars() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                queue: 3,
+                conn: 7,
+                subflow: 1,
+                kind: PacketKindLabel::Data,
+                seq: 42,
+                size: 1500,
+                qlen: 9,
+            },
+            TraceEvent::Dequeue {
+                queue: 2,
+                conn: 8,
+                subflow: 0,
+                kind: PacketKindLabel::Ack,
+                seq: 17,
+                size: 40,
+                qlen: 4,
+            },
+            TraceEvent::Drop {
+                queue: 5,
+                conn: 2,
+                subflow: 1,
+                kind: PacketKindLabel::Data,
+                seq: 99,
+                reason: DropReason::EarlyMark,
+            },
+            TraceEvent::Deliver {
+                conn: 1,
+                subflow: 1,
+                newly: 3,
+                total: 1000,
+            },
+            TraceEvent::Cwnd {
+                conn: 4,
+                subflow: 0,
+                cwnd: 2.5,
+                ssthresh: 1e9,
+                reason: CwndReason::FastRetransmit,
+            },
+            TraceEvent::RttSample {
+                conn: 4,
+                subflow: 1,
+                rtt_ns: 80_123_456,
+                srtt_ns: 81_000_000,
+            },
+            TraceEvent::RtoFire {
+                conn: 6,
+                subflow: 1,
+                backoff: 3,
+                rto_ns: 1_600_000_000,
+            },
+            TraceEvent::FastRetransmit {
+                conn: 3,
+                subflow: 0,
+                seq: 555,
+            },
+            TraceEvent::SubflowState {
+                conn: 9,
+                subflow: 1,
+                from: SubflowState::PotentiallyFailed,
+                to: SubflowState::Failed,
+            },
+            TraceEvent::Probe {
+                conn: 11,
+                subflow: 1,
+                seq: 1234,
+                next_interval_ns: 8_000_000_000,
+            },
+            TraceEvent::Fault {
+                queue: 1,
+                action: "link_down",
+            },
+        ]
+    }
+
+    /// Exhaustiveness guard: no wildcard arm, so every variant must appear
+    /// here *and* (checked below) in `exemplars()`.
+    fn variant_index(ev: &TraceEvent) -> usize {
+        match ev {
+            TraceEvent::Enqueue { .. } => 0,
+            TraceEvent::Dequeue { .. } => 1,
+            TraceEvent::Drop { .. } => 2,
+            TraceEvent::Deliver { .. } => 3,
+            TraceEvent::Cwnd { .. } => 4,
+            TraceEvent::RttSample { .. } => 5,
+            TraceEvent::RtoFire { .. } => 6,
+            TraceEvent::FastRetransmit { .. } => 7,
+            TraceEvent::SubflowState { .. } => 8,
+            TraceEvent::Probe { .. } => 9,
+            TraceEvent::Fault { .. } => 10,
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_exactly() {
+        let evs = exemplars();
+        let mut seen = vec![false; evs.len()];
+        for ev in &evs {
+            seen[variant_index(ev)] = true;
+            let t = SimTime::from_nanos(123_456_789);
+            let line = ev.to_jsonl(t);
+            let (t2, back) =
+                TraceEvent::from_jsonl(&line).unwrap_or_else(|e| panic!("{e} on {line}"));
+            assert_eq!(t2, t, "{line}");
+            assert_eq!(&back, ev, "{line}");
+            // And the re-serialization is byte-identical (parse is lossless).
+            assert_eq!(back.to_jsonl(t2), line);
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "exemplars() is missing a TraceEvent variant: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn every_drop_and_cwnd_and_state_label_round_trips() {
+        for r in [
+            DropReason::Tail,
+            DropReason::EarlyMark,
+            DropReason::Bernoulli,
+            DropReason::AdminDown,
+            DropReason::LossBurst,
+        ] {
+            assert_eq!(DropReason::from_label(r.label()), Some(r));
+        }
+        for r in [
+            CwndReason::Ack,
+            CwndReason::FastRetransmit,
+            CwndReason::RecoveryExit,
+            CwndReason::Rto,
+            CwndReason::Reactivate,
+        ] {
+            assert_eq!(CwndReason::from_label(r.label()), Some(r));
+        }
+        for s in [
+            SubflowState::Active,
+            SubflowState::PotentiallyFailed,
+            SubflowState::Failed,
+            SubflowState::Pruned,
+        ] {
+            assert_eq!(SubflowState::from_label(s.label()), Some(s));
+        }
+        for k in [PacketKindLabel::Data, PacketKindLabel::Ack] {
+            assert_eq!(PacketKindLabel::from_label(k.label()), Some(k));
+        }
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let (t, ev) = TraceEvent::from_jsonl(
+            r#"{"ev":"deliver","total":10,"newly":1,"subflow":0,"conn":2,"t_ns":5}"#,
+        )
+        .unwrap();
+        assert_eq!(t, SimTime::from_nanos(5));
+        assert_eq!(
+            ev,
+            TraceEvent::Deliver {
+                conn: 2,
+                subflow: 0,
+                newly: 1,
+                total: 10
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"t_ns":1}"#,                         // no ev
+            r#"{"t_ns":1,"ev":"warp"}"#,             // unknown kind
+            r#"{"t_ns":1,"ev":"deliver","conn":2}"#, // missing fields
+            r#"{"t_ns":-1,"ev":"deliver","conn":2,"subflow":0,"newly":1,"total":1}"#,
+            r#"{"t_ns":1,"ev":"fault","queue":0,"action":"melt_core"}"#,
+            r#"{"t_ns":1,"ev":"drop","queue":0,"conn":0,"subflow":0,"kind":"data","seq":1,"reason":"cosmic_ray"}"#,
+        ] {
+            assert!(TraceEvent::from_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

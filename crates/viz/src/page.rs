@@ -1,0 +1,86 @@
+//! Self-contained HTML page scaffolding shared by every renderer.
+//!
+//! One inline stylesheet, no external assets, no scripts, no generator
+//! stamps or timestamps — the page bytes are a pure function of the model.
+
+use crate::svg::esc;
+
+/// The single stylesheet every page inlines. Colors double as the legend:
+/// state bands (green active, amber potentially-failed, red failed, gray
+/// pruned), series strokes, fault shading.
+const STYLE: &str = "\
+body{font-family:ui-monospace,monospace;margin:24px;color:#222;background:#fff}\
+h1{font-size:18px;margin:0 0 4px 0}\
+h2{font-size:14px;margin:18px 0 4px 0}\
+h3{font-size:12px;margin:10px 0 2px 0}\
+p.meta{font-size:12px;color:#666;margin:2px 0 12px 0}\
+table{border-collapse:collapse;font-size:12px;margin:6px 0}\
+td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}\
+th{background:#f3f3f3}\
+td.l,th.l{text-align:left}\
+a{color:#06c;text-decoration:none}\
+a:hover{text-decoration:underline}\
+svg.chart{display:block;margin:2px 0 10px 0}\
+.axis{stroke:#999;stroke-width:1}\
+.grid{stroke:#eee;stroke-width:1}\
+.tick{font-size:9px;fill:#666}\
+.lane-title{font-size:10px;fill:#444}\
+.cwnd{stroke:#1f77b4;stroke-width:1.2;fill:none}\
+.ssthresh{stroke:#ff7f0e;stroke-width:1;stroke-dasharray:4 3;fill:none}\
+.srtt{stroke:#2ca02c;stroke-width:1.2;fill:none}\
+.rtt-sample{fill:#2ca02c;fill-opacity:.35;stroke:none}\
+.occupancy{stroke:#6a3d9a;stroke-width:1.2;fill:none}\
+.fault{fill:#d62728;fill-opacity:.12;stroke:none}\
+.fault-instant{stroke:#d62728;stroke-width:1;stroke-dasharray:2 2}\
+.band-active{fill:#2ca02c;fill-opacity:.55}\
+.band-potentially_failed{fill:#ff7f0e;fill-opacity:.65}\
+.band-failed{fill:#d62728;fill-opacity:.65}\
+.band-pruned{fill:#7f7f7f;fill-opacity:.55}\
+.mark-rto{stroke:#d62728;stroke-width:1.4}\
+.mark-fast_retransmit{stroke:#ff7f0e;stroke-width:1.4}\
+.mark-probe{stroke:#17becf;stroke-width:1.4}\
+.drop-tail{fill:#d62728}\
+.drop-early_mark{fill:#ff7f0e}\
+.drop-bernoulli{fill:#9467bd}\
+.drop-admin_down{fill:#8c564b}\
+.drop-loss_burst{fill:#e377c2}\
+.bar{fill:#1f77b4;fill-opacity:.7}\
+.ci{stroke:#222;stroke-width:1.2}\
+.clause-outage,.clause-blackout{fill:#d62728;fill-opacity:.25}\
+.clause-flap{fill:#ff7f0e;fill-opacity:.25}\
+.clause-loss_burst{fill:#e377c2;fill-opacity:.3}\
+.clause-handover{fill:#9467bd;fill-opacity:.25}\
+.clause-rate_step,.clause-latency_step{fill:#17becf;fill-opacity:.4}\
+";
+
+/// Wrap a rendered body in the standard page shell.
+pub fn page(title: &str, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + STYLE.len() + 256);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\"><title>");
+    out.push_str(&esc(title));
+    out.push_str("</title><style>");
+    out.push_str(STYLE);
+    out.push_str("</style></head>\n<body>\n");
+    out.push_str(body);
+    out.push_str("\n</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_is_self_contained() {
+        let html = page("a & b", "<h1>a &amp; b</h1>");
+        assert!(html.contains("<title>a &amp; b</title>"));
+        for scheme in ["http://", "https://", "file://", "<script", "@import"] {
+            assert!(!html.contains(scheme), "found {scheme}");
+        }
+    }
+
+    #[test]
+    fn identical_input_identical_bytes() {
+        assert_eq!(page("t", "b"), page("t", "b"));
+    }
+}

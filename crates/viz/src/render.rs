@@ -1,0 +1,346 @@
+//! Timeline → self-contained HTML.
+//!
+//! One section per subflow (state band, cwnd/ssthresh chart with event
+//! marks, RTT chart) and per queue (occupancy staircase with drop markers),
+//! every chart shaded with the fault windows reconstructed from the trace.
+//! Machine-checkable `data-*` attributes ride on the state-band and
+//! fault-window rects so tests can assert that what is drawn matches the
+//! `FaultPlan` that produced the trace — the rendering is evidence, not
+//! just decoration.
+
+use std::fmt::Write as _;
+
+use crate::page::page;
+use crate::svg::{esc, fmt2, line_path, step_path, Scale, Svg};
+use crate::timeline::{FaultWindow, QueueLane, SubflowLane, Timeline};
+
+const W: f64 = 960.0;
+const LEFT: f64 = 60.0;
+const RIGHT: f64 = 12.0;
+const PLOT_W: f64 = W - LEFT - RIGHT;
+/// Cap on discrete markers (RTT dots, drop dots) per chart; above it every
+/// k-th marker is kept (deterministically) to bound page size.
+const MARKER_CAP: usize = 4000;
+
+/// Render a complete standalone timeline page.
+pub fn render_timeline_html(title: &str, tl: &Timeline) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "<h1>{}</h1>", esc(title));
+    body.push_str(&meta_line(tl));
+    body.push_str(&timeline_body(tl));
+    page(title, &body)
+}
+
+/// The summary line under a timeline's heading.
+pub fn meta_line(tl: &Timeline) -> String {
+    let span_s = tl.span_ns() as f64 / 1e9;
+    let mut s = format!(
+        "<p class=\"meta\">{} event(s) &middot; span {} s &middot; {} subflow lane(s) &middot; {} queue lane(s)",
+        tl.events,
+        fmt2(span_s),
+        tl.subflows.len(),
+        tl.queues.len()
+    );
+    if tl.t_min_ns > 0 {
+        let _ = write!(
+            s,
+            " &middot; tail starting at {} s",
+            fmt2(tl.t_min_ns as f64 / 1e9)
+        );
+    }
+    s.push_str("</p>\n");
+    s
+}
+
+/// The lane sections alone (no page shell) — composed by the chaos page.
+pub fn timeline_body(tl: &Timeline) -> String {
+    let mut body = String::new();
+    if tl.events == 0 {
+        body.push_str("<p class=\"meta\">empty trace</p>\n");
+        return body;
+    }
+    let faults = tl.all_fault_windows();
+    for lane in &tl.subflows {
+        let _ = writeln!(
+            body,
+            "<h2>conn {} &middot; subflow {}</h2>",
+            lane.conn, lane.subflow
+        );
+        body.push_str(&state_band_svg(tl, lane));
+        body.push_str(&cwnd_svg(tl, lane, &faults));
+        if !lane.rtt.is_empty() {
+            body.push_str(&rtt_svg(tl, lane, &faults));
+        }
+    }
+    for q in &tl.queues {
+        let _ = writeln!(body, "<h2>queue {}</h2>", q.queue);
+        body.push_str(&queue_svg(tl, q));
+    }
+    body
+}
+
+fn base_scale(tl: &Timeline, top: f64, height: f64, y_max: f64) -> Scale {
+    Scale {
+        left: LEFT,
+        top,
+        width: PLOT_W,
+        height,
+        t_min_ns: tl.t_min_ns,
+        t_max_ns: tl.t_max_ns,
+        y_max,
+    }
+}
+
+/// Axes, x time ticks (seconds), y value ticks.
+fn frame(svg: &mut Svg, s: &Scale, y_unit: &str) {
+    let bottom = s.top + s.height;
+    svg.line(s.left, s.top, s.left, bottom, "axis", "");
+    svg.line(s.left, bottom, s.left + s.width, bottom, "axis", "");
+    for i in 0..=5u64 {
+        let t = s.t_min_ns + (s.t_max_ns - s.t_min_ns).max(1) * i / 5;
+        let x = s.left + s.width * i as f64 / 5.0;
+        svg.line(x, bottom, x, bottom + 3.0, "axis", "");
+        svg.text(
+            x - 10.0,
+            bottom + 13.0,
+            "tick",
+            &format!("{}s", fmt2(t as f64 / 1e9)),
+        );
+        if i > 0 {
+            svg.line(x, s.top, x, bottom, "grid", "");
+        }
+    }
+    for j in 1..=3u32 {
+        let v = s.y_max * j as f64 / 3.0;
+        let y = s.y(v);
+        svg.line(s.left, y, s.left + s.width, y, "grid", "");
+        svg.text(2.0, y + 3.0, "tick", &fmt2(v));
+    }
+    svg.text(2.0, s.top + 9.0, "lane-title", y_unit);
+}
+
+/// Shade every fault window behind a chart's data.
+fn shade_faults(svg: &mut Svg, s: &Scale, faults: &[&FaultWindow]) {
+    for w in faults {
+        let attrs = format!(
+            "data-queue=\"{}\" data-action=\"{}\" data-from-ns=\"{}\" data-to-ns=\"{}\"",
+            w.queue, w.action, w.from_ns, w.to_ns
+        );
+        if w.from_ns == w.to_ns {
+            svg.line(
+                s.x(w.from_ns),
+                s.top,
+                s.x(w.from_ns),
+                s.top + s.height,
+                "fault-instant",
+                &attrs,
+            );
+        } else {
+            svg.rect(
+                s.x(w.from_ns),
+                s.top,
+                s.x(w.to_ns) - s.x(w.from_ns),
+                s.height,
+                "fault",
+                &attrs,
+            );
+        }
+    }
+}
+
+fn state_band_svg(tl: &Timeline, lane: &SubflowLane) -> String {
+    let s = base_scale(tl, 2.0, 16.0, 1.0);
+    let mut svg = Svg::new(W, 22.0, "chart");
+    svg.text(2.0, 13.0, "lane-title", "state");
+    for b in &lane.states {
+        let attrs = format!(
+            "data-conn=\"{}\" data-subflow=\"{}\" data-state=\"{}\" data-from-ns=\"{}\" data-to-ns=\"{}\"",
+            lane.conn,
+            lane.subflow,
+            b.state.label(),
+            b.from_ns,
+            b.to_ns
+        );
+        svg.rect(
+            s.x(b.from_ns),
+            s.top,
+            (s.x(b.to_ns) - s.x(b.from_ns)).max(0.5),
+            s.height,
+            &format!("band-{}", b.state.label()),
+            &attrs,
+        );
+    }
+    svg.finish()
+}
+
+fn cwnd_svg(tl: &Timeline, lane: &SubflowLane, faults: &[&FaultWindow]) -> String {
+    let y_max = lane.cwnd.iter().map(|&(_, c, _)| c).fold(4.0f64, f64::max) * 1.15;
+    let s = base_scale(tl, 6.0, 140.0, y_max);
+    let mut svg = Svg::new(W, 170.0, "chart");
+    shade_faults(&mut svg, &s, faults);
+    frame(&mut svg, &s, "cwnd (pkts)");
+    if !lane.cwnd.is_empty() {
+        let d = step_path(&s, lane.cwnd.iter().map(|&(t, _, ss)| (t, ss)));
+        svg.path(&d, "ssthresh", "");
+        let d = step_path(&s, lane.cwnd.iter().map(|&(t, c, _)| (t, c)));
+        svg.path(&d, "cwnd", "");
+    }
+    let bottom = s.top + s.height;
+    for &(t, kind) in &lane.marks {
+        let x = s.x(t);
+        svg.line(
+            x,
+            bottom - 10.0,
+            x,
+            bottom,
+            &format!("mark-{}", kind.label()),
+            &format!("data-mark=\"{}\" data-t-ns=\"{t}\"", kind.label()),
+        );
+    }
+    svg.finish()
+}
+
+fn rtt_svg(tl: &Timeline, lane: &SubflowLane, faults: &[&FaultWindow]) -> String {
+    let y_max_ns = lane
+        .rtt
+        .iter()
+        .map(|&(_, r, sr)| r.max(sr))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let y_max_ms = y_max_ns as f64 / 1e6 * 1.15;
+    let s = base_scale(tl, 6.0, 90.0, y_max_ms);
+    let mut svg = Svg::new(W, 120.0, "chart");
+    shade_faults(&mut svg, &s, faults);
+    frame(&mut svg, &s, "rtt (ms)");
+    let stride = (lane.rtt.len() / MARKER_CAP).max(1);
+    for (i, &(t, rtt, _)) in lane.rtt.iter().enumerate() {
+        if i % stride == 0 {
+            svg.circle(s.x(t), s.y(rtt as f64 / 1e6), 1.4, "rtt-sample", "");
+        }
+    }
+    let d = line_path(&s, lane.rtt.iter().map(|&(t, _, sr)| (t, sr as f64 / 1e6)));
+    svg.path(&d, "srtt", "");
+    svg.finish()
+}
+
+fn queue_svg(tl: &Timeline, q: &QueueLane) -> String {
+    let y_max = q
+        .occupancy
+        .iter()
+        .map(|&(_, l)| l as f64)
+        .fold(4.0f64, f64::max)
+        * 1.15;
+    let s = base_scale(tl, 6.0, 90.0, y_max);
+    let mut svg = Svg::new(W, 120.0, "chart");
+    let own: Vec<&FaultWindow> = q.faults.iter().collect();
+    shade_faults(&mut svg, &s, &own);
+    frame(&mut svg, &s, "occupancy (pkts)");
+    if !q.occupancy.is_empty() {
+        let d = step_path(&s, q.occupancy.iter().map(|&(t, l)| (t, l as f64)));
+        svg.path(&d, "occupancy", "");
+    }
+    let bottom = s.top + s.height;
+    let stride = (q.drops.len() / MARKER_CAP).max(1);
+    for (i, &(t, reason)) in q.drops.iter().enumerate() {
+        if i % stride == 0 {
+            svg.circle(
+                s.x(t),
+                bottom - 3.0,
+                1.8,
+                &format!("drop-{}", reason.label()),
+                &format!("data-reason=\"{}\" data-t-ns=\"{t}\"", reason.label()),
+            );
+        }
+    }
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::SimTime;
+    use trace::{CwndReason, SubflowState, TraceEvent};
+
+    fn sample_timeline() -> Timeline {
+        let ev = |t, e| (SimTime::from_nanos(t), e);
+        let events = [
+            ev(
+                0,
+                TraceEvent::Cwnd {
+                    conn: 1,
+                    subflow: 0,
+                    cwnd: 1.0,
+                    ssthresh: 1e9,
+                    reason: CwndReason::Ack,
+                },
+            ),
+            ev(
+                1_000_000_000,
+                TraceEvent::Fault {
+                    queue: 0,
+                    action: "link_down",
+                },
+            ),
+            ev(
+                1_500_000_000,
+                TraceEvent::SubflowState {
+                    conn: 1,
+                    subflow: 0,
+                    from: SubflowState::Active,
+                    to: SubflowState::Failed,
+                },
+            ),
+            ev(
+                2_000_000_000,
+                TraceEvent::Fault {
+                    queue: 0,
+                    action: "link_up",
+                },
+            ),
+            ev(
+                2_500_000_000,
+                TraceEvent::RttSample {
+                    conn: 1,
+                    subflow: 0,
+                    rtt_ns: 80_000_000,
+                    srtt_ns: 80_000_000,
+                },
+            ),
+        ];
+        Timeline::from_events(events.iter())
+    }
+
+    #[test]
+    fn render_is_byte_deterministic() {
+        let tl = sample_timeline();
+        let a = render_timeline_html("t", &tl);
+        let b = render_timeline_html("t", &tl);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_attributes_expose_bands_and_fault_windows() {
+        let html = render_timeline_html("t", &sample_timeline());
+        assert!(html.contains(
+            "data-state=\"failed\" data-from-ns=\"1500000000\" data-to-ns=\"2500000000\""
+        ));
+        assert!(html.contains(
+            "data-action=\"link_down\" data-from-ns=\"1000000000\" data-to-ns=\"2000000000\""
+        ));
+    }
+
+    #[test]
+    fn page_is_self_contained() {
+        let html = render_timeline_html("t", &sample_timeline());
+        for needle in ["http://", "https://", "file://", "<script"] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_a_stub() {
+        let html = render_timeline_html("t", &Timeline::default());
+        assert!(html.contains("empty trace"));
+    }
+}

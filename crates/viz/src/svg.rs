@@ -1,0 +1,261 @@
+//! Deterministic SVG-building primitives.
+//!
+//! Every coordinate is formatted with fixed two-decimal precision via
+//! Rust's own `f64` formatting (no locale, no platform variance), so the
+//! same model always serializes to the same bytes. Markup is assembled by
+//! plain string pushes — no external templating, no namespace URLs (inline
+//! SVG in HTML needs none, and the self-containment gate greps for URL
+//! schemes).
+
+use std::fmt::Write as _;
+
+/// Fixed two-decimal formatting for SVG coordinates and axis labels.
+pub fn fmt2(v: f64) -> String {
+    // Negative zero would print "-0.00" and break byte-stability between
+    // mathematically equal values.
+    let v = if v == 0.0 { 0.0 } else { v };
+    format!("{v:.2}")
+}
+
+/// Escape text for HTML/SVG content and attribute values.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An x/y affine mapping from data space to one chart's pixel rectangle.
+///
+/// X maps `[t_min_ns, t_max_ns]` to `[left, left+width]`; Y maps
+/// `[0, y_max]` to `[top+height, top]` (SVG y grows downward).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Left edge of the plot area, px.
+    pub left: f64,
+    /// Top edge of the plot area, px.
+    pub top: f64,
+    /// Plot width, px.
+    pub width: f64,
+    /// Plot height, px.
+    pub height: f64,
+    /// Data-space start of the x axis, nanoseconds.
+    pub t_min_ns: u64,
+    /// Data-space end of the x axis, nanoseconds.
+    pub t_max_ns: u64,
+    /// Data-space top of the y axis (bottom is 0).
+    pub y_max: f64,
+}
+
+impl Scale {
+    /// Map a time to an x pixel.
+    pub fn x(&self, t_ns: u64) -> f64 {
+        let span = (self.t_max_ns - self.t_min_ns).max(1) as f64;
+        self.left + (t_ns.saturating_sub(self.t_min_ns)) as f64 / span * self.width
+    }
+
+    /// Map a value to a y pixel (clamped into the plot so huge sentinels
+    /// like an "infinite" ssthresh draw along the top edge).
+    pub fn y(&self, v: f64) -> f64 {
+        let clamped = v.clamp(0.0, self.y_max.max(f64::MIN_POSITIVE));
+        self.top + self.height - clamped / self.y_max.max(f64::MIN_POSITIVE) * self.height
+    }
+}
+
+/// A growing SVG document (one `<svg>` element).
+#[derive(Debug)]
+pub struct Svg {
+    buf: String,
+}
+
+impl Svg {
+    /// Open an `<svg>` with a fixed pixel viewBox (also used as CSS size).
+    pub fn new(width: f64, height: f64, class: &str) -> Svg {
+        let mut buf = String::with_capacity(4096);
+        let _ = write!(
+            buf,
+            "<svg class=\"{}\" viewBox=\"0 0 {} {}\" width=\"{}\" height=\"{}\" role=\"img\">",
+            esc(class),
+            fmt2(width),
+            fmt2(height),
+            fmt2(width),
+            fmt2(height)
+        );
+        Svg { buf }
+    }
+
+    /// A rectangle with a class and optional extra attributes (pre-escaped
+    /// `key="value"` pairs).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, class: &str, attrs: &str) {
+        let _ = write!(
+            self.buf,
+            "<rect class=\"{}\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"{}{}/>",
+            esc(class),
+            fmt2(x),
+            fmt2(y),
+            fmt2(w.max(0.0)),
+            fmt2(h.max(0.0)),
+            if attrs.is_empty() { "" } else { " " },
+            attrs
+        );
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, class: &str, attrs: &str) {
+        let _ = write!(
+            self.buf,
+            "<line class=\"{}\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"{}{}/>",
+            esc(class),
+            fmt2(x1),
+            fmt2(y1),
+            fmt2(x2),
+            fmt2(y2),
+            if attrs.is_empty() { "" } else { " " },
+            attrs
+        );
+    }
+
+    /// A small circle marker.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, class: &str, attrs: &str) {
+        let _ = write!(
+            self.buf,
+            "<circle class=\"{}\" cx=\"{}\" cy=\"{}\" r=\"{}\"{}{}/>",
+            esc(class),
+            fmt2(cx),
+            fmt2(cy),
+            fmt2(r),
+            if attrs.is_empty() { "" } else { " " },
+            attrs
+        );
+    }
+
+    /// A path from pre-built data (caller formats coordinates via `fmt2`).
+    pub fn path(&mut self, d: &str, class: &str, attrs: &str) {
+        let _ = write!(
+            self.buf,
+            "<path class=\"{}\" d=\"{}\"{}{}/>",
+            esc(class),
+            d,
+            if attrs.is_empty() { "" } else { " " },
+            attrs
+        );
+    }
+
+    /// Text anchored per `class` styling (content is escaped here).
+    pub fn text(&mut self, x: f64, y: f64, class: &str, content: &str) {
+        let _ = write!(
+            self.buf,
+            "<text class=\"{}\" x=\"{}\" y=\"{}\">{}</text>",
+            esc(class),
+            fmt2(x),
+            fmt2(y),
+            esc(content)
+        );
+    }
+
+    /// Close the element and return the markup.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("</svg>");
+        self.buf
+    }
+}
+
+/// Build a step-path (`M … H … V …`) through `(t_ns, value)` points,
+/// holding each value until the next point (sample-and-hold semantics, the
+/// right reading for cwnd and queue-occupancy series).
+pub fn step_path(scale: &Scale, pts: impl Iterator<Item = (u64, f64)>) -> String {
+    let mut d = String::new();
+    let mut first = true;
+    let mut last_y = 0.0;
+    for (t, v) in pts {
+        let x = scale.x(t);
+        let y = scale.y(v);
+        if first {
+            let _ = write!(d, "M{} {}", fmt2(x), fmt2(y));
+            first = false;
+        } else {
+            if fmt2(y) != fmt2(last_y) {
+                let _ = write!(d, "H{} V{}", fmt2(x), fmt2(y));
+            }
+            // Equal-y steps fold into the next H, keeping paths compact.
+        }
+        last_y = y;
+    }
+    if !first {
+        let _ = write!(d, "H{}", fmt2(scale.left + scale.width));
+    }
+    d
+}
+
+/// Build a straight polyline path through `(t_ns, value)` points.
+pub fn line_path(scale: &Scale, pts: impl Iterator<Item = (u64, f64)>) -> String {
+    let mut d = String::new();
+    let mut first = true;
+    for (t, v) in pts {
+        let cmd = if first { 'M' } else { 'L' };
+        first = false;
+        let _ = write!(d, "{}{} {}", cmd, fmt2(scale.x(t)), fmt2(scale.y(v)));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt2_is_fixed_width_fraction_and_kills_negative_zero() {
+        assert_eq!(fmt2(1.0), "1.00");
+        assert_eq!(fmt2(2.345), "2.35");
+        assert_eq!(fmt2(-0.0), "0.00");
+        assert_eq!(fmt2(0.0), "0.00");
+    }
+
+    #[test]
+    fn esc_covers_html_metacharacters() {
+        assert_eq!(
+            esc("a<b&\"c\"'d'>"),
+            "a&lt;b&amp;&quot;c&quot;&#39;d&#39;&gt;"
+        );
+    }
+
+    #[test]
+    fn scale_maps_endpoints() {
+        let s = Scale {
+            left: 10.0,
+            top: 5.0,
+            width: 100.0,
+            height: 50.0,
+            t_min_ns: 100,
+            t_max_ns: 200,
+            y_max: 10.0,
+        };
+        assert_eq!(fmt2(s.x(100)), "10.00");
+        assert_eq!(fmt2(s.x(200)), "110.00");
+        assert_eq!(fmt2(s.y(0.0)), "55.00");
+        assert_eq!(fmt2(s.y(10.0)), "5.00");
+        // Clamped above the top.
+        assert_eq!(fmt2(s.y(1e12)), "5.00");
+    }
+
+    #[test]
+    fn svg_assembles_without_urls() {
+        let mut svg = Svg::new(100.0, 50.0, "chart");
+        svg.rect(0.0, 0.0, 10.0, 10.0, "band", "data-state=\"active\"");
+        svg.text(1.0, 2.0, "label", "cwnd <pkts>");
+        let out = svg.finish();
+        assert!(out.starts_with("<svg "));
+        assert!(out.ends_with("</svg>"));
+        assert!(out.contains("data-state=\"active\""));
+        assert!(out.contains("cwnd &lt;pkts&gt;"));
+        assert!(!out.contains("http"), "no namespace URLs: {out}");
+    }
+}

@@ -1,0 +1,547 @@
+//! From a JSONL trace to a lane-structured timeline model.
+//!
+//! The model is what the renderer draws: per-(connection, subflow) cwnd /
+//! RTT / state-band / event-mark lanes, per-queue occupancy and drop lanes,
+//! and fault windows reconstructed from `Fault` events (`link_down` opens a
+//! window, `link_up` closes it; other actions are instants). Building the
+//! model is a pure left-fold over the event stream, so identical traces —
+//! including flight-recorder *tails* that start mid-run — model
+//! identically.
+
+use std::collections::BTreeMap;
+
+use trace::{DropReason, SubflowState, TraceEvent};
+
+/// An RTO / fast-retransmit / re-probe instant on a subflow lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkKind {
+    /// A retransmission timeout fired.
+    Rto,
+    /// Fast retransmit entered recovery.
+    FastRetransmit,
+    /// A re-probe of a failed subflow.
+    Probe,
+}
+
+impl MarkKind {
+    /// Stable label used in CSS classes and `data-mark` attributes.
+    pub fn label(self) -> &'static str {
+        match self {
+            MarkKind::Rto => "rto",
+            MarkKind::FastRetransmit => "fast_retransmit",
+            MarkKind::Probe => "probe",
+        }
+    }
+}
+
+/// One contiguous interval a subflow spent in one path-manager state.
+#[derive(Debug, Clone, Copy)]
+pub struct StateBand {
+    /// Interval start, nanoseconds.
+    pub from_ns: u64,
+    /// Interval end, nanoseconds.
+    pub to_ns: u64,
+    /// The classification throughout the interval.
+    pub state: SubflowState,
+}
+
+/// Everything one (connection, subflow) pair contributes to the timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SubflowLane {
+    /// Connection tag.
+    pub conn: u64,
+    /// Subflow index within the connection.
+    pub subflow: u16,
+    /// `(t_ns, cwnd, ssthresh)` samples, in time order.
+    pub cwnd: Vec<(u64, f64, f64)>,
+    /// `(t_ns, rtt_ns, srtt_ns)` samples, in time order.
+    pub rtt: Vec<(u64, u64, u64)>,
+    /// Path-manager state intervals covering the whole span.
+    pub states: Vec<StateBand>,
+    /// RTO / fast-retransmit / probe instants.
+    pub marks: Vec<(u64, MarkKind)>,
+}
+
+/// A shaded fault interval (or instant, when `from_ns == to_ns`) on a queue.
+#[derive(Debug, Clone)]
+pub struct FaultWindow {
+    /// The queue the fault action targeted.
+    pub queue: u32,
+    /// The fault-plan action label (`link_down`, `set_rate`, ...).
+    pub action: &'static str,
+    /// Window start, nanoseconds.
+    pub from_ns: u64,
+    /// Window end, nanoseconds (`== from_ns` for instant actions).
+    pub to_ns: u64,
+}
+
+/// Everything one queue contributes to the timeline.
+#[derive(Debug, Clone, Default)]
+pub struct QueueLane {
+    /// Queue index.
+    pub queue: u32,
+    /// `(t_ns, occupancy-in-packets)` staircase from enqueue/dequeue events.
+    pub occupancy: Vec<(u64, u32)>,
+    /// Drop instants with their reasons.
+    pub drops: Vec<(u64, DropReason)>,
+    /// Fault windows targeting this queue.
+    pub faults: Vec<FaultWindow>,
+}
+
+/// The full lane-structured model of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Earliest event time (nonzero for flight-recorder tails).
+    pub t_min_ns: u64,
+    /// Latest event time.
+    pub t_max_ns: u64,
+    /// Events folded in.
+    pub events: u64,
+    /// Subflow lanes, ordered by (conn, subflow).
+    pub subflows: Vec<SubflowLane>,
+    /// Queue lanes, ordered by queue index.
+    pub queues: Vec<QueueLane>,
+}
+
+/// Per-subflow fold state not visible in the finished lane.
+#[derive(Debug, Clone, Copy)]
+struct OpenBand {
+    since_ns: u64,
+    state: SubflowState,
+}
+
+impl Timeline {
+    /// Fold a parsed event stream (time order, as all sinks emit) into the
+    /// lane model. `span` covers every event; open state bands and fault
+    /// windows are closed at the last event's time.
+    pub fn from_events<'a, I>(events: I) -> Timeline
+    where
+        I: IntoIterator<Item = &'a (eventsim::SimTime, TraceEvent)>,
+    {
+        let mut sf: BTreeMap<(u64, u16), (SubflowLane, Option<OpenBand>)> = BTreeMap::new();
+        let mut qs: BTreeMap<u32, (QueueLane, Option<u64>)> = BTreeMap::new();
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        let mut count = 0u64;
+
+        for (t, ev) in events {
+            let t_ns = t.as_nanos();
+            t_min = t_min.min(t_ns);
+            t_max = t_max.max(t_ns);
+            count += 1;
+            match ev {
+                TraceEvent::Enqueue { queue, qlen, .. } => {
+                    let (q, _) = queue_entry(&mut qs, *queue);
+                    q.occupancy.push((t_ns, *qlen));
+                }
+                TraceEvent::Dequeue { queue, qlen, .. } => {
+                    let (q, _) = queue_entry(&mut qs, *queue);
+                    q.occupancy.push((t_ns, *qlen));
+                }
+                TraceEvent::Drop { queue, reason, .. } => {
+                    let (q, _) = queue_entry(&mut qs, *queue);
+                    q.drops.push((t_ns, *reason));
+                }
+                TraceEvent::Deliver { .. } => {}
+                TraceEvent::Cwnd {
+                    conn,
+                    subflow,
+                    cwnd,
+                    ssthresh,
+                    ..
+                } => {
+                    let (l, _) = subflow_entry(&mut sf, *conn, *subflow);
+                    l.cwnd.push((t_ns, *cwnd, *ssthresh));
+                }
+                TraceEvent::RttSample {
+                    conn,
+                    subflow,
+                    rtt_ns,
+                    srtt_ns,
+                } => {
+                    let (l, _) = subflow_entry(&mut sf, *conn, *subflow);
+                    l.rtt.push((t_ns, *rtt_ns, *srtt_ns));
+                }
+                TraceEvent::RtoFire { conn, subflow, .. } => {
+                    let (l, _) = subflow_entry(&mut sf, *conn, *subflow);
+                    l.marks.push((t_ns, MarkKind::Rto));
+                }
+                TraceEvent::FastRetransmit { conn, subflow, .. } => {
+                    let (l, _) = subflow_entry(&mut sf, *conn, *subflow);
+                    l.marks.push((t_ns, MarkKind::FastRetransmit));
+                }
+                TraceEvent::SubflowState {
+                    conn,
+                    subflow,
+                    from,
+                    to,
+                } => {
+                    let (l, open) = subflow_entry(&mut sf, *conn, *subflow);
+                    // Close the elapsed interval using the event's own
+                    // `from` state: correct even when the stream is a tail
+                    // that missed the transition *into* that state.
+                    let since = open.map(|o| o.since_ns).unwrap_or(u64::MAX);
+                    l.states.push(StateBand {
+                        from_ns: since, // patched to t_min in finish()
+                        to_ns: t_ns,
+                        state: *from,
+                    });
+                    *open = Some(OpenBand {
+                        since_ns: t_ns,
+                        state: *to,
+                    });
+                }
+                TraceEvent::Probe { conn, subflow, .. } => {
+                    let (l, _) = subflow_entry(&mut sf, *conn, *subflow);
+                    l.marks.push((t_ns, MarkKind::Probe));
+                }
+                TraceEvent::Fault { queue, action } => {
+                    let (q, open_down) = queue_entry(&mut qs, *queue);
+                    match *action {
+                        "link_down" => {
+                            if open_down.is_none() {
+                                *open_down = Some(t_ns);
+                            }
+                        }
+                        "link_up" => {
+                            let from = open_down.take().unwrap_or(u64::MAX);
+                            q.faults.push(FaultWindow {
+                                queue: *queue,
+                                action: "link_down",
+                                from_ns: from, // patched to t_min in finish()
+                                to_ns: t_ns,
+                            });
+                        }
+                        other => q.faults.push(FaultWindow {
+                            queue: *queue,
+                            action: other,
+                            from_ns: t_ns,
+                            to_ns: t_ns,
+                        }),
+                    }
+                }
+            }
+        }
+
+        if count == 0 {
+            return Timeline::default();
+        }
+
+        let mut subflows: Vec<SubflowLane> = Vec::with_capacity(sf.len());
+        for ((_, _), (mut l, open)) in sf {
+            for b in &mut l.states {
+                if b.from_ns == u64::MAX {
+                    b.from_ns = t_min;
+                }
+            }
+            match open {
+                Some(o) => l.states.push(StateBand {
+                    from_ns: o.since_ns,
+                    to_ns: t_max,
+                    state: o.state,
+                }),
+                // No transition ever observed: the whole span is one band
+                // in the default (Active) state, provided the lane saw any
+                // transport activity at all.
+                None => {
+                    if !(l.cwnd.is_empty() && l.rtt.is_empty() && l.marks.is_empty()) {
+                        l.states.push(StateBand {
+                            from_ns: t_min,
+                            to_ns: t_max,
+                            state: SubflowState::Active,
+                        });
+                    }
+                }
+            }
+            subflows.push(l);
+        }
+
+        let mut queues: Vec<QueueLane> = Vec::with_capacity(qs.len());
+        for (_, (mut q, open_down)) in qs {
+            for w in &mut q.faults {
+                if w.from_ns == u64::MAX {
+                    w.from_ns = t_min;
+                }
+            }
+            if let Some(from) = open_down {
+                q.faults.push(FaultWindow {
+                    queue: q.queue,
+                    action: "link_down",
+                    from_ns: from,
+                    to_ns: t_max,
+                });
+            }
+            q.faults
+                .sort_by(|a, b| a.from_ns.cmp(&b.from_ns).then(a.to_ns.cmp(&b.to_ns)));
+            queues.push(q);
+        }
+
+        Timeline {
+            t_min_ns: t_min,
+            t_max_ns: t_max,
+            events: count,
+            subflows,
+            queues,
+        }
+    }
+
+    /// Parse JSONL text (one event per line, as any sink writes) and fold
+    /// it. Blank lines are skipped; a malformed line is an error.
+    pub fn from_jsonl(text: &str) -> Result<Timeline, trace::ParseError> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(TraceEvent::from_jsonl(line)?);
+        }
+        Ok(Timeline::from_events(events.iter()))
+    }
+
+    /// Every fault window across all queues, in (from, to, queue) order —
+    /// what the renderer shades behind subflow lanes.
+    pub fn all_fault_windows(&self) -> Vec<&FaultWindow> {
+        let mut all: Vec<&FaultWindow> = self.queues.iter().flat_map(|q| q.faults.iter()).collect();
+        all.sort_by(|a, b| {
+            a.from_ns
+                .cmp(&b.from_ns)
+                .then(a.to_ns.cmp(&b.to_ns))
+                .then(a.queue.cmp(&b.queue))
+        });
+        all
+    }
+
+    /// The modeled span in nanoseconds (≥ 1 to keep scales well-defined).
+    pub fn span_ns(&self) -> u64 {
+        (self.t_max_ns - self.t_min_ns).max(1)
+    }
+}
+
+fn subflow_entry(
+    sf: &mut BTreeMap<(u64, u16), (SubflowLane, Option<OpenBand>)>,
+    conn: u64,
+    subflow: u16,
+) -> &mut (SubflowLane, Option<OpenBand>) {
+    sf.entry((conn, subflow)).or_insert_with(|| {
+        (
+            SubflowLane {
+                conn,
+                subflow,
+                ..SubflowLane::default()
+            },
+            None,
+        )
+    })
+}
+
+fn queue_entry(
+    qs: &mut BTreeMap<u32, (QueueLane, Option<u64>)>,
+    queue: u32,
+) -> &mut (QueueLane, Option<u64>) {
+    qs.entry(queue).or_insert_with(|| {
+        (
+            QueueLane {
+                queue,
+                ..QueueLane::default()
+            },
+            None,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::SimTime;
+    use trace::{CwndReason, PacketKindLabel};
+
+    fn ev(t: u64, e: TraceEvent) -> (SimTime, TraceEvent) {
+        (SimTime::from_nanos(t), e)
+    }
+
+    #[test]
+    fn fault_windows_pair_down_and_up() {
+        let events = [
+            ev(
+                10,
+                TraceEvent::Fault {
+                    queue: 0,
+                    action: "link_down",
+                },
+            ),
+            ev(
+                50,
+                TraceEvent::Fault {
+                    queue: 0,
+                    action: "link_up",
+                },
+            ),
+            ev(
+                70,
+                TraceEvent::Fault {
+                    queue: 1,
+                    action: "set_rate",
+                },
+            ),
+            ev(
+                80,
+                TraceEvent::Fault {
+                    queue: 1,
+                    action: "link_down",
+                },
+            ),
+        ];
+        let tl = Timeline::from_events(events.iter());
+        assert_eq!(tl.queues.len(), 2);
+        let q0 = &tl.queues[0];
+        assert_eq!(q0.faults.len(), 1);
+        assert_eq!((q0.faults[0].from_ns, q0.faults[0].to_ns), (10, 50));
+        assert_eq!(q0.faults[0].action, "link_down");
+        let q1 = &tl.queues[1];
+        assert_eq!(q1.faults.len(), 2);
+        assert_eq!(q1.faults[0].action, "set_rate");
+        assert_eq!(q1.faults[0].from_ns, q1.faults[0].to_ns);
+        // Unclosed down-window extends to the end of the trace.
+        assert_eq!((q1.faults[1].from_ns, q1.faults[1].to_ns), (80, 80));
+    }
+
+    #[test]
+    fn state_bands_cover_the_span() {
+        let events = [
+            ev(
+                0,
+                TraceEvent::Cwnd {
+                    conn: 1,
+                    subflow: 0,
+                    cwnd: 1.0,
+                    ssthresh: 100.0,
+                    reason: CwndReason::Ack,
+                },
+            ),
+            ev(
+                100,
+                TraceEvent::SubflowState {
+                    conn: 1,
+                    subflow: 0,
+                    from: SubflowState::Active,
+                    to: SubflowState::Failed,
+                },
+            ),
+            ev(
+                200,
+                TraceEvent::SubflowState {
+                    conn: 1,
+                    subflow: 0,
+                    from: SubflowState::Failed,
+                    to: SubflowState::Active,
+                },
+            ),
+            ev(
+                300,
+                TraceEvent::Deliver {
+                    conn: 1,
+                    subflow: 0,
+                    newly: 1,
+                    total: 1,
+                },
+            ),
+        ];
+        let tl = Timeline::from_events(events.iter());
+        let lane = &tl.subflows[0];
+        let bands: Vec<(u64, u64, SubflowState)> = lane
+            .states
+            .iter()
+            .map(|b| (b.from_ns, b.to_ns, b.state))
+            .collect();
+        assert_eq!(
+            bands,
+            vec![
+                (0, 100, SubflowState::Active),
+                (100, 200, SubflowState::Failed),
+                (200, 300, SubflowState::Active),
+            ]
+        );
+    }
+
+    #[test]
+    fn tail_streams_anchor_bands_at_first_event() {
+        // A flight-recorder tail that starts mid-run, after the transition
+        // into Failed was evicted: the band still starts at t_min.
+        let events = [
+            ev(
+                1_000,
+                TraceEvent::Probe {
+                    conn: 0,
+                    subflow: 1,
+                    seq: 5,
+                    next_interval_ns: 100,
+                },
+            ),
+            ev(
+                2_000,
+                TraceEvent::SubflowState {
+                    conn: 0,
+                    subflow: 1,
+                    from: SubflowState::Failed,
+                    to: SubflowState::Active,
+                },
+            ),
+        ];
+        let tl = Timeline::from_events(events.iter());
+        assert_eq!(tl.t_min_ns, 1_000);
+        let lane = &tl.subflows[0];
+        assert_eq!(lane.states[0].from_ns, 1_000);
+        assert_eq!(lane.states[0].to_ns, 2_000);
+        assert_eq!(lane.states[0].state, SubflowState::Failed);
+    }
+
+    #[test]
+    fn occupancy_staircase_uses_qlen_from_both_directions() {
+        let enq = |t, qlen| {
+            ev(
+                t,
+                TraceEvent::Enqueue {
+                    queue: 2,
+                    conn: 0,
+                    subflow: 0,
+                    kind: PacketKindLabel::Data,
+                    seq: 0,
+                    size: 1500,
+                    qlen,
+                },
+            )
+        };
+        let deq = |t, qlen| {
+            ev(
+                t,
+                TraceEvent::Dequeue {
+                    queue: 2,
+                    conn: 0,
+                    subflow: 0,
+                    kind: PacketKindLabel::Data,
+                    seq: 0,
+                    size: 1500,
+                    qlen,
+                },
+            )
+        };
+        let events = [enq(0, 1), enq(5, 2), deq(10, 1), deq(20, 0)];
+        let tl = Timeline::from_events(events.iter());
+        assert_eq!(
+            tl.queues[0].occupancy,
+            vec![(0, 1), (5, 2), (10, 1), (20, 0)]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trip_builds_the_same_model_shape() {
+        let text = "\
+{\"t_ns\":0,\"ev\":\"cwnd\",\"conn\":1,\"subflow\":0,\"cwnd\":1,\"ssthresh\":100,\"reason\":\"ack\"}\n\
+{\"t_ns\":10,\"ev\":\"rtt_sample\",\"conn\":1,\"subflow\":0,\"rtt_ns\":5,\"srtt_ns\":5}\n";
+        let tl = Timeline::from_jsonl(text).unwrap();
+        assert_eq!(tl.events, 2);
+        assert_eq!(tl.subflows.len(), 1);
+        assert_eq!(tl.subflows[0].rtt, vec![(10, 5, 5)]);
+        assert!(Timeline::from_jsonl("garbage\n").is_err());
+    }
+}

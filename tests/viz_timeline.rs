@@ -1,0 +1,174 @@
+//! Acceptance tests for the flight recorder + timeline visualization.
+//!
+//! Three contracts from the issue:
+//!
+//! 1. Rendering is byte-deterministic: the checked-in fixture trace renders
+//!    to a pinned FNV digest, twice over (golden-file discipline — a digest
+//!    change is a deliberate format change, recapture it from the printed
+//!    `GOLDEN` line).
+//! 2. The sweep explorer's pages are byte-identical across `--jobs`.
+//! 3. A planted invariant violation in a chaos run yields a repro whose
+//!    rendered timeline carries fault windows and subflow-state bands
+//!    matching the repro's `FaultPlan` clauses — checked via the `data-*`
+//!    attributes the renderer attaches as machine-readable evidence.
+
+use chaos::{run_case_with, ChaosCase, Clause};
+use eventsim::SimDuration;
+use tcpsim::TcpConfig;
+use trace::Digest64;
+use viz::{clause_windows, render_chaos_html, render_timeline_html, Timeline};
+
+fn fixture() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/viz/timeline.jsonl"
+    );
+    std::fs::read_to_string(path).expect("fixture trace missing")
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut d = Digest64::new();
+    d.update(bytes);
+    d.finish()
+}
+
+/// Golden digest of the rendered fixture timeline. Recapture from the
+/// test's printed `GOLDEN html_digest=0x...` line after a deliberate
+/// rendering change.
+const GOLDEN_HTML_DIGEST: u64 = 0x34d8_7332_3408_9b3e;
+
+#[test]
+fn fixture_timeline_renders_to_pinned_bytes() {
+    let jsonl = fixture();
+    let tl = Timeline::from_jsonl(&jsonl).expect("fixture must parse");
+    let a = render_timeline_html("timeline.jsonl", &tl);
+    let b = render_timeline_html("timeline.jsonl", &tl);
+    assert_eq!(a, b, "two renders of the same model differ");
+    // Parse -> render again from scratch: byte-identity must not depend on
+    // shared state between the two pipelines.
+    let tl2 = Timeline::from_jsonl(&jsonl).unwrap();
+    assert_eq!(a, render_timeline_html("timeline.jsonl", &tl2));
+
+    let digest = fnv(a.as_bytes());
+    println!("GOLDEN html_digest=0x{digest:016x}");
+    assert_eq!(
+        digest, GOLDEN_HTML_DIGEST,
+        "rendered HTML bytes changed; if deliberate, recapture the digest above"
+    );
+}
+
+#[test]
+fn fixture_timeline_is_self_contained_and_evidence_bearing() {
+    let tl = Timeline::from_jsonl(&fixture()).unwrap();
+    let html = render_timeline_html("timeline.jsonl", &tl);
+    for needle in ["http://", "https://", "file://", "<script"] {
+        assert!(!html.contains(needle), "page not self-contained: {needle}");
+    }
+    // The fixture's fault pair (1s..3s on queue 1) becomes one shaded window.
+    assert!(html.contains(
+        "data-action=\"link_down\" data-from-ns=\"1000000000\" data-to-ns=\"3000000000\""
+    ));
+    // And its state transitions become bands.
+    assert!(html.contains(
+        "data-state=\"potentially_failed\" data-from-ns=\"1500000000\" data-to-ns=\"2600000000\""
+    ));
+    assert!(html
+        .contains("data-state=\"failed\" data-from-ns=\"2600000000\" data-to-ns=\"3300000000\""));
+}
+
+#[test]
+fn chaos_repro_timeline_matches_the_fault_plan() {
+    // The planted bug from the chaos acceptance suite: probes double past
+    // the paper's 8 s cap when reprobe_max is misconfigured to 16 s.
+    let case = ChaosCase {
+        seed: 7,
+        algorithm: "lia".to_string(),
+        rate_mbps: [8.0, 8.0],
+        delay_ms: [40.0, 40.0],
+        horizon_s: 30.0,
+        clauses: vec![Clause::Outage {
+            path: 0,
+            from_s: 4.0,
+            dur_s: 18.0,
+        }],
+    };
+    let tcp = TcpConfig {
+        reprobe_max: SimDuration::from_secs(16),
+        ..TcpConfig::default()
+    };
+    let verdict = run_case_with(&case, tcp);
+    assert!(!verdict.ok(), "the planted bug did not fire");
+    let tail = verdict
+        .tail_jsonl
+        .as_deref()
+        .expect("violating verdict carries no flight-recorder tail");
+
+    // Write the repro directory the chaos binary would produce and render
+    // the timeline from it.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/tmp/viz-accept/repro");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let case_doc = case.to_json();
+    std::fs::write(dir.join("repro.json"), case_doc.render_pretty() + "\n").unwrap();
+    std::fs::write(dir.join("repro.trace.jsonl"), tail).unwrap();
+    let html = render_chaos_html("repro", &case_doc, Some(tail)).expect("render failed");
+    std::fs::write(dir.join("repro.html"), &html).unwrap();
+
+    // (a) The schedule chart's windows equal the case's Clause semantics.
+    let windows = clause_windows(&case_doc).unwrap();
+    assert_eq!(windows.len(), case.clauses.len());
+    for (w, clause) in windows.iter().zip(&case.clauses) {
+        assert_eq!(w.kind, clause.kind());
+        let to_ns = (clause.end_s() * 1e9).round() as u64;
+        assert_eq!(w.to_ns, to_ns, "window end drifted from Clause::end_s");
+        assert!(html.contains(&format!(
+            "data-clause-kind=\"{}\" data-path=\"0\" data-from-ns=\"{}\" data-to-ns=\"{}\"",
+            w.kind, w.from_ns, w.to_ns
+        )));
+    }
+
+    // (b) The recorded timeline's fault windows match the lowered plan: the
+    // outage clause becomes link_down at 4 s and link_up at 22 s on the
+    // forward queue of path 0.
+    assert!(
+        html.contains(
+            "data-action=\"link_down\" data-from-ns=\"4000000000\" data-to-ns=\"22000000000\""
+        ),
+        "recorded fault window does not match the FaultPlan"
+    );
+
+    // (c) Subflow-state bands track the outage: the path-0 subflow passes
+    // through potentially_failed and failed inside the outage window.
+    let tl = Timeline::from_jsonl(tail).unwrap();
+    let lane = tl
+        .subflows
+        .iter()
+        .find(|l| l.subflow == 0)
+        .expect("no lane for subflow 0");
+    let outage = (4_000_000_000u64, 22_000_000_000u64);
+    for state in ["potentially_failed", "failed"] {
+        let band = lane
+            .states
+            .iter()
+            .find(|b| b.state.label() == state)
+            .unwrap_or_else(|| panic!("no {state} band on subflow 0"));
+        assert!(
+            band.from_ns >= outage.0 && band.from_ns <= outage.1,
+            "{state} band starts at {} — outside the outage window",
+            band.from_ns
+        );
+        assert!(html.contains(&format!(
+            "data-subflow=\"0\" data-state=\"{state}\" data-from-ns=\"{}\" data-to-ns=\"{}\"",
+            band.from_ns, band.to_ns
+        )));
+    }
+
+    // (d) Replaying the case reproduces the tail — and therefore the page —
+    // byte for byte.
+    let again = run_case_with(&case, tcp);
+    assert_eq!(again.tail_jsonl.as_deref(), Some(tail));
+    assert_eq!(
+        render_chaos_html("repro", &case_doc, again.tail_jsonl.as_deref()).unwrap(),
+        html
+    );
+}
