@@ -19,7 +19,10 @@
 //! * `2` — usage or I/O error.
 
 use bench::json::parse;
-use bench::report::{validate, validate_chaos, validate_sweep, CHAOS_SCHEMA, SWEEP_SCHEMA};
+use bench::report::{
+    is_lint_schema, validate, validate_chaos, validate_lint, validate_sweep, CHAOS_SCHEMA,
+    SWEEP_SCHEMA,
+};
 
 fn main() {
     let mut strict = false;
@@ -76,39 +79,42 @@ fn main() {
     let mut failed = false;
     let mut checked = 0usize;
     for path in &files {
-        let outcome = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read: {e}"))
-            .and_then(|text| parse(&text).map_err(|e| format!("invalid JSON: {e}")));
-        let doc = match outcome {
-            Ok(doc) => doc,
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
             Err(e) => {
-                println!("INVALID {path}: {e}");
+                println!("INVALID {path}: cannot read: {e}");
                 failed = true;
                 continue;
             }
         };
-        // A results/ directory also holds the simlint report, which has its
-        // own schema and validator (`simlint --validate`); an orchestra run
-        // directory holds the frozen input manifest. Skip exactly those
-        // schemas so directory scans stay usable; anything else unknown is
-        // still an error.
+        let doc = match parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                println!("INVALID {path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        // A results/ directory also holds the simlint report (validated
+        // through simlint's own schema checker, v1 and v2); an orchestra
+        // run directory holds the frozen input manifest, which is an
+        // input, not a report — skip exactly that schema so directory
+        // scans stay usable. Anything else unknown is still an error.
         let schema = doc.get("schema").and_then(|s| s.as_str());
-        if schema == Some("mptcp-lint-report/v1") {
-            println!("skip    {path} (mptcp-lint-report/v1 — use simlint --validate)");
-            continue;
-        }
         if schema == Some("mptcp-manifest/v1") {
             println!("skip    {path} (mptcp-manifest/v1 — orchestra input, not a report)");
             continue;
         }
         checked += 1;
-        // Sweep reports (orchestra's cross-seed aggregation) and chaos
-        // campaign reports have their own schemas; everything else must be
-        // a plain run report.
+        // Sweep reports (orchestra's cross-seed aggregation), chaos
+        // campaign reports, and lint reports have their own schemas;
+        // everything else must be a plain run report.
         let result = if schema == Some(SWEEP_SCHEMA) {
             validate_sweep(&doc)
         } else if schema == Some(CHAOS_SCHEMA) {
             validate_chaos(&doc)
+        } else if schema.is_some_and(is_lint_schema) {
+            validate_lint(&text)
         } else {
             validate(&doc)
         };

@@ -596,6 +596,25 @@ pub fn validate_chaos(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a simlint workspace report (`mptcp-lint-report/v1` or `/v2`)
+/// from its raw JSON text.
+///
+/// The lint report sits in the same `results/` directory the run reports
+/// land in, so `validate_report` must understand it — but it is produced
+/// by [`simlint`] with its own JSON representation, so this delegates:
+/// parse with simlint's parser, check with simlint's schema validator
+/// (which accepts both versions and cross-checks v2's `rule_counts`
+/// against the findings list).
+pub fn validate_lint(text: &str) -> Result<(), String> {
+    let doc = simlint::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    simlint::report::validate(&doc)
+}
+
+/// Does `schema` name a simlint report version [`validate_lint`] handles?
+pub fn is_lint_schema(schema: &str) -> bool {
+    schema == simlint::report::SCHEMA || schema == simlint::report::SCHEMA_V1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -904,5 +923,33 @@ mod tests {
         assert!(validate(&parse(text).unwrap())
             .unwrap_err()
             .contains("wall_s"));
+    }
+
+    #[test]
+    fn lint_reports_validate_in_both_versions() {
+        // A freshly built v2 document round-trips through the text-level
+        // entry point the validate_report binary uses.
+        let run = simlint::LintRun {
+            files_scanned: 3,
+            findings: vec![],
+            hot_paths: vec!["crates/eventsim/src/queue.rs".to_string()],
+            roots: vec!["EventQueue::pop*".to_string()],
+            matched_roots: vec!["crates/eventsim/src/queue.rs: EventQueue::pop".to_string()],
+        };
+        let v2 = simlint::report::to_json(".", &run).pretty();
+        assert!(is_lint_schema(simlint::report::SCHEMA));
+        validate_lint(&v2).unwrap();
+
+        // Legacy v1 artifacts (no rule_counts / hot_paths / roots) stay
+        // valid, so tracked results from older checkouts keep passing.
+        let v1 = r#"{"schema":"mptcp-lint-report/v1","root":".","files_scanned":1,
+            "rules":[{"id":"R1","name":"wall-clock","summary":"no wall clock"}],
+            "findings":[],"summary":{"suppressed":0,"unsuppressed":0}}"#;
+        assert!(is_lint_schema("mptcp-lint-report/v1"));
+        validate_lint(v1).unwrap();
+
+        // Corruption is caught through the same path.
+        let broken = v2.replace("\"files_scanned\": 3", "\"files_scanned\": -3");
+        assert!(validate_lint(&broken).is_err());
     }
 }

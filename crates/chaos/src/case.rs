@@ -345,7 +345,7 @@ impl Clause {
                 t(at_s),
                 FaultAction::SetLatency {
                     queue: q(path),
-                    latency: SimDuration::from_secs_f64(delay_ms / 1e3),
+                    latency: SimDuration::from_millis_f64(delay_ms),
                 },
             )],
             Clause::Handover {

@@ -147,8 +147,12 @@ pub fn generate(seed: u64) -> ChaosCase {
     }
     // Liveness needs room past the last fault; an empty schedule still runs
     // long enough to prove plain delivery.
-    let last_end = clauses.iter().map(Clause::end_s).fold(5.0_f64, f64::max);
-    let horizon_s = q3(last_end + LIVENESS_GRACE.as_secs_f64() + 5.0);
+    const HORIZON_SLACK_S: f64 = 5.0;
+    let last_end = clauses
+        .iter()
+        .map(Clause::end_s)
+        .fold(HORIZON_SLACK_S, f64::max);
+    let horizon_s = q3(last_end + LIVENESS_GRACE.as_secs_f64() + HORIZON_SLACK_S);
     ChaosCase {
         seed,
         algorithm: algorithm.to_string(),

@@ -121,7 +121,7 @@ pub fn run_case_with(case: &ChaosCase, tcp: TcpConfig) -> Verdict {
     sim.set_tracer(tracer);
 
     let link = |sim: &mut Simulation, p: usize| {
-        let delay = SimDuration::from_secs_f64(case.delay_ms[p] / 1e3);
+        let delay = SimDuration::from_millis_f64(case.delay_ms[p]);
         let fwd = sim.add_queue(QueueConfig::red_paper(case.rate_mbps[p] * 1e6, delay));
         let rev = sim.add_queue(QueueConfig::drop_tail(10e9, delay, 100_000));
         (fwd, rev)

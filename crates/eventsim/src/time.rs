@@ -73,6 +73,16 @@ impl SimDuration {
         SimDuration(ms * 1_000_000)
     }
 
+    /// Construct from milliseconds expressed as a float (rounded to
+    /// nanoseconds). Routed through [`SimDuration::from_secs_f64`] so the
+    /// rounding is bit-identical to the `ms / 1e3` spelling it replaces.
+    ///
+    /// Panics if `ms` is negative or non-finite.
+    // simlint: allow(R6) this constructor IS the typed-unit boundary raw milliseconds enter through
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
     /// Construct from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000)

@@ -10,8 +10,11 @@
 
 // simlint: allow(R7) process-global counters shared with bench's threaded replication; no sim logic depends on them
 use std::sync::atomic::{AtomicU64, Ordering};
+
 // simlint: allow(R1) this module IS the wall-clock profiling boundary; sim logic never reads it
 use std::time::Instant;
+
+use eventsim::SimDuration;
 
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static SIM_NS: AtomicU64 = AtomicU64::new(0);
@@ -109,7 +112,7 @@ impl ProfileReport {
         if self.wall_s <= 0.0 {
             0.0
         } else {
-            self.sim_ns as f64 / 1e9 / self.wall_s
+            SimDuration::from_nanos(self.sim_ns).as_secs_f64() / self.wall_s
         }
     }
 }

@@ -227,7 +227,7 @@ impl QueueStats {
         if elapsed_ns == 0 {
             0.0
         } else {
-            self.forwarded_bytes as f64 * 8.0 / (elapsed_ns as f64 / 1e9)
+            self.forwarded_bytes as f64 * 8.0 / SimDuration::from_nanos(elapsed_ns).as_secs_f64()
         }
     }
 

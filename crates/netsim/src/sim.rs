@@ -368,7 +368,6 @@ impl Simulation {
                 let q = &mut self.queues[qi];
                 let r = q.complete_service(size);
                 debug_assert_eq!(r, head);
-                let qlen = q.buf.len() as u32;
                 self.tracer.emit(now, || TraceEvent::Dequeue {
                     queue: qid.index() as u32,
                     conn,
@@ -376,7 +375,7 @@ impl Simulation {
                     kind: kind.into(),
                     seq,
                     size,
-                    qlen,
+                    qlen: q.buf.len() as u32,
                 });
                 // Busy time accrues at completion (not when service was
                 // scheduled) so it survives mid-run rate changes and is

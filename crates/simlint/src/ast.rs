@@ -1,0 +1,1728 @@
+//! A minimal workspace AST, built by recursive descent over the
+//! [`crate::lexer`] token stream.
+//!
+//! This is *not* a Rust parser — it is exactly the syntax awareness the
+//! semantic rules (R8–R11) and the call-graph hot-path derivation (R5)
+//! need, and nothing more:
+//!
+//! * **items** — `fn`/`struct`/`enum`/`trait`/`impl`/`mod`/… with names
+//!   and lines, so fixture tests can assert structural counts;
+//! * **fn declarations** — name, owning `impl` type, parameter names and
+//!   type text, return-type text, test-ness, so the symbol table can key
+//!   `Owner::name`;
+//! * **call expressions** — path calls (`SimTime::from_nanos(x)`) and
+//!   method calls (`q.pop()`), with argument spans and receiver-chain
+//!   identifiers, feeding the call graph (R5), constructor-unit checks
+//!   (R8), and the lazy-trace rule (R10);
+//! * **`as` casts** — target type text plus the identifiers feeding the
+//!   operand expression (R9);
+//! * **reduction chains** — `.sum()`/`.product()`/`.fold(..)` terminals
+//!   with their full method chain and chain root classified (R11);
+//! * **`for` loops** — the iterated chain plus the body token span, for
+//!   R11's `+=` accumulation prong.
+//!
+//! Macro invocations are skipped opaquely (the token soup inside a macro
+//! follows macro grammar, not Rust grammar); the parser counts them so
+//! fixture tests can assert they were seen and skipped. Like the lexer,
+//! the parser never fails: unrecognised constructs are skipped token by
+//! token — a linter should degrade, not crash, on exotic input.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What an [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free or associated; also recorded in [`FileAst::fns`]).
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// A `union` definition.
+    Union,
+    /// A `trait` definition.
+    Trait,
+    /// An `impl` block.
+    Impl,
+    /// A `mod` (inline or file-level declaration).
+    Mod,
+    /// A `use` declaration.
+    Use,
+    /// A `const` item.
+    Const,
+    /// A `static` item.
+    Static,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `macro_rules!` definition (body skipped opaquely).
+    MacroDef,
+    /// An item-position macro invocation (skipped opaquely).
+    MacroInvocation,
+    /// An `extern crate` declaration.
+    ExternCrate,
+}
+
+/// One top-level or nested item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Classification.
+    pub kind: ItemKind,
+    /// The item's name (`""` where the grammar has none, e.g. `impl`
+    /// blocks carry the self-type instead).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+}
+
+/// One parameter of a [`FnDecl`].
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (last identifier of the pattern).
+    pub name: String,
+    /// Type text, tokens space-joined (`"& mut SimTime"`).
+    pub ty: String,
+}
+
+/// One `fn` declaration (free function, associated function, or method).
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any. For
+    /// `impl Trait for Type` this is `Type` — calls dispatch on the
+    /// implementing type.
+    pub owner: Option<String>,
+    /// Parameters (a `self` receiver is not listed).
+    pub params: Vec<Param>,
+    /// Return-type text, space-joined, if declared.
+    pub ret: Option<String>,
+    /// Declared `pub` (any visibility scope).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+/// How the root of a method chain was classified (for order-stability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainRoot {
+    /// A plain identifier or field path (`self.paths`, `rates`).
+    Ident(String),
+    /// A literal (`0.5f64`).
+    Lit,
+    /// A parenthesised range expression (`(0..n)`), or a bare range in
+    /// `for` position.
+    Range,
+    /// An array literal (`[a, b]`).
+    ArrayLit,
+    /// A free/path call (`lia_rates(paths)`), name kept for diagnostics.
+    Call(String),
+    /// A parenthesised expression that is not a range.
+    Paren,
+    /// Anything the walker could not classify.
+    Unknown,
+}
+
+/// One argument of a [`Call`].
+#[derive(Debug, Clone)]
+pub struct Arg {
+    /// The argument is a closure (`|..| ..` / `move |..| ..`).
+    pub is_closure: bool,
+    /// Token span `[start, end)` (original token indices).
+    pub span: (usize, usize),
+}
+
+/// One call expression.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments: `["SimTime", "from_nanos"]` for a path call,
+    /// `["pop"]` for a method call.
+    pub path: Vec<String>,
+    /// Method-call syntax (`recv.name(..)`).
+    pub is_method: bool,
+    /// Identifiers in a method call's receiver chain (root, fields, and
+    /// chained method names), e.g. `ctx.tracer().emit(..)` →
+    /// `["tracer", "ctx"]`.
+    pub recv_idents: Vec<String>,
+    /// Arguments, in order.
+    pub args: Vec<Arg>,
+    /// 1-based line / column of the called name.
+    pub line: u32,
+    /// 1-based column of the called name.
+    pub col: u32,
+    /// Index into [`FileAst::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
+/// One `expr as Type` cast.
+#[derive(Debug, Clone)]
+pub struct Cast {
+    /// Target type text (`"u64"`, `"* const u8"`).
+    pub target: String,
+    /// Identifiers feeding the operand expression, innermost first.
+    pub operand_idents: Vec<String>,
+    /// 1-based line of the `as` keyword.
+    pub line: u32,
+    /// 1-based column of the `as` keyword.
+    pub col: u32,
+    /// Index into [`FileAst::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
+/// One `.sum()` / `.product()` / `.fold(..)` reduction terminal.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Terminal method name (`"sum"`, `"product"`, `"fold"`).
+    pub terminal: String,
+    /// Method names chained between the root and the terminal, in source
+    /// order (`["iter", "map"]`).
+    pub links: Vec<String>,
+    /// Chain-root classification.
+    pub root: ChainRoot,
+    /// Evidence the reduction folds floats: an `::<f64>` turbofish, a
+    /// float ascription in the statement, a float-literal `fold` seed, or
+    /// a float-returning enclosing function's tail expression.
+    pub float_hint: bool,
+    /// 1-based line of the terminal name.
+    pub line: u32,
+    /// 1-based column of the terminal name.
+    pub col: u32,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
+/// One `for pat in expr { .. }` loop.
+#[derive(Debug, Clone)]
+pub struct ForLoop {
+    /// Method names chained on the iterated expression.
+    pub links: Vec<String>,
+    /// Root of the iterated chain.
+    pub root: ChainRoot,
+    /// Body token span `[start, end)` (original token indices, braces
+    /// included).
+    pub body_span: (usize, usize),
+    /// 1-based line of the `for` keyword.
+    pub line: u32,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// All items, in source order (fns included).
+    pub items: Vec<Item>,
+    /// All `fn` declarations, in source order.
+    pub fns: Vec<FnDecl>,
+    /// All call expressions.
+    pub calls: Vec<Call>,
+    /// All `as` casts.
+    pub casts: Vec<Cast>,
+    /// All reduction terminals.
+    pub reductions: Vec<Reduction>,
+    /// All `for` loops.
+    pub for_loops: Vec<ForLoop>,
+    /// Macro invocations and `macro_rules!` bodies skipped opaquely.
+    pub skipped_macros: usize,
+}
+
+/// Parse one file's token stream.
+pub fn parse(tokens: &[Token]) -> FileAst {
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let matches = bracket_matches(tokens, &sig);
+    let in_test = mark_test_code(tokens);
+    let mut p = Parser {
+        toks: tokens,
+        sig,
+        matches,
+        in_test,
+        pos: 0,
+        cur_fn: None,
+        ast: FileAst::default(),
+    };
+    p.items(true);
+    p.ast
+}
+
+/// Mark which tokens sit inside test-only code (`#[cfg(test)]` /
+/// `#[test]` items). Shared by the parser (fn test-ness) and the rules
+/// (which rules skip test code is per-rule policy).
+pub fn mark_test_code(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Skip to the end of the attribute, then mark the item it
+            // decorates: everything up to the matching `}` of its first
+            // brace block (or a `;` before any brace opens).
+            let attr_start = i;
+            while i < tokens.len() && !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "]")
+            {
+                i += 1;
+            }
+            let mut depth = 0i32;
+            let mut j = i;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for flag in in_test
+                .iter_mut()
+                .take((j + 1).min(tokens.len()))
+                .skip(attr_start)
+            {
+                *flag = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Does `#[...]` starting at token `i` gate on tests? Matches `#[test]`,
+/// `#[cfg(test)]`, and composed forms, but not `#[cfg(not(test))]`.
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+        return false;
+    }
+    let Some(open) = tokens.get(i + 1) else {
+        return false;
+    };
+    if !(open.kind == TokenKind::Punct && open.text == "[") {
+        return false;
+    }
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in &tokens[i + 2..] {
+        if t.kind == TokenKind::Punct && t.text == "]" {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Matching `(`/`)`, `[`/`]`, `{`/`}` pairs over significant-token
+/// positions, both directions. Mismatched brackets are left unpaired —
+/// the parser degrades around them.
+fn bracket_matches(tokens: &[Token], sig: &[usize]) -> Vec<Option<usize>> {
+    let mut matches = vec![None; sig.len()];
+    let mut stack: Vec<(usize, char)> = Vec::new();
+    for (sp, &oi) in sig.iter().enumerate() {
+        let t = &tokens[oi];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => stack.push((sp, '(')),
+            "[" => stack.push((sp, '[')),
+            "{" => stack.push((sp, '{')),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if stack.last().is_some_and(|&(_, c)| c == want) {
+                    let (open, _) = stack.pop().unwrap();
+                    matches[open] = Some(sp);
+                    matches[sp] = Some(open);
+                }
+            }
+            _ => {}
+        }
+    }
+    matches
+}
+
+/// Identifiers that can never anchor a call path in expression position.
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "return", "break", "continue", "let", "in", "move",
+    "mut", "ref", "box", "dyn", "impl", "where", "unsafe", "async", "await", "true", "false",
+    "const", "static", "pub", "crate", "super", "as", "yield",
+];
+
+/// Constructor / accessor names whose argument-unit checks R8 cares about.
+pub const UNIT_CTORS: &[&str] = &[
+    "from_nanos",
+    "from_micros",
+    "from_millis",
+    "from_millis_f64",
+    "from_secs",
+    "from_secs_f64",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    sig: Vec<usize>,
+    matches: Vec<Option<usize>>,
+    in_test: Vec<bool>,
+    pos: usize,
+    cur_fn: Option<usize>,
+    ast: FileAst,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, sp: usize) -> &'a Token {
+        &self.toks[self.sig[sp]]
+    }
+
+    fn text(&self, sp: usize) -> &str {
+        if sp < self.sig.len() {
+            &self.tok(sp).text
+        } else {
+            ""
+        }
+    }
+
+    fn kind(&self, sp: usize) -> Option<TokenKind> {
+        (sp < self.sig.len()).then(|| self.tok(sp).kind)
+    }
+
+    fn is_ident(&self, sp: usize) -> bool {
+        self.kind(sp) == Some(TokenKind::Ident)
+    }
+
+    fn in_test_at(&self, sp: usize) -> bool {
+        self.in_test[self.sig[sp]]
+    }
+
+    /// Position just past the group opened at `sp` (falls back to a bump
+    /// when the bracket is unmatched).
+    fn past_group(&self, sp: usize) -> usize {
+        match self.matches[sp] {
+            Some(close) => close + 1,
+            None => sp + 1,
+        }
+    }
+
+    // ---- item level -----------------------------------------------------
+
+    fn items(&mut self, top: bool) {
+        while self.pos < self.sig.len() {
+            let txt = self.text(self.pos).to_string();
+            if txt == "}" {
+                self.pos += 1;
+                if !top {
+                    return;
+                }
+                continue;
+            }
+            if txt == "#" {
+                self.skip_attribute();
+                continue;
+            }
+            let mut is_pub = false;
+            self.skip_item_modifiers(&mut is_pub);
+            let txt = self.text(self.pos).to_string();
+            let line = if self.pos < self.sig.len() {
+                self.tok(self.pos).line
+            } else {
+                return;
+            };
+            match txt.as_str() {
+                "fn" => self.parse_fn(None, is_pub),
+                "struct" | "enum" | "union" => {
+                    let kind = match txt.as_str() {
+                        "struct" => ItemKind::Struct,
+                        "enum" => ItemKind::Enum,
+                        _ => ItemKind::Union,
+                    };
+                    self.pos += 1;
+                    let name = self.take_name();
+                    self.push_item(kind, name, line);
+                    self.skip_struct_like_body();
+                }
+                "trait" => {
+                    self.pos += 1;
+                    let name = self.take_name();
+                    self.push_item(ItemKind::Trait, name.clone(), line);
+                    self.skip_until_block_or_semi();
+                    if self.text(self.pos) == "{" {
+                        self.pos += 1;
+                        self.items_with_owner(&name);
+                    } else if self.text(self.pos) == ";" {
+                        self.pos += 1;
+                    }
+                }
+                "impl" => {
+                    self.pos += 1;
+                    let owner = self.parse_impl_header();
+                    self.push_item(ItemKind::Impl, owner.clone(), line);
+                    if self.text(self.pos) == "{" {
+                        self.pos += 1;
+                        self.items_with_owner(&owner);
+                    } else if self.text(self.pos) == ";" {
+                        self.pos += 1;
+                    }
+                }
+                "mod" => {
+                    self.pos += 1;
+                    let name = self.take_name();
+                    self.push_item(ItemKind::Mod, name, line);
+                    if self.text(self.pos) == "{" {
+                        self.pos += 1;
+                        self.items(false);
+                    } else if self.text(self.pos) == ";" {
+                        self.pos += 1;
+                    }
+                }
+                "use" => {
+                    self.pos += 1;
+                    self.push_item(ItemKind::Use, String::new(), line);
+                    self.skip_to_semi();
+                }
+                "type" => {
+                    self.pos += 1;
+                    let name = self.take_name();
+                    self.push_item(ItemKind::TypeAlias, name, line);
+                    self.skip_to_semi();
+                }
+                "static" | "const" => {
+                    self.pos += 1;
+                    if self.text(self.pos) == "mut" {
+                        self.pos += 1;
+                    }
+                    let name = self.take_name();
+                    self.push_item(
+                        if txt == "static" {
+                            ItemKind::Static
+                        } else {
+                            ItemKind::Const
+                        },
+                        name,
+                        line,
+                    );
+                    self.skip_to_semi();
+                }
+                "extern" => {
+                    // `extern crate x;` or a foreign block (modifier forms
+                    // were consumed above).
+                    self.pos += 1;
+                    if self.text(self.pos) == "crate" {
+                        self.push_item(ItemKind::ExternCrate, String::new(), line);
+                        self.skip_to_semi();
+                    } else if self.kind(self.pos) == Some(TokenKind::Literal)
+                        && self.text(self.pos + 1) == "{"
+                    {
+                        self.pos += 1;
+                        self.pos = self.past_group(self.pos);
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "macro_rules" => {
+                    self.pos += 1; // macro_rules
+                    if self.text(self.pos) == "!" {
+                        self.pos += 1;
+                    }
+                    let name = self.take_name();
+                    self.push_item(ItemKind::MacroDef, name, line);
+                    self.ast.skipped_macros += 1;
+                    self.skip_macro_delimited();
+                }
+                _ if self.is_ident(self.pos) && self.text(self.pos + 1) == "!" => {
+                    // Item-position macro invocation, skipped opaquely.
+                    let name = txt;
+                    self.pos += 2;
+                    self.push_item(ItemKind::MacroInvocation, name, line);
+                    self.ast.skipped_macros += 1;
+                    self.skip_macro_delimited();
+                }
+                _ => self.pos += 1, // degrade on anything unrecognised
+            }
+        }
+    }
+
+    fn items_with_owner(&mut self, owner: &str) {
+        // An impl/trait block body: only `fn` items dispatch differently
+        // (they record `owner`); everything else parses as usual.
+        while self.pos < self.sig.len() {
+            let txt = self.text(self.pos).to_string();
+            if txt == "}" {
+                self.pos += 1;
+                return;
+            }
+            if txt == "#" {
+                self.skip_attribute();
+                continue;
+            }
+            let mut is_pub = false;
+            self.skip_item_modifiers(&mut is_pub);
+            match self.text(self.pos) {
+                "fn" => self.parse_fn(Some(owner), is_pub),
+                "type" | "use" => {
+                    self.pos += 1;
+                    self.skip_to_semi();
+                }
+                "const" | "static" => {
+                    self.pos += 1;
+                    self.skip_to_semi();
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn push_item(&mut self, kind: ItemKind, name: String, line: u32) {
+        self.ast.items.push(Item { kind, name, line });
+    }
+
+    /// `#[attr]` / `#![attr]`.
+    fn skip_attribute(&mut self) {
+        self.pos += 1; // '#'
+        if self.text(self.pos) == "!" {
+            self.pos += 1;
+        }
+        if self.text(self.pos) == "[" {
+            self.pos = self.past_group(self.pos);
+        }
+    }
+
+    fn skip_item_modifiers(&mut self, is_pub: &mut bool) {
+        loop {
+            match self.text(self.pos) {
+                "pub" => {
+                    *is_pub = true;
+                    self.pos += 1;
+                    if self.text(self.pos) == "(" {
+                        self.pos = self.past_group(self.pos);
+                    }
+                }
+                "default" | "unsafe" | "async" => self.pos += 1,
+                "const"
+                    if matches!(
+                        self.text(self.pos + 1),
+                        "fn" | "unsafe" | "async" | "extern"
+                    ) =>
+                {
+                    self.pos += 1
+                }
+                "extern"
+                    if self.kind(self.pos + 1) == Some(TokenKind::Literal)
+                        || self.text(self.pos + 1) == "fn" =>
+                {
+                    self.pos += 1;
+                    if self.kind(self.pos) == Some(TokenKind::Literal) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn take_name(&mut self) -> String {
+        if self.is_ident(self.pos) {
+            let name = self.text(self.pos).to_string();
+            self.pos += 1;
+            name
+        } else {
+            String::new()
+        }
+    }
+
+    /// After `struct`/`enum`/`union` + name: skip generics, where clause,
+    /// and the body (`{..}`, `(..);`, or `;`).
+    fn skip_struct_like_body(&mut self) {
+        if self.text(self.pos) == "<" {
+            self.skip_angles();
+        }
+        while self.pos < self.sig.len() {
+            match self.text(self.pos) {
+                "{" => {
+                    self.pos = self.past_group(self.pos);
+                    return;
+                }
+                "(" | "[" => self.pos = self.past_group(self.pos),
+                ";" => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skip forward to the opening `{` of a block or a terminating `;`,
+    /// jumping over bracket groups (trait bounds, where clauses).
+    fn skip_until_block_or_semi(&mut self) {
+        while self.pos < self.sig.len() {
+            match self.text(self.pos) {
+                "{" | ";" => return,
+                "(" | "[" => self.pos = self.past_group(self.pos),
+                "<" => self.skip_angles(),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skip to just past the next `;`, jumping bracket groups (use trees,
+    /// const initialisers).
+    fn skip_to_semi(&mut self) {
+        while self.pos < self.sig.len() {
+            match self.text(self.pos) {
+                ";" => {
+                    self.pos += 1;
+                    return;
+                }
+                "(" | "[" | "{" => self.pos = self.past_group(self.pos),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skip a macro's delimited body: `{..}` stands alone, `(..)` / `[..]`
+    /// are followed by `;`.
+    fn skip_macro_delimited(&mut self) {
+        match self.text(self.pos) {
+            "{" => self.pos = self.past_group(self.pos),
+            "(" | "[" => {
+                self.pos = self.past_group(self.pos);
+                if self.text(self.pos) == ";" {
+                    self.pos += 1;
+                }
+            }
+            _ => self.pos += 1,
+        }
+    }
+
+    /// Balanced-angle skip from a `<`. The lexer emits `>>` / `<<` as
+    /// single tokens, so each counts twice; `->` / `=>` are single tokens
+    /// and never close a generic list.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while self.pos < self.sig.len() {
+            match self.text(self.pos) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | "[" | "{" => {
+                    self.pos = self.past_group(self.pos);
+                    continue;
+                }
+                ";" => return, // runaway guard: generics never cross a `;`
+                _ => {}
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parse an `impl` header after the keyword; returns the self type
+    /// (for `impl Trait for Type`, the implementing `Type`). Leaves `pos`
+    /// at the body `{` (or `;`).
+    fn parse_impl_header(&mut self) -> String {
+        if self.text(self.pos) == "<" {
+            self.skip_angles();
+        }
+        let mut candidate = String::new();
+        while self.pos < self.sig.len() {
+            match self.text(self.pos) {
+                "{" | ";" => break,
+                "where" => {
+                    self.skip_until_block_or_semi();
+                    break;
+                }
+                "for" => {
+                    // `impl Trait for Type`: the type after `for` wins.
+                    candidate.clear();
+                    self.pos += 1;
+                }
+                "<" => self.skip_angles(),
+                "(" | "[" => self.pos = self.past_group(self.pos),
+                _ => {
+                    if self.is_ident(self.pos) && self.text(self.pos) != "mut" {
+                        candidate = self.text(self.pos).to_string();
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        candidate
+    }
+
+    // ---- fn level -------------------------------------------------------
+
+    fn parse_fn(&mut self, owner: Option<&str>, is_pub: bool) {
+        let line = self.tok(self.pos).line;
+        let is_test = self.in_test_at(self.pos);
+        self.pos += 1; // fn
+        let name = self.take_name();
+        if self.text(self.pos) == "<" {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.text(self.pos) == "(" {
+            if let Some(close) = self.matches[self.pos] {
+                params = self.parse_params(self.pos, close);
+                self.pos = close + 1;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let mut ret = None;
+        if self.text(self.pos) == "->" {
+            self.pos += 1;
+            let mut pieces = Vec::new();
+            while self.pos < self.sig.len() {
+                match self.text(self.pos) {
+                    "{" | ";" | "where" => break,
+                    "<" => {
+                        let start = self.pos;
+                        self.skip_angles();
+                        for sp in start..self.pos {
+                            pieces.push(self.text(sp).to_string());
+                        }
+                    }
+                    "(" | "[" => {
+                        let start = self.pos;
+                        self.pos = self.past_group(self.pos);
+                        for sp in start..self.pos {
+                            pieces.push(self.text(sp).to_string());
+                        }
+                    }
+                    _ => {
+                        pieces.push(self.text(self.pos).to_string());
+                        self.pos += 1;
+                    }
+                }
+            }
+            ret = Some(pieces.join(" "));
+        }
+        if self.text(self.pos) == "where" {
+            self.skip_until_block_or_semi();
+        }
+        self.ast.items.push(Item {
+            kind: ItemKind::Fn,
+            name: name.clone(),
+            line,
+        });
+        self.ast.fns.push(FnDecl {
+            name,
+            owner: owner.map(str::to_string),
+            params,
+            ret,
+            is_pub,
+            line,
+            is_test,
+        });
+        let idx = self.ast.fns.len() - 1;
+        if self.text(self.pos) == ";" {
+            self.pos += 1;
+        } else if self.text(self.pos) == "{" {
+            self.pos += 1;
+            let prev = self.cur_fn.replace(idx);
+            self.body();
+            self.cur_fn = prev;
+        }
+    }
+
+    fn parse_params(&mut self, open: usize, close: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut sp = open + 1;
+        while sp < close {
+            let start = sp;
+            // Find the end of this parameter (a top-level `,` or `close`),
+            // angle-depth aware so `Foo<A, B>` commas don't split.
+            let mut angle = 0i32;
+            let mut end = sp;
+            while end < close {
+                match self.text(end) {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "(" | "[" | "{" => {
+                        end = self.past_group(end);
+                        continue;
+                    }
+                    "," if angle <= 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            // A `self` receiver (`self`, `&mut self`, `self: Pin<..>`)
+            // is not a named parameter.
+            let mut head = start;
+            while head < end
+                && (matches!(self.text(head), "&" | "mut")
+                    || self.kind(head) == Some(TokenKind::Lifetime))
+            {
+                head += 1;
+            }
+            let is_self = self.text(head) == "self";
+            if !is_self {
+                // Pattern tokens up to the top-level `:`.
+                let mut colon = None;
+                let mut depth = 0i32;
+                for sp2 in start..end {
+                    match self.text(sp2) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ":" if depth == 0 => {
+                            colon = Some(sp2);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(colon) = colon {
+                    let name = (start..colon)
+                        .rev()
+                        .find(|&sp2| self.is_ident(sp2))
+                        .map(|sp2| self.text(sp2).to_string())
+                        .unwrap_or_default();
+                    let ty = (colon + 1..end)
+                        .map(|sp2| self.text(sp2).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    params.push(Param { name, ty });
+                }
+            }
+            sp = end + 1;
+        }
+        params
+    }
+
+    // ---- expression level ----------------------------------------------
+
+    /// Scan a fn body after its opening `{` was consumed, recording calls,
+    /// casts, reductions, and for-loops; returns past the matching `}`.
+    fn body(&mut self) {
+        let mut depth = 1i32;
+        while self.pos < self.sig.len() {
+            let txt = self.text(self.pos);
+            match txt {
+                "{" => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    self.pos += 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                "#" => self.skip_attribute(),
+                "use" => self.skip_to_semi(),
+                "fn" => self.parse_fn(None, false),
+                "as" => self.record_cast(),
+                "for" => self.handle_for(),
+                "." => self.handle_dot(),
+                _ if self.is_ident(self.pos) => {
+                    if self.text(self.pos + 1) == "!" {
+                        // Expression/statement-position macro invocation.
+                        self.pos += 2;
+                        self.ast.skipped_macros += 1;
+                        self.skip_macro_delimited();
+                    } else if EXPR_KEYWORDS.contains(&txt) {
+                        self.pos += 1;
+                    } else {
+                        self.path_or_call();
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// An identifier in expression position: consume the whole path and
+    /// record a call if it ends in `(`.
+    fn path_or_call(&mut self) {
+        let start = self.pos;
+        let mut segs = vec![self.text(start).to_string()];
+        let mut sp = start + 1;
+        while self.text(sp) == "::" {
+            if self.text(sp + 1) == "<" {
+                // Turbofish: skip the angles, keep walking the path.
+                let save = self.pos;
+                self.pos = sp + 1;
+                self.skip_angles();
+                sp = self.pos;
+                self.pos = save;
+            } else if self.is_ident(sp + 1) {
+                segs.push(self.text(sp + 1).to_string());
+                sp += 2;
+            } else {
+                break;
+            }
+        }
+        if self.text(sp) == "(" {
+            let args = self.parse_args(sp);
+            let t = self.tok(start);
+            self.ast.calls.push(Call {
+                path: segs,
+                is_method: false,
+                recv_idents: Vec::new(),
+                args,
+                line: t.line,
+                col: t.col,
+                fn_idx: self.cur_fn,
+                in_test: self.in_test_at(start),
+            });
+            self.pos = sp + 1; // continue scanning inside the arguments
+        } else {
+            self.pos = sp;
+        }
+    }
+
+    /// A `.` in expression position: method call, reduction terminal, or
+    /// field access.
+    fn handle_dot(&mut self) {
+        let dot = self.pos;
+        if !self.is_ident(dot + 1) {
+            self.pos += 1; // `.0`, `..`-adjacent, etc.
+            return;
+        }
+        let name_sp = dot + 1;
+        let name = self.text(name_sp).to_string();
+        let mut sp = name_sp + 1;
+        let mut turbofish: Option<(usize, usize)> = None;
+        if self.text(sp) == "::" && self.text(sp + 1) == "<" {
+            let save = self.pos;
+            self.pos = sp + 1;
+            self.skip_angles();
+            turbofish = Some((sp + 2, self.pos.saturating_sub(1)));
+            sp = self.pos;
+            self.pos = save;
+        }
+        if self.text(sp) != "(" {
+            // Field access / `.await`: consume `.` + name.
+            self.pos = name_sp + 1;
+            return;
+        }
+        let args = self.parse_args(sp);
+        let chain = self.walk_chain_back(dot);
+        let t = self.tok(name_sp);
+        self.ast.calls.push(Call {
+            path: vec![name.clone()],
+            is_method: true,
+            recv_idents: chain.idents.clone(),
+            args: args.clone(),
+            line: t.line,
+            col: t.col,
+            fn_idx: self.cur_fn,
+            in_test: self.in_test_at(name_sp),
+        });
+        if matches!(name.as_str(), "sum" | "product" | "fold") {
+            let float_hint = self.reduction_float_hint(&chain, turbofish, sp, &args, &name);
+            self.ast.reductions.push(Reduction {
+                terminal: name,
+                links: chain.links,
+                root: chain.root,
+                float_hint,
+                line: t.line,
+                col: t.col,
+                in_test: self.in_test_at(name_sp),
+            });
+        }
+        self.pos = sp + 1; // continue scanning inside the arguments
+    }
+
+    fn parse_args(&mut self, open: usize) -> Vec<Arg> {
+        let Some(close) = self.matches[open] else {
+            return Vec::new();
+        };
+        let mut args = Vec::new();
+        let mut sp = open + 1;
+        let mut item_start = sp;
+        let mut push = |p: &Parser<'a>, start: usize, end: usize| {
+            if start < end {
+                let is_closure = p.text(start) == "|"
+                    || p.text(start) == "||"
+                    || (p.text(start) == "move"
+                        && (p.text(start + 1) == "|" || p.text(start + 1) == "||"));
+                args.push(Arg {
+                    is_closure,
+                    span: (p.sig[start], p.sig[end - 1] + 1),
+                });
+            }
+        };
+        while sp < close {
+            match self.text(sp) {
+                "(" | "[" | "{" => {
+                    sp = self.past_group(sp);
+                    continue;
+                }
+                "|" => {
+                    // Closure parameter list: skip to the closing `|` so
+                    // its commas don't split the argument.
+                    sp += 1;
+                    while sp < close && self.text(sp) != "|" {
+                        match self.text(sp) {
+                            "(" | "[" | "{" => sp = self.past_group(sp),
+                            _ => sp += 1,
+                        }
+                    }
+                    sp += 1;
+                    continue;
+                }
+                "," => {
+                    push(self, item_start, sp);
+                    item_start = sp + 1;
+                }
+                _ => {}
+            }
+            sp += 1;
+        }
+        push(self, item_start, close);
+        args
+    }
+
+    fn reduction_float_hint(
+        &self,
+        chain: &Chain,
+        turbofish: Option<(usize, usize)>,
+        open: usize,
+        args: &[Arg],
+        terminal: &str,
+    ) -> bool {
+        // `::<f64>` turbofish.
+        if let Some((a, b)) = turbofish {
+            for sp in a..=b.min(self.sig.len().saturating_sub(1)) {
+                if matches!(self.text(sp), "f64" | "f32") {
+                    return true;
+                }
+            }
+        }
+        // `fold(0.0, ..)` — float seed.
+        if terminal == "fold" {
+            if let Some(arg) = args.first() {
+                for oi in arg.span.0..arg.span.1 {
+                    let t = &self.toks[oi];
+                    if t.kind == TokenKind::Float
+                        || (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "f64" | "f32"))
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Float ascription earlier in the same statement
+        // (`let x: f64 = ...sum();`, `acc += ... as f64 ...`).
+        let mut sp = chain.start as isize - 1;
+        let mut looked = 0;
+        while sp >= 0 && looked < 40 {
+            match self.text(sp as usize) {
+                ";" | "{" | "}" => break,
+                "f64" | "f32" => return true,
+                _ => {}
+            }
+            sp -= 1;
+            looked += 1;
+        }
+        // Tail expression of a float-returning fn: `)` then `}` closes the
+        // body, and the enclosing fn declares a float return.
+        if let Some(close) = self.matches[open] {
+            if self.text(close + 1) == "}" {
+                if let Some(fi) = self.cur_fn {
+                    if let Some(ret) = &self.ast.fns[fi].ret {
+                        if ret.contains("f64") || ret.contains("f32") {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn handle_for(&mut self) {
+        let for_sp = self.pos;
+        if self.text(for_sp + 1) == "<" {
+            // `for<'a>` higher-ranked bound, not a loop.
+            self.pos += 1;
+            return;
+        }
+        // Pattern up to the `in` keyword.
+        let mut sp = for_sp + 1;
+        while sp < self.sig.len() {
+            match self.text(sp) {
+                "in" => break,
+                "(" | "[" => {
+                    sp = self.past_group(sp);
+                    continue;
+                }
+                "{" | ";" => {
+                    self.pos += 1;
+                    return; // not a loop form we understand
+                }
+                _ => sp += 1,
+            }
+        }
+        if self.text(sp) != "in" {
+            self.pos += 1;
+            return;
+        }
+        let expr_start = sp + 1;
+        // Iterated expression up to the body `{` (struct literals are not
+        // legal here without parens, so a top-level `{` is the body).
+        let mut sp = expr_start;
+        while sp < self.sig.len() {
+            match self.text(sp) {
+                "{" => break,
+                "(" | "[" => {
+                    sp = self.past_group(sp);
+                    continue;
+                }
+                ";" => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => sp += 1,
+            }
+        }
+        if self.text(sp) != "{" {
+            self.pos += 1;
+            return;
+        }
+        let body_open = sp;
+        // A top-level range (`0..n`, `start..=end`) iterates in index
+        // order by construction.
+        let mut is_range = false;
+        let mut rp = expr_start;
+        while rp < body_open {
+            match self.text(rp) {
+                "(" | "[" => {
+                    rp = self.past_group(rp);
+                    continue;
+                }
+                ".." | "..=" => {
+                    is_range = true;
+                    break;
+                }
+                _ => rp += 1,
+            }
+        }
+        let chain = self.walk_chain_back(body_open);
+        let body_close = self.matches[body_open].unwrap_or(body_open);
+        self.ast.for_loops.push(ForLoop {
+            links: chain.links,
+            root: if is_range {
+                ChainRoot::Range
+            } else {
+                chain.root
+            },
+            body_span: (self.sig[body_open], self.sig[body_close] + 1),
+            line: self.tok(for_sp).line,
+            in_test: self.in_test_at(for_sp),
+        });
+        self.pos = for_sp + 1; // rescan pattern + expr normally for calls
+    }
+
+    /// Record an `expr as Type` cast; `pos` sits on `as`.
+    fn record_cast(&mut self) {
+        let as_sp = self.pos;
+        let t = self.tok(as_sp);
+        self.pos += 1;
+        let target = self.parse_type_ref();
+        let operand_idents = self.cast_operands(as_sp);
+        self.ast.casts.push(Cast {
+            target,
+            operand_idents,
+            line: t.line,
+            col: t.col,
+            fn_idx: self.cur_fn,
+            in_test: self.in_test_at(as_sp),
+        });
+    }
+
+    /// Consume a type reference after `as`, returning its text.
+    fn parse_type_ref(&mut self) -> String {
+        let mut pieces = Vec::new();
+        // Pointer/reference sigils and qualifiers.
+        while matches!(self.text(self.pos), "&" | "*" | "mut" | "const" | "dyn") {
+            pieces.push(self.text(self.pos).to_string());
+            self.pos += 1;
+        }
+        match self.text(self.pos) {
+            "(" | "[" => {
+                pieces.push(self.text(self.pos).to_string());
+                self.pos = self.past_group(self.pos);
+            }
+            _ if self.is_ident(self.pos) => {
+                pieces.push(self.text(self.pos).to_string());
+                self.pos += 1;
+                loop {
+                    if self.text(self.pos) == "::" && self.is_ident(self.pos + 1) {
+                        pieces.push(self.text(self.pos + 1).to_string());
+                        self.pos += 2;
+                    } else if self.text(self.pos) == "<" {
+                        pieces.push("<>".to_string());
+                        self.skip_angles();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+        pieces.join(" ")
+    }
+
+    /// Identifiers feeding a cast operand, walking left from the `as`.
+    fn cast_operands(&self, as_sp: usize) -> Vec<String> {
+        let mut idents = Vec::new();
+        let mut sp = as_sp as isize - 1;
+        while sp >= 0 {
+            let spu = sp as usize;
+            let t = self.tok(spu);
+            match t.kind {
+                TokenKind::Ident => {
+                    if EXPR_KEYWORDS.contains(&t.text.as_str()) && t.text != "as" {
+                        break;
+                    }
+                    if t.text != "as" {
+                        idents.push(t.text.clone());
+                    }
+                    sp -= 1;
+                }
+                TokenKind::Int | TokenKind::Float | TokenKind::Literal => sp -= 1,
+                TokenKind::Punct => match t.text.as_str() {
+                    "." | "::" | "?" => sp -= 1,
+                    ")" | "]" => match self.matches[spu] {
+                        Some(open) => {
+                            for inner in open + 1..spu {
+                                if self.is_ident(inner)
+                                    && !EXPR_KEYWORDS.contains(&self.text(inner))
+                                {
+                                    idents.push(self.text(inner).to_string());
+                                }
+                            }
+                            sp = open as isize - 1;
+                        }
+                        None => break,
+                    },
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+        idents
+    }
+
+    /// Walk a method-chain backwards from the token at `end_sp`
+    /// (exclusive): classify the root, collect chained method names
+    /// (outward-in order reversed to source order) and every identifier
+    /// seen along the receiver.
+    fn walk_chain_back(&self, end_sp: usize) -> Chain {
+        let mut links: Vec<String> = Vec::new();
+        let mut idents: Vec<String> = Vec::new();
+        let mut root = ChainRoot::Unknown;
+        let mut start = end_sp;
+        let mut sp = end_sp as isize - 1;
+        'walk: while sp >= 0 {
+            let spu = sp as usize;
+            start = spu;
+            let t = self.tok(spu);
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, ")") => {
+                    let Some(open) = self.matches[spu] else {
+                        break 'walk;
+                    };
+                    // `(..)` is either a chained call's argument list
+                    // (preceded by `.name` / `.name::<..>`), a free-call
+                    // root (`name(..)`), or a parenthesised root.
+                    let mut before = open as isize - 1;
+                    // Reverse over a turbofish: `.sum::<f64>()`.
+                    if before >= 0 && matches!(self.text(before as usize), ">" | ">>") {
+                        let mut depth = 0i32;
+                        while before >= 0 {
+                            match self.text(before as usize) {
+                                ">" => depth += 1,
+                                ">>" => depth += 2,
+                                "<" => depth -= 1,
+                                "<<" => depth -= 2,
+                                _ => {}
+                            }
+                            before -= 1;
+                            if depth <= 0 {
+                                break;
+                            }
+                        }
+                        if before >= 0 && self.text(before as usize) == "::" {
+                            before -= 1;
+                        }
+                    }
+                    if before >= 1
+                        && self.is_ident(before as usize)
+                        && self.text(before as usize - 1) == "."
+                    {
+                        links.push(self.text(before as usize).to_string());
+                        idents.push(self.text(before as usize).to_string());
+                        sp = before - 2;
+                        continue 'walk;
+                    }
+                    if before >= 0 && self.is_ident(before as usize) {
+                        // Free or path call as root: collect the path.
+                        let mut name_sp = before as usize;
+                        idents.push(self.text(name_sp).to_string());
+                        let call_name = self.text(name_sp).to_string();
+                        while name_sp >= 2 && self.text(name_sp - 1) == "::" {
+                            name_sp -= 2;
+                            idents.push(self.text(name_sp).to_string());
+                        }
+                        start = name_sp;
+                        root = ChainRoot::Call(call_name);
+                        break 'walk;
+                    }
+                    // Parenthesised root: range or opaque expression.
+                    let mut is_range = false;
+                    let mut rp = open + 1;
+                    while rp < spu {
+                        match self.text(rp) {
+                            "(" | "[" | "{" => {
+                                rp = self.past_group(rp);
+                                continue;
+                            }
+                            ".." | "..=" => {
+                                is_range = true;
+                                break;
+                            }
+                            _ => rp += 1,
+                        }
+                    }
+                    for inner in open + 1..spu {
+                        if self.is_ident(inner) && !EXPR_KEYWORDS.contains(&self.text(inner)) {
+                            idents.push(self.text(inner).to_string());
+                        }
+                    }
+                    start = open;
+                    root = if is_range {
+                        ChainRoot::Range
+                    } else {
+                        ChainRoot::Paren
+                    };
+                    break 'walk;
+                }
+                (TokenKind::Punct, "]") => {
+                    let Some(open) = self.matches[spu] else {
+                        break 'walk;
+                    };
+                    let before = open as isize - 1;
+                    let indexing = before >= 0
+                        && (self.is_ident(before as usize)
+                            || matches!(self.text(before as usize), ")" | "]"));
+                    for inner in open + 1..spu {
+                        if self.is_ident(inner) && !EXPR_KEYWORDS.contains(&self.text(inner)) {
+                            idents.push(self.text(inner).to_string());
+                        }
+                    }
+                    if indexing {
+                        sp = open as isize - 1;
+                        continue 'walk;
+                    }
+                    start = open;
+                    root = ChainRoot::ArrayLit;
+                    break 'walk;
+                }
+                (TokenKind::Ident, name) => {
+                    if EXPR_KEYWORDS.contains(&name) {
+                        break 'walk;
+                    }
+                    idents.push(name.to_string());
+                    if sp >= 1 && matches!(self.text(spu - 1), "." | "::") {
+                        // Field access or path segment: keep walking.
+                        sp -= 2;
+                        continue 'walk;
+                    }
+                    root = ChainRoot::Ident(name.to_string());
+                    break 'walk;
+                }
+                (TokenKind::Int | TokenKind::Float | TokenKind::Literal, _) => {
+                    root = ChainRoot::Lit;
+                    break 'walk;
+                }
+                (TokenKind::Punct, "?") => sp -= 1,
+                _ => break 'walk,
+            }
+        }
+        links.reverse();
+        Chain {
+            root,
+            links,
+            idents,
+            start,
+        }
+    }
+}
+
+/// Result of a backwards receiver-chain walk.
+struct Chain {
+    root: ChainRoot,
+    links: Vec<String>,
+    idents: Vec<String>,
+    /// Significant-token position where the chain begins.
+    start: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ast(src: &str) -> FileAst {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn items_and_fns_are_recorded() {
+        let src = "\
+pub struct Foo { x: u32 }
+impl Foo {
+    pub fn new(seed: u64) -> Self { Foo { x: 0 } }
+    fn helper(&self) -> u32 { self.x }
+}
+fn free(a: u32, b: SimTime) {}
+";
+        let a = ast(src);
+        let kinds: Vec<ItemKind> = a.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Struct,
+                ItemKind::Impl,
+                ItemKind::Fn,
+                ItemKind::Fn,
+                ItemKind::Fn
+            ],
+            "{:#?}",
+            a.items
+        );
+        assert_eq!(a.fns.len(), 3);
+        assert_eq!(a.fns[0].name, "new");
+        assert_eq!(a.fns[0].owner.as_deref(), Some("Foo"));
+        assert!(a.fns[0].is_pub);
+        assert_eq!(a.fns[0].params.len(), 1);
+        assert_eq!(a.fns[0].params[0].name, "seed");
+        assert_eq!(a.fns[0].params[0].ty, "u64");
+        assert_eq!(a.fns[0].ret.as_deref(), Some("Self"));
+        assert_eq!(a.fns[1].name, "helper");
+        assert!(a.fns[1].params.is_empty(), "self receiver is not a param");
+        assert_eq!(a.fns[2].owner, None);
+        assert_eq!(a.fns[2].params.len(), 2);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_implementing_type() {
+        let src = "\
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"x\") }
+}
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self { Self::new() }
+}
+";
+        let a = ast(src);
+        assert_eq!(a.fns[0].owner.as_deref(), Some("SimTime"));
+        assert_eq!(a.fns[1].owner.as_deref(), Some("EventQueue"));
+        // The call inside `default` resolves through the owner.
+        assert!(a
+            .calls
+            .iter()
+            .any(|c| c.path == ["Self", "new"] && !c.is_method));
+    }
+
+    #[test]
+    fn calls_are_recorded_with_paths_and_receivers() {
+        let src = "\
+fn f(q: &mut EventQueue<u32>, ctx: &Ctx) {
+    let t = SimTime::from_nanos(500);
+    q.pop();
+    ctx.tracer().emit(t, || TraceEvent::Tick);
+    helper(1, 2);
+}
+";
+        let a = ast(src);
+        let paths: Vec<String> = a.calls.iter().map(|c| c.path.join("::")).collect();
+        assert_eq!(
+            paths,
+            vec!["SimTime::from_nanos", "pop", "tracer", "emit", "helper"],
+            "{a:#?}"
+        );
+        let emit = a.calls.iter().find(|c| c.path == ["emit"]).unwrap();
+        assert!(emit.is_method);
+        assert!(emit.recv_idents.contains(&"tracer".to_string()));
+        assert!(emit.recv_idents.contains(&"ctx".to_string()));
+        assert_eq!(emit.args.len(), 2);
+        assert!(!emit.args[0].is_closure);
+        assert!(emit.args[1].is_closure);
+        for c in &a.calls {
+            assert_eq!(c.fn_idx, Some(0));
+        }
+    }
+
+    #[test]
+    fn casts_carry_target_and_operand_idents() {
+        let src = "\
+fn f(key: u128, srtt: f64) -> u64 {
+    let a = (key >> 64) as u64;
+    let b = (srtt * 1e9).round() as u64;
+    let c = a as f64;
+    b + a + c as u64
+}
+";
+        let a = ast(src);
+        assert_eq!(a.casts.len(), 4);
+        assert_eq!(a.casts[0].target, "u64");
+        assert!(a.casts[0].operand_idents.contains(&"key".to_string()));
+        assert!(a.casts[1].operand_idents.contains(&"srtt".to_string()));
+        assert!(a.casts[1].operand_idents.contains(&"round".to_string()));
+        assert_eq!(a.casts[2].target, "f64");
+    }
+
+    #[test]
+    fn reductions_classify_roots_links_and_float_hints() {
+        let src = "\
+fn total(paths: &[PathView]) -> f64 {
+    paths.iter().map(|p| p.rate()).sum()
+}
+fn windowed(xs: &std::collections::BTreeSet<u64>) -> f64 {
+    xs.union(&other).map(|x| *x as f64).sum::<f64>()
+}
+fn ints(n: u64) -> u64 {
+    (0..n).sum()
+}
+";
+        let a = ast(src);
+        assert_eq!(a.reductions.len(), 3);
+        let r0 = &a.reductions[0];
+        assert_eq!(r0.links, vec!["iter", "map"]);
+        assert_eq!(r0.root, ChainRoot::Ident("paths".into()));
+        assert!(r0.float_hint, "fn-tail + float return type");
+        let r1 = &a.reductions[1];
+        assert_eq!(r1.links, vec!["union", "map"]);
+        assert!(r1.float_hint, "turbofish f64");
+        let r2 = &a.reductions[2];
+        assert_eq!(r2.root, ChainRoot::Range);
+        assert!(!r2.float_hint, "integer sum carries no float evidence");
+    }
+
+    #[test]
+    fn for_loops_record_chain_and_body_span() {
+        let src = "\
+fn f(m: &std::collections::BTreeMap<u32, f64>, set: &S) {
+    for (k, v) in m.iter() {
+        consume(k, v);
+    }
+    for x in set.union(&other) {
+        acc += 0.5 * x;
+    }
+    for i in 0..10 {
+        acc += i;
+    }
+}
+";
+        let a = ast(src);
+        assert_eq!(a.for_loops.len(), 3);
+        assert_eq!(a.for_loops[0].links, vec!["iter"]);
+        assert_eq!(a.for_loops[1].links, vec!["union"]);
+        assert_eq!(a.for_loops[2].root, ChainRoot::Range);
+        assert!(a.for_loops[0].body_span.0 < a.for_loops[0].body_span.1);
+    }
+
+    #[test]
+    fn macros_are_skipped_opaquely_and_counted() {
+        let src = "\
+macro_rules! gen { ($x:ident) => { fn $x() {} }; }
+fn f() {
+    println!(\"{} {}\", SimTime::from_nanos(1), 2);
+    assert_eq!(a.unwrap(), b);
+    real_call();
+}
+";
+        let a = ast(src);
+        // Calls inside macro bodies are invisible — only `real_call`.
+        assert_eq!(a.calls.len(), 1, "{:#?}", a.calls);
+        assert_eq!(a.calls[0].path, ["real_call"]);
+        assert_eq!(a.skipped_macros, 3);
+    }
+
+    #[test]
+    fn test_attributes_mark_fns() {
+        let src = "\
+fn prod() {}
+#[test]
+fn t() { prod(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let a = ast(src);
+        assert!(!a.fns[0].is_test);
+        assert!(a.fns[1].is_test);
+        assert!(a.fns[2].is_test);
+        assert!(a.calls[0].in_test);
+    }
+
+    #[test]
+    fn nested_generics_and_where_clauses_survive() {
+        let src = "\
+pub fn pump<E: Clone, F>(q: &mut EventQueue<Vec<(SimTime, E)>>, f: F) -> Option<Box<dyn Fn() -> u32>>
+where
+    F: FnMut(&E) -> bool,
+{
+    q.pop_at_or_before(SimTime::from_nanos(1)).map(|e| handle(e))
+}
+";
+        let a = ast(src);
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(a.fns[0].name, "pump");
+        assert_eq!(a.fns[0].params.len(), 2);
+        assert!(a.fns[0].ret.as_deref().unwrap().contains("Option"));
+        assert!(a
+            .calls
+            .iter()
+            .any(|c| c.is_method && c.path == ["pop_at_or_before"]));
+        assert!(a.calls.iter().any(|c| c.path == ["SimTime", "from_nanos"]));
+    }
+
+    #[test]
+    fn raw_strings_do_not_derail_the_parser() {
+        let src = "\
+fn f() -> &'static str {
+    let s = r#\"fn not_a_fn() { q.pop(); }\"#;
+    real();
+    s
+}
+";
+        let a = ast(src);
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(a.calls.len(), 1);
+        assert_eq!(a.calls[0].path, ["real"]);
+    }
+}

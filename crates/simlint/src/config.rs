@@ -1,49 +1,97 @@
-//! The checked-in `simlint.toml` path-level allow-list.
+//! The checked-in `simlint.toml`: path-level allows, scoped rule grants,
+//! and the hot-path seed list.
 //!
 //! Inline `// simlint: allow(..)` comments suppress a single line; some
 //! exemptions are a property of a whole file or directory (the vendored
 //! `compat/criterion` stand-in *exists* to read the wall clock), and those
 //! belong in one auditable place rather than sprinkled through vendored
-//! code. The format is a tiny TOML subset — exactly this shape:
+//! code. The format is a tiny TOML subset — exactly these shapes:
 //!
 //! ```toml
 //! [[allow]]
 //! path = "compat/criterion"          # workspace-relative prefix
 //! rules = ["R1"]                     # rule ids this entry suppresses
 //! reason = "why this is legitimate"  # required, non-empty
+//!
+//! [[grant]]                          # scoped pre-authorisation: same
+//! path = "crates/eventsim/src/par"   # fields as [[allow]], but exempt
+//! rules = ["R7"]                     # from the A3 staleness audit —
+//! reason = "future PDES module"      # grants may name code that does
+//!                                    # not exist yet
+//! [hotpath]
+//! seeds = ["crates/eventsim/src/"]   # R5 hot-path fallback seeds; the
+//!                                    # call graph derives the real set
 //! ```
+//!
+//! `[[allow]]` entries must stay load-bearing: the A3 audit flags any
+//! whose path matches no scanned file or whose rules no longer fire under
+//! it. `[[grant]]` entries are the escape hatch for *planned* code (e.g.
+//! `R7` carved out for a future `eventsim::par`) and are audit-exempt.
 //!
 //! The parser is line-based and strict: unknown keys, unknown sections,
 //! missing fields, or an empty reason are hard errors, so the allow-list
 //! cannot rot silently.
 
-use crate::rules::RULES;
+use crate::rules::{HOT_PATH_PREFIXES, RULES};
 
-/// One `[[allow]]` entry: suppress `rules` for every file whose
-/// workspace-relative path starts with `path`.
+/// One `[[allow]]` or `[[grant]]` entry: suppress `rules` for every file
+/// whose workspace-relative path starts with `path`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathAllow {
     /// Workspace-relative path prefix (forward slashes).
     pub path: String,
-    /// Rule ids (`"R1"` … `"R6"`) suppressed under the prefix.
+    /// Rule ids (`"R1"` … `"R11"`) suppressed under the prefix.
     pub rules: Vec<String>,
     /// Written justification (required, non-empty).
     pub reason: String,
+    /// 1-based line of the section header in `simlint.toml` (0 for
+    /// entries built in code).
+    pub line: usize,
+}
+
+/// The `[hotpath]` section: seed prefixes unioned into the derived R5
+/// hot-path set (and audited for reachability by A3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotpath {
+    /// Path prefixes seeding the hot set.
+    pub seeds: Vec<String>,
+    /// 1-based line of the `[hotpath]` header (0 for the built-in
+    /// default).
+    pub line: usize,
 }
 
 /// Parsed configuration.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
     /// Path-level allow entries, in file order.
     pub allows: Vec<PathAllow>,
+    /// Scoped grants — same suppression semantics as `allows`, exempt
+    /// from the A3 staleness audit.
+    pub grants: Vec<PathAllow>,
+    /// Hot-path seeds (defaults to [`HOT_PATH_PREFIXES`]).
+    pub hotpath: Hotpath,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            allows: Vec::new(),
+            grants: Vec::new(),
+            hotpath: Hotpath {
+                seeds: HOT_PATH_PREFIXES.iter().map(|p| p.to_string()).collect(),
+                line: 0,
+            },
+        }
+    }
 }
 
 impl Config {
-    /// The rules suppressed for `rel_path` by path-level entries, with the
-    /// matching entry's reason.
+    /// The entry (allow or grant) suppressing `rule` for `rel_path`, if
+    /// any.
     pub fn path_allow(&self, rel_path: &str, rule: &str) -> Option<&PathAllow> {
         self.allows
             .iter()
+            .chain(self.grants.iter())
             .find(|a| rel_path.starts_with(&a.path) && a.rules.iter().any(|r| r == rule))
     }
 }
@@ -51,7 +99,8 @@ impl Config {
 /// Parse `simlint.toml` text. Errors carry 1-based line numbers.
 pub fn parse(text: &str) -> Result<Config, String> {
     let mut config = Config::default();
-    let mut current: Option<PartialAllow> = None;
+    let mut current: Option<Section> = None;
+    let mut saw_hotpath = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -59,11 +108,24 @@ pub fn parse(text: &str) -> Result<Config, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[allow]]" {
-            if let Some(partial) = current.take() {
-                config.allows.push(partial.finish()?);
+        if line == "[[allow]]" || line == "[[grant]]" || line == "[hotpath]" {
+            if let Some(section) = current.take() {
+                section.finish(&mut config)?;
             }
-            current = Some(PartialAllow::new(lineno));
+            current = Some(match line {
+                "[[allow]]" => Section::Allow(PartialAllow::new(lineno)),
+                "[[grant]]" => Section::Grant(PartialAllow::new(lineno)),
+                _ => {
+                    if saw_hotpath {
+                        return Err(format!("line {lineno}: duplicate [hotpath] section"));
+                    }
+                    saw_hotpath = true;
+                    Section::Hotpath {
+                        start_line: lineno,
+                        seeds: None,
+                    }
+                }
+            });
             continue;
         }
         if line.starts_with('[') {
@@ -72,19 +134,25 @@ pub fn parse(text: &str) -> Result<Config, String> {
         let (key, value) = line
             .split_once('=')
             .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
-        let entry = current
+        let section = current
             .as_mut()
-            .ok_or_else(|| format!("line {lineno}: key outside an [[allow]] section"))?;
+            .ok_or_else(|| format!("line {lineno}: key outside a section"))?;
         let (key, value) = (key.trim(), value.trim());
-        match key {
-            "path" => entry.path = Some(parse_string(value, lineno)?),
-            "reason" => entry.reason = Some(parse_string(value, lineno)?),
-            "rules" => entry.rules = Some(parse_string_array(value, lineno)?),
-            other => return Err(format!("line {lineno}: unknown key {other:?}")),
+        match section {
+            Section::Allow(entry) | Section::Grant(entry) => match key {
+                "path" => entry.path = Some(parse_string(value, lineno)?),
+                "reason" => entry.reason = Some(parse_string(value, lineno)?),
+                "rules" => entry.rules = Some(parse_string_array(value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
+            },
+            Section::Hotpath { seeds, .. } => match key {
+                "seeds" => *seeds = Some(parse_string_array(value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key {other:?} in [hotpath]")),
+            },
         }
     }
-    if let Some(partial) = current.take() {
-        config.allows.push(partial.finish()?);
+    if let Some(section) = current.take() {
+        section.finish(&mut config)?;
     }
     Ok(config)
 }
@@ -129,12 +197,40 @@ fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String>
         items.push(parse_string(piece, lineno)?);
     }
     if items.is_empty() {
-        return Err(format!("line {lineno}: rules array must not be empty"));
+        return Err(format!("line {lineno}: array must not be empty"));
     }
     Ok(items)
 }
 
-/// An `[[allow]]` section mid-parse.
+/// A section mid-parse.
+enum Section {
+    Allow(PartialAllow),
+    Grant(PartialAllow),
+    Hotpath {
+        start_line: usize,
+        seeds: Option<Vec<String>>,
+    },
+}
+
+impl Section {
+    fn finish(self, config: &mut Config) -> Result<(), String> {
+        match self {
+            Section::Allow(partial) => config.allows.push(partial.finish("allow")?),
+            Section::Grant(partial) => config.grants.push(partial.finish("grant")?),
+            Section::Hotpath { start_line, seeds } => {
+                let seeds = seeds
+                    .ok_or_else(|| format!("[hotpath] at line {start_line}: missing `seeds`"))?;
+                config.hotpath = Hotpath {
+                    seeds,
+                    line: start_line,
+                };
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An `[[allow]]`/`[[grant]]` section mid-parse.
 struct PartialAllow {
     start_line: usize,
     path: Option<String>,
@@ -152,31 +248,32 @@ impl PartialAllow {
         }
     }
 
-    fn finish(self) -> Result<PathAllow, String> {
+    fn finish(self, kind: &str) -> Result<PathAllow, String> {
         let at = self.start_line;
         let path = self
             .path
-            .ok_or_else(|| format!("[[allow]] at line {at}: missing `path`"))?;
+            .ok_or_else(|| format!("[[{kind}]] at line {at}: missing `path`"))?;
         let rules = self
             .rules
-            .ok_or_else(|| format!("[[allow]] at line {at}: missing `rules`"))?;
+            .ok_or_else(|| format!("[[{kind}]] at line {at}: missing `rules`"))?;
         let reason = self
             .reason
-            .ok_or_else(|| format!("[[allow]] at line {at}: missing `reason`"))?;
+            .ok_or_else(|| format!("[[{kind}]] at line {at}: missing `reason`"))?;
         if reason.trim().is_empty() {
             return Err(format!(
-                "[[allow]] at line {at}: reason must be a written justification"
+                "[[{kind}]] at line {at}: reason must be a written justification"
             ));
         }
         for rule in &rules {
             if !RULES.iter().any(|r| r.id == rule) {
-                return Err(format!("[[allow]] at line {at}: unknown rule {rule:?}"));
+                return Err(format!("[[{kind}]] at line {at}: unknown rule {rule:?}"));
             }
         }
         Ok(PathAllow {
             path,
             rules,
             reason,
+            line: at,
         })
     }
 }
@@ -195,6 +292,7 @@ mod tests {
         let a = &cfg.allows[0];
         assert_eq!(a.path, "compat/criterion");
         assert_eq!(a.rules, vec!["R1", "R5"]);
+        assert_eq!(a.line, 3);
         assert!(cfg
             .path_allow("compat/criterion/src/lib.rs", "R1")
             .is_some());
@@ -215,7 +313,8 @@ mod tests {
 
     #[test]
     fn unknown_rule_and_key_are_errors() {
-        let err = parse("[[allow]]\npath = \"x\"\nrules = [\"R9\"]\nreason = \"r\"\n").unwrap_err();
+        let err =
+            parse("[[allow]]\npath = \"x\"\nrules = [\"R99\"]\nreason = \"r\"\n").unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
         let err = parse("[[allow]]\nfrob = \"x\"\n").unwrap_err();
         assert!(err.contains("unknown key"), "{err}");
@@ -225,5 +324,40 @@ mod tests {
     fn keys_outside_a_section_are_errors() {
         let err = parse("path = \"x\"\n").unwrap_err();
         assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn grants_suppress_like_allows_but_are_separate() {
+        let cfg = parse(
+            "[[grant]]\npath = \"crates/eventsim/src/par\"\nrules = [\"R7\"]\nreason = \"future PDES module\"\n",
+        )
+        .expect("valid config");
+        assert!(cfg.allows.is_empty());
+        assert_eq!(cfg.grants.len(), 1);
+        assert!(cfg
+            .path_allow("crates/eventsim/src/par/mod.rs", "R7")
+            .is_some());
+        assert!(cfg
+            .path_allow("crates/eventsim/src/queue.rs", "R7")
+            .is_none());
+    }
+
+    #[test]
+    fn hotpath_overrides_default_seeds() {
+        let default = Config::default();
+        assert_eq!(
+            default.hotpath.seeds,
+            HOT_PATH_PREFIXES
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+        );
+        let cfg = parse("[hotpath]\nseeds = [\"crates/eventsim/src/\"]\n").expect("valid config");
+        assert_eq!(cfg.hotpath.seeds, vec!["crates/eventsim/src/"]);
+        assert_eq!(cfg.hotpath.line, 1);
+        let err = parse("[hotpath]\nseeds = [\"a\"]\n[hotpath]\nseeds = [\"b\"]\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = parse("[hotpath]\n").unwrap_err();
+        assert!(err.contains("missing `seeds`"), "{err}");
     }
 }

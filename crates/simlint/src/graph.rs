@@ -1,0 +1,367 @@
+//! Cross-file symbol table, call graph, and hot-path derivation.
+//!
+//! R5 ("no unwrap in the event-loop hot path") used to scope over a
+//! hand-maintained file list that drifted every time the event loop grew a
+//! helper. This module derives the hot set instead: collect every non-test
+//! `fn` in the event-loop crates, resolve call expressions against a
+//! name/owner symbol table, and take reachability from the declared roots
+//! — the scheduler pops ([`EventQueue::pop*`]), the netsim dispatch loop,
+//! and the per-ACK/per-packet entry points. Any file containing a
+//! reachable function is hot.
+//!
+//! Name resolution is deliberately an *over*-approximation: a method call
+//! `x.pop()` edges to every known `pop`, a path call `Owner::f()` prefers
+//! owner-matched candidates but falls back to any `f`. False edges only
+//! ever widen the hot set — for a lint that bans panics in hot code,
+//! widening is the safe direction, and the derived-superset test in the
+//! workspace gate locks the floor.
+//!
+//! [`EventQueue::pop*`]: HOT_ROOT_PATTERNS
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::FileAst;
+
+/// Crates whose functions participate in the call graph: everything the
+/// event loop can execute between two events. Harness crates (bench,
+/// orchestra, viz, …) run outside the loop and stay out of the universe.
+pub const GRAPH_UNIVERSE_PREFIXES: &[&str] = &[
+    "crates/eventsim/src/",
+    "crates/netsim/src/",
+    "crates/tcpsim/src/",
+    "crates/core/src/",
+];
+
+/// Call-graph roots as `Owner::name` patterns. `*` as the owner matches
+/// any (or no) `impl` type; a trailing `*` on the name is a prefix match.
+///
+/// * `EventQueue::pop*` — the scheduler's extraction points;
+/// * `Simulation::run_until` / `Simulation::dispatch` — the netsim event
+///   pump and its per-event dispatcher;
+/// * `*::on_ack` — the per-ACK congestion-control entry point every
+///   `CongestionControl` impl provides;
+/// * `*::on_packet` — the per-packet endpoint entry point.
+pub const HOT_ROOT_PATTERNS: &[&str] = &[
+    "EventQueue::pop*",
+    "Simulation::run_until",
+    "Simulation::dispatch",
+    "*::on_ack",
+    "*::on_packet",
+];
+
+/// One parsed file, as the graph consumes it.
+pub struct ParsedFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Its AST.
+    pub ast: FileAst,
+}
+
+/// The derivation result.
+#[derive(Debug)]
+pub struct HotPaths {
+    /// Files containing at least one root-reachable non-test function.
+    pub files: BTreeSet<String>,
+    /// The root patterns (echoed into the report so downstream tooling
+    /// can see what reachability was seeded from).
+    pub roots: Vec<String>,
+    /// Root functions actually matched, as `file: Owner::name` (or
+    /// `file: name` for free functions), sorted.
+    pub matched_roots: Vec<String>,
+}
+
+/// One problem found by [`audit_seeds`]: a configured hot-path seed the
+/// derived set no longer covers.
+#[derive(Debug)]
+pub struct SeedIssue {
+    /// The seed prefix from the config.
+    pub seed: String,
+    /// What went stale.
+    pub problem: SeedProblem,
+}
+
+/// Why a hot-path seed is stale.
+#[derive(Debug)]
+pub enum SeedProblem {
+    /// No scanned file matches the seed prefix at all.
+    NoSuchFile,
+    /// The named file has functions but none is reachable from the roots.
+    Unreachable(String),
+}
+
+/// A function node in the call graph.
+struct Node {
+    file: usize,
+    name: String,
+    owner: Option<String>,
+}
+
+/// Derive the hot-path file set by reachability from
+/// [`HOT_ROOT_PATTERNS`].
+pub fn derive_hot_paths(files: &[ParsedFile]) -> HotPaths {
+    // Nodes: every non-test fn in a universe file. `fn_idx` in the AST
+    // counts all fns (test ones included), so keep that mapping intact.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (fi, pf) in files.iter().enumerate() {
+        if !in_universe(&pf.rel) {
+            continue;
+        }
+        for (i, f) in pf.ast.fns.iter().enumerate() {
+            if f.is_test || f.name.is_empty() {
+                continue;
+            }
+            node_of.insert((fi, i), nodes.len());
+            nodes.push(Node {
+                file: fi,
+                name: f.name.clone(),
+                owner: f.owner.clone(),
+            });
+        }
+    }
+
+    // Symbol table: by bare name, and by (owner, name).
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(id);
+        if let Some(owner) = &n.owner {
+            by_owner
+                .entry((owner.as_str(), n.name.as_str()))
+                .or_default()
+                .push(id);
+        }
+    }
+
+    // Edges: resolve every call made from inside a node.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (fi, pf) in files.iter().enumerate() {
+        if !in_universe(&pf.rel) {
+            continue;
+        }
+        for call in &pf.ast.calls {
+            let Some(fn_idx) = call.fn_idx else { continue };
+            let Some(&from) = node_of.get(&(fi, fn_idx)) else {
+                continue; // call inside a test fn
+            };
+            let targets: Vec<usize> = if call.is_method || call.path.len() == 1 {
+                let name = call.path.last().map(String::as_str).unwrap_or("");
+                by_name.get(name).cloned().unwrap_or_default()
+            } else {
+                let name = call.path[call.path.len() - 1].as_str();
+                let owner = call.path[call.path.len() - 2].as_str();
+                match by_owner.get(&(owner, name)) {
+                    Some(t) => t.clone(),
+                    // `Self::f()`, trait-object calls, re-exported types:
+                    // fall back to any fn of that name.
+                    None => by_name.get(name).cloned().unwrap_or_default(),
+                }
+            };
+            edges[from].extend(targets);
+        }
+    }
+
+    // Roots, then BFS.
+    let mut reachable = vec![false; nodes.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    let mut matched_roots: Vec<String> = Vec::new();
+    for (id, n) in nodes.iter().enumerate() {
+        if HOT_ROOT_PATTERNS.iter().any(|p| matches_root(p, n)) {
+            reachable[id] = true;
+            queue.push(id);
+            let owner = n
+                .owner
+                .as_deref()
+                .map(|o| format!("{o}::"))
+                .unwrap_or_default();
+            matched_roots.push(format!("{}: {owner}{}", files[n.file].rel, n.name));
+        }
+    }
+    while let Some(id) = queue.pop() {
+        for &next in &edges[id] {
+            if !reachable[next] {
+                reachable[next] = true;
+                queue.push(next);
+            }
+        }
+    }
+
+    let mut hot_files = BTreeSet::new();
+    for (id, n) in nodes.iter().enumerate() {
+        if reachable[id] {
+            hot_files.insert(files[n.file].rel.clone());
+        }
+    }
+    matched_roots.sort();
+    matched_roots.dedup();
+    HotPaths {
+        files: hot_files,
+        roots: HOT_ROOT_PATTERNS.iter().map(|s| s.to_string()).collect(),
+        matched_roots,
+    }
+}
+
+/// Check each configured hot-path seed against the derived set: every
+/// universe file under the seed that declares at least one non-test
+/// function must be reachable. Seeds are how the previous hand-maintained
+/// list stays verified — a seed the graph can no longer reach is a
+/// finding, not a silent scope shrink.
+pub fn audit_seeds(seeds: &[String], files: &[ParsedFile], hot: &HotPaths) -> Vec<SeedIssue> {
+    let mut issues = Vec::new();
+    for seed in seeds {
+        let mut matched_any = false;
+        for pf in files {
+            if !pf.rel.starts_with(seed.as_str()) {
+                continue;
+            }
+            matched_any = true;
+            if !in_universe(&pf.rel) {
+                continue; // seed outside the graph universe: existence only
+            }
+            let has_fns = pf.ast.fns.iter().any(|f| !f.is_test && !f.name.is_empty());
+            if has_fns && !hot.files.contains(&pf.rel) {
+                issues.push(SeedIssue {
+                    seed: seed.clone(),
+                    problem: SeedProblem::Unreachable(pf.rel.clone()),
+                });
+            }
+        }
+        if !matched_any {
+            issues.push(SeedIssue {
+                seed: seed.clone(),
+                problem: SeedProblem::NoSuchFile,
+            });
+        }
+    }
+    issues
+}
+
+fn in_universe(rel: &str) -> bool {
+    GRAPH_UNIVERSE_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Match a node against an `Owner::name` pattern.
+fn matches_root(pattern: &str, node: &Node) -> bool {
+    let Some((owner_pat, name_pat)) = pattern.split_once("::") else {
+        return false;
+    };
+    let owner_ok = owner_pat == "*" || node.owner.as_deref() == Some(owner_pat);
+    if !owner_ok {
+        return false;
+    }
+    match name_pat.strip_suffix('*') {
+        Some(prefix) => node.name.starts_with(prefix),
+        None => node.name == name_pat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pf(rel: &str, src: &str) -> ParsedFile {
+        ParsedFile {
+            rel: rel.to_string(),
+            ast: crate::ast::parse(&lex(src)),
+        }
+    }
+
+    #[test]
+    fn reachability_spreads_from_roots_across_files() {
+        let files = vec![
+            pf(
+                "crates/eventsim/src/queue.rs",
+                "impl EventQueue {\n  pub fn pop(&mut self) { unpack_time(1); }\n}\nfn unpack_time(k: u128) {}\n",
+            ),
+            pf(
+                "crates/eventsim/src/time.rs",
+                "impl SimTime { pub fn from_nanos(n: u64) -> Self { SimTime(n) } }\n",
+            ),
+            pf(
+                "crates/netsim/src/sim.rs",
+                "impl Simulation {\n  pub fn run_until(&mut self) { self.dispatch(); }\n  fn dispatch(&mut self) { helper(); }\n}\nfn helper() { SimTime::from_nanos(3); }\n",
+            ),
+            pf(
+                "crates/netsim/src/cold.rs",
+                "pub fn build_report() -> u32 { 42 }\n",
+            ),
+        ];
+        let hot = derive_hot_paths(&files);
+        assert!(hot.files.contains("crates/eventsim/src/queue.rs"));
+        assert!(
+            hot.files.contains("crates/eventsim/src/time.rs"),
+            "from_nanos reached through helper: {hot:#?}"
+        );
+        assert!(hot.files.contains("crates/netsim/src/sim.rs"));
+        assert!(
+            !hot.files.contains("crates/netsim/src/cold.rs"),
+            "unreferenced reporting code must not be hot: {hot:#?}"
+        );
+        assert!(hot
+            .matched_roots
+            .iter()
+            .any(|r| r.contains("EventQueue::pop")));
+    }
+
+    #[test]
+    fn on_ack_roots_match_any_impl_owner() {
+        let files = vec![pf(
+            "crates/core/src/olia.rs",
+            "impl CongestionControl for Olia {\n  fn on_ack(&mut self) -> f64 { shared_math() }\n}\nfn shared_math() -> f64 { 0.0 }\nfn unused() {}\n",
+        )];
+        let hot = derive_hot_paths(&files);
+        assert!(hot.files.contains("crates/core/src/olia.rs"));
+        assert!(hot.matched_roots.iter().any(|r| r.contains("Olia::on_ack")));
+    }
+
+    #[test]
+    fn test_fns_are_neither_nodes_nor_roots() {
+        let files = vec![pf(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n  fn on_ack() { helper(); }\n}\nfn helper() {}\n",
+        )];
+        let hot = derive_hot_paths(&files);
+        assert!(hot.files.is_empty(), "{hot:#?}");
+    }
+
+    #[test]
+    fn seed_audit_flags_missing_and_unreachable_seeds() {
+        let files = vec![
+            pf(
+                "crates/eventsim/src/queue.rs",
+                "impl EventQueue { pub fn pop(&mut self) {} }\n",
+            ),
+            pf("crates/netsim/src/island.rs", "pub fn lonely() {}\n"),
+        ];
+        let hot = derive_hot_paths(&files);
+        let seeds = vec![
+            "crates/eventsim/src/".to_string(),
+            "crates/netsim/src/island.rs".to_string(),
+            "crates/netsim/src/gone.rs".to_string(),
+        ];
+        let issues = audit_seeds(&seeds, &files, &hot);
+        assert_eq!(issues.len(), 2, "{issues:#?}");
+        assert!(issues.iter().any(|i| i.seed.ends_with("island.rs")
+            && matches!(&i.problem, SeedProblem::Unreachable(f) if f.ends_with("island.rs"))));
+        assert!(issues
+            .iter()
+            .any(|i| i.seed.ends_with("gone.rs") && matches!(i.problem, SeedProblem::NoSuchFile)));
+    }
+
+    #[test]
+    fn files_with_no_fns_do_not_fail_the_seed_audit() {
+        // eventsim/src/lib.rs is re-exports only; a seed covering it must
+        // still pass.
+        let files = vec![
+            pf("crates/eventsim/src/lib.rs", "pub use queue::EventQueue;\n"),
+            pf(
+                "crates/eventsim/src/queue.rs",
+                "impl EventQueue { pub fn pop(&mut self) {} }\n",
+            ),
+        ];
+        let hot = derive_hot_paths(&files);
+        let issues = audit_seeds(&["crates/eventsim/src/".to_string()], &files, &hot);
+        assert!(issues.is_empty(), "{issues:#?}");
+    }
+}

@@ -60,6 +60,14 @@ impl Json {
         }
     }
 
+    /// The fields in insertion order, if an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Pretty-print with two-space indentation and a trailing newline —
     /// the on-disk report format.
     pub fn pretty(&self) -> String {

@@ -1,4 +1,4 @@
-//! The machine-readable lint report (`mptcp-lint-report/v1`) and its
+//! The machine-readable lint report (`mptcp-lint-report/v2`) and its
 //! schema validator.
 //!
 //! Mirrors the run-report discipline from the bench harness: every CI run
@@ -7,30 +7,44 @@
 //! Suppressed findings are included with their reasons — the report is the
 //! audit trail for every `allow` in the tree.
 //!
+//! v2 adds three fields on top of v1 (the validator accepts both):
+//! `rule_counts` (per-rule suppressed/unsuppressed tallies), `hot_paths`
+//! (the call-graph-derived R5 hot-path file set), and `roots` (the
+//! reachability root patterns plus the root functions actually matched).
+//!
 //! Shape (all top-level fields required):
 //!
 //! ```json
 //! {
-//!   "schema": "mptcp-lint-report/v1",
+//!   "schema": "mptcp-lint-report/v2",
 //!   "root": ".",
-//!   "files_scanned": 140,
+//!   "files_scanned": 152,
 //!   "rules": [ { "id": "R1", "name": "wall-clock", "summary": "…" } ],
 //!   "findings": [
 //!     { "rule": "R1", "file": "crates/netsim/src/profile.rs", "line": 65,
 //!       "col": 25, "message": "…", "suppressed": true, "reason": "…" }
 //!   ],
-//!   "summary": { "suppressed": 9, "unsuppressed": 0 }
+//!   "rule_counts": { "R1": { "suppressed": 4, "unsuppressed": 0 }, … },
+//!   "hot_paths": [ "crates/eventsim/src/queue.rs", … ],
+//!   "roots": { "patterns": [ "EventQueue::pop*", … ],
+//!              "matched": [ "crates/eventsim/src/queue.rs: EventQueue::pop", … ] },
+//!   "summary": { "suppressed": 28, "unsuppressed": 0 }
 //! }
 //! ```
 
 use crate::json::Json;
-use crate::rules::{Finding, META_RULES, RULES};
+use crate::rules::{META_RULES, RULES};
+use crate::LintRun;
 
 /// Version tag carried in every report's `schema` field.
-pub const SCHEMA: &str = "mptcp-lint-report/v1";
+pub const SCHEMA: &str = "mptcp-lint-report/v2";
+
+/// The previous schema version, still accepted by [`validate`] so reports
+/// written by older checkouts keep validating.
+pub const SCHEMA_V1: &str = "mptcp-lint-report/v1";
 
 /// Build the report document.
-pub fn to_json(root: &str, files_scanned: usize, findings: &[Finding]) -> Json {
+pub fn to_json(root: &str, run: &LintRun) -> Json {
     let rules = RULES
         .iter()
         .chain(META_RULES)
@@ -42,7 +56,8 @@ pub fn to_json(root: &str, files_scanned: usize, findings: &[Finding]) -> Json {
             ])
         })
         .collect();
-    let entries = findings
+    let entries = run
+        .findings
         .iter()
         .map(|f| {
             Json::Obj(vec![
@@ -62,32 +77,83 @@ pub fn to_json(root: &str, files_scanned: usize, findings: &[Finding]) -> Json {
             ])
         })
         .collect();
-    let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+    let rule_counts = RULES
+        .iter()
+        .chain(META_RULES)
+        .map(|r| {
+            let (mut sup, mut unsup) = (0usize, 0usize);
+            for f in run.findings.iter().filter(|f| f.rule == r.id) {
+                if f.suppressed.is_some() {
+                    sup += 1;
+                } else {
+                    unsup += 1;
+                }
+            }
+            (
+                r.id.to_string(),
+                Json::Obj(vec![
+                    ("suppressed".into(), Json::Num(sup as f64)),
+                    ("unsuppressed".into(), Json::Num(unsup as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let suppressed = run
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_some())
+        .count();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("root".into(), Json::Str(root.into())),
-        ("files_scanned".into(), Json::Num(files_scanned as f64)),
+        ("files_scanned".into(), Json::Num(run.files_scanned as f64)),
         ("rules".into(), Json::Arr(rules)),
         ("findings".into(), Json::Arr(entries)),
+        ("rule_counts".into(), Json::Obj(rule_counts)),
+        (
+            "hot_paths".into(),
+            Json::Arr(run.hot_paths.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        (
+            "roots".into(),
+            Json::Obj(vec![
+                (
+                    "patterns".into(),
+                    Json::Arr(run.roots.iter().map(|p| Json::Str(p.clone())).collect()),
+                ),
+                (
+                    "matched".into(),
+                    Json::Arr(
+                        run.matched_roots
+                            .iter()
+                            .map(|p| Json::Str(p.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         (
             "summary".into(),
             Json::Obj(vec![
                 ("suppressed".into(), Json::Num(suppressed as f64)),
                 (
                     "unsuppressed".into(),
-                    Json::Num((findings.len() - suppressed) as f64),
+                    Json::Num((run.findings.len() - suppressed) as f64),
                 ),
             ]),
         ),
     ])
 }
 
-/// Validate a parsed report against `mptcp-lint-report/v1`.
+/// Validate a parsed report against `mptcp-lint-report/v1` or `/v2`.
 pub fn validate(doc: &Json) -> Result<(), String> {
     let schema = field_str(doc, "schema")?;
-    if schema != SCHEMA {
-        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    if schema != SCHEMA && schema != SCHEMA_V1 {
+        return Err(format!(
+            "schema is {schema:?}, expected {SCHEMA:?} (or legacy {SCHEMA_V1:?})"
+        ));
     }
+    let v2 = schema == SCHEMA;
     field_str(doc, "root")?;
     field_count(doc, "files_scanned")?;
 
@@ -107,6 +173,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         .and_then(Json::as_arr)
         .ok_or("missing `findings` array")?;
     let mut suppressed = 0usize;
+    let mut per_rule: Vec<(&str, usize, usize)> = Vec::new();
     for (i, f) in findings.iter().enumerate() {
         let at = |e: String| format!("findings[{i}]: {e}");
         let rule = field_str(f, "rule").map_err(at)?;
@@ -133,6 +200,73 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 return Err(format!(
                     "findings[{i}]: unsuppressed finding must have null `reason`"
                 ))
+            }
+        }
+        match per_rule.iter_mut().find(|(r, _, _)| *r == rule) {
+            Some(entry) => {
+                if is_suppressed {
+                    entry.1 += 1;
+                } else {
+                    entry.2 += 1;
+                }
+            }
+            None => per_rule.push((
+                rule,
+                usize::from(is_suppressed),
+                usize::from(!is_suppressed),
+            )),
+        }
+    }
+
+    if v2 {
+        let counts = doc
+            .get("rule_counts")
+            .and_then(Json::as_obj)
+            .ok_or("missing `rule_counts` object")?;
+        for (id, entry) in counts {
+            if !known_ids.contains(&id.as_str()) {
+                return Err(format!("rule_counts: unknown rule {id:?}"));
+            }
+            let sup =
+                field_count(entry, "suppressed").map_err(|e| format!("rule_counts.{id}: {e}"))?;
+            let unsup =
+                field_count(entry, "unsuppressed").map_err(|e| format!("rule_counts.{id}: {e}"))?;
+            let (actual_sup, actual_unsup) = per_rule
+                .iter()
+                .find(|(r, _, _)| *r == id)
+                .map(|(_, s, u)| (*s, *u))
+                .unwrap_or((0, 0));
+            if sup != actual_sup || unsup != actual_unsup {
+                return Err(format!(
+                    "rule_counts.{id} ({sup}/{unsup}) disagrees with the findings array \
+                     ({actual_sup}/{actual_unsup})"
+                ));
+            }
+        }
+        for (rule, _, _) in &per_rule {
+            if !counts.iter().any(|(id, _)| id == rule) {
+                return Err(format!("rule_counts: missing entry for rule {rule:?}"));
+            }
+        }
+        let hot = doc
+            .get("hot_paths")
+            .and_then(Json::as_arr)
+            .ok_or("missing `hot_paths` array")?;
+        for (i, p) in hot.iter().enumerate() {
+            if p.as_str().is_none() {
+                return Err(format!("hot_paths[{i}]: must be a string"));
+            }
+        }
+        let roots = doc.get("roots").ok_or("missing `roots`")?;
+        for key in ["patterns", "matched"] {
+            let arr = roots
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("roots: missing `{key}` array"))?;
+            for (i, p) in arr.iter().enumerate() {
+                if p.as_str().is_none() {
+                    return Err(format!("roots.{key}[{i}]: must be a string"));
+                }
             }
         }
     }
@@ -174,31 +308,38 @@ fn field_count(doc: &Json, key: &str) -> Result<usize, String> {
 mod tests {
     use super::*;
     use crate::json::parse;
+    use crate::rules::Finding;
 
-    fn sample() -> Vec<Finding> {
-        vec![
-            Finding {
-                rule: "R1",
-                file: "crates/netsim/src/profile.rs".into(),
-                line: 65,
-                col: 25,
-                message: "wall-clock".into(),
-                suppressed: Some("profiling is the point".into()),
-            },
-            Finding {
-                rule: "R2",
-                file: "crates/tcpsim/src/source.rs".into(),
-                line: 73,
-                col: 14,
-                message: "unordered".into(),
-                suppressed: None,
-            },
-        ]
+    fn sample() -> LintRun {
+        LintRun {
+            files_scanned: 140,
+            findings: vec![
+                Finding {
+                    rule: "R1",
+                    file: "crates/netsim/src/profile.rs".into(),
+                    line: 65,
+                    col: 25,
+                    message: "wall-clock".into(),
+                    suppressed: Some("profiling is the point".into()),
+                },
+                Finding {
+                    rule: "R2",
+                    file: "crates/tcpsim/src/source.rs".into(),
+                    line: 73,
+                    col: 14,
+                    message: "unordered".into(),
+                    suppressed: None,
+                },
+            ],
+            hot_paths: vec!["crates/eventsim/src/queue.rs".into()],
+            roots: vec!["EventQueue::pop*".into()],
+            matched_roots: vec!["crates/eventsim/src/queue.rs: EventQueue::pop".into()],
+        }
     }
 
     #[test]
     fn report_round_trips_and_validates() {
-        let doc = to_json(".", 140, &sample());
+        let doc = to_json(".", &sample());
         let text = doc.pretty();
         let back = parse(&text).expect("report parses");
         validate(&back).expect("report validates");
@@ -206,28 +347,54 @@ mod tests {
 
     #[test]
     fn validator_rejects_wrong_schema_and_lying_summary() {
-        let doc = to_json(".", 1, &sample());
+        let doc = to_json(".", &sample());
         let mut text = doc.pretty();
-        text = text.replace("mptcp-lint-report/v1", "mptcp-lint-report/v0");
+        text = text.replace("mptcp-lint-report/v2", "mptcp-lint-report/v0");
         assert!(validate(&parse(&text).unwrap())
             .unwrap_err()
             .contains("schema"));
 
-        let text = to_json(".", 1, &sample())
+        let text = to_json(".", &sample())
             .pretty()
             .replace("\"unsuppressed\": 1", "\"unsuppressed\": 0");
-        assert!(validate(&parse(&text).unwrap())
-            .unwrap_err()
-            .contains("disagrees"));
+        assert!(validate(&parse(&text).unwrap()).is_err());
     }
 
     #[test]
     fn validator_requires_reasons_on_suppressed_findings() {
-        let text = to_json(".", 1, &sample())
+        let text = to_json(".", &sample())
             .pretty()
             .replace("\"profiling is the point\"", "\"\"");
         assert!(validate(&parse(&text).unwrap())
             .unwrap_err()
             .contains("non-empty `reason`"));
+    }
+
+    #[test]
+    fn validator_checks_v2_rule_counts_against_findings() {
+        // Lying per-rule tally: R1 claims no suppressed finding.
+        let text =
+            to_json(".", &sample())
+                .pretty()
+                .replacen("\"suppressed\": 1", "\"suppressed\": 0", 1);
+        let err = validate(&parse(&text).unwrap()).unwrap_err();
+        assert!(
+            err.contains("rule_counts") || err.contains("disagrees"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validator_accepts_legacy_v1_reports_without_v2_fields() {
+        // A v1 report has no rule_counts/hot_paths/roots.
+        let v1 = r#"{
+            "schema": "mptcp-lint-report/v1",
+            "root": ".",
+            "files_scanned": 1,
+            "rules": [{"id": "R1", "name": "wall-clock", "summary": "s"}],
+            "findings": [],
+            "summary": {"suppressed": 0, "unsuppressed": 0}
+        }"#;
+        validate(&parse(v1).unwrap()).expect("v1 validates");
     }
 }

@@ -1,4 +1,4 @@
-//! The determinism & sim-correctness rules (R1–R6) and the suppression
+//! The determinism & sim-correctness rules (R1–R11) and the suppression
 //! machinery.
 //!
 //! Every figure in the paper reproduction assumes a seeded run is
@@ -14,14 +14,28 @@
 //! | R5 | hot-unwrap | `unwrap`/`expect` in the event-loop hot path |
 //! | R6 | raw-unit-api | `pub` sim APIs taking raw `f64` seconds where `SimDuration` exists |
 //! | R7 | sim-threading | `std::thread`/`std::sync` inside the single-threaded sim crates |
+//! | R8 | unit-mismatch | raw literals / wrong-unit idents mixed into typed time arithmetic |
+//! | R9 | lossy-cast | `as` narrowing time/sequence/DSN-domain values |
+//! | R10 | eager-trace | tracer arguments computed outside the lazy closure |
+//! | R11 | float-fold | order-sensitive f64 reductions over unstable iteration sources |
+//!
+//! R1–R7 are token-level; R8–R11 lean on the [`crate::ast`] parser for
+//! call expressions, casts, and method chains, and R5's hot-path scope is
+//! derived from the [`crate::graph`] call graph when linting a whole
+//! workspace (see [`LintContext`]).
 //!
 //! Suppression is explicit and auditable: an inline
 //! `// simlint: allow(R2) <reason>` comment suppresses matching findings on
 //! its own line and the line directly below it, and must carry a non-empty
 //! reason. A malformed or reason-less annotation is itself a finding (A1),
 //! as is an annotation that suppresses nothing (A2) — so stale allows are
-//! flushed out instead of accumulating.
+//! flushed out instead of accumulating. Path-level entries live in
+//! `simlint.toml` and are audited the same way (A3, in
+//! [`crate::lint_workspace`]).
 
+use std::collections::BTreeSet;
+
+use crate::ast::{self, ChainRoot, FileAst};
 use crate::config::Config;
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -73,9 +87,31 @@ pub const RULES: &[Rule] = &[
         name: "sim-threading",
         summary: "std::thread/std::sync inside the single-threaded simulation crates",
     },
+    Rule {
+        id: "R8",
+        name: "unit-mismatch",
+        summary: "raw literals or wrong-unit identifiers mixed into typed time arithmetic",
+    },
+    Rule {
+        id: "R9",
+        name: "lossy-cast",
+        summary:
+            "`as` casts narrowing time/sequence/DSN-domain values (u128->u64, u64->u32, f64->f32)",
+    },
+    Rule {
+        id: "R10",
+        name: "eager-trace",
+        summary: "tracer arguments computed outside the lazy closure defeat zero-cost tracing",
+    },
+    Rule {
+        id: "R11",
+        name: "float-fold",
+        summary: "order-sensitive f64 reduction over an iteration source not proven order-stable",
+    },
 ];
 
-/// The meta rules about annotations themselves; never suppressible.
+/// The meta rules about annotations and configuration themselves; never
+/// suppressible.
 pub const META_RULES: &[Rule] = &[
     Rule {
         id: "A1",
@@ -86,6 +122,12 @@ pub const META_RULES: &[Rule] = &[
         id: "A2",
         name: "unused-allow",
         summary: "a simlint allow annotation that suppresses no finding",
+    },
+    Rule {
+        id: "A3",
+        name: "stale-config",
+        summary:
+            "a simlint.toml entry matching no file or firing rule, or an unreachable hot-path seed",
     },
 ];
 
@@ -100,16 +142,52 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
     "crates/chaos/",
 ];
 
-/// Event-loop hot paths for R5: the scheduler itself, the netsim dispatch
-/// loop, and the per-packet structures it leans on (the arena every packet
-/// lives in, the queue every packet crosses). A panic here kills a
-/// multi-hour experiment.
-const HOT_PATH_PREFIXES: &[&str] = &[
+/// The legacy hand-maintained hot-path list for R5, kept as (a) the
+/// fallback scope when linting a single source without a call graph
+/// ([`LintContext::legacy`]) and (b) the default seed set the derived hot
+/// paths are audited against — the graph-derived set must keep covering
+/// every file here, or the A3 seed audit fires.
+pub const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/netsim/src/sim.rs",
     "crates/netsim/src/arena.rs",
     "crates/netsim/src/queue.rs",
     "crates/eventsim/src/",
 ];
+
+/// How R5 decides a file is hot: the call-graph-derived file set when
+/// linting a workspace, or the legacy prefix list when linting one source
+/// in isolation (unit tests, fixtures, ad-hoc callers).
+#[derive(Debug, Clone)]
+pub struct LintContext {
+    hot_files: Option<BTreeSet<String>>,
+}
+
+impl LintContext {
+    /// Prefix-list scoping (no call graph available).
+    pub fn legacy() -> Self {
+        LintContext { hot_files: None }
+    }
+
+    /// Scope R5 to exactly `files` (the graph-derived hot set).
+    pub fn with_hot_files(files: BTreeSet<String>) -> Self {
+        LintContext {
+            hot_files: Some(files),
+        }
+    }
+
+    /// Is `rel_path` part of the event-loop hot path?
+    pub fn is_hot(&self, rel_path: &str) -> bool {
+        match &self.hot_files {
+            Some(files) => files.contains(rel_path),
+            None => HOT_PATH_PREFIXES.iter().any(|p| rel_path.starts_with(p)),
+        }
+    }
+
+    /// The derived hot file set, when one was supplied.
+    pub fn hot_files(&self) -> Option<&BTreeSet<String>> {
+        self.hot_files.as_ref()
+    }
+}
 
 /// Congestion-control math (R4) lives in the algorithm crate.
 const CC_MATH_PREFIX: &str = "crates/core/";
@@ -160,19 +238,35 @@ struct InlineAllow {
 }
 
 /// Lint one file's source as `rel_path` (workspace-relative, forward
-/// slashes). Returns every finding, suppressed ones included, sorted by
-/// position.
+/// slashes) with the legacy prefix-based hot-path scope. Returns every
+/// finding, suppressed ones included, sorted by position.
 pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Finding> {
+    lint_source_with(rel_path, source, config, &LintContext::legacy())
+}
+
+/// [`lint_source`] with an explicit hot-path scope (the workspace pass
+/// supplies the call-graph-derived set).
+pub fn lint_source_with(
+    rel_path: &str,
+    source: &str,
+    config: &Config,
+    ctx: &LintContext,
+) -> Vec<Finding> {
     let tokens = lex(source);
-    let in_test = mark_test_code(&tokens);
+    let in_test = ast::mark_test_code(&tokens);
+    let file_ast = ast::parse(&tokens);
     let mut findings = Vec::new();
     let mut allows = collect_allows(rel_path, &tokens, &mut findings);
 
     check_idents(rel_path, &tokens, &in_test, &mut findings);
     check_float_eq(rel_path, &tokens, &mut findings);
-    check_hot_unwrap(rel_path, &tokens, &in_test, &mut findings);
+    check_hot_unwrap(rel_path, &tokens, &in_test, ctx, &mut findings);
     check_raw_unit_api(rel_path, &tokens, &in_test, &mut findings);
     check_threading(rel_path, &tokens, &in_test, &mut findings);
+    check_unit_mismatch(rel_path, &tokens, &in_test, &file_ast, &mut findings);
+    check_lossy_cast(rel_path, &file_ast, &mut findings);
+    check_eager_trace(rel_path, &tokens, &file_ast, &mut findings);
+    check_float_fold(rel_path, &tokens, &file_ast, &mut findings);
 
     // Apply suppressions: inline annotations first (same line or the line
     // directly above), then the checked-in path-level allow-list.
@@ -215,86 +309,6 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Finding
 
 fn in_sim_crate(rel_path: &str) -> bool {
     SIM_CRATE_PREFIXES.iter().any(|p| rel_path.starts_with(p))
-}
-
-/// Mark which tokens sit inside test-only code (`#[cfg(test)]` / `#[test]`
-/// items). R1, R3, R5, and R6 skip test code — a test panicking or reading
-/// the clock endangers no experiment — while R2 applies everywhere because
-/// digest-comparison *tests* are exactly where iteration order bites.
-fn mark_test_code(tokens: &[Token]) -> Vec<bool> {
-    let mut in_test = vec![false; tokens.len()];
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if is_test_attribute(tokens, i) {
-            // Skip to the end of the attribute, then mark the item it
-            // decorates: everything up to the matching `}` of its first
-            // brace block (or a `;` before any brace opens).
-            let attr_start = i;
-            while i < tokens.len() && !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "]")
-            {
-                i += 1;
-            }
-            let mut depth = 0i32;
-            let mut j = i;
-            while j < tokens.len() {
-                let t = &tokens[j];
-                if t.kind == TokenKind::Punct {
-                    match t.text.as_str() {
-                        "{" => depth += 1,
-                        "}" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        ";" if depth == 0 => break,
-                        _ => {}
-                    }
-                }
-                j += 1;
-            }
-            for flag in in_test
-                .iter_mut()
-                .take((j + 1).min(tokens.len()))
-                .skip(attr_start)
-            {
-                *flag = true;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    in_test
-}
-
-/// Does `#[...]` starting at token `i` gate on tests? Matches `#[test]`,
-/// `#[cfg(test)]`, and composed forms, but not `#[cfg(not(test))]`.
-fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
-    if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
-        return false;
-    }
-    let Some(open) = tokens.get(i + 1) else {
-        return false;
-    };
-    if !(open.kind == TokenKind::Punct && open.text == "[") {
-        return false;
-    }
-    let mut saw_test = false;
-    let mut saw_not = false;
-    for t in &tokens[i + 2..] {
-        if t.kind == TokenKind::Punct && t.text == "]" {
-            break;
-        }
-        if t.kind == TokenKind::Ident {
-            match t.text.as_str() {
-                "test" => saw_test = true,
-                "not" => saw_not = true,
-                _ => {}
-            }
-        }
-    }
-    saw_test && !saw_not
 }
 
 /// Parse every `// simlint: allow(..) reason` comment; malformed ones
@@ -459,13 +473,16 @@ fn check_float_eq(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>)
 }
 
 /// R5: `.unwrap()` / `.expect(` in event-loop hot paths, outside tests.
+/// The hot scope comes from the [`LintContext`] — graph-derived for a
+/// workspace pass, the legacy prefix list otherwise.
 fn check_hot_unwrap(
     rel_path: &str,
     tokens: &[Token],
     in_test: &[bool],
+    ctx: &LintContext,
     findings: &mut Vec<Finding>,
 ) {
-    if !HOT_PATH_PREFIXES.iter().any(|p| rel_path.starts_with(p)) {
+    if !ctx.is_hot(rel_path) {
         return;
     }
     // Indices of non-comment tokens so `.  unwrap ()` with interleaved
@@ -650,6 +667,710 @@ fn check_threading(
     }
 }
 
+/// Identifiers carrying an explicit time unit, for R8's constructor and
+/// conversion-constant prongs.
+fn time_unit_of(name: &str) -> Option<&'static str> {
+    match name {
+        "ns" | "nanos" => return Some("ns"),
+        "us" | "micros" => return Some("us"),
+        "ms" | "millis" => return Some("ms"),
+        "s" | "secs" | "seconds" => return Some("s"),
+        _ => {}
+    }
+    for (suffix, unit) in [
+        ("_ns", "ns"),
+        ("_nanos", "ns"),
+        ("_us", "us"),
+        ("_micros", "us"),
+        ("_ms", "ms"),
+        ("_millis", "ms"),
+        ("_s", "s"),
+        ("_secs", "s"),
+        ("_seconds", "s"),
+    ] {
+        if name.ends_with(suffix) {
+            return Some(unit);
+        }
+    }
+    None
+}
+
+/// Identifiers denoting a time quantity without naming a unit (R8c: any
+/// of these next to a unit-conversion constant is a hand-rolled
+/// conversion that belongs in SimTime/SimDuration).
+fn is_time_marker(name: &str) -> bool {
+    time_unit_of(name).is_some()
+        || matches!(
+            name,
+            "rtt" | "srtt" | "rto" | "elapsed" | "delay" | "latency" | "timeout" | "horizon"
+        )
+}
+
+/// The unit a SimTime/SimDuration constructor expects its argument in.
+fn ctor_unit(name: &str) -> Option<&'static str> {
+    match name {
+        "from_nanos" => Some("ns"),
+        "from_micros" => Some("us"),
+        "from_millis" | "from_millis_f64" => Some("ms"),
+        "from_secs" | "from_secs_f64" => Some("s"),
+        _ => None,
+    }
+}
+
+/// Typed-clock accessors whose result is a raw number in a known unit.
+const UNIT_ACCESSORS: &[&str] = &[
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+    "as_secs_f64",
+];
+
+/// Unit-conversion constants (`1e9`, `1_000_000`, …), the signature of a
+/// hand-rolled unit conversion.
+fn is_conversion_constant(text: &str) -> bool {
+    let mut t = text.replace('_', "").to_ascii_lowercase();
+    for suffix in ["f64", "f32", "u64", "u32", "i64", "i32", "usize"] {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            t = stripped.to_string();
+            break;
+        }
+    }
+    let t = t.strip_suffix(".0").unwrap_or(&t);
+    matches!(
+        t,
+        "1e9" | "1e6" | "1e3" | "1e-9" | "1e-6" | "1e-3" | "1000000000" | "1000000" | "1000"
+    )
+}
+
+/// Walk left from significant position `i` (exclusive) collecting the
+/// identifiers of one operand expression: idents, field/path separators,
+/// `as`-casts, `?`, and bracketed groups (whose idents are all collected).
+fn operand_idents_left(tokens: &[Token], sig: &[usize], i: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut sp = i as isize - 1;
+    while sp >= 0 {
+        let t = &tokens[sig[sp as usize]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "as") => sp -= 1,
+            (TokenKind::Ident, name) => {
+                idents.push(name.to_string());
+                sp -= 1;
+            }
+            (TokenKind::Int | TokenKind::Float | TokenKind::Literal, _) => sp -= 1,
+            (TokenKind::Punct, "." | "::" | "?") => sp -= 1,
+            (TokenKind::Punct, ")" | "]") => {
+                // Consume the whole group, collecting its idents.
+                let mut depth = 0i32;
+                while sp >= 0 {
+                    let t = &tokens[sig[sp as usize]];
+                    match t.text.as_str() {
+                        ")" | "]" => depth += 1,
+                        "(" | "[" => depth -= 1,
+                        _ => {
+                            if t.kind == TokenKind::Ident && t.text != "as" {
+                                idents.push(t.text.clone());
+                            }
+                        }
+                    }
+                    sp -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// Walk right from significant position `i` (exclusive) collecting one
+/// operand's identifiers (idents and separators only — a right operand of
+/// `1e9 * x.field` form).
+fn operand_idents_right(tokens: &[Token], sig: &[usize], i: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut sp = i + 1;
+    while sp < sig.len() {
+        let t = &tokens[sig[sp]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "as") => sp += 1,
+            (TokenKind::Ident, name) => {
+                idents.push(name.to_string());
+                sp += 1;
+            }
+            (TokenKind::Punct, "." | "::") => sp += 1,
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// R8: unit mismatches in typed-time arithmetic, three prongs.
+///
+/// * **R8a** — a `from_nanos`/`from_millis`/… constructor fed an argument
+///   whose name carries a *different* unit (`SimTime::from_secs(dt_ns)`);
+/// * **R8b** — `+`/`-`/`%` between a unit accessor's result and a bare
+///   numeric literal (`t.as_nanos() + 500`: 500 *what*?);
+/// * **R8c** — `*`/`/` against a unit-conversion constant next to a
+///   time-named identifier (`elapsed_ns as f64 / 1e9`): a hand-rolled
+///   conversion that belongs in the typed-clock API.
+fn check_unit_mismatch(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &[bool],
+    file_ast: &FileAst,
+    findings: &mut Vec<Finding>,
+) {
+    if !in_sim_crate(rel_path) {
+        return;
+    }
+    // R8a: constructor-unit mismatch, from the AST's call arguments.
+    for call in &file_ast.calls {
+        if call.in_test {
+            continue;
+        }
+        let Some(name) = call.path.last() else {
+            continue;
+        };
+        let Some(expect) = ctor_unit(name) else {
+            continue;
+        };
+        for arg in &call.args {
+            for t in &tokens[arg.span.0..arg.span.1.min(tokens.len())] {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                if let Some(got) = time_unit_of(&t.text) {
+                    if got != expect {
+                        findings.push(Finding {
+                            rule: "R8",
+                            file: rel_path.to_string(),
+                            line: call.line,
+                            col: call.col,
+                            message: format!(
+                                "`{name}` expects {expect} but its argument `{}` is named in \
+                                 {got} — convert explicitly or rename the quantity",
+                                t.text
+                            ),
+                            suppressed: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let text = |sp: usize| -> &str {
+        if sp < sig.len() {
+            &tokens[sig[sp]].text
+        } else {
+            ""
+        }
+    };
+    let kind = |sp: usize| -> Option<TokenKind> { sig.get(sp).map(|&oi| tokens[oi].kind) };
+
+    // R8b: unit-accessor result +/-/% a bare literal.
+    for sp in 0..sig.len() {
+        if in_test[sig[sp]] {
+            continue;
+        }
+        let is_accessor = text(sp) == "."
+            && UNIT_ACCESSORS.contains(&text(sp + 1))
+            && text(sp + 2) == "("
+            && text(sp + 3) == ")";
+        if !is_accessor {
+            continue;
+        }
+        // `.as_nanos() + 500`
+        if matches!(text(sp + 4), "+" | "-" | "%")
+            && matches!(kind(sp + 5), Some(TokenKind::Int | TokenKind::Float))
+        {
+            let lit = &tokens[sig[sp + 5]];
+            findings.push(Finding {
+                rule: "R8",
+                file: rel_path.to_string(),
+                line: lit.line,
+                col: lit.col,
+                message: format!(
+                    "`{}() {} {}` mixes a typed-unit value with a raw literal — say which \
+                     unit the literal is in (SimDuration::from_…)",
+                    text(sp + 1),
+                    text(sp + 4),
+                    lit.text
+                ),
+                suppressed: None,
+            });
+        }
+        // `500 + t.as_nanos()`
+        let mut back = sp as isize - 1;
+        while back >= 0
+            && (kind(back as usize) == Some(TokenKind::Ident) && text(back as usize) != "as"
+                || matches!(text(back as usize), "." | "::"))
+        {
+            back -= 1;
+        }
+        if back >= 1
+            && matches!(text(back as usize), "+" | "-" | "%")
+            && matches!(
+                kind(back as usize - 1),
+                Some(TokenKind::Int | TokenKind::Float)
+            )
+        {
+            let lit = &tokens[sig[back as usize - 1]];
+            findings.push(Finding {
+                rule: "R8",
+                file: rel_path.to_string(),
+                line: lit.line,
+                col: lit.col,
+                message: format!(
+                    "`{} {} ….{}()` mixes a raw literal with a typed-unit value — say which \
+                     unit the literal is in (SimDuration::from_…)",
+                    lit.text,
+                    text(back as usize),
+                    text(sp + 1),
+                ),
+                suppressed: None,
+            });
+        }
+    }
+
+    // R8c: conversion constant × time-named identifier.
+    for sp in 0..sig.len() {
+        let oi = sig[sp];
+        if in_test[oi] {
+            continue;
+        }
+        let t = &tokens[oi];
+        if !matches!(t.kind, TokenKind::Int | TokenKind::Float) || !is_conversion_constant(&t.text)
+        {
+            continue;
+        }
+        let mut marker: Option<String> = None;
+        // `x_ns / 1e9` — literal on the right.
+        if sp >= 1 && matches!(text(sp - 1), "*" | "/") {
+            marker = operand_idents_left(tokens, &sig, sp - 1)
+                .into_iter()
+                .find(|n| is_time_marker(n) || UNIT_ACCESSORS.contains(&n.as_str()));
+        }
+        // `1e9 * x_ns` — literal on the left; skip when the literal is
+        // itself a right operand (`a / 1e9 / b`: b is not being converted).
+        if marker.is_none()
+            && matches!(text(sp + 1), "*" | "/")
+            && !(sp >= 1 && matches!(text(sp - 1), "+" | "-" | "*" | "/" | "%"))
+        {
+            marker = operand_idents_right(tokens, &sig, sp + 1)
+                .into_iter()
+                .find(|n| is_time_marker(n) || UNIT_ACCESSORS.contains(&n.as_str()));
+        }
+        if let Some(marker) = marker {
+            findings.push(Finding {
+                rule: "R8",
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "hand-rolled unit conversion: `{}` scaled by `{}` — use the typed \
+                     SimTime/SimDuration constructors and accessors instead",
+                    marker, t.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Identifier evidence that a cast operand lives in the time, sequence
+/// number, or DSN domain (R9).
+fn is_lossy_domain_marker(name: &str) -> bool {
+    if matches!(
+        name,
+        "ns" | "nanos"
+            | "secs"
+            | "seconds"
+            | "seq"
+            | "dsn"
+            | "key"
+            | "keys"
+            | "rtt"
+            | "srtt"
+            | "time"
+            | "now"
+            | "horizon"
+            | "deadline"
+    ) || UNIT_ACCESSORS.contains(&name)
+    {
+        return true;
+    }
+    [
+        "_ns", "_us", "_ms", "_s", "_secs", "_nanos", "_seq", "_dsn", "_key", "_time",
+    ]
+    .iter()
+    .any(|suf| name.ends_with(suf))
+}
+
+/// R9: `as` casts narrowing time/sequence/DSN-domain values in the
+/// event-loop crates. The cast operand's identifiers carry the domain
+/// evidence; widening targets (`u128`, `f64`) are never flagged.
+fn check_lossy_cast(rel_path: &str, file_ast: &FileAst, findings: &mut Vec<Finding>) {
+    if !crate::graph::GRAPH_UNIVERSE_PREFIXES
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+    {
+        return;
+    }
+    const NARROW_TARGETS: &[&str] = &["u64", "u32", "u16", "u8", "i64", "i32", "f32"];
+    for cast in &file_ast.casts {
+        if cast.in_test {
+            continue;
+        }
+        let base = cast
+            .target
+            .split_whitespace()
+            .find(|w| !matches!(*w, "&" | "*" | "mut" | "const" | "dyn"))
+            .unwrap_or("");
+        if !NARROW_TARGETS.contains(&base) {
+            continue;
+        }
+        if let Some(marker) = cast
+            .operand_idents
+            .iter()
+            .find(|n| is_lossy_domain_marker(n))
+        {
+            findings.push(Finding {
+                rule: "R9",
+                file: rel_path.to_string(),
+                line: cast.line,
+                col: cast.col,
+                message: format!(
+                    "`as {base}` narrows `{marker}` — time/sequence/DSN values silently \
+                     truncate; convert through the typed API or prove the range",
+                    base = base,
+                    marker = marker
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// R10: eager trace emission. `Tracer::emit(now, make)` takes a closure
+/// precisely so disabled tracing costs nothing; passing a prebuilt event,
+/// or capturing locals that were computed just above *for the event*,
+/// pays the formatting/conversion cost on every call.
+fn check_eager_trace(
+    rel_path: &str,
+    tokens: &[Token],
+    file_ast: &FileAst,
+    findings: &mut Vec<Finding>,
+) {
+    for call in &file_ast.calls {
+        if call.in_test
+            || !call.is_method
+            || call.path.last().map(String::as_str) != Some("emit")
+            || !call.recv_idents.iter().any(|n| n == "tracer")
+        {
+            continue;
+        }
+        let closure_args: Vec<_> = call.args.iter().filter(|a| a.is_closure).collect();
+        if closure_args.is_empty() {
+            findings.push(Finding {
+                rule: "R10",
+                file: rel_path.to_string(),
+                line: call.line,
+                col: call.col,
+                message: "tracer emit without a lazy closure — the event is built even when \
+                          tracing is disabled; pass `|| TraceEvent::…`"
+                    .to_string(),
+                suppressed: None,
+            });
+            continue;
+        }
+        // Closure-captured locals computed just above the call *for the
+        // event alone*: the computation ran eagerly even though only the
+        // closure needs it. A local that non-trace code also uses is
+        // load-bearing and exempt.
+        let spans: Vec<(usize, usize)> = closure_args.iter().map(|a| a.span).collect();
+        if let Some(name) = eager_capture(tokens, &spans, call.line) {
+            findings.push(Finding {
+                rule: "R10",
+                file: rel_path.to_string(),
+                line: call.line,
+                col: call.col,
+                message: format!(
+                    "`{name}` is computed outside the trace closure and used nowhere else — \
+                     move the computation inside `|| …` so disabled tracing stays free"
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Does a closure spanning one of `spans` capture a local that a nearby
+/// preceding `let` computed (initializer contains a call or arithmetic)
+/// and that nothing *outside* the closures uses? Returns the first such
+/// binding name.
+fn eager_capture(tokens: &[Token], spans: &[(usize, usize)], call_line: u32) -> Option<String> {
+    let first_start = spans.iter().map(|s| s.0).min()?;
+    let last_end = spans.iter().map(|s| s.1).max()?;
+    let in_closure = |oi: usize| spans.iter().any(|&(a, b)| oi >= a && oi < b);
+    // Identifiers referenced inside the closure bodies.
+    let mut captured: Vec<&str> = Vec::new();
+    for (oi, t) in tokens.iter().enumerate() {
+        if in_closure(oi) && t.kind == TokenKind::Ident && !captured.contains(&t.text.as_str()) {
+            captured.push(&t.text);
+        }
+    }
+    // Walk backwards over `let <name> = <init>;` statements above the
+    // call (bounded: 250 tokens, same fn, 15 lines).
+    let sig: Vec<usize> = (0..first_start.min(tokens.len()))
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let lo = sig.len().saturating_sub(250);
+    for w in (lo..sig.len().saturating_sub(2)).rev() {
+        let t0 = &tokens[sig[w]];
+        if t0.kind == TokenKind::Ident && t0.text == "fn" {
+            break; // do not cross into a previous function
+        }
+        if !(t0.kind == TokenKind::Ident && t0.text == "let") {
+            continue;
+        }
+        let mut n = w + 1;
+        if tokens[sig[n]].text == "mut" {
+            n += 1;
+        }
+        if n + 1 >= sig.len() {
+            continue;
+        }
+        let name_tok = &tokens[sig[n]];
+        if name_tok.kind != TokenKind::Ident
+            || !captured.contains(&name_tok.text.as_str())
+            || tokens[sig[n + 1]].text != "="
+        {
+            continue;
+        }
+        if call_line.saturating_sub(name_tok.line) > 15 {
+            continue;
+        }
+        // Initializer up to the `;`: calls or arithmetic mean real work.
+        let mut computed = false;
+        let mut stmt_end = tokens.len();
+        for &oi in sig.iter().skip(n + 2) {
+            let t = &tokens[oi];
+            if t.text == ";" {
+                stmt_end = oi;
+                break;
+            }
+            if t.kind == TokenKind::Punct
+                && matches!(
+                    t.text.as_str(),
+                    "(" | "+" | "-" | "*" | "/" | "%" | "<<" | ">>"
+                )
+            {
+                computed = true;
+            }
+        }
+        if !computed {
+            continue;
+        }
+        // Any use outside the closures — between the `let` and the call,
+        // or shortly after it — means the value is load-bearing for
+        // non-trace code, so computing it eagerly is legitimate.
+        let name = name_tok.text.as_str();
+        let mut fwd_limit = (last_end + 200).min(tokens.len());
+        if let Some(next_fn) = (last_end..fwd_limit).find(|&oi| {
+            !tokens[oi].is_comment()
+                && tokens[oi].kind == TokenKind::Ident
+                && tokens[oi].text == "fn"
+        }) {
+            fwd_limit = next_fn; // do not cross into the next function
+        }
+        let used_elsewhere = (stmt_end..fwd_limit).any(|oi| {
+            let t = &tokens[oi];
+            !in_closure(oi) && t.kind == TokenKind::Ident && t.text == name
+        });
+        if !used_elsewhere {
+            return Some(name_tok.text.clone());
+        }
+    }
+    None
+}
+
+/// Iterator adapters that preserve their source's order.
+const STABLE_ADAPTERS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "range",
+    "drain",
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "enumerate",
+    "zip",
+    "chain",
+    "take",
+    "take_while",
+    "skip",
+    "skip_while",
+    "rev",
+    "copied",
+    "cloned",
+    "inspect",
+    "by_ref",
+    "step_by",
+    "windows",
+    "chunks",
+    "chunks_exact",
+    "peekable",
+    "fuse",
+    "lines",
+    "chars",
+    "bytes",
+];
+
+/// First links that prove a call-rooted chain entered iteration through
+/// an order-defined entry point.
+const ITER_ENTRY: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "range",
+    "windows",
+    "chunks",
+    "lines",
+    "chars",
+    "bytes",
+];
+
+/// Is a chain's iteration order proven stable? BTree/Vec/slice/range
+/// sources iterate in a defined order (Hash* containers are already
+/// banned in sim crates by R2); an unrecognised adapter or opaque root
+/// means "cannot prove it", which is a finding for float folds.
+fn chain_is_order_stable(root: &ChainRoot, links: &[String]) -> bool {
+    if !links.iter().all(|l| STABLE_ADAPTERS.contains(&l.as_str())) {
+        return false;
+    }
+    match root {
+        ChainRoot::Ident(_) | ChainRoot::Lit | ChainRoot::Range | ChainRoot::ArrayLit => true,
+        ChainRoot::Call(_) => links
+            .first()
+            .is_some_and(|l| ITER_ENTRY.contains(&l.as_str())),
+        ChainRoot::Paren | ChainRoot::Unknown => false,
+    }
+}
+
+/// R11: order-sensitive float reductions. Float addition does not
+/// associate, so a `.sum()`/`.fold()` (or a `+=` loop) over an iteration
+/// source whose order is not proven stable can change published numbers
+/// between runs. Applies to test code too — digest-comparison tests are
+/// where this bites first.
+fn check_float_fold(
+    rel_path: &str,
+    tokens: &[Token],
+    file_ast: &FileAst,
+    findings: &mut Vec<Finding>,
+) {
+    if !in_sim_crate(rel_path) {
+        return;
+    }
+    for red in &file_ast.reductions {
+        if !red.float_hint || chain_is_order_stable(&red.root, &red.links) {
+            continue;
+        }
+        let via = if red.links.is_empty() {
+            String::new()
+        } else {
+            format!(" via `.{}()`", red.links.join("()."))
+        };
+        findings.push(Finding {
+            rule: "R11",
+            file: rel_path.to_string(),
+            line: red.line,
+            col: red.col,
+            message: format!(
+                "float `.{}()`{via} over a source not proven order-stable — collect into an \
+                 ordered container first, or restructure the fold",
+                red.terminal
+            ),
+            suppressed: None,
+        });
+    }
+    // `+=` accumulation inside a for-loop over an unstable source.
+    for lp in &file_ast.for_loops {
+        if chain_is_order_stable(&lp.root, &lp.links) {
+            continue;
+        }
+        for oi in lp.body_span.0..lp.body_span.1.min(tokens.len()) {
+            let t = &tokens[oi];
+            if !(t.kind == TokenKind::Punct && t.text == "+=") {
+                continue;
+            }
+            if statement_has_float_evidence(tokens, oi) {
+                findings.push(Finding {
+                    rule: "R11",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: "float `+=` inside a loop over a source not proven order-stable — \
+                              float addition does not associate"
+                        .to_string(),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}
+
+/// Does the statement around token `at` involve floats (a float literal
+/// or an explicit f64/f32)?
+fn statement_has_float_evidence(tokens: &[Token], at: usize) -> bool {
+    let is_boundary =
+        |t: &Token| t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
+    let float_ish = |t: &Token| {
+        t.kind == TokenKind::Float
+            || (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "f64" | "f32"))
+    };
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if is_boundary(t) {
+            break;
+        }
+        if float_ish(t) {
+            return true;
+        }
+    }
+    let mut i = at + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_boundary(t) {
+            break;
+        }
+        if float_ish(t) {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
 /// Parameter names that denote a bare time quantity.
 fn is_raw_time_name(name: &str) -> bool {
     matches!(
@@ -690,16 +1411,37 @@ mod tests {
     }
 
     #[test]
-    fn r5_scoped_to_hot_paths_and_skips_tests() {
+    fn r5_follows_the_context_hot_set_and_skips_tests() {
         let src = "fn f(x: Option<u32>) { x.unwrap(); }\n#[test]\nfn t() { Some(1).unwrap(); }\n";
-        let f = lint("crates/eventsim/src/queue.rs", src);
+        // With a derived hot set, membership is exact — no path prefix
+        // carries weight on its own. The same file flips between hot
+        // and cold purely on context, and test code is always skipped.
+        let hot: std::collections::BTreeSet<String> = ["crates/core/src/olia.rs".to_string()]
+            .into_iter()
+            .collect();
+        let ctx = LintContext::with_hot_files(hot);
+        let cfg = Config::default();
+        let f = lint_source_with("crates/core/src/olia.rs", src, &cfg, &ctx);
         assert_eq!(f.len(), 1);
         assert_eq!((f[0].rule, f[0].line), ("R5", 1));
-        // queue.rs joined the hot set when the packet arena landed; a
-        // netsim file outside the hot set stays clean.
-        assert_eq!(lint("crates/netsim/src/queue.rs", src).len(), 1);
+        assert!(lint_source_with("crates/core/src/lia.rs", src, &cfg, &ctx).is_empty());
+        assert!(lint_source_with("crates/eventsim/src/queue.rs", src, &cfg, &ctx).is_empty());
+    }
+
+    #[test]
+    fn r5_legacy_context_falls_back_to_the_seed_prefixes() {
+        // Single-file entry points (`lint_source`, fixture tests) have no
+        // call graph; they fall back to the seed prefix list that also
+        // feeds `[hotpath]` in simlint.toml.
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        let ctx = LintContext::legacy();
+        for prefix in HOT_PATH_PREFIXES {
+            let path = format!("{prefix}probe.rs");
+            assert!(ctx.is_hot(&path), "{path} should be hot under legacy");
+            assert_eq!(lint(&path, src).len(), 1, "{path}");
+        }
+        assert!(!ctx.is_hot("crates/netsim/src/profile.rs"));
         assert!(lint("crates/netsim/src/profile.rs", src).is_empty());
-        assert_eq!(lint("crates/netsim/src/sim.rs", src).len(), 1);
     }
 
     #[test]
@@ -809,5 +1551,66 @@ use std::collections::HashSet; // simlint: allow(R2) dedup-only in setup
         let f = lint("crates/netsim/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "R1");
+    }
+
+    #[test]
+    fn r8_unit_classifiers() {
+        // Exact names and suffixed names carry units; prose does not.
+        assert_eq!(time_unit_of("ns"), Some("ns"));
+        assert_eq!(time_unit_of("delay_ms"), Some("ms"));
+        assert_eq!(time_unit_of("warmup_s"), Some("s"));
+        assert_eq!(time_unit_of("horizon"), None);
+        assert_eq!(
+            time_unit_of("announce"),
+            None,
+            "suffix match must respect `_`"
+        );
+        assert_eq!(ctor_unit("from_nanos"), Some("ns"));
+        assert_eq!(ctor_unit("from_secs_f64"), Some("s"));
+        assert_eq!(ctor_unit("new"), None);
+        // rtt/elapsed/deadline mark time without naming a unit.
+        assert!(is_time_marker("srtt"));
+        assert!(is_time_marker("elapsed"));
+        assert!(!is_time_marker("cwnd"));
+    }
+
+    #[test]
+    fn r8_conversion_constants() {
+        for c in ["1e9", "1E9", "1e-6", "1_000_000", "1000f64", "1e3_f64"] {
+            assert!(is_conversion_constant(c), "{c}");
+        }
+        for c in ["8.0", "2", "0.5", "42", "100"] {
+            assert!(!is_conversion_constant(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn r9_domain_markers() {
+        for m in ["now_ns", "seq", "dsn", "srtt", "as_nanos", "deadline"] {
+            assert!(is_lossy_domain_marker(m), "{m}");
+        }
+        for m in ["flags", "cwnd_pkts", "idx", "count"] {
+            assert!(!is_lossy_domain_marker(m), "{m}");
+        }
+    }
+
+    #[test]
+    fn r11_chain_stability() {
+        let ident = ChainRoot::Ident("alphas".to_string());
+        let stable: Vec<String> = ["iter", "map", "copied"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(chain_is_order_stable(&ident, &stable));
+        // An opaque method in the chain poisons stability.
+        let opaque: Vec<String> = ["pending", "map"].iter().map(|s| s.to_string()).collect();
+        assert!(!chain_is_order_stable(&ident, &opaque));
+        // A call root is stable only when it immediately enters iteration.
+        let call = ChainRoot::Call("pending".to_string());
+        let entry: Vec<String> = ["iter", "map"].iter().map(|s| s.to_string()).collect();
+        assert!(chain_is_order_stable(&call, &entry));
+        let bare: Vec<String> = ["map"].iter().map(|s| s.to_string()).collect();
+        assert!(!chain_is_order_stable(&call, &bare));
+        assert!(!chain_is_order_stable(&ChainRoot::Unknown, &stable));
     }
 }

@@ -2,7 +2,7 @@
 // unknown rule, or omit the mandatory reason. None of them suppress.
 use std::collections::HashMap; // simlint: allow(R2)
 
-// simlint: allow(R9) no such rule
+// simlint: allow(R99) no such rule
 use std::collections::HashSet;
 
 // simlint: deny(R2) wrong verb

@@ -1,0 +1,20 @@
+//! Parser fixture: macro bodies are skipped opaquely. The token soup in a
+//! `macro_rules!` arm (or an invocation) follows macro grammar, not Rust
+//! grammar, and must not corrupt recovery of the items that follow.
+
+macro_rules! emit_pair {
+    ($a:expr, $b:expr) => {
+        ($a, $b)
+    };
+}
+
+pub fn after_macro_def(x: u64) -> u64 {
+    checked(x)
+}
+
+fn checked(x: u64) -> u64 {
+    assert_ne!(x, 0);
+    x + 1
+}
+
+pub const LIMIT: usize = 16;

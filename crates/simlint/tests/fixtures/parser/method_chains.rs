@@ -1,0 +1,24 @@
+//! Parser fixture: method chains. Roots, intermediate links, and closure
+//! arguments must be recovered so the order-stability classifier (R11)
+//! has something to work with.
+
+pub struct Mix {
+    alphas: Vec<f64>,
+}
+
+impl Mix {
+    pub fn best(&self) -> f64 {
+        self.alphas
+            .iter()
+            .copied()
+            .map(|a| a * 2.0)
+            .fold(f64::MIN, f64::max)
+    }
+}
+
+pub fn pairs(xs: &[u32]) -> Vec<(u32, u32)> {
+    xs.iter()
+        .zip(xs.iter().skip(1))
+        .map(|(a, b)| (*a, *b))
+        .collect()
+}

@@ -1,0 +1,23 @@
+//! Parser fixture: nested generics. The `>>` that closes
+//! `Vec<(K, V)>>` lexes as a shift token and must not derail item or
+//! signature parsing.
+
+use std::collections::BTreeMap;
+
+pub struct Table<K, V> {
+    rows: BTreeMap<K, Vec<(K, V)>>,
+}
+
+impl<K: Ord + Clone, V: Clone> Table<K, V> {
+    pub fn get_all(&self, key: &K) -> Option<Vec<(K, V)>> {
+        self.rows.get(key).cloned()
+    }
+}
+
+pub fn total(counts: &BTreeMap<String, Vec<u64>>) -> u64 {
+    counts.values().flat_map(|v| v.iter().copied()).sum::<u64>()
+}
+
+pub fn shift(x: u64, n: u32) -> u64 {
+    x >> n
+}

@@ -1,0 +1,15 @@
+//! Parser fixture: string and raw-string literals are opaque. The code-like
+//! text inside them (fn keywords, braces, quotes) must not produce items
+//! or calls.
+
+pub fn render(name: &str) -> String {
+    let header = r#"fn fake_item() { HashMap::new() }"#;
+    let nested = r##"a "quoted #" and an unmatched { brace"##;
+    let plain = "struct NotAnItem { x: u32 }";
+    let owned = name.to_string();
+    format!("{header}{nested}{plain}{owned}")
+}
+
+pub struct Page {
+    pub body: String,
+}

@@ -1,0 +1,26 @@
+//! R10 known-bad fixture: eager trace emission.
+
+pub fn no_closure(tracer: &Tracer, now: SimTime, seq: u64) {
+    tracer.emit(now, TraceEvent::Send { seq }); // event built even when tracing is off
+}
+
+pub fn eager_args(ctx: &Ctx, seq: u64) {
+    let qlen = queue_depth(seq) + 1;
+    ctx.tracer().emit(ctx.now(), || TraceEvent::Queue { qlen });
+}
+
+pub fn lazy_ok(ctx: &Ctx, seq: u64) {
+    ctx.tracer()
+        .emit(ctx.now(), || TraceEvent::Queue { qlen: queue_depth(seq) + 1 });
+}
+
+pub fn load_bearing_ok(ctx: &Ctx, seq: u64) {
+    let qlen = queue_depth(seq) + 1;
+    record(qlen); // the value is used by non-trace code too
+    ctx.tracer().emit(ctx.now(), || TraceEvent::Queue { qlen });
+}
+
+pub fn cheap_capture_ok(ctx: &Ctx, state: &State) {
+    let conn = state.conn;
+    ctx.tracer().emit(ctx.now(), || TraceEvent::Open { conn });
+}

@@ -1,0 +1,43 @@
+//! R11 known-bad fixture: order-sensitive float reductions.
+
+pub struct Paths {
+    alphas: Vec<f64>,
+}
+
+impl Paths {
+    fn pending(&self) -> impl Iterator<Item = f64> + '_ {
+        self.alphas.iter().copied()
+    }
+
+    pub fn unstable_sum(&self) -> f64 {
+        self.pending().map(|a| a * 0.5).sum::<f64>()
+    }
+
+    pub fn unstable_fold(&self) -> f64 {
+        self.pending().fold(0.0, |acc, a| acc + a)
+    }
+
+    pub fn unstable_loop(&self, others: &Paths) -> f64 {
+        let mut acc = 0.0_f64;
+        for a in others.pending() {
+            acc += a * 2.0;
+        }
+        acc
+    }
+
+    pub fn stable_sum_ok(&self) -> f64 {
+        self.alphas.iter().copied().sum::<f64>() // clean: slice iteration is ordered
+    }
+
+    pub fn stable_loop_ok(&self) -> f64 {
+        let mut acc = 0.0_f64;
+        for a in self.alphas.iter().copied() {
+            acc += a * 2.0; // clean: ordered source
+        }
+        acc
+    }
+
+    pub fn int_sum_ok(&self, counts: &Counts) -> u64 {
+        counts.pending().sum::<u64>() // clean: integer addition associates
+    }
+}

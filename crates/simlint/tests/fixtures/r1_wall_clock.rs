@@ -9,5 +9,5 @@ fn service_delay() -> u64 {
     let started = Instant::now(); // line 9: R1
     let _ = SystemTime::now(); // line 10: R1
     let _ = "Instant inside a string literal";
-    started.elapsed().as_nanos() as u64
+    started.elapsed().as_nanos() as u64 // line 12: R9 (u128 nanos → u64)
 }

@@ -1,0 +1,39 @@
+//! R8 known-bad fixture: unit mismatches in typed-time arithmetic.
+
+use eventsim::{SimDuration, SimTime};
+
+pub fn ctor_mismatch(dt_ns: u64) -> SimDuration {
+    SimDuration::from_secs(dt_ns) // a nanosecond quantity fed to a seconds ctor
+}
+
+fn ctor_mismatch_ms(delay_ms: f64) -> SimDuration {
+    SimDuration::from_secs_f64(delay_ms)
+}
+
+pub fn literal_mix(t: SimTime) -> u64 {
+    t.as_nanos() + 500 // 500 *what*?
+}
+
+pub fn literal_mix_left(d: SimDuration) -> f64 {
+    3.5 - d.as_secs_f64()
+}
+
+pub fn hand_conversion(elapsed_ns: u64) -> f64 {
+    elapsed_ns as f64 / 1e9
+}
+
+pub fn hand_conversion_right(rtt: f64) -> f64 {
+    1e9 * rtt
+}
+
+pub fn ok_typed(d: SimDuration) -> u64 {
+    d.as_nanos() // clean: no raw arithmetic
+}
+
+pub fn ok_ratio(busy_ns: u64, elapsed_ns: u64) -> f64 {
+    busy_ns as f64 / elapsed_ns as f64 // clean: same-unit ratio, no conversion constant
+}
+
+pub fn ok_matching_ctor(dt_ns: u64) -> SimDuration {
+    SimDuration::from_nanos(dt_ns) // clean: units agree
+}

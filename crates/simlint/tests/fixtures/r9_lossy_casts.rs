@@ -1,0 +1,34 @@
+//! R9 known-bad fixture: lossy `as` casts on time/sequence/DSN domains.
+
+pub fn narrow_time(now_ns: u64) -> u32 {
+    now_ns as u32 // truncates after ~4.3 simulated seconds
+}
+
+pub fn narrow_seq(seq: u64) -> u32 {
+    seq as u32
+}
+
+pub fn key_unpack(key: u128) -> u64 {
+    (key >> 64) as u64
+}
+
+pub fn srtt_to_f32(srtt: f64) -> f32 {
+    srtt as f32 // halves the mantissa
+}
+
+pub fn widen_ok(count_ns: u64) -> u128 {
+    count_ns as u128 // clean: widening cast
+}
+
+pub fn unrelated_ok(flags: u64) -> u32 {
+    flags as u32 // clean: not a tracked domain
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cast_in_test_ok() {
+        let now_ns = 5_u64;
+        assert_eq!(now_ns as u32, 5); // clean: test code is exempt
+    }
+}

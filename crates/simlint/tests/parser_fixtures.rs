@@ -1,0 +1,136 @@
+//! Parser fixture suite: each `tests/fixtures/parser/*.rs` snippet stresses
+//! one recovery hazard (raw strings, nested generics, long chains, opaque
+//! macros) and is asserted against the exact item/fn/call/reduction shape
+//! the recursive-descent parser must extract — so a parser regression shows
+//! up as a count drift here before it silently blinds a rule.
+
+use simlint::ast::{self, ChainRoot, FileAst, ItemKind};
+use simlint::lexer;
+
+fn parse(src: &str) -> FileAst {
+    ast::parse(&lexer::lex(src))
+}
+
+/// (kind, name) of every item, in source order.
+fn items(ast: &FileAst) -> Vec<(ItemKind, &str)> {
+    ast.items
+        .iter()
+        .map(|i| (i.kind, i.name.as_str()))
+        .collect()
+}
+
+/// (joined path, line) of every call, in source order.
+fn calls(ast: &FileAst) -> Vec<(String, u32)> {
+    ast.calls
+        .iter()
+        .map(|c| (c.path.join("::"), c.line))
+        .collect()
+}
+
+#[test]
+fn raw_strings_are_opaque() {
+    let ast = parse(include_str!("fixtures/parser/raw_strings.rs"));
+    // The fn/struct/brace soup inside the string literals must not
+    // surface as items, and `HashMap::new()` in a raw string is no call.
+    assert_eq!(
+        items(&ast),
+        vec![(ItemKind::Fn, "render"), (ItemKind::Struct, "Page")]
+    );
+    assert_eq!(calls(&ast), vec![("to_string".to_string(), 9)]);
+    // `format!` is skipped opaquely.
+    assert_eq!(ast.skipped_macros, 1);
+}
+
+#[test]
+fn nested_generics_do_not_derail_items() {
+    let ast = parse(include_str!("fixtures/parser/nested_generics.rs"));
+    // `Vec<(K, V)>>` lexes its closer as a `>>` shift token; the parser
+    // must still find the impl's method and both free functions.
+    assert_eq!(
+        items(&ast),
+        vec![
+            (ItemKind::Use, ""),
+            (ItemKind::Struct, "Table"),
+            (ItemKind::Impl, "Table"),
+            (ItemKind::Fn, "get_all"),
+            (ItemKind::Fn, "total"),
+            (ItemKind::Fn, "shift"),
+        ]
+    );
+    let owners: Vec<(&str, Option<&str>)> = ast
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.owner.as_deref()))
+        .collect();
+    assert_eq!(
+        owners,
+        vec![("get_all", Some("Table")), ("total", None), ("shift", None)]
+    );
+    // All seven method calls survive, including the ones inside the
+    // closure argument of `flat_map`.
+    assert_eq!(
+        calls(&ast),
+        vec![
+            ("get".to_string(), 13),
+            ("cloned".to_string(), 13),
+            ("values".to_string(), 18),
+            ("flat_map".to_string(), 18),
+            ("iter".to_string(), 18),
+            ("copied".to_string(), 18),
+            ("sum".to_string(), 18),
+        ]
+    );
+    // The `::<u64>` turbofish keeps the reduction float-free.
+    assert_eq!(ast.reductions.len(), 1);
+    let r = &ast.reductions[0];
+    assert_eq!(r.terminal, "sum");
+    assert_eq!(r.links, vec!["values", "flat_map"]);
+    assert_eq!(r.root, ChainRoot::Ident("counts".to_string()));
+    assert!(!r.float_hint);
+}
+
+#[test]
+fn method_chains_keep_root_and_links() {
+    let ast = parse(include_str!("fixtures/parser/method_chains.rs"));
+    assert_eq!(
+        items(&ast),
+        vec![
+            (ItemKind::Struct, "Mix"),
+            (ItemKind::Impl, "Mix"),
+            (ItemKind::Fn, "best"),
+            (ItemKind::Fn, "pairs"),
+        ]
+    );
+    // A field-rooted multi-line chain: the fold terminal records every
+    // intermediate link and classifies the root as the base identifier.
+    assert_eq!(ast.reductions.len(), 1);
+    let r = &ast.reductions[0];
+    assert_eq!(r.terminal, "fold");
+    assert_eq!(r.links, vec!["iter", "copied", "map"]);
+    assert_eq!(r.root, ChainRoot::Ident("self".to_string()));
+    assert!(r.float_hint, "f64::MIN seed must set the float hint");
+    // Ten method calls across the two chains.
+    assert_eq!(ast.calls.len(), 10);
+    assert!(ast.calls.iter().all(|c| c.is_method));
+}
+
+#[test]
+fn macro_bodies_are_skipped_opaquely() {
+    let ast = parse(include_str!("fixtures/parser/macros_opaque.rs"));
+    // The macro_rules body ($a:expr soup) must not eat the items after
+    // it, and the assert_ne! invocation stays opaque too.
+    assert_eq!(
+        items(&ast),
+        vec![
+            (ItemKind::MacroDef, "emit_pair"),
+            (ItemKind::Fn, "after_macro_def"),
+            (ItemKind::Fn, "checked"),
+            (ItemKind::Const, "LIMIT"),
+        ]
+    );
+    assert_eq!(ast.skipped_macros, 2);
+    // The only real call is the free-fn call between the macros.
+    assert_eq!(calls(&ast), vec![("checked".to_string(), 12)]);
+    let vis: Vec<bool> = ast.fns.iter().map(|f| f.is_pub).collect();
+    assert_eq!(vis, vec![true, false]);
+}

@@ -23,9 +23,11 @@ fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
 fn r1_wall_clock_fixture() {
     let src = include_str!("fixtures/r1_wall_clock.rs");
     let f = lint("crates/netsim/src/fixture.rs", src);
+    // The final line also narrows the u128 nanosecond count — R9 covers
+    // that independently of the wall-clock hazard.
     assert_eq!(
         positions(&f),
-        vec![("R1", 4), ("R1", 9), ("R1", 10)],
+        vec![("R1", 4), ("R1", 9), ("R1", 10), ("R9", 12)],
         "{f:#?}"
     );
 }
@@ -195,4 +197,67 @@ fn unused_allow_fixture_reports_a2() {
     let f = lint("crates/core/src/fixture.rs", src);
     assert_eq!(positions(&f), vec![("A2", 2)], "{f:#?}");
     assert!(f[0].suppressed.is_none());
+}
+
+#[test]
+fn r8_unit_mismatch_fixture() {
+    let src = include_str!("fixtures/r8_unit_mismatch.rs");
+    let f = lint("crates/eventsim/src/fixture.rs", src);
+    // Ctor-unit mismatch (ns→secs, ms→secs), accessor±literal both ways,
+    // and hand-rolled conversion constants in both operand orders; the
+    // typed/ratio/matching-ctor cases stay clean.
+    assert_eq!(
+        positions(&f),
+        vec![
+            ("R8", 6),
+            ("R8", 10),
+            ("R8", 14),
+            ("R8", 18),
+            ("R8", 22),
+            ("R8", 26)
+        ],
+        "{f:#?}"
+    );
+    // Outside the sim crates the same source is clean.
+    assert!(lint("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r9_lossy_cast_fixture() {
+    let src = include_str!("fixtures/r9_lossy_casts.rs");
+    let f = lint("crates/eventsim/src/fixture.rs", src);
+    // u64→u32 on time and sequence numbers, u128→u64 key unpack, and
+    // f64→f32; widening casts, untracked domains, and test code are clean.
+    assert_eq!(
+        positions(&f),
+        vec![("R9", 4), ("R9", 8), ("R9", 12), ("R9", 16)],
+        "{f:#?}"
+    );
+    // R9's scope is the call-graph universe; topo sits outside it.
+    assert!(lint("crates/topo/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r10_eager_trace_fixture() {
+    let src = include_str!("fixtures/r10_eager_trace.rs");
+    let f = lint("crates/netsim/src/fixture.rs", src);
+    // A closure-less emit and a trace-only local computed outside the
+    // closure fire; lazy closures, load-bearing locals, and cheap field
+    // copies are clean.
+    assert_eq!(positions(&f), vec![("R10", 4), ("R10", 9)], "{f:#?}");
+}
+
+#[test]
+fn r11_float_fold_fixture() {
+    let src = include_str!("fixtures/r11_float_fold.rs");
+    let f = lint("crates/tcpsim/src/fixture.rs", src);
+    // `.sum::<f64>()`, `.fold(0.0, …)`, and a `+=` loop over an opaque
+    // iterator method fire; slice-rooted chains and integer sums are clean.
+    assert_eq!(
+        positions(&f),
+        vec![("R11", 13), ("R11", 17), ("R11", 23)],
+        "{f:#?}"
+    );
+    // R11 is scoped to the sim crates.
+    assert!(lint("crates/viz/src/fixture.rs", src).is_empty());
 }

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use simlint::config::Config;
 use simlint::lexer::lex;
 use simlint::rules::lint_source;
-use simlint::{lint_workspace, walk};
+use simlint::{ast, graph, lexer, lint_workspace, lint_workspace_with, rules, walk};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -118,5 +118,170 @@ fn deleting_any_inline_allow_in_real_sources_fails_the_gate() {
     assert!(
         exercised >= 11,
         "expected to exercise all inline allows in the workspace, found {exercised}"
+    );
+}
+
+/// Parse the real call-graph universe from disk, as `lint_workspace` does.
+fn parse_universe(root: &Path) -> Vec<graph::ParsedFile> {
+    walk::rust_files(root)
+        .unwrap()
+        .into_iter()
+        .filter_map(|path| {
+            let rel = walk::relative(root, &path);
+            graph::GRAPH_UNIVERSE_PREFIXES
+                .iter()
+                .any(|p| rel.starts_with(p))
+                .then(|| graph::ParsedFile {
+                    ast: ast::parse(&lexer::lex(&fs::read_to_string(&path).unwrap())),
+                    rel,
+                })
+        })
+        .collect()
+}
+
+/// The v2 acceptance lock: the call-graph-derived hot-path set must be a
+/// superset of the v1 hand-maintained prefix list, *before* the configured
+/// seeds are unioned in — so retiring the hand list loses no coverage and
+/// the seeds in simlint.toml are belt-and-suspenders, not load-bearing
+/// for files the graph already reaches.
+#[test]
+fn derived_hot_set_covers_the_legacy_hand_list() {
+    let root = repo_root();
+    let universe = parse_universe(&root);
+    let hot = graph::derive_hot_paths(&universe);
+    assert!(
+        !hot.matched_roots.is_empty(),
+        "no call-graph root matched — the root patterns have drifted from \
+         the sources"
+    );
+
+    // Same criterion as the A3 seed audit: a file with no non-test
+    // functions has no R5 surface, so coverage there is vacuous (the
+    // crate lib.rs files are pure re-exports).
+    let mut checked = 0usize;
+    for pf in &universe {
+        let has_fns = pf.ast.fns.iter().any(|f| !f.is_test && !f.name.is_empty());
+        if has_fns
+            && rules::HOT_PATH_PREFIXES
+                .iter()
+                .any(|p| pf.rel.starts_with(p))
+        {
+            assert!(
+                hot.files.contains(&pf.rel),
+                "{} is on the legacy hand list but the derived set misses \
+                 it — roots: {:?}, derived: {:?}",
+                pf.rel,
+                hot.matched_roots,
+                hot.files
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 4,
+        "legacy hand-list prefixes matched only {checked} files — the walk \
+         or the prefixes have drifted"
+    );
+}
+
+fn unsuppressed_count(root: &Path, config: &Config) -> usize {
+    lint_workspace_with(root, config, true)
+        .unwrap()
+        .unsuppressed()
+        .count()
+}
+
+/// Every `simlint.toml` entry is load-bearing. Removing any `[[allow]]`
+/// resurfaces the findings it covers; the A3 audit stays quiet on the real
+/// config and fires on a planted stale entry, in both stale flavors.
+#[test]
+fn every_simlint_toml_entry_is_load_bearing() {
+    let root = repo_root();
+    let config = repo_config(&root);
+    assert_eq!(
+        unsuppressed_count(&root, &config),
+        0,
+        "workspace is not clean under the real config"
+    );
+    assert!(
+        !config.allows.is_empty() && !config.hotpath.seeds.is_empty(),
+        "simlint.toml lost its entries"
+    );
+
+    // Dropping any one [[allow]] fails the gate.
+    for i in 0..config.allows.len() {
+        let mut pruned = config.clone();
+        let dropped = pruned.allows.remove(i);
+        assert!(
+            unsuppressed_count(&root, &pruned) > 0,
+            "[[allow]] path=\"{}\" rules={:?} suppresses nothing — stale \
+             entry, remove it from simlint.toml",
+            dropped.path,
+            dropped.rules
+        );
+    }
+
+    // The A3 audit agrees: quiet on the real config…
+    let run = lint_workspace_with(&root, &config, true).unwrap();
+    assert!(
+        run.findings.iter().all(|f| f.rule != "A3"),
+        "A3 fired on the checked-in simlint.toml: {:#?}",
+        run.findings
+            .iter()
+            .filter(|f| f.rule == "A3")
+            .collect::<Vec<_>>()
+    );
+
+    // …and loud on planted stale entries: a seed naming no file, and a
+    // seed naming a real file the call graph cannot reach.
+    let mut ghost = config.clone();
+    ghost
+        .hotpath
+        .seeds
+        .push("crates/netsim/src/no_such_module.rs".to_string());
+    let run = lint_workspace_with(&root, &ghost, true).unwrap();
+    assert!(
+        run.findings
+            .iter()
+            .any(|f| f.rule == "A3" && f.suppressed.is_none() && f.file == "simlint.toml"),
+        "a hot-path seed matching no file must be flagged A3"
+    );
+
+    // Every real universe file with functions is currently reachable
+    // (that is the superset lock), so the unreachable flavor needs a
+    // planted orphan: a file with a function no root can reach, run
+    // through the same derive + audit pipeline as the real pass.
+    let mut universe = parse_universe(&root);
+    universe.push(graph::ParsedFile {
+        rel: "crates/netsim/src/orphan.rs".to_string(),
+        ast: ast::parse(&lexer::lex("pub fn lonely() {}\n")),
+    });
+    let hot = graph::derive_hot_paths(&universe);
+    let issues = graph::audit_seeds(
+        &["crates/netsim/src/orphan.rs".to_string()],
+        &universe,
+        &hot,
+    );
+    assert!(
+        issues.iter().any(
+            |i| matches!(&i.problem, graph::SeedProblem::Unreachable(f) if f.contains("orphan"))
+        ),
+        "a seed the graph cannot justify must be flagged: {issues:#?}"
+    );
+
+    // A planted allow that suppresses nothing is also A3.
+    let mut useless = config.clone();
+    useless.allows.push(simlint::config::PathAllow {
+        path: "crates/topo/src/".to_string(),
+        rules: vec!["R3".to_string()],
+        reason: "planted: nothing to suppress here".to_string(),
+        line: 999,
+    });
+    let run = lint_workspace_with(&root, &useless, true).unwrap();
+    assert!(
+        run.findings
+            .iter()
+            .any(|f| f.rule == "A3" && f.line == 999 && f.message.contains("suppresses nothing")),
+        "an allow that suppresses nothing must be flagged A3"
     );
 }

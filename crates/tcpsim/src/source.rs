@@ -542,13 +542,11 @@ impl TcpSource {
                 if sample > SimDuration::ZERO {
                     sf.rtt.sample(sample);
                     let conn = self.conn;
-                    let rtt_ns = sample.as_nanos();
-                    let srtt_ns = (sf.rtt.srtt_or(0.0) * 1e9).round() as u64;
                     ctx.tracer().emit(ctx.now(), || TraceEvent::RttSample {
                         conn,
                         subflow: idx as u16,
-                        rtt_ns,
-                        srtt_ns,
+                        rtt_ns: sample.as_nanos(),
+                        srtt_ns: SimDuration::from_secs_f64(sf.rtt.srtt_or(0.0)).as_nanos(),
                     });
                 }
             }
