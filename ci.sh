@@ -122,4 +122,13 @@ rm -rf results/chaos/ci-gate
 ./target/release/validate_report BENCH_eventloop.json
 ./target/release/perf_eventloop --check BENCH_eventloop.json
 
+# Scale gate: same contract for the production-scale scenarios tracked in
+# BENCH_scale.json (k=8/k=16 FatTree permutations). --check recomputes the
+# trace digests (byte-for-byte) and re-measures bytes/connection against the
+# recorded values with 1.25x slack, so both a behaviour change and a memory
+# regression in the arena/pool/lazy-build path fail CI. Wall-clock numbers
+# in the report are informational only — never compared.
+./target/release/validate_report BENCH_scale.json
+./target/release/perf_scale --check BENCH_scale.json
+
 echo "ci: all gates passed"

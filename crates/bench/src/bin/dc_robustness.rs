@@ -59,8 +59,7 @@ fn run(k: usize, algorithm: Algorithm, subflows: usize, secs: f64, seed: u64) ->
 
     // Fail 5% of the unidirectional core queues, sampled independently
     // (as real fabric failures are).
-    let core = ft.core_queues();
-    for &q in core.iter().filter(|_| rng.chance(0.05)) {
+    for q in ft.core_queues().filter(|_| rng.chance(0.05)) {
         sim.set_queue_down(q, true);
     }
     // Grace period for loss detection, then measure the degraded window.

@@ -1,0 +1,533 @@
+//! Tracked scale benchmark: how the simulator holds up as the FatTree grows.
+//!
+//! Where `perf_eventloop` tracks per-event cost on small fixed scenarios,
+//! this harness tracks the two axes that gate production-scale topologies
+//! (ROADMAP item 4): **memory per connection** and **topology build time**
+//! as functions of the FatTree arity k.
+//!
+//! Three kinds of measurements:
+//!
+//! * `k8_perm` / `k16_perm` — permutation traffic (every host sends one
+//!   long-lived OLIA flow to a distinct host) on k = 8 (128 hosts) and
+//!   k = 16 (1024 hosts) fabrics. A live-bytes counting allocator snapshots
+//!   the heap between phases, splitting the footprint into topology bytes,
+//!   connection-setup bytes (the headline `bytes_per_conn`), and the run
+//!   high-water mark (`peak_live_bytes`, the RSS proxy).
+//! * `build.k{8,16,32}` — topology construction alone, best-of-N wall time
+//!   (`build_wall_s`) plus resident topology bytes. k = 32 is 8192 hosts /
+//!   49152 queues: the build must not be eagerly O(total queues).
+//! * digest passes — the permutation scenarios traced into FNV-1a digests,
+//!   recorded in `params` as behaviour goldens.
+//!
+//! Usage mirrors `perf_eventloop`:
+//!
+//! ```text
+//! perf_scale                          # run, write results/perf_scale.json
+//! perf_scale --out BENCH_scale.json --baseline-from old.json
+//! perf_scale --check BENCH_scale.json # k=16 smoke: digest + memory budget
+//! ```
+//!
+//! `--check` is the CI gate: timing-free, it re-runs the k = 16 permutation
+//! and fails if the trace digest drifted or `bytes_per_conn` exceeds the
+//! recorded value by more than the slack factor — so a memory regression is
+//! machine-caught even on loaded machines where wall-clock numbers are
+//! meaningless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use bench::fattree::dc_config;
+use bench::json::{parse, Json};
+use bench::report::RunReport;
+use eventsim::{SimDuration, SimRng, SimTime};
+use mpsim_core::Algorithm;
+use netsim::profile::RunProfile;
+use netsim::Simulation;
+use tcpsim::Connection;
+use topo::{FatTree, FatTreeConfig};
+use trace::{DigestSink, Tracer};
+use workload::permutation_traffic;
+
+/// Live-bytes counting allocator. Unlike `perf_eventloop`'s cumulative
+/// counter, this one tracks the *currently resident* bytes (alloc adds,
+/// dealloc subtracts) and their high-water mark, so scenario phases can be
+/// attributed by snapshot deltas.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+fn track(delta: i64) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    if delta > 0 {
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+}
+
+/// Bytes currently allocated (layout sizes, not allocator overhead).
+fn live_bytes() -> i64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water live bytes since the last [`reset_peak`].
+fn peak_bytes() -> i64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart high-water tracking from the current live level.
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+// SAFETY: delegates directly to `System`; the counters are relaxed atomics
+// with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        track(layout.size() as i64);
+        // SAFETY: same layout contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track(-(layout.size() as i64));
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        track(new_size as i64 - layout.size() as i64);
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Perf passes per permutation scenario (memory numbers are deterministic;
+/// only events/sec takes the best-of).
+const PERF_PASSES: usize = 2;
+
+/// Build-only timing passes (cheap, so more repeats for timer stability).
+const BUILD_PASSES: usize = 5;
+
+/// `--check` tolerates this much growth over the recorded `bytes_per_conn`
+/// before failing. Allocation sizes are deterministic, so the slack only
+/// absorbs std-library differences across toolchain versions.
+const CHECK_SLACK: f64 = 1.25;
+
+/// One permutation measurement point.
+struct PermScenario {
+    name: &'static str,
+    k: usize,
+    subflows: usize,
+    /// Simulated horizon; start jitter spreads over the first quarter.
+    secs: f64,
+    seed: u64,
+}
+
+const PERM: &[PermScenario] = &[
+    PermScenario {
+        name: "k8_perm",
+        k: 8,
+        subflows: 4,
+        secs: 0.5,
+        seed: 8,
+    },
+    PermScenario {
+        name: "k16_perm",
+        k: 16,
+        subflows: 4,
+        secs: 0.2,
+        seed: 16,
+    },
+];
+
+/// Build-only arity points. k = 32 never carries traffic here: the point is
+/// that *constructing* a 49k-queue fabric must stay cheap.
+const BUILD_KS: &[usize] = &[8, 16, 32];
+
+/// Everything one phased permutation run leaves behind.
+struct PermRun {
+    sim: Simulation,
+    conns: usize,
+    build_wall_s: f64,
+    /// Heap growth while building the topology.
+    topo_bytes: i64,
+    /// Heap growth while installing + scheduling all connections.
+    setup_bytes: i64,
+    /// High-water heap over the whole scenario, relative to its start.
+    peak_live_bytes: i64,
+    /// Wall seconds of the run phase only.
+    run_wall_s: f64,
+    /// Events/sec over the run phase only.
+    events_per_sec: f64,
+    /// Total data packets delivered to sinks (behaviour sanity metric).
+    delivered: f64,
+    /// Route-arena occupancy after connection setup: distinct routes and
+    /// total hops (recycle diagnostics; bounded by the path set, not runs).
+    routes: usize,
+    route_hops: usize,
+}
+
+/// Build the fabric, install one OLIA connection per host along a fixed
+/// permutation, run to the horizon. Phase boundaries snapshot the live-byte
+/// counter; the caller picks which deltas to report.
+fn run_perm(s: &PermScenario, tracer: &Tracer) -> PermRun {
+    // The route arena is thread-local and would otherwise carry the previous
+    // scenario's interned paths into this one's byte accounting. Safe here:
+    // any prior `PermRun` kept by the caller is only read for scalar stats,
+    // never for its routes. The connection-state pool is cleared for the
+    // same reason: rings returned by the previous scenario's teardown must
+    // not subsidize (or be charged to) this one.
+    netsim::routes::clear();
+    tcpsim::pool::clear();
+    let live0 = live_bytes();
+    reset_peak();
+    let mut sim = Simulation::new(s.seed);
+    sim.set_tracer(tracer.clone());
+    let bw = RunProfile::start();
+    let ft = FatTree::build(&mut sim, s.k, &FatTreeConfig::default());
+    let build_wall_s = bw.finish().wall_s;
+    let live_topo = live_bytes();
+
+    let mut rng = SimRng::seed_from_u64(s.seed ^ 0x5CA1E);
+    let perm = permutation_traffic(&mut rng, ft.num_hosts());
+    let cfg = dc_config();
+    let conns: Vec<Connection> = (0..ft.num_hosts())
+        .map(|h| {
+            ft.connect(
+                &mut sim,
+                h,
+                perm[h],
+                Algorithm::Olia,
+                s.subflows,
+                None,
+                cfg,
+                &mut rng,
+                h as u64,
+            )
+        })
+        .collect();
+    for c in &conns {
+        let jitter = SimDuration::from_secs_f64(rng.f64() * s.secs * 0.25);
+        sim.start_endpoint_at(c.source, SimTime::ZERO + jitter);
+    }
+    let live_setup = live_bytes();
+    let (routes, route_hops) = netsim::routes::store_stats();
+
+    let w = RunProfile::start();
+    sim.run_until(SimTime::from_secs_f64(s.secs));
+    let p = w.finish();
+    let peak = peak_bytes();
+    let delivered: f64 = conns
+        .iter()
+        .map(|c| c.handle.read(|f| f.delivered_packets as f64))
+        .sum();
+    PermRun {
+        conns: conns.len(),
+        build_wall_s,
+        topo_bytes: live_topo - live0,
+        setup_bytes: live_setup - live_topo,
+        peak_live_bytes: peak - live0,
+        run_wall_s: p.wall_s,
+        events_per_sec: p.events_per_sec(),
+        delivered,
+        routes,
+        route_hops,
+        sim,
+    }
+}
+
+/// Untraced perf passes: memory phases from the first pass (deterministic),
+/// best events/sec across passes.
+fn measure_perm(s: &PermScenario) -> PermRun {
+    let mut best: Option<PermRun> = None;
+    for _ in 0..PERF_PASSES {
+        let r = run_perm(s, &Tracer::disabled());
+        if best
+            .as_ref()
+            .is_none_or(|b| r.events_per_sec > b.events_per_sec)
+        {
+            best = Some(r);
+        }
+    }
+    // PERF_PASSES ≥ 1, so a measurement was recorded.
+    best.unwrap_or_else(|| unreachable!("no perf pass ran"))
+}
+
+/// Total queues an eager k-ary FatTree materializes: 2 per host plus 2 per
+/// edge↔agg and agg↔core link — 3k³/2.
+fn total_queues(k: usize) -> u64 {
+    (3 * k * k * k / 2) as u64
+}
+
+/// Topology construction alone: best-of-N wall seconds and resident bytes.
+fn measure_build(k: usize) -> (f64, i64) {
+    let mut best = f64::INFINITY;
+    let mut topo_bytes = 0;
+    for _ in 0..BUILD_PASSES {
+        let live0 = live_bytes();
+        let mut sim = Simulation::new(0xB11D ^ k as u64);
+        let w = RunProfile::start();
+        let ft = FatTree::build(&mut sim, k, &FatTreeConfig::default());
+        let wall = w.finish().wall_s;
+        topo_bytes = live_bytes() - live0;
+        std::hint::black_box(&ft);
+        best = best.min(wall);
+    }
+    (best, topo_bytes)
+}
+
+/// Traced digest pass: the full JSONL byte stream folded into FNV-1a.
+fn digest(s: &PermScenario) -> (u64, u64) {
+    let (tracer, sink) = Tracer::to_sink(DigestSink::new());
+    let r = run_perm(s, &tracer);
+    drop(r);
+    drop(tracer);
+    let sink = sink.borrow();
+    (sink.digest(), sink.bytes())
+}
+
+fn report_perm(report: &mut RunReport, r: &PermRun, name: &str) {
+    let n = r.conns as f64;
+    report.metric(&format!("{name}.conns"), n);
+    report.metric(&format!("{name}.events"), r.sim.events_processed() as f64);
+    report.metric(&format!("{name}.events_per_sec"), r.events_per_sec);
+    report.metric(&format!("{name}.wall_s"), r.run_wall_s);
+    report.metric(&format!("{name}.build_wall_s"), r.build_wall_s);
+    report.metric(&format!("{name}.topo_bytes"), r.topo_bytes as f64);
+    report.metric(&format!("{name}.bytes_per_conn"), r.setup_bytes as f64 / n);
+    report.metric(
+        &format!("{name}.peak_bytes_per_conn"),
+        (r.peak_live_bytes - r.topo_bytes) as f64 / n,
+    );
+    report.metric(&format!("{name}.peak_live_bytes"), r.peak_live_bytes as f64);
+    report.metric(&format!("{name}.delivered"), r.delivered);
+    report.metric(&format!("{name}.routes"), r.routes as f64);
+    report.metric(&format!("{name}.route_hops"), r.route_hops as f64);
+    let s = r.sim.loop_stats();
+    report.metric(&format!("{name}.peak_heap"), s.peak_heap as f64);
+    report.metric(&format!("{name}.peak_arena"), s.peak_arena as f64);
+    report.metric(&format!("{name}.peak_timers"), s.peak_timers as f64);
+}
+
+/// `--check`: re-run the k = 16 permutation, compare its digest and
+/// bytes-per-connection against the tracked report. Timing-free.
+fn check(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_scale: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_scale: cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    let Some(s) = PERM.iter().find(|s| s.name == "k16_perm") else {
+        eprintln!("perf_scale: no k16_perm scenario registered");
+        return 1;
+    };
+    let mut failures = 0;
+
+    // Memory budget: untraced run, deterministic byte accounting.
+    let r = run_perm(s, &Tracer::disabled());
+    let bytes_per_conn = r.setup_bytes as f64 / r.conns as f64;
+    drop(r);
+    let budget = doc
+        .get("metrics")
+        .and_then(|m| m.get("k16_perm.bytes_per_conn"))
+        .and_then(Json::as_f64);
+    match budget {
+        Some(b) => {
+            let limit = b * CHECK_SLACK;
+            if bytes_per_conn <= limit {
+                println!("bytes_per_conn k16_perm: {bytes_per_conn:.0} <= {limit:.0} OK");
+            } else {
+                eprintln!(
+                    "bytes_per_conn k16_perm: {bytes_per_conn:.0} exceeds budget {limit:.0} \
+                     (recorded {b:.0} x {CHECK_SLACK}) — memory regression!"
+                );
+                failures += 1;
+            }
+        }
+        None => {
+            eprintln!("perf_scale: {path} has no metrics.k16_perm.bytes_per_conn");
+            failures += 1;
+        }
+    }
+
+    // Behaviour: trace digest must match the recorded golden byte-for-byte.
+    let golden = doc
+        .get("params")
+        .and_then(|p| p.get("digest.k16_perm"))
+        .and_then(Json::as_str);
+    match golden {
+        Some(golden) => {
+            let (d, _) = digest(s);
+            let hex = format!("{d:016x}");
+            if hex == golden {
+                println!("digest k16_perm: {hex} OK");
+            } else {
+                eprintln!(
+                    "digest k16_perm: computed {hex} != golden {golden} — behaviour changed!"
+                );
+                failures += 1;
+            }
+        }
+        None => {
+            eprintln!("perf_scale: {path} has no params.digest.k16_perm");
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("perf_scale: k16 smoke passed");
+        0
+    } else {
+        1
+    }
+}
+
+/// Copy `metrics.*` of a previous report in as `baseline.*` and derive
+/// `shrink.*` / `speedup.*` ratios for the shared scenarios.
+fn merge_baseline(report: &mut RunReport, current: &[(String, f64, f64)], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_object)
+        .unwrap_or_else(|| panic!("baseline {path} has no metrics object"));
+    for (k, v) in metrics {
+        if k.starts_with("baseline.") || k.starts_with("shrink.") || k.starts_with("speedup.") {
+            continue; // don't chain baselines of baselines
+        }
+        if let Some(x) = v.as_f64() {
+            report.metric(&format!("baseline.{k}"), x);
+        }
+    }
+    for (name, bytes_per_conn, events_per_sec) in current {
+        if let Some(base) = metrics
+            .get(&format!("{name}.bytes_per_conn"))
+            .and_then(Json::as_f64)
+        {
+            if *bytes_per_conn > 0.0 {
+                report.metric(&format!("shrink.{name}"), base / bytes_per_conn);
+            }
+        }
+        if let Some(base) = metrics
+            .get(&format!("{name}.events_per_sec"))
+            .and_then(Json::as_f64)
+        {
+            if base > 0.0 {
+                report.metric(&format!("speedup.{name}"), events_per_sec / base);
+            }
+        }
+    }
+    report.param("baseline_from", path);
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next(),
+            "--baseline-from" => baseline = args.next(),
+            "--check" => {
+                let Some(path) = args.next() else {
+                    eprintln!("perf_scale: --check needs a report path");
+                    std::process::exit(2);
+                };
+                std::process::exit(check(&path));
+            }
+            other => {
+                eprintln!("perf_scale: unknown argument {other:?}");
+                eprintln!(
+                    "usage: perf_scale [--out FILE] [--baseline-from REPORT] [--check REPORT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = RunReport::start("perf_scale");
+    report.param("perf_passes", PERF_PASSES as u64);
+    report.param("build_passes", BUILD_PASSES as u64);
+
+    println!(
+        "{:<10} {:>6} {:>12} {:>14} {:>12} {:>14} {:>12}",
+        "scenario", "conns", "events", "events/sec", "bytes/conn", "peak live MB", "build ms"
+    );
+    let mut current = Vec::new();
+    for s in PERM {
+        let r = measure_perm(s);
+        let bytes_per_conn = r.setup_bytes as f64 / r.conns as f64;
+        println!(
+            "{:<10} {:>6} {:>12} {:>14.0} {:>12.0} {:>14.2} {:>12.3}",
+            s.name,
+            r.conns,
+            r.sim.events_processed(),
+            r.events_per_sec,
+            bytes_per_conn,
+            r.peak_live_bytes as f64 / 1e6,
+            r.build_wall_s * 1e3,
+        );
+        report.param(&format!("{}.k", s.name), s.k as u64);
+        report.param(&format!("{}.subflows", s.name), s.subflows as u64);
+        report_perm(&mut report, &r, s.name);
+        current.push((s.name.to_string(), bytes_per_conn, r.events_per_sec));
+    }
+
+    for &k in BUILD_KS {
+        let (wall, topo_bytes) = measure_build(k);
+        let name = format!("build.k{k}");
+        println!(
+            "{:<10} {:>6} {:>12} {:>14} {:>12} {:>14.2} {:>12.3}",
+            name,
+            "-",
+            total_queues(k),
+            "-",
+            "-",
+            topo_bytes as f64 / 1e6,
+            wall * 1e3,
+        );
+        report.metric(&format!("{name}.build_wall_s"), wall);
+        report.metric(&format!("{name}.queues"), total_queues(k) as f64);
+        report.metric(&format!("{name}.topo_bytes"), topo_bytes as f64);
+    }
+
+    for s in PERM {
+        let (d, bytes) = digest(s);
+        let hex = format!("{d:016x}");
+        eprintln!("digest {}: {hex} ({bytes} trace bytes)", s.name);
+        report.param(&format!("digest.{}", s.name), hex);
+        report.param(&format!("trace_bytes.{}", s.name), bytes);
+    }
+
+    if let Some(path) = &baseline {
+        merge_baseline(&mut report, &current, path);
+    }
+
+    match out {
+        Some(path) => {
+            let doc = report.finish();
+            if let Err(e) = bench::report::validate(&doc) {
+                eprintln!("perf_scale: produced report fails validation: {e}");
+                std::process::exit(1);
+            }
+            std::fs::write(&path, doc.render_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("scale report: {path}");
+        }
+        None => report.write_or_warn(),
+    }
+}

@@ -7,7 +7,10 @@ use mpsim_core::Algorithm;
 use netsim::Simulation;
 use tcpsim::{Connection, TcpConfig};
 use topo::{FatTree, FatTreeConfig};
-use workload::{long_short_split, permutation_traffic, short_flow_plan};
+use workload::{
+    heavytail_churn_plan, long_short_split, permutation_traffic, short_flow_plan, HeavyTailMix,
+    SHORT_FLOW_MEAN_GAP_S,
+};
 
 /// TCP parameters for the data-center runs: data-center-ish RTO floor (the
 /// testbed values of §III would dwarf sub-millisecond fabric RTTs).
@@ -210,12 +213,11 @@ pub fn short_flows_in(
         }
     }
     let elapsed_ns = (sim.now() - SimTime::from_secs_f64(warmup_s)).as_nanos();
-    let core = ft.core_queues();
-    let core_utilization = core
-        .iter()
-        .map(|&q| sim.queue_stats(q).utilization(elapsed_ns))
-        .sum::<f64>()
-        / core.len() as f64;
+    let (core_count, core_sum) = ft
+        .core_queues()
+        .map(|q| sim.queue_stats(q).utilization(elapsed_ns))
+        .fold((0usize, 0.0f64), |(n, s), u| (n + 1, s + u));
+    let core_utilization = core_sum / core_count as f64;
     ShortFlowResult {
         mean_fct_ms: hist.mean(),
         std_fct_ms: hist.std(),
@@ -223,5 +225,180 @@ pub fn short_flows_in(
         pdf: hist.pdf(),
         completed: fcts.len(),
         planned: plan.len(),
+    }
+}
+
+/// Results of the sustained-churn experiment: heavy-tailed flow sizes,
+/// Poisson arrivals, and completed connections *retired* as the run
+/// progresses, so connection state is destroyed as well as created.
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// Mean flow completion time over retired flows, milliseconds.
+    pub mean_fct_ms: f64,
+    /// Flows completed and retired.
+    pub completed: usize,
+    /// Flows planned.
+    pub planned: usize,
+    /// Peak concurrently-installed churn connections.
+    pub peak_live: usize,
+    /// Endpoint-table slots at the end of the run. With retirement and slot
+    /// recycling this plateaus near the peak concurrent population instead
+    /// of growing with the total flow count — the churn invariant the
+    /// recycle tests pin down.
+    pub endpoint_slots: usize,
+    /// Long-lived background connections (never retired).
+    pub long_flows: usize,
+    /// Endpoints still installed when the run ended: the long flows plus
+    /// any churn flow that never completed. After full retirement this is
+    /// exactly `2 × (long_flows + planned − completed)`.
+    pub live_at_end: usize,
+    /// Ring-pool counters over the run (recycled vs fresh ring requests).
+    pub pool: tcpsim::pool::PoolStats,
+}
+
+/// Run the sustained-churn experiment standalone (see
+/// [`heavytail_churn_in`]).
+pub fn heavytail_churn(k: usize, long: LongFlows, horizon_s: f64, seed: u64) -> ChurnResult {
+    let mut sim = Simulation::new(seed);
+    let _trace = crate::tracing::attach_from_env(&mut sim, "fattree_heavytail", seed);
+    heavytail_churn_in(&mut sim, k, long, horizon_s, seed)
+}
+
+/// Heavy-tailed churn on a 4:1 oversubscribed `k`-ary FatTree: one-third of
+/// hosts run long-lived background flows (per `long`), the rest emit
+/// Pareto/lognormal-sized flows at Poisson instants. Unlike
+/// [`short_flows_in`] — which installs every planned flow up front and keeps
+/// them to the end — this driver steps the run in epochs, installing flows
+/// as their start times approach and retiring connections once they have
+/// been complete for a grace period. Endpoint slots and ring buffers are
+/// recycled, so memory follows the *concurrent* population, not the total.
+pub fn heavytail_churn_in(
+    sim: &mut Simulation,
+    k: usize,
+    long: LongFlows,
+    horizon_s: f64,
+    seed: u64,
+) -> ChurnResult {
+    /// Install/retire cadence. Coarse enough that the event loop dominates,
+    /// fine enough that the live set tracks the Poisson arrivals.
+    const EPOCH_S: f64 = 0.25;
+    /// A completed connection lingers this long before retirement so
+    /// stragglers (a duplicate data packet still queued, its re-ACK) drain
+    /// to the still-installed endpoints rather than a recycled slot. One
+    /// epoch is orders of magnitude above the fabric RTT.
+    const RETIRE_GRACE_S: f64 = EPOCH_S;
+
+    let ftcfg = FatTreeConfig {
+        oversubscription: 4.0,
+        ..FatTreeConfig::default()
+    };
+    let ft = FatTree::build(sim, k, &ftcfg);
+    let n = ft.num_hosts();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A2);
+    let perm = permutation_traffic(&mut rng, n);
+    let (long_hosts, short_hosts) = long_short_split(n);
+    let cfg = dc_config();
+
+    // Topology-derived pool prewarm: each churn sender keeps roughly one
+    // flow in flight (mean gap 200 ms ≫ the mice's completion times), and a
+    // source + sink pair holds two rings. 64 slots covers the in-flight
+    // window of everything but the largest elephants.
+    tcpsim::pool::prewarm(2 * short_hosts.len(), 64);
+
+    let long_conns: Vec<Connection> = long_hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            let (alg, nsub) = match long {
+                LongFlows::Tcp => (Algorithm::Reno, 1),
+                LongFlows::Mptcp(a, s) => (a, s),
+            };
+            ft.connect(sim, h, perm[h], alg, nsub, None, cfg, &mut rng, i as u64)
+        })
+        .collect();
+    for c in &long_conns {
+        let jitter = SimDuration::from_secs_f64(rng.f64() * 0.5);
+        sim.start_endpoint_at(c.source, SimTime::ZERO + jitter);
+    }
+
+    let dests: Vec<usize> = short_hosts.iter().map(|&h| perm[h]).collect();
+    let mix = HeavyTailMix::default();
+    let plan = heavytail_churn_plan(
+        &mut rng,
+        &short_hosts,
+        &dests,
+        &mix,
+        SHORT_FLOW_MEAN_GAP_S,
+        horizon_s,
+    );
+
+    let warmup_s = 2.0;
+    sim.run_until(SimTime::from_secs_f64(warmup_s));
+
+    let mut next = 0; // first plan entry not yet installed (plan is sorted)
+    let mut live: Vec<Connection> = Vec::new();
+    let mut fcts: Vec<f64> = Vec::new();
+    let mut peak_live = 0;
+    let end_s = warmup_s + horizon_s + 3.0; // grace period for stragglers
+    let mut t = warmup_s;
+    while t < end_s {
+        t = (t + EPOCH_S).min(end_s);
+        // Install the flows that start within this epoch. Reusing slots
+        // retired in earlier epochs keeps the endpoint table at its plateau.
+        while next < plan.len() && warmup_s + plan[next].start_s < t {
+            let f = &plan[next];
+            let conn = ft.connect(
+                sim,
+                f.src,
+                f.dst,
+                Algorithm::Reno,
+                1,
+                Some(f.size_packets),
+                cfg,
+                &mut rng,
+                10_000 + next as u64,
+            );
+            sim.start_endpoint_at(conn.source, SimTime::from_secs_f64(warmup_s + f.start_s));
+            live.push(conn);
+            next += 1;
+        }
+        peak_live = peak_live.max(live.len());
+        sim.run_until(SimTime::from_secs_f64(t));
+        // Retire connections that completed at least a grace period ago;
+        // dropping the returned endpoints sends their rings back to the pool.
+        let now = sim.now();
+        let mut keep = Vec::with_capacity(live.len());
+        for c in live.drain(..) {
+            let quiescent = c
+                .handle
+                .read(|s| s.completed_at)
+                .is_some_and(|at| now.saturating_since(at).as_secs_f64() >= RETIRE_GRACE_S);
+            if quiescent {
+                if let Some(fct) = c.handle.completion_time() {
+                    fcts.push(fct * 1e3);
+                }
+                drop(sim.retire_endpoint(c.source));
+                drop(sim.retire_endpoint(c.sink));
+            } else {
+                keep.push(c);
+            }
+        }
+        live = keep;
+    }
+
+    let mean_fct_ms = if fcts.is_empty() {
+        0.0
+    } else {
+        fcts.iter().sum::<f64>() / fcts.len() as f64
+    };
+    ChurnResult {
+        mean_fct_ms,
+        completed: fcts.len(),
+        planned: plan.len(),
+        peak_live,
+        endpoint_slots: sim.endpoint_slots(),
+        long_flows: long_conns.len(),
+        live_at_end: sim.live_endpoints(),
+        pool: tcpsim::pool::stats(),
     }
 }

@@ -389,6 +389,76 @@ fn fattree_shortflows_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
 }
 
 // ---------------------------------------------------------------------------
+// Production-scale FatTree (the perf_scale regime, as orchestrated jobs)
+// ---------------------------------------------------------------------------
+
+/// The k=16 permutation point: 1024 hosts, the scale the arena/pool work
+/// targets. Same body as [`fattree_permutation_job`] but with production
+/// defaults, so manifests can sweep the big fabric without repeating the
+/// parameters at every grid point.
+fn fattree_k16_permutation_job(ctx: &JobCtx) -> JobOutput {
+    let k = ctx.usize("k", 16);
+    let subflows = ctx.usize("subflows", 4);
+    let secs = ctx.f64("secs", if ctx.quick { 0.2 } else { 2.0 });
+    let algorithm = ctx.algorithm();
+    instrumented(ctx, |sim| {
+        let r = fattree::permutation_in(sim, k, algorithm, subflows, secs, ctx.seed);
+        BTreeMap::from([
+            ("throughput_pct".to_string(), r.throughput_pct),
+            ("jain".to_string(), r.jain),
+        ])
+    })
+}
+
+fn fattree_k16_permutation_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        ("subflows".to_string(), nums(&[2.0, 4.0])),
+    ]
+}
+
+/// Sustained churn with heavy-tailed flow sizes: connections are retired as
+/// they complete, exercising endpoint-slot recycling and the tcpsim ring
+/// pool. The slot plateau and pool recycle counters are reported as metrics
+/// so an orchestrated sweep can watch the churn invariants, not just FCTs.
+fn fattree_heavytail_job(ctx: &JobCtx) -> JobOutput {
+    let k = ctx.usize("k", if ctx.quick { 4 } else { 8 });
+    let horizon_s = ctx.f64("horizon_s", if ctx.quick { 2.0 } else { 5.0 });
+    let long = match ctx.str("long", "tcp").as_str() {
+        "tcp" => LongFlows::Tcp,
+        name => LongFlows::Mptcp(
+            Algorithm::from_name(name)
+                .unwrap_or_else(|| panic!("job param long={name:?} is not tcp or an algorithm")),
+            ctx.usize("subflows", 8),
+        ),
+    };
+    instrumented(ctx, |sim| {
+        let r = fattree::heavytail_churn_in(sim, k, long, horizon_s, ctx.seed);
+        BTreeMap::from([
+            ("mean_fct_ms".to_string(), r.mean_fct_ms),
+            ("completed".to_string(), r.completed as f64),
+            ("planned".to_string(), r.planned as f64),
+            ("peak_live".to_string(), r.peak_live as f64),
+            ("endpoint_slots".to_string(), r.endpoint_slots as f64),
+            ("long_flows".to_string(), r.long_flows as f64),
+            ("live_at_end".to_string(), r.live_at_end as f64),
+            ("pool_recycled".to_string(), r.pool.recycled as f64),
+            ("pool_fresh".to_string(), r.pool.fresh as f64),
+        ])
+    })
+}
+
+fn fattree_heavytail_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![(
+        "long".to_string(),
+        vec![Json::from("tcp"), Json::from("lia"), Json::from("olia")],
+    )]
+}
+
+// ---------------------------------------------------------------------------
 // Smoke — a deliberately tiny scenario for orchestrator CI and tests
 // ---------------------------------------------------------------------------
 
@@ -469,6 +539,18 @@ pub const REGISTRY: &[ScenarioDef] = &[
         grid: fattree_shortflows_grid,
     },
     ScenarioDef {
+        name: "fattree_k16_permutation",
+        summary: "FatTree permutation at production scale (k=16, 1024 hosts)",
+        run: fattree_k16_permutation_job,
+        grid: fattree_k16_permutation_grid,
+    },
+    ScenarioDef {
+        name: "fattree_shortflows_heavytail",
+        summary: "FatTree heavy-tailed churn with endpoint retirement and ring recycling",
+        run: fattree_heavytail_job,
+        grid: fattree_heavytail_grid,
+    },
+    ScenarioDef {
         name: "ablation_epsilon",
         summary: "Scenario B across the ε coupling family (ablation)",
         run: scenario_b_job,
@@ -536,6 +618,34 @@ mod tests {
         assert_eq!(out.digest, "-");
         assert_eq!(out.trace_events, 0);
         assert!(out.events > 0);
+    }
+
+    #[test]
+    fn heavytail_churn_retires_and_recycles() {
+        let ctx = JobCtx::new(7, true);
+        let out = fattree_heavytail_job(&ctx);
+        let m = &out.metrics;
+        assert!(m["completed"] > 0.0, "no churn flow completed: {m:?}");
+        // The endpoint table must plateau near the concurrent population,
+        // not grow to two endpoints per planned flow.
+        assert!(
+            m["endpoint_slots"] < 2.0 * m["planned"],
+            "slots did not plateau: {m:?}"
+        );
+        assert!(m["pool_recycled"] > 0.0, "ring pool never recycled: {m:?}");
+        // Every completed flow was retired: the live population is back to
+        // the long-flow baseline plus the stragglers that never finished.
+        assert_eq!(
+            m["live_at_end"],
+            2.0 * (m["long_flows"] + m["planned"] - m["completed"]),
+            "retirement left endpoints installed: {m:?}"
+        );
+
+        // A second run on this thread starts from a pool populated by the
+        // first run's retirements. Recycled capacity must be invisible:
+        // byte-identical trace.
+        let again = fattree_heavytail_job(&ctx);
+        assert_eq!(out.digest, again.digest, "ring recycling changed the trace");
     }
 
     #[test]

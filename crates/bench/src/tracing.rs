@@ -19,6 +19,10 @@
 //!   (default: all).
 //! * `MPTCP_TRACE_QUEUES` — comma-separated queue indices to keep
 //!   (default: all).
+//! * `MPTCP_TRACE_QUEUE_RANGES` — comma-separated `first:len` blocks of
+//!   contiguous queue ids to keep. Topology builders allocate queue blocks
+//!   contiguously, so one range covers a whole tier of a large fabric
+//!   (e.g. every core queue of a k=32 FatTree) without enumerating ids.
 //!
 //! The returned [`TraceGuard`] flushes the file when dropped; bind it with
 //! `let _trace = ...` so it lives until the run completes.
@@ -56,12 +60,22 @@ fn parse_list<T: std::str::FromStr>(var: &str) -> Vec<T> {
         .unwrap_or_default()
 }
 
-/// The filter described by `MPTCP_TRACE_CONNS` / `MPTCP_TRACE_QUEUES`
-/// (pass-everything when neither is set).
+/// The filter described by `MPTCP_TRACE_CONNS` / `MPTCP_TRACE_QUEUES` /
+/// `MPTCP_TRACE_QUEUE_RANGES` (pass-everything when none is set).
 pub fn filter_from_env() -> TraceFilter {
-    TraceFilter::all()
+    let mut f = TraceFilter::all()
         .conns(&parse_list::<u64>("MPTCP_TRACE_CONNS"))
-        .queues(&parse_list::<u32>("MPTCP_TRACE_QUEUES"))
+        .queues(&parse_list::<u32>("MPTCP_TRACE_QUEUES"));
+    if let Ok(ranges) = std::env::var("MPTCP_TRACE_QUEUE_RANGES") {
+        for spec in ranges.split(',') {
+            if let Some((first, len)) = spec.trim().split_once(':') {
+                if let (Ok(first), Ok(len)) = (first.parse(), len.parse()) {
+                    f = f.queue_range(first, len);
+                }
+            }
+        }
+    }
+    f
 }
 
 /// If `MPTCP_TRACE` is set, attach a filtered JSONL sink to `sim` writing

@@ -147,7 +147,7 @@ impl PacketArena {
 mod tests {
     use super::*;
     use crate::ids::EndpointId;
-    use crate::packet::route;
+    use crate::routes::route;
 
     fn pkt(seq: u64) -> Packet {
         Packet::data(EndpointId(0), EndpointId(1), 0, 0, seq, 1500, route(&[]))

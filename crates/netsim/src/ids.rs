@@ -9,13 +9,26 @@
 pub struct QueueId(pub(crate) u32);
 
 /// Identifies an endpoint (traffic source or sink) in a [`crate::Simulation`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Default` (endpoint 0) exists only so the id can sit in vacated timer-slab
+/// slots without an `Option` wrapper; it is not a meaningful endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EndpointId(pub(crate) u32);
 
 impl QueueId {
     /// The raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The id `delta` places after this one. Queue blocks reserved with
+    /// [`crate::Simulation::reserve_queue_block`] are contiguous, so
+    /// topology builders address members arithmetically from the block's
+    /// first id instead of materializing id tables.
+    pub fn offset(self, delta: usize) -> QueueId {
+        let v = self.0 as u64 + delta as u64;
+        assert!(v <= u32::MAX as u64, "queue id overflow");
+        QueueId(v as u32)
     }
 }
 

@@ -44,7 +44,7 @@
 //! impl Endpoint for Blaster {
 //!     fn start(&mut self, ctx: &mut NetCtx) {
 //!         for i in 0..10 {
-//!             ctx.send(Packet::data(ctx.me(), self.dst, 0, 0, i, 1500, self.route.clone()));
+//!             ctx.send(Packet::data(ctx.me(), self.dst, 0, 0, i, 1500, self.route));
 //!         }
 //!     }
 //!     fn on_packet(&mut self, _: &mut NetCtx, _: Packet) {}
@@ -75,10 +75,12 @@ mod ids;
 mod packet;
 pub mod profile;
 mod queue;
+pub mod routes;
 mod sim;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use ids::{EndpointId, QueueId};
-pub use packet::{route, Packet, PacketKind, Route};
+pub use packet::{Packet, PacketKind};
 pub use queue::{Discipline, QueueConfig, QueueStats, RedParams};
+pub use routes::{route, Route, EMPTY_ROUTE};
 pub use sim::{Endpoint, LoopStats, NetCtx, Simulation};

@@ -1,26 +1,13 @@
-//! Packets and routes.
-
-use std::rc::Rc;
+//! Packets.
+//!
+//! Routes moved to [`crate::routes`]: a [`Route`] is now an 8-byte interned
+//! handle, so a `Packet` is plain-old-data — no refcount traffic on the
+//! per-packet clone in the duplication impairment or anywhere else.
 
 use eventsim::SimTime;
 
 use crate::ids::{EndpointId, QueueId};
-
-/// A route: the ordered queues a packet traverses. Shared (`Rc`) because
-/// every packet of a subflow carries the same route — and `Rc`, not `Arc`,
-/// because a [`crate::Simulation`] is single-threaded by construction
-/// (parallel drivers replicate whole simulations per thread), so the
-/// per-packet clone/drop need not pay an atomic RMW each.
-pub type Route = Rc<[QueueId]>;
-
-/// Build a [`Route`] from a slice of queue ids.
-///
-/// `Rc::from(&[T])` copies the slice straight into the reference-counted
-/// allocation — one allocation, not the former `to_vec` + `into_boxed_slice`
-/// double copy.
-pub fn route(hops: &[QueueId]) -> Route {
-    Rc::from(hops)
-}
+use crate::routes::Route;
 
 /// What a packet is, as far as the network is concerned.
 ///
@@ -74,10 +61,10 @@ pub struct Packet {
     /// Timestamp echo for RTT measurement: set by the sender on data, copied
     /// back by the receiver on the ACK.
     pub ts_echo: SimTime,
-    /// The queues this packet still has to traverse.
+    /// The queues this packet still has to traverse (interned handle).
     pub route: Route,
     /// Index of the next hop within `route`.
-    pub hop: usize,
+    pub hop: u32,
 }
 
 impl Packet {
@@ -138,19 +125,23 @@ impl Packet {
 
     /// Whether the packet has traversed its whole route and should be
     /// delivered to `dst`.
+    #[inline]
     pub fn at_destination(&self) -> bool {
-        self.hop >= self.route.len()
+        // The handle carries its length inline: no route-arena lookup here.
+        self.hop as usize >= self.route.len()
     }
 
     /// The next queue to enter, if any.
+    #[inline]
     pub fn next_queue(&self) -> Option<QueueId> {
-        self.route.get(self.hop).copied()
+        self.route.get(self.hop as usize)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routes::route;
 
     #[test]
     fn hop_progression() {
@@ -168,7 +159,7 @@ mod tests {
     #[test]
     fn constructors_fill_kind() {
         let r = route(&[QueueId(0)]);
-        let d = Packet::data(EndpointId(0), EndpointId(1), 0, 0, 1, 1500, r.clone());
+        let d = Packet::data(EndpointId(0), EndpointId(1), 0, 0, 1, 1500, r);
         assert_eq!(d.kind, PacketKind::Data);
         let a = Packet::ack(EndpointId(1), EndpointId(0), 0, 0, 1, 2, 40, r);
         assert_eq!(a.kind, PacketKind::Ack);
@@ -180,5 +171,12 @@ mod tests {
         let r = route(&[]);
         let p = Packet::data(EndpointId(0), EndpointId(1), 0, 0, 0, 100, r);
         assert!(p.at_destination());
+    }
+
+    #[test]
+    fn packet_is_small() {
+        // The arena stores packets by value; keep them compact. 72 bytes =
+        // the 67 bytes of payload fields padded to the u64 alignment.
+        assert!(std::mem::size_of::<Packet>() <= 72);
     }
 }

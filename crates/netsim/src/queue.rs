@@ -399,12 +399,138 @@ impl Queue {
     }
 }
 
+/// Queue storage with lazy block materialization.
+///
+/// Large topologies reserve whole blocks of identically-configured queues
+/// ([`crate::Simulation::reserve_queue_block`]) without constructing them; a
+/// queue materializes the first time something needs `&mut` access — the
+/// event loop admitting a packet, a fault plan, a config mutation. Ids are
+/// assigned arithmetically at reservation time, so lazy and eager
+/// construction yield identical id assignments; and since [`Queue::new`]
+/// allocates nothing (`VecDeque::new` is allocation-free) and draws no
+/// randomness, materialization order is behavior-invisible — trace digests
+/// are byte-identical either way.
+///
+/// Shared (`&self`) accessors report unmaterialized queues as empty/default,
+/// which is exactly what an untouched queue is.
+#[derive(Debug)]
+pub(crate) struct QueueTable {
+    /// Materialized prefix: queues `0..materialized.len()`.
+    materialized: Vec<Queue>,
+    /// Config runs covering ids `materialized.len()..total`, each as
+    /// `(end_id_exclusive, config)`, in id order.
+    pending: Vec<(u32, QueueConfig)>,
+    /// First entry of `pending` not yet fully materialized.
+    pending_head: usize,
+    /// Total queues (materialized + pending).
+    total: u32,
+}
+
+impl QueueTable {
+    pub(crate) fn new() -> QueueTable {
+        QueueTable {
+            materialized: Vec::new(),
+            pending: Vec::new(),
+            pending_head: 0,
+            total: 0,
+        }
+    }
+
+    /// Total queues, materialized or not.
+    pub(crate) fn total(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Queues constructed so far (diagnostics: how lazy the build stayed).
+    pub(crate) fn materialized_count(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// Append one eagerly-constructed queue; returns its id.
+    pub(crate) fn push(&mut self, config: QueueConfig) -> u32 {
+        // Mixing eager adds after block reservations is allowed but
+        // forfeits the remaining laziness: ids are a single dense sequence,
+        // so the pending prefix must exist before anything lands after it.
+        self.flush();
+        assert!(self.total < u32::MAX, "too many queues");
+        let id = self.total;
+        self.materialized.push(Queue::new(config));
+        self.total += 1;
+        id
+    }
+
+    /// Reserve `count` queues sharing `config` without constructing them;
+    /// returns the first id of the (contiguous) block.
+    pub(crate) fn reserve_block(&mut self, count: usize, config: QueueConfig) -> u32 {
+        let start = self.total;
+        let end = self.total as u64 + count as u64;
+        assert!(end <= u32::MAX as u64, "too many queues");
+        self.total = end as u32;
+        if count > 0 {
+            self.pending.push((self.total, config));
+        }
+        start
+    }
+
+    /// Mutable access; materializes the prefix through `i` on first touch.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, i: usize) -> &mut Queue {
+        if i >= self.materialized.len() {
+            assert!(i < self.total as usize, "queue {i} out of range");
+            self.materialize_to(i + 1);
+        }
+        &mut self.materialized[i]
+    }
+
+    /// Shared access: `None` means reserved-but-untouched (empty, default
+    /// stats, not down). Panics on an out-of-range id, same as eager
+    /// indexing would.
+    pub(crate) fn get(&self, i: usize) -> Option<&Queue> {
+        assert!(i < self.total as usize, "queue {i} out of range");
+        self.materialized.get(i)
+    }
+
+    /// The materialized queues (pending ones hold no packets and default
+    /// stats, so conservation checks and stat resets may skip them).
+    pub(crate) fn iter_materialized(&self) -> impl Iterator<Item = &Queue> {
+        self.materialized.iter()
+    }
+
+    /// Mutable iteration over the materialized queues.
+    pub(crate) fn iter_materialized_mut(&mut self) -> impl Iterator<Item = &mut Queue> {
+        self.materialized.iter_mut()
+    }
+
+    /// Construct every reserved queue up to (not including) id `n`.
+    #[cold]
+    fn materialize_to(&mut self, n: usize) {
+        while self.materialized.len() < n {
+            let (end, config) = self.pending[self.pending_head];
+            self.materialized.push(Queue::new(config));
+            if self.materialized.len() == end as usize {
+                self.pending_head += 1;
+            }
+        }
+    }
+
+    /// Materialize everything still pending.
+    pub(crate) fn flush(&mut self) {
+        let n = self.total as usize;
+        if self.materialized.len() < n {
+            self.materialize_to(n);
+        }
+        self.pending.clear();
+        self.pending_head = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arena::PacketArena;
     use crate::ids::{EndpointId, QueueId};
-    use crate::packet::{route, Packet};
+    use crate::packet::Packet;
+    use crate::routes::route;
     use proptest::prelude::*;
 
     /// Unit tests drive queues with refs from a throwaway arena; admission

@@ -7,7 +7,7 @@ use crate::arena::{PacketArena, PacketRef};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{EndpointId, QueueId};
 use crate::packet::Packet;
-use crate::queue::{Queue, QueueConfig, QueueStats};
+use crate::queue::{Queue, QueueConfig, QueueStats, QueueTable};
 
 /// Internal event vocabulary of the network simulation.
 ///
@@ -60,7 +60,7 @@ pub trait Endpoint {
 pub struct NetCtx<'a> {
     me: EndpointId,
     now: SimTime,
-    queues: &'a mut [Queue],
+    queues: &'a mut QueueTable,
     events: &'a mut EventQueue<NetEvent>,
     arena: &'a mut PacketArena,
     timers: &'a mut TimerSlab<(EndpointId, u64)>,
@@ -126,9 +126,10 @@ impl NetCtx<'_> {
     }
 
     /// Instantaneous length (packets) of a queue — used by monitoring
-    /// endpoints that sample queue occupancy.
+    /// endpoints that sample queue occupancy. A reserved-but-untouched
+    /// queue is empty by construction.
     pub fn queue_len(&self, q: QueueId) -> usize {
-        self.queues[q.index()].len()
+        self.queues.get(q.index()).map_or(0, Queue::len)
     }
 
     /// The simulation's tracer, so transport endpoints can emit their own
@@ -141,7 +142,7 @@ impl NetCtx<'_> {
 /// Admit the packet behind `r` to the queue at its current hop and kick
 /// service if idle. On drop the arena slot is freed immediately.
 fn enqueue(
-    queues: &mut [Queue],
+    queues: &mut QueueTable,
     events: &mut EventQueue<NetEvent>,
     arena: &mut PacketArena,
     now: SimTime,
@@ -160,7 +161,7 @@ fn enqueue(
         };
         (qid, pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size)
     };
-    let q = &mut queues[qid.index()];
+    let q = queues.get_mut(qid.index());
     match q.try_enqueue(r, now, rng) {
         Ok(()) => {
             tracer.emit(now, || TraceEvent::Enqueue {
@@ -195,10 +196,26 @@ fn enqueue(
     }
 }
 
+/// One endpoint slot: reserved, installed, or retired.
+///
+/// `Vacant` covers both "reserved, not yet installed" and "temporarily
+/// detached while its own callback runs" — dispatching to either is a bug
+/// and panics. `Retired` slots swallow stray events silently: a retired
+/// connection's last stragglers (a late ACK, a lazily-drained heap entry)
+/// are expected and must not abort a churn workload.
+enum EndpointSlot {
+    Vacant,
+    Installed(Box<dyn Endpoint>),
+    Retired,
+}
+
 /// The network simulation: queues, endpoints, and the event loop.
 pub struct Simulation {
-    queues: Vec<Queue>,
-    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    queues: QueueTable,
+    endpoints: Vec<EndpointSlot>,
+    /// Retired endpoint ids available for reuse (LIFO), so sustained churn
+    /// recycles slots instead of growing `endpoints` without bound.
+    free_endpoints: Vec<u32>,
     events: EventQueue<NetEvent>,
     arena: PacketArena,
     timers: TimerSlab<(EndpointId, u64)>,
@@ -232,8 +249,9 @@ impl Simulation {
     /// A fresh simulation with the given RNG seed (tracing disabled).
     pub fn new(seed: u64) -> Simulation {
         Simulation {
-            queues: Vec::new(),
+            queues: QueueTable::new(),
             endpoints: Vec::new(),
+            free_endpoints: Vec::new(),
             events: EventQueue::new(),
             arena: PacketArena::new(),
             timers: TimerSlab::new(),
@@ -243,22 +261,32 @@ impl Simulation {
         }
     }
 
-    /// Pre-size the event heap, packet arena, and timer slab from the
-    /// topology installed so far (endpoints × queues heuristic), so large
-    /// runs don't grow them incrementally mid-loop. Topology builders call
-    /// this once construction is complete; calling it is never required for
+    /// Pre-size the event heap, packet arena, timer slab, and this thread's
+    /// route arena from the topology installed so far, so large runs don't
+    /// grow them incrementally mid-loop. Topology builders call this once
+    /// construction is complete; calling it is never required for
     /// correctness.
     pub fn preallocate(&mut self) {
         let endpoints = self.endpoints.len();
-        let queues = self.queues.len();
-        // Each endpoint keeps a window of packets in flight (events +
-        // arena), each queue at most one outstanding service event; the
-        // constants are deliberately modest — Vec growth from a right-order
-        // base costs one or two doublings at most.
-        let cap = endpoints * 8 + queues * 2 + 64;
-        self.events.reserve(cap);
-        self.arena.reserve(cap);
+        // Right-sized from measurement (see BENCH_scale.json): the event
+        // heap and packet arena grow to workload-dependent peaks during the
+        // run regardless of what is reserved here, so big speculative
+        // reserves only bloat setup memory — at k=16 the old
+        // `endpoints*8 + queues*2` heuristic charged ~6 KB per connection
+        // before the first packet moved, and its non-power-of-two base made
+        // the heap's later growth doublings land ~1.8× past the actual
+        // peak. Reserve the modest, predictable part: start events and a
+        // little in-flight slack (power-of-two so doublings stay aligned),
+        // and exactly two timers per transport endpoint (RTO + pacing),
+        // which is the measured steady-state timer population.
+        let ev = (endpoints / 4 + 64).next_power_of_two();
+        self.events.reserve(ev);
+        self.arena.reserve(endpoints / 4 + 64);
         self.timers.reserve(endpoints * 2 + 16);
+        // Routes are interned per-thread: up to 4 subflows × 2 directions
+        // per endpoint pair, ≤ 6 hops each (the FatTree cross-pod maximum:
+        // host + edge→agg + agg→core + core→agg + agg→edge + host).
+        crate::routes::reserve(endpoints * 4, endpoints * 4 * 6);
     }
 
     /// Attach (or replace) the tracer every layer of this simulation emits
@@ -279,10 +307,39 @@ impl Simulation {
 
     /// Add a queue; returns its id for use in routes.
     pub fn add_queue(&mut self, config: QueueConfig) -> QueueId {
-        // simlint: allow(R5) setup-time capacity guard, runs before the event loop starts
-        let id = QueueId(u32::try_from(self.queues.len()).expect("too many queues"));
-        self.queues.push(Queue::new(config));
-        id
+        QueueId(self.queues.push(config))
+    }
+
+    /// Reserve a contiguous block of `count` queues sharing `config`
+    /// *without constructing them*; returns the first id of the block
+    /// (ids are `first..first+count`, assigned arithmetically).
+    ///
+    /// Queues materialize on first mutable touch — a packet admitted, a
+    /// fault applied, a rate changed. Construction is allocation-free and
+    /// draws no randomness, so lazy and eager builds are behaviorally
+    /// identical (byte-identical trace digests); shared accessors like
+    /// [`queue_stats`](Self::queue_stats) report untouched queues as
+    /// empty/default, which is what they are.
+    pub fn reserve_queue_block(&mut self, count: usize, config: QueueConfig) -> QueueId {
+        QueueId(self.queues.reserve_block(count, config))
+    }
+
+    /// Construct every reserved-but-unmaterialized queue now (the eager
+    /// path: differential tests and before/after comparisons of the
+    /// streamed topology build).
+    pub fn materialize_queues(&mut self) {
+        self.queues.flush();
+    }
+
+    /// Total queues, including reserved-but-unmaterialized ones.
+    pub fn queue_count(&self) -> usize {
+        self.queues.total()
+    }
+
+    /// Queues actually constructed so far (diagnostics: how lazy a
+    /// streamed topology build stayed).
+    pub fn queues_materialized(&self) -> usize {
+        self.queues.materialized_count()
     }
 
     /// Add an endpoint; returns its id.
@@ -295,21 +352,65 @@ impl Simulation {
     /// Reserve an endpoint id without installing the endpoint yet.
     ///
     /// Needed when two endpoints reference each other (a source needs its
-    /// sink's id and vice versa).
+    /// sink's id and vice versa). Retired slots are recycled LIFO, so churn
+    /// workloads reuse ids instead of growing the table without bound.
     pub fn reserve_endpoint(&mut self) -> EndpointId {
+        if let Some(i) = self.free_endpoints.pop() {
+            self.endpoints[i as usize] = EndpointSlot::Vacant;
+            return EndpointId(i);
+        }
         // simlint: allow(R5) setup-time capacity guard, runs before the event loop starts
         let id = EndpointId(u32::try_from(self.endpoints.len()).expect("too many endpoints"));
-        self.endpoints.push(None);
+        self.endpoints.push(EndpointSlot::Vacant);
         id
     }
 
     /// Install an endpoint into a reserved slot.
     ///
-    /// Panics if the slot is already occupied.
+    /// Panics if the slot is already occupied or retired.
     pub fn install_endpoint(&mut self, id: EndpointId, ep: Box<dyn Endpoint>) {
         let slot = &mut self.endpoints[id.index()];
-        assert!(slot.is_none(), "endpoint {id} installed twice");
-        *slot = Some(ep);
+        match slot {
+            EndpointSlot::Vacant => *slot = EndpointSlot::Installed(ep),
+            EndpointSlot::Installed(_) => panic!("endpoint {id} installed twice"),
+            EndpointSlot::Retired => panic!("endpoint {id} is retired; reserve a fresh id"),
+        }
+    }
+
+    /// Retire an endpoint: detach it (returned for final-stat harvesting)
+    /// and mark its slot so stray events still addressed to it — a late
+    /// ACK in flight, a cancelled timer's heap entry — are dropped
+    /// silently instead of panicking. The id becomes reusable via
+    /// [`reserve_endpoint`](Self::reserve_endpoint).
+    ///
+    /// Callers should retire only quiescent endpoints (completed flows past
+    /// a grace period): a stray event addressed to a *reused* id is
+    /// delivered to the new occupant.
+    pub fn retire_endpoint(&mut self, id: EndpointId) -> Box<dyn Endpoint> {
+        let slot = &mut self.endpoints[id.index()];
+        match std::mem::replace(slot, EndpointSlot::Retired) {
+            EndpointSlot::Installed(ep) => {
+                self.free_endpoints.push(id.0);
+                ep
+            }
+            EndpointSlot::Vacant => panic!("endpoint {id} not installed"),
+            EndpointSlot::Retired => panic!("endpoint {id} retired twice"),
+        }
+    }
+
+    /// Endpoints currently installed (excludes reserved/retired slots).
+    pub fn live_endpoints(&self) -> usize {
+        self.endpoints
+            .iter()
+            .filter(|s| matches!(s, EndpointSlot::Installed(_)))
+            .count()
+    }
+
+    /// Capacity of the endpoint table (installed + reserved + retired):
+    /// under churn with recycling this should plateau at the peak
+    /// concurrent population, not grow with total flows started.
+    pub fn endpoint_slots(&self) -> usize {
+        self.endpoints.len()
     }
 
     /// Schedule an endpoint's `start` hook at the current simulation time.
@@ -356,16 +457,18 @@ impl Simulation {
         match ev {
             NetEvent::Service(qid) => {
                 let qi = qid.index();
+                // A service completion implies the queue was enqueued into,
+                // so it is materialized; get_mut's branch never fires here.
                 // Resolve the head once; its snapshot feeds the byte
                 // counters, the (lazy) trace closure, and the hop advance.
-                let Some(&head) = self.queues[qi].buf.front() else {
+                let Some(&head) = self.queues.get_mut(qi).buf.front() else {
                     panic!("service completion on empty queue");
                 };
                 let (conn, subflow, kind, seq, size) = {
                     let pkt = self.arena.get(head);
                     (pkt.conn, pkt.subflow, pkt.kind, pkt.seq, pkt.size)
                 };
-                let q = &mut self.queues[qi];
+                let q = self.queues.get_mut(qi);
                 let r = q.complete_service(size);
                 debug_assert_eq!(r, head);
                 self.tracer.emit(now, || TraceEvent::Dequeue {
@@ -449,7 +552,7 @@ impl Simulation {
             FaultAction::SetLatency { queue, latency } => self.set_queue_latency(queue, latency),
             FaultAction::LossBurst { queue, p, duration } => {
                 assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-                let q = &mut self.queues[queue.index()];
+                let q = self.queues.get_mut(queue.index());
                 q.impair.loss_p = p;
                 q.impair.loss_until = now + duration;
             }
@@ -458,31 +561,38 @@ impl Simulation {
                     (0.0..=1.0).contains(&p),
                     "duplication probability out of range"
                 );
-                self.queues[queue.index()].impair.duplicate_p = p;
+                self.queues.get_mut(queue.index()).impair.duplicate_p = p;
             }
             FaultAction::SetReordering { queue, p, extra } => {
                 assert!((0.0..=1.0).contains(&p), "reorder probability out of range");
-                let q = &mut self.queues[queue.index()];
+                let q = self.queues.get_mut(queue.index());
                 q.impair.reorder_p = p;
                 q.impair.reorder_extra = extra;
             }
             FaultAction::ClearImpairments(queue) => {
-                self.queues[queue.index()].impair = crate::queue::Impairment::NONE;
+                self.queues.get_mut(queue.index()).impair = crate::queue::Impairment::NONE;
             }
         }
     }
 
     /// Temporarily detach an endpoint so it can receive `&mut self` and a
-    /// context borrowing the rest of the simulation.
+    /// context borrowing the rest of the simulation. Events addressed to a
+    /// retired slot are dropped silently (expected stragglers under churn).
     fn with_endpoint(
         &mut self,
         id: EndpointId,
         now: SimTime,
         f: impl FnOnce(&mut dyn Endpoint, &mut NetCtx<'_>),
     ) {
-        let mut ep = self.endpoints[id.index()]
-            .take()
-            .unwrap_or_else(|| panic!("endpoint {id} reserved but never installed"));
+        let slot = &mut self.endpoints[id.index()];
+        let mut ep = match std::mem::replace(slot, EndpointSlot::Vacant) {
+            EndpointSlot::Installed(ep) => ep,
+            EndpointSlot::Retired => {
+                *slot = EndpointSlot::Retired;
+                return;
+            }
+            EndpointSlot::Vacant => panic!("endpoint {id} reserved but never installed"),
+        };
         {
             let mut ctx = NetCtx {
                 me: id,
@@ -496,29 +606,32 @@ impl Simulation {
             };
             f(ep.as_mut(), &mut ctx);
         }
-        self.endpoints[id.index()] = Some(ep);
+        self.endpoints[id.index()] = EndpointSlot::Installed(ep);
     }
 
-    /// Counters for one queue.
+    /// Counters for one queue (default — all zero — for a reserved queue
+    /// nothing has touched yet).
     pub fn queue_stats(&self, q: QueueId) -> QueueStats {
-        self.queues[q.index()].stats
+        self.queues
+            .get(q.index())
+            .map_or_else(QueueStats::default, |q| q.stats)
     }
 
     /// Instantaneous length (packets) of one queue.
     pub fn queue_len(&self, q: QueueId) -> usize {
-        self.queues[q.index()].len()
+        self.queues.get(q.index()).map_or(0, Queue::len)
     }
 
     /// Administratively fail or restore a link: a down queue drops every
     /// arrival (failure injection for robustness experiments). Packets
     /// already buffered still drain.
     pub fn set_queue_down(&mut self, q: QueueId, down: bool) {
-        self.queues[q.index()].down = down;
+        self.queues.get_mut(q.index()).down = down;
     }
 
     /// Whether a queue is administratively down.
     pub fn queue_is_down(&self, q: QueueId) -> bool {
-        self.queues[q.index()].down
+        self.queues.get(q.index()).is_some_and(|q| q.down)
     }
 
     /// Change a queue's service rate mid-run. Packets whose serialization
@@ -526,14 +639,14 @@ impl Simulation {
     /// at the new one. Drop-discipline parameters are not rescaled.
     pub fn set_queue_rate(&mut self, q: QueueId, rate_bps: f64) {
         assert!(rate_bps > 0.0, "rate must be positive");
-        self.queues[q.index()].config.rate_bps = rate_bps;
+        self.queues.get_mut(q.index()).config.rate_bps = rate_bps;
     }
 
     /// Change a queue's propagation latency mid-run. Applies to packets
     /// completing serialization from now on; packets already propagating
     /// keep their departure-time delay.
     pub fn set_queue_latency(&mut self, q: QueueId, latency: SimDuration) {
-        self.queues[q.index()].config.latency = latency;
+        self.queues.get_mut(q.index()).config.latency = latency;
     }
 
     /// Install a [`FaultPlan`]: every action is scheduled as an event inside
@@ -566,7 +679,8 @@ impl Simulation {
     /// only contributes its post-reset share to `busy_ns`.
     pub fn reset_queue_stats(&mut self) {
         let now = self.events.now();
-        for q in &mut self.queues {
+        // Unmaterialized queues already have default stats: skip them.
+        for q in self.queues.iter_materialized_mut() {
             q.stats.reset();
             if q.busy {
                 q.service_start = now;
@@ -579,16 +693,18 @@ impl Simulation {
     /// Panics if the endpoint is currently detached (i.e. called from inside
     /// its own callback) or was never installed.
     pub fn endpoint(&self, id: EndpointId) -> &dyn Endpoint {
-        self.endpoints[id.index()]
-            .as_deref()
-            .unwrap_or_else(|| panic!("endpoint {id} not installed"))
+        match &self.endpoints[id.index()] {
+            EndpointSlot::Installed(ep) => ep.as_ref(),
+            _ => panic!("endpoint {id} not installed"),
+        }
     }
 
     /// Mutable access to an installed endpoint.
     pub fn endpoint_mut(&mut self, id: EndpointId) -> &mut (dyn Endpoint + 'static) {
-        self.endpoints[id.index()]
-            .as_deref_mut()
-            .unwrap_or_else(|| panic!("endpoint {id} not installed"))
+        match &mut self.endpoints[id.index()] {
+            EndpointSlot::Installed(ep) => ep.as_mut(),
+            _ => panic!("endpoint {id} not installed"),
+        }
     }
 
     /// Number of pending events (diagnostics).
@@ -629,7 +745,9 @@ impl Simulation {
     /// slot leaked.
     pub fn check_packet_conservation(&self) -> Result<(), String> {
         let mut buffered = 0usize;
-        for (i, q) in self.queues.iter().enumerate() {
+        // The materialized queues form a prefix of the id space; pending
+        // ones were never touched and hold no packets or counters.
+        for (i, q) in self.queues.iter_materialized().enumerate() {
             let s = q.stats;
             let expect = s
                 .arrived
@@ -661,7 +779,8 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{route, PacketKind, Route};
+    use crate::packet::PacketKind;
+    use crate::routes::{route, Route};
     use eventsim::SimDuration;
 
     /// Sends `n` data packets at start; records ACK arrival times.
@@ -680,7 +799,7 @@ mod tests {
     impl Endpoint for Src {
         fn start(&mut self, ctx: &mut NetCtx<'_>) {
             for i in 0..self.n {
-                let mut p = Packet::data(ctx.me(), self.dst, 1, 0, i, 1500, self.fwd.clone());
+                let mut p = Packet::data(ctx.me(), self.dst, 1, 0, i, 1500, self.fwd);
                 p.ts_echo = ctx.now();
                 ctx.send(p);
             }
@@ -704,7 +823,7 @@ mod tests {
                 pkt.seq,
                 pkt.seq + 1,
                 40,
-                self.rev.clone(),
+                self.rev,
             );
             ctx.send(ack);
         }
@@ -905,7 +1024,7 @@ mod tests {
         assert!(ls.peak_arena > 0 && ls.peak_heap > 0);
         assert_eq!(ls.arena_inserts, 40, "20 data + 20 ACKs");
         // Forge a leak: doctor the stats so the identity breaks.
-        sim.queues[fwd.index()].stats.arrived += 1;
+        sim.queues.get_mut(fwd.index()).stats.arrived += 1;
         assert!(sim.check_packet_conservation().is_err());
     }
 
@@ -930,6 +1049,96 @@ mod tests {
             (sim.queue_stats(fwd), sim.queue_stats(rev))
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn queue_blocks_materialize_lazily_on_first_touch() {
+        let cfg = QueueConfig::drop_tail(10_000_000.0, SimDuration::from_millis(10), 1000);
+        let mut sim = Simulation::new(1);
+        let base = sim.reserve_queue_block(3, cfg);
+        assert_eq!(sim.queue_count(), 3);
+        assert_eq!(sim.queues_materialized(), 0);
+        let q1 = QueueId(base.0 + 1);
+        // Shared accessors see untouched queues as empty/default without
+        // materializing anything.
+        assert_eq!(sim.queue_stats(q1), QueueStats::default());
+        assert_eq!(sim.queue_len(q1), 0);
+        assert!(!sim.queue_is_down(q1));
+        assert_eq!(sim.queues_materialized(), 0);
+        // First mutable touch materializes exactly the prefix 0..=1.
+        sim.set_queue_down(q1, true);
+        assert_eq!(sim.queues_materialized(), 2);
+        assert!(sim.queue_is_down(q1));
+        assert!(!sim.queue_is_down(base));
+        // An eager add after a pending block flushes it (dense ids).
+        let q3 = sim.add_queue(cfg);
+        assert_eq!(q3.index(), 3);
+        assert_eq!(sim.queues_materialized(), 4);
+    }
+
+    #[test]
+    fn lazy_and_eager_queue_builds_behave_identically() {
+        let run = |lazy: bool| {
+            let cfg = QueueConfig::drop_tail(10_000_000.0, SimDuration::from_millis(10), 1000);
+            let mut sim = Simulation::new(3);
+            let (fwd, rev) = if lazy {
+                let base = sim.reserve_queue_block(2, cfg);
+                (base, QueueId(base.0 + 1))
+            } else {
+                (sim.add_queue(cfg), sim.add_queue(cfg))
+            };
+            let src_id = sim.reserve_endpoint();
+            let dst_id = sim.reserve_endpoint();
+            sim.install_endpoint(
+                src_id,
+                Box::new(Src {
+                    dst: dst_id,
+                    fwd: route(&[fwd]),
+                    n: 25,
+                    acks: Vec::new(),
+                }),
+            );
+            sim.install_endpoint(
+                dst_id,
+                Box::new(Echo {
+                    rev: route(&[rev]),
+                    received: Vec::new(),
+                }),
+            );
+            sim.start_endpoint(src_id);
+            sim.run_until(SimTime::from_secs_f64(2.0));
+            (sim.queue_stats(fwd), sim.queue_stats(rev))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn retire_endpoint_recycles_ids_and_drops_stray_events() {
+        let (mut sim, src, dst, fwd, _) = echo_setup(3, 1);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.live_endpoints(), 2);
+        let _harvested = sim.retire_endpoint(dst);
+        assert_eq!(sim.live_endpoints(), 1);
+        // Traffic still addressed to the retired sink is dropped silently
+        // (and its arena slots are freed on delivery as usual).
+        sim.start_endpoint(src);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.queue_stats(fwd).forwarded, 6);
+        sim.check_packet_conservation().unwrap();
+        assert_eq!(sim.loop_stats().arena_live, 0);
+        // The id is recycled LIFO: the slot table does not grow.
+        let slots = sim.endpoint_slots();
+        let again = sim.reserve_endpoint();
+        assert_eq!(again, dst);
+        assert_eq!(sim.endpoint_slots(), slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired twice")]
+    fn double_retire_panics() {
+        let (mut sim, _, dst, _, _) = echo_setup(1, 1);
+        let _ = sim.retire_endpoint(dst);
+        let _ = sim.retire_endpoint(dst);
     }
 
     #[test]
@@ -1059,15 +1268,7 @@ mod tests {
         impl Endpoint for TwoShot {
             fn start(&mut self, ctx: &mut NetCtx<'_>) {
                 for i in 0..2 {
-                    ctx.send(Packet::data(
-                        ctx.me(),
-                        self.dst,
-                        0,
-                        0,
-                        i,
-                        1500,
-                        self.fwd.clone(),
-                    ));
+                    ctx.send(Packet::data(ctx.me(), self.dst, 0, 0, i, 1500, self.fwd));
                 }
             }
             fn on_packet(&mut self, _: &mut NetCtx<'_>, _: Packet) {}

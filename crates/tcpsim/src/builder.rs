@@ -123,8 +123,8 @@ impl ConnectionSpec {
         let source_id = sim.reserve_endpoint();
         let sink_id = sim.reserve_endpoint();
         let handle = FlowHandle::new(config.mss, self.paths.len());
-        let fwd: Vec<Route> = self.paths.iter().map(|p| p.fwd.clone()).collect();
-        let rev: Vec<Route> = self.paths.iter().map(|p| p.rev.clone()).collect();
+        let fwd: Vec<Route> = self.paths.iter().map(|p| p.fwd).collect();
+        let rev: Vec<Route> = self.paths.iter().map(|p| p.rev).collect();
         sim.install_endpoint(
             source_id,
             Box::new(TcpSource::new(

@@ -54,13 +54,14 @@
 //! ```
 
 mod builder;
+pub mod pool;
 mod rtt;
 mod sink;
 mod source;
 mod stats;
 
 pub use builder::{Connection, ConnectionSpec, PathSpec};
-pub use rtt::RttEstimator;
+pub use rtt::{RtoBounds, RttEstimator};
 pub use sink::TcpSink;
 pub use source::TcpSource;
 pub use stats::{FlowHandle, FlowStats, PathHealth, SubflowStats, TcpConfig};

@@ -1,0 +1,242 @@
+//! Recycling pool for per-connection ring buffers.
+//!
+//! Under sustained churn (data-center short-flow workloads) connections are
+//! created and retired by the thousand, and each one owns a handful of
+//! `VecDeque` rings: the per-subflow DSN mapping windows on the source and
+//! the per-subflow + connection-level reorder bitmaps on the sink. The rings
+//! start empty but grow to the flow's in-flight window within a few RTTs, so
+//! a churn workload that naively drops them re-pays the grow-to-steady-state
+//! allocation for every flow. This pool keeps the backing buffers alive
+//! across connection lifetimes: retiring endpoints return their rings
+//! (cleared), and new endpoints take them back capacity and all.
+//!
+//! The pool is thread-local, like the route interner in `netsim::routes` —
+//! simulations are single-threaded and deterministic, and a thread-local
+//! avoids both locks and plumbing a pool handle through every constructor.
+//!
+//! **Determinism:** recycling is invisible to simulation behaviour. A
+//! recycled ring is cleared before reuse, and `VecDeque`'s semantics do not
+//! depend on capacity or on the internal head offset, so traces (and their
+//! digests) are byte-identical with or without the pool. Only allocator
+//! traffic changes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Rings whose capacity exceeds this are dropped on return instead of
+/// pooled, so one pathological flow (a huge reorder window during a long
+/// outage) cannot pin a giant allocation for the rest of the run.
+const RETAIN_CAPACITY_LIMIT: usize = 4096;
+
+/// Default bound on the number of rings retained per kind. [`prewarm`]
+/// raises it when a topology needs more concurrent state.
+const DEFAULT_MAX_RINGS: usize = 1024;
+
+/// Observability counters for the pool (see [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// DSN rings currently sitting in the pool.
+    pub dsn_rings: usize,
+    /// Bitmap rings currently sitting in the pool.
+    pub bitmap_rings: usize,
+    /// Ring requests served from the pool.
+    pub recycled: u64,
+    /// Ring requests that had to allocate fresh.
+    pub fresh: u64,
+    /// Returned rings dropped (pool full or ring oversized).
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct StatePool {
+    dsn_rings: Vec<VecDeque<u64>>,
+    bitmap_rings: Vec<VecDeque<bool>>,
+    /// Per-kind retention bound; raised by [`prewarm`].
+    max_rings: usize,
+    recycled: u64,
+    fresh: u64,
+    dropped: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<StatePool> = RefCell::new(StatePool {
+        max_rings: DEFAULT_MAX_RINGS,
+        ..StatePool::default()
+    });
+}
+
+/// Take a DSN ring (recycled capacity if available, fresh otherwise).
+pub(crate) fn take_dsn_ring() -> VecDeque<u64> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.dsn_rings.pop() {
+            Some(ring) => {
+                p.recycled += 1;
+                ring
+            }
+            None => {
+                p.fresh += 1;
+                VecDeque::new()
+            }
+        }
+    })
+}
+
+/// Return a DSN ring to the pool. The ring is cleared here; oversized rings
+/// and rings beyond the retention bound are dropped.
+pub(crate) fn give_dsn_ring(mut ring: VecDeque<u64>) {
+    ring.clear();
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if ring.capacity() <= RETAIN_CAPACITY_LIMIT && p.dsn_rings.len() < p.max_rings {
+            p.dsn_rings.push(ring);
+        } else {
+            p.dropped += 1;
+        }
+    });
+}
+
+/// Take a reorder-bitmap ring (recycled capacity if available).
+pub(crate) fn take_bitmap_ring() -> VecDeque<bool> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.bitmap_rings.pop() {
+            Some(ring) => {
+                p.recycled += 1;
+                ring
+            }
+            None => {
+                p.fresh += 1;
+                VecDeque::new()
+            }
+        }
+    })
+}
+
+/// Return a reorder-bitmap ring to the pool (cleared; bounded as for
+/// [`give_dsn_ring`]).
+pub(crate) fn give_bitmap_ring(mut ring: VecDeque<bool>) {
+    ring.clear();
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if ring.capacity() <= RETAIN_CAPACITY_LIMIT && p.bitmap_rings.len() < p.max_rings {
+            p.bitmap_rings.push(ring);
+        } else {
+            p.dropped += 1;
+        }
+    });
+}
+
+/// Pre-populate the pool with `rings` rings of each kind, each with
+/// `capacity` slots, and raise the retention bound to at least `rings`.
+///
+/// Call once before a churn workload with topology-derived sizes — e.g.
+/// `rings = concurrent connections × subflows`, `capacity =` the expected
+/// in-flight window — so steady state is reached without any grow-in-place
+/// reallocation. Capacity is semantically inert (see the module docs), so
+/// prewarming cannot change a trace.
+pub fn prewarm(rings: usize, capacity: usize) {
+    let capacity = capacity.min(RETAIN_CAPACITY_LIMIT);
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.max_rings = p.max_rings.max(rings);
+        while p.dsn_rings.len() < rings {
+            p.dsn_rings.push(VecDeque::with_capacity(capacity));
+        }
+        while p.bitmap_rings.len() < rings {
+            p.bitmap_rings.push(VecDeque::with_capacity(capacity));
+        }
+    });
+}
+
+/// Drop every pooled ring and zero the counters. For memory accounting
+/// between scenarios (mirrors `netsim::routes::clear`).
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.dsn_rings = Vec::new();
+        p.bitmap_rings = Vec::new();
+        p.recycled = 0;
+        p.fresh = 0;
+        p.dropped = 0;
+    });
+}
+
+/// Current pool occupancy and lifetime recycle/fresh/drop counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            dsn_rings: p.dsn_rings.len(),
+            bitmap_rings: p.bitmap_rings.len(),
+            recycled: p.recycled,
+            fresh: p.fresh,
+            dropped: p.dropped,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share one thread-local pool with everything else on the test
+    /// thread, so each starts from a clean slate and asserts deltas only.
+    fn reset() {
+        clear();
+    }
+
+    #[test]
+    fn take_prefers_recycled_capacity() {
+        reset();
+        let mut ring = take_dsn_ring();
+        assert_eq!(stats().fresh, 1);
+        ring.reserve(100);
+        let cap = ring.capacity();
+        for i in 0..50 {
+            ring.push_back(i);
+        }
+        give_dsn_ring(ring);
+        assert_eq!(stats().dsn_rings, 1);
+
+        let ring = take_dsn_ring();
+        assert!(ring.is_empty(), "recycled ring must come back cleared");
+        assert!(ring.capacity() >= cap, "recycled ring keeps its capacity");
+        assert_eq!(stats().recycled, 1);
+    }
+
+    #[test]
+    fn oversized_rings_are_dropped() {
+        reset();
+        let mut ring = take_bitmap_ring();
+        ring.reserve(RETAIN_CAPACITY_LIMIT + 1);
+        give_bitmap_ring(ring);
+        assert_eq!(stats().bitmap_rings, 0);
+        assert_eq!(stats().dropped, 1);
+    }
+
+    #[test]
+    fn prewarm_fills_and_raises_bound() {
+        reset();
+        prewarm(8, 64);
+        let s = stats();
+        assert_eq!(s.dsn_rings, 8);
+        assert_eq!(s.bitmap_rings, 8);
+        let ring = take_dsn_ring();
+        assert!(ring.capacity() >= 64);
+        assert_eq!(stats().recycled, 1);
+        assert_eq!(stats().fresh, 0);
+    }
+
+    #[test]
+    fn retention_bound_limits_pool_growth() {
+        reset();
+        // Default bound: returning more than max_rings rings drops the rest.
+        for _ in 0..DEFAULT_MAX_RINGS + 5 {
+            give_dsn_ring(VecDeque::new());
+        }
+        let s = stats();
+        assert_eq!(s.dsn_rings, DEFAULT_MAX_RINGS);
+        assert_eq!(s.dropped, 5);
+    }
+}

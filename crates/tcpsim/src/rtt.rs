@@ -5,72 +5,105 @@
 //! the classic EWMA pair (gain 1/8 for `srtt`, 1/4 for `rttvar`) with the
 //! standard `srtt + 4·rttvar` RTO, clamped to a configurable minimum (Linux
 //! uses 200 ms).
+//!
+//! The RTO clamps live in [`RtoBounds`], passed at computation time: they
+//! are connection-wide constants from `TcpConfig`, and keeping three copies
+//! per subflow was a measurable share of per-connection memory at FatTree
+//! scale. The estimator itself holds only the two EWMA state variables.
 
 use eventsim::SimDuration;
 
-/// Smoothed RTT estimator with RTO computation.
+/// Connection-wide RTO clamps, derived once from the config.
 #[derive(Debug, Clone, Copy)]
-pub struct RttEstimator {
-    srtt: Option<f64>,
-    rttvar: f64,
-    min_rto: f64,
-    max_rto: f64,
-    initial_rto: f64,
+pub struct RtoBounds {
+    /// Lower clamp on the computed RTO (Linux: 200 ms).
+    pub min_rto: f64,
+    /// Upper clamp; backed-off timeouts clamp to this too.
+    pub max_rto: f64,
+    /// RTO before the first sample (RFC 6298: 1 s).
+    pub initial_rto: f64,
 }
 
-impl RttEstimator {
-    /// Estimator with the given RTO bounds; before the first sample,
-    /// [`RttEstimator::rto`] returns `initial_rto`.
+impl RtoBounds {
+    /// Bounds from the configured durations.
     pub fn new(min_rto: SimDuration, max_rto: SimDuration, initial_rto: SimDuration) -> Self {
-        RttEstimator {
-            srtt: None,
-            rttvar: 0.0,
+        RtoBounds {
             min_rto: min_rto.as_secs_f64(),
             max_rto: max_rto.as_secs_f64(),
             initial_rto: initial_rto.as_secs_f64(),
         }
     }
 
+    /// The upper bound as a duration.
+    pub fn max_rto(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.max_rto)
+    }
+}
+
+/// Smoothed RTT estimator: the two EWMA state variables, 16 bytes.
+///
+/// "No sample yet" is encoded as a NaN `srtt` rather than an `Option` — the
+/// tag would double the field to 16 bytes on its own, and the estimator is
+/// per-subflow state replicated across every connection in the fabric. NaN
+/// never arises from the EWMA arithmetic (samples are finite durations), so
+/// the sentinel is unambiguous.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: f64::NAN,
+            rttvar: 0.0,
+        }
+    }
+
     /// Incorporate a measured round-trip sample.
     pub fn sample(&mut self, rtt: SimDuration) {
         let r = rtt.as_secs_f64();
-        match self.srtt {
-            None => {
-                // RFC 6298 initialization.
-                self.srtt = Some(r);
-                self.rttvar = r / 2.0;
-            }
-            Some(srtt) => {
-                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * r);
-            }
+        if self.srtt.is_nan() {
+            // RFC 6298 initialization.
+            self.srtt = r;
+            self.rttvar = r / 2.0;
+        } else {
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - r).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * r;
         }
     }
 
     /// The smoothed RTT in seconds, or `fallback` before any sample.
     pub fn srtt_or(&self, fallback: f64) -> f64 {
-        self.srtt.unwrap_or(fallback)
+        if self.srtt.is_nan() {
+            fallback
+        } else {
+            self.srtt
+        }
     }
 
     /// Whether at least one sample has been incorporated.
     pub fn has_sample(&self) -> bool {
-        self.srtt.is_some()
-    }
-
-    /// The configured upper bound on the RTO; backed-off timeouts clamp to
-    /// this too.
-    pub fn max_rto(&self) -> SimDuration {
-        SimDuration::from_secs_f64(self.max_rto)
+        !self.srtt.is_nan()
     }
 
     /// The base retransmission timeout (before backoff): `srtt + 4·rttvar`,
     /// clamped to `[min_rto, max_rto]`; `initial_rto` before any sample.
-    pub fn rto(&self) -> SimDuration {
-        let raw = match self.srtt {
-            None => self.initial_rto,
-            Some(srtt) => (srtt + 4.0 * self.rttvar).max(self.min_rto),
+    pub fn rto(&self, bounds: &RtoBounds) -> SimDuration {
+        let raw = if self.srtt.is_nan() {
+            bounds.initial_rto
+        } else {
+            (self.srtt + 4.0 * self.rttvar).max(bounds.min_rto)
         };
-        SimDuration::from_secs_f64(raw.min(self.max_rto))
+        SimDuration::from_secs_f64(raw.min(bounds.max_rto))
     }
 }
 
@@ -79,8 +112,8 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn est() -> RttEstimator {
-        RttEstimator::new(
+    fn bounds() -> RtoBounds {
+        RtoBounds::new(
             SimDuration::from_millis(200),
             SimDuration::from_secs(60),
             SimDuration::from_secs(1),
@@ -89,24 +122,24 @@ mod tests {
 
     #[test]
     fn initial_rto_before_samples() {
-        let e = est();
+        let e = RttEstimator::new();
         assert!(!e.has_sample());
-        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert_eq!(e.rto(&bounds()), SimDuration::from_secs(1));
         assert_eq!(e.srtt_or(0.15), 0.15);
     }
 
     #[test]
     fn first_sample_initializes() {
-        let mut e = est();
+        let mut e = RttEstimator::new();
         e.sample(SimDuration::from_millis(100));
         assert!((e.srtt_or(0.0) - 0.1).abs() < 1e-12);
         // rto = srtt + 4·(srtt/2) = 3·srtt = 300 ms.
-        assert!((e.rto().as_secs_f64() - 0.3).abs() < 1e-9);
+        assert!((e.rto(&bounds()).as_secs_f64() - 0.3).abs() < 1e-9);
     }
 
     #[test]
     fn converges_to_constant_rtt() {
-        let mut e = est();
+        let mut e = RttEstimator::new();
         for _ in 0..200 {
             e.sample(SimDuration::from_millis(150));
         }
@@ -115,30 +148,38 @@ mod tests {
         // floor is max(srtt + 4·rttvar, min_rto): srtt=150ms > 200? No:
         // srtt + 4·var → 150 ms < min_rto 200 ms → clamped to 200 ms? The
         // clamp applies to the sum: max(150ms, 200ms) = 200 ms.
-        assert!((e.rto().as_secs_f64() - 0.2).abs() < 1e-3);
+        assert!((e.rto(&bounds()).as_secs_f64() - 0.2).abs() < 1e-3);
     }
 
     #[test]
     fn rto_clamped_to_max() {
-        let mut e = RttEstimator::new(
+        let b = RtoBounds::new(
             SimDuration::from_millis(200),
             SimDuration::from_secs(2),
             SimDuration::from_secs(1),
         );
+        let mut e = RttEstimator::new();
         e.sample(SimDuration::from_secs(10));
-        assert_eq!(e.rto(), SimDuration::from_secs(2));
+        assert_eq!(e.rto(&b), SimDuration::from_secs(2));
     }
 
     #[test]
     fn variance_reacts_to_jitter() {
-        let mut smooth = est();
-        let mut jittery = est();
+        let mut smooth = RttEstimator::new();
+        let mut jittery = RttEstimator::new();
         for i in 0..100 {
             smooth.sample(SimDuration::from_millis(150));
             let j = if i % 2 == 0 { 100 } else { 200 };
             jittery.sample(SimDuration::from_millis(j));
         }
-        assert!(jittery.rto() > smooth.rto());
+        assert!(jittery.rto(&bounds()) > smooth.rto(&bounds()));
+    }
+
+    #[test]
+    fn estimator_is_two_words() {
+        // The point of RtoBounds and the NaN sentinel: per-subflow state
+        // must not re-carry connection constants or pay an Option tag.
+        assert_eq!(std::mem::size_of::<RttEstimator>(), 16);
     }
 
     proptest! {
@@ -146,7 +187,7 @@ mod tests {
         /// the range of observed samples.
         #[test]
         fn prop_bounds(samples in proptest::collection::vec(1u64..2_000, 1..100)) {
-            let mut e = est();
+            let mut e = RttEstimator::new();
             let mut lo = f64::INFINITY;
             let mut hi: f64 = 0.0;
             for &ms in &samples {
@@ -156,7 +197,7 @@ mod tests {
             }
             let srtt = e.srtt_or(0.0);
             prop_assert!(srtt >= lo - 1e-9 && srtt <= hi + 1e-9);
-            let rto = e.rto().as_secs_f64();
+            let rto = e.rto(&bounds()).as_secs_f64();
             prop_assert!((0.2 - 1e-9..=60.0 + 1e-9).contains(&rto));
         }
     }

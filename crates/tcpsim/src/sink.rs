@@ -22,11 +22,31 @@ struct ReorderWindow {
     base: u64,
     /// Membership bits for `base..base + bits.len()`.
     bits: VecDeque<bool>,
-    /// Number of set bits (the reorder-buffer occupancy).
-    count: usize,
+    /// Number of set bits (the reorder-buffer occupancy). `u32`: a reorder
+    /// buffer anywhere near 2³² packets would mean gigabytes of buffered
+    /// data on one subflow.
+    count: u32,
 }
 
 impl ReorderWindow {
+    /// An empty window whose bitmap ring comes from the [`crate::pool`], so
+    /// churned connections reuse retired predecessors' capacity.
+    fn pooled() -> ReorderWindow {
+        ReorderWindow {
+            base: 0,
+            bits: crate::pool::take_bitmap_ring(),
+            count: 0,
+        }
+    }
+
+    /// The in-order point: every value below it has been delivered. This is
+    /// exactly the window base — [`drain_from`](Self::drain_from) re-syncs
+    /// the base to the point it returns, and nothing else moves it — so the
+    /// owner does not carry a separate `expected` field per window.
+    fn expected(&self) -> u64 {
+        self.base
+    }
+
     /// Whether `v` is buffered.
     fn contains(&self, v: u64) -> bool {
         v >= self.base
@@ -73,17 +93,17 @@ impl ReorderWindow {
 
     /// Number of buffered values.
     fn len(&self) -> usize {
-        self.count
+        self.count as usize
     }
 }
 
-/// Per-subflow receiver state.
+/// Per-subflow receiver state. The next expected sequence number (everything
+/// below it is delivered) is `buffered.expected()` — the reorder window's
+/// base doubles as the subflow's in-order point.
 #[derive(Debug)]
 struct SinkSubflow {
     /// Reverse route for ACKs.
     rev: Route,
-    /// Next expected sequence number (everything below is delivered).
-    expected: u64,
     /// Out-of-order packets held for reassembly.
     buffered: ReorderWindow,
     /// In-order packets received since the last ACK (delayed ACKs).
@@ -102,9 +122,8 @@ pub struct TcpSink {
     ack_size: u32,
     ack_every: u32,
     subflows: Vec<SinkSubflow>,
-    /// Connection-level (DSN) reassembly: next DSN the application reads.
-    app_expected: u64,
-    /// DSNs received above `app_expected` (the MPTCP reorder buffer).
+    /// Connection-level (DSN) reassembly: the MPTCP reorder buffer. Its
+    /// `expected()` is the next DSN the application reads.
     app_buffered: ReorderWindow,
     handle: FlowHandle,
 }
@@ -142,18 +161,26 @@ impl TcpSink {
             conn,
             ack_size,
             ack_every,
-            app_expected: 0,
-            app_buffered: ReorderWindow::default(),
+            app_buffered: ReorderWindow::pooled(),
             subflows: rev_routes
                 .into_iter()
                 .map(|rev| SinkSubflow {
                     rev,
-                    expected: 0,
-                    buffered: ReorderWindow::default(),
+                    buffered: ReorderWindow::pooled(),
                     unacked: 0,
                 })
                 .collect(),
             handle,
+        }
+    }
+}
+
+impl Drop for TcpSink {
+    fn drop(&mut self) {
+        // Return the reorder bitmaps to the pool when the sink is retired.
+        crate::pool::give_bitmap_ring(std::mem::take(&mut self.app_buffered.bits));
+        for sf in &mut self.subflows {
+            crate::pool::give_bitmap_ring(std::mem::take(&mut sf.buffered.bits));
         }
     }
 }
@@ -171,18 +198,19 @@ impl Endpoint for TcpSink {
         let idx = pkt.subflow as usize;
         let sf = &mut self.subflows[idx];
 
-        let before = sf.expected;
-        if pkt.seq == sf.expected {
-            sf.expected = sf.buffered.drain_from(sf.expected + 1);
-        } else if pkt.seq > sf.expected {
+        let before = sf.buffered.expected();
+        if pkt.seq == before {
+            sf.buffered.drain_from(before + 1);
+        } else if pkt.seq > before {
             sf.buffered.insert(pkt.seq);
         }
         // else: duplicate of already-delivered data; re-ACK below.
 
-        let advanced = sf.expected - before;
+        let expected = sf.buffered.expected();
+        let advanced = expected - before;
         if advanced > 0 {
             self.handle.update(|s| s.delivered_packets += advanced);
-            let (conn, total) = (self.conn, sf.expected);
+            let (conn, total) = (self.conn, expected);
             ctx.tracer().emit(ctx.now(), || trace::TraceEvent::Deliver {
                 conn,
                 subflow: pkt.subflow,
@@ -194,13 +222,14 @@ impl Endpoint for TcpSink {
         // Connection-level (DSN) reassembly: the application reads in data-
         // sequence order across subflows; a straggling subflow head-of-line
         // blocks it (what a real MPTCP receive buffer experiences).
-        if pkt.dsn >= self.app_expected && !self.app_buffered.contains(pkt.dsn) {
-            if pkt.dsn == self.app_expected {
-                self.app_expected = self.app_buffered.drain_from(self.app_expected + 1);
+        let app_expected = self.app_buffered.expected();
+        if pkt.dsn >= app_expected && !self.app_buffered.contains(pkt.dsn) {
+            if pkt.dsn == app_expected {
+                self.app_buffered.drain_from(app_expected + 1);
             } else {
                 self.app_buffered.insert(pkt.dsn);
             }
-            let (app, buffered) = (self.app_expected, self.app_buffered.len() as u64);
+            let (app, buffered) = (self.app_buffered.expected(), self.app_buffered.len() as u64);
             self.handle.update(|s| {
                 s.app_delivered_packets = app;
                 s.max_reorder_buffer = s.max_reorder_buffer.max(buffered);
@@ -224,9 +253,9 @@ impl Endpoint for TcpSink {
             self.conn,
             pkt.subflow,
             pkt.seq,
-            sf.expected,
+            expected,
             self.ack_size,
-            sf.rev.clone(),
+            sf.rev,
         );
         ack.ts_echo = pkt.ts_echo;
         ctx.send(ack);
@@ -253,7 +282,7 @@ mod tests {
     impl Endpoint for Injector {
         fn start(&mut self, ctx: &mut NetCtx<'_>) {
             for &seq in &self.script {
-                let mut p = Packet::data(ctx.me(), self.dst, 7, 0, seq, 1500, self.fwd.clone());
+                let mut p = Packet::data(ctx.me(), self.dst, 7, 0, seq, 1500, self.fwd);
                 p.ts_echo = ctx.now();
                 ctx.send(p);
             }
@@ -397,5 +426,17 @@ mod tests {
         let mut sim = Simulation::new(0);
         let ep = sim.reserve_endpoint();
         TcpSink::with_delayed_acks(ep, 0, 40, 0, vec![], FlowHandle::new(1500, 0));
+    }
+}
+
+#[cfg(test)]
+mod size_regression {
+    /// Receiver state is per-subflow per-connection; the in-order point
+    /// lives inside the reorder window (no duplicate `expected` fields).
+    #[test]
+    fn receiver_state_stays_lean() {
+        assert!(std::mem::size_of::<super::SinkSubflow>() <= 64);
+        assert!(std::mem::size_of::<super::ReorderWindow>() <= 48);
+        assert!(std::mem::size_of::<super::TcpSink>() <= 104);
     }
 }

@@ -2,14 +2,15 @@
 //! congestion-control loop.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use eventsim::{SimDuration, TimerHandle};
 use mpsim_core::{alpha_for, MultipathCc, PathView};
 use netsim::{Endpoint, EndpointId, NetCtx, Packet, PacketKind, Route};
 use trace::{CwndReason, SubflowState, TraceEvent};
 
-use crate::rtt::RttEstimator;
-use crate::stats::{FlowHandle, PathHealth, TcpConfig};
+use crate::rtt::{RtoBounds, RttEstimator};
+use crate::stats::{intern_config, FlowHandle, PathHealth, TcpConfig};
 
 /// The trace-layer label for a path-manager health state.
 fn health_state(h: PathHealth) -> SubflowState {
@@ -20,15 +21,13 @@ fn health_state(h: PathHealth) -> SubflowState {
     }
 }
 
-/// NewReno-style loss-recovery phase of one subflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Normal operation (slow start or congestion avoidance).
-    Open,
-    /// Fast recovery; `recover` is the highest sequence outstanding when the
-    /// loss was detected — recovery ends when the cumulative ACK reaches it.
-    Recovery { recover: u64 },
-}
+/// Sentinel for [`Subflow::recover`]: not in fast recovery. A real recovery
+/// point is a sequence number, which never reaches `u64::MAX`.
+const NO_RECOVERY: u64 = u64::MAX;
+
+/// Sentinel for [`TcpSource::remaining`] / [`TcpSource::size`]: an unlimited
+/// bulk flow. A real flow size is a packet count far below `u64::MAX`.
+const UNLIMITED: u64 = u64::MAX;
 
 /// One subflow's transmission state.
 #[derive(Debug)]
@@ -36,7 +35,13 @@ struct Subflow {
     fwd: Route,
     cwnd: f64,
     ssthresh: f64,
-    phase: Phase,
+    /// NewReno loss-recovery state: [`NO_RECOVERY`] in normal operation
+    /// (slow start or congestion avoidance); otherwise the highest sequence
+    /// outstanding when the loss was detected — fast recovery ends when the
+    /// cumulative ACK reaches it. A bare `u64` instead of an enum: the
+    /// tag + padding would double the field across every subflow in the
+    /// fabric.
+    recover: u64,
     /// Next sequence number to send (rolled back to `cum_ack` on RTO for
     /// go-back-N retransmission).
     next_seq: u64,
@@ -68,9 +73,11 @@ struct Subflow {
     /// RTOs degrade Active → PotentiallyFailed → Failed; any advancing ACK
     /// restores Active.
     health: PathHealth,
-    /// Current re-probe interval while `Failed` (doubles per unanswered
-    /// probe, capped at `TcpConfig::reprobe_max`).
-    reprobe_interval: SimDuration,
+    /// Doublings applied to `TcpConfig::reprobe_initial` for the next
+    /// re-probe while `Failed` (one per unanswered probe; the computed
+    /// interval caps at `TcpConfig::reprobe_max`). A counter instead of the
+    /// interval itself: one byte of padding versus a `SimDuration` field.
+    reprobe_doublings: u8,
     /// MPTCP data-sequence mapping: subflow seq → connection-level DSN.
     /// See [`DsnWindow`].
     dsn: DsnWindow,
@@ -93,6 +100,16 @@ struct DsnWindow {
 }
 
 impl DsnWindow {
+    /// An empty window whose ring comes from the [`crate::pool`], so churned
+    /// connections reuse retired predecessors' capacity instead of re-growing
+    /// from zero.
+    fn pooled() -> DsnWindow {
+        DsnWindow {
+            base: 0,
+            dsns: crate::pool::take_dsn_ring(),
+        }
+    }
+
     /// The DSN for `seq`, assigning (and consuming) `next_dsn` if this is
     /// the first transmission of `seq`.
     fn map(&mut self, seq: u64, next_dsn: &mut u64) -> u64 {
@@ -128,6 +145,11 @@ impl Subflow {
         self.next_seq - self.cum_ack
     }
 
+    /// The fast-recovery point, if this subflow is in recovery.
+    fn recovery(&self) -> Option<u64> {
+        (self.recover != NO_RECOVERY).then_some(self.recover)
+    }
+
     /// ℓ_r = max(ℓ₁, ℓ₂).
     fn ell(&self) -> f64 {
         self.ell1.max(self.ell2)
@@ -146,17 +168,21 @@ impl Subflow {
 pub struct TcpSource {
     dst: EndpointId,
     conn: u64,
-    cfg: TcpConfig,
+    /// Interned: thousands of connections share a handful of configs, so
+    /// each source holds 8 bytes instead of an inline copy.
+    cfg: Rc<TcpConfig>,
+    /// RTO clamps pre-derived from the config (hot-path convenience).
+    bounds: RtoBounds,
     cc: Box<dyn MultipathCc>,
     subflows: Vec<Subflow>,
-    /// New data packets still to be sent (None = unlimited bulk transfer).
-    remaining: Option<u64>,
-    /// Total size in packets for completion detection.
-    size: Option<u64>,
+    /// New data packets still to be sent ([`UNLIMITED`] = bulk transfer).
+    remaining: u64,
+    /// Total size in packets for completion detection ([`UNLIMITED`] = a
+    /// long-lived flow that never completes).
+    size: u64,
     total_acked: u64,
     /// Next connection-level data-sequence number to assign.
     next_dsn: u64,
-    min_ssthresh: f64,
     /// Reusable [`PathView`] buffer for the per-ACK congestion-control
     /// calls, so the hot path allocates nothing (see [`Self::refresh_views`]).
     scratch_views: Vec<PathView>,
@@ -212,22 +238,20 @@ impl TcpSource {
         handle: FlowHandle,
     ) -> TcpSource {
         assert!(!fwd_routes.is_empty(), "connection needs at least one path");
-        let multipath = fwd_routes.len() > 1;
-        // §IV-B: minimum ssthresh of 1 MSS with multiple established paths,
-        // 2 MSS (as in regular TCP) for single-path flows.
-        let min_ssthresh = if multipath { 1.0 } else { 2.0 };
+        let cfg = intern_config(&cfg);
+        let bounds = RtoBounds::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto);
         let subflows = fwd_routes
             .into_iter()
             .map(|fwd| Subflow {
                 fwd,
                 cwnd: cfg.initial_cwnd,
                 ssthresh: cfg.pin_ssthresh.unwrap_or(cfg.init_ssthresh),
-                phase: Phase::Open,
+                recover: NO_RECOVERY,
                 next_seq: 0,
                 max_sent: 0,
                 cum_ack: 0,
                 dup_acks: 0,
-                rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto),
+                rtt: RttEstimator::new(),
                 backoff: 0,
                 rto_timer: None,
                 probe_timer: None,
@@ -235,21 +259,21 @@ impl TcpSource {
                 ell2: 0.0,
                 active: true,
                 health: PathHealth::Active,
-                reprobe_interval: cfg.reprobe_initial,
-                dsn: DsnWindow::default(),
+                reprobe_doublings: 0,
+                dsn: DsnWindow::pooled(),
             })
             .collect();
         TcpSource {
             dst,
             conn,
             cfg,
+            bounds,
             cc,
             subflows,
-            remaining: size_packets,
-            size: size_packets,
+            remaining: size_packets.unwrap_or(UNLIMITED),
+            size: size_packets.unwrap_or(UNLIMITED),
             total_acked: 0,
             next_dsn: 0,
-            min_ssthresh,
             scratch_views: Vec::new(),
             handle,
         }
@@ -300,7 +324,7 @@ impl TcpSource {
             idx as u16,
             seq,
             self.cfg.mss,
-            sf.fwd.clone(),
+            sf.fwd,
         );
         pkt.dsn = dsn;
         pkt.ts_echo = ctx.now();
@@ -315,9 +339,10 @@ impl TcpSource {
             if !sf.active || sf.health == PathHealth::Failed {
                 return;
             }
-            let inflation = match sf.phase {
-                Phase::Recovery { .. } => sf.dup_acks as f64,
-                Phase::Open => 0.0,
+            let inflation = if sf.recovery().is_some() {
+                sf.dup_acks as f64
+            } else {
+                0.0
             };
             let eff = (sf.cwnd + inflation).min(self.cfg.rcv_wnd).floor();
             if (sf.inflight() as f64) >= eff {
@@ -332,11 +357,11 @@ impl TcpSource {
                 if sf.health != PathHealth::Active {
                     return;
                 }
-                if let Some(rem) = self.remaining {
-                    if rem == 0 {
-                        return;
-                    }
-                    self.remaining = Some(rem - 1);
+                if self.remaining == 0 {
+                    return;
+                }
+                if self.remaining != UNLIMITED {
+                    self.remaining -= 1;
                 }
             }
             let sf = &mut self.subflows[idx];
@@ -353,7 +378,7 @@ impl TcpSource {
         if sf.rto_timer.is_some() || sf.health == PathHealth::Failed {
             return;
         }
-        let rto = sf.rto_with_backoff();
+        let rto = sf.rto_with_backoff(&self.bounds);
         sf.rto_timer = Some(ctx.schedule_in(rto, timer_token(idx)));
     }
 
@@ -364,7 +389,7 @@ impl TcpSource {
             ctx.cancel_timer(h);
         }
         if sf.inflight() > 0 && sf.active && sf.health != PathHealth::Failed {
-            let rto = sf.rto_with_backoff();
+            let rto = sf.rto_with_backoff(&self.bounds);
             sf.rto_timer = Some(ctx.schedule_in(rto, timer_token(idx)));
         }
     }
@@ -390,10 +415,11 @@ impl TcpSource {
     /// Window reduction shared by fast retransmit and RTO.
     fn reduce_on_loss(&mut self, idx: usize) -> f64 {
         self.refresh_views();
-        let new_cwnd = self
-            .cc
-            .on_loss(&self.scratch_views, idx)
-            .max(self.min_ssthresh);
+        // §IV-B: minimum ssthresh of 1 MSS with multiple established paths,
+        // 2 MSS (as in regular TCP) for single-path flows. The subflow count
+        // is fixed at construction, so this needs no stored field.
+        let min_ssthresh = if self.subflows.len() > 1 { 1.0 } else { 2.0 };
+        let new_cwnd = self.cc.on_loss(&self.scratch_views, idx).max(min_ssthresh);
         self.subflows[idx].ell_loss();
         new_cwnd
     }
@@ -442,7 +468,7 @@ impl TcpSource {
         sf.active = true;
         sf.health = PathHealth::Active;
         sf.cwnd = 1.0;
-        sf.phase = Phase::Open;
+        sf.recover = NO_RECOVERY;
         sf.dup_acks = 0;
         sf.backoff = 0;
         // Go-back-N from the hole: anything that was in flight at prune
@@ -497,9 +523,10 @@ impl TcpSource {
             st.health = sf.health;
             st.backoff = sf.backoff;
             if trace {
-                st.cwnd_trace.push(now, sf.cwnd);
+                let tr = st.traces_mut();
+                tr.cwnd.push(now, sf.cwnd);
                 if let Some(a) = alpha {
-                    st.alpha_trace.push(now, a);
+                    tr.alpha.push(now, a);
                 }
             }
         });
@@ -529,9 +556,9 @@ impl TcpSource {
                         // A probe was answered: rejoin the established set at
                         // the probing floor and kill the pending probe timer.
                         sf.cwnd = 1.0;
-                        sf.phase = Phase::Open;
+                        sf.recover = NO_RECOVERY;
                         sf.dup_acks = 0;
-                        sf.reprobe_interval = self.cfg.reprobe_initial;
+                        sf.reprobe_doublings = 0;
                         if let Some(h) = sf.probe_timer.take() {
                             ctx.cancel_timer(h);
                         }
@@ -563,17 +590,17 @@ impl TcpSource {
                 .update(|s| s.subflows[idx].acked_packets += newly);
 
             let mut partial_ack = false;
-            match self.subflows[idx].phase {
-                Phase::Open => {
+            match self.subflows[idx].recovery() {
+                None => {
                     self.subflows[idx].dup_acks = 0;
                     self.apply_increase(idx, newly);
                     self.trace_cwnd(ctx, idx, CwndReason::Ack);
                 }
-                Phase::Recovery { recover } => {
+                Some(recover) => {
                     if ack >= recover {
                         // Full ACK: leave recovery, deflate to ssthresh.
                         let sf = &mut self.subflows[idx];
-                        sf.phase = Phase::Open;
+                        sf.recover = NO_RECOVERY;
                         sf.dup_acks = 0;
                         sf.cwnd = sf.ssthresh.max(1.0);
                         self.trace_cwnd(ctx, idx, CwndReason::RecoveryExit);
@@ -585,11 +612,12 @@ impl TcpSource {
                 }
             }
 
-            if let (Some(size), None) = (self.size, self.handle.read(|s| s.completed_at)) {
-                if self.total_acked >= size {
-                    let now = ctx.now();
-                    self.handle.update(|s| s.completed_at = Some(now));
-                }
+            if self.size != UNLIMITED
+                && self.total_acked >= self.size
+                && self.handle.read(|s| s.completed_at).is_none()
+            {
+                let now = ctx.now();
+                self.handle.update(|s| s.completed_at = Some(now));
             }
 
             // Partial ACKs do not restart the timer: a recovery that drags on
@@ -608,8 +636,8 @@ impl TcpSource {
             let sf = &mut self.subflows[idx];
             sf.dup_acks += 1;
             let dup = sf.dup_acks;
-            match sf.phase {
-                Phase::Open if dup == self.cfg.dupack_threshold => {
+            match sf.recovery() {
+                None if dup == self.cfg.dupack_threshold => {
                     // Fast retransmit + enter fast recovery.
                     let recover = sf.next_seq;
                     let new_cwnd = self.reduce_on_loss(idx);
@@ -617,7 +645,7 @@ impl TcpSource {
                     let sf = &mut self.subflows[idx];
                     sf.ssthresh = pin.unwrap_or(new_cwnd);
                     sf.cwnd = new_cwnd;
-                    sf.phase = Phase::Recovery { recover };
+                    sf.recover = recover;
                     self.handle.update(|s| s.subflows[idx].loss_events += 1);
                     let hole = self.subflows[idx].cum_ack;
                     let conn = self.conn;
@@ -644,14 +672,14 @@ impl TcpSource {
             return;
         }
         // The interval that just expired was armed with the old backoff.
-        let expired_rto = self.subflows[idx].rto_with_backoff();
+        let expired_rto = self.subflows[idx].rto_with_backoff(&self.bounds);
         let new_cwnd = self.reduce_on_loss(idx);
         {
             let pin = self.cfg.pin_ssthresh;
             let sf = &mut self.subflows[idx];
             sf.ssthresh = pin.unwrap_or(new_cwnd);
             sf.cwnd = 1.0;
-            sf.phase = Phase::Open;
+            sf.recover = NO_RECOVERY;
             sf.dup_acks = 0;
             sf.backoff = (sf.backoff + 1).min(10);
             // Go-back-N: resend from the hole. The receiver's cumulative
@@ -712,7 +740,7 @@ impl TcpSource {
         if let Some(h) = sf.rto_timer.take() {
             ctx.cancel_timer(h);
         }
-        sf.reprobe_interval = initial;
+        sf.reprobe_doublings = 0;
         debug_assert!(sf.probe_timer.is_none(), "probe armed on a live path");
         sf.probe_timer = Some(ctx.schedule_in(initial, probe_token(idx)));
         self.handle.update(|s| {
@@ -735,9 +763,18 @@ impl TcpSource {
         let probe_seq = sf.cum_ack;
         self.transmit(ctx, idx, probe_seq);
         let max = self.cfg.reprobe_max;
+        let initial = self.cfg.reprobe_initial;
         let sf = &mut self.subflows[idx];
-        sf.reprobe_interval = sf.reprobe_interval.saturating_mul(2).min(max);
-        let next_interval = sf.reprobe_interval;
+        // Equivalent to doubling a stored interval (capped): saturating
+        // arithmetic keeps initial << n monotone, and min() re-applies the
+        // cap every probe.
+        sf.reprobe_doublings = sf.reprobe_doublings.saturating_add(1);
+        let next_interval = initial
+            .saturating_mul(
+                1u64.checked_shl(u32::from(sf.reprobe_doublings))
+                    .unwrap_or(u64::MAX),
+            )
+            .min(max);
         sf.probe_timer = Some(ctx.schedule_in(next_interval, probe_token(idx)));
         self.handle.update(|s| s.subflows[idx].reprobes += 1);
         let conn = self.conn;
@@ -754,11 +791,11 @@ impl Subflow {
     /// The RTO with exponential backoff applied: doubles per consecutive
     /// timeout (exponent saturating at 10) and clamps at the configured
     /// `max_rto`, as real stacks do.
-    fn rto_with_backoff(&self) -> SimDuration {
+    fn rto_with_backoff(&self, bounds: &RtoBounds) -> SimDuration {
         self.rtt
-            .rto()
+            .rto(bounds)
             .saturating_mul(1 << self.backoff.min(10))
-            .min(self.rtt.max_rto())
+            .min(bounds.max_rto())
     }
 }
 
@@ -794,6 +831,17 @@ impl Endpoint for TcpSource {
     }
 }
 
+impl Drop for TcpSource {
+    fn drop(&mut self) {
+        // Retiring (or otherwise dropping) the source returns its DSN rings
+        // to the pool for the next connection. `take` leaves an unallocated
+        // deque behind, so a pooled ring is never dropped with its owner.
+        for sf in &mut self.subflows {
+            crate::pool::give_dsn_ring(std::mem::take(&mut sf.dsn.dsns));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,16 +855,12 @@ mod tests {
             fwd: route(&[]),
             cwnd: 1.0,
             ssthresh: 2.0,
-            phase: Phase::Open,
+            recover: NO_RECOVERY,
             next_seq: 0,
             max_sent: 0,
             cum_ack: 0,
             dup_acks: 0,
-            rtt: RttEstimator::new(
-                SimDuration::from_millis(200),
-                SimDuration::from_secs(60),
-                SimDuration::from_secs(1),
-            ),
+            rtt: RttEstimator::new(),
             backoff,
             rto_timer: None,
             probe_timer: None,
@@ -824,7 +868,7 @@ mod tests {
             ell2: 0.0,
             active: true,
             health: PathHealth::Active,
-            reprobe_interval: SimDuration::from_secs(1),
+            reprobe_doublings: 0,
             dsn: DsnWindow::default(),
         }
     }
@@ -832,10 +876,15 @@ mod tests {
     #[test]
     fn rto_backoff_doubles_per_consecutive_timeout() {
         // Before any RTT sample the base RTO is `initial_rto` = 1 s.
+        let bounds = RtoBounds::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(1),
+        );
         for k in 0..6u32 {
             let sf = test_subflow(k);
             assert_eq!(
-                sf.rto_with_backoff(),
+                sf.rto_with_backoff(&bounds),
                 SimDuration::from_secs(1).saturating_mul(1 << k),
                 "backoff exponent {k}"
             );
@@ -845,11 +894,16 @@ mod tests {
     #[test]
     fn rto_backoff_clamps_at_max_rto() {
         // 2^10 × 1 s = 1024 s would blow far past max_rto = 60 s.
+        let bounds = RtoBounds::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(1),
+        );
         let mut sf = test_subflow(10);
-        assert_eq!(sf.rto_with_backoff(), SimDuration::from_secs(60));
+        assert_eq!(sf.rto_with_backoff(&bounds), SimDuration::from_secs(60));
         // The exponent itself saturates, so even absurd counters are safe.
         sf.backoff = 40;
-        assert_eq!(sf.rto_with_backoff(), SimDuration::from_secs(60));
+        assert_eq!(sf.rto_with_backoff(&bounds), SimDuration::from_secs(60));
     }
 
     #[test]
@@ -932,5 +986,18 @@ mod tests {
             0,
             "an advancing ACK must reset the RTO backoff"
         );
+    }
+}
+
+#[cfg(test)]
+mod size_regression {
+    /// Per-subflow and per-connection state is replicated across every host
+    /// in the fabric; these bounds lock in the FatTree-scale layout work
+    /// (recover sentinel, NaN srtt, interned config, derived RTO bounds).
+    #[test]
+    fn sender_state_stays_lean() {
+        assert!(std::mem::size_of::<super::Subflow>() <= 160);
+        assert!(std::mem::size_of::<super::DsnWindow>() <= 40);
+        assert!(std::mem::size_of::<super::TcpSource>() <= 152);
     }
 }

@@ -8,7 +8,7 @@ use metrics::TimeSeries;
 
 /// Static TCP parameters for a connection, mirroring the testbed setup
 /// (§III) and the Linux implementation details of §IV-B.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpConfig {
     /// Maximum segment size in bytes; every data packet carries one MSS.
     pub mss: u32,
@@ -103,6 +103,29 @@ impl Default for TcpConfig {
     }
 }
 
+thread_local! {
+    /// Interned configs: experiments install thousands of connections
+    /// sharing a handful of distinct configs, so sources hold an `Rc` into
+    /// this pool instead of a 100+-byte inline copy each. Linear scan — the
+    /// pool stays tiny (configs per experiment, not per connection).
+    static CONFIGS: RefCell<Vec<Rc<TcpConfig>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The shared handle for `cfg`, interning it on first sight.
+pub(crate) fn intern_config(cfg: &TcpConfig) -> Rc<TcpConfig> {
+    CONFIGS.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        match pool.iter().find(|c| ***c == *cfg) {
+            Some(rc) => Rc::clone(rc),
+            None => {
+                let rc = Rc::new(*cfg);
+                pool.push(Rc::clone(&rc));
+                rc
+            }
+        }
+    })
+}
+
 /// Health classification of one subflow, maintained by the source's path
 /// manager (multipath connections only; single-path flows always stay
 /// `Active` and keep classic RTO backoff).
@@ -136,24 +159,46 @@ pub struct SubflowStats {
     /// Packets ACKed at the last reset (for windowed rates).
     pub acked_at_reset: u64,
     /// Loss events (fast retransmits + timeouts) seen by this subflow.
-    pub loss_events: u64,
+    ///
+    /// Event counters are `u32`: loss/timeout/failure/probe events are rare
+    /// relative to packets (billions of ACKs before any of these could
+    /// approach 2³², far past any simulated horizon), and per-subflow stats
+    /// are replicated across every connection in the fabric.
+    pub loss_events: u32,
     /// Retransmission timeouts.
-    pub timeouts: u64,
+    pub timeouts: u32,
     /// Current RTO backoff exponent (0 after any advancing ACK; each
     /// consecutive timeout increments it).
     pub backoff: u32,
     /// Current path-manager classification.
     pub health: PathHealth,
     /// Transitions into [`PathHealth::Failed`].
-    pub failures: u64,
+    pub failures: u32,
     /// Re-probe packets sent while failed.
-    pub reprobes: u64,
+    pub reprobes: u32,
     /// When the subflow last came back from `Failed` to `Active`.
     pub last_recovered_at: Option<SimTime>,
-    /// Window trace (only if `TcpConfig::trace`).
-    pub cwnd_trace: TimeSeries,
-    /// OLIA α trace (only if tracing and the algorithm computes α).
-    pub alpha_trace: TimeSeries,
+    /// Window and α traces, allocated only when `TcpConfig::trace` is set —
+    /// at FatTree scale the untraced common case must not pay two inline
+    /// `TimeSeries` per subflow.
+    pub traces: Option<Box<SubflowTraces>>,
+}
+
+/// The optional per-subflow time-series traces (Figs. 7–8).
+#[derive(Debug, Clone, Default)]
+pub struct SubflowTraces {
+    /// Congestion-window samples.
+    pub cwnd: TimeSeries,
+    /// OLIA α samples (only populated when the algorithm computes α).
+    pub alpha: TimeSeries,
+}
+
+impl SubflowStats {
+    /// The trace block, allocating it on first use (tracing connections
+    /// only).
+    pub fn traces_mut(&mut self) -> &mut SubflowTraces {
+        self.traces.get_or_insert_with(Box::default)
+    }
 }
 
 /// Shared observable state of one connection.
@@ -268,19 +313,32 @@ impl FlowHandle {
         self.read(|s| s.subflows.len())
     }
 
-    /// Clone of one subflow's window trace points.
+    /// Clone of one subflow's window trace points (empty when the
+    /// connection was not tracing).
     pub fn cwnd_trace(&self, idx: usize) -> Vec<(f64, f64)> {
-        self.read(|s| s.subflows[idx].cwnd_trace.points().to_vec())
+        self.read(|s| {
+            s.subflows[idx]
+                .traces
+                .as_ref()
+                .map(|t| t.cwnd.points().to_vec())
+                .unwrap_or_default()
+        })
     }
 
-    /// Clone of one subflow's α trace points.
+    /// Clone of one subflow's α trace points (empty when not tracing).
     pub fn alpha_trace(&self, idx: usize) -> Vec<(f64, f64)> {
-        self.read(|s| s.subflows[idx].alpha_trace.points().to_vec())
+        self.read(|s| {
+            s.subflows[idx]
+                .traces
+                .as_ref()
+                .map(|t| t.alpha.points().to_vec())
+                .unwrap_or_default()
+        })
     }
 
     /// Total loss events across subflows.
     pub fn loss_events(&self) -> u64 {
-        self.read(|s| s.subflows.iter().map(|f| f.loss_events).sum())
+        self.read(|s| s.subflows.iter().map(|f| u64::from(f.loss_events)).sum())
     }
 
     /// Packets delivered to the application in connection order, and the
@@ -296,7 +354,10 @@ impl FlowHandle {
 
     /// Failure transitions and re-probe packets of one subflow.
     pub fn failure_counts(&self, idx: usize) -> (u64, u64) {
-        self.read(|s| (s.subflows[idx].failures, s.subflows[idx].reprobes))
+        self.read(|s| {
+            let f = &s.subflows[idx];
+            (u64::from(f.failures), u64::from(f.reprobes))
+        })
     }
 
     /// When one subflow last recovered from `Failed` back to `Active`.
@@ -356,5 +417,16 @@ mod tests {
         assert!(c.min_rto < c.max_rto);
         assert_eq!(c.dupack_threshold, 3);
         assert!(!c.trace);
+    }
+}
+
+#[cfg(test)]
+mod size_regression {
+    /// Stats blocks are shared per connection but their subflow vector is
+    /// per-subflow; u32 event counters and boxed traces keep them small.
+    #[test]
+    fn stats_stay_lean() {
+        assert!(std::mem::size_of::<super::SubflowStats>() <= 80);
+        assert!(std::mem::size_of::<super::FlowStats>() <= 104);
     }
 }

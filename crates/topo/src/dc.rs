@@ -9,27 +9,36 @@
 //! inside the pod and the core switch within that aggregation group —
 //! `(k/2)²` distinct core paths per host pair, which is what MPTCP's
 //! subflows spread over (per-subflow ECMP).
+//!
+//! # Streamed build
+//!
+//! The build is *lazy*: [`FatTree::build`] reserves three contiguous queue
+//! blocks (host tier, edge↔aggregation tier, aggregation↔core tier) without
+//! constructing a single queue — `3k³/2` queues at k=32 is ~50k, and a
+//! permutation workload touches only the paths actually routed over. Queue
+//! ids are assigned arithmetically within each block, in exactly the order
+//! the old eager loop assigned them, so lazy and eager builds produce
+//! byte-identical trace digests. The `FatTree` value itself shrinks from
+//! O(k³) id tables to four words.
 
 use eventsim::{SimDuration, SimRng};
 use mpsim_core::Algorithm;
 use netsim::{route, QueueConfig, QueueId, Route, Simulation};
 use tcpsim::{Connection, ConnectionSpec, PathSpec, TcpConfig};
 
-/// A built FatTree: host/link inventory plus path enumeration.
-#[derive(Debug)]
+/// A built FatTree: dimensions plus arithmetic id/path enumeration.
+#[derive(Debug, Clone, Copy)]
 pub struct FatTree {
     k: usize,
-    host_up: Vec<QueueId>,
-    host_down: Vec<QueueId>,
-    /// `edge_agg_up[edge][j]`: edge switch → j-th aggregation switch of its
-    /// pod.
-    edge_agg_up: Vec<Vec<QueueId>>,
-    /// `agg_edge_down[edge][j]`: j-th aggregation switch → edge switch.
-    agg_edge_down: Vec<Vec<QueueId>>,
-    /// `agg_core_up[pod][j][c]`.
-    agg_core_up: Vec<Vec<Vec<QueueId>>>,
-    /// `core_agg_down[pod][j][c]`.
-    core_agg_down: Vec<Vec<Vec<QueueId>>>,
+    /// First id of the host-tier block: `host_up(h) = host_base + 2h`,
+    /// `host_down(h) = host_base + 2h + 1`.
+    host_base: QueueId,
+    /// First id of the edge↔agg block: per edge switch `e`, `k/2` up queues
+    /// then `k/2` down queues.
+    edge_base: QueueId,
+    /// First id of the agg↔core block: per pod, `(k/2)²` up queues
+    /// (aggregation-major) then `(k/2)²` down queues.
+    pod_base: QueueId,
 }
 
 /// Configuration of the FatTree links.
@@ -60,6 +69,11 @@ impl Default for FatTreeConfig {
 
 impl FatTree {
     /// Build a `k`-ary FatTree (`k` even, ≥ 4) inside `sim`.
+    ///
+    /// Streamed: reserves the three tier blocks without constructing any
+    /// queue; each queue materializes on the first packet (or fault) that
+    /// touches it. Use [`build_eager`](Self::build_eager) to force full
+    /// construction up front.
     pub fn build(sim: &mut Simulation, k: usize, cfg: &FatTreeConfig) -> FatTree {
         assert!(
             k >= 4 && k.is_multiple_of(2),
@@ -69,48 +83,34 @@ impl FatTree {
         let hosts = k * half * half;
         let edges = k * half;
         let core_rate = cfg.rate_bps / cfg.oversubscription;
-        let mk = |sim: &mut Simulation, rate: f64| {
-            sim.add_queue(QueueConfig::drop_tail(rate, cfg.latency, cfg.buffer_pkts))
-        };
-
-        let mut host_up = Vec::with_capacity(hosts);
-        let mut host_down = Vec::with_capacity(hosts);
-        for _ in 0..hosts {
-            host_up.push(mk(sim, cfg.rate_bps));
-            host_down.push(mk(sim, cfg.rate_bps));
-        }
-        let mut edge_agg_up = Vec::with_capacity(edges);
-        let mut agg_edge_down = Vec::with_capacity(edges);
-        for _ in 0..edges {
-            edge_agg_up.push((0..half).map(|_| mk(sim, core_rate)).collect());
-            agg_edge_down.push((0..half).map(|_| mk(sim, core_rate)).collect());
-        }
-        let mut agg_core_up = Vec::with_capacity(k);
-        let mut core_agg_down = Vec::with_capacity(k);
-        for _ in 0..k {
-            let up: Vec<Vec<QueueId>> = (0..half)
-                .map(|_| (0..half).map(|_| mk(sim, core_rate)).collect())
-                .collect();
-            let down: Vec<Vec<QueueId>> = (0..half)
-                .map(|_| (0..half).map(|_| mk(sim, core_rate)).collect())
-                .collect();
-            agg_core_up.push(up);
-            core_agg_down.push(down);
-        }
+        let host_cfg = QueueConfig::drop_tail(cfg.rate_bps, cfg.latency, cfg.buffer_pkts);
+        let core_cfg = QueueConfig::drop_tail(core_rate, cfg.latency, cfg.buffer_pkts);
+        // Id layout replicates the old eager construction order exactly
+        // (digest-compatible): per host up then down; per edge switch k/2
+        // ups then k/2 downs; per pod (k/2)² ups then (k/2)² downs.
+        let host_base = sim.reserve_queue_block(2 * hosts, host_cfg);
+        let edge_base = sim.reserve_queue_block(edges * k, core_cfg);
+        let pod_base = sim.reserve_queue_block(2 * k * half * half, core_cfg);
         FatTree {
             k,
-            host_up,
-            host_down,
-            edge_agg_up,
-            agg_edge_down,
-            agg_core_up,
-            core_agg_down,
+            host_base,
+            edge_base,
+            pod_base,
         }
+    }
+
+    /// Build with every queue constructed immediately (the pre-streaming
+    /// behavior). Ids, routes, and trace digests are identical to
+    /// [`build`](Self::build); only construction timing differs.
+    pub fn build_eager(sim: &mut Simulation, k: usize, cfg: &FatTreeConfig) -> FatTree {
+        let ft = FatTree::build(sim, k, cfg);
+        sim.materialize_queues();
+        ft
     }
 
     /// Number of hosts (`k³/4`).
     pub fn num_hosts(&self) -> usize {
-        self.host_up.len()
+        self.k * self.k * self.k / 4
     }
 
     /// Number of switches (`5k²/4` — the paper's 80 for k=8).
@@ -118,28 +118,58 @@ impl FatTree {
         self.k * self.k + self.k * self.k / 4
     }
 
-    /// All aggregation→core and core→aggregation queues — the network core,
-    /// whose mean utilization Table III reports.
-    pub fn core_queues(&self) -> Vec<QueueId> {
-        let mut out = Vec::new();
-        for pod in 0..self.k {
-            for j in 0..self.half() {
-                for c in 0..self.half() {
-                    out.push(self.agg_core_up[pod][j][c]);
-                    out.push(self.core_agg_down[pod][j][c]);
-                }
-            }
-        }
-        out
+    /// Total queues across the three tier blocks (`3k³/2`).
+    pub fn num_queues(&self) -> usize {
+        3 * self.k * self.k * self.k / 2
     }
 
-    /// All host access queues (up then down), for utilization accounting.
-    pub fn host_queues(&self) -> Vec<QueueId> {
-        self.host_up
-            .iter()
-            .chain(self.host_down.iter())
-            .copied()
-            .collect()
+    /// Host `h`'s uplink queue (host → edge switch).
+    pub fn host_up(&self, host: usize) -> QueueId {
+        debug_assert!(host < self.num_hosts());
+        self.host_base.offset(2 * host)
+    }
+
+    /// Host `h`'s downlink queue (edge switch → host).
+    pub fn host_down(&self, host: usize) -> QueueId {
+        debug_assert!(host < self.num_hosts());
+        self.host_base.offset(2 * host + 1)
+    }
+
+    fn edge_agg_up(&self, edge: usize, j: usize) -> QueueId {
+        self.edge_base.offset(edge * self.k + j)
+    }
+
+    fn agg_edge_down(&self, edge: usize, j: usize) -> QueueId {
+        self.edge_base.offset(edge * self.k + self.half() + j)
+    }
+
+    fn agg_core_up(&self, pod: usize, j: usize, c: usize) -> QueueId {
+        let half = self.half();
+        self.pod_base.offset(pod * 2 * half * half + j * half + c)
+    }
+
+    fn core_agg_down(&self, pod: usize, j: usize, c: usize) -> QueueId {
+        let half = self.half();
+        self.pod_base
+            .offset(pod * 2 * half * half + half * half + j * half + c)
+    }
+
+    /// All aggregation→core and core→aggregation queues — the network core,
+    /// whose mean utilization Table III reports. Arithmetic iterator: no
+    /// O(k³) id vector is materialized (the block is contiguous).
+    pub fn core_queues(&self) -> impl Iterator<Item = QueueId> + use<> {
+        let n = 2 * self.k * self.half() * self.half();
+        let base = self.pod_base;
+        (0..n).map(move |i| base.offset(i))
+    }
+
+    /// All host access queues (ups and downs interleaved, in host order),
+    /// for utilization accounting. Arithmetic iterator, like
+    /// [`core_queues`](Self::core_queues).
+    pub fn host_queues(&self) -> impl Iterator<Item = QueueId> + use<> {
+        let n = 2 * self.num_hosts();
+        let base = self.host_base;
+        (0..n).map(move |i| base.offset(i))
     }
 
     fn half(&self) -> usize {
@@ -181,42 +211,42 @@ impl FatTree {
         let half = self.half();
         if se == de {
             return (
-                route(&[self.host_up[src], self.host_down[dst]]),
-                route(&[self.host_up[dst], self.host_down[src]]),
+                route(&[self.host_up(src), self.host_down(dst)]),
+                route(&[self.host_up(dst), self.host_down(src)]),
             );
         }
         if sp == dp {
             let j = choice;
             let fwd = route(&[
-                self.host_up[src],
-                self.edge_agg_up[se][j],
-                self.agg_edge_down[de][j],
-                self.host_down[dst],
+                self.host_up(src),
+                self.edge_agg_up(se, j),
+                self.agg_edge_down(de, j),
+                self.host_down(dst),
             ]);
             let rev = route(&[
-                self.host_up[dst],
-                self.edge_agg_up[de][j],
-                self.agg_edge_down[se][j],
-                self.host_down[src],
+                self.host_up(dst),
+                self.edge_agg_up(de, j),
+                self.agg_edge_down(se, j),
+                self.host_down(src),
             ]);
             return (fwd, rev);
         }
         let (j, c) = (choice / half, choice % half);
         let fwd = route(&[
-            self.host_up[src],
-            self.edge_agg_up[se][j],
-            self.agg_core_up[sp][j][c],
-            self.core_agg_down[dp][j][c],
-            self.agg_edge_down[de][j],
-            self.host_down[dst],
+            self.host_up(src),
+            self.edge_agg_up(se, j),
+            self.agg_core_up(sp, j, c),
+            self.core_agg_down(dp, j, c),
+            self.agg_edge_down(de, j),
+            self.host_down(dst),
         ]);
         let rev = route(&[
-            self.host_up[dst],
-            self.edge_agg_up[de][j],
-            self.agg_core_up[dp][j][c],
-            self.core_agg_down[sp][j][c],
-            self.agg_edge_down[se][j],
-            self.host_down[src],
+            self.host_up(dst),
+            self.edge_agg_up(de, j),
+            self.agg_core_up(dp, j, c),
+            self.core_agg_down(sp, j, c),
+            self.agg_edge_down(se, j),
+            self.host_down(src),
         ]);
         (fwd, rev)
     }
@@ -292,9 +322,24 @@ mod tests {
 
     #[test]
     fn paper_dimensions_k8() {
-        let (_, ft) = tree(8);
+        let (sim, ft) = tree(8);
         assert_eq!(ft.num_hosts(), 128);
         assert_eq!(ft.num_switches(), 80);
+        assert_eq!(ft.num_queues(), 768);
+        assert_eq!(sim.queue_count(), 768);
+    }
+
+    #[test]
+    fn build_is_lazy_and_eager_build_is_not() {
+        let (sim, _) = tree(8);
+        assert_eq!(
+            sim.queues_materialized(),
+            0,
+            "streamed build constructs nothing"
+        );
+        let mut sim2 = Simulation::new(1);
+        let _ = FatTree::build_eager(&mut sim2, 8, &FatTreeConfig::default());
+        assert_eq!(sim2.queues_materialized(), 768);
     }
 
     #[test]
@@ -315,6 +360,30 @@ mod tests {
         assert_eq!((f.len(), r.len()), (4, 4));
         let (f, r) = ft.route_pair(0, 5, 3);
         assert_eq!((f.len(), r.len()), (6, 6));
+    }
+
+    #[test]
+    fn queue_ids_match_the_legacy_eager_layout() {
+        // The arithmetic id scheme must reproduce the old table-driven
+        // construction order exactly: per host up/down interleaved, then
+        // per edge switch k/2 ups + k/2 downs, then per pod (k/2)² ups +
+        // (k/2)² downs. Trace digests depend on these ids.
+        let (_, ft) = tree(4);
+        assert_eq!(ft.host_up(0).index(), 0);
+        assert_eq!(ft.host_down(0).index(), 1);
+        assert_eq!(ft.host_up(15).index(), 30);
+        assert_eq!(ft.host_down(15).index(), 31);
+        // Edge tier starts right after 2·16 host queues.
+        assert_eq!(ft.edge_agg_up(0, 0).index(), 32);
+        assert_eq!(ft.edge_agg_up(0, 1).index(), 33);
+        assert_eq!(ft.agg_edge_down(0, 0).index(), 34);
+        assert_eq!(ft.edge_agg_up(1, 0).index(), 36);
+        // Pod tier after 8 edges × 4 queues.
+        assert_eq!(ft.agg_core_up(0, 0, 0).index(), 64);
+        assert_eq!(ft.agg_core_up(0, 1, 0).index(), 66);
+        assert_eq!(ft.core_agg_down(0, 0, 0).index(), 68);
+        assert_eq!(ft.agg_core_up(1, 0, 0).index(), 72);
+        assert_eq!(ft.num_queues(), 96);
     }
 
     #[test]
@@ -342,6 +411,19 @@ mod tests {
     }
 
     #[test]
+    fn core_and_host_iterators_cover_their_blocks() {
+        let (_, ft) = tree(4);
+        let core: Vec<_> = ft.core_queues().collect();
+        assert_eq!(core.len(), 2 * 4 * 2 * 2);
+        assert_eq!(core[0], ft.agg_core_up(0, 0, 0));
+        assert_eq!(*core.last().unwrap(), ft.core_agg_down(3, 1, 1));
+        let hostq: Vec<_> = ft.host_queues().collect();
+        assert_eq!(hostq.len(), 32);
+        assert_eq!(hostq[0], ft.host_up(0));
+        assert_eq!(hostq[1], ft.host_down(0));
+    }
+
+    #[test]
     fn end_to_end_flow_crosses_the_tree() {
         let mut sim = Simulation::new(5);
         let ft = FatTree::build(&mut sim, 4, &FatTreeConfig::default());
@@ -349,7 +431,7 @@ mod tests {
         let conn = ft.connect(
             &mut sim,
             0,
-            15,
+            4,
             Algorithm::Olia,
             4,
             None,
@@ -363,6 +445,42 @@ mod tests {
         // link rate (100 Mb/s).
         let goodput = conn.handle.goodput_mbps(sim.now());
         assert!(goodput > 60.0, "goodput {goodput} Mb/s");
+        // Queues materialize as a prefix up to the highest id touched; a
+        // flow into pod 1 never touches pods 2-3's aggregation/core queues.
+        assert!(sim.queues_materialized() < sim.queue_count());
+    }
+
+    #[test]
+    fn lazy_and_eager_fattree_runs_are_identical() {
+        let run = |eager: bool| {
+            let mut sim = Simulation::new(5);
+            let cfg = FatTreeConfig::default();
+            let ft = if eager {
+                FatTree::build_eager(&mut sim, 4, &cfg)
+            } else {
+                FatTree::build(&mut sim, 4, &cfg)
+            };
+            let mut rng = SimRng::seed_from_u64(1);
+            let conn = ft.connect(
+                &mut sim,
+                0,
+                15,
+                Algorithm::Olia,
+                4,
+                None,
+                TcpConfig::default(),
+                &mut rng,
+                0,
+            );
+            sim.start_endpoint_at(conn.source, SimTime::ZERO);
+            sim.run_until(SimTime::from_secs_f64(2.0));
+            let stats: Vec<_> = ft.core_queues().map(|q| sim.queue_stats(q)).collect();
+            (conn.handle.goodput_mbps(sim.now()), stats)
+        };
+        let (g_lazy, s_lazy) = run(false);
+        let (g_eager, s_eager) = run(true);
+        assert_eq!(g_lazy.to_bits(), g_eager.to_bits());
+        assert_eq!(s_lazy, s_eager);
     }
 
     #[test]
@@ -410,10 +528,10 @@ mod tests {
             for c in 0..ft.num_paths(src, dst) {
                 let (f, r) = ft.route_pair(src, dst, c);
                 prop_assert_eq!(f.len(), r.len());
-                prop_assert_eq!(f[0], ft.host_up[src]);
-                prop_assert_eq!(*f.last().unwrap(), ft.host_down[dst]);
-                prop_assert_eq!(r[0], ft.host_up[dst]);
-                prop_assert_eq!(*r.last().unwrap(), ft.host_down[src]);
+                prop_assert_eq!(f.hop(0), ft.host_up(src));
+                prop_assert_eq!(f.last().unwrap(), ft.host_down(dst));
+                prop_assert_eq!(r.hop(0), ft.host_up(dst));
+                prop_assert_eq!(r.last().unwrap(), ft.host_down(src));
             }
         }
     }

@@ -199,10 +199,19 @@ impl TraceSink for DigestSink {
 /// conjunctively. Events that carry no queue (e.g. `Cwnd`) pass the queue
 /// filter, and vice versa, so filtering on one axis never hides the other
 /// axis's events.
+///
+/// The filter sits on the per-event hot path, so membership is O(log n):
+/// connection tags are a sorted deduped list, and queues are kept as sorted
+/// coalesced `[start, end)` ranges. Ranges matter at scale — topology
+/// builders hand out contiguous queue-id blocks, so "every host queue of a
+/// k=32 FatTree" is one range entry via [`queue_range`](Self::queue_range),
+/// not 8192 list entries.
 #[derive(Debug, Default, Clone)]
 pub struct TraceFilter {
+    /// Sorted, deduped.
     conns: Vec<u64>,
-    queues: Vec<u32>,
+    /// Sorted, coalesced, half-open `[start, end)` — never empty ranges.
+    queues: Vec<(u32, u32)>,
 }
 
 impl TraceFilter {
@@ -214,27 +223,66 @@ impl TraceFilter {
     /// Restrict to the given connection tags (additive across calls).
     pub fn conns(mut self, conns: &[u64]) -> Self {
         self.conns.extend_from_slice(conns);
+        self.conns.sort_unstable();
+        self.conns.dedup();
         self
     }
 
     /// Restrict to the given queue indices (additive across calls).
     pub fn queues(mut self, queues: &[u32]) -> Self {
-        self.queues.extend_from_slice(queues);
+        self.queues
+            .extend(queues.iter().map(|&q| (q, q.saturating_add(1))));
+        self.normalize_queues();
         self
+    }
+
+    /// Restrict to the contiguous queue block `first..first + len`
+    /// (additive across calls). O(1) membership regardless of `len` —
+    /// the way to admit a whole tier of a large fabric.
+    pub fn queue_range(mut self, first: u32, len: usize) -> Self {
+        let end = u64::from(first) + len as u64;
+        let end = u32::try_from(end).unwrap_or(u32::MAX);
+        if end > first {
+            self.queues.push((first, end));
+            self.normalize_queues();
+        }
+        self
+    }
+
+    /// Sort ranges and merge overlapping or adjacent ones, so `admits` can
+    /// binary-search on the start and check a single range.
+    fn normalize_queues(&mut self) {
+        self.queues.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.queues.len());
+        for &(start, end) in &self.queues {
+            match merged.last_mut() {
+                Some((_, prev_end)) if start <= *prev_end => *prev_end = (*prev_end).max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        self.queues = merged;
+    }
+
+    /// Is `q` inside one of the allowed ranges?
+    fn admits_queue(&self, q: u32) -> bool {
+        // Index of the first range starting above q; the candidate is the
+        // one before it.
+        let i = self.queues.partition_point(|&(start, _)| start <= q);
+        i > 0 && q < self.queues[i - 1].1
     }
 
     /// Does `ev` pass the filter?
     pub fn admits(&self, ev: &TraceEvent) -> bool {
         if !self.conns.is_empty() {
             if let Some(c) = ev.conn() {
-                if !self.conns.contains(&c) {
+                if self.conns.binary_search(&c).is_err() {
                     return false;
                 }
             }
         }
         if !self.queues.is_empty() {
             if let Some(q) = ev.queue() {
-                if !self.queues.contains(&q) {
+                if !self.admits_queue(q) {
                     return false;
                 }
             }
@@ -417,6 +465,32 @@ mod tests {
             queue: 9,
             action: "link_down",
         }));
+    }
+
+    #[test]
+    fn queue_ranges_admit_blocks_and_coalesce() {
+        // A block of 8192 "host queues" plus a spot list: two range entries.
+        let f = TraceFilter::all()
+            .queue_range(1000, 8192)
+            .queues(&[9192, 9193, 500]);
+        assert!(f.admits(&enq(1000, 1, 0)));
+        assert!(f.admits(&enq(9191, 1, 0)), "last queue of the block");
+        assert!(f.admits(&enq(9192, 1, 0)), "adjacent singleton coalesces");
+        assert!(f.admits(&enq(9193, 1, 0)));
+        assert!(f.admits(&enq(500, 1, 0)));
+        assert!(!f.admits(&enq(999, 1, 0)), "below the block");
+        assert!(!f.admits(&enq(9194, 1, 0)), "above the block");
+        assert!(!f.admits(&enq(501, 1, 0)));
+
+        // Overlapping ranges merge; empty ranges are dropped.
+        let g = TraceFilter::all()
+            .queue_range(10, 5)
+            .queue_range(12, 10)
+            .queue_range(40, 0);
+        assert!(g.admits(&enq(21, 1, 0)));
+        assert!(!g.admits(&enq(22, 1, 0)));
+        assert!(!g.admits(&enq(40, 1, 0)), "empty range admits nothing");
+        assert!(!g.is_all());
     }
 
     #[test]

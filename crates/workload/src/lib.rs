@@ -108,6 +108,119 @@ pub fn bulk_start_jitter(rng: &mut SimRng, n: usize, window_s: f64) -> Vec<f64> 
     (0..n).map(|_| rng.f64() * window_s).collect()
 }
 
+/// One Pareto(xm, α) sample via inverse-CDF: `xm / (1-u)^(1/α)`.
+///
+/// Data-center flow-size measurements are heavy-tailed; α between 1 and 2
+/// gives the classic "elephants and mice" shape where most flows are near
+/// `xm` but the top percentile carries most of the bytes.
+pub fn pareto(rng: &mut SimRng, xm: f64, alpha: f64) -> f64 {
+    assert!(
+        xm > 0.0 && alpha > 0.0,
+        "Pareto parameters must be positive"
+    );
+    // rng.f64() is in [0, 1); 1-u is in (0, 1], so the power is finite.
+    xm / (1.0 - rng.f64()).powf(1.0 / alpha)
+}
+
+/// One standard-normal sample via Box–Muller (the sim RNG exposes only
+/// uniform and exponential draws). Consumes exactly two uniforms.
+fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = 1.0 - rng.f64(); // (0, 1]: ln is finite
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One lognormal sample: `exp(μ + σ·Z)` with `Z` standard normal.
+pub fn lognormal(rng: &mut SimRng, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "lognormal sigma must be nonnegative");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// A heavy-tailed flow-size distribution: a lognormal body of mice mixed
+/// with a Pareto tail of elephants, truncated at `cap_packets`.
+///
+/// The defaults center the lognormal body on the paper's 47-packet short
+/// flow and let the Pareto tail reach into the hundreds of packets, so a
+/// churn workload exercises both fast-retiring mice and window-growing
+/// elephants against the same fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyTailMix {
+    /// Probability a sample comes from the Pareto tail (else lognormal).
+    pub pareto_weight: f64,
+    /// Pareto scale `xm`, packets.
+    pub pareto_xm: f64,
+    /// Pareto tail index α.
+    pub pareto_alpha: f64,
+    /// Lognormal ln-space mean μ.
+    pub lognorm_mu: f64,
+    /// Lognormal ln-space standard deviation σ.
+    pub lognorm_sigma: f64,
+    /// Truncation: no flow exceeds this many packets (keeps a single tail
+    /// draw from dominating a finite-horizon run).
+    pub cap_packets: u64,
+}
+
+impl Default for HeavyTailMix {
+    fn default() -> Self {
+        HeavyTailMix {
+            pareto_weight: 0.3,
+            pareto_xm: 20.0,
+            pareto_alpha: 1.2,
+            // exp(μ) = 47 packets: the body matches SHORT_FLOW_PACKETS.
+            lognorm_mu: (SHORT_FLOW_PACKETS as f64).ln(),
+            lognorm_sigma: 0.8,
+            cap_packets: 2_000,
+        }
+    }
+}
+
+impl HeavyTailMix {
+    /// Draw one flow size in packets (at least 1, at most `cap_packets`).
+    pub fn sample_packets(&self, rng: &mut SimRng) -> u64 {
+        let raw = if rng.chance(self.pareto_weight) {
+            pareto(rng, self.pareto_xm, self.pareto_alpha)
+        } else {
+            lognormal(rng, self.lognorm_mu, self.lognorm_sigma)
+        };
+        (raw.round() as u64).clamp(1, self.cap_packets)
+    }
+}
+
+/// Plan a sustained-churn workload: each host in `senders` emits
+/// heavy-tailed flows to its fixed destination at Poisson instants of mean
+/// gap `mean_gap_s` over `horizon_s`. The plan is start-sorted so a driver
+/// can install flows in epochs and retire completed ones — state is created
+/// *and* destroyed throughout the run, which is what distinguishes churn
+/// from the one-shot `short_flow_plan`.
+pub fn heavytail_churn_plan(
+    rng: &mut SimRng,
+    senders: &[usize],
+    dests: &[usize],
+    mix: &HeavyTailMix,
+    mean_gap_s: f64,
+    horizon_s: f64,
+) -> Vec<ShortFlowSpec> {
+    assert_eq!(
+        senders.len(),
+        dests.len(),
+        "each sender needs a destination"
+    );
+    let mut plan = Vec::new();
+    for (&src, &dst) in senders.iter().zip(dests) {
+        assert_ne!(src, dst, "host {src} cannot send to itself");
+        for start_s in poisson_arrivals(rng, mean_gap_s, horizon_s) {
+            plan.push(ShortFlowSpec {
+                src,
+                dst,
+                start_s,
+                size_packets: mix.sample_packets(rng),
+            });
+        }
+    }
+    plan.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +278,71 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         let p = permutation_traffic(&mut rng, 128);
         assert!(p.iter().enumerate().all(|(i, &d)| i != d));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| pareto(&mut rng, 10.0, 1.5)).collect();
+        assert!(samples.iter().all(|&s| s >= 10.0), "xm is the minimum");
+        // Median of Pareto(xm, α) is xm·2^(1/α) ≈ 15.87.
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!((14.0..18.0).contains(&median), "median = {median}");
+        // Heavy tail: the max should dwarf the median.
+        assert!(sorted[sorted.len() - 1] > 10.0 * median);
+    }
+
+    #[test]
+    fn lognormal_matches_moments() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mu = 3.0;
+        let n = 20_000;
+        let mean_ln = (0..n)
+            .map(|_| lognormal(&mut rng, mu, 0.5).ln())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_ln - mu).abs() < 0.02, "ln-mean = {mean_ln}");
+    }
+
+    #[test]
+    fn heavytail_mix_samples_in_range() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mix = HeavyTailMix::default();
+        let sizes: Vec<u64> = (0..5_000).map(|_| mix.sample_packets(&mut rng)).collect();
+        assert!(sizes.iter().all(|&s| (1..=mix.cap_packets).contains(&s)));
+        // The body sits near 47 packets; the tail must actually appear.
+        assert!(sizes.iter().any(|&s| s > 200), "no elephants drawn");
+        let median = {
+            let mut v = sizes.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!((20..=90).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn churn_plan_sorted_heavy_tailed_and_deterministic() {
+        let mix = HeavyTailMix::default();
+        let senders = vec![0, 2, 3];
+        let dests = vec![4, 5, 6];
+        let mut rng = SimRng::seed_from_u64(6);
+        let plan = heavytail_churn_plan(&mut rng, &senders, &dests, &mix, 0.05, 10.0);
+        assert!(!plan.is_empty());
+        assert!(plan.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+        assert!(plan.iter().all(|f| senders.contains(&f.src)));
+        // Sizes vary (not the fixed 47 of short_flow_plan).
+        let distinct: std::collections::BTreeSet<u64> =
+            plan.iter().map(|f| f.size_packets).collect();
+        assert!(
+            distinct.len() > 5,
+            "expected varied sizes, got {distinct:?}"
+        );
+        // Same seed, same plan.
+        let mut rng2 = SimRng::seed_from_u64(6);
+        let plan2 = heavytail_churn_plan(&mut rng2, &senders, &dests, &mix, 0.05, 10.0);
+        assert_eq!(plan, plan2);
     }
 
     proptest! {

@@ -142,7 +142,12 @@ fn fault_plan_digest(seed: u64) -> Vec<u64> {
     let mut digest = conn.handle.read(|st| {
         let mut d = vec![st.delivered_packets, st.app_delivered_packets];
         for sf in &st.subflows {
-            d.extend([sf.acked_packets, sf.timeouts, sf.failures, sf.reprobes]);
+            d.extend([
+                sf.acked_packets,
+                sf.timeouts.into(),
+                sf.failures.into(),
+                sf.reprobes.into(),
+            ]);
         }
         d
     });
