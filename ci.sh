@@ -131,4 +131,16 @@ rm -rf results/chaos/ci-gate
 ./target/release/validate_report BENCH_scale.json
 ./target/release/perf_scale --check BENCH_scale.json
 
+# Flow-backend gate: the flow-level simulator must keep agreeing with the
+# packet simulator (scenarios A/B/C and the k=8 FatTree, every headline
+# metric within the ±10% tolerance documented in DESIGN.md "Flow-level
+# backend"), and the population-scale churn report tracked in
+# BENCH_flowscale.json must stay schema-valid with a reproducible
+# flow_check trace digest and no >1.25x memory-per-flow regression. The
+# cross-validation tests are release-only (#[ignore] in debug) because the
+# packet runs take minutes unoptimized.
+cargo test --release --offline --test flow_crossval -- --include-ignored
+./target/release/validate_report BENCH_flowscale.json
+./target/release/perf_flowscale --check BENCH_flowscale.json
+
 echo "ci: all gates passed"

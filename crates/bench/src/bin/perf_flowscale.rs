@@ -1,0 +1,501 @@
+//! Tracked population-scale benchmark for the flow-level backend.
+//!
+//! Where `perf_scale` tracks how the *packet* simulator holds up as the
+//! FatTree grows (10³–10⁴ connections), this harness tracks the regime the
+//! flow backend exists for: **10⁵ concurrent MPTCP connections under
+//! Poisson churn with heavy-tailed sizes**, which the packet backend
+//! cannot reach at all. Two measurement points:
+//!
+//! * `flow_check` — k = 8 (128 hosts), 2 000 resident connections plus a
+//!   churn overlay. Small enough to re-run as the CI gate.
+//! * `flow_100k` — k = 16 (1024 hosts), 100 000 resident connections plus
+//!   ~40 000 heavy-tailed churn flows over a 2-second horizon. The
+//!   acceptance point: events/sec, bytes/flow, and the FNV-1a trace digest
+//!   are recorded here.
+//!
+//! Each point is phased through a live-bytes counting allocator —
+//! topology bytes, flow-install bytes (the headline `bytes_per_flow`), and
+//! the run high-water mark — then re-run traced into an FNV-1a digest
+//! recorded in `params` as a behaviour golden. The install protocol
+//! mirrors `flowsim::fattree::heavytail_churn` exactly (same RNG stream,
+//! same permutation-resident + Poisson-churn workload), re-spelled here
+//! only so the phase boundaries can be snapshotted.
+//!
+//! Usage mirrors `perf_scale`:
+//!
+//! ```text
+//! perf_flowscale                        # run, write results/perf_flowscale.json
+//! perf_flowscale --out BENCH_flowscale.json --baseline-from old.json
+//! perf_flowscale --check BENCH_flowscale.json  # flow_check: digest + memory
+//! ```
+//!
+//! `--check` is timing-free: it re-runs `flow_check` and fails if the
+//! trace digest drifted or `bytes_per_flow` exceeds the recorded value by
+//! more than the slack factor, so behaviour and memory regressions are
+//! machine-caught even on loaded machines.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use bench::json::{parse, Json};
+use bench::report::RunReport;
+use eventsim::{SimDuration, SimRng, SimTime};
+use flowsim::fattree::FlowFatTree;
+use flowsim::{FlowFatTreeConfig, FlowNet, FlowSim, FlowSimConfig};
+use mpsim_core::Algorithm;
+use netsim::profile::RunProfile;
+use trace::{DigestSink, Tracer};
+use workload::{heavytail_churn_plan, permutation_traffic, HeavyTailMix};
+
+/// Live-bytes counting allocator (same scheme as `perf_scale`): alloc
+/// adds, dealloc subtracts, so scenario phases can be attributed by
+/// snapshot deltas.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+fn track(delta: i64) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    if delta > 0 {
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+}
+
+/// Bytes currently allocated (layout sizes, not allocator overhead).
+fn live_bytes() -> i64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water live bytes since the last [`reset_peak`].
+fn peak_bytes() -> i64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart high-water tracking from the current live level.
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+// SAFETY: delegates directly to `System`; the counters are relaxed atomics
+// with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        track(layout.size() as i64);
+        // SAFETY: same layout contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track(-(layout.size() as i64));
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        track(new_size as i64 - layout.size() as i64);
+        // SAFETY: same pointer/layout contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Perf passes per scenario (memory numbers are deterministic; only
+/// events/sec takes the best-of).
+const PERF_PASSES: usize = 2;
+
+/// `--check` tolerates this much growth over the recorded `bytes_per_flow`
+/// before failing.
+const CHECK_SLACK: f64 = 1.25;
+
+/// One population-scale churn measurement point.
+struct ChurnScenario {
+    name: &'static str,
+    k: usize,
+    resident: usize,
+    subflows: usize,
+    /// Mean per-host gap between churn arrivals, milliseconds.
+    mean_gap_ms: f64,
+    /// Simulated horizon, seconds.
+    horizon_s: f64,
+    seed: u64,
+}
+
+const SCENARIOS: &[ChurnScenario] = &[
+    ChurnScenario {
+        name: "flow_check",
+        k: 8,
+        resident: 2_000,
+        subflows: 2,
+        mean_gap_ms: 50.0,
+        horizon_s: 2.0,
+        seed: 7,
+    },
+    ChurnScenario {
+        name: "flow_100k",
+        k: 16,
+        resident: 100_000,
+        subflows: 2,
+        mean_gap_ms: 50.0,
+        horizon_s: 2.0,
+        seed: 16,
+    },
+];
+
+/// Everything one phased churn run leaves behind.
+struct ChurnRun {
+    /// Total flows installed (resident + planned churn).
+    flows: usize,
+    resident: usize,
+    planned_churn: usize,
+    /// Heap growth while building the link table.
+    topo_bytes: i64,
+    /// Heap growth while installing + scheduling every flow.
+    setup_bytes: i64,
+    /// High-water heap over the whole scenario, relative to its start.
+    peak_live_bytes: i64,
+    /// Wall seconds of the run phase only.
+    run_wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    recomputes: u64,
+    started: u64,
+    completed: u64,
+    peak_active: usize,
+}
+
+/// Build the fabric, install the resident population and the churn
+/// overlay (the same protocol and RNG stream as
+/// [`flowsim::fattree::heavytail_churn`]), run to the horizon. Phase
+/// boundaries snapshot the live-byte counter.
+fn run_churn(s: &ChurnScenario, tracer: &Tracer) -> ChurnRun {
+    let live0 = live_bytes();
+    reset_peak();
+    let ftcfg = FlowFatTreeConfig::default();
+    let mut net = FlowNet::new();
+    let ft = FlowFatTree::build(&mut net, s.k, &ftcfg);
+    let hosts = ft.num_hosts();
+    let mut sim = FlowSim::new(net, FlowSimConfig::large_scale());
+    sim.set_tracer(tracer.clone());
+    let live_topo = live_bytes();
+
+    let mut rng = SimRng::seed_from_u64(s.seed ^ 0x5CA1E);
+    let mut conn = 0u64;
+    let mut resident = 0usize;
+    while resident < s.resident {
+        let perm = permutation_traffic(&mut rng, hosts);
+        for (h, &dst) in perm.iter().enumerate() {
+            if resident >= s.resident {
+                break;
+            }
+            let f = ft.connect(
+                &mut sim,
+                h,
+                dst,
+                Algorithm::Olia,
+                s.subflows,
+                None,
+                &mut rng,
+                conn,
+            );
+            let jitter = SimDuration::from_secs_f64(rng.f64());
+            sim.start_at(f, SimTime::ZERO + jitter);
+            conn += 1;
+            resident += 1;
+        }
+    }
+    let senders: Vec<usize> = (0..hosts).collect();
+    let dests: Vec<usize> = (0..hosts).map(|h| (h + hosts / 2) % hosts).collect();
+    let plan = heavytail_churn_plan(
+        &mut rng,
+        &senders,
+        &dests,
+        &HeavyTailMix::default(),
+        s.mean_gap_ms / 1e3,
+        s.horizon_s,
+    );
+    for spec in &plan {
+        let f = ft.connect(
+            &mut sim,
+            spec.src,
+            spec.dst,
+            Algorithm::Olia,
+            s.subflows,
+            Some(spec.size_packets),
+            &mut rng,
+            conn,
+        );
+        sim.start_at(f, SimTime::ZERO + SimDuration::from_secs_f64(spec.start_s));
+        conn += 1;
+    }
+    let live_setup = live_bytes();
+
+    let w = RunProfile::start();
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs_f64(s.horizon_s));
+    let run_wall_s = w.finish().wall_s;
+    let events = sim.events_processed();
+    ChurnRun {
+        flows: resident + plan.len(),
+        resident,
+        planned_churn: plan.len(),
+        topo_bytes: live_topo - live0,
+        setup_bytes: live_setup - live_topo,
+        peak_live_bytes: peak_bytes() - live0,
+        run_wall_s,
+        events,
+        events_per_sec: events as f64 / run_wall_s.max(1e-9),
+        recomputes: sim.recomputes(),
+        started: sim.started_flows(),
+        completed: sim.completed_flows(),
+        peak_active: sim.peak_active(),
+    }
+}
+
+/// Untraced perf passes: memory phases from the first pass (deterministic),
+/// best events/sec across passes.
+fn measure(s: &ChurnScenario) -> ChurnRun {
+    let mut best: Option<ChurnRun> = None;
+    for _ in 0..PERF_PASSES {
+        let r = run_churn(s, &Tracer::disabled());
+        if best
+            .as_ref()
+            .is_none_or(|b| r.events_per_sec > b.events_per_sec)
+        {
+            best = Some(r);
+        }
+    }
+    // PERF_PASSES ≥ 1, so a measurement was recorded.
+    best.unwrap_or_else(|| unreachable!("no perf pass ran"))
+}
+
+/// Traced digest pass: the full JSONL trace folded into FNV-1a.
+fn digest(s: &ChurnScenario) -> (u64, u64) {
+    let (tracer, sink) = Tracer::to_sink(DigestSink::new());
+    let r = run_churn(s, &tracer);
+    drop(r);
+    drop(tracer);
+    let sink = sink.borrow();
+    (sink.digest(), sink.bytes())
+}
+
+fn report_churn(report: &mut RunReport, r: &ChurnRun, name: &str) {
+    let n = r.flows as f64;
+    report.metric(&format!("{name}.flows"), n);
+    report.metric(&format!("{name}.resident"), r.resident as f64);
+    report.metric(&format!("{name}.planned_churn"), r.planned_churn as f64);
+    report.metric(&format!("{name}.events"), r.events as f64);
+    report.metric(&format!("{name}.events_per_sec"), r.events_per_sec);
+    report.metric(&format!("{name}.wall_s"), r.run_wall_s);
+    report.metric(&format!("{name}.recomputes"), r.recomputes as f64);
+    report.metric(&format!("{name}.started"), r.started as f64);
+    report.metric(&format!("{name}.completed"), r.completed as f64);
+    report.metric(&format!("{name}.peak_active"), r.peak_active as f64);
+    report.metric(&format!("{name}.topo_bytes"), r.topo_bytes as f64);
+    report.metric(&format!("{name}.bytes_per_flow"), r.setup_bytes as f64 / n);
+    report.metric(&format!("{name}.peak_live_bytes"), r.peak_live_bytes as f64);
+}
+
+/// `--check`: re-run `flow_check`, compare its digest and bytes-per-flow
+/// against the tracked report. Timing-free.
+fn check(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_flowscale: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_flowscale: cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    let Some(s) = SCENARIOS.iter().find(|s| s.name == "flow_check") else {
+        eprintln!("perf_flowscale: no flow_check scenario registered");
+        return 1;
+    };
+    let mut failures = 0;
+
+    // Memory budget: untraced run, deterministic byte accounting.
+    let r = run_churn(s, &Tracer::disabled());
+    let bytes_per_flow = r.setup_bytes as f64 / r.flows as f64;
+    drop(r);
+    let budget = doc
+        .get("metrics")
+        .and_then(|m| m.get("flow_check.bytes_per_flow"))
+        .and_then(Json::as_f64);
+    match budget {
+        Some(b) => {
+            let limit = b * CHECK_SLACK;
+            if bytes_per_flow <= limit {
+                println!("bytes_per_flow flow_check: {bytes_per_flow:.0} <= {limit:.0} OK");
+            } else {
+                eprintln!(
+                    "bytes_per_flow flow_check: {bytes_per_flow:.0} exceeds budget {limit:.0} \
+                     (recorded {b:.0} x {CHECK_SLACK}) — memory regression!"
+                );
+                failures += 1;
+            }
+        }
+        None => {
+            eprintln!("perf_flowscale: {path} has no metrics.flow_check.bytes_per_flow");
+            failures += 1;
+        }
+    }
+
+    // Behaviour: trace digest must match the recorded golden byte-for-byte.
+    let golden = doc
+        .get("params")
+        .and_then(|p| p.get("digest.flow_check"))
+        .and_then(Json::as_str);
+    match golden {
+        Some(golden) => {
+            let (d, _) = digest(s);
+            let hex = format!("{d:016x}");
+            if hex == golden {
+                println!("digest flow_check: {hex} OK");
+            } else {
+                eprintln!(
+                    "digest flow_check: computed {hex} != golden {golden} — behaviour changed!"
+                );
+                failures += 1;
+            }
+        }
+        None => {
+            eprintln!("perf_flowscale: {path} has no params.digest.flow_check");
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("perf_flowscale: flow_check smoke passed");
+        0
+    } else {
+        1
+    }
+}
+
+/// Copy `metrics.*` of a previous report in as `baseline.*` and derive
+/// `shrink.*` / `speedup.*` ratios for the shared scenarios.
+fn merge_baseline(report: &mut RunReport, current: &[(String, f64, f64)], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_object)
+        .unwrap_or_else(|| panic!("baseline {path} has no metrics object"));
+    for (k, v) in metrics {
+        if k.starts_with("baseline.") || k.starts_with("shrink.") || k.starts_with("speedup.") {
+            continue; // don't chain baselines of baselines
+        }
+        if let Some(x) = v.as_f64() {
+            report.metric(&format!("baseline.{k}"), x);
+        }
+    }
+    for (name, bytes_per_flow, events_per_sec) in current {
+        if let Some(base) = metrics
+            .get(&format!("{name}.bytes_per_flow"))
+            .and_then(Json::as_f64)
+        {
+            if *bytes_per_flow > 0.0 {
+                report.metric(&format!("shrink.{name}"), base / bytes_per_flow);
+            }
+        }
+        if let Some(base) = metrics
+            .get(&format!("{name}.events_per_sec"))
+            .and_then(Json::as_f64)
+        {
+            if base > 0.0 {
+                report.metric(&format!("speedup.{name}"), events_per_sec / base);
+            }
+        }
+    }
+    report.param("baseline_from", path);
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next(),
+            "--baseline-from" => baseline = args.next(),
+            "--check" => {
+                let Some(path) = args.next() else {
+                    eprintln!("perf_flowscale: --check needs a report path");
+                    std::process::exit(2);
+                };
+                std::process::exit(check(&path));
+            }
+            other => {
+                eprintln!("perf_flowscale: unknown argument {other:?}");
+                eprintln!(
+                    "usage: perf_flowscale [--out FILE] [--baseline-from REPORT] [--check REPORT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = RunReport::start("perf_flowscale");
+    report.param("backend", "flow");
+    report.param("perf_passes", PERF_PASSES as u64);
+
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>14} {:>12} {:>14}",
+        "scenario", "flows", "events", "events/sec", "bytes/flow", "recomputes", "peak live MB"
+    );
+    let mut current = Vec::new();
+    for s in SCENARIOS {
+        let r = measure(s);
+        let bytes_per_flow = r.setup_bytes as f64 / r.flows as f64;
+        println!(
+            "{:<12} {:>8} {:>10} {:>12.0} {:>14.0} {:>12} {:>14.2}",
+            s.name,
+            r.flows,
+            r.events,
+            r.events_per_sec,
+            bytes_per_flow,
+            r.recomputes,
+            r.peak_live_bytes as f64 / 1e6,
+        );
+        report.param(&format!("{}.k", s.name), s.k as u64);
+        report.param(&format!("{}.subflows", s.name), s.subflows as u64);
+        report.param(&format!("{}.horizon_s", s.name), s.horizon_s);
+        report_churn(&mut report, &r, s.name);
+        current.push((s.name.to_string(), bytes_per_flow, r.events_per_sec));
+    }
+
+    for s in SCENARIOS {
+        let (d, bytes) = digest(s);
+        let hex = format!("{d:016x}");
+        eprintln!("digest {}: {hex} ({bytes} trace bytes)", s.name);
+        report.param(&format!("digest.{}", s.name), hex);
+        report.param(&format!("trace_bytes.{}", s.name), bytes);
+    }
+
+    if let Some(path) = &baseline {
+        merge_baseline(&mut report, &current, path);
+    }
+
+    match out {
+        Some(path) => {
+            let doc = report.finish();
+            if let Err(e) = bench::report::validate(&doc) {
+                eprintln!("perf_flowscale: produced report fails validation: {e}");
+                std::process::exit(1);
+            }
+            std::fs::write(&path, doc.render_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("flowscale report: {path}");
+        }
+        None => report.write_or_warn(),
+    }
+}

@@ -25,7 +25,10 @@
 
 use std::collections::BTreeMap;
 
-use eventsim::SimRng;
+use eventsim::{SimDuration, SimRng};
+use flowsim::fattree as flow_fattree;
+use flowsim::scenarios::{self as flow_scenarios, measure_two_class, TwoClass};
+use flowsim::{FlowFatTreeConfig, FlowSimConfig};
 use mpsim_core::Algorithm;
 use netsim::Simulation;
 use tcpsim::Connection;
@@ -35,6 +38,20 @@ use trace::{DigestSink, Tracer};
 use crate::fattree::{self, LongFlows};
 use crate::json::Json;
 use crate::{mean_goodput_mbps, warmup_and_measure, RunCfg};
+
+/// Which simulation engine executes a job. The packet backend
+/// (`netsim`/`tcpsim`) is the fidelity reference; the flow backend
+/// (`flowsim`) trades packet dynamics for rate dynamics and scales to
+/// 10⁵–10⁶ concurrent connections. Scenario jobs that support both emit
+/// **identical metric keys** from either, so a manifest can sweep the
+/// `backend` axis and compare columns directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Per-packet discrete-event simulation (default).
+    Packet,
+    /// Flow-level fair-share rate allocation.
+    Flow,
+}
 
 /// Everything one job run may depend on: the derived seed, the scale, and
 /// the scenario parameters from the manifest's grid point.
@@ -112,6 +129,18 @@ impl JobCtx {
         let name = self.str("algorithm", "lia");
         Algorithm::from_name(&name)
             .unwrap_or_else(|| panic!("job param algorithm={name:?} is not a known algorithm"))
+    }
+
+    /// The `backend` parameter (`"packet"` | `"flow"`, default packet).
+    /// Any other value panics, failing the job, so a typo in a manifest
+    /// cannot silently fall back to the wrong engine.
+    pub fn backend(&self) -> Backend {
+        let name = self.str("backend", "packet");
+        match name.as_str() {
+            "packet" => Backend::Packet,
+            "flow" => Backend::Flow,
+            _ => panic!("job param backend={name:?} must be \"packet\" or \"flow\""),
+        }
     }
 
     /// The measurement windows for this scale, as a single replication at
@@ -197,6 +226,47 @@ fn instrumented(
     }
 }
 
+/// Flow-backend twin of [`instrumented`] for the two-class scenarios: run
+/// the warmup/measure protocol on a built [`TwoClass`] and package the
+/// class means (plus whatever extra metrics `extra` reads off the finished
+/// sim) with the digest witness.
+fn flow_two_class(
+    ctx: &JobCtx,
+    mut tc: TwoClass,
+    extra: impl FnOnce(&TwoClass, f64, f64) -> BTreeMap<String, f64>,
+) -> JobOutput {
+    let cfg = ctx.cfg();
+    let sink = if ctx.digest {
+        let (tracer, sink) = Tracer::to_sink(DigestSink::new());
+        tc.sim.set_tracer(tracer);
+        Some(sink)
+    } else {
+        None
+    };
+    let (g1, g2) = measure_two_class(
+        &mut tc,
+        SimDuration::from_secs_f64(cfg.warmup_s),
+        SimDuration::from_secs_f64(cfg.measure_s),
+        SimDuration::from_secs_f64(cfg.jitter_s),
+        ctx.seed,
+    );
+    let metrics = extra(&tc, g1, g2);
+    let (digest, trace_events) = match &sink {
+        Some(s) => {
+            let s = s.borrow();
+            (s.hex(), s.events())
+        }
+        None => ("-".to_string(), 0),
+    };
+    JobOutput {
+        metrics,
+        digest,
+        trace_events,
+        events: tc.sim.events_processed(),
+        sim_s: tc.sim.now().as_secs_f64(),
+    }
+}
+
 fn nums(values: &[f64]) -> Vec<Json> {
     values.iter().map(|&v| Json::from(v)).collect()
 }
@@ -213,6 +283,24 @@ fn scenario_a_job(ctx: &JobCtx) -> JobOutput {
     let ratio = ctx.f64("ratio", 1.0);
     let c = ctx.f64("c1_over_c2", 1.0);
     let params = ScenarioAParams::paper((10.0 * ratio) as usize, c, ctx.algorithm());
+    if ctx.backend() == Backend::Flow {
+        let tc = flow_scenarios::scenario_a(
+            params.n1,
+            params.n2,
+            params.c1_mbps,
+            params.c2_mbps,
+            ctx.algorithm(),
+            FlowSimConfig::default(),
+        );
+        return flow_two_class(ctx, tc, |tc, g1, g2| {
+            BTreeMap::from([
+                ("type1_norm".to_string(), g1 / params.c1_mbps),
+                ("type2_norm".to_string(), g2 / params.c2_mbps),
+                ("p1".to_string(), tc.sim.link_loss(tc.link1)),
+                ("p2".to_string(), tc.sim.link_loss(tc.link2)),
+            ])
+        });
+    }
     let cfg = ctx.cfg();
     instrumented(ctx, |sim| {
         let s = ScenarioA::build(sim, &params);
@@ -240,6 +328,7 @@ fn scenario_a_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
             "algorithm".to_string(),
             algs(&[Algorithm::Lia, Algorithm::Olia]),
         ),
+        ("backend".to_string(), vec![Json::from("packet")]),
         ("c1_over_c2".to_string(), nums(&[0.75, 1.0, 1.5])),
         ("ratio".to_string(), nums(&[1.0, 2.0, 3.0])),
     ]
@@ -251,6 +340,25 @@ fn scenario_a_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
 
 fn scenario_b_job(ctx: &JobCtx) -> JobOutput {
     let params = ScenarioBParams::paper(ctx.bool("red_multipath", false), ctx.algorithm());
+    if ctx.backend() == Backend::Flow {
+        let tc = flow_scenarios::scenario_b(
+            params.nb,
+            params.nr,
+            params.red_multipath,
+            ctx.algorithm(),
+            FlowSimConfig::default(),
+        );
+        let (nb, nr) = (params.nb as f64, params.nr as f64);
+        return flow_two_class(ctx, tc, move |tc, blue, red| {
+            BTreeMap::from([
+                ("blue_mbps".to_string(), blue),
+                ("red_mbps".to_string(), red),
+                ("aggregate_mbps".to_string(), blue * nb + red * nr),
+                ("p_x".to_string(), tc.sim.link_loss(tc.link1)),
+                ("p_t".to_string(), tc.sim.link_loss(tc.link2)),
+            ])
+        });
+    }
     let cfg = ctx.cfg();
     instrumented(ctx, |sim| {
         let s = ScenarioB::build(sim, &params);
@@ -278,6 +386,7 @@ fn scenario_b_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
             "algorithm".to_string(),
             algs(&[Algorithm::Lia, Algorithm::Olia]),
         ),
+        ("backend".to_string(), vec![Json::from("packet")]),
         (
             "red_multipath".to_string(),
             vec![Json::from(false), Json::from(true)],
@@ -309,6 +418,24 @@ fn scenario_c_job(ctx: &JobCtx) -> JobOutput {
     let ratio = ctx.f64("ratio", 1.0);
     let c = ctx.f64("c1_over_c2", 1.0);
     let params = ScenarioCParams::paper((10.0 * ratio) as usize, c, ctx.algorithm());
+    if ctx.backend() == Backend::Flow {
+        let tc = flow_scenarios::scenario_c(
+            params.n1,
+            params.n2,
+            params.c1_mbps,
+            params.c2_mbps,
+            ctx.algorithm(),
+            FlowSimConfig::default(),
+        );
+        return flow_two_class(ctx, tc, |tc, g1, g2| {
+            BTreeMap::from([
+                ("multipath_norm".to_string(), g1 / params.c1_mbps),
+                ("single_norm".to_string(), g2 / params.c2_mbps),
+                ("p1".to_string(), tc.sim.link_loss(tc.link1)),
+                ("p2".to_string(), tc.sim.link_loss(tc.link2)),
+            ])
+        });
+    }
     let cfg = ctx.cfg();
     instrumented(ctx, |sim| {
         let s = ScenarioC::build(sim, &params);
@@ -339,6 +466,33 @@ fn fattree_permutation_job(ctx: &JobCtx) -> JobOutput {
     let subflows = ctx.usize("subflows", 4);
     let secs = ctx.f64("secs", if ctx.quick { 4.0 } else { 15.0 });
     let algorithm = ctx.algorithm();
+    if ctx.backend() == Backend::Flow {
+        let r = flow_fattree::permutation(
+            k,
+            algorithm,
+            subflows,
+            SimDuration::from_secs_f64(secs),
+            ctx.seed,
+            &FlowFatTreeConfig::default(),
+            FlowSimConfig::default(),
+        );
+        return JobOutput {
+            metrics: BTreeMap::from([
+                ("throughput_pct".to_string(), r.throughput_pct),
+                ("jain".to_string(), r.jain),
+            ]),
+            // The flow harness always digests its own trace; honor the
+            // ctx.digest contract when packaging the witness.
+            digest: if ctx.digest {
+                format!("{:016x}", r.digest)
+            } else {
+                "-".to_string()
+            },
+            trace_events: if ctx.digest { r.trace_events } else { 0 },
+            events: r.trace_events,
+            sim_s: secs,
+        };
+    }
     instrumented(ctx, |sim| {
         let r = fattree::permutation_in(sim, k, algorithm, subflows, secs, ctx.seed);
         BTreeMap::from([
@@ -354,6 +508,7 @@ fn fattree_permutation_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
             "algorithm".to_string(),
             algs(&[Algorithm::Lia, Algorithm::Olia]),
         ),
+        ("backend".to_string(), vec![Json::from("packet")]),
         ("subflows".to_string(), nums(&[2.0, 4.0, 8.0])),
     ]
 }
@@ -459,6 +614,67 @@ fn fattree_heavytail_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
 }
 
 // ---------------------------------------------------------------------------
+// Population-scale churn — flow backend only
+// ---------------------------------------------------------------------------
+
+/// Heavy-tailed Poisson churn over a resident MPTCP population on a
+/// FatTree, at scales the packet backend cannot reach (10⁵–10⁶ concurrent
+/// connections at full scale). Flow backend only: the job panics on
+/// `backend=packet` rather than silently running a packet experiment five
+/// orders of magnitude too small.
+fn flowscale_churn_job(ctx: &JobCtx) -> JobOutput {
+    if ctx.backend() != Backend::Flow {
+        panic!("flowscale_churn runs only on backend=\"flow\"");
+    }
+    let k = ctx.usize("k", if ctx.quick { 4 } else { 16 });
+    let resident = ctx.usize("resident", if ctx.quick { 64 } else { 100_000 });
+    let subflows = ctx.usize("subflows", 2);
+    let horizon_s = ctx.f64("horizon_s", if ctx.quick { 3.0 } else { 2.0 });
+    let mean_gap_ms = ctx.f64("mean_gap_ms", if ctx.quick { 400.0 } else { 50.0 });
+    let r = flow_fattree::heavytail_churn(
+        &flow_fattree::ChurnParams {
+            k,
+            resident,
+            algorithm: ctx.algorithm(),
+            subflows,
+            mean_gap: SimDuration::from_secs_f64(mean_gap_ms / 1e3),
+            horizon: SimDuration::from_secs_f64(horizon_s),
+            seed: ctx.seed,
+        },
+        &FlowFatTreeConfig::default(),
+        FlowSimConfig::large_scale(),
+    );
+    JobOutput {
+        metrics: BTreeMap::from([
+            ("resident".to_string(), r.resident as f64),
+            ("planned_churn".to_string(), r.planned_churn as f64),
+            ("started".to_string(), r.started as f64),
+            ("completed".to_string(), r.completed as f64),
+            ("peak_active".to_string(), r.peak_active as f64),
+            ("recomputes".to_string(), r.recomputes as f64),
+        ]),
+        digest: if ctx.digest {
+            format!("{:016x}", r.digest)
+        } else {
+            "-".to_string()
+        },
+        trace_events: if ctx.digest { r.trace_events } else { 0 },
+        events: r.events,
+        sim_s: horizon_s,
+    }
+}
+
+fn flowscale_churn_grid(_quick: bool) -> Vec<(String, Vec<Json>)> {
+    vec![
+        (
+            "algorithm".to_string(),
+            algs(&[Algorithm::Lia, Algorithm::Olia]),
+        ),
+        ("backend".to_string(), vec![Json::from("flow")]),
+    ]
+}
+
+// ---------------------------------------------------------------------------
 // Smoke — a deliberately tiny scenario for orchestrator CI and tests
 // ---------------------------------------------------------------------------
 
@@ -549,6 +765,12 @@ pub const REGISTRY: &[ScenarioDef] = &[
         summary: "FatTree heavy-tailed churn with endpoint retirement and ring recycling",
         run: fattree_heavytail_job,
         grid: fattree_heavytail_grid,
+    },
+    ScenarioDef {
+        name: "flowscale_churn",
+        summary: "population-scale Poisson churn on the flow backend (10⁵+ connections)",
+        run: flowscale_churn_job,
+        grid: flowscale_churn_grid,
     },
     ScenarioDef {
         name: "ablation_epsilon",
@@ -655,5 +877,59 @@ mod tests {
         ctx.params
             .insert("algorithm".to_string(), Json::from("bogus"));
         smoke_job(&ctx);
+    }
+
+    #[test]
+    fn flow_backend_emits_packet_metric_keys() {
+        // The backend axis only works if both engines emit the same
+        // columns; check scenario C's key set (cheap at flow level even
+        // in debug builds — rates, not packets).
+        let mut ctx = JobCtx::new(11, true);
+        ctx.params.insert("backend".to_string(), Json::from("flow"));
+        let flow = scenario_c_job(&ctx);
+        assert_eq!(
+            flow.metrics.keys().collect::<Vec<_>>(),
+            vec!["multipath_norm", "p1", "p2", "single_norm"],
+        );
+        assert!(flow.trace_events > 0, "flow digest saw no events");
+        assert_ne!(flow.digest, "-");
+
+        // Deterministic: same (params, seed) twice is byte-identical.
+        let again = scenario_c_job(&ctx);
+        assert_eq!(flow.digest, again.digest);
+        assert_eq!(flow.metrics, again.metrics);
+    }
+
+    #[test]
+    fn backend_defaults_to_packet() {
+        assert_eq!(JobCtx::new(1, true).backend(), Backend::Packet);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be \"packet\" or \"flow\"")]
+    fn unknown_backend_fails_the_job() {
+        let mut ctx = JobCtx::new(1, true);
+        ctx.params
+            .insert("backend".to_string(), Json::from("hybrid"));
+        ctx.backend();
+    }
+
+    #[test]
+    #[should_panic(expected = "only on backend=\"flow\"")]
+    fn flowscale_churn_rejects_the_packet_backend() {
+        flowscale_churn_job(&JobCtx::new(1, true));
+    }
+
+    #[test]
+    fn flowscale_churn_quick_runs_and_recycles() {
+        let mut ctx = JobCtx::new(9, true);
+        ctx.params.insert("backend".to_string(), Json::from("flow"));
+        let out = flowscale_churn_job(&ctx);
+        let m = &out.metrics;
+        assert!(m["completed"] > 0.0, "no churn flow completed: {m:?}");
+        assert!(m["peak_active"] >= m["resident"], "churn never overlapped");
+        assert!(m["recomputes"] > 0.0);
+        let again = flowscale_churn_job(&ctx);
+        assert_eq!(out.digest, again.digest, "churn job must be deterministic");
     }
 }

@@ -238,6 +238,16 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     if params.as_object().is_none() {
         return Err("params must be an object".to_string());
     }
+    // Reports may record which simulation engine produced them; when they
+    // do, the value must name a real backend so `--strict` scans catch a
+    // mislabeled run instead of filing it under a phantom engine.
+    if let Some(backend) = params.get("backend") {
+        if !matches!(backend.as_str(), Some("packet") | Some("flow")) {
+            return Err(format!(
+                "params.backend must be \"packet\" or \"flow\", got {backend:?}"
+            ));
+        }
+    }
     let metrics = require(doc, "metrics")?
         .as_object()
         .ok_or("metrics must be an object")?;
@@ -738,12 +748,30 @@ mod tests {
                 r#"{"schema":"mptcp-run-report/v1","name":"x","params":{},"metrics":{},"tables":{},"profile":{"wall_s":0.1}}"#,
                 "profile.events",
             ),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"x","params":{"backend":"hybrid"},"metrics":{},"tables":{},"profile":{}}"#,
+                "params.backend",
+            ),
+            (
+                r#"{"schema":"mptcp-run-report/v1","name":"x","params":{"backend":1},"metrics":{},"tables":{},"profile":{}}"#,
+                "params.backend",
+            ),
             ("[1,2]", "must be a JSON object"),
         ];
         for (text, needle) in cases {
             let err = validate(&parse(text).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn validation_accepts_flow_backend_reports() {
+        let mut r = RunReport::start("flowscale_churn");
+        r.param("backend", Json::from("flow"));
+        validate(&r.finish()).unwrap();
+        let mut r = RunReport::start("scenario_a");
+        r.param("backend", Json::from("packet"));
+        validate(&r.finish()).unwrap();
     }
 
     fn sweep_doc() -> String {

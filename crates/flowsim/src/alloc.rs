@@ -1,0 +1,539 @@
+//! The rate allocator: a price-clearing fluid fixed point plus a
+//! progressive-filling max-min projection.
+//!
+//! Each recompute answers "what rate does every subflow send at now?" in
+//! two stages:
+//!
+//! 1. **Price-clearing sweeps.** Every link carries a persistent loss
+//!    *price* — its current loss probability. Each sweep sums the current
+//!    rates into link loads, then adjusts each price multiplicatively by
+//!    `(load/capacity)^price_gain`: overloaded links get more expensive,
+//!    underloaded links decay toward the idle floor. Route losses sum the
+//!    link prices, and [`fluid::rates::target_rates`] maps them to each
+//!    flow's per-path equilibrium rates (Reno/LIA/OLIA/uncoupled — the
+//!    same closed forms the ODE backend converges to); rates move a
+//!    fraction `damping` toward the target each sweep. This tâtonnement
+//!    mirrors what a drop-tail queue does in the packet backend: loss is
+//!    not a fixed function of load, it is whatever value makes TCP demand
+//!    meet capacity. At the fixed point every busy link sits exactly at
+//!    the loss probability that clears it, which is why the per-class
+//!    equilibria land on the packet simulator's numbers. This stage
+//!    encodes the algorithm differences the paper is about; it is where
+//!    LIA leaks onto congested paths and OLIA concentrates on the
+//!    least-congested ones.
+//!
+//! 2. **Max-min projection.** The sweep output is a *demand* per subflow,
+//!    not a feasible allocation (prices a few sweeps from convergence
+//!    tolerate loads slightly above capacity). Progressive filling — grow
+//!    every unfrozen subflow's rate at one common level, freezing a
+//!    subflow when it reaches its demand or its tightest link saturates —
+//!    projects the demands onto the capacity region. This is the
+//!    dslab-style throughput model: a single water-filling pass per
+//!    recompute, implemented level-by-level with lazily rekeyed
+//!    link-saturation heap entries, O(E log E + E·L) for E subflow
+//!    entities of path length L.
+//!
+//! Goodput finally discounts each path's allocated rate by its route loss,
+//! mirroring how the packet backend counts delivered (not sent) packets.
+//!
+//! Everything here is deterministic: iteration follows `active` order and
+//! link index order, floats are compared with `total_cmp`, and scratch
+//! buffers are reused across recomputes so the hot path does not allocate
+//! once it reaches steady state.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fluid::rates::target_rates;
+
+use crate::sim::{FlowSlot, MAX_SUBFLOWS};
+
+/// Allocator tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocConfig {
+    /// Per-link price floor: where idle-link prices decay to.
+    pub p_link_min: f64,
+    /// Per-link price cap: where an overloaded link's price saturates
+    /// (the packet backend's drop-everything regime).
+    pub p_link_cap: f64,
+    /// Route-loss floor: no path ever looks loss-free (the `1/√p`
+    /// equilibria diverge at p = 0). Plays the role of the packet
+    /// backend's ambient/probing losses.
+    pub p_floor: f64,
+    /// Route-loss ceiling, keeping equilibrium rates positive and finite
+    /// when many links stack up.
+    pub p_ceiling: f64,
+    /// Fraction of the distance to the target rate moved per sweep.
+    pub damping: f64,
+    /// Multiplicative price-update exponent per sweep: price scales by
+    /// `(load/capacity)^price_gain`. Higher clears faster but risks
+    /// oscillation against the damped rate response.
+    pub price_gain: f64,
+    /// Probing floor as a fraction of the path's fair-TCP window: every
+    /// established path keeps at least `probe_frac·√(2/p)` MSS per RTT in
+    /// flight (and never less than one MSS per RTT). This models the
+    /// residual window coupled controllers hold on paths they have
+    /// abandoned — packet-level OLIA retains roughly a third of the fair
+    /// window on its non-best paths rather than draining them to zero.
+    pub probe_frac: f64,
+    /// Fixed-point sweeps per recompute. Validation runs afford tens;
+    /// population-scale runs use a handful and rely on warm starts.
+    pub sweeps: usize,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        AllocConfig {
+            p_link_min: 1e-5,
+            p_link_cap: 0.45,
+            p_floor: 2e-4,
+            p_ceiling: 0.45,
+            damping: 0.5,
+            price_gain: 1.0,
+            probe_frac: 1.0 / 3.0,
+            sweeps: 50,
+        }
+    }
+}
+
+impl AllocConfig {
+    /// Cheaper settings for population-scale churn runs: fewer sweeps,
+    /// leaning on the warm start carried between recomputes.
+    pub fn large_scale() -> AllocConfig {
+        AllocConfig {
+            sweeps: 6,
+            ..AllocConfig::default()
+        }
+    }
+}
+
+/// Reusable buffers for [`recompute`]; hot-path allocations amortize to
+/// zero once capacities stabilize.
+#[derive(Debug, Default)]
+pub(crate) struct AllocScratch {
+    loads: Vec<f64>,
+    ploss: Vec<f64>,
+    // Entity tables (entity = one subflow of one active flow).
+    ent_flow: Vec<u32>,
+    ent_sub: Vec<u32>,
+    demand: Vec<f64>,
+    alloc: Vec<f64>,
+    frozen: Vec<bool>,
+    order: Vec<u32>,
+    // CSR link → entities crossing it.
+    link_off: Vec<u32>,
+    link_ent: Vec<u32>,
+    // Water-filling per-link state.
+    rem: Vec<f64>,
+    nun: Vec<u32>,
+    lvl: Vec<f64>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl AllocScratch {
+    pub(crate) fn new() -> AllocScratch {
+        AllocScratch::default()
+    }
+}
+
+/// Route loss for one path: clamped sum of link losses.
+#[inline]
+fn route_loss(ploss: &[f64], links: &[u32], cfg: &AllocConfig) -> f64 {
+    let mut p = 0.0;
+    for &l in links {
+        p += ploss[l as usize];
+    }
+    p.clamp(cfg.p_floor, cfg.p_ceiling)
+}
+
+/// Tightest capacity along a path, packets per second.
+#[inline]
+fn min_cap(caps: &[f64], links: &[u32]) -> f64 {
+    let mut c = f64::INFINITY;
+    for &l in links {
+        c = c.min(caps[l as usize]);
+    }
+    c
+}
+
+/// Recompute rates and goodputs for every flow in `active` (indices into
+/// `flows`), against link capacities `caps` (pkts/s). `link_loss` is the
+/// persistent per-link price state: read as the warm start, written back
+/// with the cleared prices. On return each active slot's `rates` hold the
+/// feasible allocation and `goodput` the loss-discounted delivered rate.
+pub(crate) fn recompute(
+    caps: &[f64],
+    cfg: &AllocConfig,
+    flows: &mut [FlowSlot],
+    active: &[u32],
+    s: &mut AllocScratch,
+    link_loss: &mut Vec<f64>,
+) {
+    let nlinks = caps.len();
+    s.loads.clear();
+    s.loads.resize(nlinks, 0.0);
+    // Warm-start prices from the previous recompute (idle floor for links
+    // that did not exist yet).
+    link_loss.resize(nlinks, cfg.p_link_min);
+    s.ploss.clear();
+    s.ploss.extend(
+        link_loss
+            .iter()
+            .map(|p| p.clamp(cfg.p_link_min, cfg.p_link_cap)),
+    );
+
+    // Stage 1: price-clearing sweeps (tâtonnement) of the fluid fixed
+    // point.
+    for _ in 0..cfg.sweeps {
+        for v in s.loads.iter_mut() {
+            *v = 0.0;
+        }
+        for &fi in active {
+            let f = &flows[fi as usize];
+            for r in 0..f.num_paths() {
+                let rate = f.rates[r];
+                for &l in f.path_links(r) {
+                    s.loads[l as usize] += rate;
+                }
+            }
+        }
+        for (l, &cap) in caps.iter().enumerate().take(nlinks) {
+            // Overloaded links get more expensive, idle ones decay: the
+            // fixed point is the loss probability that clears the link.
+            let util = if cap > 0.0 {
+                s.loads[l] / cap
+            } else {
+                f64::INFINITY
+            };
+            s.ploss[l] =
+                (s.ploss[l] * util.powf(cfg.price_gain)).clamp(cfg.p_link_min, cfg.p_link_cap);
+        }
+        for &fi in active {
+            let f = &mut flows[fi as usize];
+            let n = f.num_paths();
+            let mut p = [0.0; MAX_SUBFLOWS];
+            let mut floor = [0.0; MAX_SUBFLOWS];
+            let mut tgt = [0.0; MAX_SUBFLOWS];
+            for r in 0..n {
+                p[r] = route_loss(&s.ploss, f.path_links(r), cfg);
+                // Probing floor: a fraction of the fair-TCP window at this
+                // path's loss, never below one MSS per RTT — the residual
+                // rate controllers hold on paths they have abandoned.
+                let probe = cfg.probe_frac * (2.0 / p[r]).sqrt();
+                floor[r] = probe.max(1.0) / f.rtts[r];
+            }
+            target_rates(f.rule, &p[..n], &f.rtts[..n], &mut tgt[..n]);
+            for r in 0..n {
+                let cap = min_cap(caps, f.path_links(r));
+                let want = tgt[r].min(cap).max(floor[r].min(cap));
+                f.rates[r] += cfg.damping * (want - f.rates[r]);
+            }
+        }
+    }
+
+    // Stage 2: progressive-filling max-min with the sweep rates as demands.
+    s.ent_flow.clear();
+    s.ent_sub.clear();
+    s.demand.clear();
+    for &fi in active {
+        let f = &flows[fi as usize];
+        for (r, rate) in f.rates.iter().enumerate() {
+            s.ent_flow.push(fi);
+            s.ent_sub.push(r as u32);
+            s.demand.push(rate.max(0.0));
+        }
+    }
+    let nent = s.demand.len();
+    max_min_fill(caps, flows, s, nent);
+
+    // Write the projected rates back and derive goodputs from the cleared
+    // prices (the loss probabilities the packet backend would measure).
+    for e in 0..nent {
+        let a = s.alloc[e];
+        let f = &mut flows[s.ent_flow[e] as usize];
+        f.rates[s.ent_sub[e] as usize] = a;
+    }
+    for &fi in active {
+        let f = &mut flows[fi as usize];
+        let mut g = 0.0;
+        for r in 0..f.num_paths() {
+            let p = route_loss(&s.ploss, f.path_links(r), cfg);
+            // simlint: allow(R11) indexed loop over this flow's fixed path array; summation order is deterministic
+            g += f.rates[r] * (1.0 - p);
+        }
+        f.goodput = g;
+    }
+    link_loss.clear();
+    link_loss.extend_from_slice(&s.ploss);
+}
+
+/// Saturation level a link would reach if all its unfrozen entities kept
+/// growing: current level plus remaining capacity spread across them.
+#[inline]
+fn sat_level(rem: f64, nun: u32, lvl: f64) -> f64 {
+    lvl + rem.max(0.0) / nun as f64
+}
+
+/// Progressive filling over the entity tables in `s` (first `nent`
+/// entries): every entity's rate rises from zero at a common level;
+/// an entity freezes when the level reaches its demand or one of its
+/// links saturates. Fills `s.alloc`.
+///
+/// Levels are processed in nondecreasing order. Link saturation levels
+/// only grow as entities freeze, so the heap holds lazily stale
+/// (underestimated) keys that are rekeyed on pop — the classic lazy
+/// water-filling trick.
+fn max_min_fill(caps: &[f64], flows: &[FlowSlot], s: &mut AllocScratch, nent: usize) {
+    let nlinks = caps.len();
+    s.alloc.clear();
+    s.alloc.resize(nent, 0.0);
+    s.frozen.clear();
+    s.frozen.resize(nent, false);
+
+    // CSR: link → entities crossing it.
+    s.link_off.clear();
+    s.link_off.resize(nlinks + 1, 0);
+    for e in 0..nent {
+        let path = flows[s.ent_flow[e] as usize].path_links(s.ent_sub[e] as usize);
+        for &l in path {
+            s.link_off[l as usize + 1] += 1;
+        }
+    }
+    for l in 0..nlinks {
+        let carry = s.link_off[l];
+        s.link_off[l + 1] += carry;
+    }
+    s.link_ent.clear();
+    s.link_ent.resize(s.link_off[nlinks] as usize, 0);
+    {
+        // Fill backwards through a cursor copy so offsets stay intact.
+        let mut cursor: Vec<u32> = Vec::with_capacity(nlinks);
+        cursor.extend_from_slice(&s.link_off[..nlinks]);
+        for e in 0..nent {
+            let path = flows[s.ent_flow[e] as usize].path_links(s.ent_sub[e] as usize);
+            for &l in path {
+                let c = &mut cursor[l as usize];
+                s.link_ent[*c as usize] = e as u32;
+                *c += 1;
+            }
+        }
+    }
+
+    // Per-link water-filling state.
+    s.rem.clear();
+    s.rem.extend_from_slice(caps);
+    s.nun.clear();
+    s.nun.resize(nlinks, 0);
+    s.lvl.clear();
+    s.lvl.resize(nlinks, 0.0);
+    for l in 0..nlinks {
+        s.nun[l] = s.link_off[l + 1] - s.link_off[l];
+    }
+    s.heap.clear();
+    for l in 0..nlinks {
+        if s.nun[l] > 0 {
+            let sat = sat_level(s.rem[l], s.nun[l], 0.0);
+            s.heap.push(Reverse((sat.to_bits(), l as u32)));
+        }
+    }
+
+    // Entities in demand order.
+    s.order.clear();
+    s.order.extend(0..nent as u32);
+    let demand = &s.demand;
+    s.order
+        .sort_unstable_by(|&a, &b| demand[a as usize].total_cmp(&demand[b as usize]));
+
+    let mut ptr = 0usize;
+    loop {
+        while ptr < nent && s.frozen[s.order[ptr] as usize] {
+            ptr += 1;
+        }
+        if ptr >= nent {
+            break;
+        }
+        let next_demand = s.demand[s.order[ptr] as usize];
+
+        // Validated top of the saturation heap.
+        let mut top: Option<(f64, u32)> = None;
+        while let Some(&Reverse((bits, l))) = s.heap.peek() {
+            let li = l as usize;
+            if s.nun[li] == 0 {
+                s.heap.pop();
+                continue;
+            }
+            let sat = sat_level(s.rem[li], s.nun[li], s.lvl[li]);
+            let key = f64::from_bits(bits);
+            if sat > key + 1e-12 * key.abs().max(1.0) {
+                // Stale underestimate: rekey and retry.
+                s.heap.pop();
+                s.heap.push(Reverse((sat.to_bits(), l)));
+                continue;
+            }
+            top = Some((sat, l));
+            break;
+        }
+
+        match top {
+            Some((sat, l)) if sat < next_demand => {
+                // The link saturates first: freeze everyone crossing it.
+                s.heap.pop();
+                let li = l as usize;
+                let (start, end) = (s.link_off[li] as usize, s.link_off[li + 1] as usize);
+                for i in start..end {
+                    let e = s.link_ent[i] as usize;
+                    if !s.frozen[e] {
+                        freeze(flows, s, e, sat);
+                    }
+                }
+            }
+            _ => {
+                // The next demand is reached first (or no link constrains).
+                let e = s.order[ptr] as usize;
+                ptr += 1;
+                freeze(flows, s, e, next_demand);
+            }
+        }
+    }
+}
+
+/// Freeze entity `e` at allocation `level`: advance each of its links'
+/// consumption checkpoint to `level`, drop it from their unfrozen counts,
+/// and rekey their saturation levels.
+fn freeze(flows: &[FlowSlot], s: &mut AllocScratch, e: usize, level: f64) {
+    s.frozen[e] = true;
+    s.alloc[e] = level;
+    let path = flows[s.ent_flow[e] as usize].path_links(s.ent_sub[e] as usize);
+    for &l in path {
+        let li = l as usize;
+        s.rem[li] -= s.nun[li] as f64 * (level - s.lvl[li]).max(0.0);
+        s.lvl[li] = s.lvl[li].max(level);
+        s.nun[li] -= 1;
+        if s.nun[li] > 0 {
+            let sat = sat_level(s.rem[li], s.nun[li], s.lvl[li]);
+            s.heap.push(Reverse((sat.to_bits(), l)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::FlowSlot;
+    use fluid::rates::RateRule;
+
+    // Hand-built slots: one flow per entity layout below.
+    fn slot(paths: &[&[u32]], rtt: f64, rule: RateRule) -> FlowSlot {
+        FlowSlot::for_test(paths, rtt, rule)
+    }
+
+    fn fill(caps: &[f64], flows: &[FlowSlot], demands: &[f64]) -> Vec<f64> {
+        let mut s = AllocScratch::new();
+        for (fi, f) in flows.iter().enumerate() {
+            for r in 0..f.num_paths() {
+                s.ent_flow.push(fi as u32);
+                s.ent_sub.push(r as u32);
+            }
+        }
+        s.demand.extend_from_slice(demands);
+        let n = demands.len();
+        max_min_fill(caps, flows, &mut s, n);
+        s.alloc.clone()
+    }
+
+    #[test]
+    fn maxmin_unconstrained_meets_demands() {
+        let flows = [slot(&[&[0]], 0.1, RateRule::Reno)];
+        let alloc = fill(&[100.0], &flows, &[30.0]);
+        assert!((alloc[0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_shares_a_bottleneck_equally() {
+        // Two greedy entities on one 90-unit link: 45 each.
+        let flows = [
+            slot(&[&[0]], 0.1, RateRule::Reno),
+            slot(&[&[0]], 0.1, RateRule::Reno),
+        ];
+        let alloc = fill(&[90.0], &flows, &[1000.0, 1000.0]);
+        assert!((alloc[0] - 45.0).abs() < 1e-9);
+        assert!((alloc[1] - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_redistributes_a_small_demand() {
+        // Classic water filling: demands 10/1000/1000 on a 90 link
+        // → 10, 40, 40.
+        let flows = [
+            slot(&[&[0]], 0.1, RateRule::Reno),
+            slot(&[&[0]], 0.1, RateRule::Reno),
+            slot(&[&[0]], 0.1, RateRule::Reno),
+        ];
+        let alloc = fill(&[90.0], &flows, &[10.0, 1000.0, 1000.0]);
+        assert!((alloc[0] - 10.0).abs() < 1e-9);
+        assert!((alloc[1] - 40.0).abs() < 1e-9);
+        assert!((alloc[2] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_two_links_pick_the_tighter_bottleneck() {
+        // Entity 0 crosses links 0 and 1; entity 1 only link 1.
+        // Link 1 (cap 30) saturates at level 15; link 0 (cap 100) never.
+        let flows = [
+            slot(&[&[0, 1]], 0.1, RateRule::Reno),
+            slot(&[&[1]], 0.1, RateRule::Reno),
+        ];
+        let alloc = fill(&[100.0, 30.0], &flows, &[1000.0, 1000.0]);
+        assert!((alloc[0] - 15.0).abs() < 1e-9);
+        assert!((alloc[1] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_frees_capacity_after_a_demand_freeze() {
+        // On link 1 (cap 30): entity 1 freezes at demand 5, leaving 25 for
+        // entity 0 — which then hits link 0's share with entity 2.
+        let flows = [
+            slot(&[&[0, 1]], 0.1, RateRule::Reno),
+            slot(&[&[1]], 0.1, RateRule::Reno),
+            slot(&[&[0]], 0.1, RateRule::Reno),
+        ];
+        let alloc = fill(&[40.0, 30.0], &flows, &[1000.0, 5.0, 1000.0]);
+        assert!((alloc[1] - 5.0).abs() < 1e-9);
+        // Link 0: entities 0 and 2 split 40 → 20 each; link 1 would have
+        // allowed entity 0 up to 25, so link 0 binds.
+        assert!((alloc[0] - 20.0).abs() < 1e-9);
+        assert!((alloc[2] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_never_oversubscribes_any_link() {
+        // Deterministic pseudo-random demand pattern over a shared chain.
+        let caps = [50.0, 35.0, 80.0];
+        let paths: [&[u32]; 6] = [&[0], &[0, 1], &[1, 2], &[2], &[0, 1, 2], &[1]];
+        let flows: Vec<FlowSlot> = paths
+            .iter()
+            .map(|p| slot(&[p], 0.1, RateRule::Reno))
+            .collect();
+        let demands = [7.0, 60.0, 13.0, 90.0, 41.0, 3.0];
+        let alloc = fill(&caps, &flows, &demands);
+        let mut loads = [0.0; 3];
+        for (e, path) in paths.iter().enumerate() {
+            assert!(alloc[e] <= demands[e] + 1e-9, "entity {e} above demand");
+            for &l in *path {
+                loads[l as usize] += alloc[e];
+            }
+        }
+        for l in 0..3 {
+            assert!(loads[l] <= caps[l] + 1e-6, "link {l} oversubscribed");
+        }
+        // The allocation is maximal: every entity is demand-frozen or
+        // crosses a saturated link.
+        for (e, path) in paths.iter().enumerate() {
+            let at_demand = (alloc[e] - demands[e]).abs() < 1e-6;
+            let saturated = path
+                .iter()
+                .any(|&l| loads[l as usize] >= caps[l as usize] - 1e-6);
+            assert!(at_demand || saturated, "entity {e} could still grow");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Flow-level twins of the paper's Scenario A/B/C topologies.
+//!
+//! Link wiring mirrors `topo::scenarios` exactly (same bottlenecks, same
+//! per-class paths); pure-delay padding elements have no flow-level
+//! counterpart because delay only enters through each path's RTT. All
+//! paths share one RTT, matching the packet testbed's symmetric delays —
+//! at equal RTTs the equilibrium shares depend only on loss, which is the
+//! regime the paper's figures explore.
+
+use eventsim::{SimDuration, SimRng, SimTime};
+use fluid::rates::RateRule;
+use mpsim_core::Algorithm;
+
+use crate::net::{pps_to_mbps, FlowNet, LinkId};
+use crate::sim::{FlowId, FlowPath, FlowSim, FlowSimConfig, FlowSpec};
+
+/// Round-trip time on every Scenario A/B/C path (the paper's testbed
+/// operates around this scale; shares at equal RTT depend only on loss).
+pub const ABC_RTT: SimDuration = SimDuration::from_millis(80);
+
+/// A built two-class scenario: a population of multipath users and a
+/// population of reference users contending on two bottlenecks.
+pub struct TwoClass {
+    /// The simulation, with all flows installed but not started.
+    pub sim: FlowSim,
+    /// Multipath-class flows (type1 / blue / multipath users).
+    pub group1: Vec<FlowId>,
+    /// Reference-class flows (type2 / red / single-path users).
+    pub group2: Vec<FlowId>,
+    /// First bottleneck (r1 / X / AP1).
+    pub link1: LinkId,
+    /// Second bottleneck (r2 / T / AP2).
+    pub link2: LinkId,
+}
+
+fn path(links: &[LinkId]) -> FlowPath {
+    FlowPath {
+        links: links.to_vec(),
+        rtt: ABC_RTT,
+    }
+}
+
+fn install(sim: &mut FlowSim, conn: u64, rule: RateRule, paths: Vec<FlowPath>) -> FlowId {
+    sim.add_flow(FlowSpec {
+        conn,
+        rule,
+        paths,
+        size_pkts: None,
+    })
+}
+
+/// Scenario A (Fig. 1): `n1` multipath users with a private path through
+/// the streaming-server bottleneck `r1` (capacity `n1·c1`) and a shared
+/// path through `r1` then the AP `r2` (capacity `n2·c2`); `n2` single-path
+/// TCP users on `r2` alone.
+pub fn scenario_a(
+    n1: usize,
+    n2: usize,
+    c1_mbps: f64,
+    c2_mbps: f64,
+    algorithm: Algorithm,
+    cfg: FlowSimConfig,
+) -> TwoClass {
+    assert!(n1 > 0 && n2 > 0, "need users of both types");
+    let mut net = FlowNet::new();
+    let r1 = net.add_link_mbps(n1 as f64 * c1_mbps);
+    let r2 = net.add_link_mbps(n2 as f64 * c2_mbps);
+    let mut sim = FlowSim::new(net, cfg);
+    let rule = RateRule::from_algorithm(algorithm);
+    let mut conn = 0u64;
+    let mut group1 = Vec::with_capacity(n1);
+    for _ in 0..n1 {
+        group1.push(install(
+            &mut sim,
+            conn,
+            rule,
+            vec![path(&[r1]), path(&[r1, r2])],
+        ));
+        conn += 1;
+    }
+    let mut group2 = Vec::with_capacity(n2);
+    for _ in 0..n2 {
+        group2.push(install(&mut sim, conn, RateRule::Reno, vec![path(&[r2])]));
+        conn += 1;
+    }
+    TwoClass {
+        sim,
+        group1,
+        group2,
+        link1: r1,
+        link2: r2,
+    }
+}
+
+/// Scenario B (Fig. 4): blue users reach the server via ISP Z then X's
+/// access link, or via T's access link; red users go through T (and Z, Y)
+/// directly — single-path TCP, or two paths (adding T→X) when upgraded.
+pub fn scenario_b(
+    nb: usize,
+    nr: usize,
+    red_multipath: bool,
+    algorithm: Algorithm,
+    cfg: FlowSimConfig,
+) -> TwoClass {
+    assert!(nb > 0 && nr > 0, "need both user groups");
+    let mut net = FlowNet::new();
+    let x = net.add_link_mbps(27.0);
+    let t = net.add_link_mbps(36.0);
+    let y = net.add_link_mbps(100.0);
+    let z = net.add_link_mbps(100.0);
+    let mut sim = FlowSim::new(net, cfg);
+    let rule = RateRule::from_algorithm(algorithm);
+    let mut conn = 0u64;
+    let mut group1 = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        group1.push(install(
+            &mut sim,
+            conn,
+            rule,
+            vec![path(&[z, x]), path(&[t])],
+        ));
+        conn += 1;
+    }
+    let mut group2 = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let (red_rule, paths) = if red_multipath {
+            (rule, vec![path(&[t, x]), path(&[t, z, y])])
+        } else {
+            (RateRule::Reno, vec![path(&[t, z, y])])
+        };
+        group2.push(install(&mut sim, conn, red_rule, paths));
+        conn += 1;
+    }
+    TwoClass {
+        sim,
+        group1,
+        group2,
+        link1: x,
+        link2: t,
+    }
+}
+
+/// Scenario C (Fig. 5): `n1` multipath users with one path through each
+/// AP; `n2` single-path users on AP2 only.
+pub fn scenario_c(
+    n1: usize,
+    n2: usize,
+    c1_mbps: f64,
+    c2_mbps: f64,
+    algorithm: Algorithm,
+    cfg: FlowSimConfig,
+) -> TwoClass {
+    assert!(n1 > 0 && n2 > 0, "need users of both types");
+    let mut net = FlowNet::new();
+    let ap1 = net.add_link_mbps(n1 as f64 * c1_mbps);
+    let ap2 = net.add_link_mbps(n2 as f64 * c2_mbps);
+    let mut sim = FlowSim::new(net, cfg);
+    let rule = RateRule::from_algorithm(algorithm);
+    let mut conn = 0u64;
+    let mut group1 = Vec::with_capacity(n1);
+    for _ in 0..n1 {
+        group1.push(install(
+            &mut sim,
+            conn,
+            rule,
+            vec![path(&[ap1]), path(&[ap2])],
+        ));
+        conn += 1;
+    }
+    let mut group2 = Vec::with_capacity(n2);
+    for _ in 0..n2 {
+        group2.push(install(&mut sim, conn, RateRule::Reno, vec![path(&[ap2])]));
+        conn += 1;
+    }
+    TwoClass {
+        sim,
+        group1,
+        group2,
+        link1: ap1,
+        link2: ap2,
+    }
+}
+
+/// Start every flow at a jittered offset within `jitter` from now.
+pub fn start_jittered(sim: &mut FlowSim, flows: &[FlowId], jitter: SimDuration, rng: &mut SimRng) {
+    let t0 = sim.now();
+    for &f in flows {
+        let dt = SimDuration::from_secs_f64(rng.f64() * jitter.as_secs_f64());
+        sim.start_at(f, t0 + dt);
+    }
+}
+
+/// Delivered-packet counters for `flows` at the current time.
+pub fn snapshot_delivered(sim: &FlowSim, flows: &[FlowId]) -> Vec<f64> {
+    flows.iter().map(|&f| sim.delivered_pkts(f)).collect()
+}
+
+/// Mean per-flow goodput in Mb/s over a window of length `measure`, given
+/// the delivered snapshot taken at the window start.
+pub fn mean_goodput_mbps(
+    sim: &FlowSim,
+    flows: &[FlowId],
+    marks: &[f64],
+    measure: SimDuration,
+) -> f64 {
+    assert_eq!(flows.len(), marks.len());
+    assert!(measure > SimDuration::ZERO);
+    let secs = measure.as_secs_f64();
+    let mut total = 0.0;
+    for (i, &f) in flows.iter().enumerate() {
+        total += (sim.delivered_pkts(f) - marks[i]).max(0.0) / secs;
+    }
+    pps_to_mbps(total / flows.len() as f64)
+}
+
+/// Run a built two-class scenario through the standard warmup/measure
+/// protocol and report `(group1 mean, group2 mean)` goodput in Mb/s.
+pub fn measure_two_class(
+    tc: &mut TwoClass,
+    warmup: SimDuration,
+    measure: SimDuration,
+    jitter: SimDuration,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    start_jittered(&mut tc.sim, &tc.group1, jitter, &mut rng);
+    start_jittered(&mut tc.sim, &tc.group2, jitter, &mut rng);
+    let t1 = SimTime::ZERO + jitter + warmup;
+    tc.sim.run_until(t1);
+    let m1 = snapshot_delivered(&tc.sim, &tc.group1);
+    let m2 = snapshot_delivered(&tc.sim, &tc.group2);
+    tc.sim.run_until(t1 + measure);
+    (
+        mean_goodput_mbps(&tc.sim, &tc.group1, &m1, measure),
+        mean_goodput_mbps(&tc.sim, &tc.group2, &m2, measure),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FlowSimConfig {
+        FlowSimConfig::default()
+    }
+
+    fn measure(tc: &mut TwoClass) -> (f64, f64) {
+        measure_two_class(
+            tc,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(2),
+            7,
+        )
+    }
+
+    #[test]
+    fn scenario_a_lia_leaks_into_the_shared_ap() {
+        // Fig. 1's effect: LIA pushes type1 traffic through R2, hurting
+        // type2; OLIA concentrates on the private path and leaves R2 to
+        // its owners.
+        let (_, t2_lia) = measure(&mut scenario_a(10, 10, 1.0, 1.0, Algorithm::Lia, cfg()));
+        let (_, t2_olia) = measure(&mut scenario_a(10, 10, 1.0, 1.0, Algorithm::Olia, cfg()));
+        assert!(
+            t2_olia > t2_lia + 0.02,
+            "OLIA should leave type2 more of AP2: lia={t2_lia:.3} olia={t2_olia:.3}"
+        );
+        // Type2 users can never exceed their fair share of their own AP.
+        assert!(t2_lia < 1.0 + 1e-6 && t2_olia < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn scenario_c_olia_still_uses_both_paths() {
+        // In Scenario C the multipath users' AP1 path is private, so OLIA
+        // keeps it fully used; aggregate utilization should be high.
+        let (mp, single) = measure(&mut scenario_c(10, 10, 1.0, 1.0, Algorithm::Olia, cfg()));
+        assert!(
+            mp > 0.8,
+            "multipath users should get ≈ their AP1 share, got {mp:.3}"
+        );
+        assert!(single > 0.5, "single-path users starved: {single:.3}");
+    }
+
+    #[test]
+    fn scenario_b_upgrade_can_hurt_everyone() {
+        // Fig. 4's headline: upgrading red users to LIA multipath reduces
+        // aggregate throughput (they shift load onto X's scarce 27 Mb/s).
+        let (b0, r0) = measure(&mut scenario_b(15, 15, false, Algorithm::Lia, cfg()));
+        let (b1, r1) = measure(&mut scenario_b(15, 15, true, Algorithm::Lia, cfg()));
+        let agg0 = 15.0 * (b0 + r0);
+        let agg1 = 15.0 * (b1 + r1);
+        assert!(
+            agg1 < agg0,
+            "LIA upgrade should not help aggregate: before={agg0:.2} after={agg1:.2}"
+        );
+    }
+
+    #[test]
+    fn goodput_is_capacity_bounded() {
+        let mut tc = scenario_a(4, 4, 2.0, 1.0, Algorithm::Lia, cfg());
+        let (g1, g2) = measure(&mut tc);
+        // Per-user means cannot exceed per-user capacities.
+        assert!(g1 <= 2.0 + 1e-6, "type1 above its server share: {g1}");
+        assert!(g2 <= 1.0 + 1e-6, "type2 above its AP share: {g2}");
+        assert!(g1 > 0.0 && g2 > 0.0);
+    }
+}

@@ -27,6 +27,7 @@
 //! [`units`] cover the common cases.
 
 pub mod ode;
+pub mod rates;
 pub mod roots;
 pub mod scenario_a;
 pub mod scenario_b;

@@ -145,6 +145,13 @@ fn grid_from_json(name: &str, grid: &Json) -> Result<Vec<(String, Vec<Json>)>, S
                     "scenarios[{name}].grid.{axis} values must be scalars, got {v:?}"
                 ));
             }
+            // The backend axis selects the simulation engine; catch typos
+            // at parse time instead of failing every expanded job.
+            if axis == "backend" && !matches!(v.as_str(), Some("packet") | Some("flow")) {
+                return Err(format!(
+                    "scenarios[{name}].grid.backend values must be \"packet\" or \"flow\", got {v:?}"
+                ));
+            }
         }
         axes.push((axis.clone(), values.to_vec()));
     }
@@ -484,6 +491,14 @@ mod tests {
             (
                 r#"{"schema":"mptcp-manifest/v1","id":"x","scale":"quick","seeds":[1],"scenarios":[{"name":"smoke","grid":{"n1":[]}}]}"#,
                 "empty",
+            ),
+            (
+                r#"{"schema":"mptcp-manifest/v1","id":"x","scale":"quick","seeds":[1],"scenarios":[{"name":"smoke","grid":{"backend":["hybrid"]}}]}"#,
+                "backend",
+            ),
+            (
+                r#"{"schema":"mptcp-manifest/v1","id":"x","scale":"quick","seeds":[1],"scenarios":[{"name":"smoke","grid":{"backend":[1]}}]}"#,
+                "backend",
             ),
         ];
         for (text, needle) in cases {

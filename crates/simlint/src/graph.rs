@@ -30,6 +30,7 @@ pub const GRAPH_UNIVERSE_PREFIXES: &[&str] = &[
     "crates/netsim/src/",
     "crates/tcpsim/src/",
     "crates/core/src/",
+    "crates/flowsim/src/",
 ];
 
 /// Call-graph roots as `Owner::name` patterns. `*` as the owner matches
@@ -40,13 +41,16 @@ pub const GRAPH_UNIVERSE_PREFIXES: &[&str] = &[
 ///   pump and its per-event dispatcher;
 /// * `*::on_ack` — the per-ACK congestion-control entry point every
 ///   `CongestionControl` impl provides;
-/// * `*::on_packet` — the per-packet endpoint entry point.
+/// * `*::on_packet` — the per-packet endpoint entry point;
+/// * `FlowSim::run_until` — the flow-level backend's event pump (rate
+///   recomputes and completions instead of packets).
 pub const HOT_ROOT_PATTERNS: &[&str] = &[
     "EventQueue::pop*",
     "Simulation::run_until",
     "Simulation::dispatch",
     "*::on_ack",
     "*::on_packet",
+    "FlowSim::run_until",
 ];
 
 /// One parsed file, as the graph consumes it.

@@ -140,6 +140,7 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
     "crates/core/",
     "crates/topo/",
     "crates/chaos/",
+    "crates/flowsim/",
 ];
 
 /// The legacy hand-maintained hot-path list for R5, kept as (a) the
@@ -151,7 +152,11 @@ pub const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/netsim/src/sim.rs",
     "crates/netsim/src/arena.rs",
     "crates/netsim/src/queue.rs",
+    "crates/netsim/src/routes.rs",
     "crates/eventsim/src/",
+    "crates/flowsim/src/sim.rs",
+    "crates/flowsim/src/alloc.rs",
+    "crates/flowsim/src/net.rs",
 ];
 
 /// How R5 decides a file is hot: the call-graph-derived file set when
@@ -208,6 +213,7 @@ const SEQUENTIAL_SIM_PREFIXES: &[&str] = &[
     "crates/eventsim/",
     "crates/core/",
     "crates/chaos/",
+    "crates/flowsim/",
 ];
 
 /// One reported violation (possibly suppressed).
